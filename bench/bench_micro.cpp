@@ -1,0 +1,154 @@
+// Microbenchmarks (google-benchmark) for the numerical substrate: the
+// per-op throughput numbers that determine every training time in
+// Table I. Not part of the paper; engineering visibility.
+#include <benchmark/benchmark.h>
+
+#include "attack/bim.h"
+#include "attack/fgsm.h"
+#include "common/rng.h"
+#include "data/synthetic.h"
+#include "nn/loss.h"
+#include "nn/zoo.h"
+#include "tensor/im2col.h"
+#include "tensor/ops.h"
+
+using namespace satd;
+
+namespace {
+
+Tensor random_tensor(Shape shape, std::uint64_t seed) {
+  Rng rng(seed);
+  Tensor t(std::move(shape));
+  for (float& v : t.data()) v = static_cast<float>(rng.uniform(-1, 1));
+  return t;
+}
+
+void BM_MatmulSquare(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const Tensor a = random_tensor(Shape{n, n}, 1);
+  const Tensor b = random_tensor(Shape{n, n}, 2);
+  Tensor c;
+  for (auto _ : state) {
+    ops::matmul(a, b, c);
+    benchmark::DoNotOptimize(c.raw());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 2 *
+                          static_cast<std::int64_t>(n * n * n));
+}
+BENCHMARK(BM_MatmulSquare)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_Im2col28x28(benchmark::State& state) {
+  const Tensor img = random_tensor(Shape{1, 28, 28}, 3);
+  const ConvGeometry g{1, 28, 28, 3, 0};
+  Tensor cols;
+  for (auto _ : state) {
+    im2col(img, g, cols);
+    benchmark::DoNotOptimize(cols.raw());
+  }
+}
+BENCHMARK(BM_Im2col28x28);
+
+void BM_Softmax(benchmark::State& state) {
+  const Tensor logits = random_tensor(Shape{64, 10}, 4);
+  for (auto _ : state) {
+    Tensor p = nn::softmax(logits);
+    benchmark::DoNotOptimize(p.raw());
+  }
+}
+BENCHMARK(BM_Softmax);
+
+void BM_ModelForward(benchmark::State& state) {
+  Rng rng(5);
+  nn::Sequential model = nn::zoo::build("cnn_small", rng);
+  const Tensor x = random_tensor(Shape{32, 1, 28, 28}, 6);
+  for (auto _ : state) {
+    Tensor logits = model.forward(x, false);
+    benchmark::DoNotOptimize(logits.raw());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 32);
+}
+BENCHMARK(BM_ModelForward);
+
+void BM_ModelForwardBackward(benchmark::State& state) {
+  Rng rng(7);
+  nn::Sequential model = nn::zoo::build("cnn_small", rng);
+  const Tensor x = random_tensor(Shape{32, 1, 28, 28}, 8);
+  std::vector<std::size_t> labels(32);
+  for (std::size_t i = 0; i < 32; ++i) labels[i] = i % 10;
+  for (auto _ : state) {
+    Tensor logits = model.forward(x, true);
+    const nn::LossResult loss = nn::softmax_cross_entropy(logits, labels);
+    Tensor gx = model.backward(loss.grad_logits);
+    model.zero_grad();
+    benchmark::DoNotOptimize(gx.raw());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 32);
+}
+BENCHMARK(BM_ModelForwardBackward);
+
+void BM_FgsmBatch(benchmark::State& state) {
+  Rng rng(9);
+  nn::Sequential model = nn::zoo::build("cnn_small", rng);
+  data::SyntheticConfig cfg;
+  cfg.train_size = 32;
+  cfg.test_size = 10;
+  const auto pair = data::make_synthetic_digits(cfg);
+  attack::Fgsm fgsm(0.3f);
+  Tensor batch(Shape{32, 1, 28, 28});
+  for (std::size_t i = 0; i < 32; ++i) {
+    batch.set_row(i, pair.train.images.slice_row(i));
+  }
+  std::vector<std::size_t> labels(pair.train.labels.begin(),
+                                  pair.train.labels.begin() + 32);
+  for (auto _ : state) {
+    Tensor adv = fgsm.perturb(model, batch, labels);
+    benchmark::DoNotOptimize(adv.raw());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 32);
+}
+BENCHMARK(BM_FgsmBatch);
+
+void BM_BimBatch(benchmark::State& state) {
+  const auto iters = static_cast<std::size_t>(state.range(0));
+  Rng rng(10);
+  nn::Sequential model = nn::zoo::build("cnn_small", rng);
+  data::SyntheticConfig cfg;
+  cfg.train_size = 32;
+  cfg.test_size = 10;
+  const auto pair = data::make_synthetic_digits(cfg);
+  attack::Bim bim(0.3f, iters);
+  Tensor batch(Shape{32, 1, 28, 28});
+  for (std::size_t i = 0; i < 32; ++i) {
+    batch.set_row(i, pair.train.images.slice_row(i));
+  }
+  std::vector<std::size_t> labels(pair.train.labels.begin(),
+                                  pair.train.labels.begin() + 32);
+  for (auto _ : state) {
+    Tensor adv = bim.perturb(model, batch, labels);
+    benchmark::DoNotOptimize(adv.raw());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 32);
+}
+BENCHMARK(BM_BimBatch)->Arg(10)->Arg(30);
+
+void BM_RenderDigit(benchmark::State& state) {
+  Rng rng(11);
+  for (auto _ : state) {
+    Tensor img = data::render_digit(7, rng);
+    benchmark::DoNotOptimize(img.raw());
+  }
+}
+BENCHMARK(BM_RenderDigit);
+
+void BM_RenderFashion(benchmark::State& state) {
+  Rng rng(12);
+  for (auto _ : state) {
+    Tensor img = data::render_fashion(2, rng);
+    benchmark::DoNotOptimize(img.raw());
+  }
+}
+BENCHMARK(BM_RenderFashion);
+
+}  // namespace
+
+BENCHMARK_MAIN();

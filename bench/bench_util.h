@@ -1,0 +1,71 @@
+// Shared plumbing for the reproduction benches: dataset construction,
+// cached training of the paper's five methods, and header printing.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "core/factory.h"
+#include "data/synthetic.h"
+#include "metrics/experiment.h"
+#include "metrics/model_cache.h"
+#include "metrics/report.h"
+
+namespace satd::bench {
+
+/// Builds (deterministically) the train/test pair for "digits"/"fashion".
+inline data::DatasetPair load_dataset(const metrics::ExperimentEnv& env,
+                                      const std::string& name) {
+  return data::make_dataset(name, env.dataset_config());
+}
+
+/// Optional per-method config tweaks applied on top of env defaults.
+struct MethodOverrides {
+  std::size_t bim_iterations = 10;
+  std::size_t reset_period = 0;   // 0 = keep env default
+  float step_fraction = 0.0f;     // 0 = keep default (0.1)
+};
+
+/// Trains (or loads from bench_cache) one method on one dataset.
+inline metrics::CachedModel train_cached(const metrics::ExperimentEnv& env,
+                                         const data::DatasetPair& data,
+                                         const std::string& dataset_name,
+                                         const std::string& method,
+                                         const MethodOverrides& ov = {}) {
+  core::TrainConfig cfg = env.train_config(dataset_name);
+  cfg.bim_iterations = ov.bim_iterations;
+  if (ov.reset_period > 0) cfg.reset_period = ov.reset_period;
+  if (ov.step_fraction > 0.0f) cfg.step_fraction = ov.step_fraction;
+
+  metrics::ModelKey key;
+  key.method = method;
+  key.dataset = dataset_name;
+  key.model_spec = env.model_spec;
+  key.train_size = env.train_size;
+  key.epochs = cfg.epochs;
+  key.batch_size = cfg.batch_size;
+  key.seed = cfg.seed;
+  key.eps = cfg.eps;
+  key.bim_iterations = method == "bim_adv" ? cfg.bim_iterations : 0;
+  key.reset_period = method == "proposed" ? cfg.reset_period : 0;
+  key.step_fraction = method == "proposed" ? cfg.step_fraction : 0.0f;
+
+  return metrics::train_or_load(
+      env.cache_dir, key, [&](nn::Sequential& model) {
+        auto trainer = core::make_trainer(method, model, cfg);
+        return trainer->fit(data.train);
+      });
+}
+
+/// Prints the experiment banner common to all benches.
+inline void print_header(const std::string& experiment,
+                         const metrics::ExperimentEnv& env) {
+  metrics::print_banner(experiment);
+  std::printf("scale: %s\n", env.describe().c_str());
+  std::printf(
+      "(models cached under %s/ — delete it to retrain; SATD_SCALE=paper "
+      "for a larger run)\n\n",
+      env.cache_dir.c_str());
+}
+
+}  // namespace satd::bench

@@ -1,0 +1,114 @@
+// Attack playground: train an undefended classifier, then watch each
+// attack in the library break it across an eps sweep — and look at an
+// actual adversarial example rendered as ASCII art.
+//
+//   build/examples/attack_playground [--dataset digits] [--iters 10]
+#include <cstdio>
+#include <memory>
+
+#include "attack/bim.h"
+#include "attack/fgsm.h"
+#include "attack/mifgsm.h"
+#include "attack/pgd.h"
+#include "common/cli.h"
+#include "core/vanilla_trainer.h"
+#include "data/synthetic.h"
+#include "metrics/evaluator.h"
+#include "metrics/report.h"
+#include "metrics/robustness_report.h"
+#include "nn/zoo.h"
+#include "tensor/ops.h"
+
+using namespace satd;
+
+namespace {
+
+void print_ascii(const Tensor& image, const char* title) {
+  // image: [1, 28, 28] in [0,1].
+  std::printf("%s\n", title);
+  const char* shades = " .:-=+*#%@";
+  for (std::size_t y = 0; y < 28; y += 2) {  // halve rows: terminal aspect
+    for (std::size_t x = 0; x < 28; ++x) {
+      const float v =
+          0.5f * (image.at(std::size_t{0}, y, x) +
+                  image.at(std::size_t{0}, std::min<std::size_t>(y + 1, 27), x));
+      std::putchar(shades[static_cast<int>(v * 9.999f)]);
+    }
+    std::putchar('\n');
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliParser cli("attack_playground",
+                "break an undefended classifier with every attack");
+  cli.add_string("dataset", "digits", "digits|fashion");
+  cli.add_int("iters", 10, "iterations for the iterative attacks");
+  try {
+    if (!cli.parse(argc, argv)) return 0;
+    const auto iters = static_cast<std::size_t>(cli.get_int("iters"));
+
+    data::SyntheticConfig data_cfg;
+    data_cfg.train_size = 600;
+    data_cfg.test_size = 200;
+    data_cfg.seed = 3;
+    const data::DatasetPair data =
+        data::make_dataset(cli.get_string("dataset"), data_cfg);
+
+    Rng rng(7);
+    nn::Sequential model = nn::zoo::build("cnn_small", rng);
+    core::TrainConfig cfg;
+    cfg.epochs = 12;
+    core::VanillaTrainer trainer(model, cfg);
+    std::printf("training an undefended classifier...\n");
+    trainer.fit(data.train);
+    std::printf("clean accuracy: %.2f%%\n\n",
+                metrics::evaluate_clean(model, data.test) * 100.0f);
+
+    // Accuracy under each attack across an eps sweep.
+    metrics::Table table({"eps", "FGSM", "BIM", "PGD", "MI-FGSM"});
+    for (float eps : {0.05f, 0.1f, 0.2f, 0.3f}) {
+      attack::Fgsm fgsm(eps);
+      attack::Bim bim(eps, iters);
+      Rng attack_rng(1);
+      attack::Pgd pgd(eps, iters, eps / iters, attack_rng);
+      attack::MiFgsm mi(eps, iters, eps / iters);
+      char eps_label[16];
+      std::snprintf(eps_label, sizeof eps_label, "%.2f", eps);
+      table.add_row(
+          {eps_label,
+           metrics::percent(metrics::evaluate_attack(model, data.test, fgsm)),
+           metrics::percent(metrics::evaluate_attack(model, data.test, bim)),
+           metrics::percent(metrics::evaluate_attack(model, data.test, pgd)),
+           metrics::percent(metrics::evaluate_attack(model, data.test, mi))});
+    }
+    std::fputs(table.to_string().c_str(), stdout);
+
+    // Show one adversarial example.
+    Tensor image(Shape{1, 1, 28, 28});
+    image.set_row(0, data.test.images.slice_row(0));
+    const std::vector<std::size_t> label{data.test.labels[0]};
+    attack::Bim bim(0.3f, iters);
+    const Tensor adv = bim.perturb(model, image, label);
+    const auto clean_pred = ops::argmax_rows(model.forward(image, false))[0];
+    const auto adv_pred = ops::argmax_rows(model.forward(adv, false))[0];
+    std::printf("\ntrue label: %zu — clean prediction: %zu — adversarial "
+                "prediction: %zu (max |delta| = %.2f)\n\n",
+                label[0], clean_pred, adv_pred,
+                ops::max_abs_diff(adv.slice_row(0), image.slice_row(0)));
+    print_ascii(image.slice_row(0), "clean:");
+    print_ascii(adv.slice_row(0), "adversarial:");
+
+    // Detailed statistics for the strongest attack in the sweep.
+    attack::Bim strongest(0.3f, iters);
+    std::printf("\n%s", metrics::robustness_report(model, data.test,
+                                                   strongest)
+                            .to_string()
+                            .c_str());
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}

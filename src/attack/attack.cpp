@@ -1,0 +1,19 @@
+#include "attack/attack.h"
+
+#include "common/contract.h"
+#include "nn/loss.h"
+
+namespace satd::attack {
+
+Tensor input_gradient(nn::Sequential& model, const Tensor& x,
+                      std::span<const std::size_t> labels) {
+  SATD_EXPECT(x.shape().rank() >= 2, "input batch must have a batch dim");
+  SATD_EXPECT(x.shape()[0] == labels.size(), "batch/label size mismatch");
+  const Tensor logits = model.forward(x, /*training=*/false);
+  const nn::LossResult loss = nn::softmax_cross_entropy(logits, labels);
+  Tensor gx = model.backward(loss.grad_logits);
+  model.zero_grad();  // discard parameter gradients accumulated en route
+  return gx;
+}
+
+}  // namespace satd::attack

@@ -1,0 +1,48 @@
+// Adversarial attack interface and shared gradient machinery.
+//
+// All attacks here are white-box l-infinity evasion attacks as defined in
+// the paper (Section II): they perturb inputs within an eps-ball (and the
+// valid pixel range [0, 1]) in directions given by the sign of the loss
+// gradient with respect to the input.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "nn/sequential.h"
+
+namespace satd::attack {
+
+/// Valid pixel range for all image data in this library.
+inline constexpr float kPixelMin = 0.0f;
+inline constexpr float kPixelMax = 1.0f;
+
+/// Computes dLoss/dInput for a batch under softmax cross-entropy.
+/// Leaves the model's parameter gradients zeroed (the backward pass
+/// necessarily accumulates them; this helper cleans up so attacks are
+/// side-effect free on the model).
+Tensor input_gradient(nn::Sequential& model, const Tensor& x,
+                      std::span<const std::size_t> labels);
+
+/// Abstract untargeted attack.
+class Attack {
+ public:
+  virtual ~Attack() = default;
+
+  /// Returns adversarial versions of `x` (same shape). Must keep every
+  /// output pixel within [kPixelMin, kPixelMax] and within the attack's
+  /// eps-ball around `x`.
+  virtual Tensor perturb(nn::Sequential& model, const Tensor& x,
+                         std::span<const std::size_t> labels) = 0;
+
+  /// Total l-infinity budget.
+  virtual float epsilon() const = 0;
+
+  virtual std::string name() const = 0;
+};
+
+using AttackPtr = std::unique_ptr<Attack>;
+
+}  // namespace satd::attack

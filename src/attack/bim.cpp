@@ -1,0 +1,46 @@
+#include "attack/bim.h"
+
+#include "attack/fgsm.h"
+#include "common/contract.h"
+
+namespace satd::attack {
+
+Bim::Bim(float eps, std::size_t iterations)
+    : Bim(eps, iterations,
+          iterations > 0 ? eps / static_cast<float>(iterations) : 0.0f) {}
+
+Bim::Bim(float eps, std::size_t iterations, float eps_step)
+    : eps_(eps), iterations_(iterations), eps_step_(eps_step) {
+  SATD_EXPECT(eps >= 0.0f, "eps must be non-negative");
+  SATD_EXPECT(iterations > 0, "BIM needs at least one iteration");
+  SATD_EXPECT(eps_step >= 0.0f, "eps_step must be non-negative");
+}
+
+Tensor Bim::perturb(nn::Sequential& model, const Tensor& x,
+                    std::span<const std::size_t> labels) {
+  Tensor adv = x;
+  for (std::size_t i = 0; i < iterations_; ++i) {
+    adv = Fgsm::step(model, adv, x, labels, eps_step_, eps_);
+  }
+  return adv;
+}
+
+std::vector<Tensor> Bim::perturb_with_trace(
+    nn::Sequential& model, const Tensor& x,
+    std::span<const std::size_t> labels) {
+  std::vector<Tensor> trace;
+  trace.reserve(iterations_);
+  Tensor adv = x;
+  for (std::size_t i = 0; i < iterations_; ++i) {
+    adv = Fgsm::step(model, adv, x, labels, eps_step_, eps_);
+    trace.push_back(adv);
+  }
+  return trace;
+}
+
+std::string Bim::name() const {
+  return "BIM(" + std::to_string(iterations_) + ", eps=" +
+         std::to_string(eps_) + ", step=" + std::to_string(eps_step_) + ")";
+}
+
+}  // namespace satd::attack

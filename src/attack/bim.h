@@ -1,0 +1,46 @@
+// Basic Iterative Method (Kurakin et al. 2016) — the paper's BIM(N).
+#pragma once
+
+#include <vector>
+
+#include "attack/attack.h"
+
+namespace satd::attack {
+
+/// Iterative l-inf attack: N FGSM steps of size eps_step, each projected
+/// onto the eps-ball around the clean input and onto [0,1].
+///
+/// The paper's notation BIM(N) fixes the total budget eps and uses
+/// eps_step = eps / N (Section II); the two-argument constructor applies
+/// that convention. The three-argument constructor decouples the step
+/// size, which Section IV's analysis needs.
+class Bim : public Attack {
+ public:
+  /// BIM(N) with the paper's eps_step = eps / N convention.
+  Bim(float eps, std::size_t iterations);
+
+  /// Fully general variant with an explicit per-step size.
+  Bim(float eps, std::size_t iterations, float eps_step);
+
+  Tensor perturb(nn::Sequential& model, const Tensor& x,
+                 std::span<const std::size_t> labels) override;
+
+  /// Like perturb, but also returns every intermediate iterate
+  /// x_1 .. x_N (the quantity Figure 2 evaluates). trace[i] is the batch
+  /// after i+1 iterations; trace.back() equals the final result.
+  std::vector<Tensor> perturb_with_trace(nn::Sequential& model,
+                                         const Tensor& x,
+                                         std::span<const std::size_t> labels);
+
+  float epsilon() const override { return eps_; }
+  std::size_t iterations() const { return iterations_; }
+  float step_size() const { return eps_step_; }
+  std::string name() const override;
+
+ private:
+  float eps_;
+  std::size_t iterations_;
+  float eps_step_;
+};
+
+}  // namespace satd::attack

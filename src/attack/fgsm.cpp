@@ -1,0 +1,40 @@
+#include "attack/fgsm.h"
+
+#include "common/contract.h"
+#include "tensor/ops.h"
+
+namespace satd::attack {
+
+Fgsm::Fgsm(float eps) : eps_(eps) {
+  SATD_EXPECT(eps >= 0.0f, "eps must be non-negative");
+}
+
+Tensor Fgsm::step(nn::Sequential& model, const Tensor& x_start,
+                  const Tensor& x_origin,
+                  std::span<const std::size_t> labels, float step_size,
+                  float eps) {
+  SATD_EXPECT(x_start.shape() == x_origin.shape(),
+              "start/origin shape mismatch");
+  SATD_EXPECT(step_size >= 0.0f && eps >= 0.0f, "negative step or eps");
+  const Tensor g = input_gradient(model, x_start, labels);
+  Tensor adv = x_start;
+  const float* pg = g.raw();
+  float* pa = adv.raw();
+  for (std::size_t i = 0, n = adv.numel(); i < n; ++i) {
+    const float s = (pg[i] > 0.0f) ? 1.0f : (pg[i] < 0.0f ? -1.0f : 0.0f);
+    pa[i] += step_size * s;
+  }
+  ops::project_linf(x_origin, eps, kPixelMin, kPixelMax, adv);
+  return adv;
+}
+
+Tensor Fgsm::perturb(nn::Sequential& model, const Tensor& x,
+                     std::span<const std::size_t> labels) {
+  return step(model, x, x, labels, eps_, eps_);
+}
+
+std::string Fgsm::name() const {
+  return "FGSM(eps=" + std::to_string(eps_) + ")";
+}
+
+}  // namespace satd::attack

@@ -1,0 +1,31 @@
+// Fast Gradient Sign Method (Goodfellow et al. 2015).
+#pragma once
+
+#include "attack/attack.h"
+
+namespace satd::attack {
+
+/// Single-step attack: x' = clip(x + eps * sign(dL/dx)).
+class Fgsm : public Attack {
+ public:
+  explicit Fgsm(float eps);
+
+  Tensor perturb(nn::Sequential& model, const Tensor& x,
+                 std::span<const std::size_t> labels) override;
+
+  float epsilon() const override { return eps_; }
+  std::string name() const override;
+
+  /// One FGSM step of size `step` starting from `x_start`, projected to
+  /// the eps-ball around `x_origin` and [0,1]. This is the shared inner
+  /// step of FGSM, BIM, PGD and the Proposed trainer's epoch-wise update.
+  static Tensor step(nn::Sequential& model, const Tensor& x_start,
+                     const Tensor& x_origin,
+                     std::span<const std::size_t> labels, float step_size,
+                     float eps);
+
+ private:
+  float eps_;
+};
+
+}  // namespace satd::attack

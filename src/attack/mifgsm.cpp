@@ -1,0 +1,50 @@
+#include "attack/mifgsm.h"
+
+#include <cmath>
+
+#include "common/contract.h"
+#include "tensor/ops.h"
+
+namespace satd::attack {
+
+MiFgsm::MiFgsm(float eps, std::size_t iterations, float eps_step,
+               float momentum)
+    : eps_(eps),
+      iterations_(iterations),
+      eps_step_(eps_step),
+      momentum_(momentum) {
+  SATD_EXPECT(eps >= 0.0f, "eps must be non-negative");
+  SATD_EXPECT(iterations > 0, "MI-FGSM needs at least one iteration");
+  SATD_EXPECT(eps_step >= 0.0f, "eps_step must be non-negative");
+  SATD_EXPECT(momentum >= 0.0f, "momentum must be non-negative");
+}
+
+Tensor MiFgsm::perturb(nn::Sequential& model, const Tensor& x,
+                       std::span<const std::size_t> labels) {
+  Tensor adv = x;
+  Tensor velocity(x.shape());
+  for (std::size_t t = 0; t < iterations_; ++t) {
+    const Tensor g = input_gradient(model, adv, labels);
+    // Normalize per batch by the mean absolute gradient so the momentum
+    // accumulation is scale free (the l1 normalization of the paper).
+    const float norm = ops::l1_norm(g) / static_cast<float>(g.numel());
+    const float inv = norm > 0.0f ? 1.0f / norm : 0.0f;
+    float* pv = velocity.raw();
+    const float* pg = g.raw();
+    float* pa = adv.raw();
+    for (std::size_t i = 0, n = adv.numel(); i < n; ++i) {
+      pv[i] = momentum_ * pv[i] + pg[i] * inv;
+      const float s = (pv[i] > 0.0f) ? 1.0f : (pv[i] < 0.0f ? -1.0f : 0.0f);
+      pa[i] += eps_step_ * s;
+    }
+    ops::project_linf(x, eps_, kPixelMin, kPixelMax, adv);
+  }
+  return adv;
+}
+
+std::string MiFgsm::name() const {
+  return "MI-FGSM(" + std::to_string(iterations_) + ", eps=" +
+         std::to_string(eps_) + ")";
+}
+
+}  // namespace satd::attack

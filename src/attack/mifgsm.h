@@ -1,0 +1,32 @@
+// Momentum Iterative FGSM (Dong et al. 2018).
+//
+// Iterative attack that accumulates a momentum of normalized gradients;
+// included as an additional adversary for the robustness-generalization
+// extension bench (not in the paper's tables).
+#pragma once
+
+#include "attack/attack.h"
+
+namespace satd::attack {
+
+/// MI-FGSM: g_{t+1} = mu * g_t + grad / ||grad||_1 ; x += step*sign(g).
+class MiFgsm : public Attack {
+ public:
+  MiFgsm(float eps, std::size_t iterations, float eps_step,
+         float momentum = 1.0f);
+
+  Tensor perturb(nn::Sequential& model, const Tensor& x,
+                 std::span<const std::size_t> labels) override;
+
+  float epsilon() const override { return eps_; }
+  std::size_t iterations() const { return iterations_; }
+  std::string name() const override;
+
+ private:
+  float eps_;
+  std::size_t iterations_;
+  float eps_step_;
+  float momentum_;
+};
+
+}  // namespace satd::attack

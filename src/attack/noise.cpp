@@ -1,0 +1,33 @@
+#include "attack/noise.h"
+
+#include "common/contract.h"
+#include "tensor/ops.h"
+
+namespace satd::attack {
+
+RandomNoise::RandomNoise(float eps, Rng& rng, bool corners)
+    : eps_(eps), rng_(rng.fork(0x015E)), corners_(corners) {
+  SATD_EXPECT(eps >= 0.0f, "eps must be non-negative");
+}
+
+Tensor RandomNoise::perturb(nn::Sequential& /*model*/, const Tensor& x,
+                            std::span<const std::size_t> labels) {
+  SATD_EXPECT(x.shape()[0] == labels.size(), "batch/label size mismatch");
+  Tensor adv = x;
+  float* pa = adv.raw();
+  for (std::size_t i = 0, n = adv.numel(); i < n; ++i) {
+    const float d = corners_
+                        ? static_cast<float>(rng_.sign()) * eps_
+                        : static_cast<float>(rng_.uniform(-eps_, eps_));
+    pa[i] += d;
+  }
+  ops::project_linf(x, eps_, kPixelMin, kPixelMax, adv);
+  return adv;
+}
+
+std::string RandomNoise::name() const {
+  return std::string("RandomNoise(eps=") + std::to_string(eps_) +
+         (corners_ ? ", corners" : "") + ")";
+}
+
+}  // namespace satd::attack

@@ -1,0 +1,36 @@
+// Random-noise baseline "attack".
+//
+// Perturbs each pixel by a uniformly random amount in [-eps, +eps]
+// (or by exactly +-eps with `corners`). Not an attack in any real
+// sense — it exists to quantify how much of a model's accuracy drop is
+// due to the ADVERSARIAL direction of FGSM/BIM rather than to mere
+// input corruption of the same magnitude. A defense evaluation that
+// cannot beat this baseline is measuring noise robustness, not
+// adversarial robustness.
+#pragma once
+
+#include "attack/attack.h"
+#include "common/rng.h"
+
+namespace satd::attack {
+
+/// Uniform (or corner) random perturbation of l-inf magnitude <= eps.
+class RandomNoise : public Attack {
+ public:
+  /// `corners` draws each coordinate as exactly +-eps (the distribution
+  /// FGSM's outputs live in), otherwise uniform in [-eps, +eps].
+  RandomNoise(float eps, Rng& rng, bool corners = false);
+
+  Tensor perturb(nn::Sequential& model, const Tensor& x,
+                 std::span<const std::size_t> labels) override;
+
+  float epsilon() const override { return eps_; }
+  std::string name() const override;
+
+ private:
+  float eps_;
+  Rng rng_;
+  bool corners_;
+};
+
+}  // namespace satd::attack

@@ -1,0 +1,38 @@
+#include "attack/pgd.h"
+
+#include "attack/fgsm.h"
+#include "common/contract.h"
+#include "tensor/ops.h"
+
+namespace satd::attack {
+
+Pgd::Pgd(float eps, std::size_t iterations, float eps_step, Rng& rng)
+    : eps_(eps),
+      iterations_(iterations),
+      eps_step_(eps_step),
+      rng_(rng.fork(0x96D)) {
+  SATD_EXPECT(eps >= 0.0f, "eps must be non-negative");
+  SATD_EXPECT(iterations > 0, "PGD needs at least one iteration");
+  SATD_EXPECT(eps_step >= 0.0f, "eps_step must be non-negative");
+}
+
+Tensor Pgd::perturb(nn::Sequential& model, const Tensor& x,
+                    std::span<const std::size_t> labels) {
+  Tensor adv = x;
+  float* pa = adv.raw();
+  for (std::size_t i = 0, n = adv.numel(); i < n; ++i) {
+    pa[i] += static_cast<float>(rng_.uniform(-eps_, eps_));
+  }
+  ops::project_linf(x, eps_, kPixelMin, kPixelMax, adv);
+  for (std::size_t i = 0; i < iterations_; ++i) {
+    adv = Fgsm::step(model, adv, x, labels, eps_step_, eps_);
+  }
+  return adv;
+}
+
+std::string Pgd::name() const {
+  return "PGD(" + std::to_string(iterations_) + ", eps=" +
+         std::to_string(eps_) + ", step=" + std::to_string(eps_step_) + ")";
+}
+
+}  // namespace satd::attack

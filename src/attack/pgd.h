@@ -1,0 +1,35 @@
+// Projected Gradient Descent (Madry et al. 2017).
+//
+// BIM with a uniform random start inside the eps-ball. Not part of the
+// paper's evaluation tables, but the natural "stronger iterative attack"
+// extension its future-work section points at; the extension bench uses
+// it to check that the Proposed defense generalizes beyond BIM.
+#pragma once
+
+#include "attack/attack.h"
+#include "common/rng.h"
+
+namespace satd::attack {
+
+/// PGD: random start in the eps-ball, then `iterations` projected
+/// gradient-sign steps of size eps_step.
+class Pgd : public Attack {
+ public:
+  Pgd(float eps, std::size_t iterations, float eps_step, Rng& rng);
+
+  Tensor perturb(nn::Sequential& model, const Tensor& x,
+                 std::span<const std::size_t> labels) override;
+
+  float epsilon() const override { return eps_; }
+  std::size_t iterations() const { return iterations_; }
+  float step_size() const { return eps_step_; }
+  std::string name() const override;
+
+ private:
+  float eps_;
+  std::size_t iterations_;
+  float eps_step_;
+  Rng rng_;
+};
+
+}  // namespace satd::attack

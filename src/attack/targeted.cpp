@@ -1,0 +1,140 @@
+#include "attack/targeted.h"
+
+#include "common/contract.h"
+#include "nn/loss.h"
+#include "tensor/ops.h"
+
+namespace satd::attack {
+
+std::vector<std::size_t> least_likely_labels(nn::Sequential& model,
+                                             const Tensor& x) {
+  const Tensor logits = model.forward(x, /*training=*/false);
+  SATD_ENSURE(logits.shape().rank() == 2, "model must emit [N, K] logits");
+  const std::size_t n = logits.shape()[0];
+  const std::size_t k = logits.shape()[1];
+  std::vector<std::size_t> out(n);
+  const float* p = logits.raw();
+  for (std::size_t i = 0; i < n; ++i) {
+    const float* row = p + i * k;
+    std::size_t worst = 0;
+    for (std::size_t j = 1; j < k; ++j) {
+      if (row[j] < row[worst]) worst = j;
+    }
+    out[i] = worst;
+  }
+  return out;
+}
+
+std::vector<std::size_t> resolve_targets(nn::Sequential& model,
+                                         const Tensor& x,
+                                         std::span<const std::size_t> labels,
+                                         std::size_t num_classes,
+                                         TargetPolicy policy) {
+  SATD_EXPECT(num_classes >= 2, "targeted attacks need >= 2 classes");
+  switch (policy) {
+    case TargetPolicy::kLeastLikely:
+      return least_likely_labels(model, x);
+    case TargetPolicy::kNextClass: {
+      std::vector<std::size_t> out(labels.size());
+      for (std::size_t i = 0; i < labels.size(); ++i) {
+        out[i] = (labels[i] + 1) % num_classes;
+      }
+      return out;
+    }
+  }
+  SATD_ENSURE(false, "unhandled target policy");
+  return {};
+}
+
+Tensor targeted_step(nn::Sequential& model, const Tensor& x_start,
+                     const Tensor& x_origin,
+                     std::span<const std::size_t> targets, float step_size,
+                     float eps) {
+  SATD_EXPECT(x_start.shape() == x_origin.shape(),
+              "start/origin shape mismatch");
+  SATD_EXPECT(step_size >= 0.0f && eps >= 0.0f, "negative step or eps");
+  // Descend the loss towards the target class: the negated FGSM step.
+  const Tensor g = input_gradient(model, x_start, targets);
+  Tensor adv = x_start;
+  const float* pg = g.raw();
+  float* pa = adv.raw();
+  for (std::size_t i = 0, n = adv.numel(); i < n; ++i) {
+    const float s = (pg[i] > 0.0f) ? 1.0f : (pg[i] < 0.0f ? -1.0f : 0.0f);
+    pa[i] -= step_size * s;
+  }
+  ops::project_linf(x_origin, eps, kPixelMin, kPixelMax, adv);
+  return adv;
+}
+
+TargetedFgsm::TargetedFgsm(float eps, std::size_t num_classes,
+                           TargetPolicy policy)
+    : eps_(eps), num_classes_(num_classes), policy_(policy) {
+  SATD_EXPECT(eps >= 0.0f, "eps must be non-negative");
+  SATD_EXPECT(num_classes >= 2, "targeted attacks need >= 2 classes");
+}
+
+Tensor TargetedFgsm::perturb(nn::Sequential& model, const Tensor& x,
+                             std::span<const std::size_t> labels) {
+  const auto targets =
+      resolve_targets(model, x, labels, num_classes_, policy_);
+  return targeted_step(model, x, x, targets, eps_, eps_);
+}
+
+std::string TargetedFgsm::name() const {
+  return std::string("Targeted-FGSM(eps=") + std::to_string(eps_) + ", " +
+         (policy_ == TargetPolicy::kLeastLikely ? "least-likely"
+                                                : "next-class") +
+         ")";
+}
+
+TargetedBim::TargetedBim(float eps, std::size_t iterations, float eps_step,
+                         std::size_t num_classes, TargetPolicy policy)
+    : eps_(eps),
+      iterations_(iterations),
+      eps_step_(eps_step),
+      num_classes_(num_classes),
+      policy_(policy) {
+  SATD_EXPECT(eps >= 0.0f, "eps must be non-negative");
+  SATD_EXPECT(iterations > 0, "need at least one iteration");
+  SATD_EXPECT(eps_step >= 0.0f, "eps_step must be non-negative");
+  SATD_EXPECT(num_classes >= 2, "targeted attacks need >= 2 classes");
+}
+
+Tensor TargetedBim::perturb(nn::Sequential& model, const Tensor& x,
+                            std::span<const std::size_t> labels) {
+  // Targets are fixed from the CLEAN input's prediction so the attack
+  // does not chase a moving goal while it perturbs.
+  const auto targets =
+      resolve_targets(model, x, labels, num_classes_, policy_);
+  Tensor adv = x;
+  for (std::size_t i = 0; i < iterations_; ++i) {
+    adv = targeted_step(model, adv, x, targets, eps_step_, eps_);
+  }
+  return adv;
+}
+
+std::string TargetedBim::name() const {
+  return "Targeted-BIM(" + std::to_string(iterations_) + ", eps=" +
+         std::to_string(eps_) + ")";
+}
+
+float targeted_success_rate(nn::Sequential& model, const Tensor& clean,
+                            const Tensor& adversarial,
+                            std::span<const std::size_t> labels,
+                            std::size_t num_classes, TargetPolicy policy) {
+  SATD_EXPECT(clean.shape() == adversarial.shape(),
+              "clean/adversarial shape mismatch");
+  const auto targets =
+      resolve_targets(model, clean, labels, num_classes, policy);
+  const Tensor logits = model.forward(adversarial, /*training=*/false);
+  const auto preds = ops::argmax_rows(logits);
+  SATD_ENSURE(preds.size() == targets.size(), "batch size drift");
+  if (preds.empty()) return 0.0f;
+  std::size_t hits = 0;
+  for (std::size_t i = 0; i < preds.size(); ++i) {
+    if (preds[i] == targets[i]) ++hits;
+  }
+  return static_cast<float>(hits) / static_cast<float>(preds.size());
+}
+
+}  // namespace satd::attack

@@ -1,0 +1,89 @@
+// Targeted l-inf attacks (Kurakin et al. 2016's "least-likely class"
+// formulation) — extensions beyond the paper's untargeted evaluation.
+//
+// An untargeted attack ASCENDS the loss of the true label; a targeted
+// attack DESCENDS the loss of a chosen target label, steering the
+// prediction to a specific class. The library supports two target
+// selection policies: the model's least-likely class for each input
+// (the classic "step l.l." attack) and a fixed label offset
+// (y + k mod num_classes), useful for controlled experiments.
+#pragma once
+
+#include <vector>
+
+#include "attack/attack.h"
+
+namespace satd::attack {
+
+/// How targeted attacks choose their target class.
+enum class TargetPolicy {
+  kLeastLikely,  ///< the class the model currently rates least probable
+  kNextClass,    ///< (true label + 1) mod num_classes
+};
+
+/// Returns the least-likely class per row of the model's prediction.
+std::vector<std::size_t> least_likely_labels(nn::Sequential& model,
+                                             const Tensor& x);
+
+/// Resolves a target policy into concrete per-example target labels.
+std::vector<std::size_t> resolve_targets(nn::Sequential& model,
+                                         const Tensor& x,
+                                         std::span<const std::size_t> labels,
+                                         std::size_t num_classes,
+                                         TargetPolicy policy);
+
+/// One targeted descent step: x' = project(x_start - step * sign(dL_t/dx))
+/// where L_t is the cross-entropy towards `targets`.
+Tensor targeted_step(nn::Sequential& model, const Tensor& x_start,
+                     const Tensor& x_origin,
+                     std::span<const std::size_t> targets, float step_size,
+                     float eps);
+
+/// Single-step targeted FGSM.
+class TargetedFgsm : public Attack {
+ public:
+  TargetedFgsm(float eps, std::size_t num_classes,
+               TargetPolicy policy = TargetPolicy::kLeastLikely);
+
+  Tensor perturb(nn::Sequential& model, const Tensor& x,
+                 std::span<const std::size_t> labels) override;
+
+  float epsilon() const override { return eps_; }
+  std::string name() const override;
+
+ private:
+  float eps_;
+  std::size_t num_classes_;
+  TargetPolicy policy_;
+};
+
+/// Iterative targeted attack (targets fixed from the initial prediction,
+/// per Kurakin's iterative least-likely-class method).
+class TargetedBim : public Attack {
+ public:
+  TargetedBim(float eps, std::size_t iterations, float eps_step,
+              std::size_t num_classes,
+              TargetPolicy policy = TargetPolicy::kLeastLikely);
+
+  Tensor perturb(nn::Sequential& model, const Tensor& x,
+                 std::span<const std::size_t> labels) override;
+
+  float epsilon() const override { return eps_; }
+  std::size_t iterations() const { return iterations_; }
+  std::string name() const override;
+
+ private:
+  float eps_;
+  std::size_t iterations_;
+  float eps_step_;
+  std::size_t num_classes_;
+  TargetPolicy policy_;
+};
+
+/// Fraction of examples the attack successfully steered to its target.
+float targeted_success_rate(nn::Sequential& model, const Tensor& clean,
+                            const Tensor& adversarial,
+                            std::span<const std::size_t> labels,
+                            std::size_t num_classes, TargetPolicy policy);
+
+}  // namespace satd::attack

@@ -1,0 +1,130 @@
+#include "common/cli.h"
+
+#include <cstdio>
+#include <sstream>
+
+#include "common/contract.h"
+
+namespace satd {
+
+CliParser::CliParser(std::string program, std::string description)
+    : program_(std::move(program)), description_(std::move(description)) {}
+
+void CliParser::add_int(const std::string& name, std::int64_t default_value,
+                        const std::string& help) {
+  SATD_EXPECT(!options_.count(name), "duplicate option: " + name);
+  options_[name] = Option{Kind::kInt, help, std::to_string(default_value)};
+  order_.push_back(name);
+}
+
+void CliParser::add_double(const std::string& name, double default_value,
+                           const std::string& help) {
+  SATD_EXPECT(!options_.count(name), "duplicate option: " + name);
+  std::ostringstream ss;
+  ss << default_value;
+  options_[name] = Option{Kind::kDouble, help, ss.str()};
+  order_.push_back(name);
+}
+
+void CliParser::add_string(const std::string& name,
+                           const std::string& default_value,
+                           const std::string& help) {
+  SATD_EXPECT(!options_.count(name), "duplicate option: " + name);
+  options_[name] = Option{Kind::kString, help, default_value};
+  order_.push_back(name);
+}
+
+void CliParser::add_flag(const std::string& name, const std::string& help) {
+  SATD_EXPECT(!options_.count(name), "duplicate option: " + name);
+  options_[name] = Option{Kind::kFlag, help, "false"};
+  order_.push_back(name);
+}
+
+bool CliParser::parse(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      std::fputs(usage().c_str(), stdout);
+      return false;
+    }
+    if (arg.rfind("--", 0) != 0) {
+      throw CliError("unexpected positional argument: " + arg);
+    }
+    arg = arg.substr(2);
+    std::string value;
+    bool has_value = false;
+    if (auto eq = arg.find('='); eq != std::string::npos) {
+      value = arg.substr(eq + 1);
+      arg = arg.substr(0, eq);
+      has_value = true;
+    }
+    auto it = options_.find(arg);
+    if (it == options_.end()) {
+      throw CliError("unknown option: --" + arg + "\n" + usage());
+    }
+    Option& opt = it->second;
+    if (opt.kind == Kind::kFlag) {
+      if (has_value) throw CliError("flag --" + arg + " takes no value");
+      opt.value = "true";
+      opt.flag_set = true;
+      continue;
+    }
+    if (!has_value) {
+      if (i + 1 >= argc) throw CliError("option --" + arg + " needs a value");
+      value = argv[++i];
+    }
+    opt.value = value;
+  }
+  return true;
+}
+
+const CliParser::Option& CliParser::find(const std::string& name,
+                                         Kind kind) const {
+  auto it = options_.find(name);
+  SATD_EXPECT(it != options_.end(), "option not registered: " + name);
+  SATD_EXPECT(it->second.kind == kind, "option type mismatch: " + name);
+  return it->second;
+}
+
+std::int64_t CliParser::get_int(const std::string& name) const {
+  const Option& opt = find(name, Kind::kInt);
+  try {
+    return std::stoll(opt.value);
+  } catch (const std::exception&) {
+    throw CliError("option --" + name + " expects an integer, got '" +
+                   opt.value + "'");
+  }
+}
+
+double CliParser::get_double(const std::string& name) const {
+  const Option& opt = find(name, Kind::kDouble);
+  try {
+    return std::stod(opt.value);
+  } catch (const std::exception&) {
+    throw CliError("option --" + name + " expects a number, got '" +
+                   opt.value + "'");
+  }
+}
+
+const std::string& CliParser::get_string(const std::string& name) const {
+  return find(name, Kind::kString).value;
+}
+
+bool CliParser::get_flag(const std::string& name) const {
+  return find(name, Kind::kFlag).flag_set;
+}
+
+std::string CliParser::usage() const {
+  std::ostringstream ss;
+  ss << program_ << " — " << description_ << "\n\noptions:\n";
+  for (const auto& name : order_) {
+    const Option& opt = options_.at(name);
+    ss << "  --" << name;
+    if (opt.kind != Kind::kFlag) ss << " <" << opt.value << ">";
+    ss << "\n      " << opt.help << "\n";
+  }
+  ss << "  --help\n      print this message\n";
+  return ss.str();
+}
+
+}  // namespace satd

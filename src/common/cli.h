@@ -1,0 +1,72 @@
+// Small command-line argument parser for examples and benches.
+//
+// Supports `--name value` and `--name=value` forms plus boolean flags
+// (`--flag`). Unknown arguments are an error so typos surface
+// immediately. Every option is registered with a help line; `--help`
+// prints usage and the caller exits.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace satd {
+
+/// Declarative command-line parser.
+///
+/// Usage:
+///   CliParser cli("bench_table1", "Reproduces Table I");
+///   cli.add_int("epochs", 30, "training epochs");
+///   cli.add_flag("fast", "use the reduced-scale config");
+///   cli.parse(argc, argv);   // throws CliError on bad input
+///   int epochs = cli.get_int("epochs");
+class CliParser {
+ public:
+  /// Thrown on malformed or unknown arguments.
+  class CliError : public std::runtime_error {
+   public:
+    explicit CliError(const std::string& what) : std::runtime_error(what) {}
+  };
+
+  CliParser(std::string program, std::string description);
+
+  void add_int(const std::string& name, std::int64_t default_value,
+               const std::string& help);
+  void add_double(const std::string& name, double default_value,
+                  const std::string& help);
+  void add_string(const std::string& name, const std::string& default_value,
+                  const std::string& help);
+  void add_flag(const std::string& name, const std::string& help);
+
+  /// Parses argv. Returns false if --help was requested (usage printed);
+  /// callers should exit(0) in that case. Throws CliError on bad input.
+  bool parse(int argc, const char* const* argv);
+
+  std::int64_t get_int(const std::string& name) const;
+  double get_double(const std::string& name) const;
+  const std::string& get_string(const std::string& name) const;
+  bool get_flag(const std::string& name) const;
+
+  /// Renders the usage/help text.
+  std::string usage() const;
+
+ private:
+  enum class Kind { kInt, kDouble, kString, kFlag };
+  struct Option {
+    Kind kind;
+    std::string help;
+    std::string value;  // textual; parsed on get
+    bool flag_set = false;
+  };
+
+  const Option& find(const std::string& name, Kind kind) const;
+
+  std::string program_;
+  std::string description_;
+  std::map<std::string, Option> options_;
+  std::vector<std::string> order_;  // registration order for help output
+};
+
+}  // namespace satd

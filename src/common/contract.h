@@ -1,0 +1,50 @@
+// Contract-checking macros used across the library.
+//
+// Following the C++ Core Guidelines (I.6 / E.12 style), preconditions on
+// public interfaces are checked with SATD_EXPECT and internal invariants /
+// postconditions with SATD_ENSURE. Both throw satd::ContractViolation so
+// callers (and tests) can observe failures deterministically; they are NOT
+// compiled out in release builds because this library is used for
+// reproducible experiments where silent corruption is worse than the
+// (negligible) branch cost.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace satd {
+
+/// Thrown when a precondition, postcondition, or invariant is violated.
+class ContractViolation : public std::logic_error {
+ public:
+  explicit ContractViolation(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void contract_fail(const char* kind, const char* expr,
+                                       const char* file, int line,
+                                       const std::string& msg) {
+  std::string full = std::string(kind) + " failed: (" + expr + ") at " + file +
+                     ":" + std::to_string(line);
+  if (!msg.empty()) full += " — " + msg;
+  throw ContractViolation(full);
+}
+}  // namespace detail
+
+}  // namespace satd
+
+/// Precondition check: argument/state validation at public API boundaries.
+#define SATD_EXPECT(cond, msg)                                              \
+  do {                                                                      \
+    if (!(cond))                                                            \
+      ::satd::detail::contract_fail("precondition", #cond, __FILE__,        \
+                                    __LINE__, (msg));                       \
+  } while (false)
+
+/// Postcondition / invariant check for internal consistency.
+#define SATD_ENSURE(cond, msg)                                              \
+  do {                                                                      \
+    if (!(cond))                                                            \
+      ::satd::detail::contract_fail("invariant", #cond, __FILE__, __LINE__, \
+                                    (msg));                                 \
+  } while (false)

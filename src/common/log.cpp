@@ -1,0 +1,54 @@
+#include "common/log.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+
+namespace satd::log {
+
+namespace {
+
+Level g_level = [] {
+  if (const char* env = std::getenv("SATD_LOG_LEVEL")) {
+    return parse_level(env);
+  }
+  return Level::kInfo;
+}();
+
+std::mutex g_mutex;
+
+const char* level_name(Level lv) {
+  switch (lv) {
+    case Level::kTrace: return "TRACE";
+    case Level::kDebug: return "DEBUG";
+    case Level::kInfo:  return "INFO ";
+    case Level::kWarn:  return "WARN ";
+    case Level::kError: return "ERROR";
+    case Level::kOff:   return "OFF  ";
+  }
+  return "?????";
+}
+
+}  // namespace
+
+Level level() { return g_level; }
+
+void set_level(Level lv) { g_level = lv; }
+
+Level parse_level(const std::string& name) {
+  if (name == "trace") return Level::kTrace;
+  if (name == "debug") return Level::kDebug;
+  if (name == "info") return Level::kInfo;
+  if (name == "warn") return Level::kWarn;
+  if (name == "error") return Level::kError;
+  if (name == "off") return Level::kOff;
+  return Level::kInfo;
+}
+
+void write(Level lv, const std::string& message) {
+  if (lv < g_level) return;
+  std::lock_guard<std::mutex> lock(g_mutex);
+  std::fprintf(stderr, "[satd %s] %s\n", level_name(lv), message.c_str());
+}
+
+}  // namespace satd::log

@@ -1,0 +1,54 @@
+// Minimal leveled logger.
+//
+// The library logs sparingly (training progress, experiment milestones).
+// Output goes to stderr so bench/table output on stdout stays machine
+// readable. Level is process-global and settable via the SATD_LOG_LEVEL
+// environment variable (trace|debug|info|warn|error|off) or set_level().
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace satd::log {
+
+enum class Level { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
+
+/// Current global level; messages below it are dropped.
+Level level();
+
+/// Override the global level (also overrides SATD_LOG_LEVEL).
+void set_level(Level lv);
+
+/// Parse a level name; returns kInfo for unknown names.
+Level parse_level(const std::string& name);
+
+/// Emit one line at the given level (no trailing newline needed).
+void write(Level lv, const std::string& message);
+
+namespace detail {
+class LineStream {
+ public:
+  explicit LineStream(Level lv) : lv_(lv) {}
+  ~LineStream() { write(lv_, ss_.str()); }
+  LineStream(const LineStream&) = delete;
+  LineStream& operator=(const LineStream&) = delete;
+
+  template <typename T>
+  LineStream& operator<<(const T& v) {
+    ss_ << v;
+    return *this;
+  }
+
+ private:
+  Level lv_;
+  std::ostringstream ss_;
+};
+}  // namespace detail
+
+inline detail::LineStream trace() { return detail::LineStream(Level::kTrace); }
+inline detail::LineStream debug() { return detail::LineStream(Level::kDebug); }
+inline detail::LineStream info() { return detail::LineStream(Level::kInfo); }
+inline detail::LineStream warn() { return detail::LineStream(Level::kWarn); }
+inline detail::LineStream error() { return detail::LineStream(Level::kError); }
+
+}  // namespace satd::log

@@ -1,0 +1,149 @@
+#include "common/rng.h"
+
+#include <cmath>
+#include <cstring>
+#include <istream>
+#include <numbers>
+#include <ostream>
+#include <stdexcept>
+
+#include "common/contract.h"
+
+namespace satd {
+
+namespace {
+inline std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+}  // namespace
+
+std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9E3779B97F4A7C15ULL);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+Rng::Rng(std::uint64_t seed) {
+  std::uint64_t sm = seed;
+  for (auto& s : s_) s = splitmix64(sm);
+}
+
+std::uint64_t Rng::next_u64() {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+double Rng::uniform() {
+  // 53 high bits -> double in [0, 1).
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) {
+  SATD_EXPECT(lo <= hi, "uniform range must be ordered");
+  return lo + (hi - lo) * uniform();
+}
+
+std::uint64_t Rng::uniform_index(std::uint64_t n) {
+  SATD_EXPECT(n > 0, "uniform_index requires n > 0");
+  // Rejection sampling to avoid modulo bias.
+  const std::uint64_t limit = n * (UINT64_MAX / n);
+  std::uint64_t x;
+  do {
+    x = next_u64();
+  } while (x >= limit);
+  return x % n;
+}
+
+double Rng::normal() {
+  if (has_cached_normal_) {
+    has_cached_normal_ = false;
+    return cached_normal_;
+  }
+  // Box–Muller; u1 is kept away from zero for the log.
+  double u1 = 0.0;
+  do {
+    u1 = uniform();
+  } while (u1 <= 0.0);
+  const double u2 = uniform();
+  const double r = std::sqrt(-2.0 * std::log(u1));
+  const double theta = 2.0 * std::numbers::pi * u2;
+  cached_normal_ = r * std::sin(theta);
+  has_cached_normal_ = true;
+  return r * std::cos(theta);
+}
+
+double Rng::normal(double mean, double stddev) {
+  SATD_EXPECT(stddev >= 0.0, "stddev must be non-negative");
+  return mean + stddev * normal();
+}
+
+bool Rng::bernoulli(double p) {
+  SATD_EXPECT(p >= 0.0 && p <= 1.0, "probability must be in [0,1]");
+  return uniform() < p;
+}
+
+double Rng::sign() { return (next_u64() & 1u) ? 1.0 : -1.0; }
+
+void Rng::shuffle(std::vector<std::size_t>& v) {
+  if (v.size() < 2) return;
+  for (std::size_t i = v.size() - 1; i > 0; --i) {
+    const std::size_t j = static_cast<std::size_t>(uniform_index(i + 1));
+    std::swap(v[i], v[j]);
+  }
+}
+
+namespace {
+void put_u64(std::ostream& os, std::uint64_t v) {
+  unsigned char buf[8];
+  for (int i = 0; i < 8; ++i) buf[i] = static_cast<unsigned char>(v >> (8 * i));
+  os.write(reinterpret_cast<const char*>(buf), 8);
+}
+
+std::uint64_t get_u64(std::istream& is) {
+  unsigned char buf[8];
+  is.read(reinterpret_cast<char*>(buf), 8);
+  if (!is) throw std::runtime_error("truncated RNG state");
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(buf[i]) << (8 * i);
+  return v;
+}
+}  // namespace
+
+void Rng::save(std::ostream& os) const {
+  for (std::uint64_t s : s_) put_u64(os, s);
+  std::uint64_t bits;
+  static_assert(sizeof bits == sizeof cached_normal_);
+  std::memcpy(&bits, &cached_normal_, sizeof bits);
+  put_u64(os, bits);
+  put_u64(os, has_cached_normal_ ? 1 : 0);
+}
+
+void Rng::load(std::istream& is) {
+  for (std::uint64_t& s : s_) s = get_u64(is);
+  const std::uint64_t bits = get_u64(is);
+  std::memcpy(&cached_normal_, &bits, sizeof cached_normal_);
+  has_cached_normal_ = get_u64(is) != 0;
+}
+
+bool Rng::operator==(const Rng& other) const {
+  return std::memcmp(s_, other.s_, sizeof s_) == 0 &&
+         cached_normal_ == other.cached_normal_ &&
+         has_cached_normal_ == other.has_cached_normal_;
+}
+
+Rng Rng::fork(std::uint64_t salt) {
+  // Mix the current stream position with the salt so sibling forks are
+  // independent and fork() is itself deterministic.
+  std::uint64_t sm = next_u64() ^ (salt * 0xD1B54A32D192ED03ULL + 0x2545F4914F6CDD1DULL);
+  return Rng(splitmix64(sm));
+}
+
+}  // namespace satd

@@ -1,0 +1,51 @@
+#include "common/stopwatch.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <sstream>
+
+#include "common/contract.h"
+
+namespace satd {
+
+void TimingAccumulator::add(double seconds) {
+  SATD_EXPECT(seconds >= 0.0, "negative duration");
+  samples_.push_back(seconds);
+}
+
+double TimingAccumulator::total() const {
+  return std::accumulate(samples_.begin(), samples_.end(), 0.0);
+}
+
+double TimingAccumulator::mean() const {
+  return samples_.empty() ? 0.0 : total() / static_cast<double>(samples_.size());
+}
+
+double TimingAccumulator::min() const {
+  return samples_.empty() ? 0.0
+                          : *std::min_element(samples_.begin(), samples_.end());
+}
+
+double TimingAccumulator::max() const {
+  return samples_.empty() ? 0.0
+                          : *std::max_element(samples_.begin(), samples_.end());
+}
+
+double TimingAccumulator::stddev() const {
+  if (samples_.size() < 2) return 0.0;
+  const double m = mean();
+  double acc = 0.0;
+  for (double s : samples_) acc += (s - m) * (s - m);
+  return std::sqrt(acc / static_cast<double>(samples_.size()));
+}
+
+std::string TimingAccumulator::summary() const {
+  std::ostringstream ss;
+  ss.precision(3);
+  ss << std::fixed << "mean " << mean() << "s over " << count()
+     << " samples (min " << min() << "s, max " << max() << "s)";
+  return ss.str();
+}
+
+}  // namespace satd

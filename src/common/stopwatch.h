@@ -1,0 +1,53 @@
+// Wall-clock timing utilities used to reproduce the paper's
+// "training time per epoch" column.
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace satd {
+
+/// Simple monotonic stopwatch.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  /// Restarts the watch.
+  void reset() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last reset().
+  double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Accumulates repeated timings (e.g. one per epoch) and reports
+/// aggregate statistics.
+class TimingAccumulator {
+ public:
+  void add(double seconds);
+
+  std::size_t count() const { return samples_.size(); }
+  double total() const;
+  double mean() const;
+  double min() const;
+  double max() const;
+  /// Population standard deviation; 0 for fewer than two samples.
+  double stddev() const;
+
+  const std::vector<double>& samples() const { return samples_; }
+
+  /// Human-readable one-line summary, e.g. "mean 1.84s over 30 epochs".
+  std::string summary() const;
+
+ private:
+  std::vector<double> samples_;
+};
+
+}  // namespace satd

@@ -1,0 +1,93 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+
+#include "common/contract.h"
+
+namespace satd {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  if (threads == 0) {
+    const unsigned hc = std::thread::hardware_concurrency();
+    threads = hc > 1 ? hc - 1 : 0;
+  }
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  cv_job_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::submit(std::function<void()> job) {
+  SATD_EXPECT(job != nullptr, "null job");
+  if (workers_.empty()) {
+    job();  // inline executor on single-core hosts
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    jobs_.push(std::move(job));
+    ++in_flight_;
+  }
+  cv_job_.notify_one();
+}
+
+void ThreadPool::wait_idle() {
+  if (workers_.empty()) return;
+  std::unique_lock<std::mutex> lock(mutex_);
+  cv_idle_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+ThreadPool& ThreadPool::global() {
+  static ThreadPool pool;
+  return pool;
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> job;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_job_.wait(lock, [this] { return stop_ || !jobs_.empty(); });
+      if (stop_ && jobs_.empty()) return;
+      job = std::move(jobs_.front());
+      jobs_.pop();
+    }
+    job();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      --in_flight_;
+      if (in_flight_ == 0) cv_idle_.notify_all();
+    }
+  }
+}
+
+void parallel_for(std::size_t n,
+                  const std::function<void(std::size_t, std::size_t)>& body) {
+  if (n == 0) return;
+  ThreadPool& pool = ThreadPool::global();
+  const std::size_t parts = pool.worker_count() + 1;
+  if (parts == 1) {
+    body(0, n);
+    return;
+  }
+  const std::size_t chunk = (n + parts - 1) / parts;
+  // Workers take chunks 1..k; the calling thread runs chunk 0 itself so
+  // it is never idle while others work.
+  for (std::size_t begin = chunk; begin < n; begin += chunk) {
+    const std::size_t end = std::min(begin + chunk, n);
+    pool.submit([&body, begin, end] { body(begin, end); });
+  }
+  body(0, std::min(chunk, n));
+  pool.wait_idle();
+}
+
+}  // namespace satd

@@ -1,0 +1,62 @@
+// Fixed-size thread pool with a parallel_for helper.
+//
+// Heavy loops (batch evaluation, convolution over a batch) are written
+// against parallel_for so they transparently use however many cores the
+// host offers. On a single-core machine the pool degrades to running the
+// body inline on the calling thread (zero thread overhead), which keeps
+// benchmarks honest.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace satd {
+
+/// A fixed pool of worker threads executing submitted jobs FIFO.
+class ThreadPool {
+ public:
+  /// Creates `threads` workers. `threads == 0` means "hardware
+  /// concurrency minus one" (the caller participates in parallel_for),
+  /// which on a 1-core host yields a poolless, purely inline executor.
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Number of worker threads (may be zero).
+  std::size_t worker_count() const { return workers_.size(); }
+
+  /// Submits a job; returns immediately.
+  void submit(std::function<void()> job);
+
+  /// Blocks until every submitted job has finished.
+  void wait_idle();
+
+  /// Shared process-wide pool (lazily constructed).
+  static ThreadPool& global();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> jobs_;
+  std::mutex mutex_;
+  std::condition_variable cv_job_;
+  std::condition_variable cv_idle_;
+  std::size_t in_flight_ = 0;
+  bool stop_ = false;
+};
+
+/// Splits [0, n) into chunks and runs `body(begin, end)` over them, using
+/// the global pool plus the calling thread. Blocks until all chunks are
+/// done. With no workers the body runs inline as body(0, n).
+void parallel_for(std::size_t n,
+                  const std::function<void(std::size_t, std::size_t)>& body);
+
+}  // namespace satd

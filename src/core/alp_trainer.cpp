@@ -1,0 +1,73 @@
+#include "core/alp_trainer.h"
+
+#include "attack/fgsm.h"
+#include "common/contract.h"
+#include "nn/loss.h"
+#include "tensor/ops.h"
+
+namespace satd::core {
+
+LogitPairResult logit_pairing(const Tensor& logits_clean,
+                              const Tensor& logits_adv) {
+  SATD_EXPECT(logits_clean.shape() == logits_adv.shape(),
+              "logit batch shape mismatch");
+  SATD_EXPECT(logits_clean.numel() > 0, "empty logit batch");
+  LogitPairResult res;
+  res.grad_clean = Tensor(logits_clean.shape());
+  res.grad_adv = Tensor(logits_adv.shape());
+  const float inv = 1.0f / static_cast<float>(logits_clean.numel());
+  const float* pa = logits_clean.raw();
+  const float* pb = logits_adv.raw();
+  float* ga = res.grad_clean.raw();
+  float* gb = res.grad_adv.raw();
+  double acc = 0.0;
+  for (std::size_t i = 0, n = logits_clean.numel(); i < n; ++i) {
+    const float d = pa[i] - pb[i];
+    acc += static_cast<double>(d) * d;
+    ga[i] = 2.0f * inv * d;
+    gb[i] = -2.0f * inv * d;
+  }
+  res.value = static_cast<float>(acc) * inv;
+  return res;
+}
+
+AlpTrainer::AlpTrainer(nn::Sequential& model, TrainConfig config)
+    : Trainer(model, config) {
+  SATD_EXPECT(config.alp_weight >= 0.0f, "alp_weight must be non-negative");
+}
+
+Tensor AlpTrainer::make_adversarial_batch(const data::Batch& batch) {
+  return attack::Fgsm(config_.eps).perturb(model_, batch.images, batch.labels);
+}
+
+float AlpTrainer::train_batch(const data::Batch& batch) {
+  const Tensor adv = make_adversarial_batch(batch);
+
+  // Same two-forward structure as ATDA (see atda_trainer.cpp): the layer
+  // caches end up matching the adversarial batch, whose backward runs
+  // first; the clean forward is repeated before the clean backward.
+  const Tensor logits_clean = model_.forward(batch.images, /*training=*/true);
+  const Tensor logits_adv = model_.forward(adv, /*training=*/true);
+
+  const LogitPairResult pair = logit_pairing(logits_clean, logits_adv);
+  nn::LossResult ce_adv = nn::softmax_cross_entropy(logits_adv, batch.labels);
+  nn::LossResult ce_clean =
+      nn::softmax_cross_entropy(logits_clean, batch.labels);
+
+  const float mix = config_.adv_mix;
+  const float lambda = config_.alp_weight;
+  model_.zero_grad();
+  Tensor grad_adv = ops::scale(ce_adv.grad_logits, mix);
+  ops::axpy(lambda, pair.grad_adv, grad_adv);
+  model_.backward(grad_adv);
+  model_.forward(batch.images, /*training=*/true);
+  Tensor grad_clean = ops::scale(ce_clean.grad_logits, 1.0f - mix);
+  ops::axpy(lambda, pair.grad_clean, grad_clean);
+  model_.backward(grad_clean);
+  apply_step();
+
+  return (1.0f - mix) * ce_clean.value + mix * ce_adv.value +
+         lambda * pair.value;
+}
+
+}  // namespace satd::core

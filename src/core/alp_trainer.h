@@ -1,0 +1,45 @@
+// Adversarial Logit Pairing (Kannan, Kurakin & Goodfellow 2018) — the
+// paper cites ALP ([6]) as the state of Iter-Adv scaling on ImageNet;
+// this trainer lets the extension benches place the Proposed method
+// against it.
+//
+// ALP augments the adversarial-training mixture with a pairing term that
+// pulls the logits of each clean example and its adversarial twin
+// together:
+//
+//   L = (1-mix) * CE(clean) + mix * CE(adv)
+//       + lambda * (1/(N*D)) * ||logits_clean - logits_adv||^2
+//
+// The pairing gradient is analytic (2/(N*D) * (diff)) on each side. The
+// adversarial examples here are single-step (FGSM) so the comparison
+// against the Proposed method isolates the effect of the loss, not of
+// the attack budget spent in training.
+#pragma once
+
+#include "core/trainer.h"
+
+namespace satd::core {
+
+/// Single-step adversarial training with logit pairing.
+class AlpTrainer : public Trainer {
+ public:
+  AlpTrainer(nn::Sequential& model, TrainConfig config);
+
+  std::string name() const override { return "ALP"; }
+
+ protected:
+  Tensor make_adversarial_batch(const data::Batch& batch) override;
+  float train_batch(const data::Batch& batch) override;
+};
+
+/// Value and per-side gradients of the mean squared logit-pairing term.
+/// Exposed for finite-difference tests.
+struct LogitPairResult {
+  float value = 0.0f;   ///< (1/(N*D)) * sum (a - b)^2
+  Tensor grad_clean;    ///< d(value)/d(logits_clean)
+  Tensor grad_adv;      ///< d(value)/d(logits_adv)
+};
+LogitPairResult logit_pairing(const Tensor& logits_clean,
+                              const Tensor& logits_adv);
+
+}  // namespace satd::core

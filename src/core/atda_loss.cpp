@@ -1,0 +1,205 @@
+#include "core/atda_loss.h"
+
+#include <cmath>
+#include <limits>
+
+#include "common/contract.h"
+#include "tensor/ops.h"
+#include "tensor/stats.h"
+
+namespace satd::core {
+
+namespace {
+
+/// Adjoint of row-centering: g <- g - colmean(g).
+void center_adjoint(Tensor& g) {
+  const std::size_t n = g.shape()[0];
+  const std::size_t d = g.shape()[1];
+  Tensor colsum(Shape{d});
+  ops::sum_rows(g, colsum);
+  float* pg = g.raw();
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < d; ++j) {
+      pg[i * d + j] -= colsum[j] / static_cast<float>(n);
+    }
+  }
+}
+
+/// CORAL value and the gradient contribution (scaled by `weight`) added
+/// into grad_a / grad_c.
+float coral_term(const Tensor& a, const Tensor& c, float weight,
+                 Tensor& grad_a, Tensor& grad_c) {
+  const std::size_t na = a.shape()[0];
+  const std::size_t nc = c.shape()[0];
+  const std::size_t d = a.shape()[1];
+  const Tensor ca = stats::covariance(a);
+  const Tensor cc = stats::covariance(c);
+  Tensor diff = ops::sub(ca, cc);
+  const float value =
+      ops::l1_norm(diff) / static_cast<float>(d * d);
+  // S = sign(Ca - Cc) is symmetric because both covariances are.
+  Tensor s = ops::sign(diff);
+  const float scale = weight / static_cast<float>(d * d);
+  // d/dXa [ sum_{jk} S_jk * (Xa_c^T Xa_c)_jk / (na-1) ]
+  //   = Xa_c (S + S^T) / (na-1) = 2 Xa_c S / (na-1), then the centering
+  // adjoint; symmetric S lets us use one matmul.
+  {
+    Tensor a_centered = stats::center_rows(a);
+    Tensor g = ops::matmul(a_centered, s);
+    ops::scale(g, 2.0f / static_cast<float>(na - 1), g);
+    center_adjoint(g);
+    ops::axpy(scale, g, grad_a);
+  }
+  {
+    Tensor c_centered = stats::center_rows(c);
+    Tensor g = ops::matmul(c_centered, s);
+    ops::scale(g, -2.0f / static_cast<float>(nc - 1), g);
+    center_adjoint(g);
+    ops::axpy(scale, g, grad_c);
+  }
+  return value;
+}
+
+/// MMD value and gradient contribution.
+float mmd_term(const Tensor& a, const Tensor& c, float weight, Tensor& grad_a,
+               Tensor& grad_c) {
+  const std::size_t na = a.shape()[0];
+  const std::size_t nc = c.shape()[0];
+  const std::size_t d = a.shape()[1];
+  const Tensor ma = stats::column_mean(a);
+  const Tensor mc = stats::column_mean(c);
+  float value = 0.0f;
+  float* pga = grad_a.raw();
+  float* pgc = grad_c.raw();
+  for (std::size_t j = 0; j < d; ++j) {
+    const float delta = ma[j] - mc[j];
+    value += std::fabs(delta);
+    const float s = (delta > 0.0f) ? 1.0f : (delta < 0.0f ? -1.0f : 0.0f);
+    const float ga = weight * s / (static_cast<float>(na) * d);
+    const float gc = -weight * s / (static_cast<float>(nc) * d);
+    for (std::size_t i = 0; i < na; ++i) pga[i * d + j] += ga;
+    for (std::size_t i = 0; i < nc; ++i) pgc[i * d + j] += gc;
+  }
+  return value / static_cast<float>(d);
+}
+
+/// Margin (supervised DA) value and gradient for one logit batch. The
+/// per-row hinge is max(0, d_y - min_{k!=y} d_k + margin) with
+/// d_k = ||h - c_k||_1; the value is averaged over `total_rows` so clean
+/// and adversarial batches contribute one combined mean.
+float margin_term(const Tensor& logits, std::span<const std::size_t> labels,
+                  const Tensor& centers, float margin, float weight,
+                  std::size_t total_rows, Tensor& grad) {
+  const std::size_t n = logits.shape()[0];
+  const std::size_t d = logits.shape()[1];
+  const std::size_t k = centers.shape()[0];
+  const float* ph = logits.raw();
+  const float* pc = centers.raw();
+  float* pg = grad.raw();
+  const float inv = 1.0f / static_cast<float>(total_rows);
+  float value = 0.0f;
+  for (std::size_t i = 0; i < n; ++i) {
+    const float* h = ph + i * d;
+    const std::size_t y = labels[i];
+    float dist_y = 0.0f;
+    float best_other = std::numeric_limits<float>::max();
+    std::size_t best_k = k;
+    for (std::size_t cls = 0; cls < k; ++cls) {
+      float dist = 0.0f;
+      const float* c = pc + cls * d;
+      for (std::size_t j = 0; j < d; ++j) dist += std::fabs(h[j] - c[j]);
+      if (cls == y) {
+        dist_y = dist;
+      } else if (dist < best_other) {
+        best_other = dist;
+        best_k = cls;
+      }
+    }
+    const float hinge = dist_y - best_other + margin;
+    if (hinge <= 0.0f || best_k == k) continue;
+    value += hinge * inv;
+    const float* cy = pc + y * d;
+    const float* ck = pc + best_k * d;
+    float* grow = pg + i * d;
+    for (std::size_t j = 0; j < d; ++j) {
+      const float dy = h[j] - cy[j];
+      const float dk = h[j] - ck[j];
+      const float sy = (dy > 0.0f) ? 1.0f : (dy < 0.0f ? -1.0f : 0.0f);
+      const float sk = (dk > 0.0f) ? 1.0f : (dk < 0.0f ? -1.0f : 0.0f);
+      grow[j] += weight * inv * (sy - sk);
+    }
+  }
+  return value;
+}
+
+}  // namespace
+
+AtdaLossResult atda_domain_loss(const Tensor& logits_clean,
+                                const Tensor& logits_adv,
+                                std::span<const std::size_t> labels,
+                                const Tensor& centers,
+                                const AtdaLossWeights& weights) {
+  SATD_EXPECT(logits_clean.shape().rank() == 2 &&
+                  logits_adv.shape().rank() == 2,
+              "logits must be [N, D]");
+  SATD_EXPECT(logits_clean.shape() == logits_adv.shape(),
+              "clean/adv logit shape mismatch");
+  SATD_EXPECT(logits_clean.shape()[0] == labels.size(),
+              "label count mismatch");
+  SATD_EXPECT(logits_clean.shape()[0] >= 2,
+              "ATDA loss needs a batch of at least 2 (covariance)");
+  SATD_EXPECT(centers.shape().rank() == 2 &&
+                  centers.shape()[1] == logits_clean.shape()[1],
+              "centers must be [num_classes, D]");
+
+  AtdaLossResult res;
+  res.grad_clean = Tensor(logits_clean.shape());
+  res.grad_adv = Tensor(logits_adv.shape());
+
+  res.coral = coral_term(logits_adv, logits_clean, weights.lambda_coral,
+                         res.grad_adv, res.grad_clean);
+  res.mmd = mmd_term(logits_adv, logits_clean, weights.lambda_mmd,
+                     res.grad_adv, res.grad_clean);
+  const std::size_t total_rows = 2 * labels.size();
+  res.margin =
+      margin_term(logits_clean, labels, centers, weights.margin,
+                  weights.lambda_margin, total_rows, res.grad_clean) +
+      margin_term(logits_adv, labels, centers, weights.margin,
+                  weights.lambda_margin, total_rows, res.grad_adv);
+  res.total = weights.lambda_coral * res.coral + weights.lambda_mmd * res.mmd +
+              weights.lambda_margin * res.margin;
+  return res;
+}
+
+void update_class_centers(Tensor& centers, const Tensor& logits,
+                          std::span<const std::size_t> labels, float alpha) {
+  SATD_EXPECT(centers.shape().rank() == 2, "centers must be [K, D]");
+  SATD_EXPECT(logits.shape().rank() == 2 &&
+                  logits.shape()[1] == centers.shape()[1],
+              "logit/center width mismatch");
+  SATD_EXPECT(logits.shape()[0] == labels.size(), "label count mismatch");
+  SATD_EXPECT(alpha > 0.0f && alpha <= 1.0f, "alpha must be in (0,1]");
+  const std::size_t k = centers.shape()[0];
+  const std::size_t d = centers.shape()[1];
+  std::vector<double> acc(k * d, 0.0);
+  std::vector<std::size_t> count(k, 0);
+  const float* ph = logits.raw();
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    SATD_EXPECT(labels[i] < k, "label out of range");
+    ++count[labels[i]];
+    for (std::size_t j = 0; j < d; ++j) {
+      acc[labels[i] * d + j] += ph[i * d + j];
+    }
+  }
+  float* pc = centers.raw();
+  for (std::size_t cls = 0; cls < k; ++cls) {
+    if (count[cls] == 0) continue;
+    for (std::size_t j = 0; j < d; ++j) {
+      const float mean =
+          static_cast<float>(acc[cls * d + j] / static_cast<double>(count[cls]));
+      pc[cls * d + j] = (1.0f - alpha) * pc[cls * d + j] + alpha * mean;
+    }
+  }
+}
+
+}  // namespace satd::core

@@ -1,0 +1,56 @@
+// ATDA domain-adaptation loss (Song et al. 2018), factored out of the
+// trainer so its analytic gradients can be verified against finite
+// differences in isolation.
+//
+// ATDA ("Adversarial Training with Domain Adaptation") treats clean and
+// adversarial logit batches as two domains and adds three alignment terms
+// to the usual cross-entropy:
+//   * MMD   — mean(|colmean(adv) - colmean(clean)|): first-moment match.
+//   * CORAL — mean(|cov(adv) - cov(clean)|): second-moment match.
+//   * margin — supervised term pulling each logit vector towards its
+//     class center and away from the nearest other center (L1 hinge);
+//     centers are EMA-maintained outside this function and treated as
+//     constants by the gradient.
+#pragma once
+
+#include <span>
+
+#include "tensor/tensor.h"
+
+namespace satd::core {
+
+/// Weights for the three domain-adaptation terms.
+struct AtdaLossWeights {
+  float lambda_coral = 0.5f;
+  float lambda_mmd = 0.5f;
+  float lambda_margin = 0.05f;
+  float margin = 2.0f;
+};
+
+/// Value and logit-gradients of the weighted DA loss.
+struct AtdaLossResult {
+  float coral = 0.0f;   ///< unweighted CORAL term
+  float mmd = 0.0f;     ///< unweighted MMD term
+  float margin = 0.0f;  ///< unweighted margin term
+  float total = 0.0f;   ///< weighted sum
+  Tensor grad_clean;    ///< d(total)/d(logits_clean), [N, D]
+  Tensor grad_adv;      ///< d(total)/d(logits_adv), [N, D]
+};
+
+/// Computes the DA loss between a clean and an adversarial logit batch.
+/// Both batches must be [N, D] with N >= 2 (covariance needs it); labels
+/// apply to both (row i of each batch is the same underlying example).
+/// `centers` is the [num_classes, D] class-center matrix.
+AtdaLossResult atda_domain_loss(const Tensor& logits_clean,
+                                const Tensor& logits_adv,
+                                std::span<const std::size_t> labels,
+                                const Tensor& centers,
+                                const AtdaLossWeights& weights);
+
+/// EMA-updates class centers from a batch of logits:
+/// c_k <- (1 - alpha) * c_k + alpha * mean(logits with label k), for every
+/// class present in the batch.
+void update_class_centers(Tensor& centers, const Tensor& logits,
+                          std::span<const std::size_t> labels, float alpha);
+
+}  // namespace satd::core

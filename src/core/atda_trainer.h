@@ -1,0 +1,37 @@
+// ATDA (Song et al. 2018): the SOTA Single-Adv baseline of Table I.
+//
+// Trains with single-step (FGSM) adversarial examples and augments the
+// cross-entropy with the domain-adaptation loss of src/core/atda_loss.h,
+// aligning the logit distributions of the clean and adversarial domains
+// so robustness generalizes beyond the single-step examples seen in
+// training.
+#pragma once
+
+#include "core/atda_loss.h"
+#include "core/trainer.h"
+
+namespace satd::core {
+
+/// Single-step adversarial training with domain adaptation.
+class AtdaTrainer : public Trainer {
+ public:
+  AtdaTrainer(nn::Sequential& model, TrainConfig config);
+
+  std::string name() const override { return "ATDA"; }
+
+  /// Class-center matrix [num_classes, num_classes-logits]; exposed for
+  /// tests (empty before the first batch).
+  const Tensor& class_centers() const { return centers_; }
+
+ protected:
+  void on_fit_begin(const data::Dataset& train) override;
+  Tensor make_adversarial_batch(const data::Batch& batch) override;
+  float train_batch(const data::Batch& batch) override;
+  void save_method_state(std::ostream& os) const override;
+  void load_method_state(std::istream& is) override;
+
+ private:
+  Tensor centers_;
+};
+
+}  // namespace satd::core

@@ -1,0 +1,22 @@
+#include "core/bim_adv_trainer.h"
+
+#include "attack/bim.h"
+#include "common/contract.h"
+
+namespace satd::core {
+
+BimAdvTrainer::BimAdvTrainer(nn::Sequential& model, TrainConfig config)
+    : Trainer(model, config) {
+  SATD_EXPECT(config.bim_iterations > 0, "bim_iterations must be positive");
+}
+
+std::string BimAdvTrainer::name() const {
+  return "BIM(" + std::to_string(config_.bim_iterations) + ")-Adv";
+}
+
+Tensor BimAdvTrainer::make_adversarial_batch(const data::Batch& batch) {
+  attack::Bim bim(config_.eps, config_.bim_iterations);
+  return bim.perturb(model_, batch.images, batch.labels);
+}
+
+}  // namespace satd::core

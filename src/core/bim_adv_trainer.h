@@ -1,0 +1,22 @@
+// Iterative adversarial training (Iter-Adv): the paper's "BIM(N)-Adv"
+// rows. Strong defense, N-fold attack cost inside every batch.
+#pragma once
+
+#include "core/trainer.h"
+
+namespace satd::core {
+
+/// Trains on a clean + BIM(config.bim_iterations) mixture, regenerating
+/// the iterative adversarial examples from scratch every batch — the
+/// expensive baseline whose cost the Proposed method amortizes.
+class BimAdvTrainer : public Trainer {
+ public:
+  BimAdvTrainer(nn::Sequential& model, TrainConfig config);
+
+  std::string name() const override;
+
+ protected:
+  Tensor make_adversarial_batch(const data::Batch& batch) override;
+};
+
+}  // namespace satd::core

@@ -1,0 +1,58 @@
+#include "core/factory.h"
+
+#include "common/contract.h"
+#include "core/alp_trainer.h"
+#include "core/atda_trainer.h"
+#include "core/bim_adv_trainer.h"
+#include "core/fgsm_adv_trainer.h"
+#include "core/free_adv_trainer.h"
+#include "core/pgd_adv_trainer.h"
+#include "core/proposed_trainer.h"
+#include "core/vanilla_trainer.h"
+
+namespace satd::core {
+
+std::unique_ptr<Trainer> make_trainer(const std::string& method,
+                                      nn::Sequential& model,
+                                      const TrainConfig& config) {
+  if (method == "vanilla") {
+    return std::make_unique<VanillaTrainer>(model, config);
+  }
+  if (method == "fgsm_adv") {
+    return std::make_unique<FgsmAdvTrainer>(model, config);
+  }
+  if (method == "bim_adv") {
+    return std::make_unique<BimAdvTrainer>(model, config);
+  }
+  if (method == "atda") {
+    return std::make_unique<AtdaTrainer>(model, config);
+  }
+  if (method == "proposed") {
+    return std::make_unique<ProposedTrainer>(model, config);
+  }
+  if (method == "pgd_adv") {
+    return std::make_unique<PgdAdvTrainer>(model, config);
+  }
+  if (method == "free_adv") {
+    return std::make_unique<FreeAdvTrainer>(model, config);
+  }
+  if (method == "alp") {
+    return std::make_unique<AlpTrainer>(model, config);
+  }
+  SATD_EXPECT(false, "unknown training method: " + method);
+  return nullptr;  // unreachable
+}
+
+bool is_known_method(const std::string& method) {
+  for (const auto& m : known_methods()) {
+    if (m == method) return true;
+  }
+  return false;
+}
+
+std::vector<std::string> known_methods() {
+  return {"vanilla", "fgsm_adv", "bim_adv", "atda",
+          "proposed", "pgd_adv", "free_adv", "alp"};
+}
+
+}  // namespace satd::core

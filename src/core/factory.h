@@ -1,0 +1,27 @@
+// Trainer factory: builds any of the paper's five methods by name.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/trainer.h"
+
+namespace satd::core {
+
+/// Method identifiers accepted by make_trainer:
+///   "vanilla", "fgsm_adv", "bim_adv" (uses config.bim_iterations),
+///   "atda", "proposed" — the paper's five methods — plus the
+///   extensions "pgd_adv" (random-start Iter-Adv) and "free_adv"
+///   (batch-replay free adversarial training).
+std::unique_ptr<Trainer> make_trainer(const std::string& method,
+                                      nn::Sequential& model,
+                                      const TrainConfig& config);
+
+/// True if `method` names a known trainer.
+bool is_known_method(const std::string& method);
+
+/// All method identifiers.
+std::vector<std::string> known_methods();
+
+}  // namespace satd::core

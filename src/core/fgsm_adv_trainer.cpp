@@ -1,0 +1,14 @@
+#include "core/fgsm_adv_trainer.h"
+
+#include "attack/fgsm.h"
+
+namespace satd::core {
+
+FgsmAdvTrainer::FgsmAdvTrainer(nn::Sequential& model, TrainConfig config)
+    : Trainer(model, config) {}
+
+Tensor FgsmAdvTrainer::make_adversarial_batch(const data::Batch& batch) {
+  return attack::Fgsm(config_.eps).perturb(model_, batch.images, batch.labels);
+}
+
+}  // namespace satd::core

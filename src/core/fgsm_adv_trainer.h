@@ -1,0 +1,22 @@
+// Single-step adversarial training (Goodfellow et al. 2015):
+// the paper's "FGSM-Adv" row.
+#pragma once
+
+#include "core/trainer.h"
+
+namespace satd::core {
+
+/// Trains on a clean + FGSM(eps) mixture. Fast (one extra forward +
+/// input-backward per batch) but, as the paper's Figure 1 shows, provides
+/// no defense against iterative attacks.
+class FgsmAdvTrainer : public Trainer {
+ public:
+  FgsmAdvTrainer(nn::Sequential& model, TrainConfig config);
+
+  std::string name() const override { return "FGSM-Adv"; }
+
+ protected:
+  Tensor make_adversarial_batch(const data::Batch& batch) override;
+};
+
+}  // namespace satd::core

@@ -1,0 +1,35 @@
+#include "core/pgd_adv_trainer.h"
+
+#include "attack/pgd.h"
+#include "common/contract.h"
+
+namespace satd::core {
+
+PgdAdvTrainer::PgdAdvTrainer(nn::Sequential& model, TrainConfig config)
+    : Trainer(model, config), attack_rng_(rng_.fork(0x96DA)) {
+  SATD_EXPECT(config.bim_iterations > 0, "bim_iterations must be positive");
+}
+
+void PgdAdvTrainer::save_method_state(std::ostream& os) const {
+  attack_rng_.save(os);
+}
+
+void PgdAdvTrainer::load_method_state(std::istream& is) {
+  attack_rng_.load(is);
+}
+
+std::string PgdAdvTrainer::name() const {
+  return "PGD(" + std::to_string(config_.bim_iterations) + ")-Adv";
+}
+
+Tensor PgdAdvTrainer::make_adversarial_batch(const data::Batch& batch) {
+  // Each batch constructs a Pgd that forks from attack_rng_; forking
+  // advances the parent stream, so every batch gets fresh random starts
+  // while the whole run stays deterministic given the config seed.
+  attack::Pgd pgd(config_.eps, config_.bim_iterations,
+                  config_.eps / static_cast<float>(config_.bim_iterations),
+                  attack_rng_);
+  return pgd.perturb(model_, batch.images, batch.labels);
+}
+
+}  // namespace satd::core

@@ -1,0 +1,32 @@
+// PGD adversarial training (Madry et al. 2017) — extension beyond the
+// paper's evaluation.
+//
+// Identical to Iter-Adv except the inner attack starts from a uniformly
+// random point in the eps-ball, which prevents the defense from merely
+// flattening the loss along the deterministic BIM trajectory. The paper
+// cites Madry's formulation as the canonical Iter-Adv; this trainer lets
+// the extension benches compare the Proposed method against it directly.
+#pragma once
+
+#include "core/trainer.h"
+
+namespace satd::core {
+
+/// Trains on a clean + PGD(config.bim_iterations) mixture with random
+/// restarts per batch.
+class PgdAdvTrainer : public Trainer {
+ public:
+  PgdAdvTrainer(nn::Sequential& model, TrainConfig config);
+
+  std::string name() const override;
+
+ protected:
+  Tensor make_adversarial_batch(const data::Batch& batch) override;
+  void save_method_state(std::ostream& os) const override;
+  void load_method_state(std::istream& is) override;
+
+ private:
+  Rng attack_rng_;
+};
+
+}  // namespace satd::core

@@ -1,0 +1,73 @@
+#include "core/proposed_trainer.h"
+
+#include <istream>
+#include <ostream>
+
+#include "attack/fgsm.h"
+#include "common/contract.h"
+#include "tensor/serialize.h"
+
+namespace satd::core {
+
+ProposedTrainer::ProposedTrainer(nn::Sequential& model, TrainConfig config)
+    : Trainer(model, config) {
+  SATD_EXPECT(config.reset_period > 0, "reset_period must be positive");
+  SATD_EXPECT(config.step_fraction > 0.0f && config.step_fraction <= 1.0f,
+              "step_fraction must be in (0,1]");
+}
+
+void ProposedTrainer::on_fit_begin(const data::Dataset& train) {
+  train_ = &train;
+  buffer_ = train.images;  // start the epoch-wise iteration from clean
+  resets_ = 1;
+}
+
+void ProposedTrainer::on_resume(const data::Dataset& train) {
+  // The buffer was restored from the checkpoint; only the borrowed
+  // dataset pointer needs re-binding.
+  SATD_EXPECT(buffer_.shape() == train.images.shape(),
+              "checkpoint buffer does not match the training set");
+  train_ = &train;
+}
+
+void ProposedTrainer::save_method_state(std::ostream& os) const {
+  write_tensor(os, buffer_);
+  write_u64(os, resets_);
+}
+
+void ProposedTrainer::load_method_state(std::istream& is) {
+  buffer_ = read_tensor(is);
+  resets_ = static_cast<std::size_t>(read_u64(is));
+}
+
+void ProposedTrainer::on_epoch_begin(std::size_t epoch) {
+  // Reset the epoch-wise iteration to catch up with long-term parameter
+  // drift (paper: every 20 epochs). Epoch 0 was seeded by on_fit_begin.
+  if (epoch > 0 && epoch % config_.reset_period == 0) {
+    buffer_ = train_->images;
+    ++resets_;
+  }
+}
+
+Tensor ProposedTrainer::make_adversarial_batch(const data::Batch& batch) {
+  SATD_EXPECT(train_ != nullptr, "make_adversarial_batch outside fit()");
+  // Gather the buffered adversarial examples for this batch.
+  const auto& dims = buffer_.shape().dims();
+  Tensor start(Shape{batch.size(), dims[1], dims[2], dims[3]});
+  for (std::size_t k = 0; k < batch.size(); ++k) {
+    start.set_row(k, buffer_.slice_row(batch.indices[k]));
+  }
+  // One relatively large gradient-sign step from the buffered iterate,
+  // clipped to the eps-ball around the CLEAN image (batch.images holds
+  // the clean pixels for these indices).
+  const float step = config_.eps * config_.step_fraction;
+  Tensor adv = attack::Fgsm::step(model_, start, batch.images, batch.labels,
+                                  step, config_.eps);
+  // Carry the advanced iterates to the next epoch.
+  for (std::size_t k = 0; k < batch.size(); ++k) {
+    buffer_.set_row(batch.indices[k], adv.slice_row(k));
+  }
+  return adv;
+}
+
+}  // namespace satd::core

@@ -1,0 +1,191 @@
+#include "core/trainer.h"
+
+#include <fstream>
+#include <istream>
+#include <ostream>
+
+#include "common/contract.h"
+#include "common/log.h"
+#include "nn/loss.h"
+#include "tensor/serialize.h"
+
+namespace satd::core {
+
+double TrainReport::mean_epoch_seconds() const {
+  if (epochs.empty()) return 0.0;
+  double acc = 0.0;
+  for (const auto& e : epochs) acc += e.seconds;
+  return acc / static_cast<double>(epochs.size());
+}
+
+double TrainReport::total_seconds() const {
+  double acc = 0.0;
+  for (const auto& e : epochs) acc += e.seconds;
+  return acc;
+}
+
+float TrainReport::final_loss() const {
+  return epochs.empty() ? 0.0f : epochs.back().mean_loss;
+}
+
+Trainer::Trainer(nn::Sequential& model, TrainConfig config)
+    : model_(model),
+      config_(config),
+      rng_(config.seed),
+      shuffle_rng_(rng_.fork(0x5EED)) {
+  SATD_EXPECT(config.epochs > 0, "epochs must be positive");
+  SATD_EXPECT(config.batch_size > 0, "batch size must be positive");
+  SATD_EXPECT(config.eps >= 0.0f, "eps must be non-negative");
+  SATD_EXPECT(config.adv_mix >= 0.0f && config.adv_mix <= 1.0f,
+              "adv_mix must be in [0,1]");
+  SATD_EXPECT(config.label_smoothing >= 0.0f && config.label_smoothing < 1.0f,
+              "label_smoothing must be in [0,1)");
+  optimizer_ = std::make_unique<nn::Adam>(config.learning_rate);
+}
+
+void Trainer::on_fit_begin(const data::Dataset& /*train*/) {}
+void Trainer::on_resume(const data::Dataset& /*train*/) {}
+void Trainer::on_epoch_begin(std::size_t /*epoch*/) {}
+void Trainer::save_method_state(std::ostream& /*os*/) const {}
+void Trainer::load_method_state(std::istream& /*is*/) {}
+
+float Trainer::accumulate_loss_gradient(const Tensor& x,
+                                        std::span<const std::size_t> labels,
+                                        float weight) {
+  const Tensor logits = model_.forward(x, /*training=*/true);
+  nn::LossResult loss =
+      config_.label_smoothing > 0.0f
+          ? nn::softmax_cross_entropy_smoothed(logits, labels,
+                                               config_.label_smoothing)
+          : nn::softmax_cross_entropy(logits, labels);
+  if (weight != 1.0f) {
+    for (float& g : loss.grad_logits.data()) g *= weight;
+  }
+  model_.backward(loss.grad_logits);
+  return loss.value;
+}
+
+void Trainer::apply_step() {
+  optimizer_->step(model_.parameters(), model_.gradients());
+  model_.zero_grad();
+}
+
+float Trainer::train_batch(const data::Batch& batch) {
+  const Tensor adv = make_adversarial_batch(batch);
+  model_.zero_grad();
+  float loss = 0.0f;
+  if (adv.empty()) {
+    loss = accumulate_loss_gradient(batch.images, batch.labels, 1.0f);
+  } else {
+    const float mix = config_.adv_mix;
+    // Mixture loss L = (1-mix)*L_clean + mix*L_adv. The adversarial
+    // backward runs last purely by convention; each accumulates into the
+    // same gradient buffers.
+    const float clean_loss =
+        accumulate_loss_gradient(batch.images, batch.labels, 1.0f - mix);
+    const float adv_loss =
+        accumulate_loss_gradient(adv, batch.labels, mix);
+    loss = (1.0f - mix) * clean_loss + mix * adv_loss;
+  }
+  apply_step();
+  return loss;
+}
+
+TrainReport Trainer::fit(const data::Dataset& train, EpochCallback callback,
+                         std::size_t start_epoch) {
+  train.validate();
+  SATD_EXPECT(start_epoch <= config_.epochs, "start_epoch beyond run length");
+  TrainReport report;
+  report.method = name();
+  if (start_epoch == 0) {
+    on_fit_begin(train);
+  } else {
+    on_resume(train);
+  }
+  data::Batcher batcher(train, config_.batch_size);
+  for (std::size_t epoch = start_epoch; epoch < config_.epochs; ++epoch) {
+    Stopwatch watch;
+    on_epoch_begin(epoch);
+    batcher.begin_epoch(shuffle_rng_);
+    double loss_acc = 0.0;
+    const std::size_t batches = batcher.batch_count();
+    for (std::size_t b = 0; b < batches; ++b) {
+      const data::Batch batch = batcher.make_batch(b);
+      loss_acc += train_batch(batch);
+    }
+    EpochStats stats;
+    stats.epoch = epoch;
+    stats.mean_loss = static_cast<float>(loss_acc / static_cast<double>(batches));
+    stats.seconds = watch.seconds();
+    report.epochs.push_back(stats);
+    if (callback) callback(stats);
+    log::debug() << name() << " epoch " << epoch << " loss "
+                 << stats.mean_loss << " (" << stats.seconds << "s)";
+  }
+  return report;
+}
+
+namespace {
+constexpr char kCheckpointMagic[] = "SATDCKP1";
+}
+
+void Trainer::save_checkpoint(std::ostream& os, std::size_t next_epoch) {
+  SATD_EXPECT(next_epoch <= config_.epochs, "next_epoch beyond run length");
+  os.write(kCheckpointMagic, 8);
+  write_string(os, name());
+  write_u64(os, next_epoch);
+  rng_.save(os);
+  shuffle_rng_.save(os);
+  const auto params = model_.parameters();
+  write_u64(os, params.size());
+  for (Tensor* p : params) write_tensor(os, *p);
+  optimizer_->save_state(os);
+  save_method_state(os);
+}
+
+void Trainer::save_checkpoint_file(const std::string& path,
+                                   std::size_t next_epoch) {
+  std::ofstream os(path, std::ios::binary);
+  SATD_EXPECT(static_cast<bool>(os), "cannot open for writing: " + path);
+  save_checkpoint(os, next_epoch);
+  SATD_ENSURE(static_cast<bool>(os), "checkpoint write failed: " + path);
+}
+
+std::size_t Trainer::load_checkpoint(std::istream& is) {
+  char magic[8];
+  is.read(magic, 8);
+  if (!is || std::string(magic, 8) != kCheckpointMagic) {
+    throw SerializeError("bad checkpoint magic");
+  }
+  const std::string method = read_string(is);
+  if (method != name()) {
+    throw SerializeError("checkpoint is for method '" + method +
+                         "', trainer is '" + name() + "'");
+  }
+  const std::uint64_t next_epoch = read_u64(is);
+  rng_.load(is);
+  shuffle_rng_.load(is);
+  const std::uint64_t count = read_u64(is);
+  const auto params = model_.parameters();
+  if (count != params.size()) {
+    throw SerializeError("checkpoint parameter count mismatch");
+  }
+  for (Tensor* p : params) {
+    Tensor t = read_tensor(is);
+    if (t.shape() != p->shape()) {
+      throw SerializeError("checkpoint parameter shape mismatch");
+    }
+    *p = std::move(t);
+  }
+  optimizer_->load_state(is);
+  load_method_state(is);
+  return static_cast<std::size_t>(next_epoch);
+}
+
+std::size_t Trainer::load_checkpoint_file(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  SATD_EXPECT(static_cast<bool>(is), "cannot open for reading: " + path);
+  return load_checkpoint(is);
+}
+
+}  // namespace satd::core

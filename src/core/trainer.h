@@ -1,0 +1,180 @@
+// Adversarial-training framework: shared config, reporting and the
+// epoch/batch loop that every training method plugs into.
+//
+// The five methods of the paper's evaluation (Table I) are:
+//   VanillaTrainer    — clean examples only (Figure 1/2 baseline)
+//   FgsmAdvTrainer    — clean + single-step FGSM mixture (Goodfellow '15)
+//   BimAdvTrainer     — clean + BIM(N) mixture: the Iter-Adv reference
+//   AtdaTrainer       — SOTA Single-Adv baseline (Song et al. 2018)
+//   ProposedTrainer   — the paper's contribution (src/core/proposed_trainer.h)
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/stopwatch.h"
+#include "data/batcher.h"
+#include "data/dataset.h"
+#include "nn/optimizer.h"
+#include "nn/sequential.h"
+
+namespace satd::core {
+
+/// Hyper-parameters for every trainer. Method-specific knobs are grouped
+/// and ignored by methods that do not use them, so one config describes a
+/// whole Table-I run.
+struct TrainConfig {
+  std::size_t epochs = 30;
+  std::size_t batch_size = 32;
+  double learning_rate = 1e-3;  // Adam
+  std::uint64_t seed = 42;
+
+  // Adversarial-training knobs (shared).
+  float eps = 0.3f;      ///< total l-inf budget (0.3 digits / 0.2 fashion)
+  float adv_mix = 0.5f;  ///< weight of the adversarial term in the mixture
+
+  // Iter-Adv (BimAdvTrainer / PgdAdvTrainer).
+  std::size_t bim_iterations = 10;
+
+  // Free adversarial training (FreeAdvTrainer, extension): replays of
+  // each mini-batch; the effective epoch count is epochs * free_replays.
+  std::size_t free_replays = 4;
+
+  // Proposed method.
+  std::size_t reset_period = 20;  ///< buffer reset interval (epochs)
+  float step_fraction = 0.1f;     ///< per-epoch step = eps * step_fraction
+
+  // Adversarial logit pairing (AlpTrainer, extension): weight of the
+  // squared logit-difference term.
+  float alp_weight = 0.5f;
+
+  // Label smoothing applied to every cross-entropy term (0 = off). A
+  // regularization defense in the family the paper's related work cites.
+  float label_smoothing = 0.0f;
+
+  // ATDA (Song et al. 2018) loss weights.
+  float atda_lambda_coral = 0.5f;
+  float atda_lambda_mmd = 0.5f;
+  float atda_lambda_margin = 0.05f;
+  float atda_margin = 2.0f;
+  float atda_center_alpha = 0.1f;  ///< EMA rate for class centers
+};
+
+/// Per-epoch record.
+struct EpochStats {
+  std::size_t epoch = 0;
+  float mean_loss = 0.0f;
+  double seconds = 0.0;
+};
+
+/// Result of a full fit() run.
+struct TrainReport {
+  std::string method;
+  std::vector<EpochStats> epochs;
+  /// Mean wall-clock seconds per epoch — the paper's Table I cost metric.
+  double mean_epoch_seconds() const;
+  /// Total training seconds.
+  double total_seconds() const;
+  /// Loss of the final epoch (0 if no epochs ran).
+  float final_loss() const;
+};
+
+/// Optional per-epoch observer (epoch stats as they complete).
+using EpochCallback = std::function<void(const EpochStats&)>;
+
+/// Base class implementing the epoch/batch loop and the clean+adversarial
+/// mixture update that all methods share. Subclasses provide the
+/// adversarial batch (or opt out) via make_adversarial_batch().
+class Trainer {
+ public:
+  /// The trainer borrows the model; the caller keeps ownership.
+  Trainer(nn::Sequential& model, TrainConfig config);
+  virtual ~Trainer() = default;
+
+  Trainer(const Trainer&) = delete;
+  Trainer& operator=(const Trainer&) = delete;
+
+  /// Runs epochs [start_epoch, config.epochs) over `train`. start_epoch
+  /// is only meaningful when resuming from a checkpoint (the report then
+  /// covers the resumed epochs only).
+  TrainReport fit(const data::Dataset& train, EpochCallback callback = {},
+                  std::size_t start_epoch = 0);
+
+  virtual std::string name() const = 0;
+
+  const TrainConfig& config() const { return config_; }
+  nn::Sequential& model() { return model_; }
+  nn::Optimizer& optimizer() { return *optimizer_; }
+
+  // ---- checkpointing ----
+  //
+  // A checkpoint captures everything a resumed run needs to be
+  // bit-identical to an uninterrupted one: model parameters, optimizer
+  // state, both RNG streams, and method-specific state (the Proposed
+  // trainer's adversarial buffer, ATDA's class centers, ...). Save from
+  // an epoch callback with next_epoch = stats.epoch + 1; resume by
+  // constructing the same trainer type/config on a fresh model, calling
+  // load_checkpoint, and passing the returned epoch to fit().
+  // Limitation: models containing Dropout keep private RNG streams that
+  // are not captured (none of the zoo models use Dropout).
+
+  /// Writes a checkpoint; `next_epoch` is the epoch the resumed fit()
+  /// should start at.
+  void save_checkpoint(std::ostream& os, std::size_t next_epoch);
+  void save_checkpoint_file(const std::string& path, std::size_t next_epoch);
+
+  /// Restores a checkpoint into this trainer (method/config must match
+  /// the saving trainer); returns the epoch to pass to fit(). Throws
+  /// SerializeError on mismatch.
+  std::size_t load_checkpoint(std::istream& is);
+  std::size_t load_checkpoint_file(const std::string& path);
+
+ protected:
+  /// Called once before the first epoch (buffer allocation etc.).
+  virtual void on_fit_begin(const data::Dataset& train);
+
+  /// Called instead of on_fit_begin when fit() resumes from a
+  /// checkpoint: re-binds borrowed references (e.g. the Proposed
+  /// trainer's dataset pointer) WITHOUT resetting restored state.
+  virtual void on_resume(const data::Dataset& train);
+
+  /// Called at each epoch start (buffer resets etc.).
+  virtual void on_epoch_begin(std::size_t epoch);
+
+  /// Method-specific checkpoint payload (default: none). Implementations
+  /// must read back exactly what they wrote.
+  virtual void save_method_state(std::ostream& os) const;
+  virtual void load_method_state(std::istream& is);
+
+  /// Produces the adversarial companion of `batch`, or an empty Tensor to
+  /// train on clean data only (VanillaTrainer). May use model() freely;
+  /// parameter gradients must be left zeroed.
+  virtual Tensor make_adversarial_batch(const data::Batch& batch) = 0;
+
+  /// One optimizer update on the clean/adversarial mixture. Returns the
+  /// batch loss. Subclasses with bespoke losses (ATDA) override this.
+  virtual float train_batch(const data::Batch& batch);
+
+  /// Gradient-descent step helper shared by subclasses: runs
+  /// forward/backward at `weight` on (x, labels), accumulating gradients.
+  /// Returns the (unweighted) mean loss.
+  float accumulate_loss_gradient(const Tensor& x,
+                                 std::span<const std::size_t> labels,
+                                 float weight);
+
+  /// Applies the optimizer to the accumulated gradients and zeroes them.
+  void apply_step();
+
+  nn::Sequential& model_;
+  TrainConfig config_;
+  Rng rng_;
+  Rng shuffle_rng_;  // epoch-shuffle stream (member so checkpoints carry it)
+  std::unique_ptr<nn::Optimizer> optimizer_;
+};
+
+}  // namespace satd::core

@@ -1,0 +1,12 @@
+#include "core/vanilla_trainer.h"
+
+namespace satd::core {
+
+VanillaTrainer::VanillaTrainer(nn::Sequential& model, TrainConfig config)
+    : Trainer(model, config) {}
+
+Tensor VanillaTrainer::make_adversarial_batch(const data::Batch& /*batch*/) {
+  return Tensor{};  // empty: train on clean data only
+}
+
+}  // namespace satd::core

@@ -1,0 +1,20 @@
+// Standard (non-adversarial) training: the "Vanilla" classifier of
+// Figures 1 and 2.
+#pragma once
+
+#include "core/trainer.h"
+
+namespace satd::core {
+
+/// Trains on clean examples only.
+class VanillaTrainer : public Trainer {
+ public:
+  VanillaTrainer(nn::Sequential& model, TrainConfig config);
+
+  std::string name() const override { return "Vanilla"; }
+
+ protected:
+  Tensor make_adversarial_batch(const data::Batch& batch) override;
+};
+
+}  // namespace satd::core

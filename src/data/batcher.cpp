@@ -1,0 +1,47 @@
+#include "data/batcher.h"
+
+#include <algorithm>
+
+#include "common/contract.h"
+
+namespace satd::data {
+
+Batcher::Batcher(const Dataset& dataset, std::size_t batch_size)
+    : dataset_(dataset), batch_size_(batch_size) {
+  SATD_EXPECT(batch_size > 0, "batch size must be positive");
+  SATD_EXPECT(dataset.size() > 0, "empty dataset");
+  order_.resize(dataset.size());
+  for (std::size_t i = 0; i < order_.size(); ++i) order_[i] = i;
+}
+
+void Batcher::begin_epoch(Rng& rng) {
+  // Reset to identity before shuffling so each epoch's order is a pure
+  // function of the RNG state — a checkpointed run that restores the
+  // shuffle stream then reproduces the exact same batch sequence.
+  for (std::size_t i = 0; i < order_.size(); ++i) order_[i] = i;
+  rng.shuffle(order_);
+}
+
+std::size_t Batcher::batch_count() const {
+  return (dataset_.size() + batch_size_ - 1) / batch_size_;
+}
+
+Batch Batcher::make_batch(std::size_t b) const {
+  SATD_EXPECT(b < batch_count(), "batch index out of range");
+  const std::size_t begin = b * batch_size_;
+  const std::size_t end = std::min(begin + batch_size_, dataset_.size());
+  const auto& dims = dataset_.images.shape().dims();
+  Batch batch;
+  batch.images = Tensor(Shape{end - begin, dims[1], dims[2], dims[3]});
+  batch.labels.reserve(end - begin);
+  batch.indices.reserve(end - begin);
+  for (std::size_t k = begin; k < end; ++k) {
+    const std::size_t i = order_[k];
+    batch.images.set_row(k - begin, dataset_.images.slice_row(i));
+    batch.labels.push_back(dataset_.labels[i]);
+    batch.indices.push_back(i);
+  }
+  return batch;
+}
+
+}  // namespace satd::data

@@ -1,0 +1,48 @@
+// Mini-batch iteration over a Dataset.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/rng.h"
+#include "data/dataset.h"
+
+namespace satd::data {
+
+/// One mini-batch: an image tensor plus labels, and the dataset indices
+/// the examples came from (the Proposed trainer needs the indices to
+/// address its persistent adversarial buffer).
+struct Batch {
+  Tensor images;                     // [B, C, H, W]
+  std::vector<std::size_t> labels;   // size B
+  std::vector<std::size_t> indices;  // positions within the source dataset
+
+  std::size_t size() const { return labels.size(); }
+  std::span<const std::size_t> label_span() const { return labels; }
+};
+
+/// Epoch iterator producing shuffled fixed-size mini-batches (last batch
+/// may be smaller). Shuffling consumes the Rng passed to begin_epoch, so
+/// epochs are deterministic but distinct.
+class Batcher {
+ public:
+  Batcher(const Dataset& dataset, std::size_t batch_size);
+
+  /// Re-shuffles for a new epoch.
+  void begin_epoch(Rng& rng);
+
+  /// Number of batches per epoch.
+  std::size_t batch_count() const;
+
+  /// Assembles batch `b` (0-based) from the current epoch order.
+  Batch make_batch(std::size_t b) const;
+
+  std::size_t batch_size() const { return batch_size_; }
+
+ private:
+  const Dataset& dataset_;
+  std::size_t batch_size_;
+  std::vector<std::size_t> order_;
+};
+
+}  // namespace satd::data

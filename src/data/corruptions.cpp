@@ -1,0 +1,140 @@
+#include "data/corruptions.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/contract.h"
+#include "tensor/ops.h"
+
+namespace satd::data {
+
+std::vector<Corruption> all_corruptions() {
+  return {Corruption::kGaussianNoise, Corruption::kBrightness,
+          Corruption::kContrast,      Corruption::kBlur,
+          Corruption::kOcclusion,     Corruption::kPixelDropout};
+}
+
+const char* corruption_name(Corruption kind) {
+  switch (kind) {
+    case Corruption::kGaussianNoise: return "gaussian-noise";
+    case Corruption::kBrightness: return "brightness";
+    case Corruption::kContrast: return "contrast";
+    case Corruption::kBlur: return "blur";
+    case Corruption::kOcclusion: return "occlusion";
+    case Corruption::kPixelDropout: return "pixel-dropout";
+  }
+  SATD_ENSURE(false, "unhandled corruption kind");
+  return "";
+}
+
+namespace {
+
+void box_blur(Tensor& img, std::size_t h, std::size_t w) {
+  Tensor tmp(img.shape());
+  const float* src = img.raw();
+  float* dst = tmp.raw();
+  for (std::size_t y = 0; y < h; ++y) {
+    for (std::size_t x = 0; x < w; ++x) {
+      double acc = 0.0;
+      int count = 0;
+      for (int dy = -1; dy <= 1; ++dy) {
+        for (int dx = -1; dx <= 1; ++dx) {
+          const int yy = static_cast<int>(y) + dy;
+          const int xx = static_cast<int>(x) + dx;
+          if (yy < 0 || xx < 0 || yy >= static_cast<int>(h) ||
+              xx >= static_cast<int>(w)) {
+            continue;
+          }
+          acc += src[static_cast<std::size_t>(yy) * w +
+                     static_cast<std::size_t>(xx)];
+          ++count;
+        }
+      }
+      dst[y * w + x] = static_cast<float>(acc / count);
+    }
+  }
+  img = std::move(tmp);
+}
+
+}  // namespace
+
+Tensor corrupt_image(const Tensor& image, Corruption kind, float severity,
+                     Rng& rng) {
+  SATD_EXPECT(image.shape().rank() == 3 && image.shape()[0] == 1,
+              "corrupt_image expects [1, H, W]");
+  SATD_EXPECT(severity >= 0.0f && severity <= 1.0f,
+              "severity must be in [0,1]");
+  const std::size_t h = image.shape()[1];
+  const std::size_t w = image.shape()[2];
+  Tensor out = image;
+  float* p = out.raw();
+  switch (kind) {
+    case Corruption::kGaussianNoise: {
+      const double stddev = 0.3 * severity;
+      for (std::size_t i = 0; i < out.numel(); ++i) {
+        p[i] += static_cast<float>(rng.normal(0.0, stddev));
+      }
+      break;
+    }
+    case Corruption::kBrightness: {
+      // Randomly brighten or darken by up to 0.4 * severity.
+      const float shift =
+          static_cast<float>(rng.sign()) * 0.4f * severity;
+      for (std::size_t i = 0; i < out.numel(); ++i) p[i] += shift;
+      break;
+    }
+    case Corruption::kContrast: {
+      const float mean = ops::mean(out);
+      const float factor = 1.0f - 0.8f * severity;
+      for (std::size_t i = 0; i < out.numel(); ++i) {
+        p[i] = mean + (p[i] - mean) * factor;
+      }
+      break;
+    }
+    case Corruption::kBlur: {
+      const auto passes =
+          static_cast<std::size_t>(std::lround(severity * 3.0f));
+      for (std::size_t k = 0; k < passes; ++k) box_blur(out, h, w);
+      break;
+    }
+    case Corruption::kOcclusion: {
+      const auto side = static_cast<std::size_t>(
+          std::lround(severity * 0.5 * static_cast<double>(std::min(h, w))));
+      if (side > 0) {
+        const std::size_t y0 = rng.uniform_index(h - side + 1);
+        const std::size_t x0 = rng.uniform_index(w - side + 1);
+        for (std::size_t y = y0; y < y0 + side; ++y) {
+          for (std::size_t x = x0; x < x0 + side; ++x) p[y * w + x] = 0.0f;
+        }
+      }
+      break;
+    }
+    case Corruption::kPixelDropout: {
+      const double drop = 0.4 * severity;
+      for (std::size_t i = 0; i < out.numel(); ++i) {
+        if (rng.bernoulli(drop)) p[i] = 0.0f;
+      }
+      break;
+    }
+  }
+  ops::clamp(out, 0.0f, 1.0f, out);
+  return out;
+}
+
+Dataset corrupt_dataset(const Dataset& clean, Corruption kind, float severity,
+                        std::uint64_t seed) {
+  clean.validate();
+  Rng rng(seed);
+  Dataset out;
+  out.name = clean.name + "+" + corruption_name(kind);
+  out.num_classes = clean.num_classes;
+  out.labels = clean.labels;
+  out.images = Tensor(clean.images.shape());
+  for (std::size_t i = 0; i < clean.size(); ++i) {
+    out.images.set_row(
+        i, corrupt_image(clean.images.slice_row(i), kind, severity, rng));
+  }
+  return out;
+}
+
+}  // namespace satd::data

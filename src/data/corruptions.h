@@ -1,0 +1,45 @@
+// Common-corruption suite (Hendrycks & Dietterich 2019 style, scaled to
+// 28x28 grayscale).
+//
+// Adversarial robustness and corruption robustness are different axes:
+// a defense can master the worst-case eps-ball yet fail under benign
+// distribution shift. This module applies parametric corruptions to a
+// dataset so the extension benches can measure both axes for every
+// trained method. Each corruption has a severity in [0, 1] and is
+// deterministic given the provided Rng.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "data/dataset.h"
+
+namespace satd::data {
+
+/// Kinds of corruption supported.
+enum class Corruption {
+  kGaussianNoise,   ///< additive pixel noise
+  kBrightness,      ///< additive global brightness shift
+  kContrast,        ///< contrast reduction towards the mean
+  kBlur,            ///< repeated 3x3 box blur
+  kOcclusion,       ///< random square patch set to black
+  kPixelDropout,    ///< random pixels set to zero
+};
+
+/// All corruption kinds (for sweeps).
+std::vector<Corruption> all_corruptions();
+
+/// Display name, e.g. "gaussian-noise".
+const char* corruption_name(Corruption kind);
+
+/// Applies a corruption to one [1, H, W] image (returns a new tensor;
+/// output stays in [0, 1]). `severity` in [0, 1].
+Tensor corrupt_image(const Tensor& image, Corruption kind, float severity,
+                     Rng& rng);
+
+/// Applies a corruption to every image of a dataset.
+Dataset corrupt_dataset(const Dataset& clean, Corruption kind, float severity,
+                        std::uint64_t seed);
+
+}  // namespace satd::data

@@ -1,0 +1,51 @@
+#include "data/dataset.h"
+
+#include "common/contract.h"
+
+namespace satd::data {
+
+void Dataset::validate() const {
+  SATD_EXPECT(images.shape().rank() == 4, "images must be [N, C, H, W]");
+  SATD_EXPECT(images.shape()[0] == labels.size(),
+              "image/label count mismatch");
+  SATD_EXPECT(num_classes > 0, "num_classes must be positive");
+  for (std::size_t y : labels) {
+    SATD_EXPECT(y < num_classes, "label out of range in dataset " + name);
+  }
+  for (float v : images.data()) {
+    SATD_EXPECT(v >= 0.0f && v <= 1.0f, "pixel outside [0,1] in " + name);
+  }
+}
+
+Dataset Dataset::slice(std::size_t begin, std::size_t end) const {
+  SATD_EXPECT(begin <= end && end <= size(), "bad slice range");
+  std::vector<std::size_t> idx;
+  idx.reserve(end - begin);
+  for (std::size_t i = begin; i < end; ++i) idx.push_back(i);
+  return gather(idx);
+}
+
+Dataset Dataset::gather(const std::vector<std::size_t>& indices) const {
+  const auto& dims = images.shape().dims();
+  Dataset out;
+  out.name = name;
+  out.num_classes = num_classes;
+  out.images = Tensor(
+      Shape{indices.size(), dims[1], dims[2], dims[3]});
+  out.labels.reserve(indices.size());
+  for (std::size_t k = 0; k < indices.size(); ++k) {
+    const std::size_t i = indices[k];
+    SATD_EXPECT(i < size(), "gather index out of range");
+    out.images.set_row(k, images.slice_row(i));
+    out.labels.push_back(labels[i]);
+  }
+  return out;
+}
+
+std::vector<std::size_t> Dataset::class_histogram() const {
+  std::vector<std::size_t> hist(num_classes, 0);
+  for (std::size_t y : labels) ++hist[y];
+  return hist;
+}
+
+}  // namespace satd::data

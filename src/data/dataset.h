@@ -1,0 +1,42 @@
+// In-memory labeled image dataset.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace satd::data {
+
+/// A labeled batch of images: images [N, C, H, W] in [0,1], one integer
+/// label per image. This is the unit every trainer / attack / evaluator
+/// consumes.
+struct Dataset {
+  std::string name;
+  Tensor images;                    // [N, C, H, W]
+  std::vector<std::size_t> labels;  // size N, values < num_classes
+  std::size_t num_classes = 0;
+
+  std::size_t size() const { return labels.size(); }
+
+  /// Validates the invariants above; throws ContractViolation if broken.
+  void validate() const;
+
+  /// Copies examples [begin, end) into a new dataset.
+  Dataset slice(std::size_t begin, std::size_t end) const;
+
+  /// Copies the examples at `indices` (may repeat / reorder).
+  Dataset gather(const std::vector<std::size_t>& indices) const;
+
+  /// Per-class example counts.
+  std::vector<std::size_t> class_histogram() const;
+};
+
+/// Train/test pair produced by the synthetic generators.
+struct DatasetPair {
+  Dataset train;
+  Dataset test;
+};
+
+}  // namespace satd::data

@@ -1,0 +1,217 @@
+#include "data/glyph.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/contract.h"
+
+namespace satd::data {
+
+Jitter Jitter::random(Rng& rng, double max_angle, double scale_spread,
+                      double max_shift) {
+  Jitter j;
+  j.angle = rng.uniform(-max_angle, max_angle);
+  j.scale_x = 1.0 + rng.uniform(-scale_spread, scale_spread);
+  j.scale_y = 1.0 + rng.uniform(-scale_spread, scale_spread);
+  j.shift_x = rng.uniform(-max_shift, max_shift);
+  j.shift_y = rng.uniform(-max_shift, max_shift);
+  return j;
+}
+
+void Jitter::apply(double& x, double& y) const {
+  // Rotate and scale about the box center, then translate.
+  const double cx = x - 0.5;
+  const double cy = y - 0.5;
+  const double c = std::cos(angle);
+  const double s = std::sin(angle);
+  const double rx = (c * cx - s * cy) * scale_x;
+  const double ry = (s * cx + c * cy) * scale_y;
+  x = rx + 0.5 + shift_x;
+  y = ry + 0.5 + shift_y;
+}
+
+Canvas::Canvas(std::size_t side) : side_(side), pix_(side * side, 0.0f) {
+  SATD_EXPECT(side >= 4, "canvas too small");
+}
+
+void Canvas::splat(double px, double py, double radius, double intensity) {
+  // Anti-aliased disc: intensity falls off linearly over one pixel at
+  // the rim; blended by max so overlapping strokes stay in range.
+  const double r = std::max(radius, 0.3);
+  const int lo_y = std::max(0, static_cast<int>(std::floor(py - r - 1)));
+  const int hi_y = std::min(static_cast<int>(side_) - 1,
+                            static_cast<int>(std::ceil(py + r + 1)));
+  const int lo_x = std::max(0, static_cast<int>(std::floor(px - r - 1)));
+  const int hi_x = std::min(static_cast<int>(side_) - 1,
+                            static_cast<int>(std::ceil(px + r + 1)));
+  for (int y = lo_y; y <= hi_y; ++y) {
+    for (int x = lo_x; x <= hi_x; ++x) {
+      const double dx = x - px;
+      const double dy = y - py;
+      const double d = std::sqrt(dx * dx + dy * dy);
+      const double cover = std::clamp(r + 0.5 - d, 0.0, 1.0);
+      if (cover <= 0.0) continue;
+      float& p = pix_[static_cast<std::size_t>(y) * side_ +
+                      static_cast<std::size_t>(x)];
+      p = std::max(p, static_cast<float>(cover * intensity));
+    }
+  }
+}
+
+void Canvas::stamp(double x, double y, double radius, double intensity,
+                   const Jitter& j) {
+  j.apply(x, y);
+  splat(x * static_cast<double>(side_ - 1), y * static_cast<double>(side_ - 1),
+        radius, intensity);
+}
+
+void Canvas::segment(double x0, double y0, double x1, double y1, double radius,
+                     double intensity, const Jitter& j) {
+  // Sample densely along the segment; jitter is applied per endpoint via
+  // stamp so straight lines stay straight under the affine map.
+  const double len_px =
+      std::hypot((x1 - x0) * static_cast<double>(side_),
+                 (y1 - y0) * static_cast<double>(side_));
+  const std::size_t steps = std::max<std::size_t>(
+      2, static_cast<std::size_t>(std::ceil(len_px * 2.0)));
+  for (std::size_t i = 0; i <= steps; ++i) {
+    const double t = static_cast<double>(i) / static_cast<double>(steps);
+    stamp(x0 + t * (x1 - x0), y0 + t * (y1 - y0), radius, intensity, j);
+  }
+}
+
+void Canvas::arc(double cx, double cy, double rx, double ry, double a0,
+                 double a1, double radius, double intensity, const Jitter& j) {
+  SATD_EXPECT(a1 >= a0, "arc angles must be ordered");
+  const double arc_px = std::max(rx, ry) * static_cast<double>(side_) *
+                        (a1 - a0);
+  const std::size_t steps = std::max<std::size_t>(
+      8, static_cast<std::size_t>(std::ceil(arc_px * 2.0)));
+  for (std::size_t i = 0; i <= steps; ++i) {
+    const double a =
+        a0 + (a1 - a0) * static_cast<double>(i) / static_cast<double>(steps);
+    stamp(cx + rx * std::cos(a), cy + ry * std::sin(a), radius, intensity, j);
+  }
+}
+
+void Canvas::fill_rect(double x0, double y0, double x1, double y1,
+                       double intensity, const Jitter& j) {
+  fill_triangle(x0, y0, x1, y0, x1, y1, intensity, j);
+  fill_triangle(x0, y0, x1, y1, x0, y1, intensity, j);
+}
+
+void Canvas::fill_triangle(double x0, double y0, double x1, double y1,
+                           double x2, double y2, double intensity,
+                           const Jitter& j) {
+  j.apply(x0, y0);
+  j.apply(x1, y1);
+  j.apply(x2, y2);
+  const double s = static_cast<double>(side_ - 1);
+  const double ax = x0 * s, ay = y0 * s;
+  const double bx = x1 * s, by = y1 * s;
+  const double cx = x2 * s, cy = y2 * s;
+  const int lo_y = std::max(
+      0, static_cast<int>(std::floor(std::min({ay, by, cy}))));
+  const int hi_y = std::min(static_cast<int>(side_) - 1,
+                            static_cast<int>(std::ceil(std::max({ay, by, cy}))));
+  const int lo_x = std::max(
+      0, static_cast<int>(std::floor(std::min({ax, bx, cx}))));
+  const int hi_x = std::min(static_cast<int>(side_) - 1,
+                            static_cast<int>(std::ceil(std::max({ax, bx, cx}))));
+  const double denom = (by - cy) * (ax - cx) + (cx - bx) * (ay - cy);
+  if (std::fabs(denom) < 1e-12) return;  // degenerate
+  for (int y = lo_y; y <= hi_y; ++y) {
+    for (int x = lo_x; x <= hi_x; ++x) {
+      const double l0 =
+          ((by - cy) * (x - cx) + (cx - bx) * (y - cy)) / denom;
+      const double l1 =
+          ((cy - ay) * (x - cx) + (ax - cx) * (y - cy)) / denom;
+      const double l2 = 1.0 - l0 - l1;
+      if (l0 >= -1e-9 && l1 >= -1e-9 && l2 >= -1e-9) {
+        float& p = pix_[static_cast<std::size_t>(y) * side_ +
+                        static_cast<std::size_t>(x)];
+        p = std::max(p, static_cast<float>(intensity));
+      }
+    }
+  }
+}
+
+void Canvas::fill_ellipse(double cx, double cy, double rx, double ry,
+                          double intensity, const Jitter& j) {
+  // Rasterize by scanning the bounding box in jittered space: jitter the
+  // center and axes endpoints to recover the mapped ellipse approximately
+  // (affine maps take ellipses to ellipses; we sample the interior on a
+  // grid in source space and stamp each covered cell).
+  const std::size_t grid = side_ * 2;
+  for (std::size_t gy = 0; gy <= grid; ++gy) {
+    const double sy = cy - ry + 2.0 * ry * static_cast<double>(gy) /
+                                    static_cast<double>(grid);
+    const double dy = (sy - cy) / ry;
+    const double span = 1.0 - dy * dy;
+    if (span <= 0.0) continue;
+    const double half = rx * std::sqrt(span);
+    for (std::size_t gx = 0; gx <= grid; ++gx) {
+      const double sx = cx - half + 2.0 * half * static_cast<double>(gx) /
+                                        static_cast<double>(grid);
+      stamp(sx, sy, 0.6, intensity, j);
+    }
+  }
+}
+
+void Canvas::blur(std::size_t passes) {
+  std::vector<float> tmp(pix_.size());
+  for (std::size_t pass = 0; pass < passes; ++pass) {
+    for (std::size_t y = 0; y < side_; ++y) {
+      for (std::size_t x = 0; x < side_; ++x) {
+        double acc = 0.0;
+        int count = 0;
+        for (int dy = -1; dy <= 1; ++dy) {
+          for (int dx = -1; dx <= 1; ++dx) {
+            const int yy = static_cast<int>(y) + dy;
+            const int xx = static_cast<int>(x) + dx;
+            if (yy < 0 || xx < 0 || yy >= static_cast<int>(side_) ||
+                xx >= static_cast<int>(side_)) {
+              continue;
+            }
+            acc += pix_[static_cast<std::size_t>(yy) * side_ +
+                        static_cast<std::size_t>(xx)];
+            ++count;
+          }
+        }
+        tmp[y * side_ + x] = static_cast<float>(acc / count);
+      }
+    }
+    pix_.swap(tmp);
+  }
+}
+
+void Canvas::add_noise(Rng& rng, double stddev) {
+  for (float& p : pix_) {
+    p = std::clamp(p + static_cast<float>(rng.normal(0.0, stddev)), 0.0f, 1.0f);
+  }
+}
+
+void Canvas::texture(Rng& rng, double amp) {
+  for (float& p : pix_) {
+    if (p > 0.05f) {
+      p = std::clamp(p * (1.0f + static_cast<float>(rng.normal(0.0, amp))),
+                     0.0f, 1.0f);
+    }
+  }
+}
+
+Tensor Canvas::to_tensor() const {
+  Tensor t(Shape{1, side_, side_});
+  float* dst = t.raw();
+  for (std::size_t i = 0; i < pix_.size(); ++i) {
+    dst[i] = std::clamp(pix_[i], 0.0f, 1.0f);
+  }
+  return t;
+}
+
+float Canvas::pixel(std::size_t y, std::size_t x) const {
+  SATD_EXPECT(y < side_ && x < side_, "pixel out of range");
+  return pix_[y * side_ + x];
+}
+
+}  // namespace satd::data

@@ -1,0 +1,93 @@
+// Procedural 28x28 glyph renderer.
+//
+// The reproduction environment has no MNIST/Fashion-MNIST files, so the
+// datasets are rendered procedurally (see DESIGN.md, substitution table).
+// This module supplies the drawing substrate: a float canvas with
+// anti-aliased thick strokes, elliptical arcs, filled shapes, blur and
+// noise. Stroke coordinates live in a unit box [0,1]^2 and pass through a
+// per-example affine jitter, which is what creates intra-class variation.
+#pragma once
+
+#include <cstddef>
+
+#include "common/rng.h"
+#include "tensor/tensor.h"
+
+namespace satd::data {
+
+/// Affine map applied to unit-box coordinates before rasterization:
+/// rotation + anisotropic scale + translation (about the box center).
+struct Jitter {
+  double angle = 0.0;    // radians
+  double scale_x = 1.0;
+  double scale_y = 1.0;
+  double shift_x = 0.0;  // in unit-box units
+  double shift_y = 0.0;
+
+  /// Draws a random jitter with the given magnitudes.
+  static Jitter random(Rng& rng, double max_angle, double scale_spread,
+                       double max_shift);
+
+  /// Applies the map to a unit-box point.
+  void apply(double& x, double& y) const;
+};
+
+/// Grayscale float canvas in [0, 1], row-major, side x side pixels.
+class Canvas {
+ public:
+  explicit Canvas(std::size_t side = 28);
+
+  std::size_t side() const { return side_; }
+
+  /// Stamps an anti-aliased disc of the given radius (pixels) and
+  /// intensity at unit-box coordinates (x, y), after jitter.
+  void stamp(double x, double y, double radius, double intensity,
+             const Jitter& j);
+
+  /// Thick line segment between unit-box points.
+  void segment(double x0, double y0, double x1, double y1, double radius,
+               double intensity, const Jitter& j);
+
+  /// Elliptical arc centered at (cx, cy) with radii (rx, ry), from angle
+  /// a0 to a1 (radians, counterclockwise; a1 > a0 sweeps the long way for
+  /// full circles use a0=0, a1=2*pi).
+  void arc(double cx, double cy, double rx, double ry, double a0, double a1,
+           double radius, double intensity, const Jitter& j);
+
+  /// Axis-aligned filled rectangle (unit-box corners), intensity blended
+  /// by max (painting twice does not exceed the intensity).
+  void fill_rect(double x0, double y0, double x1, double y1, double intensity,
+                 const Jitter& j);
+
+  /// Filled triangle (unit-box vertices).
+  void fill_triangle(double x0, double y0, double x1, double y1, double x2,
+                     double y2, double intensity, const Jitter& j);
+
+  /// Filled ellipse.
+  void fill_ellipse(double cx, double cy, double rx, double ry,
+                    double intensity, const Jitter& j);
+
+  /// 3x3 box blur, `passes` times.
+  void blur(std::size_t passes = 1);
+
+  /// Adds clamped Gaussian pixel noise.
+  void add_noise(Rng& rng, double stddev);
+
+  /// Multiplies pixels by (1 + amp * n) with n ~ N(0,1): a crude cloth
+  /// texture used by the fashion dataset.
+  void texture(Rng& rng, double amp);
+
+  /// Copies the canvas into a [1, side, side] tensor (clamped to [0,1]).
+  Tensor to_tensor() const;
+
+  /// Direct pixel access (row-major), mainly for tests.
+  float pixel(std::size_t y, std::size_t x) const;
+
+ private:
+  void splat(double px, double py, double radius, double intensity);
+
+  std::size_t side_;
+  std::vector<float> pix_;
+};
+
+}  // namespace satd::data

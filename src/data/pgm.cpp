@@ -1,0 +1,81 @@
+#include "data/pgm.h"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+
+#include "common/contract.h"
+
+namespace satd::data {
+
+void write_pgm(const std::string& path, const Tensor& image) {
+  const auto rank = image.shape().rank();
+  SATD_EXPECT(rank == 2 || (rank == 3 && image.shape()[0] == 1),
+              "write_pgm expects [H, W] or [1, H, W]");
+  const std::size_t h = image.shape()[rank - 2];
+  const std::size_t w = image.shape()[rank - 1];
+  std::ofstream os(path, std::ios::binary);
+  SATD_EXPECT(static_cast<bool>(os), "cannot open for writing: " + path);
+  os << "P5\n" << w << " " << h << "\n255\n";
+  std::vector<unsigned char> row(w);
+  const float* p = image.raw();
+  for (std::size_t y = 0; y < h; ++y) {
+    for (std::size_t x = 0; x < w; ++x) {
+      const float v = std::clamp(p[y * w + x], 0.0f, 1.0f);
+      row[x] = static_cast<unsigned char>(std::lround(v * 255.0f));
+    }
+    os.write(reinterpret_cast<const char*>(row.data()),
+             static_cast<std::streamsize>(w));
+  }
+  SATD_ENSURE(static_cast<bool>(os), "write failed: " + path);
+}
+
+Tensor read_pgm(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) throw std::runtime_error("cannot open for reading: " + path);
+  std::string magic;
+  is >> magic;
+  if (magic != "P5") throw std::runtime_error("not a binary PGM: " + path);
+  std::size_t w = 0, h = 0, maxval = 0;
+  is >> w >> h >> maxval;
+  if (!is || w == 0 || h == 0 || maxval != 255) {
+    throw std::runtime_error("unsupported PGM header: " + path);
+  }
+  is.get();  // single whitespace after maxval
+  std::vector<unsigned char> bytes(w * h);
+  is.read(reinterpret_cast<char*>(bytes.data()),
+          static_cast<std::streamsize>(bytes.size()));
+  if (!is) throw std::runtime_error("truncated PGM: " + path);
+  Tensor out(Shape{1, h, w});
+  float* p = out.raw();
+  for (std::size_t i = 0; i < bytes.size(); ++i) {
+    p[i] = static_cast<float>(bytes[i]) / 255.0f;
+  }
+  return out;
+}
+
+Tensor montage(const Tensor& images, std::size_t cols) {
+  SATD_EXPECT(images.shape().rank() == 4 && images.shape()[1] == 1,
+              "montage expects [N, 1, H, W]");
+  SATD_EXPECT(cols > 0, "cols must be positive");
+  const std::size_t n = images.shape()[0];
+  SATD_EXPECT(n > 0, "montage of zero images");
+  const std::size_t h = images.shape()[2];
+  const std::size_t w = images.shape()[3];
+  const std::size_t rows = (n + cols - 1) / cols;
+  Tensor out(Shape{1, rows * h, cols * w});
+  float* dst = out.raw();
+  const float* src = images.raw();
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t r = i / cols;
+    const std::size_t c = i % cols;
+    for (std::size_t y = 0; y < h; ++y) {
+      const float* srow = src + (i * h + y) * w;
+      float* drow = dst + ((r * h + y) * cols + c) * w;
+      std::copy(srow, srow + w, drow);
+    }
+  }
+  return out;
+}
+
+}  // namespace satd::data

@@ -1,0 +1,27 @@
+// PGM (portable graymap) image export/import.
+//
+// The simplest portable way to look at synthetic examples and their
+// adversarial perturbations outside the terminal: every image viewer
+// opens binary PGM (P5). Used by examples/render_dataset and handy for
+// debugging the glyph renderer.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace satd::data {
+
+/// Writes a [1, H, W] (or [H, W]) tensor in [0,1] as an 8-bit binary PGM.
+void write_pgm(const std::string& path, const Tensor& image);
+
+/// Reads a binary (P5, maxval 255) PGM into a [1, H, W] tensor in [0,1].
+/// Throws std::runtime_error on malformed files.
+Tensor read_pgm(const std::string& path);
+
+/// Tiles images [N, 1, H, W] into one [1, rows*H, cols*W] montage
+/// (row-major, missing trailing cells black). rows = ceil(N / cols).
+Tensor montage(const Tensor& images, std::size_t cols);
+
+}  // namespace satd::data

@@ -1,0 +1,45 @@
+// Synthetic stand-ins for MNIST and Fashion-MNIST.
+//
+// SyntheticDigits renders stroke-drawn digit archetypes (0-9) with random
+// affine jitter, stroke thickness and pixel noise; SyntheticFashion
+// renders filled garment silhouettes with cloth texture, stronger jitter
+// and deliberately confusable class groups (t-shirt/pullover/shirt,
+// sandal/sneaker/boot) so it plays the "harder dataset" role
+// Fashion-MNIST plays in the paper. Both emit [N, 1, 28, 28] images in
+// [0, 1] with balanced classes, deterministically from a seed.
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.h"
+#include "data/dataset.h"
+
+namespace satd::data {
+
+/// Size/seed knobs for the synthetic generators.
+struct SyntheticConfig {
+  std::size_t train_size = 2000;
+  std::size_t test_size = 500;
+  std::uint64_t seed = 1;
+};
+
+/// Renders one digit example (class 0-9) with randomized nuisance
+/// parameters drawn from `rng`. Returns a [1, 28, 28] tensor.
+Tensor render_digit(std::size_t cls, Rng& rng);
+
+/// Renders one garment example (class 0-9).
+Tensor render_fashion(std::size_t cls, Rng& rng);
+
+/// MNIST stand-in: balanced train/test split of rendered digits.
+DatasetPair make_synthetic_digits(const SyntheticConfig& cfg);
+
+/// Fashion-MNIST stand-in.
+DatasetPair make_synthetic_fashion(const SyntheticConfig& cfg);
+
+/// Builds a dataset by name: "digits" or "fashion" (used by CLI tools).
+DatasetPair make_dataset(const std::string& name, const SyntheticConfig& cfg);
+
+/// Class display names for the fashion dataset (for reports).
+const char* fashion_class_name(std::size_t cls);
+
+}  // namespace satd::data

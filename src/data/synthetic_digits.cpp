@@ -1,0 +1,145 @@
+#include <cmath>
+#include <numbers>
+
+#include "common/contract.h"
+#include "data/glyph.h"
+#include "data/synthetic.h"
+
+namespace satd::data {
+
+namespace {
+
+constexpr double kPi = std::numbers::pi;
+
+/// Per-example nuisance parameters shared by all strokes of one digit.
+struct DigitStyle {
+  Jitter jitter;
+  double radius;     // stroke thickness in pixels
+  double intensity;  // ink level
+  double noise;      // pixel noise stddev
+
+  static DigitStyle random(Rng& rng) {
+    DigitStyle s;
+    s.jitter = Jitter::random(rng, /*max_angle=*/0.13, /*scale_spread=*/0.12,
+                              /*max_shift=*/0.055);
+    // Thick, saturated strokes, like MNIST's: robustness to l-inf noise
+    // requires the class evidence to survive +-eps per pixel, which a
+    // 1-pixel hairline would not.
+    s.radius = rng.uniform(1.4, 2.0);
+    s.intensity = rng.uniform(0.95, 1.0);
+    s.noise = rng.uniform(0.01, 0.03);
+    return s;
+  }
+};
+
+void draw_digit(Canvas& c, std::size_t cls, const DigitStyle& s) {
+  const Jitter& j = s.jitter;
+  const double r = s.radius;
+  const double ink = s.intensity;
+  switch (cls) {
+    case 0:
+      c.arc(0.5, 0.5, 0.21, 0.3, 0.0, 2.0 * kPi, r, ink, j);
+      break;
+    case 1:
+      c.segment(0.52, 0.17, 0.52, 0.83, r, ink, j);
+      c.segment(0.38, 0.32, 0.52, 0.17, r, ink, j);
+      break;
+    case 2:
+      // Top hook, body diagonal, base bar.
+      c.arc(0.5, 0.33, 0.2, 0.15, -kPi, 0.35 * kPi, r, ink, j);
+      c.segment(0.67, 0.45, 0.31, 0.8, r, ink, j);
+      c.segment(0.31, 0.8, 0.72, 0.8, r, ink, j);
+      break;
+    case 3:
+      c.arc(0.45, 0.35, 0.2, 0.16, -0.7 * kPi, 0.5 * kPi, r, ink, j);
+      c.arc(0.45, 0.66, 0.22, 0.17, -0.5 * kPi, 0.7 * kPi, r, ink, j);
+      break;
+    case 4:
+      c.segment(0.63, 0.15, 0.63, 0.85, r, ink, j);
+      c.segment(0.63, 0.15, 0.3, 0.58, r, ink, j);
+      c.segment(0.25, 0.58, 0.78, 0.58, r, ink, j);
+      break;
+    case 5:
+      c.segment(0.34, 0.18, 0.7, 0.18, r, ink, j);
+      c.segment(0.34, 0.18, 0.33, 0.47, r, ink, j);
+      c.arc(0.46, 0.64, 0.22, 0.19, -0.55 * kPi, 0.75 * kPi, r, ink, j);
+      break;
+    case 6:
+      // Left spine curving into a closed bottom loop.
+      c.arc(0.62, 0.45, 0.3, 0.33, 0.55 * kPi, 1.05 * kPi, r, ink, j);
+      c.arc(0.48, 0.66, 0.17, 0.15, 0.0, 2.0 * kPi, r, ink, j);
+      break;
+    case 7:
+      c.segment(0.28, 0.2, 0.73, 0.2, r, ink, j);
+      c.segment(0.73, 0.2, 0.43, 0.85, r, ink, j);
+      break;
+    case 8:
+      c.arc(0.5, 0.34, 0.16, 0.14, 0.0, 2.0 * kPi, r, ink, j);
+      c.arc(0.5, 0.66, 0.2, 0.17, 0.0, 2.0 * kPi, r, ink, j);
+      break;
+    case 9:
+      c.arc(0.52, 0.35, 0.17, 0.14, 0.0, 2.0 * kPi, r, ink, j);
+      c.segment(0.69, 0.36, 0.6, 0.85, r, ink, j);
+      break;
+    default:
+      SATD_EXPECT(false, "digit class must be 0-9");
+  }
+}
+
+DatasetPair make_split(const SyntheticConfig& cfg, const std::string& name,
+                       Tensor (*render)(std::size_t, Rng&),
+                       std::uint64_t stream_salt) {
+  SATD_EXPECT(cfg.train_size > 0 && cfg.test_size > 0,
+              "dataset sizes must be positive");
+  Rng root(cfg.seed);
+  Rng train_rng = root.fork(stream_salt);
+  Rng test_rng = root.fork(stream_salt + 1);
+
+  auto build = [&](std::size_t n, Rng& rng, const char* split) {
+    Dataset d;
+    d.name = name + "/" + split;
+    d.num_classes = 10;
+    d.images = Tensor(Shape{n, 1, 28, 28});
+    d.labels.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      // Round-robin class assignment keeps the split exactly balanced;
+      // a shuffle below removes the ordering.
+      const std::size_t cls = i % 10;
+      d.labels[i] = cls;
+      d.images.set_row(i, render(cls, rng));
+    }
+    std::vector<std::size_t> idx(n);
+    for (std::size_t i = 0; i < n; ++i) idx[i] = i;
+    rng.shuffle(idx);
+    return d.gather(idx);
+  };
+
+  DatasetPair pair;
+  pair.train = build(cfg.train_size, train_rng, "train");
+  pair.test = build(cfg.test_size, test_rng, "test");
+  return pair;
+}
+
+}  // namespace
+
+Tensor render_digit(std::size_t cls, Rng& rng) {
+  SATD_EXPECT(cls < 10, "digit class must be 0-9");
+  Canvas c(28);
+  const DigitStyle style = DigitStyle::random(rng);
+  draw_digit(c, cls, style);
+  c.add_noise(rng, style.noise);
+  return c.to_tensor();
+}
+
+DatasetPair make_synthetic_digits(const SyntheticConfig& cfg) {
+  return make_split(cfg, "synthetic-digits", &render_digit, 0x0D16);
+}
+
+DatasetPair make_dataset(const std::string& name, const SyntheticConfig& cfg) {
+  if (name == "digits") return make_synthetic_digits(cfg);
+  if (name == "fashion") return make_synthetic_fashion(cfg);
+  SATD_EXPECT(false, "unknown dataset: " + name + " (try digits|fashion)");
+  return {};
+}
+
+}  // namespace satd::data

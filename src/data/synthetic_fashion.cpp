@@ -1,0 +1,160 @@
+#include <cmath>
+#include <numbers>
+
+#include "common/contract.h"
+#include "data/glyph.h"
+#include "data/synthetic.h"
+
+namespace satd::data {
+
+namespace {
+
+constexpr double kPi = std::numbers::pi;
+
+struct FashionStyle {
+  Jitter jitter;
+  double fill;    // garment brightness
+  double texture; // cloth texture amplitude
+  double noise;   // background pixel noise
+
+  static FashionStyle random(Rng& rng) {
+    FashionStyle s;
+    s.jitter = Jitter::random(rng, /*max_angle=*/0.14, /*scale_spread=*/0.16,
+                              /*max_shift=*/0.05);
+    s.fill = rng.uniform(0.55, 0.95);
+    s.texture = rng.uniform(0.08, 0.2);
+    s.noise = rng.uniform(0.02, 0.05);
+    return s;
+  }
+};
+
+// Torso helper shared by the three confusable top-wear classes; the
+// sleeve geometry is what (weakly) separates them, mirroring how
+// t-shirt / pullover / shirt differ in Fashion-MNIST.
+void draw_torso(Canvas& c, const FashionStyle& s, double top, double bottom) {
+  c.fill_rect(0.33, top, 0.67, bottom, s.fill, s.jitter);
+}
+
+void draw_fashion(Canvas& c, std::size_t cls, const FashionStyle& s,
+                  Rng& rng) {
+  const Jitter& j = s.jitter;
+  const double f = s.fill;
+  switch (cls) {
+    case 0: {  // t-shirt: torso + short sleeves
+      draw_torso(c, s, 0.28, 0.78);
+      c.fill_rect(0.18, 0.28, 0.33, 0.46, f, j);
+      c.fill_rect(0.67, 0.28, 0.82, 0.46, f, j);
+      break;
+    }
+    case 1: {  // trouser: waistband + two legs with a gap
+      c.fill_rect(0.36, 0.18, 0.64, 0.3, f, j);
+      c.fill_rect(0.36, 0.3, 0.47, 0.85, f, j);
+      c.fill_rect(0.53, 0.3, 0.64, 0.85, f, j);
+      break;
+    }
+    case 2: {  // pullover: torso + full-length sleeves
+      draw_torso(c, s, 0.26, 0.78);
+      c.fill_rect(0.16, 0.26, 0.33, 0.76, f, j);
+      c.fill_rect(0.67, 0.26, 0.84, 0.76, f, j);
+      break;
+    }
+    case 3: {  // dress: narrow shoulders flaring to a wide hem
+      c.fill_triangle(0.44, 0.18, 0.56, 0.18, 0.76, 0.85, f, j);
+      c.fill_triangle(0.44, 0.18, 0.76, 0.85, 0.24, 0.85, f, j);
+      break;
+    }
+    case 4: {  // coat: long split body + sleeves
+      c.fill_rect(0.3, 0.2, 0.485, 0.85, f, j);
+      c.fill_rect(0.515, 0.2, 0.7, 0.85, f, j);
+      c.fill_rect(0.15, 0.22, 0.3, 0.8, f, j);
+      c.fill_rect(0.7, 0.22, 0.85, 0.8, f, j);
+      break;
+    }
+    case 5: {  // sandal: thin sole + sparse straps
+      c.fill_rect(0.2, 0.68, 0.8, 0.75, f, j);
+      c.segment(0.3, 0.68, 0.42, 0.52, 0.9, f, j);
+      c.segment(0.55, 0.52, 0.68, 0.68, 0.9, f, j);
+      c.segment(0.42, 0.52, 0.55, 0.52, 0.9, f, j);
+      break;
+    }
+    case 6: {  // shirt: torso + mid sleeves + collar notch strokes
+      draw_torso(c, s, 0.27, 0.8);
+      c.fill_rect(0.17, 0.27, 0.33, 0.6, f, j);
+      c.fill_rect(0.67, 0.27, 0.83, 0.6, f, j);
+      c.segment(0.45, 0.27, 0.5, 0.36, 1.0, std::min(1.0, f + 0.25), j);
+      c.segment(0.55, 0.27, 0.5, 0.36, 1.0, std::min(1.0, f + 0.25), j);
+      break;
+    }
+    case 7: {  // sneaker: low profile body + thick sole
+      c.fill_ellipse(0.47, 0.62, 0.3, 0.13, f, j);
+      c.fill_rect(0.16, 0.68, 0.84, 0.77, std::min(1.0, f + 0.15), j);
+      break;
+    }
+    case 8: {  // bag: box + handle
+      c.fill_rect(0.26, 0.44, 0.74, 0.8, f, j);
+      c.arc(0.5, 0.44, 0.17, 0.15, -kPi, 0.0, 1.2, f, j);
+      break;
+    }
+    case 9: {  // ankle boot: foot + shaft + sole
+      c.fill_ellipse(0.42, 0.66, 0.26, 0.12, f, j);
+      c.fill_rect(0.52, 0.32, 0.72, 0.7, f, j);
+      c.fill_rect(0.16, 0.72, 0.78, 0.8, std::min(1.0, f + 0.15), j);
+      break;
+    }
+    default:
+      SATD_EXPECT(false, "fashion class must be 0-9");
+  }
+  c.texture(rng, s.texture);
+}
+
+}  // namespace
+
+Tensor render_fashion(std::size_t cls, Rng& rng) {
+  SATD_EXPECT(cls < 10, "fashion class must be 0-9");
+  Canvas c(28);
+  const FashionStyle style = FashionStyle::random(rng);
+  draw_fashion(c, cls, style, rng);
+  c.blur(1);
+  c.add_noise(rng, style.noise);
+  return c.to_tensor();
+}
+
+DatasetPair make_synthetic_fashion(const SyntheticConfig& cfg) {
+  SATD_EXPECT(cfg.train_size > 0 && cfg.test_size > 0,
+              "dataset sizes must be positive");
+  Rng root(cfg.seed);
+  Rng train_rng = root.fork(0xFA51);
+  Rng test_rng = root.fork(0xFA52);
+
+  auto build = [&](std::size_t n, Rng& rng, const char* split) {
+    Dataset d;
+    d.name = std::string("synthetic-fashion/") + split;
+    d.num_classes = 10;
+    d.images = Tensor(Shape{n, 1, 28, 28});
+    d.labels.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::size_t cls = i % 10;
+      d.labels[i] = cls;
+      d.images.set_row(i, render_fashion(cls, rng));
+    }
+    std::vector<std::size_t> idx(n);
+    for (std::size_t i = 0; i < n; ++i) idx[i] = i;
+    rng.shuffle(idx);
+    return d.gather(idx);
+  };
+
+  DatasetPair pair;
+  pair.train = build(cfg.train_size, train_rng, "train");
+  pair.test = build(cfg.test_size, test_rng, "test");
+  return pair;
+}
+
+const char* fashion_class_name(std::size_t cls) {
+  static const char* kNames[10] = {"t-shirt", "trouser", "pullover", "dress",
+                                   "coat",    "sandal",  "shirt",    "sneaker",
+                                   "bag",     "ankle-boot"};
+  SATD_EXPECT(cls < 10, "fashion class must be 0-9");
+  return kNames[cls];
+}
+
+}  // namespace satd::data

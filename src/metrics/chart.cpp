@@ -1,0 +1,111 @@
+#include "metrics/chart.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/contract.h"
+
+namespace satd::metrics {
+
+namespace {
+constexpr char kGlyphs[] = {'o', '+', 'x', '*', '#', '@', '%', '&'};
+}
+
+AsciiChart::AsciiChart(std::size_t width, std::size_t height)
+    : width_(width), height_(height) {
+  SATD_EXPECT(width >= 10 && height >= 4, "chart too small");
+}
+
+void AsciiChart::add_series(const std::string& name,
+                            const std::vector<float>& ys) {
+  SATD_EXPECT(!ys.empty(), "empty series");
+  if (!series_.empty()) {
+    SATD_EXPECT(ys.size() == series_.front().ys.size(),
+                "series length mismatch");
+  }
+  for (float y : ys) {
+    SATD_EXPECT(y >= 0.0f && y <= 1.0f, "series values must be in [0,1]");
+  }
+  Series s;
+  s.name = name;
+  s.ys = ys;
+  s.glyph = kGlyphs[series_.size() % (sizeof kGlyphs)];
+  series_.push_back(std::move(s));
+}
+
+void AsciiChart::set_x_labels(const std::vector<std::string>& labels) {
+  x_labels_ = labels;
+}
+
+std::string AsciiChart::to_string() const {
+  SATD_EXPECT(!series_.empty(), "chart has no series");
+  const std::size_t points = series_.front().ys.size();
+  // Grid of plot cells; row 0 is the TOP (y = 1.0).
+  std::vector<std::string> grid(height_, std::string(width_, ' '));
+  auto col_of = [&](std::size_t i) {
+    return points == 1
+               ? width_ / 2
+               : i * (width_ - 1) / (points - 1);
+  };
+  auto row_of = [&](float y) {
+    const auto r = static_cast<std::size_t>(
+        std::lround((1.0f - y) * static_cast<float>(height_ - 1)));
+    return std::min(r, height_ - 1);
+  };
+  for (const Series& s : series_) {
+    // Mark the points and connect with linear interpolation.
+    for (std::size_t i = 0; i + 1 < points; ++i) {
+      const std::size_t c0 = col_of(i), c1 = col_of(i + 1);
+      for (std::size_t c = c0; c <= c1; ++c) {
+        const float t = c1 == c0 ? 0.0f
+                                 : static_cast<float>(c - c0) /
+                                       static_cast<float>(c1 - c0);
+        const float y = s.ys[i] + t * (s.ys[i + 1] - s.ys[i]);
+        grid[row_of(y)][c] = s.glyph;
+      }
+    }
+    if (points == 1) grid[row_of(s.ys[0])][col_of(0)] = s.glyph;
+  }
+
+  std::ostringstream ss;
+  for (std::size_t r = 0; r < height_; ++r) {
+    // Y axis labels at the top, middle and bottom rows.
+    const float y =
+        1.0f - static_cast<float>(r) / static_cast<float>(height_ - 1);
+    if (r == 0 || r == height_ - 1 || r == (height_ - 1) / 2) {
+      char label[8];
+      std::snprintf(label, sizeof label, "%4.0f%% ", y * 100.0f);
+      ss << label;
+    } else {
+      ss << "      ";
+    }
+    ss << "|" << grid[r] << "\n";
+  }
+  ss << "      +" << std::string(width_, '-') << "\n";
+  // Sparse x labels: first, middle, last.
+  if (!x_labels_.empty() && x_labels_.size() == points) {
+    std::string axis(width_ + 7, ' ');
+    auto place = [&](std::size_t i) {
+      const std::string& lab = x_labels_[i];
+      std::size_t start = 7 + col_of(i);
+      if (start + lab.size() > axis.size()) {
+        start = axis.size() - lab.size();
+      }
+      axis.replace(start, lab.size(), lab);
+    };
+    place(0);
+    if (points > 2) place(points / 2);
+    if (points > 1) place(points - 1);
+    ss << axis << "\n";
+  }
+  // Legend.
+  ss << "      ";
+  for (const Series& s : series_) {
+    ss << s.glyph << "=" << s.name << "  ";
+  }
+  ss << "\n";
+  return ss.str();
+}
+
+}  // namespace satd::metrics

@@ -1,0 +1,47 @@
+// ASCII line charts for terminal-rendered "figures".
+//
+// The paper's Figures 1 and 2 are accuracy-vs-iteration line plots; the
+// figure benches print both the exact numbers (Table) and an AsciiChart
+// rendering so the curve shapes (collapse, convergence, flatness) are
+// visible directly in the bench output.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace satd::metrics {
+
+/// Multi-series line chart on a character grid.
+///
+/// Y values are fractions in [0, 1] (accuracies); X is an evenly spaced
+/// category axis labeled by the caller. Each series gets a distinct
+/// glyph; collisions show the later-added series.
+class AsciiChart {
+ public:
+  /// `height` rows of plot area (plus axes); `width` columns.
+  AsciiChart(std::size_t width = 60, std::size_t height = 16);
+
+  /// Adds one series. `ys` length must match the x-label count of the
+  /// first series added.
+  void add_series(const std::string& name, const std::vector<float>& ys);
+
+  /// Sets the x-axis tick labels (one per point, sparsely printed).
+  void set_x_labels(const std::vector<std::string>& labels);
+
+  /// Renders the chart + legend.
+  std::string to_string() const;
+
+ private:
+  struct Series {
+    std::string name;
+    std::vector<float> ys;
+    char glyph;
+  };
+
+  std::size_t width_;
+  std::size_t height_;
+  std::vector<Series> series_;
+  std::vector<std::string> x_labels_;
+};
+
+}  // namespace satd::metrics

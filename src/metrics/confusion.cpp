@@ -1,0 +1,90 @@
+#include "metrics/confusion.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+#include "common/contract.h"
+#include "tensor/ops.h"
+
+namespace satd::metrics {
+
+ConfusionMatrix::ConfusionMatrix(std::size_t num_classes)
+    : k_(num_classes), counts_(num_classes * num_classes, 0) {
+  SATD_EXPECT(num_classes > 0, "num_classes must be positive");
+}
+
+void ConfusionMatrix::record(std::size_t truth, std::size_t predicted) {
+  SATD_EXPECT(truth < k_ && predicted < k_, "class out of range");
+  ++counts_[truth * k_ + predicted];
+  ++total_;
+}
+
+std::size_t ConfusionMatrix::count(std::size_t truth,
+                                   std::size_t predicted) const {
+  SATD_EXPECT(truth < k_ && predicted < k_, "class out of range");
+  return counts_[truth * k_ + predicted];
+}
+
+float ConfusionMatrix::accuracy() const {
+  if (total_ == 0) return 0.0f;
+  std::size_t diag = 0;
+  for (std::size_t i = 0; i < k_; ++i) diag += counts_[i * k_ + i];
+  return static_cast<float>(diag) / static_cast<float>(total_);
+}
+
+float ConfusionMatrix::recall(std::size_t cls) const {
+  SATD_EXPECT(cls < k_, "class out of range");
+  std::size_t row = 0;
+  for (std::size_t j = 0; j < k_; ++j) row += counts_[cls * k_ + j];
+  if (row == 0) return 0.0f;
+  return static_cast<float>(counts_[cls * k_ + cls]) /
+         static_cast<float>(row);
+}
+
+float ConfusionMatrix::precision(std::size_t cls) const {
+  SATD_EXPECT(cls < k_, "class out of range");
+  std::size_t col = 0;
+  for (std::size_t i = 0; i < k_; ++i) col += counts_[i * k_ + cls];
+  if (col == 0) return 0.0f;
+  return static_cast<float>(counts_[cls * k_ + cls]) /
+         static_cast<float>(col);
+}
+
+std::string ConfusionMatrix::to_string() const {
+  std::ostringstream ss;
+  ss << "true\\pred";
+  for (std::size_t j = 0; j < k_; ++j) ss << std::setw(6) << j;
+  ss << "\n";
+  for (std::size_t i = 0; i < k_; ++i) {
+    ss << std::setw(9) << i;
+    for (std::size_t j = 0; j < k_; ++j) {
+      ss << std::setw(6) << counts_[i * k_ + j];
+    }
+    ss << "\n";
+  }
+  return ss.str();
+}
+
+ConfusionMatrix confusion_on(nn::Sequential& model, const data::Dataset& test,
+                             std::size_t batch_size) {
+  SATD_EXPECT(batch_size > 0, "batch size must be positive");
+  ConfusionMatrix cm(test.num_classes);
+  const std::size_t n = test.size();
+  const auto& dims = test.images.shape().dims();
+  for (std::size_t begin = 0; begin < n; begin += batch_size) {
+    const std::size_t end = std::min(begin + batch_size, n);
+    Tensor images(Shape{end - begin, dims[1], dims[2], dims[3]});
+    for (std::size_t i = begin; i < end; ++i) {
+      images.set_row(i - begin, test.images.slice_row(i));
+    }
+    const Tensor logits = model.forward(images, /*training=*/false);
+    const auto preds = ops::argmax_rows(logits);
+    for (std::size_t i = begin; i < end; ++i) {
+      cm.record(test.labels[i], preds[i - begin]);
+    }
+  }
+  return cm;
+}
+
+}  // namespace satd::metrics

@@ -1,0 +1,46 @@
+// Confusion matrix for per-class error analysis.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+#include "nn/sequential.h"
+
+namespace satd::metrics {
+
+/// K x K confusion counts (rows = true class, cols = predicted class).
+class ConfusionMatrix {
+ public:
+  explicit ConfusionMatrix(std::size_t num_classes);
+
+  void record(std::size_t truth, std::size_t predicted);
+
+  std::size_t count(std::size_t truth, std::size_t predicted) const;
+  std::size_t total() const { return total_; }
+  std::size_t num_classes() const { return k_; }
+
+  /// Overall accuracy (0 when empty).
+  float accuracy() const;
+
+  /// Recall of one class (0 when the class has no examples).
+  float recall(std::size_t cls) const;
+
+  /// Precision of one class (0 when the class was never predicted).
+  float precision(std::size_t cls) const;
+
+  /// Aligned text rendering.
+  std::string to_string() const;
+
+ private:
+  std::size_t k_;
+  std::size_t total_ = 0;
+  std::vector<std::size_t> counts_;  // k*k row-major
+};
+
+/// Evaluates the model over a dataset and fills a confusion matrix.
+ConfusionMatrix confusion_on(nn::Sequential& model, const data::Dataset& test,
+                             std::size_t batch_size = 64);
+
+}  // namespace satd::metrics

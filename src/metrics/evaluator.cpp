@@ -1,0 +1,136 @@
+#include "metrics/evaluator.h"
+
+#include <algorithm>
+
+#include "attack/bim.h"
+#include "common/contract.h"
+#include "nn/loss.h"
+#include "tensor/ops.h"
+
+namespace satd::metrics {
+
+namespace {
+
+/// Iterates the test set in fixed-size batches, invoking
+/// fn(images, labels) per batch.
+template <typename Fn>
+void for_each_batch(const data::Dataset& test, std::size_t batch_size,
+                    Fn&& fn) {
+  SATD_EXPECT(batch_size > 0, "batch size must be positive");
+  const std::size_t n = test.size();
+  const auto& dims = test.images.shape().dims();
+  for (std::size_t begin = 0; begin < n; begin += batch_size) {
+    const std::size_t end = std::min(begin + batch_size, n);
+    Tensor images(Shape{end - begin, dims[1], dims[2], dims[3]});
+    std::vector<std::size_t> labels(test.labels.begin() +
+                                        static_cast<std::ptrdiff_t>(begin),
+                                    test.labels.begin() +
+                                        static_cast<std::ptrdiff_t>(end));
+    for (std::size_t i = begin; i < end; ++i) {
+      images.set_row(i - begin, test.images.slice_row(i));
+    }
+    fn(images, labels);
+  }
+}
+
+std::size_t count_correct(nn::Sequential& model, const Tensor& images,
+                          const std::vector<std::size_t>& labels) {
+  const Tensor logits = model.forward(images, /*training=*/false);
+  const auto preds = ops::argmax_rows(logits);
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    if (preds[i] == labels[i]) ++correct;
+  }
+  return correct;
+}
+
+}  // namespace
+
+float evaluate_clean(nn::Sequential& model, const data::Dataset& test,
+                     std::size_t batch_size) {
+  SATD_EXPECT(test.size() > 0, "empty test set");
+  std::size_t correct = 0;
+  for_each_batch(test, batch_size,
+                 [&](const Tensor& images, const std::vector<std::size_t>& labels) {
+                   correct += count_correct(model, images, labels);
+                 });
+  return static_cast<float>(correct) / static_cast<float>(test.size());
+}
+
+float evaluate_attack(nn::Sequential& model, const data::Dataset& test,
+                      attack::Attack& attack, std::size_t batch_size) {
+  SATD_EXPECT(test.size() > 0, "empty test set");
+  std::size_t correct = 0;
+  for_each_batch(test, batch_size,
+                 [&](const Tensor& images, const std::vector<std::size_t>& labels) {
+                   const Tensor adv = attack.perturb(model, images, labels);
+                   correct += count_correct(model, adv, labels);
+                 });
+  return static_cast<float>(correct) / static_cast<float>(test.size());
+}
+
+std::vector<CurvePoint> robust_curve(
+    nn::Sequential& model, const data::Dataset& test, float eps,
+    const std::vector<std::size_t>& iteration_counts, std::size_t batch_size) {
+  std::vector<CurvePoint> curve;
+  curve.reserve(iteration_counts.size());
+  for (std::size_t n : iteration_counts) {
+    attack::Bim bim(eps, n);  // eps_step = eps / n, per the paper
+    CurvePoint p;
+    p.iterations = n;
+    p.accuracy = evaluate_attack(model, test, bim, batch_size);
+    curve.push_back(p);
+  }
+  return curve;
+}
+
+std::vector<CurvePoint> intermediate_curve(nn::Sequential& model,
+                                           const data::Dataset& test,
+                                           float eps,
+                                           std::size_t total_iterations,
+                                           std::size_t batch_size) {
+  SATD_EXPECT(total_iterations > 0, "need at least one iteration");
+  std::vector<std::size_t> correct(total_iterations, 0);
+  attack::Bim bim(eps, total_iterations);
+  for_each_batch(
+      test, batch_size,
+      [&](const Tensor& images, const std::vector<std::size_t>& labels) {
+        const auto trace = bim.perturb_with_trace(model, images, labels);
+        SATD_ENSURE(trace.size() == total_iterations, "trace length mismatch");
+        for (std::size_t t = 0; t < trace.size(); ++t) {
+          correct[t] += count_correct(model, trace[t], labels);
+        }
+      });
+  std::vector<CurvePoint> curve(total_iterations);
+  for (std::size_t t = 0; t < total_iterations; ++t) {
+    curve[t].iterations = t + 1;
+    curve[t].accuracy =
+        static_cast<float>(correct[t]) / static_cast<float>(test.size());
+  }
+  return curve;
+}
+
+std::vector<EpsPoint> accuracy_vs_eps(nn::Sequential& model,
+                                      const data::Dataset& test,
+                                      const std::vector<float>& eps_values,
+                                      std::size_t iterations,
+                                      std::size_t batch_size) {
+  SATD_EXPECT(iterations > 0, "need at least one iteration");
+  std::vector<EpsPoint> profile;
+  profile.reserve(eps_values.size());
+  for (float eps : eps_values) {
+    SATD_EXPECT(eps >= 0.0f, "eps must be non-negative");
+    EpsPoint p;
+    p.eps = eps;
+    if (eps == 0.0f) {
+      p.accuracy = evaluate_clean(model, test, batch_size);
+    } else {
+      attack::Bim bim(eps, iterations);
+      p.accuracy = evaluate_attack(model, test, bim, batch_size);
+    }
+    profile.push_back(p);
+  }
+  return profile;
+}
+
+}  // namespace satd::metrics

@@ -1,0 +1,59 @@
+// Robust-accuracy evaluation: the measurements behind Figures 1-2 and
+// Table I.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "attack/attack.h"
+#include "data/dataset.h"
+#include "nn/sequential.h"
+
+namespace satd::metrics {
+
+/// Accuracy on clean examples.
+float evaluate_clean(nn::Sequential& model, const data::Dataset& test,
+                     std::size_t batch_size = 64);
+
+/// Accuracy under an attack (the attack perturbs each test batch).
+float evaluate_attack(nn::Sequential& model, const data::Dataset& test,
+                      attack::Attack& attack, std::size_t batch_size = 64);
+
+/// One point of an accuracy-vs-iterations curve.
+struct CurvePoint {
+  std::size_t iterations = 0;
+  float accuracy = 0.0f;
+};
+
+/// Figure 1: accuracy against BIM(N) for each N in `iteration_counts`,
+/// with the paper's eps_step = eps / N convention.
+std::vector<CurvePoint> robust_curve(nn::Sequential& model,
+                                     const data::Dataset& test, float eps,
+                                     const std::vector<std::size_t>& iteration_counts,
+                                     std::size_t batch_size = 64);
+
+/// Figure 2: accuracy on the INTERMEDIATE iterates of BIM(total_iterations)
+/// (eps_step = eps / total_iterations); element i is the accuracy after
+/// iteration i+1.
+std::vector<CurvePoint> intermediate_curve(nn::Sequential& model,
+                                           const data::Dataset& test,
+                                           float eps,
+                                           std::size_t total_iterations,
+                                           std::size_t batch_size = 64);
+
+/// One point of an accuracy-vs-budget profile.
+struct EpsPoint {
+  float eps = 0.0f;
+  float accuracy = 0.0f;
+};
+
+/// Robustness profile: accuracy under BIM(iterations) across a sweep of
+/// total budgets (eps_step = eps / iterations at each point). The x-axis
+/// complement to Figure 1's iteration sweep.
+std::vector<EpsPoint> accuracy_vs_eps(nn::Sequential& model,
+                                      const data::Dataset& test,
+                                      const std::vector<float>& eps_values,
+                                      std::size_t iterations,
+                                      std::size_t batch_size = 64);
+
+}  // namespace satd::metrics

@@ -1,0 +1,88 @@
+#include "metrics/experiment.h"
+
+#include <cstdlib>
+#include <sstream>
+
+#include "common/contract.h"
+
+namespace satd::metrics {
+
+namespace {
+std::size_t env_size(const char* name, std::size_t fallback) {
+  if (const char* v = std::getenv(name)) {
+    const long long parsed = std::atoll(v);
+    SATD_EXPECT(parsed > 0, std::string(name) + " must be positive");
+    return static_cast<std::size_t>(parsed);
+  }
+  return fallback;
+}
+
+std::string env_string(const char* name, const std::string& fallback) {
+  if (const char* v = std::getenv(name)) return v;
+  return fallback;
+}
+}  // namespace
+
+float ExperimentEnv::eps_for(const std::string& dataset) {
+  if (dataset == "digits") return 0.3f;
+  if (dataset == "fashion") return 0.2f;
+  SATD_EXPECT(false, "unknown dataset: " + dataset);
+  return 0.0f;
+}
+
+ExperimentEnv ExperimentEnv::from_env() {
+  ExperimentEnv env;
+  const std::string scale = env_string("SATD_SCALE", "fast");
+  if (scale == "paper") {
+    // Still far below 60k MNIST, but large enough that accuracies have
+    // ~1% resolution; expect tens of minutes of total bench time.
+    env.train_size = 4000;
+    env.test_size = 1000;
+    env.epochs = 40;
+  } else if (scale == "smoke") {
+    env.train_size = 200;
+    env.test_size = 100;
+    env.epochs = 6;
+  } else {
+    SATD_EXPECT(scale == "fast", "SATD_SCALE must be fast|paper|smoke");
+  }
+  env.train_size = env_size("SATD_TRAIN_SIZE", env.train_size);
+  env.test_size = env_size("SATD_TEST_SIZE", env.test_size);
+  env.epochs = env_size("SATD_EPOCHS", env.epochs);
+  env.batch_size = env_size("SATD_BATCH", env.batch_size);
+  env.seed = env_size("SATD_SEED", env.seed);
+  env.model_spec = env_string("SATD_MODEL", env.model_spec);
+  env.cache_dir = env_string("SATD_CACHE_DIR", env.cache_dir);
+  return env;
+}
+
+data::SyntheticConfig ExperimentEnv::dataset_config() const {
+  data::SyntheticConfig cfg;
+  cfg.train_size = train_size;
+  cfg.test_size = test_size;
+  cfg.seed = seed;
+  return cfg;
+}
+
+core::TrainConfig ExperimentEnv::train_config(const std::string& dataset) const {
+  core::TrainConfig cfg;
+  cfg.epochs = epochs;
+  cfg.batch_size = batch_size;
+  cfg.learning_rate = learning_rate;
+  cfg.seed = seed;
+  cfg.eps = eps_for(dataset);
+  // The paper resets every 20 epochs; keep that when the run is long
+  // enough, otherwise scale down so at least one mid-run reset happens.
+  cfg.reset_period = epochs >= 30 ? 20 : (epochs / 2 > 0 ? epochs / 2 : 1);
+  return cfg;
+}
+
+std::string ExperimentEnv::describe() const {
+  std::ostringstream ss;
+  ss << "train=" << train_size << " test=" << test_size
+     << " epochs=" << epochs << " batch=" << batch_size << " model="
+     << model_spec << " seed=" << seed;
+  return ss.str();
+}
+
+}  // namespace satd::metrics

@@ -1,0 +1,47 @@
+// Shared bench environment: one place that decides workload scale.
+//
+// The paper trained on full MNIST/Fashion-MNIST on a GPU; this
+// reproduction runs on whatever CPU is present, so every bench reads its
+// scale from here. Defaults reproduce the result shapes in a few minutes
+// on a single core; set SATD_SCALE=paper for a larger run, or override
+// individual knobs (SATD_TRAIN_SIZE, SATD_TEST_SIZE, SATD_EPOCHS,
+// SATD_SEED, SATD_MODEL, SATD_CACHE_DIR).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/trainer.h"
+#include "data/synthetic.h"
+
+namespace satd::metrics {
+
+/// Resolved experiment-scale knobs.
+struct ExperimentEnv {
+  std::size_t train_size = 1000;
+  std::size_t test_size = 400;
+  std::size_t epochs = 30;
+  std::size_t batch_size = 32;
+  std::uint64_t seed = 42;
+  std::string model_spec = "cnn_small";
+  std::string cache_dir = "bench_cache";
+  double learning_rate = 1e-3;
+
+  /// Per-dataset attack budget, per the paper: 0.3 digits, 0.2 fashion.
+  static float eps_for(const std::string& dataset);
+
+  /// Reads the environment (see file comment) and returns the knobs.
+  static ExperimentEnv from_env();
+
+  /// Synthetic-dataset config for this scale.
+  data::SyntheticConfig dataset_config() const;
+
+  /// Baseline TrainConfig for this scale and dataset (method knobs are
+  /// left at their defaults; callers override as needed).
+  core::TrainConfig train_config(const std::string& dataset) const;
+
+  /// One-line description for bench headers.
+  std::string describe() const;
+};
+
+}  // namespace satd::metrics

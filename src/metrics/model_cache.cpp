@@ -1,0 +1,104 @@
+#include "metrics/model_cache.h"
+
+#include <filesystem>
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+
+#include "common/contract.h"
+#include "common/log.h"
+#include "common/rng.h"
+#include "nn/model_io.h"
+#include "nn/zoo.h"
+
+namespace satd::metrics {
+
+namespace fs = std::filesystem;
+
+std::string ModelKey::stem() const {
+  // Human-readable prefix + a hash of every field so near-misses (e.g. a
+  // different eps) can never collide.
+  std::ostringstream ss;
+  ss << dataset << "_" << method;
+  if (bim_iterations > 0) ss << "_n" << bim_iterations;
+  ss << "_t" << train_size << "_e" << epochs << "_s" << seed;
+  std::uint64_t h = 0x5AD15EEDULL;
+  auto mix = [&h](std::uint64_t v) {
+    h ^= v + 0x9E3779B97F4A7C15ULL + (h << 6) + (h >> 2);
+    h = splitmix64(h);
+  };
+  for (char c : method) mix(static_cast<std::uint64_t>(c));
+  for (char c : dataset) mix(static_cast<std::uint64_t>(c));
+  for (char c : model_spec) mix(static_cast<std::uint64_t>(c));
+  mix(train_size);
+  mix(epochs);
+  mix(batch_size);
+  mix(seed);
+  mix(static_cast<std::uint64_t>(eps * 1e6f));
+  mix(bim_iterations);
+  mix(reset_period);
+  mix(static_cast<std::uint64_t>(step_fraction * 1e6f));
+  ss << "_" << std::hex << std::setw(8) << std::setfill('0')
+     << static_cast<std::uint32_t>(h & 0xFFFFFFFFu);
+  return ss.str();
+}
+
+void write_report_file(const std::string& path,
+                       const core::TrainReport& report) {
+  std::ofstream os(path);
+  SATD_EXPECT(static_cast<bool>(os), "cannot write report: " + path);
+  os << "method " << report.method << "\n";
+  os << "epochs " << report.epochs.size() << "\n";
+  os << std::setprecision(9);
+  for (const auto& e : report.epochs) {
+    os << e.epoch << " " << e.mean_loss << " " << e.seconds << "\n";
+  }
+}
+
+core::TrainReport read_report_file(const std::string& path) {
+  std::ifstream is(path);
+  SATD_EXPECT(static_cast<bool>(is), "cannot read report: " + path);
+  core::TrainReport report;
+  std::string tag;
+  is >> tag >> report.method;
+  SATD_EXPECT(tag == "method", "malformed report file: " + path);
+  std::size_t count = 0;
+  is >> tag >> count;
+  SATD_EXPECT(tag == "epochs", "malformed report file: " + path);
+  report.epochs.resize(count);
+  for (auto& e : report.epochs) {
+    is >> e.epoch >> e.mean_loss >> e.seconds;
+  }
+  SATD_EXPECT(static_cast<bool>(is), "truncated report file: " + path);
+  return report;
+}
+
+CachedModel train_or_load(
+    const std::string& cache_dir, const ModelKey& key,
+    const std::function<core::TrainReport(nn::Sequential&)>& train) {
+  SATD_EXPECT(nn::zoo::is_known_spec(key.model_spec),
+              "unknown model spec: " + key.model_spec);
+  fs::create_directories(cache_dir);
+  const std::string stem = (fs::path(cache_dir) / key.stem()).string();
+  const std::string model_path = stem + ".model";
+  const std::string report_path = stem + ".report";
+
+  CachedModel out;
+  if (fs::exists(model_path) && fs::exists(report_path)) {
+    log::info() << "cache hit: " << model_path;
+    out.model = nn::load_model_file(model_path);
+    out.report = read_report_file(report_path);
+    out.from_cache = true;
+    return out;
+  }
+
+  log::info() << "cache miss, training: " << key.stem();
+  Rng init_rng(key.seed);
+  out.model = nn::zoo::build(key.model_spec, init_rng);
+  out.report = train(out.model);
+  nn::save_model_file(model_path, out.model, key.model_spec);
+  write_report_file(report_path, out.report);
+  return out;
+}
+
+}  // namespace satd::metrics

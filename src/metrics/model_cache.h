@@ -1,0 +1,58 @@
+// Trained-model cache shared by the benches.
+//
+// Several benches evaluate the same trained classifiers (Fig 1 and Fig 2
+// share all four; Table I reuses three of them). Training dominates bench
+// time, so trained models are cached on disk under a key derived from
+// every input that affects the result (method, dataset, scale, seed,
+// model spec). A cache entry is a model file plus a sidecar with the
+// training timings, so Table I's time-per-epoch column survives a cache
+// hit. Delete the cache directory to force retraining.
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "core/trainer.h"
+#include "nn/sequential.h"
+
+namespace satd::metrics {
+
+/// A cached (or freshly trained) model together with its training report.
+struct CachedModel {
+  nn::Sequential model;
+  core::TrainReport report;
+  bool from_cache = false;
+};
+
+/// Everything that identifies a training run.
+struct ModelKey {
+  std::string method;    // trainer factory name
+  std::string dataset;   // "digits" | "fashion"
+  std::string model_spec;
+  std::size_t train_size = 0;
+  std::size_t epochs = 0;
+  std::size_t batch_size = 0;
+  std::uint64_t seed = 0;
+  float eps = 0.0f;
+  std::size_t bim_iterations = 0;   // 0 when not applicable
+  std::size_t reset_period = 0;     // 0 when not applicable
+  float step_fraction = 0.0f;       // 0 when not applicable
+
+  /// Stable filename stem, e.g. "digits_bim_adv_n10_t1000_e30_s42_9f2c".
+  std::string stem() const;
+};
+
+/// Returns the cached model if present, otherwise builds the
+/// architecture, runs `train` on it, and stores model + report.
+/// `train` receives the freshly initialized model and must return the
+/// training report.
+CachedModel train_or_load(
+    const std::string& cache_dir, const ModelKey& key,
+    const std::function<core::TrainReport(nn::Sequential&)>& train);
+
+/// Writes / reads the sidecar report file (exposed for tests).
+void write_report_file(const std::string& path,
+                       const core::TrainReport& report);
+core::TrainReport read_report_file(const std::string& path);
+
+}  // namespace satd::metrics

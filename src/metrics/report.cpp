@@ -1,0 +1,77 @@
+#include "metrics/report.h"
+
+#include <cstdio>
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+
+#include "common/contract.h"
+
+namespace satd::metrics {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {
+  SATD_EXPECT(!header_.empty(), "table needs at least one column");
+}
+
+void Table::add_row(std::vector<std::string> row) {
+  SATD_EXPECT(row.size() == header_.size(),
+              "row width does not match header");
+  rows_.push_back(std::move(row));
+}
+
+std::string Table::to_string() const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t j = 0; j < header_.size(); ++j) width[j] = header_[j].size();
+  for (const auto& row : rows_) {
+    for (std::size_t j = 0; j < row.size(); ++j) {
+      width[j] = std::max(width[j], row[j].size());
+    }
+  }
+  std::ostringstream ss;
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t j = 0; j < row.size(); ++j) {
+      ss << (j == 0 ? "" : "  ") << std::left << std::setw(static_cast<int>(width[j]))
+         << row[j];
+    }
+    ss << "\n";
+  };
+  emit(header_);
+  std::size_t total = 0;
+  for (std::size_t j = 0; j < width.size(); ++j) total += width[j] + (j ? 2 : 0);
+  ss << std::string(total, '-') << "\n";
+  for (const auto& row : rows_) emit(row);
+  return ss.str();
+}
+
+void Table::write_csv(const std::string& path) const {
+  std::ofstream os(path);
+  SATD_EXPECT(static_cast<bool>(os), "cannot open CSV for writing: " + path);
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t j = 0; j < row.size(); ++j) {
+      SATD_EXPECT(row[j].find(',') == std::string::npos,
+                  "CSV cell contains a comma");
+      os << (j ? "," : "") << row[j];
+    }
+    os << "\n";
+  };
+  emit(header_);
+  for (const auto& row : rows_) emit(row);
+}
+
+std::string percent(float fraction) {
+  std::ostringstream ss;
+  ss << std::fixed << std::setprecision(2) << fraction * 100.0f << "%";
+  return ss.str();
+}
+
+std::string seconds(double s) {
+  std::ostringstream ss;
+  ss << std::fixed << std::setprecision(2) << s;
+  return ss.str();
+}
+
+void print_banner(const std::string& title) {
+  std::printf("\n==== %s ====\n\n", title.c_str());
+}
+
+}  // namespace satd::metrics

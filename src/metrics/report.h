@@ -1,0 +1,44 @@
+// Tabular / series reporting for bench output.
+//
+// Benches print the same rows/series the paper reports; this module
+// renders aligned text tables on stdout and writes machine-readable CSV
+// next to them so EXPERIMENTS.md can cite exact numbers.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace satd::metrics {
+
+/// Simple aligned text table.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Appends a row (must match the header width).
+  void add_row(std::vector<std::string> row);
+
+  std::size_t rows() const { return rows_.size(); }
+
+  /// Renders with column alignment and a separator under the header.
+  std::string to_string() const;
+
+  /// Writes the table as CSV (no escaping needed for our cell content,
+  /// but commas in cells are rejected).
+  void write_csv(const std::string& path) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a fraction as "93.29%" with two decimals (paper style).
+std::string percent(float fraction);
+
+/// Formats seconds as "56.47" with two decimals.
+std::string seconds(double s);
+
+/// Prints a banner for an experiment section.
+void print_banner(const std::string& title);
+
+}  // namespace satd::metrics

@@ -1,0 +1,111 @@
+#include "metrics/robustness_report.h"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <sstream>
+
+#include "common/contract.h"
+#include "nn/loss.h"
+#include "tensor/ops.h"
+
+namespace satd::metrics {
+
+std::string RobustnessReport::to_string() const {
+  std::ostringstream ss;
+  ss << std::fixed << std::setprecision(2);
+  ss << "Robustness report — " << attack_name << " over " << examples
+     << " examples\n";
+  ss << "  accuracy:        clean " << clean_accuracy * 100.0f
+     << "%  ->  adversarial " << adversarial_accuracy * 100.0f << "%\n";
+  ss << "  attack success:  " << attack_success_rate * 100.0f
+     << "% of initially-correct examples flipped\n";
+  ss << "  true-label confidence: clean " << mean_confidence_clean * 100.0f
+     << "%  ->  adversarial " << mean_confidence_adv * 100.0f << "%\n";
+  ss << std::setprecision(4);
+  ss << "  perturbation:    mean l-inf " << mean_linf << " (max " << max_linf
+     << "), mean l2 " << mean_l2 << ", " << std::setprecision(1)
+     << mean_changed_fraction * 100.0f << "% of pixels changed\n";
+  return ss.str();
+}
+
+RobustnessReport robustness_report(nn::Sequential& model,
+                                   const data::Dataset& test,
+                                   attack::Attack& attack,
+                                   std::size_t batch_size) {
+  SATD_EXPECT(test.size() > 0, "empty test set");
+  SATD_EXPECT(batch_size > 0, "batch size must be positive");
+
+  RobustnessReport rep;
+  rep.attack_name = attack.name();
+  rep.examples = test.size();
+
+  std::size_t clean_correct = 0;
+  std::size_t adv_correct = 0;
+  std::size_t flipped = 0;
+  double conf_clean = 0.0, conf_adv = 0.0;
+  double linf_acc = 0.0, l2_acc = 0.0, changed_acc = 0.0;
+  constexpr float kChangeThreshold = 1.0f / 255.0f;
+
+  const auto& dims = test.images.shape().dims();
+  const std::size_t pixels = dims[1] * dims[2] * dims[3];
+  for (std::size_t begin = 0; begin < test.size(); begin += batch_size) {
+    const std::size_t end = std::min(begin + batch_size, test.size());
+    const std::size_t b = end - begin;
+    Tensor images(Shape{b, dims[1], dims[2], dims[3]});
+    std::vector<std::size_t> labels(
+        test.labels.begin() + static_cast<std::ptrdiff_t>(begin),
+        test.labels.begin() + static_cast<std::ptrdiff_t>(end));
+    for (std::size_t i = begin; i < end; ++i) {
+      images.set_row(i - begin, test.images.slice_row(i));
+    }
+
+    const Tensor adv = attack.perturb(model, images, labels);
+    const Tensor p_clean = nn::softmax(model.forward(images, false));
+    const Tensor p_adv = nn::softmax(model.forward(adv, false));
+    const auto pred_clean = ops::argmax_rows(p_clean);
+    const auto pred_adv = ops::argmax_rows(p_adv);
+
+    for (std::size_t k = 0; k < b; ++k) {
+      const bool was_correct = pred_clean[k] == labels[k];
+      const bool is_correct = pred_adv[k] == labels[k];
+      clean_correct += was_correct;
+      adv_correct += is_correct;
+      if (was_correct && !is_correct) ++flipped;
+      conf_clean += p_clean.at(k, labels[k]);
+      conf_adv += p_adv.at(k, labels[k]);
+      // Perturbation geometry for this example.
+      float linf = 0.0f;
+      double l2 = 0.0;
+      std::size_t changed = 0;
+      const float* pi = images.raw() + k * pixels;
+      const float* pa = adv.raw() + k * pixels;
+      for (std::size_t j = 0; j < pixels; ++j) {
+        const float d = std::fabs(pa[j] - pi[j]);
+        linf = std::max(linf, d);
+        l2 += static_cast<double>(d) * d;
+        if (d > kChangeThreshold) ++changed;
+      }
+      linf_acc += linf;
+      rep.max_linf = std::max(rep.max_linf, linf);
+      l2_acc += std::sqrt(l2);
+      changed_acc += static_cast<double>(changed) / static_cast<double>(pixels);
+    }
+  }
+
+  const auto n = static_cast<double>(test.size());
+  rep.clean_accuracy = static_cast<float>(clean_correct / n);
+  rep.adversarial_accuracy = static_cast<float>(adv_correct / n);
+  rep.attack_success_rate =
+      clean_correct == 0
+          ? 0.0f
+          : static_cast<float>(flipped) / static_cast<float>(clean_correct);
+  rep.mean_confidence_clean = static_cast<float>(conf_clean / n);
+  rep.mean_confidence_adv = static_cast<float>(conf_adv / n);
+  rep.mean_linf = static_cast<float>(linf_acc / n);
+  rep.mean_l2 = static_cast<float>(l2_acc / n);
+  rep.mean_changed_fraction = static_cast<float>(changed_acc / n);
+  return rep;
+}
+
+}  // namespace satd::metrics

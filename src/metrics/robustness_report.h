@@ -1,0 +1,52 @@
+// Detailed robustness report for one (model, attack) pair.
+//
+// Accuracy alone hides useful structure: an attack can "succeed" by
+// flipping already-misclassified examples, and two defenses with equal
+// accuracy can differ wildly in how confidently they fail. This report
+// aggregates the quantities a robustness evaluation writeup actually
+// cites: attack success rate over the initially-correct subset, softmax
+// confidence on the true label before/after, and the perturbation
+// norms the attack actually used (vs. its nominal budget).
+#pragma once
+
+#include <string>
+
+#include "attack/attack.h"
+#include "data/dataset.h"
+#include "nn/sequential.h"
+
+namespace satd::metrics {
+
+/// Aggregate robustness statistics (all means over the test set unless
+/// stated otherwise).
+struct RobustnessReport {
+  std::string attack_name;
+  std::size_t examples = 0;
+
+  float clean_accuracy = 0.0f;
+  float adversarial_accuracy = 0.0f;
+  /// Fraction of initially-CORRECT examples the attack flipped.
+  float attack_success_rate = 0.0f;
+
+  /// Mean softmax probability assigned to the true label.
+  float mean_confidence_clean = 0.0f;
+  float mean_confidence_adv = 0.0f;
+
+  /// Perturbation geometry actually used by the attack.
+  float mean_linf = 0.0f;  ///< mean over examples of max |delta|
+  float max_linf = 0.0f;   ///< worst case over the whole set
+  float mean_l2 = 0.0f;    ///< mean per-example l2 norm of delta
+  /// Mean fraction of pixels changed by more than 1/255.
+  float mean_changed_fraction = 0.0f;
+
+  /// Multi-line human-readable rendering.
+  std::string to_string() const;
+};
+
+/// Runs `attack` over the test set and aggregates the report.
+RobustnessReport robustness_report(nn::Sequential& model,
+                                   const data::Dataset& test,
+                                   attack::Attack& attack,
+                                   std::size_t batch_size = 64);
+
+}  // namespace satd::metrics

@@ -1,0 +1,86 @@
+#include "metrics/transfer.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+#include "common/contract.h"
+#include "tensor/ops.h"
+
+namespace satd::metrics {
+
+std::string TransferMatrix::to_string() const {
+  SATD_EXPECT(names.size() == accuracy.size(), "malformed transfer matrix");
+  std::size_t width = 12;
+  for (const auto& n : names) width = std::max(width, n.size() + 2);
+  std::ostringstream ss;
+  ss << std::left << std::setw(static_cast<int>(width)) << "src\\target";
+  for (const auto& n : names) {
+    ss << std::setw(static_cast<int>(width)) << n;
+  }
+  ss << "\n";
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    SATD_EXPECT(accuracy[i].size() == names.size(),
+                "malformed transfer matrix row");
+    ss << std::setw(static_cast<int>(width)) << names[i];
+    for (float a : accuracy[i]) {
+      std::ostringstream cell;
+      cell << std::fixed << std::setprecision(2) << a * 100.0f << "%";
+      ss << std::setw(static_cast<int>(width)) << cell.str();
+    }
+    ss << "\n";
+  }
+  return ss.str();
+}
+
+TransferMatrix transfer_matrix(const std::vector<TransferModel>& models,
+                               const data::Dataset& test,
+                               attack::Attack& attack,
+                               std::size_t batch_size) {
+  SATD_EXPECT(!models.empty(), "transfer study needs at least one model");
+  SATD_EXPECT(test.size() > 0, "empty test set");
+  SATD_EXPECT(batch_size > 0, "batch size must be positive");
+  for (const auto& m : models) {
+    SATD_EXPECT(m.model != nullptr, "null model in transfer study");
+  }
+
+  TransferMatrix out;
+  for (const auto& m : models) out.names.push_back(m.name);
+  out.accuracy.assign(models.size(),
+                      std::vector<float>(models.size(), 0.0f));
+
+  const auto& dims = test.images.shape().dims();
+  std::vector<std::vector<std::size_t>> correct(
+      models.size(), std::vector<std::size_t>(models.size(), 0));
+
+  for (std::size_t begin = 0; begin < test.size(); begin += batch_size) {
+    const std::size_t end = std::min(begin + batch_size, test.size());
+    Tensor images(Shape{end - begin, dims[1], dims[2], dims[3]});
+    std::vector<std::size_t> labels(
+        test.labels.begin() + static_cast<std::ptrdiff_t>(begin),
+        test.labels.begin() + static_cast<std::ptrdiff_t>(end));
+    for (std::size_t i = begin; i < end; ++i) {
+      images.set_row(i - begin, test.images.slice_row(i));
+    }
+    for (std::size_t src = 0; src < models.size(); ++src) {
+      const Tensor adv =
+          attack.perturb(*models[src].model, images, labels);
+      for (std::size_t dst = 0; dst < models.size(); ++dst) {
+        const Tensor logits = models[dst].model->forward(adv, false);
+        const auto preds = ops::argmax_rows(logits);
+        for (std::size_t k = 0; k < labels.size(); ++k) {
+          if (preds[k] == labels[k]) ++correct[src][dst];
+        }
+      }
+    }
+  }
+  for (std::size_t src = 0; src < models.size(); ++src) {
+    for (std::size_t dst = 0; dst < models.size(); ++dst) {
+      out.accuracy[src][dst] = static_cast<float>(correct[src][dst]) /
+                               static_cast<float>(test.size());
+    }
+  }
+  return out;
+}
+
+}  // namespace satd::metrics

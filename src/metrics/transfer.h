@@ -1,0 +1,44 @@
+// Black-box transferability evaluation.
+//
+// White-box attacks (the paper's threat model) craft perturbations
+// against the deployed model itself; the black-box complement crafts
+// them against a SOURCE model and measures how well they fool a TARGET.
+// The transfer matrix over a set of trained classifiers shows whether a
+// defense's robustness survives attacks optimized on a different network
+// — a standard sanity check against gradient masking (Athalye et al.
+// 2018, the paper's reference [1]).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "attack/attack.h"
+#include "data/dataset.h"
+#include "nn/sequential.h"
+
+namespace satd::metrics {
+
+/// A named classifier participating in the transfer study.
+struct TransferModel {
+  std::string name;
+  nn::Sequential* model = nullptr;  ///< borrowed, non-null
+};
+
+/// accuracy[i][j] = accuracy of model j on adversarial examples crafted
+/// against model i (diagonal = the usual white-box accuracy).
+struct TransferMatrix {
+  std::vector<std::string> names;
+  std::vector<std::vector<float>> accuracy;
+
+  /// Renders an aligned source-rows x target-columns table.
+  std::string to_string() const;
+};
+
+/// Crafts `attack` against every source model and evaluates every target
+/// on the result.
+TransferMatrix transfer_matrix(const std::vector<TransferModel>& models,
+                               const data::Dataset& test,
+                               attack::Attack& attack,
+                               std::size_t batch_size = 64);
+
+}  // namespace satd::metrics

@@ -1,0 +1,90 @@
+#include "nn/activations.h"
+
+#include <cmath>
+
+#include "common/contract.h"
+
+namespace satd::nn {
+
+Tensor ReLU::forward(const Tensor& x, bool /*training*/) {
+  x_cache_ = x;
+  Tensor out(x.shape());
+  const float* px = x.raw();
+  float* po = out.raw();
+  for (std::size_t i = 0, n = x.numel(); i < n; ++i) {
+    po[i] = px[i] > 0.0f ? px[i] : 0.0f;
+  }
+  return out;
+}
+
+Tensor ReLU::backward(const Tensor& grad_out) {
+  SATD_EXPECT(!x_cache_.empty(), "ReLU backward before forward");
+  SATD_EXPECT(grad_out.shape() == x_cache_.shape(),
+              "ReLU backward: grad shape mismatch");
+  Tensor gx(grad_out.shape());
+  const float* px = x_cache_.raw();
+  const float* pg = grad_out.raw();
+  float* po = gx.raw();
+  for (std::size_t i = 0, n = gx.numel(); i < n; ++i) {
+    po[i] = px[i] > 0.0f ? pg[i] : 0.0f;
+  }
+  return gx;
+}
+
+Tensor Tanh::forward(const Tensor& x, bool /*training*/) {
+  Tensor out(x.shape());
+  const float* px = x.raw();
+  float* po = out.raw();
+  for (std::size_t i = 0, n = x.numel(); i < n; ++i) po[i] = std::tanh(px[i]);
+  y_cache_ = out;
+  return out;
+}
+
+Tensor Tanh::backward(const Tensor& grad_out) {
+  SATD_EXPECT(!y_cache_.empty(), "Tanh backward before forward");
+  SATD_EXPECT(grad_out.shape() == y_cache_.shape(),
+              "Tanh backward: grad shape mismatch");
+  Tensor gx(grad_out.shape());
+  const float* py = y_cache_.raw();
+  const float* pg = grad_out.raw();
+  float* po = gx.raw();
+  for (std::size_t i = 0, n = gx.numel(); i < n; ++i) {
+    po[i] = pg[i] * (1.0f - py[i] * py[i]);
+  }
+  return gx;
+}
+
+LeakyReLU::LeakyReLU(float slope) : slope_(slope) {
+  SATD_EXPECT(slope >= 0.0f && slope < 1.0f, "slope must be in [0, 1)");
+}
+
+Tensor LeakyReLU::forward(const Tensor& x, bool /*training*/) {
+  x_cache_ = x;
+  Tensor out(x.shape());
+  const float* px = x.raw();
+  float* po = out.raw();
+  for (std::size_t i = 0, n = x.numel(); i < n; ++i) {
+    po[i] = px[i] > 0.0f ? px[i] : slope_ * px[i];
+  }
+  return out;
+}
+
+Tensor LeakyReLU::backward(const Tensor& grad_out) {
+  SATD_EXPECT(!x_cache_.empty(), "LeakyReLU backward before forward");
+  SATD_EXPECT(grad_out.shape() == x_cache_.shape(),
+              "LeakyReLU backward: grad shape mismatch");
+  Tensor gx(grad_out.shape());
+  const float* px = x_cache_.raw();
+  const float* pg = grad_out.raw();
+  float* po = gx.raw();
+  for (std::size_t i = 0, n = gx.numel(); i < n; ++i) {
+    po[i] = px[i] > 0.0f ? pg[i] : slope_ * pg[i];
+  }
+  return gx;
+}
+
+std::string LeakyReLU::name() const {
+  return "LeakyReLU(" + std::to_string(slope_) + ")";
+}
+
+}  // namespace satd::nn

@@ -1,0 +1,50 @@
+// Batch normalization (Ioffe & Szegedy 2015) over [N, C, H, W].
+//
+// Normalizes each channel by the batch statistics at train time (exact
+// backward through the statistics, the part naive implementations get
+// wrong) and by running exponential-moving-average statistics at
+// inference. Attacks backprop through the INFERENCE path (they perturb
+// inputs against the deployed network), so backward supports both modes
+// and keys off the mode of the preceding forward.
+#pragma once
+
+#include "nn/layer.h"
+
+namespace satd::nn {
+
+/// Per-channel batch normalization with learned scale/shift.
+class BatchNorm2d : public Layer {
+ public:
+  explicit BatchNorm2d(std::size_t channels, float momentum = 0.1f,
+                       float eps = 1e-5f);
+
+  Tensor forward(const Tensor& x, bool training) override;
+  Tensor backward(const Tensor& grad_out) override;
+
+  std::vector<Tensor*> parameters() override { return {&gamma_, &beta_}; }
+  std::vector<Tensor*> gradients() override { return {&ggamma_, &gbeta_}; }
+
+  std::string name() const override;
+  Shape output_shape(const Shape& input) const override;
+
+  std::size_t channels() const { return channels_; }
+  const Tensor& running_mean() const { return running_mean_; }
+  const Tensor& running_var() const { return running_var_; }
+  Tensor& gamma() { return gamma_; }
+  Tensor& beta() { return beta_; }
+
+ private:
+  std::size_t channels_;
+  float momentum_;
+  float eps_;
+  Tensor gamma_, beta_;
+  Tensor ggamma_, gbeta_;
+  Tensor running_mean_, running_var_;
+  // Forward cache.
+  bool cached_training_ = false;
+  Tensor x_hat_;        // normalized activations
+  Tensor inv_std_;      // [C] 1/sqrt(var + eps) actually used
+  Shape in_shape_;
+};
+
+}  // namespace satd::nn

@@ -1,0 +1,120 @@
+#include "nn/conv2d.h"
+
+#include "common/contract.h"
+#include "nn/init.h"
+#include "tensor/ops.h"
+
+namespace satd::nn {
+
+Conv2d::Conv2d(std::size_t in_channels, std::size_t out_channels,
+               std::size_t kernel, std::size_t padding, Rng& rng)
+    : in_c_(in_channels),
+      out_c_(out_channels),
+      kernel_(kernel),
+      padding_(padding),
+      w_(Shape{out_channels, in_channels * kernel * kernel}),
+      b_(Shape{out_channels}),
+      gw_(Shape{out_channels, in_channels * kernel * kernel}),
+      gb_(Shape{out_channels}) {
+  SATD_EXPECT(in_channels > 0 && out_channels > 0 && kernel > 0,
+              "Conv2d dimensions must be positive");
+  init::he_normal(w_, in_channels * kernel * kernel, rng);
+}
+
+ConvGeometry Conv2d::geometry_for(const Shape& batch_shape) const {
+  SATD_EXPECT(batch_shape.rank() == 4,
+              "Conv2d expects [N, C, H, W], got " + batch_shape.to_string());
+  SATD_EXPECT(batch_shape[1] == in_c_, "Conv2d channel mismatch");
+  ConvGeometry g;
+  g.in_channels = in_c_;
+  g.in_h = batch_shape[2];
+  g.in_w = batch_shape[3];
+  g.kernel = kernel_;
+  g.padding = padding_;
+  return g;
+}
+
+Tensor Conv2d::forward(const Tensor& x, bool /*training*/) {
+  const ConvGeometry g = geometry_for(x.shape());
+  const std::size_t n = x.shape()[0];
+  const std::size_t oh = g.out_h();
+  const std::size_t ow = g.out_w();
+  cached_geometry_ = g;
+  cached_batch_ = n;
+  cols_cache_.resize(n);
+
+  Tensor out(Shape{n, out_c_, oh, ow});
+  Tensor y;  // per-image [oh*ow, out_c]
+  for (std::size_t i = 0; i < n; ++i) {
+    const Tensor img = x.slice_row(i);  // [C, H, W]
+    im2col(img, g, cols_cache_[i]);
+    // y = cols · Wᵀ : [oh*ow, patch] x [out_c, patch]ᵀ -> [oh*ow, out_c]
+    ops::matmul_nt(cols_cache_[i], w_, y);
+    // Scatter into [out_c, oh, ow] layout with bias.
+    float* dst = out.raw() + i * out_c_ * oh * ow;
+    const float* src = y.raw();
+    const float* bias = b_.raw();
+    for (std::size_t p = 0; p < oh * ow; ++p) {
+      for (std::size_t c = 0; c < out_c_; ++c) {
+        dst[c * oh * ow + p] = src[p * out_c_ + c] + bias[c];
+      }
+    }
+  }
+  return out;
+}
+
+Tensor Conv2d::backward(const Tensor& grad_out) {
+  SATD_EXPECT(cached_batch_ > 0, "Conv2d backward before forward");
+  const ConvGeometry& g = cached_geometry_;
+  const std::size_t n = cached_batch_;
+  const std::size_t oh = g.out_h();
+  const std::size_t ow = g.out_w();
+  SATD_EXPECT((grad_out.shape() == Shape{n, out_c_, oh, ow}),
+              "Conv2d backward: grad shape mismatch");
+
+  Tensor gx(Shape{n, g.in_channels, g.in_h, g.in_w});
+  Tensor g2(Shape{oh * ow, out_c_});  // per-image grad in column layout
+  Tensor gw_img, gcols, gximg;
+  for (std::size_t i = 0; i < n; ++i) {
+    // Re-layout [out_c, oh*ow] -> [oh*ow, out_c].
+    const float* src = grad_out.raw() + i * out_c_ * oh * ow;
+    float* dst = g2.raw();
+    for (std::size_t c = 0; c < out_c_; ++c) {
+      for (std::size_t p = 0; p < oh * ow; ++p) {
+        dst[p * out_c_ + c] = src[c * oh * ow + p];
+      }
+    }
+    // gW += g2ᵀ · cols : [out_c, patch]
+    ops::matmul_tn(g2, cols_cache_[i], gw_img);
+    ops::axpy(1.0f, gw_img, gw_);
+    // gb += column sums of g2.
+    Tensor gb_img;
+    ops::sum_rows(g2, gb_img);
+    ops::axpy(1.0f, gb_img, gb_);
+    // gcols = g2 · W : [oh*ow, patch]; then fold back to image space.
+    ops::matmul(g2, w_, gcols);
+    col2im(gcols, g, gximg);
+    gx.set_row(i, gximg);
+  }
+  return gx;
+}
+
+std::string Conv2d::name() const {
+  return "Conv2d(" + std::to_string(in_c_) + "->" + std::to_string(out_c_) +
+         ", k=" + std::to_string(kernel_) + ", p=" + std::to_string(padding_) +
+         ")";
+}
+
+Shape Conv2d::output_shape(const Shape& input) const {
+  SATD_EXPECT(input.rank() == 3 && input[0] == in_c_,
+              "Conv2d expects a [C, H, W] input shape");
+  ConvGeometry g;
+  g.in_channels = in_c_;
+  g.in_h = input[1];
+  g.in_w = input[2];
+  g.kernel = kernel_;
+  g.padding = padding_;
+  return Shape{out_c_, g.out_h(), g.out_w()};
+}
+
+}  // namespace satd::nn

@@ -1,0 +1,55 @@
+// 2-D convolution layer (stride 1, optional symmetric zero padding),
+// lowered to matmul via im2col / col2im.
+#pragma once
+
+#include <vector>
+
+#include "common/rng.h"
+#include "nn/layer.h"
+#include "tensor/im2col.h"
+
+namespace satd::nn {
+
+/// Convolution over [N, C, H, W] batches with a square kernel.
+///
+/// The filter bank is stored as a [out_channels, in_channels*k*k] matrix
+/// so both the forward pass and the weight-gradient pass are plain GEMMs
+/// against im2col columns; the input-gradient pass (needed by adversarial
+/// attacks) is a GEMM followed by col2im, the exact adjoint of the
+/// forward lowering.
+class Conv2d : public Layer {
+ public:
+  Conv2d(std::size_t in_channels, std::size_t out_channels,
+         std::size_t kernel, std::size_t padding, Rng& rng);
+
+  Tensor forward(const Tensor& x, bool training) override;
+  Tensor backward(const Tensor& grad_out) override;
+
+  std::vector<Tensor*> parameters() override { return {&w_, &b_}; }
+  std::vector<Tensor*> gradients() override { return {&gw_, &gb_}; }
+
+  std::string name() const override;
+  Shape output_shape(const Shape& input) const override;
+
+  std::size_t in_channels() const { return in_c_; }
+  std::size_t out_channels() const { return out_c_; }
+  std::size_t kernel() const { return kernel_; }
+  std::size_t padding() const { return padding_; }
+
+  Tensor& weight() { return w_; }
+  Tensor& bias() { return b_; }
+
+ private:
+  ConvGeometry geometry_for(const Shape& batch_shape) const;
+
+  std::size_t in_c_, out_c_, kernel_, padding_;
+  Tensor w_, b_;    // [out_c, in_c*k*k], [out_c]
+  Tensor gw_, gb_;
+  // Cached per-image im2col columns from the last forward (one entry per
+  // batch element) plus the input geometry, both needed by backward.
+  std::vector<Tensor> cols_cache_;
+  ConvGeometry cached_geometry_;
+  std::size_t cached_batch_ = 0;
+};
+
+}  // namespace satd::nn

@@ -1,0 +1,59 @@
+#include "nn/dense.h"
+
+#include <cmath>
+
+#include "common/contract.h"
+#include "nn/init.h"
+#include "tensor/ops.h"
+
+namespace satd::nn {
+
+Dense::Dense(std::size_t in_features, std::size_t out_features, Rng& rng)
+    : in_(in_features),
+      out_(out_features),
+      w_(Shape{in_features, out_features}),
+      b_(Shape{out_features}),
+      gw_(Shape{in_features, out_features}),
+      gb_(Shape{out_features}) {
+  SATD_EXPECT(in_features > 0 && out_features > 0,
+              "Dense dimensions must be positive");
+  init::he_normal(w_, in_features, rng);
+}
+
+Tensor Dense::forward(const Tensor& x, bool /*training*/) {
+  SATD_EXPECT(x.shape().rank() == 2 && x.shape()[1] == in_,
+              "Dense forward: expected [N, " + std::to_string(in_) +
+                  "], got " + x.shape().to_string());
+  x_cache_ = x;
+  ops::matmul(x, w_, out_buf_);
+  ops::add_row_bias(out_buf_, b_, out_buf_);
+  return out_buf_;
+}
+
+Tensor Dense::backward(const Tensor& grad_out) {
+  SATD_EXPECT(!x_cache_.empty(), "Dense backward before forward");
+  SATD_EXPECT((grad_out.shape() == Shape{x_cache_.shape()[0], out_}),
+              "Dense backward: grad shape mismatch");
+  // gW += xᵀ·g ; gb += Σ_rows g ; gx = g·Wᵀ
+  Tensor gw_batch;
+  ops::matmul_tn(x_cache_, grad_out, gw_batch);
+  ops::axpy(1.0f, gw_batch, gw_);
+  Tensor gb_batch;
+  ops::sum_rows(grad_out, gb_batch);
+  ops::axpy(1.0f, gb_batch, gb_);
+  Tensor gx;
+  ops::matmul_nt(grad_out, w_, gx);
+  return gx;
+}
+
+std::string Dense::name() const {
+  return "Dense(" + std::to_string(in_) + "->" + std::to_string(out_) + ")";
+}
+
+Shape Dense::output_shape(const Shape& input) const {
+  SATD_EXPECT(input.rank() == 1 && input[0] == in_,
+              "Dense expects a flat input of width " + std::to_string(in_));
+  return Shape{out_};
+}
+
+}  // namespace satd::nn

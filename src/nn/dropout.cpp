@@ -1,0 +1,39 @@
+#include "nn/dropout.h"
+
+#include "common/contract.h"
+#include "tensor/ops.h"
+
+namespace satd::nn {
+
+Dropout::Dropout(float p, Rng& rng) : p_(p), rng_(rng.fork(0xD209)) {
+  SATD_EXPECT(p >= 0.0f && p < 1.0f, "dropout p must be in [0, 1)");
+}
+
+Tensor Dropout::forward(const Tensor& x, bool training) {
+  was_training_ = training;
+  if (!training || p_ == 0.0f) {
+    return x;
+  }
+  const float keep_scale = 1.0f / (1.0f - p_);
+  mask_ = Tensor(x.shape());
+  float* pm = mask_.raw();
+  for (std::size_t i = 0, n = x.numel(); i < n; ++i) {
+    pm[i] = rng_.bernoulli(p_) ? 0.0f : keep_scale;
+  }
+  return ops::mul(x, mask_);
+}
+
+Tensor Dropout::backward(const Tensor& grad_out) {
+  if (!was_training_ || p_ == 0.0f) {
+    return grad_out;
+  }
+  SATD_EXPECT(grad_out.shape() == mask_.shape(),
+              "Dropout backward: grad shape mismatch");
+  return ops::mul(grad_out, mask_);
+}
+
+std::string Dropout::name() const {
+  return "Dropout(" + std::to_string(p_) + ")";
+}
+
+}  // namespace satd::nn

@@ -1,0 +1,31 @@
+// Inverted dropout.
+#pragma once
+
+#include "common/rng.h"
+#include "nn/layer.h"
+
+namespace satd::nn {
+
+/// Inverted dropout: at train time each activation is zeroed with
+/// probability p and survivors are scaled by 1/(1-p), so inference needs
+/// no rescaling. Uses an owned fork of the model RNG, keeping training
+/// runs deterministic.
+class Dropout : public Layer {
+ public:
+  Dropout(float p, Rng& rng);
+
+  Tensor forward(const Tensor& x, bool training) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::string name() const override;
+  Shape output_shape(const Shape& input) const override { return input; }
+
+  float probability() const { return p_; }
+
+ private:
+  float p_;
+  Rng rng_;
+  Tensor mask_;       // scaled keep-mask from the last training forward
+  bool was_training_ = false;
+};
+
+}  // namespace satd::nn

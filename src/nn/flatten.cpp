@@ -1,0 +1,25 @@
+#include "nn/flatten.h"
+
+#include "common/contract.h"
+
+namespace satd::nn {
+
+Tensor Flatten::forward(const Tensor& x, bool /*training*/) {
+  SATD_EXPECT(x.shape().rank() >= 2, "Flatten expects rank >= 2");
+  in_shape_ = x.shape();
+  const std::size_t n = x.shape()[0];
+  return x.reshaped(Shape{n, x.numel() / n});
+}
+
+Tensor Flatten::backward(const Tensor& grad_out) {
+  SATD_EXPECT(in_shape_.rank() >= 2, "Flatten backward before forward");
+  SATD_EXPECT(grad_out.numel() == in_shape_.numel(),
+              "Flatten backward: grad size mismatch");
+  return grad_out.reshaped(in_shape_);
+}
+
+Shape Flatten::output_shape(const Shape& input) const {
+  return Shape{input.numel()};
+}
+
+}  // namespace satd::nn

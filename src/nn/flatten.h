@@ -1,0 +1,20 @@
+// Flatten layer: [N, C, H, W] (or any rank >= 2) -> [N, D].
+#pragma once
+
+#include "nn/layer.h"
+
+namespace satd::nn {
+
+/// Reshapes each example to a flat vector; backward restores the shape.
+class Flatten : public Layer {
+ public:
+  Tensor forward(const Tensor& x, bool training) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::string name() const override { return "Flatten"; }
+  Shape output_shape(const Shape& input) const override;
+
+ private:
+  Shape in_shape_;
+};
+
+}  // namespace satd::nn

@@ -1,0 +1,26 @@
+#include "nn/init.h"
+
+#include <cmath>
+
+#include "common/contract.h"
+
+namespace satd::nn::init {
+
+void he_normal(Tensor& w, std::size_t fan_in, Rng& rng) {
+  SATD_EXPECT(fan_in > 0, "fan_in must be positive");
+  const double stddev = std::sqrt(2.0 / static_cast<double>(fan_in));
+  for (float& v : w.data()) v = static_cast<float>(rng.normal(0.0, stddev));
+}
+
+void glorot_uniform(Tensor& w, std::size_t fan_in, std::size_t fan_out,
+                    Rng& rng) {
+  SATD_EXPECT(fan_in + fan_out > 0, "fan sizes must be positive");
+  const double a = std::sqrt(6.0 / static_cast<double>(fan_in + fan_out));
+  for (float& v : w.data()) v = static_cast<float>(rng.uniform(-a, a));
+}
+
+void uniform(Tensor& w, double lo, double hi, Rng& rng) {
+  for (float& v : w.data()) v = static_cast<float>(rng.uniform(lo, hi));
+}
+
+}  // namespace satd::nn::init

@@ -1,0 +1,21 @@
+// Weight initializers.
+#pragma once
+
+#include <cstddef>
+
+#include "common/rng.h"
+#include "tensor/tensor.h"
+
+namespace satd::nn::init {
+
+/// He (Kaiming) normal: N(0, sqrt(2 / fan_in)). Standard for ReLU nets.
+void he_normal(Tensor& w, std::size_t fan_in, Rng& rng);
+
+/// Glorot (Xavier) uniform: U(-a, a) with a = sqrt(6 / (fan_in+fan_out)).
+void glorot_uniform(Tensor& w, std::size_t fan_in, std::size_t fan_out,
+                    Rng& rng);
+
+/// Uniform in [lo, hi].
+void uniform(Tensor& w, double lo, double hi, Rng& rng);
+
+}  // namespace satd::nn::init

@@ -1,0 +1,63 @@
+// Layer interface for the layer-wise backprop NN framework.
+//
+// The framework deliberately avoids a general autograd graph: the models
+// in this paper are plain feed-forward chains, so each layer implements
+// an exact forward and an exact backward (producing both parameter
+// gradients and the gradient with respect to its input). The input
+// gradient is what the attack library consumes — FGSM/BIM are defined by
+// the sign of dLoss/dInput.
+//
+// Contract:
+//  * forward(x, training) caches whatever backward needs and returns the
+//    activation. `training` toggles train-only behaviour (dropout).
+//  * backward(grad_out) must be called after a matching forward with the
+//    same batch; it ACCUMULATES into the parameter gradients (so a
+//    mixture loss can run clean and adversarial batches back to back
+//    before one optimizer step... note each backward overwrites the
+//    layer's forward cache, so the order is forward(a); backward(ga);
+//    forward(b); backward(gb)) and returns dLoss/dInput.
+//  * zero_grad() clears accumulated parameter gradients.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace satd::nn {
+
+/// Abstract NN layer (see file comment for the forward/backward contract).
+class Layer {
+ public:
+  virtual ~Layer() = default;
+
+  /// Computes the activation for a batch; caches state for backward.
+  virtual Tensor forward(const Tensor& x, bool training) = 0;
+
+  /// Back-propagates: accumulates parameter gradients and returns the
+  /// gradient with respect to the layer input.
+  virtual Tensor backward(const Tensor& grad_out) = 0;
+
+  /// Trainable parameters (empty for stateless layers). Pointers remain
+  /// valid for the lifetime of the layer.
+  virtual std::vector<Tensor*> parameters() { return {}; }
+
+  /// Gradient buffers, aligned index-for-index with parameters().
+  virtual std::vector<Tensor*> gradients() { return {}; }
+
+  /// Zeroes all gradient buffers.
+  virtual void zero_grad() {
+    for (Tensor* g : gradients()) g->fill(0.0f);
+  }
+
+  /// Human-readable layer name (for model summaries and serialization).
+  virtual std::string name() const = 0;
+
+  /// Output shape for a given per-example input shape (no batch dim).
+  virtual Shape output_shape(const Shape& input) const = 0;
+};
+
+using LayerPtr = std::unique_ptr<Layer>;
+
+}  // namespace satd::nn

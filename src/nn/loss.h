@@ -1,0 +1,50 @@
+// Loss functions.
+//
+// Softmax cross-entropy is the training loss for every method in the
+// paper; it is fused (softmax + log + NLL in one pass) for numerical
+// stability, and its gradient w.r.t. logits is the textbook
+// (softmax - onehot) / N.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace satd::nn {
+
+/// Result of a loss evaluation over a batch.
+struct LossResult {
+  float value = 0.0f;    ///< mean loss over the batch
+  Tensor grad_logits;    ///< dLoss/dLogits, shape [N, K]
+};
+
+/// Row-wise softmax of logits [N, K] (numerically stabilized).
+Tensor softmax(const Tensor& logits);
+
+/// Mean softmax cross-entropy of logits [N, K] against integer labels.
+/// The returned gradient is for the MEAN loss (already divided by N).
+LossResult softmax_cross_entropy(const Tensor& logits,
+                                 std::span<const std::size_t> labels);
+
+/// Loss value only (no gradient); used by evaluation loops.
+float softmax_cross_entropy_value(const Tensor& logits,
+                                  std::span<const std::size_t> labels);
+
+/// Label-smoothed cross-entropy: targets are
+/// (1 - alpha) * onehot + alpha / K. alpha = 0 reduces to the plain
+/// loss; alpha in (0, 1] regularizes over-confident logits (one of the
+/// regularization defenses the paper's related work surveys).
+LossResult softmax_cross_entropy_smoothed(const Tensor& logits,
+                                          std::span<const std::size_t> labels,
+                                          float alpha);
+
+/// Value-only variant of the smoothed loss.
+float softmax_cross_entropy_smoothed_value(
+    const Tensor& logits, std::span<const std::size_t> labels, float alpha);
+
+/// Fraction of rows whose argmax equals the label.
+float accuracy(const Tensor& logits, std::span<const std::size_t> labels);
+
+}  // namespace satd::nn

@@ -1,0 +1,75 @@
+#include "nn/maxpool2d.h"
+
+#include "common/contract.h"
+
+namespace satd::nn {
+
+MaxPool2d::MaxPool2d(std::size_t window) : window_(window) {
+  SATD_EXPECT(window >= 1, "pool window must be >= 1");
+}
+
+Tensor MaxPool2d::forward(const Tensor& x, bool /*training*/) {
+  SATD_EXPECT(x.shape().rank() == 4, "MaxPool2d expects [N, C, H, W]");
+  const std::size_t n = x.shape()[0];
+  const std::size_t c = x.shape()[1];
+  const std::size_t h = x.shape()[2];
+  const std::size_t w = x.shape()[3];
+  SATD_EXPECT(h % window_ == 0 && w % window_ == 0,
+              "input extent not divisible by pool window");
+  const std::size_t oh = h / window_;
+  const std::size_t ow = w / window_;
+  in_shape_ = x.shape();
+  Tensor out(Shape{n, c, oh, ow});
+  argmax_.assign(out.numel(), 0);
+  const float* src = x.raw();
+  float* dst = out.raw();
+  std::size_t o = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t ch = 0; ch < c; ++ch) {
+      const std::size_t plane = (i * c + ch) * h * w;
+      for (std::size_t oy = 0; oy < oh; ++oy) {
+        for (std::size_t ox = 0; ox < ow; ++ox, ++o) {
+          std::size_t best = plane + (oy * window_) * w + ox * window_;
+          float best_v = src[best];
+          for (std::size_t dy = 0; dy < window_; ++dy) {
+            for (std::size_t dx = 0; dx < window_; ++dx) {
+              const std::size_t idx =
+                  plane + (oy * window_ + dy) * w + (ox * window_ + dx);
+              if (src[idx] > best_v) {
+                best_v = src[idx];
+                best = idx;
+              }
+            }
+          }
+          dst[o] = best_v;
+          argmax_[o] = best;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Tensor MaxPool2d::backward(const Tensor& grad_out) {
+  SATD_EXPECT(in_shape_.rank() == 4, "MaxPool2d backward before forward");
+  SATD_EXPECT(grad_out.numel() == argmax_.size(),
+              "MaxPool2d backward: grad shape mismatch");
+  Tensor gx(in_shape_);
+  const float* g = grad_out.raw();
+  float* dst = gx.raw();
+  for (std::size_t o = 0; o < argmax_.size(); ++o) dst[argmax_[o]] += g[o];
+  return gx;
+}
+
+std::string MaxPool2d::name() const {
+  return "MaxPool2d(" + std::to_string(window_) + ")";
+}
+
+Shape MaxPool2d::output_shape(const Shape& input) const {
+  SATD_EXPECT(input.rank() == 3, "MaxPool2d expects a [C, H, W] input shape");
+  SATD_EXPECT(input[1] % window_ == 0 && input[2] % window_ == 0,
+              "input extent not divisible by pool window");
+  return Shape{input[0], input[1] / window_, input[2] / window_};
+}
+
+}  // namespace satd::nn

@@ -1,0 +1,79 @@
+#include "nn/model_io.h"
+
+#include <fstream>
+
+#include "common/contract.h"
+#include "nn/zoo.h"
+#include "tensor/serialize.h"
+
+namespace satd::nn {
+
+namespace {
+constexpr char kModelMagic[] = "SATDMDL1";
+}
+
+void save_model(std::ostream& os, Sequential& model, const std::string& spec) {
+  os.write(kModelMagic, 8);
+  write_string(os, spec);
+  const auto params = model.parameters();
+  write_u64(os, params.size());
+  for (Tensor* p : params) write_tensor(os, *p);
+}
+
+void save_model_file(const std::string& path, Sequential& model,
+                     const std::string& spec) {
+  std::ofstream os(path, std::ios::binary);
+  if (!os) throw std::runtime_error("cannot open for writing: " + path);
+  save_model(os, model, spec);
+  if (!os) throw std::runtime_error("write failed: " + path);
+}
+
+std::string load_parameters(std::istream& is, Sequential& model) {
+  char magic[8];
+  is.read(magic, 8);
+  if (!is || std::string(magic, 8) != kModelMagic) {
+    throw SerializeError("bad model magic");
+  }
+  const std::string spec = read_string(is);
+  const std::uint64_t count = read_u64(is);
+  const auto params = model.parameters();
+  if (count != params.size()) {
+    throw SerializeError("parameter count mismatch: file has " +
+                         std::to_string(count) + ", model has " +
+                         std::to_string(params.size()));
+  }
+  for (Tensor* p : params) {
+    Tensor t = read_tensor(is);
+    if (t.shape() != p->shape()) {
+      throw SerializeError("parameter shape mismatch: file " +
+                           t.shape().to_string() + " vs model " +
+                           p->shape().to_string());
+    }
+    *p = std::move(t);
+  }
+  return spec;
+}
+
+std::string peek_spec_file(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) throw std::runtime_error("cannot open for reading: " + path);
+  char magic[8];
+  is.read(magic, 8);
+  if (!is || std::string(magic, 8) != kModelMagic) {
+    throw SerializeError("bad model magic in " + path);
+  }
+  return read_string(is);
+}
+
+Sequential load_model_file(const std::string& path) {
+  const std::string spec = peek_spec_file(path);
+  // Weights are overwritten immediately, so the init RNG seed is moot.
+  Rng rng(0);
+  Sequential model = zoo::build(spec, rng);
+  std::ifstream is(path, std::ios::binary);
+  if (!is) throw std::runtime_error("cannot open for reading: " + path);
+  load_parameters(is, model);
+  return model;
+}
+
+}  // namespace satd::nn

@@ -1,0 +1,35 @@
+// Model parameter persistence.
+//
+// A saved model file holds a metadata string (the zoo spec used to build
+// the architecture) followed by every parameter tensor in layer order.
+// Loading reconstructs the architecture from the spec via the zoo and
+// then restores the parameters, so a file is self-describing.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "nn/sequential.h"
+
+namespace satd::nn {
+
+/// Writes `spec` + all parameters of `model` to a binary stream.
+void save_model(std::ostream& os, Sequential& model, const std::string& spec);
+
+/// Saves to a file path (throws std::runtime_error on I/O failure).
+void save_model_file(const std::string& path, Sequential& model,
+                     const std::string& spec);
+
+/// Restores parameters into an already-built `model`; returns the stored
+/// spec. Shapes must match exactly (throws SerializeError otherwise).
+std::string load_parameters(std::istream& is, Sequential& model);
+
+/// Reads only the spec string from a model stream (to build the
+/// architecture before calling load_parameters on a fresh stream).
+std::string peek_spec_file(const std::string& path);
+
+/// Builds the architecture from the stored spec (via the zoo) and
+/// restores its parameters from the file.
+Sequential load_model_file(const std::string& path);
+
+}  // namespace satd::nn

@@ -1,0 +1,164 @@
+#include "nn/optimizer.h"
+
+#include <cmath>
+#include <istream>
+#include <ostream>
+
+#include "common/contract.h"
+#include "tensor/serialize.h"
+
+namespace satd::nn {
+
+Optimizer::Optimizer(double lr) : lr_(lr) {
+  SATD_EXPECT(lr > 0.0, "learning rate must be positive");
+}
+
+void Optimizer::set_learning_rate(double lr) {
+  SATD_EXPECT(lr > 0.0, "learning rate must be positive");
+  lr_ = lr;
+}
+
+namespace {
+void check_lists(const std::vector<Tensor*>& params,
+                 const std::vector<Tensor*>& grads) {
+  SATD_EXPECT(params.size() == grads.size(),
+              "parameter/gradient list size mismatch");
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    SATD_EXPECT(params[i] != nullptr && grads[i] != nullptr,
+                "null parameter or gradient");
+    SATD_EXPECT(params[i]->shape() == grads[i]->shape(),
+                "parameter/gradient shape mismatch");
+  }
+}
+}  // namespace
+
+Sgd::Sgd(double lr, double momentum, double weight_decay)
+    : Optimizer(lr), momentum_(momentum), weight_decay_(weight_decay) {
+  SATD_EXPECT(momentum >= 0.0 && momentum < 1.0, "momentum must be in [0,1)");
+  SATD_EXPECT(weight_decay >= 0.0, "weight decay must be non-negative");
+}
+
+void Sgd::step(const std::vector<Tensor*>& params,
+               const std::vector<Tensor*>& grads) {
+  check_lists(params, grads);
+  const float wd = static_cast<float>(weight_decay_);
+  if (momentum_ == 0.0) {
+    for (std::size_t i = 0; i < params.size(); ++i) {
+      float* p = params[i]->raw();
+      const float* g = grads[i]->raw();
+      const float lr = static_cast<float>(lr_);
+      for (std::size_t j = 0, n = params[i]->numel(); j < n; ++j) {
+        p[j] -= lr * (g[j] + wd * p[j]);
+      }
+    }
+    return;
+  }
+  if (velocity_.empty()) {
+    velocity_.reserve(params.size());
+    for (Tensor* p : params) velocity_.emplace_back(p->shape());
+  }
+  SATD_EXPECT(velocity_.size() == params.size(),
+              "optimizer reused with a different model");
+  const float mu = static_cast<float>(momentum_);
+  const float lr = static_cast<float>(lr_);
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    float* p = params[i]->raw();
+    const float* g = grads[i]->raw();
+    float* v = velocity_[i].raw();
+    for (std::size_t j = 0, n = params[i]->numel(); j < n; ++j) {
+      v[j] = mu * v[j] + g[j] + wd * p[j];
+      p[j] -= lr * v[j];
+    }
+  }
+}
+
+std::string Sgd::name() const {
+  return momentum_ == 0.0 ? "SGD" : "SGD(momentum)";
+}
+
+void Sgd::save_state(std::ostream& os) const {
+  write_string(os, "sgd");
+  write_u64(os, velocity_.size());
+  for (const Tensor& v : velocity_) write_tensor(os, v);
+}
+
+void Sgd::load_state(std::istream& is) {
+  const std::string tag = read_string(is);
+  if (tag != "sgd") throw SerializeError("optimizer state is not SGD");
+  const std::uint64_t count = read_u64(is);
+  velocity_.clear();
+  velocity_.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    velocity_.push_back(read_tensor(is));
+  }
+}
+
+Adam::Adam(double lr, double beta1, double beta2, double eps,
+           double weight_decay)
+    : Optimizer(lr),
+      beta1_(beta1),
+      beta2_(beta2),
+      eps_(eps),
+      weight_decay_(weight_decay) {
+  SATD_EXPECT(beta1 >= 0.0 && beta1 < 1.0, "beta1 must be in [0,1)");
+  SATD_EXPECT(beta2 >= 0.0 && beta2 < 1.0, "beta2 must be in [0,1)");
+  SATD_EXPECT(eps > 0.0, "eps must be positive");
+  SATD_EXPECT(weight_decay >= 0.0, "weight decay must be non-negative");
+}
+
+void Adam::step(const std::vector<Tensor*>& params,
+                const std::vector<Tensor*>& grads) {
+  check_lists(params, grads);
+  if (m_.empty()) {
+    m_.reserve(params.size());
+    v_.reserve(params.size());
+    for (Tensor* p : params) {
+      m_.emplace_back(p->shape());
+      v_.emplace_back(p->shape());
+    }
+  }
+  SATD_EXPECT(m_.size() == params.size(),
+              "optimizer reused with a different model");
+  ++t_;
+  const double bc1 = 1.0 - std::pow(beta1_, static_cast<double>(t_));
+  const double bc2 = 1.0 - std::pow(beta2_, static_cast<double>(t_));
+  const float alpha = static_cast<float>(lr_ * std::sqrt(bc2) / bc1);
+  const float b1 = static_cast<float>(beta1_);
+  const float b2 = static_cast<float>(beta2_);
+  const float eps = static_cast<float>(eps_);
+  const float decay = static_cast<float>(lr_ * weight_decay_);
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    float* p = params[i]->raw();
+    const float* g = grads[i]->raw();
+    float* m = m_[i].raw();
+    float* v = v_[i].raw();
+    for (std::size_t j = 0, n = params[i]->numel(); j < n; ++j) {
+      m[j] = b1 * m[j] + (1.0f - b1) * g[j];
+      v[j] = b2 * v[j] + (1.0f - b2) * g[j] * g[j];
+      p[j] -= alpha * m[j] / (std::sqrt(v[j]) + eps) + decay * p[j];
+    }
+  }
+}
+
+void Adam::save_state(std::ostream& os) const {
+  write_string(os, "adam");
+  write_u64(os, t_);
+  write_u64(os, m_.size());
+  for (const Tensor& m : m_) write_tensor(os, m);
+  for (const Tensor& v : v_) write_tensor(os, v);
+}
+
+void Adam::load_state(std::istream& is) {
+  const std::string tag = read_string(is);
+  if (tag != "adam") throw SerializeError("optimizer state is not Adam");
+  t_ = static_cast<std::size_t>(read_u64(is));
+  const std::uint64_t count = read_u64(is);
+  m_.clear();
+  v_.clear();
+  m_.reserve(count);
+  v_.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) m_.push_back(read_tensor(is));
+  for (std::uint64_t i = 0; i < count; ++i) v_.push_back(read_tensor(is));
+}
+
+}  // namespace satd::nn

@@ -1,0 +1,87 @@
+// First-order optimizers.
+//
+// Optimizers operate on (parameter, gradient) pointer pairs taken from a
+// Sequential model; state (momentum / Adam moments) is allocated lazily
+// on the first step and keyed by position, so an optimizer must be used
+// with one model only.
+#pragma once
+
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace satd::nn {
+
+/// Abstract optimizer over parallel parameter/gradient lists.
+class Optimizer {
+ public:
+  virtual ~Optimizer() = default;
+
+  /// Applies one update. `params` and `grads` must be the same lists
+  /// (same order, same shapes) on every call.
+  virtual void step(const std::vector<Tensor*>& params,
+                    const std::vector<Tensor*>& grads) = 0;
+
+  /// Current learning rate.
+  double learning_rate() const { return lr_; }
+
+  /// Adjusts the learning rate (used by LR schedules).
+  void set_learning_rate(double lr);
+
+  virtual std::string name() const = 0;
+
+  /// Serializes accumulated state (momenta etc.) so training can resume
+  /// exactly (see core/checkpoint). Stateless optimizers write a marker
+  /// only.
+  virtual void save_state(std::ostream& os) const = 0;
+
+  /// Restores state written by save_state(); throws SerializeError on
+  /// mismatch.
+  virtual void load_state(std::istream& is) = 0;
+
+ protected:
+  explicit Optimizer(double lr);
+  double lr_;
+};
+
+/// Plain SGD with optional classical momentum and L2 weight decay
+/// (decay is added to the gradient: g += wd * w).
+class Sgd : public Optimizer {
+ public:
+  explicit Sgd(double lr, double momentum = 0.0, double weight_decay = 0.0);
+  void step(const std::vector<Tensor*>& params,
+            const std::vector<Tensor*>& grads) override;
+  std::string name() const override;
+  void save_state(std::ostream& os) const override;
+  void load_state(std::istream& is) override;
+
+  double momentum() const { return momentum_; }
+
+ private:
+  double momentum_;
+  double weight_decay_;
+  std::vector<Tensor> velocity_;
+};
+
+/// Adam (Kingma & Ba 2015) with bias correction and decoupled weight
+/// decay (AdamW style: w -= lr * wd * w, independent of the moments).
+class Adam : public Optimizer {
+ public:
+  explicit Adam(double lr, double beta1 = 0.9, double beta2 = 0.999,
+                double eps = 1e-8, double weight_decay = 0.0);
+  void step(const std::vector<Tensor*>& params,
+            const std::vector<Tensor*>& grads) override;
+  std::string name() const override { return "Adam"; }
+  void save_state(std::ostream& os) const override;
+  void load_state(std::istream& is) override;
+
+ private:
+  double beta1_, beta2_, eps_, weight_decay_;
+  std::vector<Tensor> m_, v_;
+  std::size_t t_ = 0;
+};
+
+}  // namespace satd::nn

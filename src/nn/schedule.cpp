@@ -1,0 +1,40 @@
+#include "nn/schedule.h"
+
+#include <cmath>
+#include <numbers>
+
+#include "common/contract.h"
+
+namespace satd::nn {
+
+ConstantLr::ConstantLr(double lr) : lr_(lr) {
+  SATD_EXPECT(lr > 0.0, "learning rate must be positive");
+}
+
+double ConstantLr::rate(std::size_t /*epoch*/) const { return lr_; }
+
+StepDecayLr::StepDecayLr(double base, double gamma, std::size_t step)
+    : base_(base), gamma_(gamma), step_(step) {
+  SATD_EXPECT(base > 0.0, "base rate must be positive");
+  SATD_EXPECT(gamma > 0.0 && gamma <= 1.0, "gamma must be in (0,1]");
+  SATD_EXPECT(step > 0, "step must be positive");
+}
+
+double StepDecayLr::rate(std::size_t epoch) const {
+  return base_ * std::pow(gamma_, static_cast<double>(epoch / step_));
+}
+
+CosineLr::CosineLr(double base, double floor, std::size_t total_epochs)
+    : base_(base), floor_(floor), total_(total_epochs) {
+  SATD_EXPECT(base > 0.0 && floor >= 0.0 && floor <= base,
+              "cosine schedule needs 0 <= floor <= base");
+  SATD_EXPECT(total_epochs > 0, "total_epochs must be positive");
+}
+
+double CosineLr::rate(std::size_t epoch) const {
+  if (epoch >= total_) return floor_;
+  const double t = static_cast<double>(epoch) / static_cast<double>(total_);
+  return floor_ + 0.5 * (base_ - floor_) * (1.0 + std::cos(std::numbers::pi * t));
+}
+
+}  // namespace satd::nn

@@ -1,0 +1,54 @@
+// Learning-rate schedules.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string>
+
+namespace satd::nn {
+
+/// Maps an epoch index to a learning rate.
+class LrSchedule {
+ public:
+  virtual ~LrSchedule() = default;
+  /// Learning rate to use during `epoch` (0-based).
+  virtual double rate(std::size_t epoch) const = 0;
+  virtual std::string name() const = 0;
+};
+
+/// Constant rate.
+class ConstantLr : public LrSchedule {
+ public:
+  explicit ConstantLr(double lr);
+  double rate(std::size_t epoch) const override;
+  std::string name() const override { return "constant"; }
+
+ private:
+  double lr_;
+};
+
+/// Multiplies the rate by `gamma` every `step` epochs.
+class StepDecayLr : public LrSchedule {
+ public:
+  StepDecayLr(double base, double gamma, std::size_t step);
+  double rate(std::size_t epoch) const override;
+  std::string name() const override { return "step-decay"; }
+
+ private:
+  double base_, gamma_;
+  std::size_t step_;
+};
+
+/// Half-cosine decay from `base` to `floor` over `total_epochs`.
+class CosineLr : public LrSchedule {
+ public:
+  CosineLr(double base, double floor, std::size_t total_epochs);
+  double rate(std::size_t epoch) const override;
+  std::string name() const override { return "cosine"; }
+
+ private:
+  double base_, floor_;
+  std::size_t total_;
+};
+
+}  // namespace satd::nn

@@ -1,0 +1,87 @@
+#include "nn/sequential.h"
+
+#include <sstream>
+
+#include "common/contract.h"
+
+namespace satd::nn {
+
+Sequential& Sequential::add(LayerPtr layer) {
+  SATD_EXPECT(layer != nullptr, "null layer");
+  layers_.push_back(std::move(layer));
+  return *this;
+}
+
+Layer& Sequential::layer(std::size_t i) {
+  SATD_EXPECT(i < layers_.size(), "layer index out of range");
+  return *layers_[i];
+}
+
+const Layer& Sequential::layer(std::size_t i) const {
+  SATD_EXPECT(i < layers_.size(), "layer index out of range");
+  return *layers_[i];
+}
+
+Tensor Sequential::forward(const Tensor& x, bool training) {
+  SATD_EXPECT(!layers_.empty(), "forward on empty model");
+  Tensor h = x;
+  for (auto& l : layers_) h = l->forward(h, training);
+  return h;
+}
+
+Tensor Sequential::backward(const Tensor& grad_logits) {
+  SATD_EXPECT(!layers_.empty(), "backward on empty model");
+  Tensor g = grad_logits;
+  for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) {
+    g = (*it)->backward(g);
+  }
+  return g;
+}
+
+std::vector<Tensor*> Sequential::parameters() {
+  std::vector<Tensor*> out;
+  for (auto& l : layers_) {
+    for (Tensor* p : l->parameters()) out.push_back(p);
+  }
+  return out;
+}
+
+std::vector<Tensor*> Sequential::gradients() {
+  std::vector<Tensor*> out;
+  for (auto& l : layers_) {
+    for (Tensor* g : l->gradients()) out.push_back(g);
+  }
+  return out;
+}
+
+std::size_t Sequential::parameter_count() const {
+  std::size_t n = 0;
+  for (const auto& l : layers_) {
+    for (Tensor* p : const_cast<Layer&>(*l).parameters()) n += p->numel();
+  }
+  return n;
+}
+
+void Sequential::zero_grad() {
+  for (auto& l : layers_) l->zero_grad();
+}
+
+Shape Sequential::output_shape(const Shape& input) const {
+  Shape s = input;
+  for (const auto& l : layers_) s = l->output_shape(s);
+  return s;
+}
+
+std::string Sequential::summary(const Shape& input) const {
+  std::ostringstream ss;
+  Shape s = input;
+  ss << "Sequential {\n";
+  for (const auto& l : layers_) {
+    s = l->output_shape(s);
+    ss << "  " << l->name() << " -> " << s.to_string() << "\n";
+  }
+  ss << "} params=" << parameter_count() << "\n";
+  return ss.str();
+}
+
+}  // namespace satd::nn

@@ -1,0 +1,62 @@
+// Sequential model: an owned chain of layers.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nn/layer.h"
+
+namespace satd::nn {
+
+/// Feed-forward model composed of layers executed in order.
+///
+/// Owns its layers. Provides the two passes the rest of the library
+/// needs: forward (logits for a batch) and backward (parameter-gradient
+/// accumulation + dLoss/dInput, the quantity attacks consume).
+class Sequential {
+ public:
+  Sequential() = default;
+
+  /// Moves a layer onto the end of the chain; returns *this for chaining.
+  Sequential& add(LayerPtr layer);
+
+  /// Emplace-style helper: model.emplace<Dense>(784, 256, rng).
+  template <typename L, typename... Args>
+  Sequential& emplace(Args&&... args) {
+    return add(std::make_unique<L>(std::forward<Args>(args)...));
+  }
+
+  std::size_t layer_count() const { return layers_.size(); }
+  Layer& layer(std::size_t i);
+  const Layer& layer(std::size_t i) const;
+
+  /// Runs the full forward pass. `training` enables train-only layers.
+  Tensor forward(const Tensor& x, bool training = false);
+
+  /// Back-propagates from dLoss/dLogits; accumulates parameter gradients
+  /// in every layer and returns dLoss/dInput.
+  Tensor backward(const Tensor& grad_logits);
+
+  /// All trainable parameters / their gradient buffers, in layer order.
+  std::vector<Tensor*> parameters();
+  std::vector<Tensor*> gradients();
+
+  /// Total number of trainable scalars.
+  std::size_t parameter_count() const;
+
+  /// Zeroes every gradient buffer.
+  void zero_grad();
+
+  /// Per-example output shape for a given per-example input shape;
+  /// validates the whole chain.
+  Shape output_shape(const Shape& input) const;
+
+  /// Multi-line human-readable structure summary.
+  std::string summary(const Shape& input) const;
+
+ private:
+  std::vector<LayerPtr> layers_;
+};
+
+}  // namespace satd::nn

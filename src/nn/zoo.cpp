@@ -1,0 +1,96 @@
+#include "nn/zoo.h"
+
+#include "common/contract.h"
+#include "nn/activations.h"
+#include "nn/batchnorm.h"
+#include "nn/conv2d.h"
+#include "nn/dense.h"
+#include "nn/flatten.h"
+#include "nn/maxpool2d.h"
+
+namespace satd::nn::zoo {
+
+Shape input_shape() { return Shape{kImageChannels, kImageSize, kImageSize}; }
+
+Sequential build(const std::string& spec, Rng& rng) {
+  // Note on geometry: starting at 28x28, conv k3 p0 gives 26 -> pool 13.
+  // 13 is odd, so the second stage uses conv k4 p0 (13 -> 10) before
+  // pooling to 5. This keeps every pooled extent exact.
+  if (spec == "cnn_small") {
+    Sequential m;
+    m.emplace<Conv2d>(kImageChannels, 4, 3, 0, rng);  // [4, 26, 26]
+    m.emplace<ReLU>();
+    m.emplace<MaxPool2d>(2);                          // [4, 13, 13]
+    m.emplace<Conv2d>(4, 8, 4, 0, rng);               // [8, 10, 10]
+    m.emplace<ReLU>();
+    m.emplace<MaxPool2d>(2);                          // [8, 5, 5]
+    m.emplace<Flatten>();                             // [200]
+    m.emplace<Dense>(200, 32, rng);
+    m.emplace<ReLU>();
+    m.emplace<Dense>(32, kNumClasses, rng);
+    return m;
+  }
+  if (spec == "cnn_paper") {
+    Sequential m;
+    m.emplace<Conv2d>(kImageChannels, 8, 3, 0, rng);  // [8, 26, 26]
+    m.emplace<ReLU>();
+    m.emplace<MaxPool2d>(2);                          // [8, 13, 13]
+    m.emplace<Conv2d>(8, 16, 4, 0, rng);              // [16, 10, 10]
+    m.emplace<ReLU>();
+    m.emplace<MaxPool2d>(2);                          // [16, 5, 5]
+    m.emplace<Flatten>();                             // [400]
+    m.emplace<Dense>(400, 64, rng);
+    m.emplace<ReLU>();
+    m.emplace<Dense>(64, kNumClasses, rng);
+    return m;
+  }
+  if (spec == "cnn_bn") {
+    Sequential m;
+    m.emplace<Conv2d>(kImageChannels, 4, 3, 0, rng);  // [4, 26, 26]
+    m.emplace<BatchNorm2d>(4);
+    m.emplace<ReLU>();
+    m.emplace<MaxPool2d>(2);                          // [4, 13, 13]
+    m.emplace<Conv2d>(4, 8, 4, 0, rng);               // [8, 10, 10]
+    m.emplace<BatchNorm2d>(8);
+    m.emplace<ReLU>();
+    m.emplace<MaxPool2d>(2);                          // [8, 5, 5]
+    m.emplace<Flatten>();                             // [200]
+    m.emplace<Dense>(200, 32, rng);
+    m.emplace<ReLU>();
+    m.emplace<Dense>(32, kNumClasses, rng);
+    return m;
+  }
+  if (spec == "mlp") {
+    Sequential m;
+    m.emplace<Flatten>();
+    m.emplace<Dense>(kImageSize * kImageSize, 256, rng);
+    m.emplace<ReLU>();
+    m.emplace<Dense>(256, 128, rng);
+    m.emplace<ReLU>();
+    m.emplace<Dense>(128, kNumClasses, rng);
+    return m;
+  }
+  if (spec == "mlp_small") {
+    Sequential m;
+    m.emplace<Flatten>();
+    m.emplace<Dense>(kImageSize * kImageSize, 64, rng);
+    m.emplace<ReLU>();
+    m.emplace<Dense>(64, kNumClasses, rng);
+    return m;
+  }
+  SATD_EXPECT(false, "unknown model spec: " + spec);
+  return Sequential{};  // unreachable
+}
+
+bool is_known_spec(const std::string& spec) {
+  for (const auto& s : known_specs()) {
+    if (s == spec) return true;
+  }
+  return false;
+}
+
+std::vector<std::string> known_specs() {
+  return {"cnn_small", "cnn_paper", "cnn_bn", "mlp", "mlp_small"};
+}
+
+}  // namespace satd::nn::zoo

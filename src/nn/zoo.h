@@ -1,0 +1,48 @@
+// Model zoo: the architectures used by the reproduction.
+//
+// Every experiment builds its classifier from a textual spec so that the
+// trained-model cache and model files are self-describing. Specs:
+//
+//   "cnn_small"  — conv(1->4,k3) relu pool2 conv(4->8,k3) relu pool2
+//                  flatten dense(200->32) relu dense(32->10).
+//                  The default for benches: small enough to train
+//                  adversarially on a single core in seconds per epoch.
+//   "cnn_paper"  — conv(1->8,k3) relu pool2 conv(8->16,k3) relu pool2
+//                  flatten dense(400->64) relu dense(64->10).
+//                  Closer to the capacity class the paper trained.
+//   "cnn_bn"     — cnn_small with BatchNorm2d after each conv
+//                  (normalization/robustness interaction experiments).
+//   "mlp"        — 784-256-128-10 ReLU MLP (ablation / speed baseline).
+//   "mlp_small"  — 784-64-10 ReLU MLP (unit-test scale).
+//
+// All models take [N, 1, 28, 28] images in [0, 1] and emit 10 logits
+// (MLPs flatten internally, so callers never special-case input shape).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "nn/sequential.h"
+
+namespace satd::nn::zoo {
+
+/// Image geometry shared by both synthetic datasets.
+inline constexpr std::size_t kImageChannels = 1;
+inline constexpr std::size_t kImageSize = 28;
+inline constexpr std::size_t kNumClasses = 10;
+
+/// Per-example input shape every zoo model accepts.
+Shape input_shape();
+
+/// Builds a model from a spec string; throws ContractViolation for an
+/// unknown spec. Weights are drawn from `rng`.
+Sequential build(const std::string& spec, Rng& rng);
+
+/// True if `spec` names a known architecture.
+bool is_known_spec(const std::string& spec);
+
+/// All known spec names (for tests / CLI help).
+std::vector<std::string> known_specs();
+
+}  // namespace satd::nn::zoo

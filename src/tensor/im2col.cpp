@@ -1,0 +1,92 @@
+#include "tensor/im2col.h"
+
+#include "common/contract.h"
+
+namespace satd {
+
+namespace {
+void check_geometry(const Tensor& image, const ConvGeometry& g) {
+  SATD_EXPECT(image.shape().rank() == 3, "im2col expects a [C,H,W] image");
+  SATD_EXPECT(image.shape()[0] == g.in_channels &&
+                  image.shape()[1] == g.in_h && image.shape()[2] == g.in_w,
+              "image shape does not match geometry");
+  SATD_EXPECT(g.kernel > 0 && g.kernel <= g.in_h + 2 * g.padding &&
+                  g.kernel <= g.in_w + 2 * g.padding,
+              "kernel larger than padded input");
+}
+}  // namespace
+
+void im2col(const Tensor& image, const ConvGeometry& g, Tensor& out) {
+  check_geometry(image, g);
+  const std::size_t oh = g.out_h();
+  const std::size_t ow = g.out_w();
+  const std::size_t patch = g.patch_size();
+  const Shape want{oh * ow, patch};
+  if (out.shape() != want) out = Tensor(want);
+  const float* src = image.raw();
+  float* dst = out.raw();
+  const std::ptrdiff_t pad = static_cast<std::ptrdiff_t>(g.padding);
+  for (std::size_t oy = 0; oy < oh; ++oy) {
+    for (std::size_t ox = 0; ox < ow; ++ox) {
+      float* row = dst + (oy * ow + ox) * patch;
+      std::size_t t = 0;
+      for (std::size_t c = 0; c < g.in_channels; ++c) {
+        const float* plane = src + c * g.in_h * g.in_w;
+        for (std::size_t ky = 0; ky < g.kernel; ++ky) {
+          const std::ptrdiff_t iy =
+              static_cast<std::ptrdiff_t>(oy + ky) - pad;
+          for (std::size_t kx = 0; kx < g.kernel; ++kx, ++t) {
+            const std::ptrdiff_t ix =
+                static_cast<std::ptrdiff_t>(ox + kx) - pad;
+            const bool inside = iy >= 0 && ix >= 0 &&
+                                iy < static_cast<std::ptrdiff_t>(g.in_h) &&
+                                ix < static_cast<std::ptrdiff_t>(g.in_w);
+            row[t] = inside ? plane[static_cast<std::size_t>(iy) * g.in_w +
+                                    static_cast<std::size_t>(ix)]
+                            : 0.0f;
+          }
+        }
+      }
+    }
+  }
+}
+
+void col2im(const Tensor& columns, const ConvGeometry& g, Tensor& out) {
+  const std::size_t oh = g.out_h();
+  const std::size_t ow = g.out_w();
+  const std::size_t patch = g.patch_size();
+  SATD_EXPECT((columns.shape() == Shape{oh * ow, patch}),
+              "columns shape does not match geometry");
+  const Shape want{g.in_channels, g.in_h, g.in_w};
+  if (out.shape() != want) out = Tensor(want);
+  out.fill(0.0f);
+  const float* src = columns.raw();
+  float* dst = out.raw();
+  const std::ptrdiff_t pad = static_cast<std::ptrdiff_t>(g.padding);
+  for (std::size_t oy = 0; oy < oh; ++oy) {
+    for (std::size_t ox = 0; ox < ow; ++ox) {
+      const float* row = src + (oy * ow + ox) * patch;
+      std::size_t t = 0;
+      for (std::size_t c = 0; c < g.in_channels; ++c) {
+        float* plane = dst + c * g.in_h * g.in_w;
+        for (std::size_t ky = 0; ky < g.kernel; ++ky) {
+          const std::ptrdiff_t iy =
+              static_cast<std::ptrdiff_t>(oy + ky) - pad;
+          for (std::size_t kx = 0; kx < g.kernel; ++kx, ++t) {
+            const std::ptrdiff_t ix =
+                static_cast<std::ptrdiff_t>(ox + kx) - pad;
+            const bool inside = iy >= 0 && ix >= 0 &&
+                                iy < static_cast<std::ptrdiff_t>(g.in_h) &&
+                                ix < static_cast<std::ptrdiff_t>(g.in_w);
+            if (inside) {
+              plane[static_cast<std::size_t>(iy) * g.in_w +
+                    static_cast<std::size_t>(ix)] += row[t];
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace satd

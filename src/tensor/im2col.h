@@ -1,0 +1,40 @@
+// im2col / col2im transforms.
+//
+// Convolution layers lower to matrix multiplication: a [N, C, H, W]
+// activation batch is unfolded into a matrix with one row per output
+// pixel and one column per (channel, kernel-row, kernel-col) tap; the
+// convolution then becomes columns · filter-matrix. col2im is the exact
+// adjoint, used for the input-gradient pass (which adversarial attacks
+// depend on).
+#pragma once
+
+#include <cstddef>
+
+#include "tensor/tensor.h"
+
+namespace satd {
+
+/// Geometry of a 2-D convolution (stride 1, symmetric zero padding).
+struct ConvGeometry {
+  std::size_t in_channels = 0;
+  std::size_t in_h = 0;
+  std::size_t in_w = 0;
+  std::size_t kernel = 0;   // square kernel
+  std::size_t padding = 0;  // symmetric zero padding
+
+  std::size_t out_h() const { return in_h + 2 * padding - kernel + 1; }
+  std::size_t out_w() const { return in_w + 2 * padding - kernel + 1; }
+  /// Number of taps feeding one output pixel.
+  std::size_t patch_size() const { return in_channels * kernel * kernel; }
+};
+
+/// Unfolds one image [C, H, W] into [out_h*out_w, patch_size].
+/// `out` is resized if needed.
+void im2col(const Tensor& image, const ConvGeometry& g, Tensor& out);
+
+/// Adjoint of im2col: accumulates the column gradient
+/// [out_h*out_w, patch_size] back into an image gradient [C, H, W].
+/// `out` is resized and zeroed.
+void col2im(const Tensor& columns, const ConvGeometry& g, Tensor& out);
+
+}  // namespace satd

@@ -1,0 +1,337 @@
+#include "tensor/ops.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/contract.h"
+
+namespace satd::ops {
+
+namespace {
+void check_same_shape(const Tensor& a, const Tensor& b, const char* op) {
+  SATD_EXPECT(a.shape() == b.shape(),
+              std::string(op) + ": shape mismatch " + a.shape().to_string() +
+                  " vs " + b.shape().to_string());
+}
+
+void prepare_out(const Tensor& like, Tensor& out) {
+  if (out.shape() != like.shape()) out = Tensor(like.shape());
+}
+}  // namespace
+
+// ---- elementwise ----
+
+void add(const Tensor& a, const Tensor& b, Tensor& out) {
+  check_same_shape(a, b, "add");
+  prepare_out(a, out);
+  const float* pa = a.raw();
+  const float* pb = b.raw();
+  float* po = out.raw();
+  for (std::size_t i = 0, n = a.numel(); i < n; ++i) po[i] = pa[i] + pb[i];
+}
+
+Tensor add(const Tensor& a, const Tensor& b) {
+  Tensor out;
+  add(a, b, out);
+  return out;
+}
+
+void sub(const Tensor& a, const Tensor& b, Tensor& out) {
+  check_same_shape(a, b, "sub");
+  prepare_out(a, out);
+  const float* pa = a.raw();
+  const float* pb = b.raw();
+  float* po = out.raw();
+  for (std::size_t i = 0, n = a.numel(); i < n; ++i) po[i] = pa[i] - pb[i];
+}
+
+Tensor sub(const Tensor& a, const Tensor& b) {
+  Tensor out;
+  sub(a, b, out);
+  return out;
+}
+
+void mul(const Tensor& a, const Tensor& b, Tensor& out) {
+  check_same_shape(a, b, "mul");
+  prepare_out(a, out);
+  const float* pa = a.raw();
+  const float* pb = b.raw();
+  float* po = out.raw();
+  for (std::size_t i = 0, n = a.numel(); i < n; ++i) po[i] = pa[i] * pb[i];
+}
+
+Tensor mul(const Tensor& a, const Tensor& b) {
+  Tensor out;
+  mul(a, b, out);
+  return out;
+}
+
+void scale(const Tensor& a, float s, Tensor& out) {
+  prepare_out(a, out);
+  const float* pa = a.raw();
+  float* po = out.raw();
+  for (std::size_t i = 0, n = a.numel(); i < n; ++i) po[i] = pa[i] * s;
+}
+
+Tensor scale(const Tensor& a, float s) {
+  Tensor out;
+  scale(a, s, out);
+  return out;
+}
+
+void axpy(float alpha, const Tensor& b, Tensor& a) {
+  check_same_shape(a, b, "axpy");
+  float* pa = a.raw();
+  const float* pb = b.raw();
+  for (std::size_t i = 0, n = a.numel(); i < n; ++i) pa[i] += alpha * pb[i];
+}
+
+void sign(const Tensor& a, Tensor& out) {
+  prepare_out(a, out);
+  const float* pa = a.raw();
+  float* po = out.raw();
+  for (std::size_t i = 0, n = a.numel(); i < n; ++i) {
+    po[i] = (pa[i] > 0.0f) ? 1.0f : (pa[i] < 0.0f ? -1.0f : 0.0f);
+  }
+}
+
+Tensor sign(const Tensor& a) {
+  Tensor out;
+  sign(a, out);
+  return out;
+}
+
+void clamp(const Tensor& a, float lo, float hi, Tensor& out) {
+  SATD_EXPECT(lo <= hi, "clamp bounds must be ordered");
+  prepare_out(a, out);
+  const float* pa = a.raw();
+  float* po = out.raw();
+  for (std::size_t i = 0, n = a.numel(); i < n; ++i) {
+    po[i] = std::min(hi, std::max(lo, pa[i]));
+  }
+}
+
+Tensor clamp(const Tensor& a, float lo, float hi) {
+  Tensor out;
+  clamp(a, lo, hi, out);
+  return out;
+}
+
+void project_linf(const Tensor& center, float eps, float lo, float hi,
+                  Tensor& x) {
+  check_same_shape(center, x, "project_linf");
+  SATD_EXPECT(eps >= 0.0f, "eps must be non-negative");
+  const float* pc = center.raw();
+  float* px = x.raw();
+  for (std::size_t i = 0, n = x.numel(); i < n; ++i) {
+    const float ball_lo = pc[i] - eps;
+    const float ball_hi = pc[i] + eps;
+    float v = std::min(ball_hi, std::max(ball_lo, px[i]));
+    px[i] = std::min(hi, std::max(lo, v));
+  }
+}
+
+// ---- reductions ----
+
+float sum(const Tensor& a) {
+  // Pairwise-ish accumulation in double to keep the reduction stable.
+  double acc = 0.0;
+  for (float v : a.data()) acc += v;
+  return static_cast<float>(acc);
+}
+
+float mean(const Tensor& a) {
+  return a.numel() == 0 ? 0.0f : sum(a) / static_cast<float>(a.numel());
+}
+
+float max_abs(const Tensor& a) {
+  float m = 0.0f;
+  for (float v : a.data()) m = std::max(m, std::fabs(v));
+  return m;
+}
+
+float max_abs_diff(const Tensor& a, const Tensor& b) {
+  check_same_shape(a, b, "max_abs_diff");
+  float m = 0.0f;
+  const float* pa = a.raw();
+  const float* pb = b.raw();
+  for (std::size_t i = 0, n = a.numel(); i < n; ++i) {
+    m = std::max(m, std::fabs(pa[i] - pb[i]));
+  }
+  return m;
+}
+
+float l1_norm(const Tensor& a) {
+  double acc = 0.0;
+  for (float v : a.data()) acc += std::fabs(v);
+  return static_cast<float>(acc);
+}
+
+float l2_norm(const Tensor& a) {
+  double acc = 0.0;
+  for (float v : a.data()) acc += static_cast<double>(v) * v;
+  return static_cast<float>(std::sqrt(acc));
+}
+
+std::size_t argmax(const Tensor& a) {
+  SATD_EXPECT(a.numel() > 0, "argmax of empty tensor");
+  std::size_t best = 0;
+  const float* p = a.raw();
+  for (std::size_t i = 1, n = a.numel(); i < n; ++i) {
+    if (p[i] > p[best]) best = i;
+  }
+  return best;
+}
+
+std::vector<std::size_t> argmax_rows(const Tensor& a) {
+  SATD_EXPECT(a.shape().rank() == 2, "argmax_rows requires rank 2");
+  const std::size_t n = a.shape()[0];
+  const std::size_t d = a.shape()[1];
+  SATD_EXPECT(d > 0, "argmax_rows requires non-empty rows");
+  std::vector<std::size_t> out(n);
+  const float* p = a.raw();
+  for (std::size_t i = 0; i < n; ++i) {
+    const float* row = p + i * d;
+    std::size_t best = 0;
+    for (std::size_t j = 1; j < d; ++j) {
+      if (row[j] > row[best]) best = j;
+    }
+    out[i] = best;
+  }
+  return out;
+}
+
+// ---- linear algebra ----
+
+void matmul(const Tensor& a, const Tensor& b, Tensor& out) {
+  SATD_EXPECT(a.shape().rank() == 2 && b.shape().rank() == 2,
+              "matmul requires rank-2 operands");
+  const std::size_t m = a.shape()[0];
+  const std::size_t k = a.shape()[1];
+  SATD_EXPECT(b.shape()[0] == k, "matmul inner dimension mismatch");
+  const std::size_t n = b.shape()[1];
+  if (out.shape() != Shape{m, n}) out = Tensor(Shape{m, n});
+  out.fill(0.0f);
+  const float* pa = a.raw();
+  const float* pb = b.raw();
+  float* po = out.raw();
+  // i-k-j order: the inner loop streams rows of B and C.
+  for (std::size_t i = 0; i < m; ++i) {
+    const float* arow = pa + i * k;
+    float* crow = po + i * n;
+    for (std::size_t kk = 0; kk < k; ++kk) {
+      const float av = arow[kk];
+      if (av == 0.0f) continue;
+      const float* brow = pb + kk * n;
+      for (std::size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+}
+
+Tensor matmul(const Tensor& a, const Tensor& b) {
+  Tensor out;
+  matmul(a, b, out);
+  return out;
+}
+
+void matmul_tn(const Tensor& a, const Tensor& b, Tensor& out) {
+  SATD_EXPECT(a.shape().rank() == 2 && b.shape().rank() == 2,
+              "matmul_tn requires rank-2 operands");
+  const std::size_t k = a.shape()[0];
+  const std::size_t m = a.shape()[1];
+  SATD_EXPECT(b.shape()[0] == k, "matmul_tn inner dimension mismatch");
+  const std::size_t n = b.shape()[1];
+  if (out.shape() != Shape{m, n}) out = Tensor(Shape{m, n});
+  out.fill(0.0f);
+  const float* pa = a.raw();
+  const float* pb = b.raw();
+  float* po = out.raw();
+  for (std::size_t kk = 0; kk < k; ++kk) {
+    const float* arow = pa + kk * m;
+    const float* brow = pb + kk * n;
+    for (std::size_t i = 0; i < m; ++i) {
+      const float av = arow[i];
+      if (av == 0.0f) continue;
+      float* crow = po + i * n;
+      for (std::size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+}
+
+Tensor matmul_tn(const Tensor& a, const Tensor& b) {
+  Tensor out;
+  matmul_tn(a, b, out);
+  return out;
+}
+
+void matmul_nt(const Tensor& a, const Tensor& b, Tensor& out) {
+  SATD_EXPECT(a.shape().rank() == 2 && b.shape().rank() == 2,
+              "matmul_nt requires rank-2 operands");
+  const std::size_t m = a.shape()[0];
+  const std::size_t k = a.shape()[1];
+  SATD_EXPECT(b.shape()[1] == k, "matmul_nt inner dimension mismatch");
+  const std::size_t n = b.shape()[0];
+  if (out.shape() != Shape{m, n}) out = Tensor(Shape{m, n});
+  const float* pa = a.raw();
+  const float* pb = b.raw();
+  float* po = out.raw();
+  for (std::size_t i = 0; i < m; ++i) {
+    const float* arow = pa + i * k;
+    float* crow = po + i * n;
+    for (std::size_t j = 0; j < n; ++j) {
+      const float* brow = pb + j * k;
+      double acc = 0.0;
+      for (std::size_t kk = 0; kk < k; ++kk) acc += static_cast<double>(arow[kk]) * brow[kk];
+      crow[j] = static_cast<float>(acc);
+    }
+  }
+}
+
+Tensor matmul_nt(const Tensor& a, const Tensor& b) {
+  Tensor out;
+  matmul_nt(a, b, out);
+  return out;
+}
+
+void add_row_bias(const Tensor& a, const Tensor& bias, Tensor& out) {
+  SATD_EXPECT(a.shape().rank() == 2, "add_row_bias requires rank 2");
+  SATD_EXPECT(bias.shape().rank() == 1 && bias.shape()[0] == a.shape()[1],
+              "bias shape mismatch");
+  prepare_out(a, out);
+  const std::size_t m = a.shape()[0];
+  const std::size_t n = a.shape()[1];
+  const float* pa = a.raw();
+  const float* pbias = bias.raw();
+  float* po = out.raw();
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < n; ++j) po[i * n + j] = pa[i * n + j] + pbias[j];
+  }
+}
+
+void sum_rows(const Tensor& grad, Tensor& out) {
+  SATD_EXPECT(grad.shape().rank() == 2, "sum_rows requires rank 2");
+  const std::size_t m = grad.shape()[0];
+  const std::size_t n = grad.shape()[1];
+  if (out.shape() != Shape{n}) out = Tensor(Shape{n});
+  out.fill(0.0f);
+  const float* pg = grad.raw();
+  float* po = out.raw();
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < n; ++j) po[j] += pg[i * n + j];
+  }
+}
+
+Tensor transpose(const Tensor& a) {
+  SATD_EXPECT(a.shape().rank() == 2, "transpose requires rank 2");
+  const std::size_t m = a.shape()[0];
+  const std::size_t n = a.shape()[1];
+  Tensor out(Shape{n, m});
+  const float* pa = a.raw();
+  float* po = out.raw();
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < n; ++j) po[j * m + i] = pa[i * n + j];
+  }
+  return out;
+}
+
+}  // namespace satd::ops

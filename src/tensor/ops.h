@@ -1,0 +1,100 @@
+// Math kernels over Tensor.
+//
+// Free functions, out-parameter variants where the hot loops need to
+// avoid allocation (the training loop reuses buffers), plus convenience
+// value-returning forms for tests and cold paths. Matmul is a blocked
+// i-k-j loop — on the single-core hosts this library targets it reaches a
+// few GFLOP/s, which is enough for the paper's scaled-down workloads.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace satd::ops {
+
+// ---- elementwise ----
+
+/// out = a + b (shapes must match).
+void add(const Tensor& a, const Tensor& b, Tensor& out);
+Tensor add(const Tensor& a, const Tensor& b);
+
+/// out = a - b.
+void sub(const Tensor& a, const Tensor& b, Tensor& out);
+Tensor sub(const Tensor& a, const Tensor& b);
+
+/// out = a ⊙ b (Hadamard).
+void mul(const Tensor& a, const Tensor& b, Tensor& out);
+Tensor mul(const Tensor& a, const Tensor& b);
+
+/// out = a * s.
+void scale(const Tensor& a, float s, Tensor& out);
+Tensor scale(const Tensor& a, float s);
+
+/// a += alpha * b (in place).
+void axpy(float alpha, const Tensor& b, Tensor& a);
+
+/// out = sign(a) with sign(0) = 0.
+void sign(const Tensor& a, Tensor& out);
+Tensor sign(const Tensor& a);
+
+/// out = clamp(a, lo, hi) elementwise.
+void clamp(const Tensor& a, float lo, float hi, Tensor& out);
+Tensor clamp(const Tensor& a, float lo, float hi);
+
+/// Clamps `x` into the l-infinity ball of radius eps around `center`,
+/// then into [lo, hi]: the projection step of every l-inf attack.
+void project_linf(const Tensor& center, float eps, float lo, float hi,
+                  Tensor& x);
+
+// ---- reductions ----
+
+/// Sum of all elements.
+float sum(const Tensor& a);
+
+/// Mean of all elements (0 for empty).
+float mean(const Tensor& a);
+
+/// Maximum absolute element (0 for empty).
+float max_abs(const Tensor& a);
+
+/// Maximum elementwise |a - b| (shapes must match).
+float max_abs_diff(const Tensor& a, const Tensor& b);
+
+/// L1 norm (sum of |a_i|).
+float l1_norm(const Tensor& a);
+
+/// L2 norm.
+float l2_norm(const Tensor& a);
+
+/// Argmax over a rank-1 tensor (or the flat data).
+std::size_t argmax(const Tensor& a);
+
+/// Row-wise argmax of a rank-2 tensor [N, D] -> N indices.
+std::vector<std::size_t> argmax_rows(const Tensor& a);
+
+// ---- linear algebra ----
+
+/// C = A · B for A[m,k], B[k,n] -> C[m,n].
+void matmul(const Tensor& a, const Tensor& b, Tensor& out);
+Tensor matmul(const Tensor& a, const Tensor& b);
+
+/// C = Aᵀ · B for A[k,m], B[k,n] -> C[m,n] (no materialized transpose).
+void matmul_tn(const Tensor& a, const Tensor& b, Tensor& out);
+Tensor matmul_tn(const Tensor& a, const Tensor& b);
+
+/// C = A · Bᵀ for A[m,k], B[n,k] -> C[m,n].
+void matmul_nt(const Tensor& a, const Tensor& b, Tensor& out);
+Tensor matmul_nt(const Tensor& a, const Tensor& b);
+
+/// out[i,j] = a[i,j] + bias[j] for a[m,n], bias[n].
+void add_row_bias(const Tensor& a, const Tensor& bias, Tensor& out);
+
+/// grad_bias[j] = sum_i grad[i,j].
+void sum_rows(const Tensor& grad, Tensor& out);
+
+/// Transposed copy of a rank-2 tensor.
+Tensor transpose(const Tensor& a);
+
+}  // namespace satd::ops

@@ -1,0 +1,103 @@
+#include "tensor/serialize.h"
+
+#include <cstring>
+#include <istream>
+#include <ostream>
+
+#include "common/contract.h"
+
+namespace satd {
+
+namespace {
+constexpr char kMagic[4] = {'S', 'T', 'S', 'R'};
+constexpr std::uint32_t kVersion = 1;
+constexpr std::uint64_t kMaxStringLen = 1u << 20;
+constexpr std::uint64_t kMaxTensorElems = 1ull << 32;
+
+void write_u32(std::ostream& os, std::uint32_t v) {
+  unsigned char buf[4];
+  for (int i = 0; i < 4; ++i) buf[i] = static_cast<unsigned char>(v >> (8 * i));
+  os.write(reinterpret_cast<const char*>(buf), 4);
+}
+
+std::uint32_t read_u32(std::istream& is) {
+  unsigned char buf[4];
+  is.read(reinterpret_cast<char*>(buf), 4);
+  if (!is) throw SerializeError("truncated stream reading u32");
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(buf[i]) << (8 * i);
+  return v;
+}
+}  // namespace
+
+void write_u64(std::ostream& os, std::uint64_t v) {
+  unsigned char buf[8];
+  for (int i = 0; i < 8; ++i) buf[i] = static_cast<unsigned char>(v >> (8 * i));
+  os.write(reinterpret_cast<const char*>(buf), 8);
+}
+
+std::uint64_t read_u64(std::istream& is) {
+  unsigned char buf[8];
+  is.read(reinterpret_cast<char*>(buf), 8);
+  if (!is) throw SerializeError("truncated stream reading u64");
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(buf[i]) << (8 * i);
+  return v;
+}
+
+void write_string(std::ostream& os, const std::string& s) {
+  SATD_EXPECT(s.size() <= kMaxStringLen, "string too long to serialize");
+  write_u64(os, s.size());
+  os.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+std::string read_string(std::istream& is) {
+  const std::uint64_t len = read_u64(is);
+  if (len > kMaxStringLen) throw SerializeError("unreasonable string length");
+  std::string s(len, '\0');
+  is.read(s.data(), static_cast<std::streamsize>(len));
+  if (!is) throw SerializeError("truncated stream reading string");
+  return s;
+}
+
+void write_tensor(std::ostream& os, const Tensor& t) {
+  os.write(kMagic, 4);
+  write_u32(os, kVersion);
+  write_u32(os, static_cast<std::uint32_t>(t.shape().rank()));
+  for (std::size_t d : t.shape().dims()) write_u64(os, d);
+  // float32 is IEEE-754 on every supported platform; write raw.
+  static_assert(sizeof(float) == 4);
+  os.write(reinterpret_cast<const char*>(t.raw()),
+           static_cast<std::streamsize>(t.numel() * sizeof(float)));
+}
+
+Tensor read_tensor(std::istream& is) {
+  char magic[4];
+  is.read(magic, 4);
+  if (!is || std::memcmp(magic, kMagic, 4) != 0) {
+    throw SerializeError("bad tensor magic");
+  }
+  const std::uint32_t version = read_u32(is);
+  if (version != kVersion) {
+    throw SerializeError("unsupported tensor version " +
+                         std::to_string(version));
+  }
+  const std::uint32_t rank = read_u32(is);
+  if (rank > 8) throw SerializeError("unreasonable tensor rank");
+  std::vector<std::size_t> dims(rank);
+  std::uint64_t numel = 1;
+  for (auto& d : dims) {
+    d = static_cast<std::size_t>(read_u64(is));
+    numel *= d;
+    if (numel > kMaxTensorElems) {
+      throw SerializeError("unreasonable tensor size");
+    }
+  }
+  std::vector<float> data(static_cast<std::size_t>(numel));
+  is.read(reinterpret_cast<char*>(data.data()),
+          static_cast<std::streamsize>(data.size() * sizeof(float)));
+  if (!is) throw SerializeError("truncated stream reading tensor data");
+  return Tensor(Shape(std::move(dims)), std::move(data));
+}
+
+}  // namespace satd

@@ -1,0 +1,38 @@
+// Binary tensor (de)serialization.
+//
+// Format: magic "STSR", u32 version, u32 rank, u64 dims..., f32 data...
+// Little-endian, no alignment padding. Used by model save/load and the
+// benches' trained-model cache.
+#pragma once
+
+#include <iosfwd>
+#include <stdexcept>
+#include <string>
+
+#include "tensor/tensor.h"
+
+namespace satd {
+
+/// Thrown when a stream does not contain a valid serialized tensor.
+class SerializeError : public std::runtime_error {
+ public:
+  explicit SerializeError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Writes one tensor to a binary stream.
+void write_tensor(std::ostream& os, const Tensor& t);
+
+/// Reads one tensor; throws SerializeError on malformed input.
+Tensor read_tensor(std::istream& is);
+
+/// Writes a length-prefixed UTF-8 string (used by model metadata).
+void write_string(std::ostream& os, const std::string& s);
+
+/// Reads a length-prefixed string.
+std::string read_string(std::istream& is);
+
+/// Writes / reads a u64 (little-endian).
+void write_u64(std::ostream& os, std::uint64_t v);
+std::uint64_t read_u64(std::istream& is);
+
+}  // namespace satd

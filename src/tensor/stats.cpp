@@ -1,0 +1,64 @@
+#include "tensor/stats.h"
+
+#include <cmath>
+
+#include "common/contract.h"
+#include "tensor/ops.h"
+
+namespace satd::stats {
+
+Tensor column_mean(const Tensor& a) {
+  SATD_EXPECT(a.shape().rank() == 2, "column_mean requires rank 2");
+  const std::size_t n = a.shape()[0];
+  const std::size_t d = a.shape()[1];
+  SATD_EXPECT(n > 0, "column_mean of empty batch");
+  Tensor out(Shape{d});
+  ops::sum_rows(a, out);
+  for (std::size_t j = 0; j < d; ++j) out[j] /= static_cast<float>(n);
+  return out;
+}
+
+Tensor center_rows(const Tensor& a) {
+  const Tensor mu = column_mean(a);
+  const std::size_t n = a.shape()[0];
+  const std::size_t d = a.shape()[1];
+  Tensor out(a.shape());
+  const float* pa = a.raw();
+  float* po = out.raw();
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < d; ++j) po[i * d + j] = pa[i * d + j] - mu[j];
+  }
+  return out;
+}
+
+Tensor covariance(const Tensor& a) {
+  SATD_EXPECT(a.shape().rank() == 2, "covariance requires rank 2");
+  const std::size_t n = a.shape()[0];
+  SATD_EXPECT(n >= 2, "covariance requires at least two rows");
+  const Tensor centered = center_rows(a);
+  Tensor cov = ops::matmul_tn(centered, centered);
+  ops::scale(cov, 1.0f / static_cast<float>(n - 1), cov);
+  return cov;
+}
+
+float mmd_l1(const Tensor& a, const Tensor& b) {
+  const Tensor ma = column_mean(a);
+  const Tensor mb = column_mean(b);
+  SATD_EXPECT(ma.shape() == mb.shape(), "mmd_l1 feature dim mismatch");
+  const std::size_t d = ma.numel();
+  double acc = 0.0;
+  for (std::size_t j = 0; j < d; ++j) acc += std::fabs(ma[j] - mb[j]);
+  return static_cast<float>(acc / static_cast<double>(d));
+}
+
+float coral_l1(const Tensor& a, const Tensor& b) {
+  const Tensor ca = covariance(a);
+  const Tensor cb = covariance(b);
+  SATD_EXPECT(ca.shape() == cb.shape(), "coral_l1 feature dim mismatch");
+  const std::size_t dd = ca.numel();
+  double acc = 0.0;
+  for (std::size_t j = 0; j < dd; ++j) acc += std::fabs(ca[j] - cb[j]);
+  return static_cast<float>(acc / static_cast<double>(dd));
+}
+
+}  // namespace satd::stats

@@ -1,0 +1,30 @@
+// Batch statistics over rank-2 tensors [N, D].
+//
+// These feed the ATDA baseline (Song et al. 2018), whose domain-adaptation
+// loss compares the mean (MMD term) and covariance (CORAL term) of clean
+// and adversarial logit batches.
+#pragma once
+
+#include "tensor/tensor.h"
+
+namespace satd::stats {
+
+/// Column means of a [N, D] matrix -> [D].
+Tensor column_mean(const Tensor& a);
+
+/// Rows minus their column mean -> [N, D].
+Tensor center_rows(const Tensor& a);
+
+/// Sample covariance of the columns of a [N, D] matrix -> [D, D],
+/// computed as Xcᵀ·Xc / (N - 1) (N >= 2 required).
+Tensor covariance(const Tensor& a);
+
+/// Mean of per-column |mean(a) - mean(b)|: the (linear-kernel) MMD
+/// distance used by ATDA. Shapes must both be [*, D] with equal D.
+float mmd_l1(const Tensor& a, const Tensor& b);
+
+/// Mean of elementwise |cov(a) - cov(b)| over the D*D entries: the CORAL
+/// distance used by ATDA.
+float coral_l1(const Tensor& a, const Tensor& b);
+
+}  // namespace satd::stats

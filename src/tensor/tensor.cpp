@@ -1,0 +1,165 @@
+#include "tensor/tensor.h"
+
+#include <cmath>
+#include <numeric>
+#include <sstream>
+
+#include "common/contract.h"
+
+namespace satd {
+
+std::size_t Shape::operator[](std::size_t i) const {
+  SATD_EXPECT(i < dims_.size(), "shape index out of range");
+  return dims_[i];
+}
+
+std::size_t Shape::numel() const {
+  std::size_t n = 1;
+  for (std::size_t d : dims_) n *= d;
+  return n;
+}
+
+std::string Shape::to_string() const {
+  std::ostringstream ss;
+  ss << "[";
+  for (std::size_t i = 0; i < dims_.size(); ++i) {
+    if (i) ss << ", ";
+    ss << dims_[i];
+  }
+  ss << "]";
+  return ss.str();
+}
+
+Tensor::Tensor(Shape shape)
+    : shape_(std::move(shape)), data_(shape_.numel(), 0.0f) {}
+
+Tensor::Tensor(Shape shape, std::vector<float> data)
+    : shape_(std::move(shape)), data_(std::move(data)) {
+  SATD_EXPECT(data_.size() == shape_.numel(),
+              "data size does not match shape " + shape_.to_string());
+}
+
+Tensor Tensor::from_vector(std::vector<float> values) {
+  const std::size_t n = values.size();
+  return Tensor(Shape{n}, std::move(values));
+}
+
+Tensor Tensor::full(Shape shape, float value) {
+  Tensor t(std::move(shape));
+  t.fill(value);
+  return t;
+}
+
+float& Tensor::operator[](std::size_t i) {
+  SATD_EXPECT(i < data_.size(), "flat index out of range");
+  return data_[i];
+}
+
+float Tensor::operator[](std::size_t i) const {
+  SATD_EXPECT(i < data_.size(), "flat index out of range");
+  return data_[i];
+}
+
+float& Tensor::at(std::size_t i0) {
+  SATD_EXPECT(shape_.rank() == 1, "at(i) requires rank 1");
+  return (*this)[i0];
+}
+
+float& Tensor::at(std::size_t i0, std::size_t i1) {
+  SATD_EXPECT(shape_.rank() == 2, "at(i,j) requires rank 2");
+  SATD_EXPECT(i0 < shape_[0] && i1 < shape_[1], "index out of range");
+  return data_[i0 * shape_[1] + i1];
+}
+
+float& Tensor::at(std::size_t i0, std::size_t i1, std::size_t i2) {
+  SATD_EXPECT(shape_.rank() == 3, "at(i,j,k) requires rank 3");
+  SATD_EXPECT(i0 < shape_[0] && i1 < shape_[1] && i2 < shape_[2],
+              "index out of range");
+  return data_[(i0 * shape_[1] + i1) * shape_[2] + i2];
+}
+
+float& Tensor::at(std::size_t i0, std::size_t i1, std::size_t i2,
+                  std::size_t i3) {
+  SATD_EXPECT(shape_.rank() == 4, "at(i,j,k,l) requires rank 4");
+  SATD_EXPECT(i0 < shape_[0] && i1 < shape_[1] && i2 < shape_[2] &&
+                  i3 < shape_[3],
+              "index out of range");
+  return data_[((i0 * shape_[1] + i1) * shape_[2] + i2) * shape_[3] + i3];
+}
+
+float Tensor::at(std::size_t i0) const {
+  return const_cast<Tensor*>(this)->at(i0);
+}
+float Tensor::at(std::size_t i0, std::size_t i1) const {
+  return const_cast<Tensor*>(this)->at(i0, i1);
+}
+float Tensor::at(std::size_t i0, std::size_t i1, std::size_t i2) const {
+  return const_cast<Tensor*>(this)->at(i0, i1, i2);
+}
+float Tensor::at(std::size_t i0, std::size_t i1, std::size_t i2,
+                 std::size_t i3) const {
+  return const_cast<Tensor*>(this)->at(i0, i1, i2, i3);
+}
+
+Tensor Tensor::reshaped(Shape new_shape) const {
+  SATD_EXPECT(new_shape.numel() == numel(),
+              "reshape element count mismatch: " + shape_.to_string() +
+                  " -> " + new_shape.to_string());
+  return Tensor(std::move(new_shape), data_);
+}
+
+std::size_t Tensor::row_stride() const {
+  SATD_EXPECT(shape_.rank() >= 2, "row access requires rank >= 2");
+  std::size_t stride = 1;
+  for (std::size_t d = 1; d < shape_.rank(); ++d) stride *= shape_[d];
+  return stride;
+}
+
+Tensor Tensor::slice_row(std::size_t i) const {
+  const std::size_t stride = row_stride();
+  SATD_EXPECT(i < shape_[0], "row index out of range");
+  std::vector<std::size_t> trailing(shape_.dims().begin() + 1,
+                                    shape_.dims().end());
+  std::vector<float> row(data_.begin() + static_cast<std::ptrdiff_t>(i * stride),
+                         data_.begin() + static_cast<std::ptrdiff_t>((i + 1) * stride));
+  return Tensor(Shape(std::move(trailing)), std::move(row));
+}
+
+void Tensor::set_row(std::size_t i, const Tensor& row) {
+  const std::size_t stride = row_stride();
+  SATD_EXPECT(i < shape_[0], "row index out of range");
+  SATD_EXPECT(row.numel() == stride, "row size mismatch");
+  std::copy(row.data_.begin(), row.data_.end(),
+            data_.begin() + static_cast<std::ptrdiff_t>(i * stride));
+}
+
+void Tensor::fill(float value) {
+  std::fill(data_.begin(), data_.end(), value);
+}
+
+bool Tensor::equals(const Tensor& other) const {
+  return shape_ == other.shape_ && data_ == other.data_;
+}
+
+bool Tensor::allclose(const Tensor& other, float tol) const {
+  if (shape_ != other.shape_) return false;
+  for (std::size_t i = 0; i < data_.size(); ++i) {
+    if (std::fabs(data_[i] - other.data_[i]) > tol) return false;
+  }
+  return true;
+}
+
+std::string Tensor::to_string(std::size_t max_elems) const {
+  std::ostringstream ss;
+  ss << "Tensor" << shape_.to_string() << " {";
+  const std::size_t n = std::min(max_elems, data_.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i) ss << ", ";
+    ss << data_[i];
+  }
+  if (n < data_.size()) ss << ", ...";
+  ss << "}";
+  return ss.str();
+}
+
+}  // namespace satd

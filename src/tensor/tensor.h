@@ -1,0 +1,114 @@
+// Dense float32 tensor with contiguous row-major storage.
+//
+// This is the numerical substrate of the library: batches of images are
+// rank-4 tensors [N, C, H, W], layer activations are rank-2 [N, D], and
+// parameters are rank-1/2. Storage is always contiguous so the math
+// kernels in ops.h can operate on raw spans; there are no strided views —
+// the experiments never need them and their absence removes a whole class
+// of aliasing bugs.
+#pragma once
+
+#include <cstddef>
+#include <initializer_list>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace satd {
+
+/// Tensor shape: a short list of dimensions (rank 0..4 used in practice).
+class Shape {
+ public:
+  Shape() = default;
+  Shape(std::initializer_list<std::size_t> dims) : dims_(dims) {}
+  explicit Shape(std::vector<std::size_t> dims) : dims_(std::move(dims)) {}
+
+  std::size_t rank() const { return dims_.size(); }
+  std::size_t operator[](std::size_t i) const;
+  /// Total number of elements (1 for rank 0).
+  std::size_t numel() const;
+
+  bool operator==(const Shape& other) const { return dims_ == other.dims_; }
+  bool operator!=(const Shape& other) const { return !(*this == other); }
+
+  const std::vector<std::size_t>& dims() const { return dims_; }
+
+  /// Renders e.g. "[32, 1, 28, 28]".
+  std::string to_string() const;
+
+ private:
+  std::vector<std::size_t> dims_;
+};
+
+/// Contiguous row-major float tensor.
+class Tensor {
+ public:
+  /// Empty (rank-0, zero elements is represented as shape {0}).
+  Tensor() = default;
+
+  /// Zero-initialized tensor of the given shape.
+  explicit Tensor(Shape shape);
+
+  /// Tensor of the given shape with explicit contents (size must match).
+  Tensor(Shape shape, std::vector<float> data);
+
+  /// Convenience: rank-1 tensor from values.
+  static Tensor from_vector(std::vector<float> values);
+
+  /// Tensor filled with a constant.
+  static Tensor full(Shape shape, float value);
+
+  const Shape& shape() const { return shape_; }
+  std::size_t numel() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  /// Raw storage access.
+  std::span<float> data() { return data_; }
+  std::span<const float> data() const { return data_; }
+  float* raw() { return data_.data(); }
+  const float* raw() const { return data_.data(); }
+
+  /// Flat element access with bounds check.
+  float& operator[](std::size_t i);
+  float operator[](std::size_t i) const;
+
+  /// Multi-dimensional access (rank-checked).
+  float& at(std::size_t i0);
+  float& at(std::size_t i0, std::size_t i1);
+  float& at(std::size_t i0, std::size_t i1, std::size_t i2);
+  float& at(std::size_t i0, std::size_t i1, std::size_t i2, std::size_t i3);
+  float at(std::size_t i0) const;
+  float at(std::size_t i0, std::size_t i1) const;
+  float at(std::size_t i0, std::size_t i1, std::size_t i2) const;
+  float at(std::size_t i0, std::size_t i1, std::size_t i2, std::size_t i3) const;
+
+  /// Reinterprets the storage with a new shape of equal numel.
+  Tensor reshaped(Shape new_shape) const;
+
+  /// Copies row `i` of a rank>=2 tensor (all trailing dims) into a new
+  /// tensor of shape equal to the trailing dims.
+  Tensor slice_row(std::size_t i) const;
+
+  /// Overwrites row `i` with `row` (shape must match trailing dims).
+  void set_row(std::size_t i, const Tensor& row);
+
+  /// Sets every element to `value`.
+  void fill(float value);
+
+  /// True if shapes and all elements are exactly equal.
+  bool equals(const Tensor& other) const;
+
+  /// True if shapes match and elements differ by at most `tol`.
+  bool allclose(const Tensor& other, float tol = 1e-5f) const;
+
+  /// Renders shape + a preview of the data (for debugging/tests).
+  std::string to_string(std::size_t max_elems = 16) const;
+
+ private:
+  std::size_t row_stride() const;  // product of trailing dims
+
+  Shape shape_;
+  std::vector<float> data_;
+};
+
+}  // namespace satd

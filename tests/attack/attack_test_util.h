@@ -1,0 +1,57 @@
+// Shared fixtures for attack tests: a small dataset plus a briefly
+// trained classifier (attack behaviour is only meaningful against a
+// model that actually classifies better than chance).
+#pragma once
+
+#include "common/rng.h"
+#include "core/vanilla_trainer.h"
+#include "data/synthetic.h"
+#include "nn/zoo.h"
+
+namespace satd::attack::testing {
+
+inline const data::DatasetPair& small_digits() {
+  static const data::DatasetPair pair = [] {
+    data::SyntheticConfig cfg;
+    cfg.train_size = 200;
+    cfg.test_size = 60;
+    cfg.seed = 11;
+    return data::make_synthetic_digits(cfg);
+  }();
+  return pair;
+}
+
+/// An MLP vanilla-trained for a few epochs on small_digits(); shared
+/// (and mutated only transiently) by the attack tests.
+inline nn::Sequential& trained_model() {
+  static nn::Sequential model = [] {
+    Rng rng(1);
+    nn::Sequential m = nn::zoo::build("mlp_small", rng);
+    core::TrainConfig cfg;
+    cfg.epochs = 8;
+    cfg.batch_size = 32;
+    cfg.seed = 2;
+    core::VanillaTrainer trainer(m, cfg);
+    trainer.fit(small_digits().train);
+    return m;
+  }();
+  return model;
+}
+
+/// First `n` test examples as one batch.
+inline Tensor test_batch(std::size_t n) {
+  const auto& test = small_digits().test;
+  Tensor images(Shape{n, 1, 28, 28});
+  for (std::size_t i = 0; i < n; ++i) {
+    images.set_row(i, test.images.slice_row(i));
+  }
+  return images;
+}
+
+inline std::vector<std::size_t> test_labels(std::size_t n) {
+  const auto& test = small_digits().test;
+  return {test.labels.begin(),
+          test.labels.begin() + static_cast<std::ptrdiff_t>(n)};
+}
+
+}  // namespace satd::attack::testing

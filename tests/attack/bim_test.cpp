@@ -1,0 +1,126 @@
+#include "attack/bim.h"
+
+#include <gtest/gtest.h>
+
+#include "attack/fgsm.h"
+#include "attack_test_util.h"
+#include "common/contract.h"
+#include "nn/loss.h"
+#include "tensor/ops.h"
+
+namespace satd::attack {
+namespace {
+
+using testing::test_batch;
+using testing::test_labels;
+using testing::trained_model;
+
+TEST(Bim, PaperConventionSetsStepToEpsOverN) {
+  Bim bim(0.3f, 10);
+  EXPECT_FLOAT_EQ(bim.step_size(), 0.03f);
+  EXPECT_EQ(bim.iterations(), 10u);
+  EXPECT_FLOAT_EQ(bim.epsilon(), 0.3f);
+}
+
+TEST(Bim, ExplicitStepOverridesConvention) {
+  Bim bim(0.3f, 5, 0.1f);
+  EXPECT_FLOAT_EQ(bim.step_size(), 0.1f);
+}
+
+TEST(Bim, ZeroIterationsRejected) {
+  EXPECT_THROW(Bim(0.3f, 0), ContractViolation);
+}
+
+TEST(Bim, StaysWithinEpsBall) {
+  Bim bim(0.2f, 7);
+  const Tensor x = test_batch(12);
+  const Tensor adv = bim.perturb(trained_model(), x, test_labels(12));
+  EXPECT_LE(ops::max_abs_diff(adv, x), 0.2f + 1e-5f);
+  for (float v : adv.data()) {
+    EXPECT_GE(v, kPixelMin);
+    EXPECT_LE(v, kPixelMax);
+  }
+}
+
+TEST(Bim, OneIterationEqualsFgsm) {
+  const float eps = 0.15f;
+  Bim bim(eps, 1);
+  Fgsm fgsm(eps);
+  const Tensor x = test_batch(8);
+  const auto labels = test_labels(8);
+  const Tensor a = bim.perturb(trained_model(), x, labels);
+  const Tensor b = fgsm.perturb(trained_model(), x, labels);
+  EXPECT_TRUE(a.equals(b));
+}
+
+TEST(Bim, TraceHasOneEntryPerIteration) {
+  Bim bim(0.2f, 6);
+  const Tensor x = test_batch(6);
+  const auto labels = test_labels(6);
+  const auto trace = bim.perturb_with_trace(trained_model(), x, labels);
+  ASSERT_EQ(trace.size(), 6u);
+  for (const Tensor& t : trace) EXPECT_EQ(t.shape(), x.shape());
+}
+
+TEST(Bim, TraceFinalMatchesPerturb) {
+  Bim bim(0.2f, 5);
+  const Tensor x = test_batch(6);
+  const auto labels = test_labels(6);
+  const auto trace = bim.perturb_with_trace(trained_model(), x, labels);
+  const Tensor direct = bim.perturb(trained_model(), x, labels);
+  EXPECT_TRUE(trace.back().equals(direct));
+}
+
+TEST(Bim, TracePerturbationGrowsMonotonically) {
+  // Each iterate may move farther from the clean input, never teleport
+  // beyond the ball.
+  Bim bim(0.3f, 8);
+  const Tensor x = test_batch(6);
+  const auto trace = bim.perturb_with_trace(trained_model(), x, test_labels(6));
+  float prev = 0.0f;
+  for (const Tensor& t : trace) {
+    const float dist = ops::max_abs_diff(t, x);
+    EXPECT_GE(dist, prev - 1e-5f);
+    EXPECT_LE(dist, 0.3f + 1e-5f);
+    prev = dist;
+  }
+}
+
+TEST(Bim, LossAlongTraceEndsHigherThanItStarts) {
+  Bim bim(0.3f, 10);
+  nn::Sequential& model = trained_model();
+  const Tensor x = test_batch(24);
+  const auto labels = test_labels(24);
+  const float clean_loss =
+      nn::softmax_cross_entropy_value(model.forward(x, false), labels);
+  const auto trace = bim.perturb_with_trace(model, x, labels);
+  const float final_loss = nn::softmax_cross_entropy_value(
+      model.forward(trace.back(), false), labels);
+  EXPECT_GT(final_loss, clean_loss);
+}
+
+TEST(Bim, StrongerThanFgsmAtSameBudget) {
+  // The whole premise of the paper: iterative > single-step at equal eps.
+  nn::Sequential& model = trained_model();
+  const Tensor x = test_batch(40);
+  const auto labels = test_labels(40);
+  Fgsm fgsm(0.3f);
+  Bim bim(0.3f, 10);
+  const float fgsm_loss = nn::softmax_cross_entropy_value(
+      model.forward(fgsm.perturb(model, x, labels), false), labels);
+  const float bim_loss = nn::softmax_cross_entropy_value(
+      model.forward(bim.perturb(model, x, labels), false), labels);
+  EXPECT_GE(bim_loss, fgsm_loss * 0.9f);  // at least comparable; usually >
+}
+
+TEST(Bim, LeavesModelGradientsClean) {
+  nn::Sequential& model = trained_model();
+  Bim bim(0.2f, 3);
+  bim.perturb(model, test_batch(4), test_labels(4));
+  for (Tensor* g : model.gradients()) {
+    for (float v : g->data()) EXPECT_EQ(v, 0.0f);
+  }
+}
+
+}  // namespace
+}  // namespace satd::attack

@@ -1,0 +1,116 @@
+#include "attack/fgsm.h"
+
+#include <gtest/gtest.h>
+
+#include "attack_test_util.h"
+#include "common/contract.h"
+#include "nn/loss.h"
+#include "tensor/ops.h"
+
+namespace satd::attack {
+namespace {
+
+using testing::test_batch;
+using testing::test_labels;
+using testing::trained_model;
+
+TEST(Fgsm, PerturbationBoundedByEps) {
+  const float eps = 0.1f;
+  Fgsm fgsm(eps);
+  const Tensor x = test_batch(16);
+  const auto labels = test_labels(16);
+  const Tensor adv = fgsm.perturb(trained_model(), x, labels);
+  EXPECT_EQ(adv.shape(), x.shape());
+  EXPECT_LE(ops::max_abs_diff(adv, x), eps + 1e-6f);
+}
+
+TEST(Fgsm, OutputStaysInPixelRange) {
+  Fgsm fgsm(0.5f);
+  const Tensor x = test_batch(16);
+  const Tensor adv = fgsm.perturb(trained_model(), x, test_labels(16));
+  for (float v : adv.data()) {
+    EXPECT_GE(v, kPixelMin);
+    EXPECT_LE(v, kPixelMax);
+  }
+}
+
+TEST(Fgsm, MostPixelsMoveByExactlyEpsInside) {
+  // Where the gradient is nonzero and the eps-ball fits inside [0,1],
+  // the step is exactly +-eps.
+  const float eps = 0.05f;
+  Fgsm fgsm(eps);
+  const Tensor x = test_batch(8);
+  const Tensor adv = fgsm.perturb(trained_model(), x, test_labels(8));
+  std::size_t exact = 0, interior = 0;
+  for (std::size_t i = 0; i < x.numel(); ++i) {
+    if (x[i] > eps && x[i] < 1.0f - eps) {
+      ++interior;
+      const float d = std::abs(adv[i] - x[i]);
+      if (std::abs(d - eps) < 1e-6f) ++exact;
+    }
+  }
+  ASSERT_GT(interior, 0u);
+  EXPECT_GT(static_cast<double>(exact) / interior, 0.5);
+}
+
+TEST(Fgsm, IncreasesLossOnAverage) {
+  Fgsm fgsm(0.1f);
+  const Tensor x = test_batch(32);
+  const auto labels = test_labels(32);
+  nn::Sequential& model = trained_model();
+  const float clean_loss = nn::softmax_cross_entropy_value(
+      model.forward(x, false), labels);
+  const Tensor adv = fgsm.perturb(model, x, labels);
+  const float adv_loss = nn::softmax_cross_entropy_value(
+      model.forward(adv, false), labels);
+  EXPECT_GT(adv_loss, clean_loss);
+}
+
+TEST(Fgsm, ZeroEpsIsAlmostIdentity) {
+  Fgsm fgsm(0.0f);
+  const Tensor x = test_batch(8);
+  const Tensor adv = fgsm.perturb(trained_model(), x, test_labels(8));
+  EXPECT_LE(ops::max_abs_diff(adv, x), 1e-6f);
+}
+
+TEST(Fgsm, NegativeEpsRejected) {
+  EXPECT_THROW(Fgsm(-0.1f), ContractViolation);
+}
+
+TEST(Fgsm, LeavesModelGradientsClean) {
+  nn::Sequential& model = trained_model();
+  Fgsm fgsm(0.1f);
+  fgsm.perturb(model, test_batch(4), test_labels(4));
+  for (Tensor* g : model.gradients()) {
+    for (float v : g->data()) EXPECT_EQ(v, 0.0f);
+  }
+}
+
+TEST(Fgsm, StepProjectsOntoOriginBall) {
+  // A step from an already-perturbed start must stay within eps of the
+  // ORIGIN, not of the start — the invariant Proposed training relies on.
+  nn::Sequential& model = trained_model();
+  const Tensor origin = test_batch(4);
+  const auto labels = test_labels(4);
+  Tensor start = origin;
+  for (std::size_t k = 0; k < 5; ++k) {
+    start = Fgsm::step(model, start, origin, labels, 0.04f, 0.1f);
+    EXPECT_LE(ops::max_abs_diff(start, origin), 0.1f + 1e-6f) << k;
+  }
+}
+
+TEST(Fgsm, DeterministicForFixedModelAndInput) {
+  Fgsm fgsm(0.1f);
+  const Tensor x = test_batch(4);
+  const auto labels = test_labels(4);
+  const Tensor a = fgsm.perturb(trained_model(), x, labels);
+  const Tensor b = fgsm.perturb(trained_model(), x, labels);
+  EXPECT_TRUE(a.equals(b));
+}
+
+TEST(Fgsm, NameReportsEps) {
+  EXPECT_NE(Fgsm(0.25f).name().find("0.25"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace satd::attack

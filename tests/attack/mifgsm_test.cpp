@@ -1,0 +1,70 @@
+#include "attack/mifgsm.h"
+
+#include <gtest/gtest.h>
+
+#include "attack_test_util.h"
+#include "common/contract.h"
+#include "nn/loss.h"
+#include "tensor/ops.h"
+
+namespace satd::attack {
+namespace {
+
+using testing::test_batch;
+using testing::test_labels;
+using testing::trained_model;
+
+TEST(MiFgsm, StaysWithinEpsBall) {
+  MiFgsm mi(0.2f, 8, 0.05f);
+  const Tensor x = test_batch(10);
+  const Tensor adv = mi.perturb(trained_model(), x, test_labels(10));
+  EXPECT_LE(ops::max_abs_diff(adv, x), 0.2f + 1e-5f);
+  for (float v : adv.data()) {
+    EXPECT_GE(v, kPixelMin);
+    EXPECT_LE(v, kPixelMax);
+  }
+}
+
+TEST(MiFgsm, ZeroMomentumBehavesLikeBim) {
+  // With momentum 0 the velocity is the normalized gradient, whose sign
+  // equals the gradient's sign — so the iterates match BIM's.
+  MiFgsm mi(0.15f, 1, 0.15f, 0.0f);
+  const Tensor x = test_batch(8);
+  const auto labels = test_labels(8);
+  const Tensor a = mi.perturb(trained_model(), x, labels);
+  // Compare against a single FGSM-sized step.
+  attack::MiFgsm fgsm_like(0.15f, 1, 0.15f, 0.0f);
+  const Tensor b = fgsm_like.perturb(trained_model(), x, labels);
+  EXPECT_TRUE(a.equals(b));
+}
+
+TEST(MiFgsm, IncreasesLoss) {
+  MiFgsm mi(0.3f, 10, 0.05f);
+  nn::Sequential& model = trained_model();
+  const Tensor x = test_batch(32);
+  const auto labels = test_labels(32);
+  const float clean =
+      nn::softmax_cross_entropy_value(model.forward(x, false), labels);
+  const Tensor adv = mi.perturb(model, x, labels);
+  const float attacked =
+      nn::softmax_cross_entropy_value(model.forward(adv, false), labels);
+  EXPECT_GT(attacked, clean);
+}
+
+TEST(MiFgsm, DeterministicAttack) {
+  MiFgsm mi(0.2f, 5, 0.05f);
+  const Tensor x = test_batch(6);
+  const auto labels = test_labels(6);
+  EXPECT_TRUE(mi.perturb(trained_model(), x, labels)
+                  .equals(mi.perturb(trained_model(), x, labels)));
+}
+
+TEST(MiFgsm, ValidatesArguments) {
+  EXPECT_THROW(MiFgsm(-0.1f, 5, 0.01f), ContractViolation);
+  EXPECT_THROW(MiFgsm(0.1f, 0, 0.01f), ContractViolation);
+  EXPECT_THROW(MiFgsm(0.1f, 5, -0.01f), ContractViolation);
+  EXPECT_THROW(MiFgsm(0.1f, 5, 0.01f, -1.0f), ContractViolation);
+}
+
+}  // namespace
+}  // namespace satd::attack

@@ -1,0 +1,76 @@
+#include "attack/noise.h"
+
+#include <gtest/gtest.h>
+
+#include "attack/fgsm.h"
+#include "attack_test_util.h"
+#include "common/contract.h"
+#include "nn/loss.h"
+#include "tensor/ops.h"
+
+namespace satd::attack {
+namespace {
+
+using testing::test_batch;
+using testing::test_labels;
+using testing::trained_model;
+
+TEST(RandomNoise, StaysInBallAndRange) {
+  Rng rng(1);
+  RandomNoise noise(0.25f, rng);
+  const Tensor x = test_batch(12);
+  const Tensor adv = noise.perturb(trained_model(), x, test_labels(12));
+  EXPECT_LE(ops::max_abs_diff(adv, x), 0.25f + 1e-5f);
+  for (float v : adv.data()) {
+    EXPECT_GE(v, kPixelMin);
+    EXPECT_LE(v, kPixelMax);
+  }
+}
+
+TEST(RandomNoise, CornersMoveByExactlyEpsInside) {
+  Rng rng(2);
+  RandomNoise noise(0.1f, rng, /*corners=*/true);
+  const Tensor x = test_batch(8);
+  const Tensor adv = noise.perturb(trained_model(), x, test_labels(8));
+  std::size_t exact = 0, interior = 0;
+  for (std::size_t i = 0; i < x.numel(); ++i) {
+    if (x[i] > 0.1f && x[i] < 0.9f) {
+      ++interior;
+      if (std::abs(std::abs(adv[i] - x[i]) - 0.1f) < 1e-6f) ++exact;
+    }
+  }
+  ASSERT_GT(interior, 0u);
+  EXPECT_EQ(exact, interior);
+}
+
+TEST(RandomNoise, MuchWeakerThanFgsmAtSameBudget) {
+  // The point of the baseline: the adversarial DIRECTION matters.
+  nn::Sequential& model = trained_model();
+  const Tensor x = test_batch(40);
+  const auto labels = test_labels(40);
+  Rng rng(3);
+  RandomNoise noise(0.3f, rng, /*corners=*/true);
+  Fgsm fgsm(0.3f);
+  const float noise_acc = nn::accuracy(
+      model.forward(noise.perturb(model, x, labels), false), labels);
+  const float fgsm_acc = nn::accuracy(
+      model.forward(fgsm.perturb(model, x, labels), false), labels);
+  EXPECT_GT(noise_acc, fgsm_acc);
+}
+
+TEST(RandomNoise, DeterministicGivenSeed) {
+  const Tensor x = test_batch(6);
+  const auto labels = test_labels(6);
+  Rng rng1(9), rng2(9);
+  RandomNoise a(0.2f, rng1), b(0.2f, rng2);
+  EXPECT_TRUE(a.perturb(trained_model(), x, labels)
+                  .equals(b.perturb(trained_model(), x, labels)));
+}
+
+TEST(RandomNoise, ValidatesArguments) {
+  Rng rng(1);
+  EXPECT_THROW(RandomNoise(-0.1f, rng), ContractViolation);
+}
+
+}  // namespace
+}  // namespace satd::attack

@@ -1,0 +1,71 @@
+#include "attack/pgd.h"
+
+#include <gtest/gtest.h>
+
+#include "attack_test_util.h"
+#include "common/contract.h"
+#include "nn/loss.h"
+#include "tensor/ops.h"
+
+namespace satd::attack {
+namespace {
+
+using testing::test_batch;
+using testing::test_labels;
+using testing::trained_model;
+
+TEST(Pgd, StaysWithinEpsBallDespiteRandomStart) {
+  Rng rng(1);
+  Pgd pgd(0.15f, 5, 0.05f, rng);
+  const Tensor x = test_batch(10);
+  const Tensor adv = pgd.perturb(trained_model(), x, test_labels(10));
+  EXPECT_LE(ops::max_abs_diff(adv, x), 0.15f + 1e-5f);
+  for (float v : adv.data()) {
+    EXPECT_GE(v, kPixelMin);
+    EXPECT_LE(v, kPixelMax);
+  }
+}
+
+TEST(Pgd, DeterministicGivenSeed) {
+  const Tensor x = test_batch(6);
+  const auto labels = test_labels(6);
+  Rng rng1(7), rng2(7);
+  Pgd a(0.1f, 4, 0.03f, rng1);
+  Pgd b(0.1f, 4, 0.03f, rng2);
+  EXPECT_TRUE(a.perturb(trained_model(), x, labels)
+                  .equals(b.perturb(trained_model(), x, labels)));
+}
+
+TEST(Pgd, DifferentSeedsDifferentStarts) {
+  const Tensor x = test_batch(6);
+  const auto labels = test_labels(6);
+  Rng rng1(7), rng2(8);
+  Pgd a(0.1f, 1, 0.03f, rng1);
+  Pgd b(0.1f, 1, 0.03f, rng2);
+  EXPECT_FALSE(a.perturb(trained_model(), x, labels)
+                   .equals(b.perturb(trained_model(), x, labels)));
+}
+
+TEST(Pgd, IncreasesLoss) {
+  Rng rng(3);
+  Pgd pgd(0.3f, 10, 0.05f, rng);
+  nn::Sequential& model = trained_model();
+  const Tensor x = test_batch(32);
+  const auto labels = test_labels(32);
+  const float clean =
+      nn::softmax_cross_entropy_value(model.forward(x, false), labels);
+  const Tensor adv = pgd.perturb(model, x, labels);
+  const float attacked =
+      nn::softmax_cross_entropy_value(model.forward(adv, false), labels);
+  EXPECT_GT(attacked, clean);
+}
+
+TEST(Pgd, ValidatesArguments) {
+  Rng rng(1);
+  EXPECT_THROW(Pgd(-0.1f, 5, 0.01f, rng), ContractViolation);
+  EXPECT_THROW(Pgd(0.1f, 0, 0.01f, rng), ContractViolation);
+  EXPECT_THROW(Pgd(0.1f, 5, -0.01f, rng), ContractViolation);
+}
+
+}  // namespace
+}  // namespace satd::attack

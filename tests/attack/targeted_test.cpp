@@ -1,0 +1,118 @@
+#include "attack/targeted.h"
+
+#include <gtest/gtest.h>
+
+#include "attack_test_util.h"
+#include "common/contract.h"
+#include "nn/loss.h"
+#include "tensor/ops.h"
+
+namespace satd::attack {
+namespace {
+
+using testing::test_batch;
+using testing::test_labels;
+using testing::trained_model;
+
+TEST(Targeted, LeastLikelyLabelsAreValidAndNotThePrediction) {
+  const Tensor x = test_batch(16);
+  const auto ll = least_likely_labels(trained_model(), x);
+  const Tensor logits = trained_model().forward(x, false);
+  const auto preds = ops::argmax_rows(logits);
+  ASSERT_EQ(ll.size(), 16u);
+  for (std::size_t i = 0; i < ll.size(); ++i) {
+    EXPECT_LT(ll[i], 10u);
+    EXPECT_NE(ll[i], preds[i]);  // argmin != argmax for 10 logits
+  }
+}
+
+TEST(Targeted, NextClassPolicyWrapsAround) {
+  const Tensor x = test_batch(4);
+  std::vector<std::size_t> labels{0, 5, 9, 3};
+  const auto targets = resolve_targets(trained_model(), x, labels, 10,
+                                       TargetPolicy::kNextClass);
+  EXPECT_EQ(targets, (std::vector<std::size_t>{1, 6, 0, 4}));
+}
+
+TEST(Targeted, FgsmStaysInBallAndRange) {
+  TargetedFgsm attack(0.2f, 10);
+  const Tensor x = test_batch(12);
+  const Tensor adv = attack.perturb(trained_model(), x, test_labels(12));
+  EXPECT_LE(ops::max_abs_diff(adv, x), 0.2f + 1e-5f);
+  for (float v : adv.data()) {
+    EXPECT_GE(v, kPixelMin);
+    EXPECT_LE(v, kPixelMax);
+  }
+}
+
+TEST(Targeted, BimStaysInBallAndRange) {
+  TargetedBim attack(0.2f, 6, 0.05f, 10);
+  const Tensor x = test_batch(12);
+  const Tensor adv = attack.perturb(trained_model(), x, test_labels(12));
+  EXPECT_LE(ops::max_abs_diff(adv, x), 0.2f + 1e-5f);
+  for (float v : adv.data()) {
+    EXPECT_GE(v, kPixelMin);
+    EXPECT_LE(v, kPixelMax);
+  }
+}
+
+TEST(Targeted, StepDecreasesTargetLoss) {
+  // One targeted step must lower the cross-entropy towards the target.
+  nn::Sequential& model = trained_model();
+  const Tensor x = test_batch(24);
+  const auto labels = test_labels(24);
+  const auto targets =
+      resolve_targets(model, x, labels, 10, TargetPolicy::kLeastLikely);
+  const float before = nn::softmax_cross_entropy_value(
+      model.forward(x, false), targets);
+  const Tensor adv = targeted_step(model, x, x, targets, 0.1f, 0.1f);
+  const float after = nn::softmax_cross_entropy_value(
+      model.forward(adv, false), targets);
+  EXPECT_LT(after, before);
+}
+
+TEST(Targeted, IterativeAttackReachesTargetsAtLargeBudget) {
+  // With eps=0.3 and 10 iterations against an undefended model, a
+  // substantial fraction of examples should land ON the target class
+  // (not merely off the true one).
+  nn::Sequential& model = trained_model();
+  const Tensor x = test_batch(40);
+  const auto labels = test_labels(40);
+  TargetedBim attack(0.3f, 10, 0.03f, 10);
+  const Tensor adv = attack.perturb(model, x, labels);
+  const float success = targeted_success_rate(model, x, adv, labels, 10,
+                                              TargetPolicy::kLeastLikely);
+  EXPECT_GT(success, 0.3f);
+}
+
+TEST(Targeted, SuccessRateIsLowOnCleanImages) {
+  nn::Sequential& model = trained_model();
+  const Tensor x = test_batch(40);
+  const auto labels = test_labels(40);
+  // "Adversarial" = clean: the model predicts its argmax, which is never
+  // the least-likely class.
+  const float success = targeted_success_rate(model, x, x, labels, 10,
+                                              TargetPolicy::kLeastLikely);
+  EXPECT_LT(success, 0.15f);
+}
+
+TEST(Targeted, ValidatesArguments) {
+  EXPECT_THROW(TargetedFgsm(-0.1f, 10), ContractViolation);
+  EXPECT_THROW(TargetedFgsm(0.1f, 1), ContractViolation);
+  EXPECT_THROW(TargetedBim(0.1f, 0, 0.01f, 10), ContractViolation);
+  EXPECT_THROW(TargetedBim(0.1f, 5, -0.01f, 10), ContractViolation);
+}
+
+TEST(Targeted, NamesDescribePolicy) {
+  EXPECT_NE(TargetedFgsm(0.1f, 10, TargetPolicy::kLeastLikely)
+                .name()
+                .find("least-likely"),
+            std::string::npos);
+  EXPECT_NE(TargetedFgsm(0.1f, 10, TargetPolicy::kNextClass)
+                .name()
+                .find("next-class"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace satd::attack

@@ -1,0 +1,116 @@
+#include "common/cli.h"
+
+#include <gtest/gtest.h>
+
+#include "common/contract.h"
+
+namespace satd {
+namespace {
+
+CliParser make_parser() {
+  CliParser cli("prog", "test program");
+  cli.add_int("epochs", 30, "training epochs");
+  cli.add_double("eps", 0.3, "attack budget");
+  cli.add_string("dataset", "digits", "dataset name");
+  cli.add_flag("verbose", "chatty output");
+  return cli;
+}
+
+TEST(Cli, DefaultsWhenNoArgs) {
+  CliParser cli = make_parser();
+  const char* argv[] = {"prog"};
+  EXPECT_TRUE(cli.parse(1, argv));
+  EXPECT_EQ(cli.get_int("epochs"), 30);
+  EXPECT_DOUBLE_EQ(cli.get_double("eps"), 0.3);
+  EXPECT_EQ(cli.get_string("dataset"), "digits");
+  EXPECT_FALSE(cli.get_flag("verbose"));
+}
+
+TEST(Cli, SpaceSeparatedValues) {
+  CliParser cli = make_parser();
+  const char* argv[] = {"prog", "--epochs", "10", "--dataset", "fashion"};
+  EXPECT_TRUE(cli.parse(5, argv));
+  EXPECT_EQ(cli.get_int("epochs"), 10);
+  EXPECT_EQ(cli.get_string("dataset"), "fashion");
+}
+
+TEST(Cli, EqualsSeparatedValues) {
+  CliParser cli = make_parser();
+  const char* argv[] = {"prog", "--eps=0.2", "--epochs=5"};
+  EXPECT_TRUE(cli.parse(3, argv));
+  EXPECT_DOUBLE_EQ(cli.get_double("eps"), 0.2);
+  EXPECT_EQ(cli.get_int("epochs"), 5);
+}
+
+TEST(Cli, FlagSetsTrue) {
+  CliParser cli = make_parser();
+  const char* argv[] = {"prog", "--verbose"};
+  EXPECT_TRUE(cli.parse(2, argv));
+  EXPECT_TRUE(cli.get_flag("verbose"));
+}
+
+TEST(Cli, UnknownOptionThrows) {
+  CliParser cli = make_parser();
+  const char* argv[] = {"prog", "--bogus", "1"};
+  EXPECT_THROW(cli.parse(3, argv), CliParser::CliError);
+}
+
+TEST(Cli, PositionalArgumentThrows) {
+  CliParser cli = make_parser();
+  const char* argv[] = {"prog", "stray"};
+  EXPECT_THROW(cli.parse(2, argv), CliParser::CliError);
+}
+
+TEST(Cli, MissingValueThrows) {
+  CliParser cli = make_parser();
+  const char* argv[] = {"prog", "--epochs"};
+  EXPECT_THROW(cli.parse(2, argv), CliParser::CliError);
+}
+
+TEST(Cli, FlagWithValueThrows) {
+  CliParser cli = make_parser();
+  const char* argv[] = {"prog", "--verbose=yes"};
+  EXPECT_THROW(cli.parse(2, argv), CliParser::CliError);
+}
+
+TEST(Cli, NonNumericValueThrowsOnGet) {
+  CliParser cli = make_parser();
+  const char* argv[] = {"prog", "--epochs", "ten"};
+  EXPECT_TRUE(cli.parse(3, argv));
+  EXPECT_THROW(cli.get_int("epochs"), CliParser::CliError);
+}
+
+TEST(Cli, HelpReturnsFalse) {
+  CliParser cli = make_parser();
+  const char* argv[] = {"prog", "--help"};
+  EXPECT_FALSE(cli.parse(2, argv));
+}
+
+TEST(Cli, UsageMentionsEveryOption) {
+  CliParser cli = make_parser();
+  const std::string usage = cli.usage();
+  EXPECT_NE(usage.find("--epochs"), std::string::npos);
+  EXPECT_NE(usage.find("--eps"), std::string::npos);
+  EXPECT_NE(usage.find("--dataset"), std::string::npos);
+  EXPECT_NE(usage.find("--verbose"), std::string::npos);
+}
+
+TEST(Cli, DuplicateRegistrationIsContractViolation) {
+  CliParser cli("p", "d");
+  cli.add_int("x", 1, "h");
+  EXPECT_THROW(cli.add_flag("x", "again"), ContractViolation);
+}
+
+TEST(Cli, TypeMismatchOnGetIsContractViolation) {
+  CliParser cli = make_parser();
+  EXPECT_THROW(cli.get_int("dataset"), ContractViolation);
+  EXPECT_THROW(cli.get_flag("epochs"), ContractViolation);
+}
+
+TEST(Cli, UnregisteredGetIsContractViolation) {
+  CliParser cli = make_parser();
+  EXPECT_THROW(cli.get_int("nope"), ContractViolation);
+}
+
+}  // namespace
+}  // namespace satd

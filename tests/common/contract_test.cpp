@@ -1,0 +1,48 @@
+#include "common/contract.h"
+
+#include <gtest/gtest.h>
+
+namespace satd {
+namespace {
+
+TEST(Contract, ExpectPassesOnTrue) {
+  EXPECT_NO_THROW(SATD_EXPECT(1 + 1 == 2, "math works"));
+}
+
+TEST(Contract, ExpectThrowsOnFalse) {
+  EXPECT_THROW(SATD_EXPECT(false, "boom"), ContractViolation);
+}
+
+TEST(Contract, EnsureThrowsOnFalse) {
+  EXPECT_THROW(SATD_ENSURE(false, "boom"), ContractViolation);
+}
+
+TEST(Contract, MessageIncludesExpressionAndLocation) {
+  try {
+    SATD_EXPECT(2 < 1, "two is not less than one");
+    FAIL() << "should have thrown";
+  } catch (const ContractViolation& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("2 < 1"), std::string::npos);
+    EXPECT_NE(what.find("contract_test.cpp"), std::string::npos);
+    EXPECT_NE(what.find("two is not less than one"), std::string::npos);
+    EXPECT_NE(what.find("precondition"), std::string::npos);
+  }
+}
+
+TEST(Contract, EnsureIsLabeledInvariant) {
+  try {
+    SATD_ENSURE(false, "");
+    FAIL() << "should have thrown";
+  } catch (const ContractViolation& e) {
+    EXPECT_NE(std::string(e.what()).find("invariant"), std::string::npos);
+  }
+}
+
+TEST(Contract, ViolationIsALogicError) {
+  // Callers may catch std::logic_error generically.
+  EXPECT_THROW(SATD_EXPECT(false, ""), std::logic_error);
+}
+
+}  // namespace
+}  // namespace satd

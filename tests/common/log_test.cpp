@@ -1,0 +1,62 @@
+#include "common/log.h"
+
+#include <gtest/gtest.h>
+
+namespace satd::log {
+namespace {
+
+class LogLevelGuard {
+ public:
+  LogLevelGuard() : saved_(level()) {}
+  ~LogLevelGuard() { set_level(saved_); }
+
+ private:
+  Level saved_;
+};
+
+TEST(Log, ParseKnownLevels) {
+  EXPECT_EQ(parse_level("trace"), Level::kTrace);
+  EXPECT_EQ(parse_level("debug"), Level::kDebug);
+  EXPECT_EQ(parse_level("info"), Level::kInfo);
+  EXPECT_EQ(parse_level("warn"), Level::kWarn);
+  EXPECT_EQ(parse_level("error"), Level::kError);
+  EXPECT_EQ(parse_level("off"), Level::kOff);
+}
+
+TEST(Log, ParseUnknownFallsBackToInfo) {
+  EXPECT_EQ(parse_level("chatty"), Level::kInfo);
+  EXPECT_EQ(parse_level(""), Level::kInfo);
+}
+
+TEST(Log, SetLevelRoundTrips) {
+  LogLevelGuard guard;
+  set_level(Level::kError);
+  EXPECT_EQ(level(), Level::kError);
+  set_level(Level::kDebug);
+  EXPECT_EQ(level(), Level::kDebug);
+}
+
+TEST(Log, StreamApiDoesNotCrashAtAnyLevel) {
+  LogLevelGuard guard;
+  set_level(Level::kOff);
+  // All suppressed; exercising the stream machinery.
+  trace() << "t " << 1;
+  debug() << "d " << 2.5;
+  info() << "i " << "str";
+  warn() << "w";
+  error() << "e";
+  set_level(Level::kError);
+  error() << "emitted to stderr";
+  SUCCEED();
+}
+
+TEST(Log, LevelOrderingIsMonotone) {
+  EXPECT_LT(Level::kTrace, Level::kDebug);
+  EXPECT_LT(Level::kDebug, Level::kInfo);
+  EXPECT_LT(Level::kInfo, Level::kWarn);
+  EXPECT_LT(Level::kWarn, Level::kError);
+  EXPECT_LT(Level::kError, Level::kOff);
+}
+
+}  // namespace
+}  // namespace satd::log

@@ -1,0 +1,193 @@
+#include "common/rng.h"
+
+#include <gtest/gtest.h>
+
+#include "common/contract.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+namespace satd {
+namespace {
+
+TEST(Rng, SameSeedSameSequence) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  bool any_diff = false;
+  for (int i = 0; i < 16; ++i) {
+    if (a.next_u64() != b.next_u64()) any_diff = true;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Rng, UniformInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-2.5, 3.25);
+    EXPECT_GE(u, -2.5);
+    EXPECT_LT(u, 3.25);
+  }
+}
+
+TEST(Rng, UniformMeanIsCentered) {
+  Rng rng(11);
+  double acc = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) acc += rng.uniform();
+  EXPECT_NEAR(acc / n, 0.5, 0.01);
+}
+
+TEST(Rng, UniformIndexCoversAllValues) {
+  Rng rng(3);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.uniform_index(7));
+  EXPECT_EQ(seen.size(), 7u);
+  EXPECT_EQ(*seen.rbegin(), 6u);
+}
+
+TEST(Rng, UniformIndexRejectsZero) {
+  Rng rng(3);
+  EXPECT_THROW(rng.uniform_index(0), ContractViolation);
+}
+
+TEST(Rng, NormalMomentsApproximatelyStandard) {
+  Rng rng(17);
+  const int n = 100000;
+  double sum = 0.0, sumsq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sumsq += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sumsq / n - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.02);
+  EXPECT_NEAR(var, 1.0, 0.03);
+}
+
+TEST(Rng, NormalScaledByMeanAndStddev) {
+  Rng rng(19);
+  const int n = 50000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) sum += rng.normal(5.0, 0.5);
+  EXPECT_NEAR(sum / n, 5.0, 0.02);
+}
+
+TEST(Rng, NormalRejectsNegativeStddev) {
+  Rng rng(1);
+  EXPECT_THROW(rng.normal(0.0, -1.0), ContractViolation);
+}
+
+TEST(Rng, BernoulliFrequencyMatchesP) {
+  Rng rng(23);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) hits += rng.bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(Rng, BernoulliRejectsBadProbability) {
+  Rng rng(1);
+  EXPECT_THROW(rng.bernoulli(-0.1), ContractViolation);
+  EXPECT_THROW(rng.bernoulli(1.1), ContractViolation);
+}
+
+TEST(Rng, SignIsBalanced) {
+  Rng rng(29);
+  int pos = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) pos += rng.sign() > 0 ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(pos) / n, 0.5, 0.01);
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  Rng rng(31);
+  std::vector<std::size_t> v(100);
+  for (std::size_t i = 0; i < v.size(); ++i) v[i] = i;
+  auto orig = v;
+  rng.shuffle(v);
+  EXPECT_NE(v, orig);  // astronomically unlikely to be identity
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, orig);
+}
+
+TEST(Rng, ShuffleHandlesTinyVectors) {
+  Rng rng(1);
+  std::vector<std::size_t> empty;
+  rng.shuffle(empty);
+  EXPECT_TRUE(empty.empty());
+  std::vector<std::size_t> one{42};
+  rng.shuffle(one);
+  EXPECT_EQ(one[0], 42u);
+}
+
+TEST(Rng, ForkIsDeterministic) {
+  Rng a(5), b(5);
+  Rng fa = a.fork(1);
+  Rng fb = b.fork(1);
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(fa.next_u64(), fb.next_u64());
+}
+
+TEST(Rng, SiblingForksAreIndependent) {
+  Rng a(5);
+  Rng f1 = a.fork(1);
+  Rng f2 = a.fork(2);
+  bool any_diff = false;
+  for (int i = 0; i < 16; ++i) {
+    if (f1.next_u64() != f2.next_u64()) any_diff = true;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Rng, ForkDoesNotAliasParent) {
+  Rng a(5);
+  Rng f = a.fork(0);
+  const std::uint64_t parent_next = a.next_u64();
+  const std::uint64_t fork_next = f.next_u64();
+  EXPECT_NE(parent_next, fork_next);
+}
+
+TEST(Splitmix, KnownGoldenValues) {
+  // Reference values from the splitmix64 reference implementation.
+  std::uint64_t state = 0;
+  EXPECT_EQ(splitmix64(state), 0xE220A8397B1DCDAFULL);
+  EXPECT_EQ(splitmix64(state), 0x6E789E6AA1B965F4ULL);
+}
+
+class RngDistributionTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RngDistributionTest, UniformChiSquaredAcross10Bins) {
+  Rng rng(GetParam());
+  const int n = 50000;
+  int bins[10] = {};
+  for (int i = 0; i < n; ++i) {
+    ++bins[static_cast<int>(rng.uniform() * 10.0)];
+  }
+  // chi^2 with 9 dof: 99.9th percentile ~ 27.9.
+  double chi2 = 0.0;
+  const double expect = n / 10.0;
+  for (int b : bins) chi2 += (b - expect) * (b - expect) / expect;
+  EXPECT_LT(chi2, 27.9) << "seed " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RngDistributionTest,
+                         ::testing::Values(1, 2, 42, 1234, 99999));
+
+}  // namespace
+}  // namespace satd

@@ -1,0 +1,71 @@
+#include "common/stopwatch.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "common/contract.h"
+
+namespace satd {
+namespace {
+
+TEST(Stopwatch, MeasuresElapsedTime) {
+  Stopwatch w;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  const double s = w.seconds();
+  EXPECT_GE(s, 0.015);
+  EXPECT_LT(s, 5.0);
+}
+
+TEST(Stopwatch, ResetRestartsFromZero) {
+  Stopwatch w;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  w.reset();
+  EXPECT_LT(w.seconds(), 0.015);
+}
+
+TEST(TimingAccumulator, EmptyStatsAreZero) {
+  TimingAccumulator acc;
+  EXPECT_EQ(acc.count(), 0u);
+  EXPECT_DOUBLE_EQ(acc.total(), 0.0);
+  EXPECT_DOUBLE_EQ(acc.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(acc.min(), 0.0);
+  EXPECT_DOUBLE_EQ(acc.max(), 0.0);
+  EXPECT_DOUBLE_EQ(acc.stddev(), 0.0);
+}
+
+TEST(TimingAccumulator, AggregatesSamples) {
+  TimingAccumulator acc;
+  acc.add(1.0);
+  acc.add(2.0);
+  acc.add(3.0);
+  EXPECT_EQ(acc.count(), 3u);
+  EXPECT_DOUBLE_EQ(acc.total(), 6.0);
+  EXPECT_DOUBLE_EQ(acc.mean(), 2.0);
+  EXPECT_DOUBLE_EQ(acc.min(), 1.0);
+  EXPECT_DOUBLE_EQ(acc.max(), 3.0);
+  EXPECT_NEAR(acc.stddev(), 0.8165, 1e-3);
+}
+
+TEST(TimingAccumulator, SingleSampleHasZeroStddev) {
+  TimingAccumulator acc;
+  acc.add(5.0);
+  EXPECT_DOUBLE_EQ(acc.stddev(), 0.0);
+}
+
+TEST(TimingAccumulator, RejectsNegativeDurations) {
+  TimingAccumulator acc;
+  EXPECT_THROW(acc.add(-0.1), ContractViolation);
+}
+
+TEST(TimingAccumulator, SummaryMentionsCount) {
+  TimingAccumulator acc;
+  acc.add(1.5);
+  acc.add(2.5);
+  const std::string s = acc.summary();
+  EXPECT_NE(s.find("2 samples"), std::string::npos);
+  EXPECT_NE(s.find("mean 2.000s"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace satd

@@ -1,0 +1,86 @@
+#include "common/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include "common/contract.h"
+
+namespace satd {
+namespace {
+
+TEST(ThreadPool, SubmitRunsJob) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 50; ++i) {
+    pool.submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 50);
+}
+
+TEST(ThreadPool, ZeroWorkerPoolRunsInline) {
+  // Force a truly inline pool by asking for a pool of explicit size on a
+  // 1-core machine (threads=0 -> hardware_concurrency-1, may be 0).
+  ThreadPool pool(0);
+  std::atomic<int> counter{0};
+  pool.submit([&counter] { counter.fetch_add(1); });
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 1);
+}
+
+TEST(ThreadPool, NullJobRejected) {
+  ThreadPool pool(1);
+  EXPECT_THROW(pool.submit(nullptr), ContractViolation);
+}
+
+TEST(ThreadPool, WaitIdleIsReusable) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  pool.submit([&counter] { counter.fetch_add(1); });
+  pool.wait_idle();
+  pool.submit([&counter] { counter.fetch_add(1); });
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 2);
+}
+
+TEST(ParallelFor, CoversEveryIndexExactlyOnce) {
+  std::vector<std::atomic<int>> hits(1000);
+  parallel_for(hits.size(), [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) hits[i].fetch_add(1);
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelFor, ZeroIterationsIsNoop) {
+  bool called = false;
+  parallel_for(0, [&](std::size_t, std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ParallelFor, SingleIteration) {
+  std::atomic<int> calls{0};
+  parallel_for(1, [&](std::size_t begin, std::size_t end) {
+    EXPECT_EQ(begin, 0u);
+    EXPECT_EQ(end, 1u);
+    calls.fetch_add(1);
+  });
+  EXPECT_EQ(calls.load(), 1);
+}
+
+TEST(ParallelFor, SumMatchesSerial) {
+  std::vector<long> data(10000);
+  std::iota(data.begin(), data.end(), 0L);
+  std::atomic<long> total{0};
+  parallel_for(data.size(), [&](std::size_t begin, std::size_t end) {
+    long local = 0;
+    for (std::size_t i = begin; i < end; ++i) local += data[i];
+    total.fetch_add(local);
+  });
+  EXPECT_EQ(total.load(), 10000L * 9999L / 2);
+}
+
+}  // namespace
+}  // namespace satd

@@ -1,0 +1,116 @@
+#include "core/alp_trainer.h"
+
+#include <gtest/gtest.h>
+
+#include "attack/fgsm.h"
+#include "common/contract.h"
+#include "common/rng.h"
+#include "core/factory.h"
+#include "data/synthetic.h"
+#include "metrics/evaluator.h"
+#include "nn/zoo.h"
+#include "tensor/ops.h"
+
+namespace satd::core {
+namespace {
+
+TEST(LogitPairing, ZeroForIdenticalLogits) {
+  Rng rng(1);
+  Tensor a(Shape{4, 3});
+  for (float& v : a.data()) v = static_cast<float>(rng.uniform(-2, 2));
+  const LogitPairResult res = logit_pairing(a, a);
+  EXPECT_FLOAT_EQ(res.value, 0.0f);
+  EXPECT_FLOAT_EQ(ops::max_abs(res.grad_clean), 0.0f);
+  EXPECT_FLOAT_EQ(ops::max_abs(res.grad_adv), 0.0f);
+}
+
+TEST(LogitPairing, ValueIsMeanSquaredDifference) {
+  Tensor a(Shape{1, 2}, {1.0f, 2.0f});
+  Tensor b(Shape{1, 2}, {0.0f, 4.0f});
+  const LogitPairResult res = logit_pairing(a, b);
+  EXPECT_NEAR(res.value, (1.0f + 4.0f) / 2.0f, 1e-6f);
+}
+
+TEST(LogitPairing, GradientsAreOppositeAndMatchFiniteDifference) {
+  Rng rng(2);
+  Tensor a(Shape{3, 4}), b(Shape{3, 4});
+  for (float& v : a.data()) v = static_cast<float>(rng.uniform(-2, 2));
+  for (float& v : b.data()) v = static_cast<float>(rng.uniform(-2, 2));
+  const LogitPairResult res = logit_pairing(a, b);
+  // Anti-symmetry.
+  Tensor sum = ops::add(res.grad_clean, res.grad_adv);
+  EXPECT_LE(ops::max_abs(sum), 1e-6f);
+  // Finite differences on the clean side.
+  const float h = 1e-3f;
+  for (std::size_t i = 0; i < a.numel(); i += 2) {
+    Tensor probe = a;
+    probe[i] += h;
+    const float up = logit_pairing(probe, b).value;
+    probe[i] -= 2 * h;
+    const float down = logit_pairing(probe, b).value;
+    EXPECT_NEAR(res.grad_clean[i], (up - down) / (2 * h), 2e-3f) << i;
+  }
+}
+
+TEST(LogitPairing, RejectsMismatchedShapes) {
+  Tensor a(Shape{2, 3});
+  Tensor b(Shape{3, 2});
+  EXPECT_THROW(logit_pairing(a, b), ContractViolation);
+}
+
+TEST(AlpTrainer, TrainsAndRegisteredInFactory) {
+  data::SyntheticConfig dc;
+  dc.train_size = 150;
+  dc.test_size = 50;
+  dc.seed = 91;
+  const auto data = data::make_synthetic_digits(dc);
+  Rng rng(1);
+  nn::Sequential m = nn::zoo::build("mlp_small", rng);
+  TrainConfig cfg;
+  cfg.epochs = 8;
+  cfg.eps = 0.15f;
+  cfg.alp_weight = 0.5f;
+  EXPECT_TRUE(is_known_method("alp"));
+  auto trainer = make_trainer("alp", m, cfg);
+  EXPECT_EQ(trainer->name(), "ALP");
+  trainer->fit(data.train);
+  EXPECT_GT(metrics::evaluate_clean(m, data.test), 0.5f);
+}
+
+TEST(AlpTrainer, PairingTermShrinksLogitGap) {
+  // Train two models, one with the pairing term and one without; the
+  // ALP model's clean/adversarial logit distance should be smaller.
+  data::SyntheticConfig dc;
+  dc.train_size = 200;
+  dc.test_size = 60;
+  dc.seed = 92;
+  const auto data = data::make_synthetic_digits(dc);
+  auto logit_gap = [&](float alp_weight) {
+    Rng rng(2);
+    nn::Sequential m = nn::zoo::build("mlp_small", rng);
+    TrainConfig cfg;
+    cfg.epochs = 10;
+    cfg.eps = 0.15f;
+    cfg.alp_weight = alp_weight;
+    AlpTrainer trainer(m, cfg);
+    trainer.fit(data.train);
+    attack::Fgsm fgsm(cfg.eps);
+    const Tensor adv =
+        fgsm.perturb(m, data.test.images, data.test.labels);
+    const Tensor lc = m.forward(data.test.images, false);
+    const Tensor la = m.forward(adv, false);
+    return logit_pairing(lc, la).value;
+  };
+  EXPECT_LT(logit_gap(1.0f), logit_gap(0.0f));
+}
+
+TEST(AlpTrainer, RejectsNegativeWeight) {
+  Rng rng(1);
+  nn::Sequential m = nn::zoo::build("mlp_small", rng);
+  TrainConfig cfg;
+  cfg.alp_weight = -0.5f;
+  EXPECT_THROW(AlpTrainer(m, cfg), ContractViolation);
+}
+
+}  // namespace
+}  // namespace satd::core

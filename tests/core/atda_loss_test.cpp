@@ -1,0 +1,194 @@
+#include "core/atda_loss.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/contract.h"
+#include "common/rng.h"
+#include "tensor/ops.h"
+
+namespace satd::core {
+namespace {
+
+Tensor random_logits(std::size_t n, std::size_t d, Rng& rng) {
+  Tensor t(Shape{n, d});
+  for (float& v : t.data()) v = static_cast<float>(rng.uniform(-2.0, 2.0));
+  return t;
+}
+
+AtdaLossWeights default_weights() {
+  AtdaLossWeights w;
+  w.lambda_coral = 0.4f;
+  w.lambda_mmd = 0.6f;
+  w.lambda_margin = 0.3f;
+  w.margin = 1.5f;
+  return w;
+}
+
+TEST(AtdaLoss, ZeroForIdenticalDomainsWithInactiveMargin) {
+  Rng rng(1);
+  const Tensor logits = random_logits(6, 4, rng);
+  std::vector<std::size_t> labels{0, 1, 2, 3, 0, 1};
+  // Push centers so far away that d_y - d_other + margin < 0 everywhere
+  // is impossible to guarantee; instead use zero margin weight.
+  AtdaLossWeights w = default_weights();
+  w.lambda_margin = 0.0f;
+  Tensor centers(Shape{4, 4});
+  const AtdaLossResult res =
+      atda_domain_loss(logits, logits, labels, centers, w);
+  EXPECT_NEAR(res.coral, 0.0f, 1e-6f);
+  EXPECT_NEAR(res.mmd, 0.0f, 1e-6f);
+  EXPECT_NEAR(res.total, 0.0f, 1e-6f);
+}
+
+TEST(AtdaLoss, DetectsMeanShiftViaMmd) {
+  Rng rng(2);
+  const Tensor clean = random_logits(8, 4, rng);
+  Tensor adv = clean;
+  for (float& v : adv.data()) v += 1.0f;
+  AtdaLossWeights w = default_weights();
+  w.lambda_margin = 0.0f;
+  Tensor centers(Shape{4, 4});
+  std::vector<std::size_t> labels(8, 0);
+  const AtdaLossResult res = atda_domain_loss(clean, adv, labels, centers, w);
+  EXPECT_NEAR(res.mmd, 1.0f, 1e-5f);
+  EXPECT_NEAR(res.coral, 0.0f, 1e-5f);  // pure translation: CORAL blind
+}
+
+TEST(AtdaLoss, DetectsScaleChangeViaCoral) {
+  Rng rng(3);
+  const Tensor clean = random_logits(10, 4, rng);
+  Tensor adv = ops::scale(clean, 2.0f);
+  AtdaLossWeights w = default_weights();
+  w.lambda_margin = 0.0f;
+  w.lambda_mmd = 0.0f;
+  Tensor centers(Shape{4, 4});
+  std::vector<std::size_t> labels(10, 0);
+  const AtdaLossResult res = atda_domain_loss(clean, adv, labels, centers, w);
+  EXPECT_GT(res.coral, 0.1f);
+}
+
+TEST(AtdaLoss, MarginPenalizesLogitsNearWrongCenters) {
+  // One sample sitting exactly on the wrong class's center.
+  Tensor centers(Shape{2, 2}, {0, 0, 5, 5});
+  Tensor clean(Shape{2, 2}, {5, 5, 0.1f, 0.1f});  // row 0 labeled 0 but at c1
+  Tensor adv = clean;
+  std::vector<std::size_t> labels{0, 0};
+  AtdaLossWeights w;
+  w.lambda_coral = 0.0f;
+  w.lambda_mmd = 0.0f;
+  w.lambda_margin = 1.0f;
+  w.margin = 1.0f;
+  const AtdaLossResult res = atda_domain_loss(clean, adv, labels, centers, w);
+  EXPECT_GT(res.margin, 0.0f);
+  // Row 0 sits above its true center c0 in both coordinates, so the loss
+  // gradient is positive there — gradient DESCENT then moves the logit
+  // down towards c0 and away from the wrong center c1.
+  EXPECT_GT(res.grad_clean.at(0, 0), 0.0f);
+}
+
+TEST(AtdaLoss, GradientsMatchFiniteDifferences) {
+  Rng rng(7);
+  const std::size_t n = 6, d = 5;
+  Tensor clean = random_logits(n, d, rng);
+  Tensor adv = random_logits(n, d, rng);
+  Tensor centers = random_logits(d, d, rng);  // 5 classes in 5-dim space
+  std::vector<std::size_t> labels{0, 1, 2, 3, 4, 0};
+  const AtdaLossWeights w = default_weights();
+
+  const AtdaLossResult res = atda_domain_loss(clean, adv, labels, centers, w);
+  const float h = 1e-3f;
+  auto value = [&](const Tensor& c, const Tensor& a) {
+    return atda_domain_loss(c, a, labels, centers, w).total;
+  };
+  // Check a spread of coordinates on both sides.
+  for (std::size_t i = 0; i < clean.numel(); i += 3) {
+    Tensor probe = clean;
+    probe[i] += h;
+    const float up = value(probe, adv);
+    probe[i] -= 2 * h;
+    const float down = value(probe, adv);
+    const float numeric = (up - down) / (2 * h);
+    EXPECT_NEAR(res.grad_clean[i], numeric,
+                5e-2f * std::max(1.0f, std::fabs(res.grad_clean[i])))
+        << "clean coordinate " << i;
+  }
+  for (std::size_t i = 0; i < adv.numel(); i += 3) {
+    Tensor probe = adv;
+    probe[i] += h;
+    const float up = value(clean, probe);
+    probe[i] -= 2 * h;
+    const float down = value(clean, probe);
+    const float numeric = (up - down) / (2 * h);
+    EXPECT_NEAR(res.grad_adv[i], numeric,
+                5e-2f * std::max(1.0f, std::fabs(res.grad_adv[i])))
+        << "adv coordinate " << i;
+  }
+}
+
+TEST(AtdaLoss, TotalIsWeightedSum) {
+  Rng rng(9);
+  const Tensor clean = random_logits(6, 3, rng);
+  const Tensor adv = random_logits(6, 3, rng);
+  Tensor centers = random_logits(3, 3, rng);
+  std::vector<std::size_t> labels{0, 1, 2, 0, 1, 2};
+  const AtdaLossWeights w = default_weights();
+  const AtdaLossResult res = atda_domain_loss(clean, adv, labels, centers, w);
+  EXPECT_NEAR(res.total,
+              w.lambda_coral * res.coral + w.lambda_mmd * res.mmd +
+                  w.lambda_margin * res.margin,
+              1e-5f);
+}
+
+TEST(AtdaLoss, RejectsMalformedInputs) {
+  Rng rng(1);
+  Tensor a = random_logits(4, 3, rng);
+  Tensor b = random_logits(4, 4, rng);
+  Tensor centers(Shape{3, 3});
+  std::vector<std::size_t> labels{0, 1, 2, 0};
+  const AtdaLossWeights w;
+  EXPECT_THROW(atda_domain_loss(a, b, labels, centers, w), ContractViolation);
+  Tensor one = random_logits(1, 3, rng);
+  std::vector<std::size_t> one_label{0};
+  EXPECT_THROW(atda_domain_loss(one, one, one_label, centers, w),
+               ContractViolation);
+  std::vector<std::size_t> short_labels{0};
+  EXPECT_THROW(atda_domain_loss(a, a, short_labels, centers, w),
+               ContractViolation);
+}
+
+TEST(UpdateClassCenters, MovesTowardsBatchMean) {
+  Tensor centers(Shape{2, 2});  // both at origin
+  Tensor logits(Shape{2, 2}, {1, 1, 3, 3});
+  std::vector<std::size_t> labels{0, 0};
+  update_class_centers(centers, logits, labels, 0.5f);
+  // Mean of class 0 is (2,2); EMA to half-way.
+  EXPECT_FLOAT_EQ(centers.at(0, 0), 1.0f);
+  EXPECT_FLOAT_EQ(centers.at(0, 1), 1.0f);
+  // Class 1 untouched (absent from batch).
+  EXPECT_FLOAT_EQ(centers.at(1, 0), 0.0f);
+}
+
+TEST(UpdateClassCenters, AlphaOneJumpsToMean) {
+  Tensor centers(Shape{1, 2}, {5, 5});
+  Tensor logits(Shape{2, 2}, {1, 2, 3, 4});
+  std::vector<std::size_t> labels{0, 0};
+  update_class_centers(centers, logits, labels, 1.0f);
+  EXPECT_FLOAT_EQ(centers.at(0, 0), 2.0f);
+  EXPECT_FLOAT_EQ(centers.at(0, 1), 3.0f);
+}
+
+TEST(UpdateClassCenters, ValidatesInputs) {
+  Tensor centers(Shape{2, 2});
+  Tensor logits(Shape{2, 2});
+  std::vector<std::size_t> labels{0, 1};
+  EXPECT_THROW(update_class_centers(centers, logits, labels, 0.0f),
+               ContractViolation);
+  std::vector<std::size_t> bad{0, 2};
+  EXPECT_THROW(update_class_centers(centers, logits, bad, 0.5f),
+               ContractViolation);
+}
+
+}  // namespace
+}  // namespace satd::core

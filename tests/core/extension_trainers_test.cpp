@@ -1,0 +1,132 @@
+// Tests for the extension trainers (PGD-Adv and Free-Adv) — not part of
+// the paper's Table I but part of the library's public surface.
+#include <gtest/gtest.h>
+
+#include "attack/bim.h"
+#include "common/contract.h"
+#include "core/factory.h"
+#include "core/free_adv_trainer.h"
+#include "core/pgd_adv_trainer.h"
+#include "data/synthetic.h"
+#include "metrics/evaluator.h"
+#include "nn/zoo.h"
+#include "tensor/ops.h"
+
+namespace satd::core {
+namespace {
+
+data::DatasetPair tiny_digits() {
+  data::SyntheticConfig cfg;
+  cfg.train_size = 150;
+  cfg.test_size = 50;
+  cfg.seed = 77;
+  return data::make_synthetic_digits(cfg);
+}
+
+TrainConfig tiny_config(std::size_t epochs = 6) {
+  TrainConfig cfg;
+  cfg.epochs = epochs;
+  cfg.batch_size = 32;
+  cfg.seed = 8;
+  cfg.eps = 0.15f;
+  cfg.bim_iterations = 4;
+  cfg.free_replays = 3;
+  return cfg;
+}
+
+TEST(PgdAdvTrainer, NameAndValidation) {
+  Rng rng(1);
+  nn::Sequential m = nn::zoo::build("mlp_small", rng);
+  EXPECT_EQ(PgdAdvTrainer(m, tiny_config()).name(), "PGD(4)-Adv");
+  TrainConfig bad = tiny_config();
+  bad.bim_iterations = 0;
+  EXPECT_THROW(PgdAdvTrainer(m, bad), ContractViolation);
+}
+
+TEST(PgdAdvTrainer, LearnsCleanData) {
+  const auto data = tiny_digits();
+  Rng rng(1);
+  nn::Sequential m = nn::zoo::build("mlp_small", rng);
+  PgdAdvTrainer trainer(m, tiny_config(10));
+  trainer.fit(data.train);
+  EXPECT_GT(metrics::evaluate_clean(m, data.test), 0.5f);
+}
+
+TEST(PgdAdvTrainer, DeterministicGivenSeeds) {
+  const auto data = tiny_digits();
+  auto run = [&] {
+    Rng rng(3);
+    nn::Sequential m = nn::zoo::build("mlp_small", rng);
+    PgdAdvTrainer trainer(m, tiny_config(3));
+    trainer.fit(data.train);
+    Tensor probe = Tensor::full(Shape{1, 1, 28, 28}, 0.5f);
+    return m.forward(probe, false);
+  };
+  EXPECT_TRUE(run().equals(run()));
+}
+
+TEST(FreeAdvTrainer, NameAndValidation) {
+  Rng rng(1);
+  nn::Sequential m = nn::zoo::build("mlp_small", rng);
+  EXPECT_EQ(FreeAdvTrainer(m, tiny_config()).name(), "Free-Adv(m=3)");
+  TrainConfig bad = tiny_config();
+  bad.free_replays = 0;
+  EXPECT_THROW(FreeAdvTrainer(m, bad), ContractViolation);
+}
+
+TEST(FreeAdvTrainer, LearnsCleanData) {
+  const auto data = tiny_digits();
+  Rng rng(1);
+  nn::Sequential m = nn::zoo::build("mlp_small", rng);
+  FreeAdvTrainer trainer(m, tiny_config(8));
+  trainer.fit(data.train);
+  EXPECT_GT(metrics::evaluate_clean(m, data.test), 0.5f);
+}
+
+TEST(FreeAdvTrainer, DeltaStaysInEpsBox) {
+  const auto data = tiny_digits();
+  Rng rng(1);
+  nn::Sequential m = nn::zoo::build("mlp_small", rng);
+  TrainConfig cfg = tiny_config(4);
+  FreeAdvTrainer trainer(m, cfg);
+  trainer.fit(data.train);
+  const Tensor& delta = trainer.delta();
+  ASSERT_FALSE(delta.empty());
+  EXPECT_LE(ops::max_abs(delta), cfg.eps + 1e-6f);
+}
+
+TEST(FreeAdvTrainer, DeltaIsActuallyUsed) {
+  const auto data = tiny_digits();
+  Rng rng(1);
+  nn::Sequential m = nn::zoo::build("mlp_small", rng);
+  FreeAdvTrainer trainer(m, tiny_config(4));
+  trainer.fit(data.train);
+  EXPECT_GT(ops::max_abs(trainer.delta()), 0.01f);
+}
+
+TEST(FreeAdvTrainer, MoreRobustThanVanillaAtSameEpochCount) {
+  const auto data = tiny_digits();
+  TrainConfig cfg = tiny_config(10);
+  auto train_with = [&](const std::string& method) {
+    Rng rng(4);
+    nn::Sequential m = nn::zoo::build("mlp_small", rng);
+    auto trainer = make_trainer(method, m, cfg);
+    trainer->fit(data.train);
+    attack::Bim bim(cfg.eps, 5);
+    return metrics::evaluate_attack(m, data.test, bim);
+  };
+  EXPECT_GT(train_with("free_adv"), train_with("vanilla"));
+}
+
+TEST(Factory, ExtensionsAreRegistered) {
+  Rng rng(1);
+  nn::Sequential m = nn::zoo::build("mlp_small", rng);
+  const TrainConfig cfg = tiny_config();
+  EXPECT_TRUE(is_known_method("pgd_adv"));
+  EXPECT_TRUE(is_known_method("free_adv"));
+  EXPECT_EQ(make_trainer("pgd_adv", m, cfg)->name(), "PGD(4)-Adv");
+  EXPECT_EQ(make_trainer("free_adv", m, cfg)->name(), "Free-Adv(m=3)");
+}
+
+}  // namespace
+}  // namespace satd::core

@@ -1,0 +1,55 @@
+#include "core/factory.h"
+
+#include <gtest/gtest.h>
+
+#include "common/contract.h"
+#include "nn/zoo.h"
+
+namespace satd::core {
+namespace {
+
+TEST(Factory, BuildsEveryKnownMethod) {
+  Rng rng(1);
+  nn::Sequential m = nn::zoo::build("mlp_small", rng);
+  TrainConfig cfg;
+  for (const auto& method : known_methods()) {
+    auto trainer = make_trainer(method, m, cfg);
+    ASSERT_NE(trainer, nullptr) << method;
+    EXPECT_FALSE(trainer->name().empty());
+    EXPECT_TRUE(is_known_method(method));
+  }
+}
+
+TEST(Factory, MethodNamesMatchPaperRows) {
+  Rng rng(1);
+  nn::Sequential m = nn::zoo::build("mlp_small", rng);
+  TrainConfig cfg;
+  cfg.bim_iterations = 10;
+  EXPECT_EQ(make_trainer("vanilla", m, cfg)->name(), "Vanilla");
+  EXPECT_EQ(make_trainer("fgsm_adv", m, cfg)->name(), "FGSM-Adv");
+  EXPECT_EQ(make_trainer("bim_adv", m, cfg)->name(), "BIM(10)-Adv");
+  cfg.bim_iterations = 30;
+  EXPECT_EQ(make_trainer("bim_adv", m, cfg)->name(), "BIM(30)-Adv");
+  EXPECT_EQ(make_trainer("atda", m, cfg)->name(), "ATDA");
+  EXPECT_EQ(make_trainer("proposed", m, cfg)->name(), "Proposed");
+}
+
+TEST(Factory, UnknownMethodThrows) {
+  Rng rng(1);
+  nn::Sequential m = nn::zoo::build("mlp_small", rng);
+  TrainConfig cfg;
+  EXPECT_FALSE(is_known_method("trades"));
+  EXPECT_THROW(make_trainer("trades", m, cfg), ContractViolation);
+}
+
+TEST(Factory, ConfigIsForwarded) {
+  Rng rng(1);
+  nn::Sequential m = nn::zoo::build("mlp_small", rng);
+  TrainConfig cfg;
+  cfg.eps = 0.123f;
+  auto trainer = make_trainer("proposed", m, cfg);
+  EXPECT_FLOAT_EQ(trainer->config().eps, 0.123f);
+}
+
+}  // namespace
+}  // namespace satd::core

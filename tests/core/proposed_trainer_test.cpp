@@ -1,0 +1,152 @@
+#include "core/proposed_trainer.h"
+
+#include <gtest/gtest.h>
+
+#include "common/contract.h"
+#include "data/synthetic.h"
+#include "metrics/evaluator.h"
+#include "nn/zoo.h"
+#include "tensor/ops.h"
+
+namespace satd::core {
+namespace {
+
+data::DatasetPair tiny_digits() {
+  data::SyntheticConfig cfg;
+  cfg.train_size = 120;
+  cfg.test_size = 40;
+  cfg.seed = 33;
+  return data::make_synthetic_digits(cfg);
+}
+
+TrainConfig proposed_config(std::size_t epochs, std::size_t reset_period) {
+  TrainConfig cfg;
+  cfg.epochs = epochs;
+  cfg.batch_size = 32;
+  cfg.seed = 4;
+  cfg.eps = 0.3f;
+  cfg.reset_period = reset_period;
+  cfg.step_fraction = 0.1f;
+  return cfg;
+}
+
+TEST(ProposedTrainer, ValidatesItsKnobs) {
+  Rng rng(1);
+  nn::Sequential m = nn::zoo::build("mlp_small", rng);
+  TrainConfig cfg = proposed_config(4, 0);
+  EXPECT_THROW(ProposedTrainer(m, cfg), ContractViolation);
+  cfg = proposed_config(4, 2);
+  cfg.step_fraction = 0.0f;
+  EXPECT_THROW(ProposedTrainer(m, cfg), ContractViolation);
+  cfg.step_fraction = 1.5f;
+  EXPECT_THROW(ProposedTrainer(m, cfg), ContractViolation);
+}
+
+TEST(ProposedTrainer, BufferStaysInsideEpsBallOfCleanData) {
+  const auto data = tiny_digits();
+  Rng rng(1);
+  nn::Sequential m = nn::zoo::build("mlp_small", rng);
+  ProposedTrainer trainer(m, proposed_config(5, 100));  // no reset
+  trainer.fit(data.train);
+  const Tensor& buffer = trainer.adversarial_buffer();
+  ASSERT_EQ(buffer.shape(), data.train.images.shape());
+  EXPECT_LE(ops::max_abs_diff(buffer, data.train.images), 0.3f + 1e-5f);
+  for (float v : buffer.data()) {
+    EXPECT_GE(v, 0.0f);
+    EXPECT_LE(v, 1.0f);
+  }
+}
+
+TEST(ProposedTrainer, BufferActuallyMovesAwayFromClean) {
+  const auto data = tiny_digits();
+  Rng rng(1);
+  nn::Sequential m = nn::zoo::build("mlp_small", rng);
+  ProposedTrainer trainer(m, proposed_config(5, 100));
+  trainer.fit(data.train);
+  EXPECT_GT(ops::max_abs_diff(trainer.adversarial_buffer(),
+                              data.train.images),
+            0.05f);
+}
+
+TEST(ProposedTrainer, PerturbationAccumulatesAcrossEpochs) {
+  // After e epochs without reset, the buffer can be up to e*step from
+  // clean (capped at eps); with step = eps/10 = 0.03, 5 epochs should
+  // push many pixels beyond a single step of 0.03.
+  const auto data = tiny_digits();
+  Rng rng(1);
+  nn::Sequential m = nn::zoo::build("mlp_small", rng);
+  ProposedTrainer trainer(m, proposed_config(5, 100));
+  trainer.fit(data.train);
+  const Tensor& buffer = trainer.adversarial_buffer();
+  std::size_t beyond_one_step = 0;
+  for (std::size_t i = 0; i < buffer.numel(); ++i) {
+    if (std::abs(buffer[i] - data.train.images[i]) > 0.03f + 1e-5f) {
+      ++beyond_one_step;
+    }
+  }
+  EXPECT_GT(beyond_one_step, buffer.numel() / 20);
+}
+
+TEST(ProposedTrainer, ResetScheduleCountsCorrectly) {
+  const auto data = tiny_digits();
+  struct Case {
+    std::size_t epochs, period, expected_resets;
+  };
+  // The initial fill counts as reset 1; further resets at epochs that are
+  // positive multiples of the period.
+  for (const Case c : {Case{4, 2, 2}, Case{6, 2, 3}, Case{5, 100, 1},
+                       Case{9, 3, 3}}) {
+    Rng rng(1);
+    nn::Sequential m = nn::zoo::build("mlp_small", rng);
+    ProposedTrainer trainer(m, proposed_config(c.epochs, c.period));
+    trainer.fit(data.train);
+    EXPECT_EQ(trainer.reset_count(), c.expected_resets)
+        << "epochs=" << c.epochs << " period=" << c.period;
+  }
+}
+
+TEST(ProposedTrainer, ResetRestartsFromClean) {
+  // With reset_period = epochs the final epoch starts from clean, so the
+  // buffer ends at most one step away.
+  const auto data = tiny_digits();
+  Rng rng(1);
+  nn::Sequential m = nn::zoo::build("mlp_small", rng);
+  ProposedTrainer trainer(m, proposed_config(5, 5));
+  trainer.fit(data.train);
+  // Epoch 5 never happens (epochs are 0..4): last reset at epoch... none
+  // within range beyond initial; so use a run of 6 epochs, period 5:
+  Rng rng2(1);
+  nn::Sequential m2 = nn::zoo::build("mlp_small", rng2);
+  ProposedTrainer trainer2(m2, proposed_config(6, 5));
+  trainer2.fit(data.train);
+  // After the reset at epoch 5, exactly one step was applied.
+  EXPECT_LE(ops::max_abs_diff(trainer2.adversarial_buffer(),
+                              data.train.images),
+            0.3f * 0.1f + 1e-5f);
+}
+
+TEST(ProposedTrainer, TrainsAUsableClassifier) {
+  const auto data = tiny_digits();
+  Rng rng(1);
+  nn::Sequential m = nn::zoo::build("mlp_small", rng);
+  ProposedTrainer trainer(m, proposed_config(10, 20));
+  EXPECT_EQ(trainer.name(), "Proposed");
+  trainer.fit(data.train);
+  EXPECT_GT(metrics::evaluate_clean(m, data.test), 0.5f);
+}
+
+TEST(ProposedTrainer, DeterministicGivenSeeds) {
+  const auto data = tiny_digits();
+  auto run = [&] {
+    Rng rng(9);
+    nn::Sequential m = nn::zoo::build("mlp_small", rng);
+    ProposedTrainer trainer(m, proposed_config(3, 2));
+    trainer.fit(data.train);
+    Tensor probe = Tensor::full(Shape{1, 1, 28, 28}, 0.5f);
+    return m.forward(probe, false);
+  };
+  EXPECT_TRUE(run().equals(run()));
+}
+
+}  // namespace
+}  // namespace satd::core

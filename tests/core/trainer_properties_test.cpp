@@ -1,0 +1,124 @@
+// Property sweep across EVERY registered training method: invariants
+// that must hold regardless of the algorithm (finite losses, finite
+// parameters, seed-determinism, report integrity, and no gradient
+// residue after fit).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/factory.h"
+#include "data/synthetic.h"
+#include "metrics/evaluator.h"
+#include "nn/zoo.h"
+
+namespace satd::core {
+namespace {
+
+const data::DatasetPair& digits() {
+  static const data::DatasetPair pair = [] {
+    data::SyntheticConfig cfg;
+    cfg.train_size = 100;
+    cfg.test_size = 40;
+    cfg.seed = 314;
+    return data::make_synthetic_digits(cfg);
+  }();
+  return pair;
+}
+
+TrainConfig sweep_config() {
+  TrainConfig cfg;
+  cfg.epochs = 4;
+  cfg.batch_size = 25;
+  cfg.seed = 6;
+  cfg.eps = 0.15f;
+  cfg.bim_iterations = 3;
+  cfg.free_replays = 2;
+  cfg.reset_period = 2;
+  return cfg;
+}
+
+class TrainerPropertyTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(TrainerPropertyTest, LossesAreFiniteAndReportIsComplete) {
+  Rng rng(1);
+  nn::Sequential m = nn::zoo::build("mlp_small", rng);
+  auto trainer = make_trainer(GetParam(), m, sweep_config());
+  const TrainReport report = trainer->fit(digits().train);
+  ASSERT_EQ(report.epochs.size(), 4u);
+  for (const EpochStats& e : report.epochs) {
+    EXPECT_TRUE(std::isfinite(e.mean_loss)) << "epoch " << e.epoch;
+    EXPECT_GE(e.seconds, 0.0);
+  }
+  EXPECT_FALSE(report.method.empty());
+}
+
+TEST_P(TrainerPropertyTest, ParametersStayFinite) {
+  Rng rng(2);
+  nn::Sequential m = nn::zoo::build("mlp_small", rng);
+  auto trainer = make_trainer(GetParam(), m, sweep_config());
+  trainer->fit(digits().train);
+  for (Tensor* p : m.parameters()) {
+    for (float v : p->data()) {
+      ASSERT_TRUE(std::isfinite(v)) << GetParam();
+    }
+  }
+}
+
+TEST_P(TrainerPropertyTest, GradientsAreZeroAfterFit) {
+  Rng rng(3);
+  nn::Sequential m = nn::zoo::build("mlp_small", rng);
+  auto trainer = make_trainer(GetParam(), m, sweep_config());
+  trainer->fit(digits().train);
+  for (Tensor* g : m.gradients()) {
+    for (float v : g->data()) {
+      ASSERT_EQ(v, 0.0f) << GetParam();
+    }
+  }
+}
+
+TEST_P(TrainerPropertyTest, DeterministicAcrossIdenticalRuns) {
+  auto run = [&] {
+    Rng rng(4);
+    nn::Sequential m = nn::zoo::build("mlp_small", rng);
+    auto trainer = make_trainer(GetParam(), m, sweep_config());
+    trainer->fit(digits().train);
+    Tensor probe = Tensor::full(Shape{2, 1, 28, 28}, 0.4f);
+    return m.forward(probe, false);
+  };
+  EXPECT_TRUE(run().equals(run())) << GetParam();
+}
+
+TEST_P(TrainerPropertyTest, TrainingActuallyChangesTheModel) {
+  Rng rng(5);
+  nn::Sequential m = nn::zoo::build("mlp_small", rng);
+  std::vector<Tensor> before;
+  for (Tensor* p : m.parameters()) before.push_back(*p);
+  auto trainer = make_trainer(GetParam(), m, sweep_config());
+  trainer->fit(digits().train);
+  bool any_changed = false;
+  const auto params = m.parameters();
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    if (!params[i]->equals(before[i])) any_changed = true;
+  }
+  EXPECT_TRUE(any_changed) << GetParam();
+}
+
+TEST_P(TrainerPropertyTest, LearnsBetterThanChance) {
+  Rng rng(6);
+  nn::Sequential m = nn::zoo::build("mlp_small", rng);
+  TrainConfig cfg = sweep_config();
+  cfg.epochs = 8;
+  auto trainer = make_trainer(GetParam(), m, cfg);
+  trainer->fit(digits().train);
+  EXPECT_GT(metrics::evaluate_clean(m, digits().test), 0.3f) << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllMethods, TrainerPropertyTest,
+    ::testing::ValuesIn(known_methods()),
+    [](const ::testing::TestParamInfo<std::string>& info) {
+      return info.param;
+    });
+
+}  // namespace
+}  // namespace satd::core

@@ -1,0 +1,130 @@
+#include "core/trainer.h"
+
+#include <gtest/gtest.h>
+
+#include "common/contract.h"
+#include "core/fgsm_adv_trainer.h"
+#include "core/vanilla_trainer.h"
+#include "data/synthetic.h"
+#include "metrics/evaluator.h"
+#include "nn/zoo.h"
+
+namespace satd::core {
+namespace {
+
+data::DatasetPair tiny_digits() {
+  data::SyntheticConfig cfg;
+  cfg.train_size = 150;
+  cfg.test_size = 50;
+  cfg.seed = 21;
+  return data::make_synthetic_digits(cfg);
+}
+
+TrainConfig tiny_config(std::size_t epochs = 5) {
+  TrainConfig cfg;
+  cfg.epochs = epochs;
+  cfg.batch_size = 32;
+  cfg.seed = 3;
+  cfg.eps = 0.2f;
+  return cfg;
+}
+
+TEST(Trainer, ConfigValidation) {
+  Rng rng(1);
+  nn::Sequential m = nn::zoo::build("mlp_small", rng);
+  TrainConfig cfg = tiny_config();
+  cfg.epochs = 0;
+  EXPECT_THROW(VanillaTrainer(m, cfg), ContractViolation);
+  cfg = tiny_config();
+  cfg.batch_size = 0;
+  EXPECT_THROW(VanillaTrainer(m, cfg), ContractViolation);
+  cfg = tiny_config();
+  cfg.adv_mix = 1.5f;
+  EXPECT_THROW(VanillaTrainer(m, cfg), ContractViolation);
+  cfg = tiny_config();
+  cfg.eps = -0.1f;
+  EXPECT_THROW(VanillaTrainer(m, cfg), ContractViolation);
+}
+
+TEST(Trainer, ReportHasOneEntryPerEpoch) {
+  const auto data = tiny_digits();
+  Rng rng(1);
+  nn::Sequential m = nn::zoo::build("mlp_small", rng);
+  VanillaTrainer trainer(m, tiny_config(4));
+  const TrainReport report = trainer.fit(data.train);
+  EXPECT_EQ(report.method, "Vanilla");
+  ASSERT_EQ(report.epochs.size(), 4u);
+  for (std::size_t e = 0; e < 4; ++e) {
+    EXPECT_EQ(report.epochs[e].epoch, e);
+    EXPECT_GT(report.epochs[e].seconds, 0.0);
+  }
+  EXPECT_GT(report.mean_epoch_seconds(), 0.0);
+  EXPECT_NEAR(report.total_seconds(),
+              report.mean_epoch_seconds() * 4.0, 1e-9);
+}
+
+TEST(Trainer, VanillaLearnsTheTinyDataset) {
+  const auto data = tiny_digits();
+  Rng rng(1);
+  nn::Sequential m = nn::zoo::build("mlp_small", rng);
+  VanillaTrainer trainer(m, tiny_config(10));
+  const TrainReport report = trainer.fit(data.train);
+  // Loss decreases substantially from the first epoch to the last.
+  EXPECT_LT(report.final_loss(), report.epochs.front().mean_loss * 0.5f);
+  // And test accuracy is far above the 10% chance level.
+  EXPECT_GT(metrics::evaluate_clean(m, data.test), 0.6f);
+}
+
+TEST(Trainer, EpochCallbackFires) {
+  const auto data = tiny_digits();
+  Rng rng(1);
+  nn::Sequential m = nn::zoo::build("mlp_small", rng);
+  VanillaTrainer trainer(m, tiny_config(3));
+  std::vector<std::size_t> seen;
+  trainer.fit(data.train,
+              [&](const EpochStats& s) { seen.push_back(s.epoch); });
+  EXPECT_EQ(seen, (std::vector<std::size_t>{0, 1, 2}));
+}
+
+TEST(Trainer, DeterministicGivenSeeds) {
+  const auto data = tiny_digits();
+  auto run = [&] {
+    Rng rng(5);
+    nn::Sequential m = nn::zoo::build("mlp_small", rng);
+    VanillaTrainer trainer(m, tiny_config(3));
+    trainer.fit(data.train);
+    Tensor probe = Tensor::full(Shape{1, 1, 28, 28}, 0.5f);
+    return m.forward(probe, false);
+  };
+  EXPECT_TRUE(run().equals(run()));
+}
+
+TEST(Trainer, FgsmAdvAlsoLearnsCleanData) {
+  const auto data = tiny_digits();
+  Rng rng(1);
+  nn::Sequential m = nn::zoo::build("mlp_small", rng);
+  FgsmAdvTrainer trainer(m, tiny_config(10));
+  EXPECT_EQ(trainer.name(), "FGSM-Adv");
+  trainer.fit(data.train);
+  EXPECT_GT(metrics::evaluate_clean(m, data.test), 0.55f);
+}
+
+TEST(Trainer, EmptyDatasetRejected) {
+  Rng rng(1);
+  nn::Sequential m = nn::zoo::build("mlp_small", rng);
+  VanillaTrainer trainer(m, tiny_config());
+  data::Dataset empty;
+  empty.images = Tensor(Shape{0, 1, 28, 28});
+  empty.num_classes = 10;
+  EXPECT_THROW(trainer.fit(empty), ContractViolation);
+}
+
+TEST(TrainReport, EmptyReportIsWellBehaved) {
+  TrainReport r;
+  EXPECT_DOUBLE_EQ(r.mean_epoch_seconds(), 0.0);
+  EXPECT_DOUBLE_EQ(r.total_seconds(), 0.0);
+  EXPECT_FLOAT_EQ(r.final_loss(), 0.0f);
+}
+
+}  // namespace
+}  // namespace satd::core

@@ -1,0 +1,109 @@
+#include "data/batcher.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/contract.h"
+
+namespace satd::data {
+namespace {
+
+Dataset make_dataset(std::size_t n) {
+  Dataset d;
+  d.name = "test";
+  d.num_classes = 10;
+  d.images = Tensor(Shape{n, 1, 2, 2});
+  d.labels.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    d.labels[i] = i % 10;
+    // Tag each image with its index so batches are traceable.
+    d.images.at(i, 0, 0, 0) = static_cast<float>(i) / static_cast<float>(n);
+  }
+  return d;
+}
+
+TEST(Batcher, BatchCountRoundsUp) {
+  Dataset d = make_dataset(10);
+  EXPECT_EQ(Batcher(d, 3).batch_count(), 4u);
+  EXPECT_EQ(Batcher(d, 5).batch_count(), 2u);
+  EXPECT_EQ(Batcher(d, 10).batch_count(), 1u);
+  EXPECT_EQ(Batcher(d, 64).batch_count(), 1u);
+}
+
+TEST(Batcher, InvalidConstructionThrows) {
+  Dataset d = make_dataset(4);
+  EXPECT_THROW(Batcher(d, 0), ContractViolation);
+  Dataset empty;
+  empty.images = Tensor(Shape{0, 1, 2, 2});
+  empty.num_classes = 10;
+  EXPECT_THROW(Batcher(empty, 4), ContractViolation);
+}
+
+TEST(Batcher, EpochCoversEveryExampleOnce) {
+  Dataset d = make_dataset(23);
+  Batcher b(d, 5);
+  Rng rng(1);
+  b.begin_epoch(rng);
+  std::set<std::size_t> seen;
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < b.batch_count(); ++i) {
+    const Batch batch = b.make_batch(i);
+    total += batch.size();
+    for (std::size_t idx : batch.indices) seen.insert(idx);
+  }
+  EXPECT_EQ(total, 23u);
+  EXPECT_EQ(seen.size(), 23u);
+}
+
+TEST(Batcher, LastBatchIsSmaller) {
+  Dataset d = make_dataset(7);
+  Batcher b(d, 3);
+  Rng rng(1);
+  b.begin_epoch(rng);
+  EXPECT_EQ(b.make_batch(0).size(), 3u);
+  EXPECT_EQ(b.make_batch(1).size(), 3u);
+  EXPECT_EQ(b.make_batch(2).size(), 1u);
+  EXPECT_THROW(b.make_batch(3), ContractViolation);
+}
+
+TEST(Batcher, BatchContentsMatchIndices) {
+  Dataset d = make_dataset(12);
+  Batcher b(d, 4);
+  Rng rng(2);
+  b.begin_epoch(rng);
+  for (std::size_t i = 0; i < b.batch_count(); ++i) {
+    const Batch batch = b.make_batch(i);
+    for (std::size_t k = 0; k < batch.size(); ++k) {
+      const std::size_t src = batch.indices[k];
+      EXPECT_EQ(batch.labels[k], d.labels[src]);
+      EXPECT_TRUE(
+          batch.images.slice_row(k).equals(d.images.slice_row(src)));
+    }
+  }
+}
+
+TEST(Batcher, ShuffleChangesOrderBetweenEpochs) {
+  Dataset d = make_dataset(50);
+  Batcher b(d, 50);
+  Rng rng(3);
+  b.begin_epoch(rng);
+  const Batch first = b.make_batch(0);
+  b.begin_epoch(rng);
+  const Batch second = b.make_batch(0);
+  EXPECT_NE(first.indices, second.indices);
+}
+
+TEST(Batcher, DeterministicGivenSameRngState) {
+  Dataset d = make_dataset(20);
+  Batcher b1(d, 6), b2(d, 6);
+  Rng rng1(4), rng2(4);
+  b1.begin_epoch(rng1);
+  b2.begin_epoch(rng2);
+  for (std::size_t i = 0; i < b1.batch_count(); ++i) {
+    EXPECT_EQ(b1.make_batch(i).indices, b2.make_batch(i).indices);
+  }
+}
+
+}  // namespace
+}  // namespace satd::data

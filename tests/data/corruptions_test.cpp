@@ -1,0 +1,123 @@
+#include "data/corruptions.h"
+
+#include <gtest/gtest.h>
+
+#include "common/contract.h"
+#include "data/synthetic.h"
+#include "tensor/ops.h"
+
+namespace satd::data {
+namespace {
+
+Tensor sample_image() {
+  Rng rng(17);
+  return render_digit(4, rng);
+}
+
+class CorruptionKindTest : public ::testing::TestWithParam<Corruption> {};
+
+TEST_P(CorruptionKindTest, OutputStaysInRangeAndShape) {
+  Rng rng(1);
+  const Tensor img = sample_image();
+  for (float severity : {0.0f, 0.3f, 0.7f, 1.0f}) {
+    const Tensor out = corrupt_image(img, GetParam(), severity, rng);
+    EXPECT_EQ(out.shape(), img.shape());
+    for (float v : out.data()) {
+      EXPECT_GE(v, 0.0f);
+      EXPECT_LE(v, 1.0f);
+    }
+  }
+}
+
+TEST_P(CorruptionKindTest, SeverityOneActuallyChangesTheImage) {
+  Rng rng(2);
+  const Tensor img = sample_image();
+  const Tensor out = corrupt_image(img, GetParam(), 1.0f, rng);
+  EXPECT_GT(ops::max_abs_diff(out, img), 0.01f)
+      << corruption_name(GetParam());
+}
+
+TEST_P(CorruptionKindTest, HasAName) {
+  EXPECT_GT(std::string(corruption_name(GetParam())).size(), 2u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllKinds, CorruptionKindTest,
+    ::testing::ValuesIn(all_corruptions()),
+    [](const ::testing::TestParamInfo<Corruption>& info) {
+      std::string n = corruption_name(info.param);
+      for (char& c : n) {
+        if (c == '-') c = '_';
+      }
+      return n;
+    });
+
+TEST(Corruptions, ZeroSeverityBlurAndOcclusionAreIdentity) {
+  Rng rng(3);
+  const Tensor img = sample_image();
+  EXPECT_TRUE(corrupt_image(img, Corruption::kBlur, 0.0f, rng).equals(img));
+  EXPECT_TRUE(
+      corrupt_image(img, Corruption::kOcclusion, 0.0f, rng).equals(img));
+  EXPECT_TRUE(
+      corrupt_image(img, Corruption::kContrast, 0.0f, rng).allclose(img, 1e-6f));
+}
+
+TEST(Corruptions, ContrastMovesPixelsTowardsMean) {
+  Rng rng(4);
+  const Tensor img = sample_image();
+  const float mean = ops::mean(img);
+  const Tensor out = corrupt_image(img, Corruption::kContrast, 1.0f, rng);
+  for (std::size_t i = 0; i < img.numel(); ++i) {
+    EXPECT_LE(std::abs(out[i] - mean), std::abs(img[i] - mean) + 1e-6f);
+  }
+}
+
+TEST(Corruptions, OcclusionZeroesASquare) {
+  Rng rng(5);
+  Tensor img = Tensor::full(Shape{1, 28, 28}, 1.0f);
+  const Tensor out = corrupt_image(img, Corruption::kOcclusion, 1.0f, rng);
+  std::size_t zeros = 0;
+  for (float v : out.data()) {
+    if (v == 0.0f) ++zeros;
+  }
+  EXPECT_EQ(zeros, 14u * 14u);  // severity 1 -> half the min side squared
+}
+
+TEST(Corruptions, DatasetCorruptionPreservesLabelsAndValidates) {
+  SyntheticConfig cfg;
+  cfg.train_size = 30;
+  cfg.test_size = 20;
+  cfg.seed = 6;
+  const auto pair = make_synthetic_digits(cfg);
+  const Dataset corrupted =
+      corrupt_dataset(pair.test, Corruption::kGaussianNoise, 0.5f, 9);
+  EXPECT_EQ(corrupted.labels, pair.test.labels);
+  EXPECT_NE(corrupted.name.find("gaussian-noise"), std::string::npos);
+  EXPECT_NO_THROW(corrupted.validate());
+  EXPECT_FALSE(corrupted.images.equals(pair.test.images));
+}
+
+TEST(Corruptions, DatasetCorruptionIsDeterministic) {
+  SyntheticConfig cfg;
+  cfg.train_size = 30;
+  cfg.test_size = 10;
+  cfg.seed = 6;
+  const auto pair = make_synthetic_digits(cfg);
+  const Dataset a = corrupt_dataset(pair.test, Corruption::kPixelDropout,
+                                    0.5f, 11);
+  const Dataset b = corrupt_dataset(pair.test, Corruption::kPixelDropout,
+                                    0.5f, 11);
+  EXPECT_TRUE(a.images.equals(b.images));
+}
+
+TEST(Corruptions, InvalidSeverityRejected) {
+  Rng rng(1);
+  const Tensor img = sample_image();
+  EXPECT_THROW(corrupt_image(img, Corruption::kBlur, -0.1f, rng),
+               ContractViolation);
+  EXPECT_THROW(corrupt_image(img, Corruption::kBlur, 1.1f, rng),
+               ContractViolation);
+}
+
+}  // namespace
+}  // namespace satd::data

@@ -1,0 +1,79 @@
+#include "data/dataset.h"
+
+#include <gtest/gtest.h>
+
+#include "common/contract.h"
+
+namespace satd::data {
+namespace {
+
+Dataset make_tiny() {
+  Dataset d;
+  d.name = "tiny";
+  d.num_classes = 3;
+  d.images = Tensor(Shape{4, 1, 2, 2});
+  for (std::size_t i = 0; i < d.images.numel(); ++i) {
+    d.images[i] = static_cast<float>(i) / 16.0f;
+  }
+  d.labels = {0, 1, 2, 1};
+  return d;
+}
+
+TEST(Dataset, ValidatePassesOnWellFormed) {
+  Dataset d = make_tiny();
+  EXPECT_NO_THROW(d.validate());
+}
+
+TEST(Dataset, ValidateCatchesLabelOutOfRange) {
+  Dataset d = make_tiny();
+  d.labels[2] = 3;
+  EXPECT_THROW(d.validate(), ContractViolation);
+}
+
+TEST(Dataset, ValidateCatchesCountMismatch) {
+  Dataset d = make_tiny();
+  d.labels.push_back(0);
+  EXPECT_THROW(d.validate(), ContractViolation);
+}
+
+TEST(Dataset, ValidateCatchesPixelRange) {
+  Dataset d = make_tiny();
+  d.images[0] = 1.5f;
+  EXPECT_THROW(d.validate(), ContractViolation);
+  d.images[0] = -0.1f;
+  EXPECT_THROW(d.validate(), ContractViolation);
+}
+
+TEST(Dataset, SliceCopiesRange) {
+  Dataset d = make_tiny();
+  Dataset s = d.slice(1, 3);
+  EXPECT_EQ(s.size(), 2u);
+  EXPECT_EQ(s.labels[0], 1u);
+  EXPECT_EQ(s.labels[1], 2u);
+  EXPECT_TRUE(s.images.slice_row(0).equals(d.images.slice_row(1)));
+  EXPECT_THROW(d.slice(3, 2), ContractViolation);
+  EXPECT_THROW(d.slice(0, 5), ContractViolation);
+}
+
+TEST(Dataset, GatherReordersAndRepeats) {
+  Dataset d = make_tiny();
+  Dataset g = d.gather({3, 3, 0});
+  EXPECT_EQ(g.size(), 3u);
+  EXPECT_EQ(g.labels[0], 1u);
+  EXPECT_EQ(g.labels[1], 1u);
+  EXPECT_EQ(g.labels[2], 0u);
+  EXPECT_TRUE(g.images.slice_row(0).equals(d.images.slice_row(3)));
+  EXPECT_THROW(d.gather({4}), ContractViolation);
+}
+
+TEST(Dataset, ClassHistogram) {
+  Dataset d = make_tiny();
+  const auto hist = d.class_histogram();
+  ASSERT_EQ(hist.size(), 3u);
+  EXPECT_EQ(hist[0], 1u);
+  EXPECT_EQ(hist[1], 2u);
+  EXPECT_EQ(hist[2], 1u);
+}
+
+}  // namespace
+}  // namespace satd::data

@@ -1,0 +1,164 @@
+#include "data/glyph.h"
+
+#include <gtest/gtest.h>
+
+#include "common/contract.h"
+#include "tensor/ops.h"
+
+namespace satd::data {
+namespace {
+
+const Jitter kNoJitter{};
+
+TEST(Canvas, StartsBlank) {
+  Canvas c(28);
+  EXPECT_EQ(c.side(), 28u);
+  for (std::size_t y = 0; y < 28; ++y) {
+    for (std::size_t x = 0; x < 28; ++x) EXPECT_EQ(c.pixel(y, x), 0.0f);
+  }
+}
+
+TEST(Canvas, TooSmallThrows) {
+  EXPECT_THROW(Canvas(2), ContractViolation);
+}
+
+TEST(Canvas, StampPaintsCenter) {
+  Canvas c(28);
+  c.stamp(0.5, 0.5, 1.5, 1.0, kNoJitter);
+  // Unit-box (0.5, 0.5) maps near pixel (13.5, 13.5).
+  EXPECT_GT(c.pixel(13, 13), 0.5f);
+  EXPECT_EQ(c.pixel(0, 0), 0.0f);
+}
+
+TEST(Canvas, StampOutsideBoxIsSafelyClipped) {
+  Canvas c(28);
+  c.stamp(2.0, -1.0, 2.0, 1.0, kNoJitter);  // far outside
+  Tensor t = c.to_tensor();
+  EXPECT_FLOAT_EQ(ops::sum(t), 0.0f);
+}
+
+TEST(Canvas, SegmentConnectsEndpoints) {
+  Canvas c(28);
+  c.segment(0.1, 0.5, 0.9, 0.5, 1.0, 1.0, kNoJitter);
+  // Horizontal line across the middle: left, center, right all inked.
+  EXPECT_GT(c.pixel(13, 4), 0.3f);
+  EXPECT_GT(c.pixel(13, 13), 0.3f);
+  EXPECT_GT(c.pixel(13, 23), 0.3f);
+  // Far above the line: blank.
+  EXPECT_EQ(c.pixel(3, 13), 0.0f);
+}
+
+TEST(Canvas, ArcDrawsFullCircleOutline) {
+  Canvas c(28);
+  c.arc(0.5, 0.5, 0.3, 0.3, 0.0, 6.2832, 1.0, 1.0, kNoJitter);
+  // Ring pixels inked, center mostly empty.
+  EXPECT_GT(c.pixel(13, 5), 0.2f);   // left of ring
+  EXPECT_GT(c.pixel(13, 21), 0.2f);  // right of ring
+  EXPECT_LT(c.pixel(13, 13), 0.2f);  // hollow middle
+}
+
+TEST(Canvas, FillRectCoversInterior) {
+  Canvas c(28);
+  c.fill_rect(0.25, 0.25, 0.75, 0.75, 0.8, kNoJitter);
+  EXPECT_NEAR(c.pixel(14, 14), 0.8f, 1e-5f);
+  EXPECT_EQ(c.pixel(2, 2), 0.0f);
+}
+
+TEST(Canvas, FillTriangleCoversCentroid) {
+  Canvas c(28);
+  c.fill_triangle(0.2, 0.8, 0.8, 0.8, 0.5, 0.2, 1.0, kNoJitter);
+  EXPECT_GT(c.pixel(17, 13), 0.5f);  // centroid area
+  EXPECT_EQ(c.pixel(5, 3), 0.0f);    // outside
+}
+
+TEST(Canvas, FillEllipseCoversCenter) {
+  Canvas c(28);
+  c.fill_ellipse(0.5, 0.5, 0.3, 0.2, 1.0, kNoJitter);
+  EXPECT_GT(c.pixel(13, 13), 0.5f);
+  EXPECT_EQ(c.pixel(2, 13), 0.0f);  // above the ellipse
+}
+
+TEST(Canvas, BlurSpreadsAndPreservesRoughMass) {
+  Canvas c(28);
+  c.fill_rect(0.4, 0.4, 0.6, 0.6, 1.0, kNoJitter);
+  const float before_center = c.pixel(14, 14);
+  Tensor before = c.to_tensor();
+  c.blur(1);
+  Tensor after = c.to_tensor();
+  EXPECT_LE(c.pixel(14, 14), before_center + 1e-6f);
+  // Mass roughly conserved away from borders.
+  EXPECT_NEAR(ops::sum(after), ops::sum(before), ops::sum(before) * 0.2f);
+}
+
+TEST(Canvas, NoiseStaysInRange) {
+  Canvas c(28);
+  Rng rng(1);
+  c.fill_rect(0.0, 0.0, 1.0, 1.0, 0.5, kNoJitter);
+  c.add_noise(rng, 0.5);
+  for (std::size_t y = 0; y < 28; ++y) {
+    for (std::size_t x = 0; x < 28; ++x) {
+      EXPECT_GE(c.pixel(y, x), 0.0f);
+      EXPECT_LE(c.pixel(y, x), 1.0f);
+    }
+  }
+}
+
+TEST(Canvas, TextureOnlyAffectsInkedPixels) {
+  Canvas c(28);
+  Rng rng(2);
+  c.fill_rect(0.3, 0.3, 0.7, 0.7, 0.8, kNoJitter);
+  c.texture(rng, 0.3);
+  EXPECT_EQ(c.pixel(1, 1), 0.0f);  // background untouched
+}
+
+TEST(Canvas, ToTensorShapeAndRange) {
+  Canvas c(28);
+  c.fill_rect(0.0, 0.0, 1.0, 1.0, 2.0, kNoJitter);  // over-saturated paint
+  Tensor t = c.to_tensor();
+  EXPECT_EQ(t.shape(), (Shape{1, 28, 28}));
+  for (float v : t.data()) {
+    EXPECT_GE(v, 0.0f);
+    EXPECT_LE(v, 1.0f);
+  }
+}
+
+TEST(Jitter, IdentityLeavesPointsFixed) {
+  double x = 0.3, y = 0.7;
+  kNoJitter.apply(x, y);
+  EXPECT_NEAR(x, 0.3, 1e-12);
+  EXPECT_NEAR(y, 0.7, 1e-12);
+}
+
+TEST(Jitter, ShiftTranslates) {
+  Jitter j;
+  j.shift_x = 0.1;
+  j.shift_y = -0.2;
+  double x = 0.5, y = 0.5;
+  j.apply(x, y);
+  EXPECT_NEAR(x, 0.6, 1e-12);
+  EXPECT_NEAR(y, 0.3, 1e-12);
+}
+
+TEST(Jitter, RotationPreservesCenter) {
+  Jitter j;
+  j.angle = 1.0;
+  double x = 0.5, y = 0.5;
+  j.apply(x, y);
+  EXPECT_NEAR(x, 0.5, 1e-12);
+  EXPECT_NEAR(y, 0.5, 1e-12);
+}
+
+TEST(Jitter, RandomStaysWithinMagnitudes) {
+  Rng rng(3);
+  for (int i = 0; i < 100; ++i) {
+    const Jitter j = Jitter::random(rng, 0.1, 0.2, 0.05);
+    EXPECT_LE(std::abs(j.angle), 0.1);
+    EXPECT_LE(std::abs(j.scale_x - 1.0), 0.2);
+    EXPECT_LE(std::abs(j.scale_y - 1.0), 0.2);
+    EXPECT_LE(std::abs(j.shift_x), 0.05);
+    EXPECT_LE(std::abs(j.shift_y), 0.05);
+  }
+}
+
+}  // namespace
+}  // namespace satd::data

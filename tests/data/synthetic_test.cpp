@@ -1,0 +1,154 @@
+#include "data/synthetic.h"
+
+#include <gtest/gtest.h>
+
+#include "common/contract.h"
+#include "tensor/ops.h"
+
+namespace satd::data {
+namespace {
+
+SyntheticConfig tiny_config() {
+  SyntheticConfig cfg;
+  cfg.train_size = 60;
+  cfg.test_size = 30;
+  cfg.seed = 7;
+  return cfg;
+}
+
+class SyntheticDatasetTest : public ::testing::TestWithParam<std::string> {
+ protected:
+  DatasetPair make() { return make_dataset(GetParam(), tiny_config()); }
+};
+
+TEST_P(SyntheticDatasetTest, ShapesAndSizes) {
+  const DatasetPair pair = make();
+  EXPECT_EQ(pair.train.size(), 60u);
+  EXPECT_EQ(pair.test.size(), 30u);
+  EXPECT_EQ(pair.train.images.shape(), (Shape{60, 1, 28, 28}));
+  EXPECT_EQ(pair.train.num_classes, 10u);
+}
+
+TEST_P(SyntheticDatasetTest, PassesValidation) {
+  const DatasetPair pair = make();
+  EXPECT_NO_THROW(pair.train.validate());
+  EXPECT_NO_THROW(pair.test.validate());
+}
+
+TEST_P(SyntheticDatasetTest, ClassesAreBalanced) {
+  const DatasetPair pair = make();
+  for (std::size_t count : pair.train.class_histogram()) {
+    EXPECT_EQ(count, 6u);
+  }
+  for (std::size_t count : pair.test.class_histogram()) {
+    EXPECT_EQ(count, 3u);
+  }
+}
+
+TEST_P(SyntheticDatasetTest, DeterministicGivenSeed) {
+  const DatasetPair a = make();
+  const DatasetPair b = make();
+  EXPECT_TRUE(a.train.images.equals(b.train.images));
+  EXPECT_EQ(a.train.labels, b.train.labels);
+}
+
+TEST_P(SyntheticDatasetTest, DifferentSeedsProduceDifferentData) {
+  SyntheticConfig cfg = tiny_config();
+  const DatasetPair a = make_dataset(GetParam(), cfg);
+  cfg.seed = 8;
+  const DatasetPair b = make_dataset(GetParam(), cfg);
+  EXPECT_FALSE(a.train.images.equals(b.train.images));
+}
+
+TEST_P(SyntheticDatasetTest, TrainAndTestAreDistinct) {
+  const DatasetPair pair = make();
+  // The splits come from different RNG streams; identical images would
+  // indicate stream aliasing.
+  bool any_diff = false;
+  const std::size_t n = std::min(pair.train.size(), pair.test.size());
+  for (std::size_t i = 0; i < n && !any_diff; ++i) {
+    if (!pair.train.images.slice_row(i).equals(pair.test.images.slice_row(i))) {
+      any_diff = true;
+    }
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST_P(SyntheticDatasetTest, ImagesHaveInk) {
+  const DatasetPair pair = make();
+  for (std::size_t i = 0; i < pair.train.size(); ++i) {
+    const Tensor img = pair.train.images.slice_row(i);
+    EXPECT_GT(ops::sum(img), 1.0f) << "image " << i << " is blank";
+  }
+}
+
+TEST_P(SyntheticDatasetTest, IntraClassVariation) {
+  // Two same-class examples must differ (jitter/noise applied).
+  const DatasetPair pair = make();
+  std::vector<std::size_t> first_of_class(10, SIZE_MAX);
+  for (std::size_t i = 0; i < pair.train.size(); ++i) {
+    const std::size_t y = pair.train.labels[i];
+    if (first_of_class[y] == SIZE_MAX) {
+      first_of_class[y] = i;
+    } else {
+      EXPECT_FALSE(pair.train.images.slice_row(i).equals(
+          pair.train.images.slice_row(first_of_class[y])))
+          << "class " << y;
+      first_of_class[y] = i;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Datasets, SyntheticDatasetTest,
+                         ::testing::Values("digits", "fashion"));
+
+TEST(Synthetic, UnknownDatasetNameThrows) {
+  EXPECT_THROW(make_dataset("imagenet", tiny_config()), ContractViolation);
+}
+
+TEST(Synthetic, ZeroSizeRejected) {
+  SyntheticConfig cfg = tiny_config();
+  cfg.train_size = 0;
+  EXPECT_THROW(make_synthetic_digits(cfg), ContractViolation);
+  EXPECT_THROW(make_synthetic_fashion(cfg), ContractViolation);
+}
+
+TEST(Synthetic, RenderSingleExampleShape) {
+  Rng rng(1);
+  EXPECT_EQ(render_digit(3, rng).shape(), (Shape{1, 28, 28}));
+  EXPECT_EQ(render_fashion(8, rng).shape(), (Shape{1, 28, 28}));
+  EXPECT_THROW(render_digit(10, rng), ContractViolation);
+  EXPECT_THROW(render_fashion(10, rng), ContractViolation);
+}
+
+TEST(Synthetic, ClassesAreVisuallyDistinctOnAverage) {
+  // Mean images of different digit classes should differ substantially;
+  // a weak but meaningful separability proxy that catches "all classes
+  // render the same glyph" regressions.
+  Rng rng(5);
+  std::vector<Tensor> means;
+  for (std::size_t cls = 0; cls < 10; ++cls) {
+    Tensor acc(Shape{1, 28, 28});
+    for (int rep = 0; rep < 8; ++rep) {
+      ops::axpy(1.0f / 8.0f, render_digit(cls, rng), acc);
+    }
+    means.push_back(std::move(acc));
+  }
+  for (std::size_t a = 0; a < 10; ++a) {
+    for (std::size_t b = a + 1; b < 10; ++b) {
+      const float dist = ops::l2_norm(ops::sub(means[a], means[b]));
+      EXPECT_GT(dist, 1.0f) << "digit classes " << a << " and " << b
+                            << " look identical";
+    }
+  }
+}
+
+TEST(Synthetic, FashionClassNamesCoverAllClasses) {
+  for (std::size_t cls = 0; cls < 10; ++cls) {
+    EXPECT_NE(std::string(fashion_class_name(cls)), "");
+  }
+  EXPECT_THROW(fashion_class_name(10), ContractViolation);
+}
+
+}  // namespace
+}  // namespace satd::data

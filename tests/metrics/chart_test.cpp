@@ -1,0 +1,88 @@
+#include "metrics/chart.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/contract.h"
+
+namespace satd::metrics {
+namespace {
+
+TEST(AsciiChart, RendersSeriesGlyphsAndLegend) {
+  AsciiChart chart(40, 10);
+  chart.add_series("robust", {1.0f, 0.8f, 0.6f});
+  chart.add_series("vanilla", {0.9f, 0.2f, 0.0f});
+  chart.set_x_labels({"1", "2", "3"});
+  const std::string s = chart.to_string();
+  EXPECT_NE(s.find('o'), std::string::npos);  // first series glyph
+  EXPECT_NE(s.find('+'), std::string::npos);  // second series glyph
+  EXPECT_NE(s.find("o=robust"), std::string::npos);
+  EXPECT_NE(s.find("+=vanilla"), std::string::npos);
+  EXPECT_NE(s.find("100%"), std::string::npos);
+  EXPECT_NE(s.find("0%"), std::string::npos);
+}
+
+TEST(AsciiChart, TopRowHoldsTheMaximum) {
+  AsciiChart chart(30, 8);
+  chart.add_series("s", {1.0f, 0.0f});
+  const std::string s = chart.to_string();
+  // First rendered line (y = 100%) must contain the glyph.
+  const std::string first_line = s.substr(0, s.find('\n'));
+  EXPECT_NE(first_line.find('o'), std::string::npos);
+}
+
+TEST(AsciiChart, ConstantSeriesStaysOnOneRow) {
+  AsciiChart chart(30, 8);
+  chart.add_series("flat", std::vector<float>(5, 0.5f));
+  const std::string s = chart.to_string();
+  std::size_t rows_with_glyph = 0;
+  std::string line;
+  std::istringstream is(s);
+  while (std::getline(is, line)) {
+    // Only plot-area rows (they contain the y-axis bar); the legend also
+    // contains the glyph and must not be counted.
+    if (line.find('|') != std::string::npos &&
+        line.find('o') != std::string::npos) {
+      ++rows_with_glyph;
+    }
+  }
+  EXPECT_EQ(rows_with_glyph, 1u);
+}
+
+TEST(AsciiChart, SinglePointSeriesRenders) {
+  AsciiChart chart(30, 8);
+  chart.add_series("dot", {0.7f});
+  EXPECT_NE(chart.to_string().find('o'), std::string::npos);
+}
+
+TEST(AsciiChart, XLabelsAppear) {
+  AsciiChart chart(40, 8);
+  chart.add_series("s", {0.1f, 0.2f, 0.3f, 0.4f, 0.5f});
+  chart.set_x_labels({"N=1", "N=2", "N=5", "N=10", "N=30"});
+  const std::string s = chart.to_string();
+  EXPECT_NE(s.find("N=1"), std::string::npos);
+  EXPECT_NE(s.find("N=30"), std::string::npos);
+}
+
+TEST(AsciiChart, ValidatesInputs) {
+  EXPECT_THROW(AsciiChart(5, 8), ContractViolation);
+  EXPECT_THROW(AsciiChart(40, 2), ContractViolation);
+  AsciiChart chart(40, 8);
+  EXPECT_THROW(chart.add_series("bad", {}), ContractViolation);
+  EXPECT_THROW(chart.add_series("bad", {1.5f}), ContractViolation);
+  EXPECT_THROW(chart.to_string(), ContractViolation);  // no series yet
+  chart.add_series("a", {0.5f, 0.5f});
+  EXPECT_THROW(chart.add_series("b", {0.5f}), ContractViolation);
+}
+
+TEST(AsciiChart, ManySeriesCycleGlyphs) {
+  AsciiChart chart(40, 8);
+  for (int i = 0; i < 10; ++i) {
+    chart.add_series("s" + std::to_string(i), {0.1f * static_cast<float>(i)});
+  }
+  EXPECT_FALSE(chart.to_string().empty());
+}
+
+}  // namespace
+}  // namespace satd::metrics

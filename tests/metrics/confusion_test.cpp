@@ -1,0 +1,74 @@
+#include "metrics/confusion.h"
+
+#include <gtest/gtest.h>
+
+#include "common/contract.h"
+#include "core/vanilla_trainer.h"
+#include "data/synthetic.h"
+#include "metrics/evaluator.h"
+#include "nn/zoo.h"
+
+namespace satd::metrics {
+namespace {
+
+TEST(ConfusionMatrix, StartsEmpty) {
+  ConfusionMatrix cm(3);
+  EXPECT_EQ(cm.total(), 0u);
+  EXPECT_FLOAT_EQ(cm.accuracy(), 0.0f);
+  EXPECT_FLOAT_EQ(cm.recall(0), 0.0f);
+  EXPECT_FLOAT_EQ(cm.precision(0), 0.0f);
+}
+
+TEST(ConfusionMatrix, RecordsAndComputes) {
+  ConfusionMatrix cm(2);
+  cm.record(0, 0);
+  cm.record(0, 0);
+  cm.record(0, 1);
+  cm.record(1, 1);
+  EXPECT_EQ(cm.total(), 4u);
+  EXPECT_EQ(cm.count(0, 0), 2u);
+  EXPECT_EQ(cm.count(0, 1), 1u);
+  EXPECT_FLOAT_EQ(cm.accuracy(), 0.75f);
+  EXPECT_FLOAT_EQ(cm.recall(0), 2.0f / 3.0f);
+  EXPECT_FLOAT_EQ(cm.recall(1), 1.0f);
+  EXPECT_FLOAT_EQ(cm.precision(1), 0.5f);
+  EXPECT_FLOAT_EQ(cm.precision(0), 1.0f);
+}
+
+TEST(ConfusionMatrix, BoundsChecked) {
+  ConfusionMatrix cm(2);
+  EXPECT_THROW(cm.record(2, 0), ContractViolation);
+  EXPECT_THROW(cm.record(0, 2), ContractViolation);
+  EXPECT_THROW(cm.count(2, 0), ContractViolation);
+  EXPECT_THROW(cm.recall(2), ContractViolation);
+  EXPECT_THROW(ConfusionMatrix(0), ContractViolation);
+}
+
+TEST(ConfusionMatrix, ToStringContainsCounts) {
+  ConfusionMatrix cm(2);
+  cm.record(0, 1);
+  const std::string s = cm.to_string();
+  EXPECT_NE(s.find("true\\pred"), std::string::npos);
+  EXPECT_NE(s.find("1"), std::string::npos);
+}
+
+TEST(ConfusionOn, AgreesWithScalarAccuracy) {
+  data::SyntheticConfig cfg;
+  cfg.train_size = 120;
+  cfg.test_size = 40;
+  cfg.seed = 66;
+  const auto pair = data::make_synthetic_digits(cfg);
+  Rng rng(1);
+  nn::Sequential m = nn::zoo::build("mlp_small", rng);
+  core::TrainConfig tc;
+  tc.epochs = 6;
+  core::VanillaTrainer trainer(m, tc);
+  trainer.fit(pair.train);
+
+  const ConfusionMatrix cm = confusion_on(m, pair.test, 16);
+  EXPECT_EQ(cm.total(), pair.test.size());
+  EXPECT_NEAR(cm.accuracy(), evaluate_clean(m, pair.test), 1e-6f);
+}
+
+}  // namespace
+}  // namespace satd::metrics

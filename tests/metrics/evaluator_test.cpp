@@ -1,0 +1,139 @@
+#include "metrics/evaluator.h"
+
+#include <gtest/gtest.h>
+
+#include "attack/bim.h"
+#include "attack/fgsm.h"
+#include "common/contract.h"
+#include "core/vanilla_trainer.h"
+#include "data/synthetic.h"
+#include "nn/zoo.h"
+
+namespace satd::metrics {
+namespace {
+
+const data::DatasetPair& digits() {
+  static const data::DatasetPair pair = [] {
+    data::SyntheticConfig cfg;
+    cfg.train_size = 150;
+    cfg.test_size = 50;
+    cfg.seed = 44;
+    return data::make_synthetic_digits(cfg);
+  }();
+  return pair;
+}
+
+nn::Sequential& model() {
+  static nn::Sequential m = [] {
+    Rng rng(1);
+    nn::Sequential net = nn::zoo::build("mlp_small", rng);
+    core::TrainConfig cfg;
+    cfg.epochs = 8;
+    cfg.seed = 2;
+    core::VanillaTrainer trainer(net, cfg);
+    trainer.fit(digits().train);
+    return net;
+  }();
+  return m;
+}
+
+TEST(Evaluator, CleanAccuracyAboveChance) {
+  const float acc = evaluate_clean(model(), digits().test);
+  EXPECT_GT(acc, 0.5f);
+  EXPECT_LE(acc, 1.0f);
+}
+
+TEST(Evaluator, BatchSizeDoesNotChangeResult) {
+  const float a = evaluate_clean(model(), digits().test, 7);
+  const float b = evaluate_clean(model(), digits().test, 64);
+  EXPECT_FLOAT_EQ(a, b);
+}
+
+TEST(Evaluator, AttackAccuracyBelowClean) {
+  attack::Fgsm fgsm(0.3f);
+  const float clean = evaluate_clean(model(), digits().test);
+  const float attacked = evaluate_attack(model(), digits().test, fgsm);
+  EXPECT_LT(attacked, clean);
+}
+
+TEST(Evaluator, EmptyTestSetRejected) {
+  data::Dataset empty;
+  empty.images = Tensor(Shape{0, 1, 28, 28});
+  empty.num_classes = 10;
+  EXPECT_THROW(evaluate_clean(model(), empty), ContractViolation);
+}
+
+TEST(Evaluator, RobustCurveMatchesIterationList) {
+  const std::vector<std::size_t> ns{1, 2, 4};
+  const auto curve = robust_curve(model(), digits().test, 0.3f, ns, 32);
+  ASSERT_EQ(curve.size(), 3u);
+  for (std::size_t i = 0; i < ns.size(); ++i) {
+    EXPECT_EQ(curve[i].iterations, ns[i]);
+    EXPECT_GE(curve[i].accuracy, 0.0f);
+    EXPECT_LE(curve[i].accuracy, 1.0f);
+  }
+}
+
+TEST(Evaluator, RobustCurveDecreasesForVanillaModel) {
+  // More BIM iterations at fixed eps should hurt an undefended model at
+  // least as much as fewer (within noise; compare first vs last point).
+  const auto curve =
+      robust_curve(model(), digits().test, 0.3f, {1, 5, 10}, 32);
+  EXPECT_GE(curve.front().accuracy, curve.back().accuracy - 0.05f);
+}
+
+TEST(Evaluator, IntermediateCurveHasOnePointPerIteration) {
+  const auto curve = intermediate_curve(model(), digits().test, 0.3f, 6, 32);
+  ASSERT_EQ(curve.size(), 6u);
+  for (std::size_t i = 0; i < 6; ++i) {
+    EXPECT_EQ(curve[i].iterations, i + 1);
+  }
+}
+
+TEST(Evaluator, IntermediateCurveIsMonotoneNonIncreasingForVanilla) {
+  // The paper's Figure 2 property: accuracy degrades with each iteration.
+  const auto curve = intermediate_curve(model(), digits().test, 0.3f, 8, 32);
+  for (std::size_t i = 1; i < curve.size(); ++i) {
+    EXPECT_LE(curve[i].accuracy, curve[i - 1].accuracy + 0.05f) << i;
+  }
+}
+
+TEST(Evaluator, IntermediateFinalPointMatchesFullAttackAccuracy) {
+  const auto curve = intermediate_curve(model(), digits().test, 0.3f, 5, 32);
+  attack::Bim bim(0.3f, 5);
+  const float direct = evaluate_attack(model(), digits().test, bim, 32);
+  EXPECT_NEAR(curve.back().accuracy, direct, 1e-6f);
+}
+
+TEST(Evaluator, ZeroIterationsRejected) {
+  EXPECT_THROW(intermediate_curve(model(), digits().test, 0.3f, 0),
+               ContractViolation);
+  EXPECT_THROW(accuracy_vs_eps(model(), digits().test, {0.1f}, 0),
+               ContractViolation);
+}
+
+TEST(Evaluator, AccuracyVsEpsStartsAtCleanAccuracy) {
+  const auto profile =
+      accuracy_vs_eps(model(), digits().test, {0.0f, 0.1f, 0.3f}, 5, 32);
+  ASSERT_EQ(profile.size(), 3u);
+  EXPECT_FLOAT_EQ(profile[0].eps, 0.0f);
+  EXPECT_NEAR(profile[0].accuracy, evaluate_clean(model(), digits().test),
+              1e-6f);
+}
+
+TEST(Evaluator, AccuracyVsEpsDecreasesWithBudget) {
+  const auto profile =
+      accuracy_vs_eps(model(), digits().test, {0.0f, 0.15f, 0.3f}, 5, 32);
+  EXPECT_GE(profile[0].accuracy, profile[1].accuracy - 0.05f);
+  EXPECT_GE(profile[1].accuracy, profile[2].accuracy - 0.05f);
+}
+
+// (transferability evaluation is covered in transfer_test.cpp)
+
+TEST(Evaluator, AccuracyVsEpsRejectsNegativeBudget) {
+  EXPECT_THROW(accuracy_vs_eps(model(), digits().test, {-0.1f}, 5),
+               ContractViolation);
+}
+
+}  // namespace
+}  // namespace satd::metrics

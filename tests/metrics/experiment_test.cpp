@@ -1,0 +1,115 @@
+#include "metrics/experiment.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <optional>
+#include <string>
+
+#include "common/contract.h"
+
+namespace satd::metrics {
+namespace {
+
+/// Scoped environment-variable override.
+class EnvGuard {
+ public:
+  EnvGuard(const char* name, const char* value) : name_(name) {
+    if (const char* old = std::getenv(name)) saved_ = old;
+    setenv(name, value, 1);
+  }
+  ~EnvGuard() {
+    if (saved_.has_value()) {
+      setenv(name_, saved_->c_str(), 1);
+    } else {
+      unsetenv(name_);
+    }
+  }
+
+ private:
+  const char* name_;
+  std::optional<std::string> saved_;
+};
+
+TEST(ExperimentEnv, EpsMatchesPaperPerDataset) {
+  EXPECT_FLOAT_EQ(ExperimentEnv::eps_for("digits"), 0.3f);
+  EXPECT_FLOAT_EQ(ExperimentEnv::eps_for("fashion"), 0.2f);
+  EXPECT_THROW(ExperimentEnv::eps_for("cifar"), ContractViolation);
+}
+
+TEST(ExperimentEnv, DefaultScaleIsFast) {
+  EnvGuard g("SATD_SCALE", "fast");
+  const ExperimentEnv env = ExperimentEnv::from_env();
+  EXPECT_EQ(env.train_size, 1000u);
+  EXPECT_EQ(env.test_size, 400u);
+}
+
+TEST(ExperimentEnv, SmokeAndPaperScalesDiffer) {
+  std::size_t smoke_train, paper_train;
+  {
+    EnvGuard g("SATD_SCALE", "smoke");
+    smoke_train = ExperimentEnv::from_env().train_size;
+  }
+  {
+    EnvGuard g("SATD_SCALE", "paper");
+    paper_train = ExperimentEnv::from_env().train_size;
+  }
+  EXPECT_LT(smoke_train, paper_train);
+}
+
+TEST(ExperimentEnv, IndividualOverridesWin) {
+  EnvGuard g1("SATD_SCALE", "fast");
+  EnvGuard g2("SATD_TRAIN_SIZE", "123");
+  EnvGuard g3("SATD_EPOCHS", "7");
+  EnvGuard g4("SATD_MODEL", "mlp");
+  const ExperimentEnv env = ExperimentEnv::from_env();
+  EXPECT_EQ(env.train_size, 123u);
+  EXPECT_EQ(env.epochs, 7u);
+  EXPECT_EQ(env.model_spec, "mlp");
+}
+
+TEST(ExperimentEnv, UnknownScaleRejected) {
+  EnvGuard g("SATD_SCALE", "warp9");
+  EXPECT_THROW(ExperimentEnv::from_env(), ContractViolation);
+}
+
+TEST(ExperimentEnv, TrainConfigInheritsKnobs) {
+  ExperimentEnv env;
+  env.epochs = 40;
+  env.seed = 99;
+  const core::TrainConfig cfg = env.train_config("digits");
+  EXPECT_EQ(cfg.epochs, 40u);
+  EXPECT_EQ(cfg.seed, 99u);
+  EXPECT_FLOAT_EQ(cfg.eps, 0.3f);
+  EXPECT_EQ(cfg.reset_period, 20u);  // >= 30 epochs -> paper value
+}
+
+TEST(ExperimentEnv, ResetPeriodScalesDownWithShortRuns) {
+  ExperimentEnv env;
+  env.epochs = 10;
+  EXPECT_EQ(env.train_config("digits").reset_period, 5u);
+  env.epochs = 1;
+  EXPECT_EQ(env.train_config("digits").reset_period, 1u);
+}
+
+TEST(ExperimentEnv, DatasetConfigCopiesSizes) {
+  ExperimentEnv env;
+  env.train_size = 77;
+  env.test_size = 33;
+  env.seed = 5;
+  const data::SyntheticConfig cfg = env.dataset_config();
+  EXPECT_EQ(cfg.train_size, 77u);
+  EXPECT_EQ(cfg.test_size, 33u);
+  EXPECT_EQ(cfg.seed, 5u);
+}
+
+TEST(ExperimentEnv, DescribeMentionsKeyKnobs) {
+  ExperimentEnv env;
+  const std::string d = env.describe();
+  EXPECT_NE(d.find("train="), std::string::npos);
+  EXPECT_NE(d.find("epochs="), std::string::npos);
+  EXPECT_NE(d.find("model="), std::string::npos);
+}
+
+}  // namespace
+}  // namespace satd::metrics

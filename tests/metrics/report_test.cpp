@@ -1,0 +1,71 @@
+#include "metrics/report.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "common/contract.h"
+
+namespace satd::metrics {
+namespace {
+
+namespace fs = std::filesystem;
+
+TEST(Table, RendersHeaderAndRowsAligned) {
+  Table t({"method", "accuracy"});
+  t.add_row({"FGSM-Adv", "98.65%"});
+  t.add_row({"Proposed", "94.21%"});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("method"), std::string::npos);
+  EXPECT_NE(s.find("FGSM-Adv"), std::string::npos);
+  EXPECT_NE(s.find("94.21%"), std::string::npos);
+  EXPECT_NE(s.find("---"), std::string::npos);
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(Table, RowWidthMismatchThrows) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), ContractViolation);
+  EXPECT_THROW(Table({}), ContractViolation);
+}
+
+TEST(Table, CsvRoundTrip) {
+  Table t({"x", "y"});
+  t.add_row({"1", "2"});
+  t.add_row({"3", "4"});
+  const auto path = fs::temp_directory_path() / "satd_report_test.csv";
+  t.write_csv(path.string());
+  std::ifstream is(path);
+  std::string line;
+  std::getline(is, line);
+  EXPECT_EQ(line, "x,y");
+  std::getline(is, line);
+  EXPECT_EQ(line, "1,2");
+  std::getline(is, line);
+  EXPECT_EQ(line, "3,4");
+  fs::remove(path);
+}
+
+TEST(Table, CsvRejectsCommasInCells) {
+  Table t({"a"});
+  t.add_row({"has,comma"});
+  const auto path = fs::temp_directory_path() / "satd_report_bad.csv";
+  EXPECT_THROW(t.write_csv(path.string()), ContractViolation);
+  fs::remove(path);
+}
+
+TEST(Format, PercentMatchesPaperStyle) {
+  EXPECT_EQ(percent(0.9329f), "93.29%");
+  EXPECT_EQ(percent(1.0f), "100.00%");
+  EXPECT_EQ(percent(0.0f), "0.00%");
+}
+
+TEST(Format, SecondsTwoDecimals) {
+  EXPECT_EQ(seconds(56.468), "56.47");
+  EXPECT_EQ(seconds(0.0), "0.00");
+}
+
+}  // namespace
+}  // namespace satd::metrics

@@ -1,0 +1,118 @@
+#include "metrics/robustness_report.h"
+
+#include <gtest/gtest.h>
+
+#include "attack/bim.h"
+#include "attack/fgsm.h"
+#include "attack/noise.h"
+#include "common/contract.h"
+#include "core/vanilla_trainer.h"
+#include "data/synthetic.h"
+#include "metrics/evaluator.h"
+#include "nn/zoo.h"
+
+namespace satd::metrics {
+namespace {
+
+const data::DatasetPair& digits() {
+  static const data::DatasetPair pair = [] {
+    data::SyntheticConfig cfg;
+    cfg.train_size = 150;
+    cfg.test_size = 60;
+    cfg.seed = 404;
+    return data::make_synthetic_digits(cfg);
+  }();
+  return pair;
+}
+
+nn::Sequential& model() {
+  static nn::Sequential m = [] {
+    Rng rng(1);
+    nn::Sequential net = nn::zoo::build("mlp_small", rng);
+    core::TrainConfig cfg;
+    cfg.epochs = 8;
+    core::VanillaTrainer trainer(net, cfg);
+    trainer.fit(digits().train);
+    return net;
+  }();
+  return m;
+}
+
+TEST(RobustnessReport, AccuraciesAgreeWithEvaluator) {
+  attack::Fgsm fgsm(0.2f);
+  const RobustnessReport rep =
+      robustness_report(model(), digits().test, fgsm, 16);
+  EXPECT_EQ(rep.examples, digits().test.size());
+  EXPECT_NEAR(rep.clean_accuracy, evaluate_clean(model(), digits().test),
+              1e-6f);
+  attack::Fgsm fresh(0.2f);
+  EXPECT_NEAR(rep.adversarial_accuracy,
+              evaluate_attack(model(), digits().test, fresh), 1e-6f);
+}
+
+TEST(RobustnessReport, PerturbationRespectsBudget) {
+  attack::Bim bim(0.15f, 5);
+  const RobustnessReport rep =
+      robustness_report(model(), digits().test, bim, 16);
+  EXPECT_LE(rep.max_linf, 0.15f + 1e-5f);
+  EXPECT_LE(rep.mean_linf, rep.max_linf + 1e-6f);
+  EXPECT_GT(rep.mean_linf, 0.0f);
+  EXPECT_GT(rep.mean_l2, rep.mean_linf);  // many pixels move
+  EXPECT_GT(rep.mean_changed_fraction, 0.1f);
+  EXPECT_LE(rep.mean_changed_fraction, 1.0f);
+}
+
+TEST(RobustnessReport, ConfidenceDropsUnderAttack) {
+  attack::Bim bim(0.3f, 5);
+  const RobustnessReport rep =
+      robustness_report(model(), digits().test, bim, 16);
+  EXPECT_LT(rep.mean_confidence_adv, rep.mean_confidence_clean);
+}
+
+TEST(RobustnessReport, SuccessRateConsistentWithAccuracies) {
+  attack::Bim bim(0.3f, 5);
+  const RobustnessReport rep =
+      robustness_report(model(), digits().test, bim, 16);
+  // flipped = clean_correct - (correct both before and after) >=
+  // clean_correct - adv_correct, so the rate is at least the accuracy gap
+  // normalized by clean accuracy.
+  const float min_rate =
+      (rep.clean_accuracy - rep.adversarial_accuracy) / rep.clean_accuracy;
+  EXPECT_GE(rep.attack_success_rate, min_rate - 1e-5f);
+  EXPECT_LE(rep.attack_success_rate, 1.0f);
+}
+
+TEST(RobustnessReport, NoiseBaselineHasLowerSuccessThanBim) {
+  Rng rng(2);
+  attack::RandomNoise noise(0.3f, rng, /*corners=*/true);
+  attack::Bim bim(0.3f, 5);
+  const RobustnessReport noise_rep =
+      robustness_report(model(), digits().test, noise, 16);
+  const RobustnessReport bim_rep =
+      robustness_report(model(), digits().test, bim, 16);
+  EXPECT_LT(bim_rep.adversarial_accuracy, noise_rep.adversarial_accuracy);
+  EXPECT_GT(bim_rep.attack_success_rate, noise_rep.attack_success_rate);
+}
+
+TEST(RobustnessReport, RenderingContainsKeyNumbers) {
+  attack::Fgsm fgsm(0.1f);
+  const RobustnessReport rep =
+      robustness_report(model(), digits().test, fgsm, 16);
+  const std::string s = rep.to_string();
+  EXPECT_NE(s.find("FGSM"), std::string::npos);
+  EXPECT_NE(s.find("attack success"), std::string::npos);
+  EXPECT_NE(s.find("l-inf"), std::string::npos);
+}
+
+TEST(RobustnessReport, ValidatesInputs) {
+  attack::Fgsm fgsm(0.1f);
+  data::Dataset empty;
+  empty.images = Tensor(Shape{0, 1, 28, 28});
+  empty.num_classes = 10;
+  EXPECT_THROW(robustness_report(model(), empty, fgsm), ContractViolation);
+  EXPECT_THROW(robustness_report(model(), digits().test, fgsm, 0),
+               ContractViolation);
+}
+
+}  // namespace
+}  // namespace satd::metrics

@@ -1,0 +1,95 @@
+#include "metrics/transfer.h"
+
+#include <gtest/gtest.h>
+
+#include "attack/fgsm.h"
+#include "common/contract.h"
+#include "core/vanilla_trainer.h"
+#include "data/synthetic.h"
+#include "metrics/evaluator.h"
+#include "nn/zoo.h"
+
+namespace satd::metrics {
+namespace {
+
+const data::DatasetPair& digits() {
+  static const data::DatasetPair pair = [] {
+    data::SyntheticConfig cfg;
+    cfg.train_size = 150;
+    cfg.test_size = 40;
+    cfg.seed = 123;
+    return data::make_synthetic_digits(cfg);
+  }();
+  return pair;
+}
+
+nn::Sequential train_one(std::uint64_t seed) {
+  Rng rng(seed);
+  nn::Sequential m = nn::zoo::build("mlp_small", rng);
+  core::TrainConfig cfg;
+  cfg.epochs = 6;
+  cfg.seed = seed;
+  core::VanillaTrainer trainer(m, cfg);
+  trainer.fit(digits().train);
+  return m;
+}
+
+TEST(Transfer, MatrixShapeAndRange) {
+  nn::Sequential a = train_one(1);
+  nn::Sequential b = train_one(2);
+  attack::Fgsm fgsm(0.2f);
+  const TransferMatrix m = transfer_matrix(
+      {{"model-a", &a}, {"model-b", &b}}, digits().test, fgsm, 20);
+  ASSERT_EQ(m.names.size(), 2u);
+  ASSERT_EQ(m.accuracy.size(), 2u);
+  for (const auto& row : m.accuracy) {
+    ASSERT_EQ(row.size(), 2u);
+    for (float v : row) {
+      EXPECT_GE(v, 0.0f);
+      EXPECT_LE(v, 1.0f);
+    }
+  }
+}
+
+TEST(Transfer, DiagonalMatchesWhiteBoxEvaluation) {
+  nn::Sequential a = train_one(3);
+  attack::Fgsm fgsm(0.2f);
+  const TransferMatrix m =
+      transfer_matrix({{"a", &a}}, digits().test, fgsm, 20);
+  attack::Fgsm fresh(0.2f);
+  const float direct = evaluate_attack(a, digits().test, fresh, 20);
+  EXPECT_NEAR(m.accuracy[0][0], direct, 1e-6f);
+}
+
+TEST(Transfer, CrossModelAttacksAreWeakerThanWhiteBox) {
+  // Transferred attacks are generally less effective than direct ones:
+  // off-diagonal accuracy >= diagonal accuracy (within slack).
+  nn::Sequential a = train_one(4);
+  nn::Sequential b = train_one(5);
+  attack::Fgsm fgsm(0.3f);
+  const TransferMatrix m = transfer_matrix(
+      {{"a", &a}, {"b", &b}}, digits().test, fgsm, 20);
+  EXPECT_GE(m.accuracy[0][1], m.accuracy[0][0] - 0.05f);
+  EXPECT_GE(m.accuracy[1][0], m.accuracy[1][1] - 0.05f);
+}
+
+TEST(Transfer, RenderingContainsNamesAndPercents) {
+  nn::Sequential a = train_one(6);
+  attack::Fgsm fgsm(0.1f);
+  const TransferMatrix m =
+      transfer_matrix({{"my-model", &a}}, digits().test, fgsm, 20);
+  const std::string s = m.to_string();
+  EXPECT_NE(s.find("my-model"), std::string::npos);
+  EXPECT_NE(s.find('%'), std::string::npos);
+  EXPECT_NE(s.find("src\\target"), std::string::npos);
+}
+
+TEST(Transfer, ValidatesInputs) {
+  attack::Fgsm fgsm(0.1f);
+  EXPECT_THROW(transfer_matrix({}, digits().test, fgsm), ContractViolation);
+  EXPECT_THROW(transfer_matrix({{"null", nullptr}}, digits().test, fgsm),
+               ContractViolation);
+}
+
+}  // namespace
+}  // namespace satd::metrics

@@ -1,0 +1,156 @@
+#include "nn/batchnorm.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/contract.h"
+#include "common/rng.h"
+#include "gradcheck.h"
+#include "nn/activations.h"
+#include "nn/conv2d.h"
+#include "nn/dense.h"
+#include "nn/flatten.h"
+#include "nn/sequential.h"
+#include "tensor/ops.h"
+
+namespace satd::nn {
+namespace {
+
+Tensor random_batch(Shape shape, Rng& rng) {
+  Tensor t(std::move(shape));
+  for (float& v : t.data()) v = static_cast<float>(rng.uniform(0.1, 0.9));
+  return t;
+}
+
+TEST(BatchNorm, TrainingOutputIsNormalizedPerChannel) {
+  Rng rng(1);
+  BatchNorm2d bn(3);
+  const Tensor x = random_batch(Shape{8, 3, 4, 4}, rng);
+  const Tensor y = bn.forward(x, /*training=*/true);
+  // gamma=1, beta=0 initially: each channel of y has mean ~0, var ~1.
+  const std::size_t plane = 16;
+  for (std::size_t c = 0; c < 3; ++c) {
+    double mean = 0.0, var = 0.0;
+    for (std::size_t i = 0; i < 8; ++i) {
+      for (std::size_t j = 0; j < plane; ++j) {
+        mean += y.raw()[(i * 3 + c) * plane + j];
+      }
+    }
+    mean /= 8 * plane;
+    for (std::size_t i = 0; i < 8; ++i) {
+      for (std::size_t j = 0; j < plane; ++j) {
+        const double d = y.raw()[(i * 3 + c) * plane + j] - mean;
+        var += d * d;
+      }
+    }
+    var /= 8 * plane;
+    EXPECT_NEAR(mean, 0.0, 1e-4) << "channel " << c;
+    EXPECT_NEAR(var, 1.0, 1e-2) << "channel " << c;
+  }
+}
+
+TEST(BatchNorm, GammaBetaScaleAndShift) {
+  Rng rng(2);
+  BatchNorm2d bn(1);
+  bn.gamma()[0] = 3.0f;
+  bn.beta()[0] = -1.0f;
+  const Tensor x = random_batch(Shape{4, 1, 3, 3}, rng);
+  const Tensor y = bn.forward(x, true);
+  EXPECT_NEAR(ops::mean(y), -1.0f, 1e-4f);
+}
+
+TEST(BatchNorm, RunningStatsConvergeToBatchStats) {
+  Rng rng(3);
+  BatchNorm2d bn(2, /*momentum=*/0.5f);
+  const Tensor x = random_batch(Shape{16, 2, 4, 4}, rng);
+  for (int i = 0; i < 20; ++i) bn.forward(x, true);
+  // After many identical batches the EMA equals the batch stats.
+  const std::size_t plane = 16;
+  for (std::size_t c = 0; c < 2; ++c) {
+    double mean = 0.0;
+    for (std::size_t i = 0; i < 16; ++i) {
+      for (std::size_t j = 0; j < plane; ++j) {
+        mean += x.raw()[(i * 2 + c) * plane + j];
+      }
+    }
+    mean /= 16 * plane;
+    EXPECT_NEAR(bn.running_mean()[c], mean, 1e-3) << c;
+  }
+}
+
+TEST(BatchNorm, InferenceUsesRunningStats) {
+  Rng rng(4);
+  BatchNorm2d bn(1, 1.0f);  // momentum 1: running stats = last batch
+  const Tensor x = random_batch(Shape{8, 1, 4, 4}, rng);
+  bn.forward(x, true);
+  // Inference on the SAME batch now normalizes with (biased) batch stats,
+  // so the output should be near-normalized too.
+  const Tensor y = bn.forward(x, false);
+  EXPECT_NEAR(ops::mean(y), 0.0f, 1e-3f);
+}
+
+TEST(BatchNorm, InferenceIsPerExampleConsistent) {
+  // Eval-mode output of one example must not depend on batch companions.
+  Rng rng(5);
+  BatchNorm2d bn(2);
+  bn.forward(random_batch(Shape{8, 2, 4, 4}, rng), true);  // set stats
+  const Tensor batch = random_batch(Shape{4, 2, 4, 4}, rng);
+  const Tensor full = bn.forward(batch, false);
+  Tensor one(Shape{1, 2, 4, 4});
+  one.set_row(0, batch.slice_row(2));
+  const Tensor single = bn.forward(one, false);
+  EXPECT_TRUE(single.slice_row(0).allclose(full.slice_row(2), 1e-6f));
+}
+
+TEST(BatchNorm, TrainingGradcheckThroughBatchStats) {
+  Rng rng(6);
+  Sequential m;
+  m.emplace<Conv2d>(1, 2, 3, 0, rng);  // [2, 6, 6]
+  m.emplace<BatchNorm2d>(2);
+  m.emplace<Tanh>();
+  m.emplace<Flatten>();
+  m.emplace<Dense>(72, 3, rng);
+  const Tensor x = random_batch(Shape{3, 1, 8, 8}, rng);
+  std::vector<std::size_t> labels{0, 1, 2};
+  testing::check_parameter_gradients(m, x, labels);
+  testing::check_input_gradients(m, x, labels);
+}
+
+TEST(BatchNorm, EvalModeBackwardIsLinearScaling) {
+  Rng rng(7);
+  BatchNorm2d bn(1);
+  bn.forward(random_batch(Shape{8, 1, 2, 2}, rng), true);  // set stats
+  bn.gamma()[0] = 2.0f;
+  const Tensor x = random_batch(Shape{2, 1, 2, 2}, rng);
+  bn.forward(x, false);
+  Tensor g = Tensor::full(Shape{2, 1, 2, 2}, 1.0f);
+  const Tensor gx = bn.backward(g);
+  const float expected =
+      2.0f / std::sqrt(bn.running_var()[0] + 1e-5f);
+  for (float v : gx.data()) EXPECT_NEAR(v, expected, 1e-5f);
+  bn.zero_grad();
+}
+
+TEST(BatchNorm, ValidatesArguments) {
+  EXPECT_THROW(BatchNorm2d(0), ContractViolation);
+  EXPECT_THROW(BatchNorm2d(2, 0.0f), ContractViolation);
+  EXPECT_THROW(BatchNorm2d(2, 1.5f), ContractViolation);
+  EXPECT_THROW(BatchNorm2d(2, 0.1f, 0.0f), ContractViolation);
+  BatchNorm2d bn(2);
+  Tensor wrong(Shape{2, 3, 4, 4});
+  EXPECT_THROW(bn.forward(wrong, true), ContractViolation);
+  Tensor g(Shape{2, 2, 4, 4});
+  EXPECT_THROW(bn.backward(g), ContractViolation);  // before forward
+}
+
+TEST(BatchNorm, NameAndShapes) {
+  BatchNorm2d bn(8);
+  EXPECT_EQ(bn.name(), "BatchNorm2d(8)");
+  EXPECT_EQ(bn.output_shape(Shape{8, 5, 5}), (Shape{8, 5, 5}));
+  EXPECT_THROW(bn.output_shape(Shape{4, 5, 5}), ContractViolation);
+  EXPECT_EQ(bn.parameters().size(), 2u);
+}
+
+}  // namespace
+}  // namespace satd::nn

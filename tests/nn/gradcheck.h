@@ -1,0 +1,90 @@
+// Shared finite-difference gradient checking for NN tests.
+//
+// Verifies both parameter gradients and input gradients of a model
+// against central differences of the softmax cross-entropy loss. Because
+// storage is float32, tolerances are loose-ish (the checks still catch
+// any sign/indexing/scale error, which is what matters).
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <span>
+#include <vector>
+
+#include "nn/loss.h"
+#include "nn/sequential.h"
+
+namespace satd::nn::testing {
+
+inline float loss_value(Sequential& model, const Tensor& x,
+                        std::span<const std::size_t> labels) {
+  const Tensor logits = model.forward(x, /*training=*/true);
+  return softmax_cross_entropy_value(logits, labels);
+}
+
+/// Checks d(loss)/d(params) for up to `samples_per_param` coordinates of
+/// every parameter tensor (spread across the tensor).
+inline void check_parameter_gradients(Sequential& model, const Tensor& x,
+                                      std::span<const std::size_t> labels,
+                                      float h = 5e-3f, float tol = 2e-2f,
+                                      std::size_t samples_per_param = 8) {
+  // Analytic gradients.
+  model.zero_grad();
+  const Tensor logits = model.forward(x, /*training=*/true);
+  const LossResult loss = softmax_cross_entropy(logits, labels);
+  model.backward(loss.grad_logits);
+
+  const auto params = model.parameters();
+  const auto grads = model.gradients();
+  ASSERT_EQ(params.size(), grads.size());
+  for (std::size_t p = 0; p < params.size(); ++p) {
+    Tensor& param = *params[p];
+    const Tensor& grad = *grads[p];
+    const std::size_t n = param.numel();
+    const std::size_t step = std::max<std::size_t>(1, n / samples_per_param);
+    for (std::size_t i = 0; i < n; i += step) {
+      const float saved = param[i];
+      param[i] = saved + h;
+      const float up = loss_value(model, x, labels);
+      param[i] = saved - h;
+      const float down = loss_value(model, x, labels);
+      param[i] = saved;
+      const float numeric = (up - down) / (2.0f * h);
+      const float analytic = grad[i];
+      EXPECT_NEAR(analytic, numeric, tol * std::max(1.0f, std::fabs(analytic)))
+          << "param tensor " << p << " coordinate " << i;
+    }
+  }
+  model.zero_grad();
+}
+
+/// Checks d(loss)/d(input) for up to `samples` input coordinates.
+inline void check_input_gradients(Sequential& model, const Tensor& x,
+                                  std::span<const std::size_t> labels,
+                                  float h = 5e-3f, float tol = 2e-2f,
+                                  std::size_t samples = 16) {
+  model.zero_grad();
+  const Tensor logits = model.forward(x, /*training=*/true);
+  const LossResult loss = softmax_cross_entropy(logits, labels);
+  const Tensor gx = model.backward(loss.grad_logits);
+  model.zero_grad();
+  ASSERT_EQ(gx.shape(), x.shape());
+
+  Tensor probe = x;
+  const std::size_t n = x.numel();
+  const std::size_t step = std::max<std::size_t>(1, n / samples);
+  for (std::size_t i = 0; i < n; i += step) {
+    const float saved = probe[i];
+    probe[i] = saved + h;
+    const float up = loss_value(model, probe, labels);
+    probe[i] = saved - h;
+    const float down = loss_value(model, probe, labels);
+    probe[i] = saved;
+    const float numeric = (up - down) / (2.0f * h);
+    EXPECT_NEAR(gx[i], numeric, tol * std::max(1.0f, std::fabs(gx[i])))
+        << "input coordinate " << i;
+  }
+}
+
+}  // namespace satd::nn::testing

@@ -1,0 +1,214 @@
+#include <gtest/gtest.h>
+
+#include "common/contract.h"
+#include "common/rng.h"
+#include "nn/activations.h"
+#include "nn/conv2d.h"
+#include "nn/dense.h"
+#include "nn/dropout.h"
+#include "nn/flatten.h"
+#include "nn/maxpool2d.h"
+#include "tensor/ops.h"
+
+namespace satd::nn {
+namespace {
+
+TEST(Dense, ForwardComputesAffineMap) {
+  Rng rng(1);
+  Dense d(2, 2, rng);
+  d.weight() = Tensor(Shape{2, 2}, {1, 2, 3, 4});
+  d.bias() = Tensor(Shape{2}, {10, 20});
+  Tensor x(Shape{1, 2}, {1, 1});
+  Tensor y = d.forward(x, false);
+  EXPECT_TRUE(y.equals(Tensor(Shape{1, 2}, {14, 26})));
+}
+
+TEST(Dense, RejectsWrongInputWidth) {
+  Rng rng(1);
+  Dense d(3, 2, rng);
+  Tensor x(Shape{1, 4});
+  EXPECT_THROW(d.forward(x, false), ContractViolation);
+}
+
+TEST(Dense, BackwardBeforeForwardThrows) {
+  Rng rng(1);
+  Dense d(3, 2, rng);
+  Tensor g(Shape{1, 2});
+  EXPECT_THROW(d.backward(g), ContractViolation);
+}
+
+TEST(Dense, GradientsAccumulateAcrossBackwardCalls) {
+  Rng rng(1);
+  Dense d(2, 2, rng);
+  Tensor x(Shape{1, 2}, {1, 2});
+  Tensor g(Shape{1, 2}, {1, 1});
+  d.forward(x, true);
+  d.backward(g);
+  Tensor after_one = *d.gradients()[0];
+  d.forward(x, true);
+  d.backward(g);
+  Tensor after_two = *d.gradients()[0];
+  EXPECT_TRUE(ops::scale(after_one, 2.0f).allclose(after_two, 1e-6f));
+  d.zero_grad();
+  for (float v : d.gradients()[0]->data()) EXPECT_EQ(v, 0.0f);
+}
+
+TEST(Dense, HeInitHasPlausibleScale) {
+  Rng rng(42);
+  Dense d(1000, 10, rng);
+  float sumsq = 0.0f;
+  for (float v : d.weight().data()) sumsq += v * v;
+  const float var = sumsq / static_cast<float>(d.weight().numel());
+  EXPECT_NEAR(var, 2.0f / 1000.0f, 0.4f * 2.0f / 1000.0f);
+  for (float v : d.bias().data()) EXPECT_EQ(v, 0.0f);
+}
+
+TEST(ReLU, ForwardClampsNegatives) {
+  ReLU relu;
+  Tensor x(Shape{4}, {-1.0f, 0.0f, 0.5f, 2.0f});
+  Tensor y = relu.forward(x, false);
+  EXPECT_TRUE(y.equals(Tensor(Shape{4}, {0.0f, 0.0f, 0.5f, 2.0f})));
+}
+
+TEST(ReLU, BackwardMasksByInputSign) {
+  ReLU relu;
+  Tensor x(Shape{4}, {-1.0f, 0.0f, 0.5f, 2.0f});
+  relu.forward(x, true);
+  Tensor g = Tensor::full(Shape{4}, 3.0f);
+  Tensor gx = relu.backward(g);
+  EXPECT_TRUE(gx.equals(Tensor(Shape{4}, {0.0f, 0.0f, 3.0f, 3.0f})));
+}
+
+TEST(LeakyReLU, NegativeSlopeApplied) {
+  LeakyReLU lrelu(0.1f);
+  Tensor x(Shape{2}, {-2.0f, 2.0f});
+  Tensor y = lrelu.forward(x, false);
+  EXPECT_FLOAT_EQ(y[0], -0.2f);
+  EXPECT_FLOAT_EQ(y[1], 2.0f);
+  EXPECT_THROW(LeakyReLU(-0.1f), ContractViolation);
+  EXPECT_THROW(LeakyReLU(1.0f), ContractViolation);
+}
+
+TEST(Tanh, SaturatesSymmetrically) {
+  Tanh tanh_layer;
+  Tensor x(Shape{3}, {-10.0f, 0.0f, 10.0f});
+  Tensor y = tanh_layer.forward(x, false);
+  EXPECT_NEAR(y[0], -1.0f, 1e-4f);
+  EXPECT_FLOAT_EQ(y[1], 0.0f);
+  EXPECT_NEAR(y[2], 1.0f, 1e-4f);
+}
+
+TEST(MaxPool, ForwardSelectsMaxima) {
+  MaxPool2d pool(2);
+  Tensor x(Shape{1, 1, 2, 4}, {1, 5, 2, 3, 4, 0, 9, 1});
+  Tensor y = pool.forward(x, false);
+  EXPECT_EQ(y.shape(), (Shape{1, 1, 1, 2}));
+  EXPECT_EQ(y[0], 5.0f);
+  EXPECT_EQ(y[1], 9.0f);
+}
+
+TEST(MaxPool, BackwardRoutesToArgmax) {
+  MaxPool2d pool(2);
+  Tensor x(Shape{1, 1, 2, 2}, {1, 5, 2, 3});
+  pool.forward(x, true);
+  Tensor g(Shape{1, 1, 1, 1}, {7.0f});
+  Tensor gx = pool.backward(g);
+  EXPECT_TRUE(gx.equals(Tensor(Shape{1, 1, 2, 2}, {0, 7, 0, 0})));
+}
+
+TEST(MaxPool, IndivisibleExtentThrows) {
+  MaxPool2d pool(2);
+  Tensor x(Shape{1, 1, 3, 4});
+  EXPECT_THROW(pool.forward(x, false), ContractViolation);
+}
+
+TEST(Flatten, RoundTripsShape) {
+  Flatten flat;
+  Tensor x(Shape{2, 3, 4, 5});
+  Tensor y = flat.forward(x, false);
+  EXPECT_EQ(y.shape(), (Shape{2, 60}));
+  Tensor gx = flat.backward(y);
+  EXPECT_EQ(gx.shape(), x.shape());
+}
+
+TEST(Conv, OutputShapeMatchesGeometry) {
+  Rng rng(3);
+  Conv2d conv(1, 4, 3, 0, rng);
+  Tensor x(Shape{2, 1, 8, 8});
+  Tensor y = conv.forward(x, false);
+  EXPECT_EQ(y.shape(), (Shape{2, 4, 6, 6}));
+  EXPECT_EQ(conv.output_shape(Shape{1, 8, 8}), (Shape{4, 6, 6}));
+}
+
+TEST(Conv, KnownKernelAppliesCorrectly) {
+  Rng rng(3);
+  Conv2d conv(1, 1, 2, 0, rng);
+  // Kernel = [[1, 0], [0, 1]] (trace of each 2x2 patch), bias 0.5.
+  conv.weight() = Tensor(Shape{1, 4}, {1, 0, 0, 1});
+  conv.bias() = Tensor(Shape{1}, {0.5f});
+  Tensor x(Shape{1, 1, 2, 2}, {1, 2, 3, 4});
+  Tensor y = conv.forward(x, false);
+  EXPECT_EQ(y.shape(), (Shape{1, 1, 1, 1}));
+  EXPECT_FLOAT_EQ(y[0], 1.0f + 4.0f + 0.5f);
+}
+
+TEST(Conv, ChannelMismatchThrows) {
+  Rng rng(3);
+  Conv2d conv(2, 4, 3, 0, rng);
+  Tensor x(Shape{1, 1, 8, 8});
+  EXPECT_THROW(conv.forward(x, false), ContractViolation);
+}
+
+TEST(Dropout, InferenceIsIdentity) {
+  Rng rng(5);
+  Dropout drop(0.5f, rng);
+  Tensor x = Tensor::full(Shape{100}, 1.0f);
+  Tensor y = drop.forward(x, /*training=*/false);
+  EXPECT_TRUE(y.equals(x));
+}
+
+TEST(Dropout, TrainingZeroesApproximatelyP) {
+  Rng rng(5);
+  Dropout drop(0.3f, rng);
+  Tensor x = Tensor::full(Shape{10000}, 1.0f);
+  Tensor y = drop.forward(x, /*training=*/true);
+  std::size_t zeros = 0;
+  for (float v : y.data()) {
+    if (v == 0.0f) {
+      ++zeros;
+    } else {
+      EXPECT_NEAR(v, 1.0f / 0.7f, 1e-5f);  // inverted scaling
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(zeros) / 10000.0, 0.3, 0.03);
+}
+
+TEST(Dropout, BackwardUsesSameMask) {
+  Rng rng(5);
+  Dropout drop(0.5f, rng);
+  Tensor x = Tensor::full(Shape{1000}, 1.0f);
+  Tensor y = drop.forward(x, true);
+  Tensor g = Tensor::full(Shape{1000}, 1.0f);
+  Tensor gx = drop.backward(g);
+  for (std::size_t i = 0; i < 1000; ++i) {
+    EXPECT_EQ(gx[i] == 0.0f, y[i] == 0.0f) << i;
+  }
+}
+
+TEST(Dropout, InvalidProbabilityThrows) {
+  Rng rng(5);
+  EXPECT_THROW(Dropout(-0.1f, rng), ContractViolation);
+  EXPECT_THROW(Dropout(1.0f, rng), ContractViolation);
+}
+
+TEST(Layers, NamesAreDescriptive) {
+  Rng rng(1);
+  EXPECT_EQ(Dense(3, 4, rng).name(), "Dense(3->4)");
+  EXPECT_EQ(Conv2d(1, 8, 3, 1, rng).name(), "Conv2d(1->8, k=3, p=1)");
+  EXPECT_EQ(MaxPool2d(2).name(), "MaxPool2d(2)");
+  EXPECT_EQ(ReLU().name(), "ReLU");
+  EXPECT_EQ(Flatten().name(), "Flatten");
+}
+
+}  // namespace
+}  // namespace satd::nn

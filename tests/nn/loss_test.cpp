@@ -1,0 +1,202 @@
+#include "nn/loss.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/contract.h"
+#include "common/rng.h"
+#include "tensor/ops.h"
+
+namespace satd::nn {
+namespace {
+
+TEST(Softmax, RowsSumToOne) {
+  Rng rng(1);
+  Tensor logits(Shape{5, 10});
+  for (float& v : logits.data()) v = static_cast<float>(rng.uniform(-5, 5));
+  Tensor p = softmax(logits);
+  for (std::size_t i = 0; i < 5; ++i) {
+    float sum = 0.0f;
+    for (std::size_t j = 0; j < 10; ++j) {
+      EXPECT_GT(p.at(i, j), 0.0f);
+      sum += p.at(i, j);
+    }
+    EXPECT_NEAR(sum, 1.0f, 1e-5f);
+  }
+}
+
+TEST(Softmax, InvariantToRowShift) {
+  Tensor a(Shape{1, 3}, {1, 2, 3});
+  Tensor b(Shape{1, 3}, {101, 102, 103});
+  EXPECT_TRUE(softmax(a).allclose(softmax(b), 1e-6f));
+}
+
+TEST(Softmax, StableForExtremeLogits) {
+  Tensor a(Shape{1, 3}, {1000.0f, 0.0f, -1000.0f});
+  Tensor p = softmax(a);
+  EXPECT_NEAR(p[0], 1.0f, 1e-5f);
+  EXPECT_NEAR(p[1], 0.0f, 1e-5f);
+  EXPECT_FALSE(std::isnan(p[2]));
+}
+
+TEST(CrossEntropy, UniformLogitsGiveLogK) {
+  Tensor logits(Shape{4, 10});
+  std::vector<std::size_t> labels{0, 3, 7, 9};
+  const LossResult res = softmax_cross_entropy(logits, labels);
+  EXPECT_NEAR(res.value, std::log(10.0f), 1e-5f);
+}
+
+TEST(CrossEntropy, PerfectPredictionLossNearZero) {
+  Tensor logits(Shape{2, 3});
+  logits.at(0, 1) = 50.0f;
+  logits.at(1, 2) = 50.0f;
+  std::vector<std::size_t> labels{1, 2};
+  const LossResult res = softmax_cross_entropy(logits, labels);
+  EXPECT_NEAR(res.value, 0.0f, 1e-4f);
+}
+
+TEST(CrossEntropy, GradientIsSoftmaxMinusOnehotOverN) {
+  Tensor logits(Shape{2, 3}, {1, 2, 3, 0, 0, 0});
+  std::vector<std::size_t> labels{2, 0};
+  const LossResult res = softmax_cross_entropy(logits, labels);
+  const Tensor p = softmax(logits);
+  for (std::size_t i = 0; i < 2; ++i) {
+    for (std::size_t j = 0; j < 3; ++j) {
+      const float expected =
+          (p.at(i, j) - (labels[i] == j ? 1.0f : 0.0f)) / 2.0f;
+      EXPECT_NEAR(res.grad_logits.at(i, j), expected, 1e-6f);
+    }
+  }
+}
+
+TEST(CrossEntropy, GradientRowsSumToZero) {
+  Rng rng(3);
+  Tensor logits(Shape{6, 5});
+  for (float& v : logits.data()) v = static_cast<float>(rng.uniform(-3, 3));
+  std::vector<std::size_t> labels{0, 1, 2, 3, 4, 0};
+  const LossResult res = softmax_cross_entropy(logits, labels);
+  for (std::size_t i = 0; i < 6; ++i) {
+    float sum = 0.0f;
+    for (std::size_t j = 0; j < 5; ++j) sum += res.grad_logits.at(i, j);
+    EXPECT_NEAR(sum, 0.0f, 1e-6f);
+  }
+}
+
+TEST(CrossEntropy, GradientMatchesFiniteDifference) {
+  Rng rng(5);
+  Tensor logits(Shape{3, 4});
+  for (float& v : logits.data()) v = static_cast<float>(rng.uniform(-2, 2));
+  std::vector<std::size_t> labels{1, 0, 3};
+  const LossResult res = softmax_cross_entropy(logits, labels);
+  const float h = 1e-3f;
+  for (std::size_t i = 0; i < logits.numel(); ++i) {
+    Tensor probe = logits;
+    probe[i] += h;
+    const float up = softmax_cross_entropy_value(probe, labels);
+    probe[i] -= 2 * h;
+    const float down = softmax_cross_entropy_value(probe, labels);
+    EXPECT_NEAR(res.grad_logits[i], (up - down) / (2 * h), 1e-3f) << i;
+  }
+}
+
+TEST(CrossEntropy, ValueMatchesGradVariant) {
+  Rng rng(7);
+  Tensor logits(Shape{8, 10});
+  for (float& v : logits.data()) v = static_cast<float>(rng.uniform(-4, 4));
+  std::vector<std::size_t> labels(8);
+  for (auto& y : labels) y = rng.uniform_index(10);
+  EXPECT_NEAR(softmax_cross_entropy(logits, labels).value,
+              softmax_cross_entropy_value(logits, labels), 1e-5f);
+}
+
+TEST(CrossEntropy, InvalidInputsThrow) {
+  Tensor logits(Shape{2, 3});
+  std::vector<std::size_t> bad_count{0};
+  EXPECT_THROW(softmax_cross_entropy(logits, bad_count), ContractViolation);
+  std::vector<std::size_t> bad_label{0, 5};
+  EXPECT_THROW(softmax_cross_entropy(logits, bad_label), ContractViolation);
+}
+
+TEST(SmoothedCrossEntropy, AlphaZeroMatchesPlainLoss) {
+  Rng rng(11);
+  Tensor logits(Shape{5, 6});
+  for (float& v : logits.data()) v = static_cast<float>(rng.uniform(-3, 3));
+  std::vector<std::size_t> labels{0, 1, 2, 3, 4};
+  const LossResult plain = softmax_cross_entropy(logits, labels);
+  const LossResult smoothed =
+      softmax_cross_entropy_smoothed(logits, labels, 0.0f);
+  EXPECT_NEAR(plain.value, smoothed.value, 1e-6f);
+  EXPECT_TRUE(plain.grad_logits.allclose(smoothed.grad_logits, 1e-6f));
+}
+
+TEST(SmoothedCrossEntropy, PenalizesOverconfidence) {
+  // A perfectly confident prediction has ~0 plain loss but positive
+  // smoothed loss (mass is owed to the other classes).
+  Tensor logits(Shape{1, 3});
+  logits.at(0, 0) = 50.0f;
+  std::vector<std::size_t> labels{0};
+  EXPECT_NEAR(softmax_cross_entropy_value(logits, labels), 0.0f, 1e-4f);
+  EXPECT_GT(softmax_cross_entropy_smoothed_value(logits, labels, 0.1f), 1.0f);
+}
+
+TEST(SmoothedCrossEntropy, GradientMatchesFiniteDifference) {
+  Rng rng(13);
+  Tensor logits(Shape{3, 4});
+  for (float& v : logits.data()) v = static_cast<float>(rng.uniform(-2, 2));
+  std::vector<std::size_t> labels{1, 0, 3};
+  const float alpha = 0.2f;
+  const LossResult res =
+      softmax_cross_entropy_smoothed(logits, labels, alpha);
+  const float h = 1e-3f;
+  for (std::size_t i = 0; i < logits.numel(); ++i) {
+    Tensor probe = logits;
+    probe[i] += h;
+    const float up =
+        softmax_cross_entropy_smoothed_value(probe, labels, alpha);
+    probe[i] -= 2 * h;
+    const float down =
+        softmax_cross_entropy_smoothed_value(probe, labels, alpha);
+    EXPECT_NEAR(res.grad_logits[i], (up - down) / (2 * h), 1e-3f) << i;
+  }
+}
+
+TEST(SmoothedCrossEntropy, GradientRowsSumToZero) {
+  Rng rng(15);
+  Tensor logits(Shape{4, 5});
+  for (float& v : logits.data()) v = static_cast<float>(rng.uniform(-3, 3));
+  std::vector<std::size_t> labels{0, 1, 2, 3};
+  const LossResult res =
+      softmax_cross_entropy_smoothed(logits, labels, 0.3f);
+  for (std::size_t i = 0; i < 4; ++i) {
+    float sum = 0.0f;
+    for (std::size_t j = 0; j < 5; ++j) sum += res.grad_logits.at(i, j);
+    EXPECT_NEAR(sum, 0.0f, 1e-6f);
+  }
+}
+
+TEST(SmoothedCrossEntropy, RejectsBadAlpha) {
+  Tensor logits(Shape{1, 3});
+  std::vector<std::size_t> labels{0};
+  EXPECT_THROW(softmax_cross_entropy_smoothed(logits, labels, -0.1f),
+               ContractViolation);
+  EXPECT_THROW(softmax_cross_entropy_smoothed(logits, labels, 1.1f),
+               ContractViolation);
+}
+
+TEST(Accuracy, CountsArgmaxMatches) {
+  Tensor logits(Shape{3, 3}, {5, 1, 1, 1, 5, 1, 1, 1, 5});
+  std::vector<std::size_t> labels{0, 1, 0};
+  EXPECT_NEAR(accuracy(logits, labels), 2.0f / 3.0f, 1e-6f);
+}
+
+TEST(Accuracy, PerfectAndZero) {
+  Tensor logits(Shape{2, 2}, {5, 0, 0, 5});
+  std::vector<std::size_t> right{0, 1};
+  std::vector<std::size_t> wrong{1, 0};
+  EXPECT_FLOAT_EQ(accuracy(logits, right), 1.0f);
+  EXPECT_FLOAT_EQ(accuracy(logits, wrong), 0.0f);
+}
+
+}  // namespace
+}  // namespace satd::nn

@@ -1,0 +1,90 @@
+#include "nn/model_io.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "common/rng.h"
+#include "nn/zoo.h"
+#include "tensor/serialize.h"
+
+namespace satd::nn {
+namespace {
+
+namespace fs = std::filesystem;
+
+class ModelIoTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() / "satd_model_io_test";
+    fs::create_directories(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  std::string path(const std::string& name) { return (dir_ / name).string(); }
+
+  fs::path dir_;
+};
+
+TEST_F(ModelIoTest, StreamRoundTripPreservesParameters) {
+  Rng rng(1);
+  Sequential m = zoo::build("mlp_small", rng);
+  std::stringstream ss;
+  save_model(ss, m, "mlp_small");
+
+  Rng rng2(999);  // different init; must be fully overwritten
+  Sequential m2 = zoo::build("mlp_small", rng2);
+  const std::string spec = load_parameters(ss, m2);
+  EXPECT_EQ(spec, "mlp_small");
+  const auto p1 = m.parameters();
+  const auto p2 = m2.parameters();
+  ASSERT_EQ(p1.size(), p2.size());
+  for (std::size_t i = 0; i < p1.size(); ++i) {
+    EXPECT_TRUE(p1[i]->equals(*p2[i]));
+  }
+}
+
+TEST_F(ModelIoTest, FileRoundTripReproducesOutputs) {
+  Rng rng(2);
+  Sequential m = zoo::build("cnn_small", rng);
+  save_model_file(path("model.bin"), m, "cnn_small");
+
+  Sequential loaded = load_model_file(path("model.bin"));
+  Tensor x = Tensor::full(Shape{2, 1, 28, 28}, 0.4f);
+  EXPECT_TRUE(m.forward(x, false).equals(loaded.forward(x, false)));
+}
+
+TEST_F(ModelIoTest, PeekSpecReadsWithoutLoading) {
+  Rng rng(3);
+  Sequential m = zoo::build("mlp", rng);
+  save_model_file(path("m.bin"), m, "mlp");
+  EXPECT_EQ(peek_spec_file(path("m.bin")), "mlp");
+}
+
+TEST_F(ModelIoTest, ArchitectureMismatchThrows) {
+  Rng rng(4);
+  Sequential mlp = zoo::build("mlp_small", rng);
+  std::stringstream ss;
+  save_model(ss, mlp, "mlp_small");
+  Sequential cnn = zoo::build("cnn_small", rng);
+  EXPECT_THROW(load_parameters(ss, cnn), SerializeError);
+}
+
+TEST_F(ModelIoTest, GarbageFileThrows) {
+  {
+    std::ofstream os(path("junk.bin"), std::ios::binary);
+    os << "this is not a model";
+  }
+  EXPECT_THROW(load_model_file(path("junk.bin")), SerializeError);
+}
+
+TEST_F(ModelIoTest, MissingFileThrows) {
+  EXPECT_THROW(load_model_file(path("absent.bin")), std::runtime_error);
+  EXPECT_THROW(peek_spec_file(path("absent.bin")), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace satd::nn

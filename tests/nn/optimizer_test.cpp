@@ -1,0 +1,149 @@
+#include "nn/optimizer.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/contract.h"
+
+namespace satd::nn {
+namespace {
+
+// Minimizing f(w) = 0.5 * ||w||^2 (gradient = w) must converge to zero
+// from any start for every optimizer.
+template <typename Opt>
+void expect_converges_on_quadratic(Opt&& opt, int steps = 200) {
+  Tensor w(Shape{3}, {5.0f, -3.0f, 1.0f});
+  Tensor g(Shape{3});
+  std::vector<Tensor*> params{&w};
+  std::vector<Tensor*> grads{&g};
+  for (int i = 0; i < steps; ++i) {
+    g = w;  // gradient of 0.5*||w||^2
+    opt.step(params, grads);
+  }
+  for (float v : w.data()) EXPECT_NEAR(v, 0.0f, 1e-2f);
+}
+
+TEST(Sgd, ConvergesOnQuadratic) {
+  expect_converges_on_quadratic(Sgd(0.1));
+}
+
+TEST(Sgd, MomentumConvergesOnQuadratic) {
+  expect_converges_on_quadratic(Sgd(0.05, 0.9));
+}
+
+TEST(Adam, ConvergesOnQuadratic) {
+  expect_converges_on_quadratic(Adam(0.1), 400);
+}
+
+TEST(Sgd, SingleStepIsExact) {
+  Sgd opt(0.5);
+  Tensor w(Shape{2}, {1.0f, 2.0f});
+  Tensor g(Shape{2}, {0.2f, -0.4f});
+  std::vector<Tensor*> params{&w};
+  std::vector<Tensor*> grads{&g};
+  opt.step(params, grads);
+  EXPECT_FLOAT_EQ(w[0], 0.9f);
+  EXPECT_FLOAT_EQ(w[1], 2.2f);
+}
+
+TEST(Sgd, MomentumAcceleratesRepeatedGradient) {
+  Sgd opt(0.1, 0.9);
+  Tensor w(Shape{1}, {0.0f});
+  Tensor g(Shape{1}, {1.0f});
+  std::vector<Tensor*> params{&w};
+  std::vector<Tensor*> grads{&g};
+  opt.step(params, grads);
+  const float first = -w[0];  // 0.1
+  opt.step(params, grads);
+  const float second = -w[0] - first;  // velocity grew: 0.1*1.9
+  EXPECT_NEAR(first, 0.1f, 1e-6f);
+  EXPECT_GT(second, first);
+  EXPECT_NEAR(second, 0.19f, 1e-6f);
+}
+
+TEST(Adam, FirstStepHasUnitScaleRegardlessOfGradientMagnitude) {
+  // Bias correction makes the first Adam step ~lr * sign(g).
+  for (float scale : {1e-3f, 1.0f, 1e3f}) {
+    Adam opt(0.01);
+    Tensor w(Shape{1}, {0.0f});
+    Tensor g(Shape{1}, {scale});
+    std::vector<Tensor*> params{&w};
+    std::vector<Tensor*> grads{&g};
+    opt.step(params, grads);
+    EXPECT_NEAR(w[0], -0.01f, 1e-4f) << "scale " << scale;
+  }
+}
+
+TEST(Optimizer, LearningRateIsAdjustable) {
+  Sgd opt(0.1);
+  EXPECT_DOUBLE_EQ(opt.learning_rate(), 0.1);
+  opt.set_learning_rate(0.01);
+  EXPECT_DOUBLE_EQ(opt.learning_rate(), 0.01);
+  EXPECT_THROW(opt.set_learning_rate(0.0), ContractViolation);
+}
+
+TEST(Optimizer, InvalidHyperparametersThrow) {
+  EXPECT_THROW(Sgd(0.0), ContractViolation);
+  EXPECT_THROW(Sgd(0.1, 1.0), ContractViolation);
+  EXPECT_THROW(Adam(0.1, 1.0), ContractViolation);
+  EXPECT_THROW(Adam(0.1, 0.9, 1.0), ContractViolation);
+  EXPECT_THROW(Adam(0.1, 0.9, 0.999, 0.0), ContractViolation);
+}
+
+TEST(Optimizer, MismatchedListsThrow) {
+  Sgd opt(0.1);
+  Tensor w(Shape{2});
+  Tensor g(Shape{3});
+  std::vector<Tensor*> params{&w};
+  std::vector<Tensor*> grads{&g};
+  EXPECT_THROW(opt.step(params, grads), ContractViolation);
+  std::vector<Tensor*> empty;
+  EXPECT_THROW(opt.step(params, empty), ContractViolation);
+}
+
+TEST(Optimizer, StatefulOptimizersRejectModelSwap) {
+  Adam opt(0.1);
+  Tensor w1(Shape{2}), g1(Shape{2}, {1, 1});
+  std::vector<Tensor*> p1{&w1}, gr1{&g1};
+  opt.step(p1, gr1);
+  Tensor w2(Shape{2}), w3(Shape{2});
+  Tensor g2(Shape{2}), g3(Shape{2});
+  std::vector<Tensor*> p2{&w2, &w3}, gr2{&g2, &g3};
+  EXPECT_THROW(opt.step(p2, gr2), ContractViolation);
+}
+
+TEST(Sgd, WeightDecayShrinksParametersWithZeroGradient) {
+  Sgd opt(0.1, 0.0, 0.5);
+  Tensor w(Shape{1}, {1.0f});
+  Tensor g(Shape{1}, {0.0f});
+  std::vector<Tensor*> params{&w};
+  std::vector<Tensor*> grads{&g};
+  opt.step(params, grads);
+  EXPECT_NEAR(w[0], 1.0f - 0.1f * 0.5f, 1e-6f);
+}
+
+TEST(Adam, DecoupledWeightDecayShrinksParameters) {
+  Adam opt(0.1, 0.9, 0.999, 1e-8, 0.5);
+  Tensor w(Shape{1}, {1.0f});
+  Tensor g(Shape{1}, {0.0f});
+  std::vector<Tensor*> params{&w};
+  std::vector<Tensor*> grads{&g};
+  opt.step(params, grads);
+  // Zero gradient: only the decoupled decay acts (lr * wd * w).
+  EXPECT_NEAR(w[0], 1.0f - 0.1f * 0.5f * 1.0f, 1e-6f);
+}
+
+TEST(Optimizer, NegativeWeightDecayRejected) {
+  EXPECT_THROW(Sgd(0.1, 0.0, -0.1), ContractViolation);
+  EXPECT_THROW(Adam(0.1, 0.9, 0.999, 1e-8, -0.1), ContractViolation);
+}
+
+TEST(Optimizer, NamesAreStable) {
+  EXPECT_EQ(Sgd(0.1).name(), "SGD");
+  EXPECT_EQ(Sgd(0.1, 0.5).name(), "SGD(momentum)");
+  EXPECT_EQ(Adam(0.1).name(), "Adam");
+}
+
+}  // namespace
+}  // namespace satd::nn

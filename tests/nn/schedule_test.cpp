@@ -1,0 +1,65 @@
+#include "nn/schedule.h"
+
+#include <gtest/gtest.h>
+
+#include "common/contract.h"
+
+namespace satd::nn {
+namespace {
+
+TEST(ConstantLr, AlwaysSameRate) {
+  ConstantLr lr(0.01);
+  EXPECT_DOUBLE_EQ(lr.rate(0), 0.01);
+  EXPECT_DOUBLE_EQ(lr.rate(1000), 0.01);
+  EXPECT_THROW(ConstantLr(0.0), ContractViolation);
+}
+
+TEST(StepDecayLr, DecaysEveryStep) {
+  StepDecayLr lr(1.0, 0.5, 10);
+  EXPECT_DOUBLE_EQ(lr.rate(0), 1.0);
+  EXPECT_DOUBLE_EQ(lr.rate(9), 1.0);
+  EXPECT_DOUBLE_EQ(lr.rate(10), 0.5);
+  EXPECT_DOUBLE_EQ(lr.rate(20), 0.25);
+  EXPECT_DOUBLE_EQ(lr.rate(35), 0.125);
+}
+
+TEST(StepDecayLr, ValidatesArguments) {
+  EXPECT_THROW(StepDecayLr(0.0, 0.5, 10), ContractViolation);
+  EXPECT_THROW(StepDecayLr(1.0, 0.0, 10), ContractViolation);
+  EXPECT_THROW(StepDecayLr(1.0, 1.5, 10), ContractViolation);
+  EXPECT_THROW(StepDecayLr(1.0, 0.5, 0), ContractViolation);
+}
+
+TEST(CosineLr, StartsAtBaseEndsAtFloor) {
+  CosineLr lr(1.0, 0.1, 100);
+  EXPECT_NEAR(lr.rate(0), 1.0, 1e-9);
+  EXPECT_NEAR(lr.rate(100), 0.1, 1e-9);
+  EXPECT_NEAR(lr.rate(1000), 0.1, 1e-9);  // clamped after the horizon
+}
+
+TEST(CosineLr, MonotonicallyDecreasing) {
+  CosineLr lr(1.0, 0.0, 50);
+  for (std::size_t e = 1; e <= 50; ++e) {
+    EXPECT_LE(lr.rate(e), lr.rate(e - 1) + 1e-12) << e;
+  }
+}
+
+TEST(CosineLr, HalfwayIsMidpoint) {
+  CosineLr lr(1.0, 0.0, 100);
+  EXPECT_NEAR(lr.rate(50), 0.5, 1e-9);
+}
+
+TEST(CosineLr, ValidatesArguments) {
+  EXPECT_THROW(CosineLr(0.0, 0.0, 10), ContractViolation);
+  EXPECT_THROW(CosineLr(1.0, 2.0, 10), ContractViolation);
+  EXPECT_THROW(CosineLr(1.0, 0.0, 0), ContractViolation);
+}
+
+TEST(Schedules, NamesAreStable) {
+  EXPECT_EQ(ConstantLr(1.0).name(), "constant");
+  EXPECT_EQ(StepDecayLr(1.0, 0.5, 5).name(), "step-decay");
+  EXPECT_EQ(CosineLr(1.0, 0.0, 10).name(), "cosine");
+}
+
+}  // namespace
+}  // namespace satd::nn

@@ -1,0 +1,105 @@
+#include "nn/sequential.h"
+
+#include <gtest/gtest.h>
+
+#include "common/contract.h"
+#include "common/rng.h"
+#include "nn/activations.h"
+#include "nn/dense.h"
+#include "nn/flatten.h"
+
+namespace satd::nn {
+namespace {
+
+Sequential make_mlp(Rng& rng) {
+  Sequential m;
+  m.emplace<Dense>(4, 8, rng);
+  m.emplace<ReLU>();
+  m.emplace<Dense>(8, 3, rng);
+  return m;
+}
+
+TEST(Sequential, ForwardProducesLogits) {
+  Rng rng(1);
+  Sequential m = make_mlp(rng);
+  Tensor x(Shape{5, 4});
+  Tensor y = m.forward(x, false);
+  EXPECT_EQ(y.shape(), (Shape{5, 3}));
+}
+
+TEST(Sequential, EmptyModelThrows) {
+  Sequential m;
+  Tensor x(Shape{1, 4});
+  EXPECT_THROW(m.forward(x, false), ContractViolation);
+  EXPECT_THROW(m.backward(x), ContractViolation);
+  EXPECT_THROW(m.add(nullptr), ContractViolation);
+}
+
+TEST(Sequential, ParametersAndGradientsAlign) {
+  Rng rng(2);
+  Sequential m = make_mlp(rng);
+  const auto params = m.parameters();
+  const auto grads = m.gradients();
+  ASSERT_EQ(params.size(), 4u);  // two Dense layers x (W, b)
+  ASSERT_EQ(grads.size(), 4u);
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    EXPECT_EQ(params[i]->shape(), grads[i]->shape());
+  }
+  EXPECT_EQ(m.parameter_count(), 4u * 8 + 8 + 8u * 3 + 3);
+}
+
+TEST(Sequential, ZeroGradClearsEverything) {
+  Rng rng(3);
+  Sequential m = make_mlp(rng);
+  Tensor x = Tensor::full(Shape{2, 4}, 0.5f);
+  m.forward(x, true);
+  Tensor g = Tensor::full(Shape{2, 3}, 1.0f);
+  m.backward(g);
+  bool any_nonzero = false;
+  for (Tensor* grad : m.gradients()) {
+    for (float v : grad->data()) {
+      if (v != 0.0f) any_nonzero = true;
+    }
+  }
+  EXPECT_TRUE(any_nonzero);
+  m.zero_grad();
+  for (Tensor* grad : m.gradients()) {
+    for (float v : grad->data()) EXPECT_EQ(v, 0.0f);
+  }
+}
+
+TEST(Sequential, OutputShapeValidatesChain) {
+  Rng rng(4);
+  Sequential m = make_mlp(rng);
+  EXPECT_EQ(m.output_shape(Shape{4}), (Shape{3}));
+  EXPECT_THROW(m.output_shape(Shape{5}), ContractViolation);
+}
+
+TEST(Sequential, SummaryListsLayers) {
+  Rng rng(5);
+  Sequential m = make_mlp(rng);
+  const std::string s = m.summary(Shape{4});
+  EXPECT_NE(s.find("Dense(4->8)"), std::string::npos);
+  EXPECT_NE(s.find("ReLU"), std::string::npos);
+  EXPECT_NE(s.find("Dense(8->3)"), std::string::npos);
+  EXPECT_NE(s.find("params="), std::string::npos);
+}
+
+TEST(Sequential, LayerAccessor) {
+  Rng rng(6);
+  Sequential m = make_mlp(rng);
+  EXPECT_EQ(m.layer_count(), 3u);
+  EXPECT_EQ(m.layer(1).name(), "ReLU");
+  EXPECT_THROW(m.layer(3), ContractViolation);
+}
+
+TEST(Sequential, DeterministicGivenSeed) {
+  Rng rng1(7), rng2(7);
+  Sequential m1 = make_mlp(rng1);
+  Sequential m2 = make_mlp(rng2);
+  Tensor x = Tensor::full(Shape{2, 4}, 0.3f);
+  EXPECT_TRUE(m1.forward(x, false).equals(m2.forward(x, false)));
+}
+
+}  // namespace
+}  // namespace satd::nn

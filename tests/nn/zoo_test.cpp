@@ -1,0 +1,76 @@
+#include "nn/zoo.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/contract.h"
+
+namespace satd::nn::zoo {
+namespace {
+
+TEST(Zoo, KnownSpecsAreEnumerated) {
+  const auto specs = known_specs();
+  EXPECT_GE(specs.size(), 4u);
+  for (const auto& s : specs) EXPECT_TRUE(is_known_spec(s));
+  EXPECT_FALSE(is_known_spec("resnet152"));
+}
+
+TEST(Zoo, UnknownSpecThrows) {
+  Rng rng(1);
+  EXPECT_THROW(build("resnet152", rng), ContractViolation);
+}
+
+class ZooSpecTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(ZooSpecTest, AcceptsStandardImagesAndEmitsTenLogits) {
+  Rng rng(42);
+  Sequential m = build(GetParam(), rng);
+  // Shape validation through the whole chain.
+  EXPECT_EQ(m.output_shape(input_shape()), (Shape{kNumClasses}));
+  // And an actual forward pass.
+  Tensor x = Tensor::full(Shape{2, kImageChannels, kImageSize, kImageSize},
+                          0.5f);
+  Tensor logits = m.forward(x, false);
+  EXPECT_EQ(logits.shape(), (Shape{2, kNumClasses}));
+  for (float v : logits.data()) EXPECT_FALSE(std::isnan(v));
+}
+
+TEST_P(ZooSpecTest, BackwardReturnsInputShapedGradient) {
+  Rng rng(43);
+  Sequential m = build(GetParam(), rng);
+  Tensor x = Tensor::full(Shape{2, kImageChannels, kImageSize, kImageSize},
+                          0.5f);
+  Tensor logits = m.forward(x, true);
+  Tensor g(logits.shape());
+  g.fill(0.1f);
+  Tensor gx = m.backward(g);
+  EXPECT_EQ(gx.shape(), x.shape());
+  m.zero_grad();
+}
+
+TEST_P(ZooSpecTest, DeterministicConstruction) {
+  Rng rng1(7), rng2(7);
+  Sequential m1 = build(GetParam(), rng1);
+  Sequential m2 = build(GetParam(), rng2);
+  const auto p1 = m1.parameters();
+  const auto p2 = m2.parameters();
+  ASSERT_EQ(p1.size(), p2.size());
+  for (std::size_t i = 0; i < p1.size(); ++i) {
+    EXPECT_TRUE(p1[i]->equals(*p2[i]));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSpecs, ZooSpecTest,
+                         ::testing::Values("cnn_small", "cnn_paper", "mlp",
+                                           "mlp_small"));
+
+TEST(Zoo, ModelSizesAreOrdered) {
+  Rng rng(1);
+  Sequential small = build("cnn_small", rng);
+  Sequential paper = build("cnn_paper", rng);
+  EXPECT_LT(small.parameter_count(), paper.parameter_count());
+}
+
+}  // namespace
+}  // namespace satd::nn::zoo

@@ -1,0 +1,129 @@
+#include "tensor/im2col.h"
+
+#include <gtest/gtest.h>
+
+#include "common/contract.h"
+#include "common/rng.h"
+#include "tensor/ops.h"
+
+namespace satd {
+namespace {
+
+TEST(ConvGeometry, OutputExtents) {
+  ConvGeometry g{1, 28, 28, 3, 0};
+  EXPECT_EQ(g.out_h(), 26u);
+  EXPECT_EQ(g.out_w(), 26u);
+  EXPECT_EQ(g.patch_size(), 9u);
+
+  ConvGeometry padded{2, 5, 5, 3, 1};
+  EXPECT_EQ(padded.out_h(), 5u);
+  EXPECT_EQ(padded.out_w(), 5u);
+  EXPECT_EQ(padded.patch_size(), 18u);
+}
+
+TEST(Im2col, IdentityKernelCopiesPixels) {
+  // With a 1x1 kernel the columns are the pixels themselves.
+  Tensor img(Shape{1, 2, 2}, {1, 2, 3, 4});
+  ConvGeometry g{1, 2, 2, 1, 0};
+  Tensor cols;
+  im2col(img, g, cols);
+  EXPECT_EQ(cols.shape(), (Shape{4, 1}));
+  EXPECT_TRUE(cols.reshaped(Shape{4}).equals(Tensor(Shape{4}, {1, 2, 3, 4})));
+}
+
+TEST(Im2col, ExtractsPatchesRowMajor) {
+  // 3x3 image, 2x2 kernel -> 4 patches.
+  Tensor img(Shape{1, 3, 3}, {1, 2, 3, 4, 5, 6, 7, 8, 9});
+  ConvGeometry g{1, 3, 3, 2, 0};
+  Tensor cols;
+  im2col(img, g, cols);
+  EXPECT_EQ(cols.shape(), (Shape{4, 4}));
+  // Patch at output (0,0) covers pixels {1,2,4,5}.
+  EXPECT_EQ(cols.at(0, 0), 1.0f);
+  EXPECT_EQ(cols.at(0, 1), 2.0f);
+  EXPECT_EQ(cols.at(0, 2), 4.0f);
+  EXPECT_EQ(cols.at(0, 3), 5.0f);
+  // Patch at output (1,1) covers {5,6,8,9}.
+  EXPECT_EQ(cols.at(3, 0), 5.0f);
+  EXPECT_EQ(cols.at(3, 3), 9.0f);
+}
+
+TEST(Im2col, ZeroPaddingProducesZeros) {
+  Tensor img = Tensor::full(Shape{1, 2, 2}, 1.0f);
+  ConvGeometry g{1, 2, 2, 3, 1};
+  Tensor cols;
+  im2col(img, g, cols);
+  EXPECT_EQ(cols.shape(), (Shape{4, 9}));
+  // Top-left output pixel: its 3x3 patch has the image in the bottom
+  // right 2x2, zeros elsewhere.
+  EXPECT_EQ(cols.at(0, 0), 0.0f);  // (-1,-1) padding
+  EXPECT_EQ(cols.at(0, 4), 1.0f);  // (0,0) image pixel
+}
+
+TEST(Im2col, MultiChannelOrdering) {
+  // Channel taps must come grouped per channel.
+  Tensor img(Shape{2, 2, 2}, {1, 2, 3, 4, 10, 20, 30, 40});
+  ConvGeometry g{2, 2, 2, 2, 0};
+  Tensor cols;
+  im2col(img, g, cols);
+  EXPECT_EQ(cols.shape(), (Shape{1, 8}));
+  EXPECT_EQ(cols.at(0, 0), 1.0f);
+  EXPECT_EQ(cols.at(0, 3), 4.0f);
+  EXPECT_EQ(cols.at(0, 4), 10.0f);
+  EXPECT_EQ(cols.at(0, 7), 40.0f);
+}
+
+TEST(Im2col, GeometryMismatchThrows) {
+  Tensor img(Shape{1, 4, 4});
+  ConvGeometry g{1, 5, 5, 3, 0};
+  Tensor cols;
+  EXPECT_THROW(im2col(img, g, cols), ContractViolation);
+}
+
+TEST(Col2im, IsExactAdjointOfIm2col) {
+  // Adjoint test: <im2col(x), y> == <x, col2im(y)> for random x, y.
+  // This is the property the conv backward pass relies on.
+  Rng rng(77);
+  for (std::size_t pad : {0u, 1u}) {
+    ConvGeometry g{2, 6, 5, 3, pad};
+    Tensor x(Shape{2, 6, 5});
+    for (float& v : x.data()) v = static_cast<float>(rng.uniform(-1, 1));
+    Tensor cols;
+    im2col(x, g, cols);
+    Tensor y(cols.shape());
+    for (float& v : y.data()) v = static_cast<float>(rng.uniform(-1, 1));
+    Tensor back;
+    col2im(y, g, back);
+
+    double lhs = 0.0, rhs = 0.0;
+    for (std::size_t i = 0; i < cols.numel(); ++i) {
+      lhs += static_cast<double>(cols[i]) * y[i];
+    }
+    for (std::size_t i = 0; i < x.numel(); ++i) {
+      rhs += static_cast<double>(x[i]) * back[i];
+    }
+    EXPECT_NEAR(lhs, rhs, 1e-3) << "pad=" << pad;
+  }
+}
+
+TEST(Col2im, AccumulatesOverlappingTaps) {
+  // 2x2 image, 2x2 kernel with padding 1 -> each pixel is touched by several
+  // patches; columns of all ones must accumulate the tap count.
+  ConvGeometry g{1, 2, 2, 2, 1};
+  Tensor cols = Tensor::full(Shape{g.out_h() * g.out_w(), g.patch_size()}, 1.0f);
+  Tensor img;
+  col2im(cols, g, img);
+  // Every interior pixel of a 2x2 image under a 2x2 kernel with pad 1 is
+  // covered by exactly 4 patches.
+  for (float v : img.data()) EXPECT_FLOAT_EQ(v, 4.0f);
+}
+
+TEST(Col2im, ShapeMismatchThrows) {
+  ConvGeometry g{1, 4, 4, 3, 0};
+  Tensor wrong(Shape{3, 9});
+  Tensor img;
+  EXPECT_THROW(col2im(wrong, g, img), ContractViolation);
+}
+
+}  // namespace
+}  // namespace satd

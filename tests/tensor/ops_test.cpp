@@ -1,0 +1,215 @@
+#include "tensor/ops.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/contract.h"
+#include "common/rng.h"
+
+namespace satd::ops {
+namespace {
+
+Tensor random_tensor(Shape shape, Rng& rng, double lo = -1.0, double hi = 1.0) {
+  Tensor t(std::move(shape));
+  for (float& v : t.data()) v = static_cast<float>(rng.uniform(lo, hi));
+  return t;
+}
+
+TEST(Elementwise, AddSubMul) {
+  Tensor a(Shape{3}, {1, 2, 3});
+  Tensor b(Shape{3}, {10, 20, 30});
+  EXPECT_TRUE(add(a, b).equals(Tensor(Shape{3}, {11, 22, 33})));
+  EXPECT_TRUE(sub(b, a).equals(Tensor(Shape{3}, {9, 18, 27})));
+  EXPECT_TRUE(mul(a, b).equals(Tensor(Shape{3}, {10, 40, 90})));
+}
+
+TEST(Elementwise, ShapeMismatchThrows) {
+  Tensor a(Shape{3});
+  Tensor b(Shape{4});
+  Tensor out;
+  EXPECT_THROW(add(a, b, out), ContractViolation);
+  EXPECT_THROW(sub(a, b, out), ContractViolation);
+  EXPECT_THROW(mul(a, b, out), ContractViolation);
+  EXPECT_THROW(axpy(1.0f, b, a), ContractViolation);
+}
+
+TEST(Elementwise, ScaleAndAxpy) {
+  Tensor a(Shape{3}, {1, 2, 3});
+  EXPECT_TRUE(scale(a, 2.0f).equals(Tensor(Shape{3}, {2, 4, 6})));
+  Tensor acc(Shape{3}, {1, 1, 1});
+  axpy(0.5f, a, acc);
+  EXPECT_TRUE(acc.equals(Tensor(Shape{3}, {1.5f, 2.0f, 2.5f})));
+}
+
+TEST(Elementwise, SignConvention) {
+  Tensor a(Shape{4}, {-2.0f, 0.0f, 3.0f, -0.0f});
+  Tensor s = sign(a);
+  EXPECT_EQ(s[0], -1.0f);
+  EXPECT_EQ(s[1], 0.0f);
+  EXPECT_EQ(s[2], 1.0f);
+  EXPECT_EQ(s[3], 0.0f);
+}
+
+TEST(Elementwise, ClampBoundsValues) {
+  Tensor a(Shape{4}, {-1.0f, 0.25f, 0.75f, 2.0f});
+  Tensor c = clamp(a, 0.0f, 1.0f);
+  EXPECT_TRUE(c.equals(Tensor(Shape{4}, {0.0f, 0.25f, 0.75f, 1.0f})));
+  Tensor out;
+  EXPECT_THROW(clamp(a, 1.0f, 0.0f, out), ContractViolation);
+}
+
+TEST(Elementwise, ProjectLinfClipsBallThenRange) {
+  Tensor center(Shape{3}, {0.5f, 0.05f, 0.95f});
+  Tensor x(Shape{3}, {0.9f, -0.5f, 1.5f});
+  project_linf(center, 0.1f, 0.0f, 1.0f, x);
+  EXPECT_FLOAT_EQ(x[0], 0.6f);   // ball clip
+  EXPECT_FLOAT_EQ(x[1], 0.0f);   // ball clip to -0.05, then range clip to 0
+  EXPECT_FLOAT_EQ(x[2], 1.0f);   // ball clip to 1.05, then range clip to 1
+}
+
+TEST(Elementwise, ProjectLinfIdentityInsideBall) {
+  Tensor center(Shape{2}, {0.5f, 0.5f});
+  Tensor x(Shape{2}, {0.52f, 0.48f});
+  Tensor orig = x;
+  project_linf(center, 0.1f, 0.0f, 1.0f, x);
+  EXPECT_TRUE(x.equals(orig));
+}
+
+TEST(Reductions, SumMeanNorms) {
+  Tensor a(Shape{4}, {1, -2, 3, -4});
+  EXPECT_FLOAT_EQ(sum(a), -2.0f);
+  EXPECT_FLOAT_EQ(mean(a), -0.5f);
+  EXPECT_FLOAT_EQ(l1_norm(a), 10.0f);
+  EXPECT_FLOAT_EQ(l2_norm(a), std::sqrt(30.0f));
+  EXPECT_FLOAT_EQ(max_abs(a), 4.0f);
+}
+
+TEST(Reductions, EmptyTensorEdgeCases) {
+  Tensor a(Shape{0});
+  EXPECT_FLOAT_EQ(sum(a), 0.0f);
+  EXPECT_FLOAT_EQ(mean(a), 0.0f);
+  EXPECT_FLOAT_EQ(max_abs(a), 0.0f);
+}
+
+TEST(Reductions, MaxAbsDiff) {
+  Tensor a(Shape{3}, {1, 2, 3});
+  Tensor b(Shape{3}, {1.5f, 1.0f, 3.0f});
+  EXPECT_FLOAT_EQ(max_abs_diff(a, b), 1.0f);
+}
+
+TEST(Reductions, Argmax) {
+  Tensor a(Shape{4}, {1, 5, 3, 5});
+  EXPECT_EQ(argmax(a), 1u);  // first maximum wins
+  EXPECT_THROW(argmax(Tensor(Shape{0})), ContractViolation);
+}
+
+TEST(Reductions, ArgmaxRows) {
+  Tensor a(Shape{2, 3}, {1, 9, 2, 7, 3, 5});
+  const auto idx = argmax_rows(a);
+  ASSERT_EQ(idx.size(), 2u);
+  EXPECT_EQ(idx[0], 1u);
+  EXPECT_EQ(idx[1], 0u);
+}
+
+TEST(Matmul, SmallKnownProduct) {
+  Tensor a(Shape{2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor b(Shape{3, 2}, {7, 8, 9, 10, 11, 12});
+  Tensor c = matmul(a, b);
+  EXPECT_TRUE(c.equals(Tensor(Shape{2, 2}, {58, 64, 139, 154})));
+}
+
+TEST(Matmul, InnerDimMismatchThrows) {
+  Tensor a(Shape{2, 3});
+  Tensor b(Shape{2, 2});
+  Tensor out;
+  EXPECT_THROW(matmul(a, b, out), ContractViolation);
+}
+
+TEST(Matmul, IdentityIsNeutral) {
+  Rng rng(5);
+  Tensor a = random_tensor(Shape{4, 4}, rng);
+  Tensor eye(Shape{4, 4});
+  for (std::size_t i = 0; i < 4; ++i) eye.at(i, i) = 1.0f;
+  EXPECT_TRUE(matmul(a, eye).allclose(a, 1e-6f));
+  EXPECT_TRUE(matmul(eye, a).allclose(a, 1e-6f));
+}
+
+TEST(Matmul, TnMatchesExplicitTranspose) {
+  Rng rng(7);
+  Tensor a = random_tensor(Shape{5, 3}, rng);
+  Tensor b = random_tensor(Shape{5, 4}, rng);
+  Tensor expected = matmul(transpose(a), b);
+  EXPECT_TRUE(matmul_tn(a, b).allclose(expected, 1e-5f));
+}
+
+TEST(Matmul, NtMatchesExplicitTranspose) {
+  Rng rng(9);
+  Tensor a = random_tensor(Shape{5, 3}, rng);
+  Tensor b = random_tensor(Shape{4, 3}, rng);
+  Tensor expected = matmul(a, transpose(b));
+  EXPECT_TRUE(matmul_nt(a, b).allclose(expected, 1e-5f));
+}
+
+TEST(Matmul, AssociativityHoldsNumerically) {
+  Rng rng(11);
+  Tensor a = random_tensor(Shape{3, 4}, rng);
+  Tensor b = random_tensor(Shape{4, 5}, rng);
+  Tensor c = random_tensor(Shape{5, 2}, rng);
+  Tensor left = matmul(matmul(a, b), c);
+  Tensor right = matmul(a, matmul(b, c));
+  EXPECT_TRUE(left.allclose(right, 1e-4f));
+}
+
+TEST(Matmul, RowBiasAndSumRows) {
+  Tensor a(Shape{2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor bias(Shape{3}, {10, 20, 30});
+  Tensor out;
+  add_row_bias(a, bias, out);
+  EXPECT_TRUE(out.equals(Tensor(Shape{2, 3}, {11, 22, 33, 14, 25, 36})));
+  Tensor sums;
+  sum_rows(a, sums);
+  EXPECT_TRUE(sums.equals(Tensor(Shape{3}, {5, 7, 9})));
+}
+
+TEST(Matmul, TransposeInvolution) {
+  Rng rng(13);
+  Tensor a = random_tensor(Shape{3, 7}, rng);
+  EXPECT_TRUE(transpose(transpose(a)).equals(a));
+}
+
+// Property sweep: matmul against a naive triple loop across sizes.
+struct MatmulDims {
+  std::size_t m, k, n;
+};
+
+class MatmulPropertyTest : public ::testing::TestWithParam<MatmulDims> {};
+
+TEST_P(MatmulPropertyTest, MatchesNaiveTripleLoop) {
+  const auto [m, k, n] = GetParam();
+  Rng rng(m * 1000 + k * 100 + n);
+  Tensor a = random_tensor(Shape{m, k}, rng);
+  Tensor b = random_tensor(Shape{k, n}, rng);
+  Tensor naive(Shape{m, n});
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      double acc = 0.0;
+      for (std::size_t kk = 0; kk < k; ++kk) {
+        acc += static_cast<double>(a.at(i, kk)) * b.at(kk, j);
+      }
+      naive.at(i, j) = static_cast<float>(acc);
+    }
+  }
+  EXPECT_TRUE(matmul(a, b).allclose(naive, 1e-4f));
+  EXPECT_TRUE(matmul_tn(transpose(a), b).allclose(naive, 1e-4f));
+  EXPECT_TRUE(matmul_nt(a, transpose(b)).allclose(naive, 1e-4f));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, MatmulPropertyTest,
+    ::testing::Values(MatmulDims{1, 1, 1}, MatmulDims{1, 7, 3},
+                      MatmulDims{5, 1, 5}, MatmulDims{8, 8, 8},
+                      MatmulDims{13, 17, 11}, MatmulDims{32, 20, 24}));
+
+}  // namespace
+}  // namespace satd::ops

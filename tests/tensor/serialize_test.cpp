@@ -1,0 +1,103 @@
+#include "tensor/serialize.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/rng.h"
+
+namespace satd {
+namespace {
+
+TEST(Serialize, TensorRoundTrip) {
+  Rng rng(1);
+  Tensor t(Shape{2, 3, 4});
+  for (float& v : t.data()) v = static_cast<float>(rng.uniform(-10, 10));
+  std::stringstream ss;
+  write_tensor(ss, t);
+  Tensor back = read_tensor(ss);
+  EXPECT_TRUE(back.equals(t));
+}
+
+TEST(Serialize, EmptyAndScalarTensors) {
+  {
+    std::stringstream ss;
+    Tensor t(Shape{0});
+    write_tensor(ss, t);
+    Tensor back = read_tensor(ss);
+    EXPECT_EQ(back.shape(), (Shape{0}));
+  }
+  {
+    std::stringstream ss;
+    Tensor t(Shape{});
+    t[0] = 42.0f;
+    write_tensor(ss, t);
+    Tensor back = read_tensor(ss);
+    EXPECT_EQ(back.shape().rank(), 0u);
+    EXPECT_EQ(back[0], 42.0f);
+  }
+}
+
+TEST(Serialize, MultipleTensorsInOneStream) {
+  std::stringstream ss;
+  Tensor a(Shape{2}, {1, 2});
+  Tensor b(Shape{3}, {3, 4, 5});
+  write_tensor(ss, a);
+  write_tensor(ss, b);
+  EXPECT_TRUE(read_tensor(ss).equals(a));
+  EXPECT_TRUE(read_tensor(ss).equals(b));
+}
+
+TEST(Serialize, BadMagicThrows) {
+  std::stringstream ss("NOPE and some garbage");
+  EXPECT_THROW(read_tensor(ss), SerializeError);
+}
+
+TEST(Serialize, TruncatedDataThrows) {
+  std::stringstream ss;
+  Tensor t(Shape{100});
+  write_tensor(ss, t);
+  std::string buf = ss.str();
+  buf.resize(buf.size() / 2);
+  std::stringstream cut(buf);
+  EXPECT_THROW(read_tensor(cut), SerializeError);
+}
+
+TEST(Serialize, TruncatedHeaderThrows) {
+  std::stringstream ss;
+  Tensor t(Shape{4});
+  write_tensor(ss, t);
+  std::string buf = ss.str();
+  buf.resize(10);  // magic + version only, partial rank
+  std::stringstream cut(buf);
+  EXPECT_THROW(read_tensor(cut), SerializeError);
+}
+
+TEST(Serialize, StringRoundTrip) {
+  std::stringstream ss;
+  write_string(ss, "hello world");
+  write_string(ss, "");
+  write_string(ss, std::string(1000, 'x'));
+  EXPECT_EQ(read_string(ss), "hello world");
+  EXPECT_EQ(read_string(ss), "");
+  EXPECT_EQ(read_string(ss), std::string(1000, 'x'));
+}
+
+TEST(Serialize, U64RoundTrip) {
+  std::stringstream ss;
+  write_u64(ss, 0);
+  write_u64(ss, UINT64_MAX);
+  write_u64(ss, 0x0123456789ABCDEFULL);
+  EXPECT_EQ(read_u64(ss), 0u);
+  EXPECT_EQ(read_u64(ss), UINT64_MAX);
+  EXPECT_EQ(read_u64(ss), 0x0123456789ABCDEFULL);
+}
+
+TEST(Serialize, UnreasonableStringLengthRejected) {
+  std::stringstream ss;
+  write_u64(ss, 1ull << 40);  // absurd length prefix
+  EXPECT_THROW(read_string(ss), SerializeError);
+}
+
+}  // namespace
+}  // namespace satd

@@ -1,0 +1,123 @@
+#include "tensor/stats.h"
+
+#include <gtest/gtest.h>
+
+#include "common/contract.h"
+#include "common/rng.h"
+#include "tensor/ops.h"
+
+namespace satd::stats {
+namespace {
+
+TEST(Stats, ColumnMeanSmallCase) {
+  Tensor a(Shape{2, 3}, {1, 2, 3, 3, 4, 5});
+  Tensor mu = column_mean(a);
+  EXPECT_TRUE(mu.equals(Tensor(Shape{3}, {2, 3, 4})));
+}
+
+TEST(Stats, ColumnMeanRequiresRows) {
+  Tensor empty(Shape{0, 3});
+  EXPECT_THROW(column_mean(empty), ContractViolation);
+}
+
+TEST(Stats, CenterRowsHasZeroColumnMean) {
+  Rng rng(3);
+  Tensor a(Shape{7, 4});
+  for (float& v : a.data()) v = static_cast<float>(rng.uniform(-5, 5));
+  Tensor centered = center_rows(a);
+  Tensor mu = column_mean(centered);
+  for (float v : mu.data()) EXPECT_NEAR(v, 0.0f, 1e-5f);
+}
+
+TEST(Stats, CovarianceOfKnownData) {
+  // Two columns, perfectly anti-correlated.
+  Tensor a(Shape{3, 2}, {1, -1, 2, -2, 3, -3});
+  Tensor cov = covariance(a);
+  EXPECT_EQ(cov.shape(), (Shape{2, 2}));
+  EXPECT_NEAR(cov.at(0, 0), 1.0f, 1e-5f);
+  EXPECT_NEAR(cov.at(1, 1), 1.0f, 1e-5f);
+  EXPECT_NEAR(cov.at(0, 1), -1.0f, 1e-5f);
+  EXPECT_NEAR(cov.at(1, 0), -1.0f, 1e-5f);
+}
+
+TEST(Stats, CovarianceIsSymmetric) {
+  Rng rng(5);
+  Tensor a(Shape{10, 5});
+  for (float& v : a.data()) v = static_cast<float>(rng.uniform(-1, 1));
+  Tensor cov = covariance(a);
+  for (std::size_t i = 0; i < 5; ++i) {
+    for (std::size_t j = 0; j < 5; ++j) {
+      EXPECT_NEAR(cov.at(i, j), cov.at(j, i), 1e-5f);
+    }
+  }
+}
+
+TEST(Stats, CovarianceDiagonalNonNegative) {
+  Rng rng(7);
+  Tensor a(Shape{16, 6});
+  for (float& v : a.data()) v = static_cast<float>(rng.normal(0.0, 2.0));
+  Tensor cov = covariance(a);
+  for (std::size_t i = 0; i < 6; ++i) EXPECT_GE(cov.at(i, i), -1e-6f);
+}
+
+TEST(Stats, CovarianceNeedsTwoRows) {
+  Tensor one(Shape{1, 3}, {1, 2, 3});
+  EXPECT_THROW(covariance(one), ContractViolation);
+}
+
+TEST(Stats, MmdZeroForIdenticalBatches) {
+  Rng rng(9);
+  Tensor a(Shape{8, 4});
+  for (float& v : a.data()) v = static_cast<float>(rng.uniform(-1, 1));
+  EXPECT_NEAR(mmd_l1(a, a), 0.0f, 1e-6f);
+}
+
+TEST(Stats, MmdDetectsMeanShift) {
+  Tensor a = Tensor::full(Shape{4, 3}, 0.0f);
+  Tensor b = Tensor::full(Shape{4, 3}, 1.0f);
+  EXPECT_NEAR(mmd_l1(a, b), 1.0f, 1e-6f);
+}
+
+TEST(Stats, MmdIsSymmetric) {
+  Rng rng(11);
+  Tensor a(Shape{6, 4}), b(Shape{9, 4});
+  for (float& v : a.data()) v = static_cast<float>(rng.uniform(-1, 1));
+  for (float& v : b.data()) v = static_cast<float>(rng.uniform(-1, 1));
+  EXPECT_NEAR(mmd_l1(a, b), mmd_l1(b, a), 1e-6f);
+}
+
+TEST(Stats, CoralZeroForIdenticalBatches) {
+  Rng rng(13);
+  Tensor a(Shape{8, 4});
+  for (float& v : a.data()) v = static_cast<float>(rng.uniform(-1, 1));
+  EXPECT_NEAR(coral_l1(a, a), 0.0f, 1e-6f);
+}
+
+TEST(Stats, CoralDetectsVarianceMismatch) {
+  // Same means, different spread.
+  Tensor a(Shape{4, 1}, {-1, 1, -1, 1});
+  Tensor b(Shape{4, 1}, {-3, 3, -3, 3});
+  EXPECT_GT(coral_l1(a, b), 1.0f);
+  EXPECT_NEAR(mmd_l1(a, b), 0.0f, 1e-6f);  // MMD is blind to this
+}
+
+TEST(Stats, CoralIgnoresPureMeanShift) {
+  // Covariance is translation invariant.
+  Rng rng(17);
+  Tensor a(Shape{10, 3});
+  for (float& v : a.data()) v = static_cast<float>(rng.uniform(-1, 1));
+  Tensor b = a;
+  for (float& v : b.data()) v += 5.0f;
+  EXPECT_NEAR(coral_l1(a, b), 0.0f, 1e-4f);
+  EXPECT_GT(mmd_l1(a, b), 4.9f);  // MMD sees it instead
+}
+
+TEST(Stats, DimensionMismatchThrows) {
+  Tensor a(Shape{4, 3});
+  Tensor b(Shape{4, 2});
+  EXPECT_THROW(mmd_l1(a, b), ContractViolation);
+  EXPECT_THROW(coral_l1(a, b), ContractViolation);
+}
+
+}  // namespace
+}  // namespace satd::stats

@@ -1,0 +1,136 @@
+#include "tensor/tensor.h"
+
+#include <gtest/gtest.h>
+
+#include "common/contract.h"
+
+namespace satd {
+namespace {
+
+TEST(Shape, NumelAndRank) {
+  Shape s{2, 3, 4};
+  EXPECT_EQ(s.rank(), 3u);
+  EXPECT_EQ(s.numel(), 24u);
+  EXPECT_EQ(s[0], 2u);
+  EXPECT_EQ(s[2], 4u);
+}
+
+TEST(Shape, EmptyShapeIsScalarLike) {
+  Shape s;
+  EXPECT_EQ(s.rank(), 0u);
+  EXPECT_EQ(s.numel(), 1u);
+}
+
+TEST(Shape, EqualityAndToString) {
+  EXPECT_EQ((Shape{2, 3}), (Shape{2, 3}));
+  EXPECT_NE((Shape{2, 3}), (Shape{3, 2}));
+  EXPECT_EQ((Shape{2, 3}).to_string(), "[2, 3]");
+}
+
+TEST(Shape, IndexOutOfRangeThrows) {
+  Shape s{2};
+  EXPECT_THROW(s[1], ContractViolation);
+}
+
+TEST(Tensor, DefaultConstructedIsEmpty) {
+  Tensor t;
+  EXPECT_TRUE(t.empty());
+  EXPECT_EQ(t.numel(), 0u);
+}
+
+TEST(Tensor, ZeroInitialized) {
+  Tensor t(Shape{3, 4});
+  EXPECT_EQ(t.numel(), 12u);
+  for (float v : t.data()) EXPECT_EQ(v, 0.0f);
+}
+
+TEST(Tensor, ConstructFromDataChecksSize) {
+  EXPECT_NO_THROW(Tensor(Shape{2, 2}, {1, 2, 3, 4}));
+  EXPECT_THROW(Tensor(Shape{2, 2}, {1, 2, 3}), ContractViolation);
+}
+
+TEST(Tensor, FullFillsValue) {
+  Tensor t = Tensor::full(Shape{5}, 2.5f);
+  for (float v : t.data()) EXPECT_EQ(v, 2.5f);
+}
+
+TEST(Tensor, FlatIndexingBoundsChecked) {
+  Tensor t(Shape{2, 2});
+  t[3] = 7.0f;
+  EXPECT_EQ(t[3], 7.0f);
+  EXPECT_THROW(t[4], ContractViolation);
+}
+
+TEST(Tensor, MultiDimAccess) {
+  Tensor t(Shape{2, 3});
+  t.at(1, 2) = 9.0f;
+  EXPECT_EQ(t[1 * 3 + 2], 9.0f);
+  EXPECT_EQ(t.at(1, 2), 9.0f);
+  EXPECT_THROW(t.at(2, 0), ContractViolation);
+  EXPECT_THROW(t.at(0), ContractViolation);  // wrong rank
+}
+
+TEST(Tensor, Rank4Access) {
+  Tensor t(Shape{2, 3, 4, 5});
+  t.at(1, 2, 3, 4) = 1.0f;
+  EXPECT_EQ(t[((1 * 3 + 2) * 4 + 3) * 5 + 4], 1.0f);
+}
+
+TEST(Tensor, ReshapePreservesData) {
+  Tensor t(Shape{2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor r = t.reshaped(Shape{3, 2});
+  EXPECT_EQ(r.shape(), (Shape{3, 2}));
+  EXPECT_EQ(r.at(2, 1), 6.0f);
+  EXPECT_THROW(t.reshaped(Shape{4}), ContractViolation);
+}
+
+TEST(Tensor, SliceRowExtractsTrailingDims) {
+  Tensor t(Shape{2, 2, 2}, {1, 2, 3, 4, 5, 6, 7, 8});
+  Tensor row = t.slice_row(1);
+  EXPECT_EQ(row.shape(), (Shape{2, 2}));
+  EXPECT_EQ(row.at(0, 0), 5.0f);
+  EXPECT_EQ(row.at(1, 1), 8.0f);
+  EXPECT_THROW(t.slice_row(2), ContractViolation);
+}
+
+TEST(Tensor, SetRowRoundTripsWithSliceRow) {
+  Tensor t(Shape{3, 4});
+  Tensor row(Shape{4}, {1, 2, 3, 4});
+  t.set_row(1, row);
+  EXPECT_TRUE(t.slice_row(1).equals(row.reshaped(Shape{4})));
+  EXPECT_EQ(t.at(0, 0), 0.0f);
+  EXPECT_EQ(t.at(2, 3), 0.0f);
+}
+
+TEST(Tensor, SetRowRejectsWrongSize) {
+  Tensor t(Shape{3, 4});
+  Tensor bad(Shape{3});
+  EXPECT_THROW(t.set_row(0, bad), ContractViolation);
+}
+
+TEST(Tensor, EqualsIsExact) {
+  Tensor a(Shape{2}, {1.0f, 2.0f});
+  Tensor b(Shape{2}, {1.0f, 2.0f});
+  Tensor c(Shape{2}, {1.0f, 2.000001f});
+  EXPECT_TRUE(a.equals(b));
+  EXPECT_FALSE(a.equals(c));
+}
+
+TEST(Tensor, AllcloseUsesTolerance) {
+  Tensor a(Shape{2}, {1.0f, 2.0f});
+  Tensor c(Shape{2}, {1.0f, 2.00001f});
+  EXPECT_TRUE(a.allclose(c, 1e-4f));
+  EXPECT_FALSE(a.allclose(c, 1e-6f));
+  Tensor d(Shape{1}, {1.0f});
+  EXPECT_FALSE(a.allclose(d));  // shape mismatch
+}
+
+TEST(Tensor, ToStringTruncates) {
+  Tensor t(Shape{100});
+  const std::string s = t.to_string(4);
+  EXPECT_NE(s.find("..."), std::string::npos);
+  EXPECT_NE(s.find("[100]"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace satd
