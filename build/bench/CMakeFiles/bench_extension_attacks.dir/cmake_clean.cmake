@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_extension_attacks.dir/bench_extension_attacks.cpp.o"
+  "CMakeFiles/bench_extension_attacks.dir/bench_extension_attacks.cpp.o.d"
+  "bench_extension_attacks"
+  "bench_extension_attacks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_extension_attacks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_extension_corruptions.dir/bench_extension_corruptions.cpp.o"
+  "CMakeFiles/bench_extension_corruptions.dir/bench_extension_corruptions.cpp.o.d"
+  "bench_extension_corruptions"
+  "bench_extension_corruptions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_extension_corruptions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_extension_dynamics.dir/bench_extension_dynamics.cpp.o"
+  "CMakeFiles/bench_extension_dynamics.dir/bench_extension_dynamics.cpp.o.d"
+  "bench_extension_dynamics"
+  "bench_extension_dynamics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_extension_dynamics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

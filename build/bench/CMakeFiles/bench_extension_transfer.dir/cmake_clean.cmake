@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_extension_transfer.dir/bench_extension_transfer.cpp.o"
+  "CMakeFiles/bench_extension_transfer.dir/bench_extension_transfer.cpp.o.d"
+  "bench_extension_transfer"
+  "bench_extension_transfer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_extension_transfer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

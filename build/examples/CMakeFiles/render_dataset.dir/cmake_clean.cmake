@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/render_dataset.dir/render_dataset.cpp.o"
+  "CMakeFiles/render_dataset.dir/render_dataset.cpp.o.d"
+  "render_dataset"
+  "render_dataset.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/render_dataset.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

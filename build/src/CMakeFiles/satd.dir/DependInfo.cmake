@@ -1,0 +1,75 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/attack/attack.cpp" "src/CMakeFiles/satd.dir/attack/attack.cpp.o" "gcc" "src/CMakeFiles/satd.dir/attack/attack.cpp.o.d"
+  "/root/repo/src/attack/bim.cpp" "src/CMakeFiles/satd.dir/attack/bim.cpp.o" "gcc" "src/CMakeFiles/satd.dir/attack/bim.cpp.o.d"
+  "/root/repo/src/attack/fgsm.cpp" "src/CMakeFiles/satd.dir/attack/fgsm.cpp.o" "gcc" "src/CMakeFiles/satd.dir/attack/fgsm.cpp.o.d"
+  "/root/repo/src/attack/mifgsm.cpp" "src/CMakeFiles/satd.dir/attack/mifgsm.cpp.o" "gcc" "src/CMakeFiles/satd.dir/attack/mifgsm.cpp.o.d"
+  "/root/repo/src/attack/noise.cpp" "src/CMakeFiles/satd.dir/attack/noise.cpp.o" "gcc" "src/CMakeFiles/satd.dir/attack/noise.cpp.o.d"
+  "/root/repo/src/attack/pgd.cpp" "src/CMakeFiles/satd.dir/attack/pgd.cpp.o" "gcc" "src/CMakeFiles/satd.dir/attack/pgd.cpp.o.d"
+  "/root/repo/src/attack/targeted.cpp" "src/CMakeFiles/satd.dir/attack/targeted.cpp.o" "gcc" "src/CMakeFiles/satd.dir/attack/targeted.cpp.o.d"
+  "/root/repo/src/common/cli.cpp" "src/CMakeFiles/satd.dir/common/cli.cpp.o" "gcc" "src/CMakeFiles/satd.dir/common/cli.cpp.o.d"
+  "/root/repo/src/common/log.cpp" "src/CMakeFiles/satd.dir/common/log.cpp.o" "gcc" "src/CMakeFiles/satd.dir/common/log.cpp.o.d"
+  "/root/repo/src/common/rng.cpp" "src/CMakeFiles/satd.dir/common/rng.cpp.o" "gcc" "src/CMakeFiles/satd.dir/common/rng.cpp.o.d"
+  "/root/repo/src/common/stopwatch.cpp" "src/CMakeFiles/satd.dir/common/stopwatch.cpp.o" "gcc" "src/CMakeFiles/satd.dir/common/stopwatch.cpp.o.d"
+  "/root/repo/src/common/thread_pool.cpp" "src/CMakeFiles/satd.dir/common/thread_pool.cpp.o" "gcc" "src/CMakeFiles/satd.dir/common/thread_pool.cpp.o.d"
+  "/root/repo/src/core/alp_trainer.cpp" "src/CMakeFiles/satd.dir/core/alp_trainer.cpp.o" "gcc" "src/CMakeFiles/satd.dir/core/alp_trainer.cpp.o.d"
+  "/root/repo/src/core/atda_loss.cpp" "src/CMakeFiles/satd.dir/core/atda_loss.cpp.o" "gcc" "src/CMakeFiles/satd.dir/core/atda_loss.cpp.o.d"
+  "/root/repo/src/core/atda_trainer.cpp" "src/CMakeFiles/satd.dir/core/atda_trainer.cpp.o" "gcc" "src/CMakeFiles/satd.dir/core/atda_trainer.cpp.o.d"
+  "/root/repo/src/core/bim_adv_trainer.cpp" "src/CMakeFiles/satd.dir/core/bim_adv_trainer.cpp.o" "gcc" "src/CMakeFiles/satd.dir/core/bim_adv_trainer.cpp.o.d"
+  "/root/repo/src/core/factory.cpp" "src/CMakeFiles/satd.dir/core/factory.cpp.o" "gcc" "src/CMakeFiles/satd.dir/core/factory.cpp.o.d"
+  "/root/repo/src/core/fgsm_adv_trainer.cpp" "src/CMakeFiles/satd.dir/core/fgsm_adv_trainer.cpp.o" "gcc" "src/CMakeFiles/satd.dir/core/fgsm_adv_trainer.cpp.o.d"
+  "/root/repo/src/core/free_adv_trainer.cpp" "src/CMakeFiles/satd.dir/core/free_adv_trainer.cpp.o" "gcc" "src/CMakeFiles/satd.dir/core/free_adv_trainer.cpp.o.d"
+  "/root/repo/src/core/pgd_adv_trainer.cpp" "src/CMakeFiles/satd.dir/core/pgd_adv_trainer.cpp.o" "gcc" "src/CMakeFiles/satd.dir/core/pgd_adv_trainer.cpp.o.d"
+  "/root/repo/src/core/proposed_trainer.cpp" "src/CMakeFiles/satd.dir/core/proposed_trainer.cpp.o" "gcc" "src/CMakeFiles/satd.dir/core/proposed_trainer.cpp.o.d"
+  "/root/repo/src/core/trainer.cpp" "src/CMakeFiles/satd.dir/core/trainer.cpp.o" "gcc" "src/CMakeFiles/satd.dir/core/trainer.cpp.o.d"
+  "/root/repo/src/core/vanilla_trainer.cpp" "src/CMakeFiles/satd.dir/core/vanilla_trainer.cpp.o" "gcc" "src/CMakeFiles/satd.dir/core/vanilla_trainer.cpp.o.d"
+  "/root/repo/src/data/batcher.cpp" "src/CMakeFiles/satd.dir/data/batcher.cpp.o" "gcc" "src/CMakeFiles/satd.dir/data/batcher.cpp.o.d"
+  "/root/repo/src/data/corruptions.cpp" "src/CMakeFiles/satd.dir/data/corruptions.cpp.o" "gcc" "src/CMakeFiles/satd.dir/data/corruptions.cpp.o.d"
+  "/root/repo/src/data/dataset.cpp" "src/CMakeFiles/satd.dir/data/dataset.cpp.o" "gcc" "src/CMakeFiles/satd.dir/data/dataset.cpp.o.d"
+  "/root/repo/src/data/glyph.cpp" "src/CMakeFiles/satd.dir/data/glyph.cpp.o" "gcc" "src/CMakeFiles/satd.dir/data/glyph.cpp.o.d"
+  "/root/repo/src/data/pgm.cpp" "src/CMakeFiles/satd.dir/data/pgm.cpp.o" "gcc" "src/CMakeFiles/satd.dir/data/pgm.cpp.o.d"
+  "/root/repo/src/data/synthetic_digits.cpp" "src/CMakeFiles/satd.dir/data/synthetic_digits.cpp.o" "gcc" "src/CMakeFiles/satd.dir/data/synthetic_digits.cpp.o.d"
+  "/root/repo/src/data/synthetic_fashion.cpp" "src/CMakeFiles/satd.dir/data/synthetic_fashion.cpp.o" "gcc" "src/CMakeFiles/satd.dir/data/synthetic_fashion.cpp.o.d"
+  "/root/repo/src/metrics/chart.cpp" "src/CMakeFiles/satd.dir/metrics/chart.cpp.o" "gcc" "src/CMakeFiles/satd.dir/metrics/chart.cpp.o.d"
+  "/root/repo/src/metrics/confusion.cpp" "src/CMakeFiles/satd.dir/metrics/confusion.cpp.o" "gcc" "src/CMakeFiles/satd.dir/metrics/confusion.cpp.o.d"
+  "/root/repo/src/metrics/evaluator.cpp" "src/CMakeFiles/satd.dir/metrics/evaluator.cpp.o" "gcc" "src/CMakeFiles/satd.dir/metrics/evaluator.cpp.o.d"
+  "/root/repo/src/metrics/experiment.cpp" "src/CMakeFiles/satd.dir/metrics/experiment.cpp.o" "gcc" "src/CMakeFiles/satd.dir/metrics/experiment.cpp.o.d"
+  "/root/repo/src/metrics/model_cache.cpp" "src/CMakeFiles/satd.dir/metrics/model_cache.cpp.o" "gcc" "src/CMakeFiles/satd.dir/metrics/model_cache.cpp.o.d"
+  "/root/repo/src/metrics/report.cpp" "src/CMakeFiles/satd.dir/metrics/report.cpp.o" "gcc" "src/CMakeFiles/satd.dir/metrics/report.cpp.o.d"
+  "/root/repo/src/metrics/robustness_report.cpp" "src/CMakeFiles/satd.dir/metrics/robustness_report.cpp.o" "gcc" "src/CMakeFiles/satd.dir/metrics/robustness_report.cpp.o.d"
+  "/root/repo/src/metrics/transfer.cpp" "src/CMakeFiles/satd.dir/metrics/transfer.cpp.o" "gcc" "src/CMakeFiles/satd.dir/metrics/transfer.cpp.o.d"
+  "/root/repo/src/nn/activations.cpp" "src/CMakeFiles/satd.dir/nn/activations.cpp.o" "gcc" "src/CMakeFiles/satd.dir/nn/activations.cpp.o.d"
+  "/root/repo/src/nn/batchnorm.cpp" "src/CMakeFiles/satd.dir/nn/batchnorm.cpp.o" "gcc" "src/CMakeFiles/satd.dir/nn/batchnorm.cpp.o.d"
+  "/root/repo/src/nn/conv2d.cpp" "src/CMakeFiles/satd.dir/nn/conv2d.cpp.o" "gcc" "src/CMakeFiles/satd.dir/nn/conv2d.cpp.o.d"
+  "/root/repo/src/nn/dense.cpp" "src/CMakeFiles/satd.dir/nn/dense.cpp.o" "gcc" "src/CMakeFiles/satd.dir/nn/dense.cpp.o.d"
+  "/root/repo/src/nn/dropout.cpp" "src/CMakeFiles/satd.dir/nn/dropout.cpp.o" "gcc" "src/CMakeFiles/satd.dir/nn/dropout.cpp.o.d"
+  "/root/repo/src/nn/flatten.cpp" "src/CMakeFiles/satd.dir/nn/flatten.cpp.o" "gcc" "src/CMakeFiles/satd.dir/nn/flatten.cpp.o.d"
+  "/root/repo/src/nn/init.cpp" "src/CMakeFiles/satd.dir/nn/init.cpp.o" "gcc" "src/CMakeFiles/satd.dir/nn/init.cpp.o.d"
+  "/root/repo/src/nn/loss.cpp" "src/CMakeFiles/satd.dir/nn/loss.cpp.o" "gcc" "src/CMakeFiles/satd.dir/nn/loss.cpp.o.d"
+  "/root/repo/src/nn/maxpool2d.cpp" "src/CMakeFiles/satd.dir/nn/maxpool2d.cpp.o" "gcc" "src/CMakeFiles/satd.dir/nn/maxpool2d.cpp.o.d"
+  "/root/repo/src/nn/model_io.cpp" "src/CMakeFiles/satd.dir/nn/model_io.cpp.o" "gcc" "src/CMakeFiles/satd.dir/nn/model_io.cpp.o.d"
+  "/root/repo/src/nn/optimizer.cpp" "src/CMakeFiles/satd.dir/nn/optimizer.cpp.o" "gcc" "src/CMakeFiles/satd.dir/nn/optimizer.cpp.o.d"
+  "/root/repo/src/nn/schedule.cpp" "src/CMakeFiles/satd.dir/nn/schedule.cpp.o" "gcc" "src/CMakeFiles/satd.dir/nn/schedule.cpp.o.d"
+  "/root/repo/src/nn/sequential.cpp" "src/CMakeFiles/satd.dir/nn/sequential.cpp.o" "gcc" "src/CMakeFiles/satd.dir/nn/sequential.cpp.o.d"
+  "/root/repo/src/nn/zoo.cpp" "src/CMakeFiles/satd.dir/nn/zoo.cpp.o" "gcc" "src/CMakeFiles/satd.dir/nn/zoo.cpp.o.d"
+  "/root/repo/src/tensor/im2col.cpp" "src/CMakeFiles/satd.dir/tensor/im2col.cpp.o" "gcc" "src/CMakeFiles/satd.dir/tensor/im2col.cpp.o.d"
+  "/root/repo/src/tensor/ops.cpp" "src/CMakeFiles/satd.dir/tensor/ops.cpp.o" "gcc" "src/CMakeFiles/satd.dir/tensor/ops.cpp.o.d"
+  "/root/repo/src/tensor/serialize.cpp" "src/CMakeFiles/satd.dir/tensor/serialize.cpp.o" "gcc" "src/CMakeFiles/satd.dir/tensor/serialize.cpp.o.d"
+  "/root/repo/src/tensor/stats.cpp" "src/CMakeFiles/satd.dir/tensor/stats.cpp.o" "gcc" "src/CMakeFiles/satd.dir/tensor/stats.cpp.o.d"
+  "/root/repo/src/tensor/tensor.cpp" "src/CMakeFiles/satd.dir/tensor/tensor.cpp.o" "gcc" "src/CMakeFiles/satd.dir/tensor/tensor.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

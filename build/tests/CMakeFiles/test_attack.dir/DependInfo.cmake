@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/attack/attack_properties_test.cpp" "tests/CMakeFiles/test_attack.dir/attack/attack_properties_test.cpp.o" "gcc" "tests/CMakeFiles/test_attack.dir/attack/attack_properties_test.cpp.o.d"
+  "/root/repo/tests/attack/bim_test.cpp" "tests/CMakeFiles/test_attack.dir/attack/bim_test.cpp.o" "gcc" "tests/CMakeFiles/test_attack.dir/attack/bim_test.cpp.o.d"
+  "/root/repo/tests/attack/fgsm_test.cpp" "tests/CMakeFiles/test_attack.dir/attack/fgsm_test.cpp.o" "gcc" "tests/CMakeFiles/test_attack.dir/attack/fgsm_test.cpp.o.d"
+  "/root/repo/tests/attack/mifgsm_test.cpp" "tests/CMakeFiles/test_attack.dir/attack/mifgsm_test.cpp.o" "gcc" "tests/CMakeFiles/test_attack.dir/attack/mifgsm_test.cpp.o.d"
+  "/root/repo/tests/attack/noise_test.cpp" "tests/CMakeFiles/test_attack.dir/attack/noise_test.cpp.o" "gcc" "tests/CMakeFiles/test_attack.dir/attack/noise_test.cpp.o.d"
+  "/root/repo/tests/attack/pgd_test.cpp" "tests/CMakeFiles/test_attack.dir/attack/pgd_test.cpp.o" "gcc" "tests/CMakeFiles/test_attack.dir/attack/pgd_test.cpp.o.d"
+  "/root/repo/tests/attack/targeted_test.cpp" "tests/CMakeFiles/test_attack.dir/attack/targeted_test.cpp.o" "gcc" "tests/CMakeFiles/test_attack.dir/attack/targeted_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/satd.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_attack.dir/attack/attack_properties_test.cpp.o"
+  "CMakeFiles/test_attack.dir/attack/attack_properties_test.cpp.o.d"
+  "CMakeFiles/test_attack.dir/attack/bim_test.cpp.o"
+  "CMakeFiles/test_attack.dir/attack/bim_test.cpp.o.d"
+  "CMakeFiles/test_attack.dir/attack/fgsm_test.cpp.o"
+  "CMakeFiles/test_attack.dir/attack/fgsm_test.cpp.o.d"
+  "CMakeFiles/test_attack.dir/attack/mifgsm_test.cpp.o"
+  "CMakeFiles/test_attack.dir/attack/mifgsm_test.cpp.o.d"
+  "CMakeFiles/test_attack.dir/attack/noise_test.cpp.o"
+  "CMakeFiles/test_attack.dir/attack/noise_test.cpp.o.d"
+  "CMakeFiles/test_attack.dir/attack/pgd_test.cpp.o"
+  "CMakeFiles/test_attack.dir/attack/pgd_test.cpp.o.d"
+  "CMakeFiles/test_attack.dir/attack/targeted_test.cpp.o"
+  "CMakeFiles/test_attack.dir/attack/targeted_test.cpp.o.d"
+  "test_attack"
+  "test_attack.pdb"
+  "test_attack[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_attack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/common/cli_test.cpp" "tests/CMakeFiles/test_common.dir/common/cli_test.cpp.o" "gcc" "tests/CMakeFiles/test_common.dir/common/cli_test.cpp.o.d"
+  "/root/repo/tests/common/contract_test.cpp" "tests/CMakeFiles/test_common.dir/common/contract_test.cpp.o" "gcc" "tests/CMakeFiles/test_common.dir/common/contract_test.cpp.o.d"
+  "/root/repo/tests/common/log_test.cpp" "tests/CMakeFiles/test_common.dir/common/log_test.cpp.o" "gcc" "tests/CMakeFiles/test_common.dir/common/log_test.cpp.o.d"
+  "/root/repo/tests/common/rng_test.cpp" "tests/CMakeFiles/test_common.dir/common/rng_test.cpp.o" "gcc" "tests/CMakeFiles/test_common.dir/common/rng_test.cpp.o.d"
+  "/root/repo/tests/common/stopwatch_test.cpp" "tests/CMakeFiles/test_common.dir/common/stopwatch_test.cpp.o" "gcc" "tests/CMakeFiles/test_common.dir/common/stopwatch_test.cpp.o.d"
+  "/root/repo/tests/common/thread_pool_test.cpp" "tests/CMakeFiles/test_common.dir/common/thread_pool_test.cpp.o" "gcc" "tests/CMakeFiles/test_common.dir/common/thread_pool_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/satd.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

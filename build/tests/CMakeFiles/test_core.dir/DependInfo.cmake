@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/alp_trainer_test.cpp" "tests/CMakeFiles/test_core.dir/core/alp_trainer_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/alp_trainer_test.cpp.o.d"
+  "/root/repo/tests/core/atda_loss_test.cpp" "tests/CMakeFiles/test_core.dir/core/atda_loss_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/atda_loss_test.cpp.o.d"
+  "/root/repo/tests/core/checkpoint_test.cpp" "tests/CMakeFiles/test_core.dir/core/checkpoint_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/checkpoint_test.cpp.o.d"
+  "/root/repo/tests/core/extension_trainers_test.cpp" "tests/CMakeFiles/test_core.dir/core/extension_trainers_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/extension_trainers_test.cpp.o.d"
+  "/root/repo/tests/core/factory_test.cpp" "tests/CMakeFiles/test_core.dir/core/factory_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/factory_test.cpp.o.d"
+  "/root/repo/tests/core/proposed_trainer_test.cpp" "tests/CMakeFiles/test_core.dir/core/proposed_trainer_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/proposed_trainer_test.cpp.o.d"
+  "/root/repo/tests/core/trainer_properties_test.cpp" "tests/CMakeFiles/test_core.dir/core/trainer_properties_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/trainer_properties_test.cpp.o.d"
+  "/root/repo/tests/core/trainer_test.cpp" "tests/CMakeFiles/test_core.dir/core/trainer_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/trainer_test.cpp.o.d"
+  "/root/repo/tests/core/training_integration_test.cpp" "tests/CMakeFiles/test_core.dir/core/training_integration_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/training_integration_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/satd.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

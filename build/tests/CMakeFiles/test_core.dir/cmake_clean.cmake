@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core.dir/core/alp_trainer_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/alp_trainer_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/atda_loss_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/atda_loss_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/checkpoint_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/checkpoint_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/extension_trainers_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/extension_trainers_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/factory_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/factory_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/proposed_trainer_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/proposed_trainer_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/trainer_properties_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/trainer_properties_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/trainer_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/trainer_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/training_integration_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/training_integration_test.cpp.o.d"
+  "test_core"
+  "test_core.pdb"
+  "test_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/data/batcher_test.cpp" "tests/CMakeFiles/test_data.dir/data/batcher_test.cpp.o" "gcc" "tests/CMakeFiles/test_data.dir/data/batcher_test.cpp.o.d"
+  "/root/repo/tests/data/corruptions_test.cpp" "tests/CMakeFiles/test_data.dir/data/corruptions_test.cpp.o" "gcc" "tests/CMakeFiles/test_data.dir/data/corruptions_test.cpp.o.d"
+  "/root/repo/tests/data/dataset_test.cpp" "tests/CMakeFiles/test_data.dir/data/dataset_test.cpp.o" "gcc" "tests/CMakeFiles/test_data.dir/data/dataset_test.cpp.o.d"
+  "/root/repo/tests/data/glyph_test.cpp" "tests/CMakeFiles/test_data.dir/data/glyph_test.cpp.o" "gcc" "tests/CMakeFiles/test_data.dir/data/glyph_test.cpp.o.d"
+  "/root/repo/tests/data/pgm_test.cpp" "tests/CMakeFiles/test_data.dir/data/pgm_test.cpp.o" "gcc" "tests/CMakeFiles/test_data.dir/data/pgm_test.cpp.o.d"
+  "/root/repo/tests/data/synthetic_test.cpp" "tests/CMakeFiles/test_data.dir/data/synthetic_test.cpp.o" "gcc" "tests/CMakeFiles/test_data.dir/data/synthetic_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/satd.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_data.dir/data/batcher_test.cpp.o"
+  "CMakeFiles/test_data.dir/data/batcher_test.cpp.o.d"
+  "CMakeFiles/test_data.dir/data/corruptions_test.cpp.o"
+  "CMakeFiles/test_data.dir/data/corruptions_test.cpp.o.d"
+  "CMakeFiles/test_data.dir/data/dataset_test.cpp.o"
+  "CMakeFiles/test_data.dir/data/dataset_test.cpp.o.d"
+  "CMakeFiles/test_data.dir/data/glyph_test.cpp.o"
+  "CMakeFiles/test_data.dir/data/glyph_test.cpp.o.d"
+  "CMakeFiles/test_data.dir/data/pgm_test.cpp.o"
+  "CMakeFiles/test_data.dir/data/pgm_test.cpp.o.d"
+  "CMakeFiles/test_data.dir/data/synthetic_test.cpp.o"
+  "CMakeFiles/test_data.dir/data/synthetic_test.cpp.o.d"
+  "test_data"
+  "test_data.pdb"
+  "test_data[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/metrics/chart_test.cpp" "tests/CMakeFiles/test_metrics.dir/metrics/chart_test.cpp.o" "gcc" "tests/CMakeFiles/test_metrics.dir/metrics/chart_test.cpp.o.d"
+  "/root/repo/tests/metrics/confusion_test.cpp" "tests/CMakeFiles/test_metrics.dir/metrics/confusion_test.cpp.o" "gcc" "tests/CMakeFiles/test_metrics.dir/metrics/confusion_test.cpp.o.d"
+  "/root/repo/tests/metrics/evaluator_test.cpp" "tests/CMakeFiles/test_metrics.dir/metrics/evaluator_test.cpp.o" "gcc" "tests/CMakeFiles/test_metrics.dir/metrics/evaluator_test.cpp.o.d"
+  "/root/repo/tests/metrics/experiment_test.cpp" "tests/CMakeFiles/test_metrics.dir/metrics/experiment_test.cpp.o" "gcc" "tests/CMakeFiles/test_metrics.dir/metrics/experiment_test.cpp.o.d"
+  "/root/repo/tests/metrics/model_cache_test.cpp" "tests/CMakeFiles/test_metrics.dir/metrics/model_cache_test.cpp.o" "gcc" "tests/CMakeFiles/test_metrics.dir/metrics/model_cache_test.cpp.o.d"
+  "/root/repo/tests/metrics/report_test.cpp" "tests/CMakeFiles/test_metrics.dir/metrics/report_test.cpp.o" "gcc" "tests/CMakeFiles/test_metrics.dir/metrics/report_test.cpp.o.d"
+  "/root/repo/tests/metrics/robustness_report_test.cpp" "tests/CMakeFiles/test_metrics.dir/metrics/robustness_report_test.cpp.o" "gcc" "tests/CMakeFiles/test_metrics.dir/metrics/robustness_report_test.cpp.o.d"
+  "/root/repo/tests/metrics/transfer_test.cpp" "tests/CMakeFiles/test_metrics.dir/metrics/transfer_test.cpp.o" "gcc" "tests/CMakeFiles/test_metrics.dir/metrics/transfer_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/satd.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_metrics.dir/metrics/chart_test.cpp.o"
+  "CMakeFiles/test_metrics.dir/metrics/chart_test.cpp.o.d"
+  "CMakeFiles/test_metrics.dir/metrics/confusion_test.cpp.o"
+  "CMakeFiles/test_metrics.dir/metrics/confusion_test.cpp.o.d"
+  "CMakeFiles/test_metrics.dir/metrics/evaluator_test.cpp.o"
+  "CMakeFiles/test_metrics.dir/metrics/evaluator_test.cpp.o.d"
+  "CMakeFiles/test_metrics.dir/metrics/experiment_test.cpp.o"
+  "CMakeFiles/test_metrics.dir/metrics/experiment_test.cpp.o.d"
+  "CMakeFiles/test_metrics.dir/metrics/model_cache_test.cpp.o"
+  "CMakeFiles/test_metrics.dir/metrics/model_cache_test.cpp.o.d"
+  "CMakeFiles/test_metrics.dir/metrics/report_test.cpp.o"
+  "CMakeFiles/test_metrics.dir/metrics/report_test.cpp.o.d"
+  "CMakeFiles/test_metrics.dir/metrics/robustness_report_test.cpp.o"
+  "CMakeFiles/test_metrics.dir/metrics/robustness_report_test.cpp.o.d"
+  "CMakeFiles/test_metrics.dir/metrics/transfer_test.cpp.o"
+  "CMakeFiles/test_metrics.dir/metrics/transfer_test.cpp.o.d"
+  "test_metrics"
+  "test_metrics.pdb"
+  "test_metrics[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

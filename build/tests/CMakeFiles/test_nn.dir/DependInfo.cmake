@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/nn/batchnorm_test.cpp" "tests/CMakeFiles/test_nn.dir/nn/batchnorm_test.cpp.o" "gcc" "tests/CMakeFiles/test_nn.dir/nn/batchnorm_test.cpp.o.d"
+  "/root/repo/tests/nn/gradcheck_test.cpp" "tests/CMakeFiles/test_nn.dir/nn/gradcheck_test.cpp.o" "gcc" "tests/CMakeFiles/test_nn.dir/nn/gradcheck_test.cpp.o.d"
+  "/root/repo/tests/nn/layers_test.cpp" "tests/CMakeFiles/test_nn.dir/nn/layers_test.cpp.o" "gcc" "tests/CMakeFiles/test_nn.dir/nn/layers_test.cpp.o.d"
+  "/root/repo/tests/nn/loss_test.cpp" "tests/CMakeFiles/test_nn.dir/nn/loss_test.cpp.o" "gcc" "tests/CMakeFiles/test_nn.dir/nn/loss_test.cpp.o.d"
+  "/root/repo/tests/nn/model_io_test.cpp" "tests/CMakeFiles/test_nn.dir/nn/model_io_test.cpp.o" "gcc" "tests/CMakeFiles/test_nn.dir/nn/model_io_test.cpp.o.d"
+  "/root/repo/tests/nn/optimizer_test.cpp" "tests/CMakeFiles/test_nn.dir/nn/optimizer_test.cpp.o" "gcc" "tests/CMakeFiles/test_nn.dir/nn/optimizer_test.cpp.o.d"
+  "/root/repo/tests/nn/schedule_test.cpp" "tests/CMakeFiles/test_nn.dir/nn/schedule_test.cpp.o" "gcc" "tests/CMakeFiles/test_nn.dir/nn/schedule_test.cpp.o.d"
+  "/root/repo/tests/nn/sequential_test.cpp" "tests/CMakeFiles/test_nn.dir/nn/sequential_test.cpp.o" "gcc" "tests/CMakeFiles/test_nn.dir/nn/sequential_test.cpp.o.d"
+  "/root/repo/tests/nn/zoo_test.cpp" "tests/CMakeFiles/test_nn.dir/nn/zoo_test.cpp.o" "gcc" "tests/CMakeFiles/test_nn.dir/nn/zoo_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/satd.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

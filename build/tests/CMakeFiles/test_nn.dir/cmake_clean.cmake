@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_nn.dir/nn/batchnorm_test.cpp.o"
+  "CMakeFiles/test_nn.dir/nn/batchnorm_test.cpp.o.d"
+  "CMakeFiles/test_nn.dir/nn/gradcheck_test.cpp.o"
+  "CMakeFiles/test_nn.dir/nn/gradcheck_test.cpp.o.d"
+  "CMakeFiles/test_nn.dir/nn/layers_test.cpp.o"
+  "CMakeFiles/test_nn.dir/nn/layers_test.cpp.o.d"
+  "CMakeFiles/test_nn.dir/nn/loss_test.cpp.o"
+  "CMakeFiles/test_nn.dir/nn/loss_test.cpp.o.d"
+  "CMakeFiles/test_nn.dir/nn/model_io_test.cpp.o"
+  "CMakeFiles/test_nn.dir/nn/model_io_test.cpp.o.d"
+  "CMakeFiles/test_nn.dir/nn/optimizer_test.cpp.o"
+  "CMakeFiles/test_nn.dir/nn/optimizer_test.cpp.o.d"
+  "CMakeFiles/test_nn.dir/nn/schedule_test.cpp.o"
+  "CMakeFiles/test_nn.dir/nn/schedule_test.cpp.o.d"
+  "CMakeFiles/test_nn.dir/nn/sequential_test.cpp.o"
+  "CMakeFiles/test_nn.dir/nn/sequential_test.cpp.o.d"
+  "CMakeFiles/test_nn.dir/nn/zoo_test.cpp.o"
+  "CMakeFiles/test_nn.dir/nn/zoo_test.cpp.o.d"
+  "test_nn"
+  "test_nn.pdb"
+  "test_nn[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

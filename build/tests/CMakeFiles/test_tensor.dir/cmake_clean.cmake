@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tensor.dir/tensor/im2col_test.cpp.o"
+  "CMakeFiles/test_tensor.dir/tensor/im2col_test.cpp.o.d"
+  "CMakeFiles/test_tensor.dir/tensor/ops_test.cpp.o"
+  "CMakeFiles/test_tensor.dir/tensor/ops_test.cpp.o.d"
+  "CMakeFiles/test_tensor.dir/tensor/serialize_test.cpp.o"
+  "CMakeFiles/test_tensor.dir/tensor/serialize_test.cpp.o.d"
+  "CMakeFiles/test_tensor.dir/tensor/stats_test.cpp.o"
+  "CMakeFiles/test_tensor.dir/tensor/stats_test.cpp.o.d"
+  "CMakeFiles/test_tensor.dir/tensor/tensor_test.cpp.o"
+  "CMakeFiles/test_tensor.dir/tensor/tensor_test.cpp.o.d"
+  "test_tensor"
+  "test_tensor.pdb"
+  "test_tensor[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
