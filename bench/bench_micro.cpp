@@ -131,6 +131,98 @@ void BM_BimBatch(benchmark::State& state) {
 }
 BENCHMARK(BM_BimBatch)->Arg(10)->Arg(30);
 
+// ---- buffer-reuse benchmarks ----
+//
+// The `_into` execution path keeps every layer cache, tape slot and
+// attack scratch tensor alive between calls, so the steady state runs
+// with zero heap allocation. The "ColdBuffers" variants call
+// release_buffers() (and rebuild the attack object) inside the timed
+// loop, forcing every buffer to be reallocated each iteration — an
+// honest proxy for the old allocate-per-call behavior. The ratio of the
+// two is the figure quoted in README.md.
+
+void BM_TrainStepSteady(benchmark::State& state) {
+  Rng rng(13);
+  nn::Sequential model = nn::zoo::build("cnn_small", rng);
+  const Tensor x = random_tensor(Shape{32, 1, 28, 28}, 14);
+  std::vector<std::size_t> labels(32);
+  for (std::size_t i = 0; i < 32; ++i) labels[i] = i % 10;
+  Tensor logits, gx;
+  nn::LossResult loss;
+  for (auto _ : state) {
+    model.forward_into(x, logits, true);
+    nn::softmax_cross_entropy_into(logits, labels, loss);
+    model.backward_into(loss.grad_logits, gx);
+    model.zero_grad();
+    benchmark::DoNotOptimize(gx.raw());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 32);
+}
+BENCHMARK(BM_TrainStepSteady);
+
+void BM_TrainStepColdBuffers(benchmark::State& state) {
+  Rng rng(13);
+  nn::Sequential model = nn::zoo::build("cnn_small", rng);
+  const Tensor x = random_tensor(Shape{32, 1, 28, 28}, 14);
+  std::vector<std::size_t> labels(32);
+  for (std::size_t i = 0; i < 32; ++i) labels[i] = i % 10;
+  for (auto _ : state) {
+    model.release_buffers();
+    Tensor logits, gx;
+    nn::LossResult loss;
+    model.forward_into(x, logits, true);
+    nn::softmax_cross_entropy_into(logits, labels, loss);
+    model.backward_into(loss.grad_logits, gx);
+    model.zero_grad();
+    benchmark::DoNotOptimize(gx.raw());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 32);
+}
+BENCHMARK(BM_TrainStepColdBuffers);
+
+void BM_BimBatchSteady(benchmark::State& state) {
+  const auto iters = static_cast<std::size_t>(state.range(0));
+  Rng rng(10);
+  nn::Sequential model = nn::zoo::build("cnn_small", rng);
+  const Tensor batch = random_tensor(Shape{32, 1, 28, 28}, 15);
+  std::vector<std::size_t> labels(32);
+  for (std::size_t i = 0; i < 32; ++i) labels[i] = i % 10;
+  attack::Bim bim(0.3f, iters);
+  Tensor adv;
+  for (auto _ : state) {
+    bim.perturb_into(model, batch, labels, adv);
+    benchmark::DoNotOptimize(adv.raw());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 32);
+}
+BENCHMARK(BM_BimBatchSteady)->Arg(10);
+
+void BM_BimBatchColdBuffers(benchmark::State& state) {
+  const auto iters = static_cast<std::size_t>(state.range(0));
+  Rng rng(10);
+  nn::Sequential model = nn::zoo::build("cnn_small", rng);
+  const Tensor batch = random_tensor(Shape{32, 1, 28, 28}, 15);
+  std::vector<std::size_t> labels(32);
+  for (std::size_t i = 0; i < 32; ++i) labels[i] = i % 10;
+  const float eps = 0.3f;
+  const float eps_step = eps / static_cast<float>(iters);
+  for (auto _ : state) {
+    // The allocate-per-call baseline reallocated every intermediate on
+    // every forward/backward, so the proxy drops the buffers before each
+    // BIM step, not once per attack.
+    Tensor adv = batch;
+    for (std::size_t i = 0; i < iters; ++i) {
+      model.release_buffers();
+      attack::GradientScratch scratch;
+      attack::Fgsm::step_into(model, adv, batch, labels, eps_step, eps, adv,
+                              scratch);
+    }
+    benchmark::DoNotOptimize(adv.raw());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 32);
+}
+BENCHMARK(BM_BimBatchColdBuffers)->Arg(10);
+
 void BM_RenderDigit(benchmark::State& state) {
   Rng rng(11);
   for (auto _ : state) {

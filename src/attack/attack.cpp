@@ -1,19 +1,27 @@
 #include "attack/attack.h"
 
+#include <utility>
+
 #include "common/contract.h"
-#include "nn/loss.h"
 
 namespace satd::attack {
 
 Tensor input_gradient(nn::Sequential& model, const Tensor& x,
                       std::span<const std::size_t> labels) {
+  GradientScratch scratch;
+  input_gradient_into(model, x, labels, scratch);
+  return std::move(scratch.grad);
+}
+
+void input_gradient_into(nn::Sequential& model, const Tensor& x,
+                         std::span<const std::size_t> labels,
+                         GradientScratch& scratch) {
   SATD_EXPECT(x.shape().rank() >= 2, "input batch must have a batch dim");
   SATD_EXPECT(x.shape()[0] == labels.size(), "batch/label size mismatch");
-  const Tensor logits = model.forward(x, /*training=*/false);
-  const nn::LossResult loss = nn::softmax_cross_entropy(logits, labels);
-  Tensor gx = model.backward(loss.grad_logits);
+  model.forward_into(x, scratch.logits, /*training=*/false);
+  nn::softmax_cross_entropy_into(scratch.logits, labels, scratch.loss);
+  model.backward_into(scratch.loss.grad_logits, scratch.grad);
   model.zero_grad();  // discard parameter gradients accumulated en route
-  return gx;
 }
 
 }  // namespace satd::attack

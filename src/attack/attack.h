@@ -4,6 +4,13 @@
 // the paper (Section II): they perturb inputs within an eps-ball (and the
 // valid pixel range [0, 1]) in directions given by the sign of the loss
 // gradient with respect to the input.
+//
+// Execution model: the primitive is the out-parameter perturb_into, and
+// every attack instance owns a GradientScratch whose buffers (logits,
+// loss gradient, input gradient) are reused across calls AND across the
+// iterations of iterative attacks, so a steady-state BIM/PGD loop
+// performs no heap allocation. The value-returning perturb is a thin
+// wrapper for convenience call sites.
 #pragma once
 
 #include <memory>
@@ -11,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "nn/loss.h"
 #include "nn/sequential.h"
 
 namespace satd::attack {
@@ -19,6 +27,16 @@ namespace satd::attack {
 inline constexpr float kPixelMin = 0.0f;
 inline constexpr float kPixelMax = 1.0f;
 
+/// Reusable buffers for one input-gradient evaluation: the forward
+/// logits, the loss result (value + dLoss/dLogits) and the input
+/// gradient. Attacks keep one of these per instance so the per-iteration
+/// tensors of BIM/PGD/MI-FGSM are allocated once and reused.
+struct GradientScratch {
+  Tensor logits;
+  nn::LossResult loss;
+  Tensor grad;  ///< dLoss/dInput, shape of the input batch
+};
+
 /// Computes dLoss/dInput for a batch under softmax cross-entropy.
 /// Leaves the model's parameter gradients zeroed (the backward pass
 /// necessarily accumulates them; this helper cleans up so attacks are
@@ -26,16 +44,32 @@ inline constexpr float kPixelMax = 1.0f;
 Tensor input_gradient(nn::Sequential& model, const Tensor& x,
                       std::span<const std::size_t> labels);
 
+/// Buffer-reuse form: runs forward/loss/backward entirely through the
+/// `scratch` buffers; the result lands in scratch.grad.
+void input_gradient_into(nn::Sequential& model, const Tensor& x,
+                         std::span<const std::size_t> labels,
+                         GradientScratch& scratch);
+
 /// Abstract untargeted attack.
 class Attack {
  public:
   virtual ~Attack() = default;
 
-  /// Returns adversarial versions of `x` (same shape). Must keep every
+  /// Writes adversarial versions of `x` (same shape) into `adv`, which
+  /// is resized on shape change and reused otherwise. Must keep every
   /// output pixel within [kPixelMin, kPixelMax] and within the attack's
-  /// eps-ball around `x`.
-  virtual Tensor perturb(nn::Sequential& model, const Tensor& x,
-                         std::span<const std::size_t> labels) = 0;
+  /// eps-ball around `x`. `adv` must not alias `x`.
+  virtual void perturb_into(nn::Sequential& model, const Tensor& x,
+                            std::span<const std::size_t> labels,
+                            Tensor& adv) = 0;
+
+  /// Value-returning convenience wrapper over perturb_into.
+  Tensor perturb(nn::Sequential& model, const Tensor& x,
+                 std::span<const std::size_t> labels) {
+    Tensor adv;
+    perturb_into(model, x, labels, adv);
+    return adv;
+  }
 
   /// Total l-infinity budget.
   virtual float epsilon() const = 0;

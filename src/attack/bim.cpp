@@ -2,6 +2,7 @@
 
 #include "attack/fgsm.h"
 #include "common/contract.h"
+#include "tensor/ops.h"
 
 namespace satd::attack {
 
@@ -16,13 +17,12 @@ Bim::Bim(float eps, std::size_t iterations, float eps_step)
   SATD_EXPECT(eps_step >= 0.0f, "eps_step must be non-negative");
 }
 
-Tensor Bim::perturb(nn::Sequential& model, const Tensor& x,
-                    std::span<const std::size_t> labels) {
-  Tensor adv = x;
+void Bim::perturb_into(nn::Sequential& model, const Tensor& x,
+                       std::span<const std::size_t> labels, Tensor& adv) {
+  ops::copy(x, adv);
   for (std::size_t i = 0; i < iterations_; ++i) {
-    adv = Fgsm::step(model, adv, x, labels, eps_step_, eps_);
+    Fgsm::step_into(model, adv, x, labels, eps_step_, eps_, adv, scratch_);
   }
-  return adv;
 }
 
 std::vector<Tensor> Bim::perturb_with_trace(
@@ -32,7 +32,7 @@ std::vector<Tensor> Bim::perturb_with_trace(
   trace.reserve(iterations_);
   Tensor adv = x;
   for (std::size_t i = 0; i < iterations_; ++i) {
-    adv = Fgsm::step(model, adv, x, labels, eps_step_, eps_);
+    Fgsm::step_into(model, adv, x, labels, eps_step_, eps_, adv, scratch_);
     trace.push_back(adv);
   }
   return trace;

@@ -22,8 +22,11 @@ class Bim : public Attack {
   /// Fully general variant with an explicit per-step size.
   Bim(float eps, std::size_t iterations, float eps_step);
 
-  Tensor perturb(nn::Sequential& model, const Tensor& x,
-                 std::span<const std::size_t> labels) override;
+  /// Iterates in place: one perturbation buffer and one gradient scratch
+  /// are reused across all N steps (and across calls).
+  void perturb_into(nn::Sequential& model, const Tensor& x,
+                    std::span<const std::size_t> labels,
+                    Tensor& adv) override;
 
   /// Like perturb, but also returns every intermediate iterate
   /// x_1 .. x_N (the quantity Figure 2 evaluates). trace[i] is the batch
@@ -41,6 +44,7 @@ class Bim : public Attack {
   float eps_;
   std::size_t iterations_;
   float eps_step_;
+  GradientScratch scratch_;
 };
 
 }  // namespace satd::attack

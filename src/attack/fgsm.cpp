@@ -13,24 +13,33 @@ Tensor Fgsm::step(nn::Sequential& model, const Tensor& x_start,
                   const Tensor& x_origin,
                   std::span<const std::size_t> labels, float step_size,
                   float eps) {
+  Tensor adv;
+  GradientScratch scratch;
+  step_into(model, x_start, x_origin, labels, step_size, eps, adv, scratch);
+  return adv;
+}
+
+void Fgsm::step_into(nn::Sequential& model, const Tensor& x_start,
+                     const Tensor& x_origin,
+                     std::span<const std::size_t> labels, float step_size,
+                     float eps, Tensor& adv, GradientScratch& scratch) {
   SATD_EXPECT(x_start.shape() == x_origin.shape(),
               "start/origin shape mismatch");
   SATD_EXPECT(step_size >= 0.0f && eps >= 0.0f, "negative step or eps");
-  const Tensor g = input_gradient(model, x_start, labels);
-  Tensor adv = x_start;
-  const float* pg = g.raw();
+  input_gradient_into(model, x_start, labels, scratch);
+  ops::copy(x_start, adv);  // no-op when adv aliases x_start
+  const float* pg = scratch.grad.raw();
   float* pa = adv.raw();
   for (std::size_t i = 0, n = adv.numel(); i < n; ++i) {
     const float s = (pg[i] > 0.0f) ? 1.0f : (pg[i] < 0.0f ? -1.0f : 0.0f);
     pa[i] += step_size * s;
   }
   ops::project_linf(x_origin, eps, kPixelMin, kPixelMax, adv);
-  return adv;
 }
 
-Tensor Fgsm::perturb(nn::Sequential& model, const Tensor& x,
-                     std::span<const std::size_t> labels) {
-  return step(model, x, x, labels, eps_, eps_);
+void Fgsm::perturb_into(nn::Sequential& model, const Tensor& x,
+                        std::span<const std::size_t> labels, Tensor& adv) {
+  step_into(model, x, x, labels, eps_, eps_, adv, scratch_);
 }
 
 std::string Fgsm::name() const {

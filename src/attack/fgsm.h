@@ -10,8 +10,9 @@ class Fgsm : public Attack {
  public:
   explicit Fgsm(float eps);
 
-  Tensor perturb(nn::Sequential& model, const Tensor& x,
-                 std::span<const std::size_t> labels) override;
+  void perturb_into(nn::Sequential& model, const Tensor& x,
+                    std::span<const std::size_t> labels,
+                    Tensor& adv) override;
 
   float epsilon() const override { return eps_; }
   std::string name() const override;
@@ -24,8 +25,18 @@ class Fgsm : public Attack {
                      std::span<const std::size_t> labels, float step_size,
                      float eps);
 
+  /// Buffer-reuse form of step: the gradient evaluation runs through
+  /// `scratch` and the result lands in `adv`. `adv` MAY alias `x_start`
+  /// (the in-place update iterative attacks use); it must not alias
+  /// `x_origin`.
+  static void step_into(nn::Sequential& model, const Tensor& x_start,
+                        const Tensor& x_origin,
+                        std::span<const std::size_t> labels, float step_size,
+                        float eps, Tensor& adv, GradientScratch& scratch);
+
  private:
   float eps_;
+  GradientScratch scratch_;
 };
 
 }  // namespace satd::attack

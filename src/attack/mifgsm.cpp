@@ -19,17 +19,19 @@ MiFgsm::MiFgsm(float eps, std::size_t iterations, float eps_step,
   SATD_EXPECT(momentum >= 0.0f, "momentum must be non-negative");
 }
 
-Tensor MiFgsm::perturb(nn::Sequential& model, const Tensor& x,
-                       std::span<const std::size_t> labels) {
-  Tensor adv = x;
-  Tensor velocity(x.shape());
+void MiFgsm::perturb_into(nn::Sequential& model, const Tensor& x,
+                          std::span<const std::size_t> labels, Tensor& adv) {
+  ops::copy(x, adv);
+  velocity_.ensure_shape(x.shape());
+  velocity_.fill(0.0f);
   for (std::size_t t = 0; t < iterations_; ++t) {
-    const Tensor g = input_gradient(model, adv, labels);
+    input_gradient_into(model, adv, labels, scratch_);
+    const Tensor& g = scratch_.grad;
     // Normalize per batch by the mean absolute gradient so the momentum
     // accumulation is scale free (the l1 normalization of the paper).
     const float norm = ops::l1_norm(g) / static_cast<float>(g.numel());
     const float inv = norm > 0.0f ? 1.0f / norm : 0.0f;
-    float* pv = velocity.raw();
+    float* pv = velocity_.raw();
     const float* pg = g.raw();
     float* pa = adv.raw();
     for (std::size_t i = 0, n = adv.numel(); i < n; ++i) {
@@ -39,7 +41,6 @@ Tensor MiFgsm::perturb(nn::Sequential& model, const Tensor& x,
     }
     ops::project_linf(x, eps_, kPixelMin, kPixelMax, adv);
   }
-  return adv;
 }
 
 std::string MiFgsm::name() const {

@@ -15,8 +15,9 @@ class MiFgsm : public Attack {
   MiFgsm(float eps, std::size_t iterations, float eps_step,
          float momentum = 1.0f);
 
-  Tensor perturb(nn::Sequential& model, const Tensor& x,
-                 std::span<const std::size_t> labels) override;
+  void perturb_into(nn::Sequential& model, const Tensor& x,
+                    std::span<const std::size_t> labels,
+                    Tensor& adv) override;
 
   float epsilon() const override { return eps_; }
   std::size_t iterations() const { return iterations_; }
@@ -27,6 +28,8 @@ class MiFgsm : public Attack {
   std::size_t iterations_;
   float eps_step_;
   float momentum_;
+  GradientScratch scratch_;
+  Tensor velocity_;  // reused momentum accumulator
 };
 
 }  // namespace satd::attack

@@ -10,10 +10,11 @@ RandomNoise::RandomNoise(float eps, Rng& rng, bool corners)
   SATD_EXPECT(eps >= 0.0f, "eps must be non-negative");
 }
 
-Tensor RandomNoise::perturb(nn::Sequential& /*model*/, const Tensor& x,
-                            std::span<const std::size_t> labels) {
+void RandomNoise::perturb_into(nn::Sequential& /*model*/, const Tensor& x,
+                               std::span<const std::size_t> labels,
+                               Tensor& adv) {
   SATD_EXPECT(x.shape()[0] == labels.size(), "batch/label size mismatch");
-  Tensor adv = x;
+  ops::copy(x, adv);
   float* pa = adv.raw();
   for (std::size_t i = 0, n = adv.numel(); i < n; ++i) {
     const float d = corners_
@@ -22,7 +23,6 @@ Tensor RandomNoise::perturb(nn::Sequential& /*model*/, const Tensor& x,
     pa[i] += d;
   }
   ops::project_linf(x, eps_, kPixelMin, kPixelMax, adv);
-  return adv;
 }
 
 std::string RandomNoise::name() const {

@@ -21,8 +21,9 @@ class RandomNoise : public Attack {
   /// FGSM's outputs live in), otherwise uniform in [-eps, +eps].
   RandomNoise(float eps, Rng& rng, bool corners = false);
 
-  Tensor perturb(nn::Sequential& model, const Tensor& x,
-                 std::span<const std::size_t> labels) override;
+  void perturb_into(nn::Sequential& model, const Tensor& x,
+                    std::span<const std::size_t> labels,
+                    Tensor& adv) override;
 
   float epsilon() const override { return eps_; }
   std::string name() const override;

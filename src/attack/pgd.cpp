@@ -16,18 +16,17 @@ Pgd::Pgd(float eps, std::size_t iterations, float eps_step, Rng& rng)
   SATD_EXPECT(eps_step >= 0.0f, "eps_step must be non-negative");
 }
 
-Tensor Pgd::perturb(nn::Sequential& model, const Tensor& x,
-                    std::span<const std::size_t> labels) {
-  Tensor adv = x;
+void Pgd::perturb_into(nn::Sequential& model, const Tensor& x,
+                       std::span<const std::size_t> labels, Tensor& adv) {
+  ops::copy(x, adv);
   float* pa = adv.raw();
   for (std::size_t i = 0, n = adv.numel(); i < n; ++i) {
     pa[i] += static_cast<float>(rng_.uniform(-eps_, eps_));
   }
   ops::project_linf(x, eps_, kPixelMin, kPixelMax, adv);
   for (std::size_t i = 0; i < iterations_; ++i) {
-    adv = Fgsm::step(model, adv, x, labels, eps_step_, eps_);
+    Fgsm::step_into(model, adv, x, labels, eps_step_, eps_, adv, scratch_);
   }
-  return adv;
 }
 
 std::string Pgd::name() const {

@@ -17,8 +17,11 @@ class Pgd : public Attack {
  public:
   Pgd(float eps, std::size_t iterations, float eps_step, Rng& rng);
 
-  Tensor perturb(nn::Sequential& model, const Tensor& x,
-                 std::span<const std::size_t> labels) override;
+  /// Iterates in place: one perturbation buffer and one gradient scratch
+  /// are reused across all steps (and across calls).
+  void perturb_into(nn::Sequential& model, const Tensor& x,
+                    std::span<const std::size_t> labels,
+                    Tensor& adv) override;
 
   float epsilon() const override { return eps_; }
   std::size_t iterations() const { return iterations_; }
@@ -30,6 +33,7 @@ class Pgd : public Attack {
   std::size_t iterations_;
   float eps_step_;
   Rng rng_;
+  GradientScratch scratch_;
 };
 
 }  // namespace satd::attack

@@ -50,20 +50,31 @@ Tensor targeted_step(nn::Sequential& model, const Tensor& x_start,
                      const Tensor& x_origin,
                      std::span<const std::size_t> targets, float step_size,
                      float eps) {
+  Tensor adv;
+  GradientScratch scratch;
+  targeted_step_into(model, x_start, x_origin, targets, step_size, eps, adv,
+                     scratch);
+  return adv;
+}
+
+void targeted_step_into(nn::Sequential& model, const Tensor& x_start,
+                        const Tensor& x_origin,
+                        std::span<const std::size_t> targets,
+                        float step_size, float eps, Tensor& adv,
+                        GradientScratch& scratch) {
   SATD_EXPECT(x_start.shape() == x_origin.shape(),
               "start/origin shape mismatch");
   SATD_EXPECT(step_size >= 0.0f && eps >= 0.0f, "negative step or eps");
   // Descend the loss towards the target class: the negated FGSM step.
-  const Tensor g = input_gradient(model, x_start, targets);
-  Tensor adv = x_start;
-  const float* pg = g.raw();
+  input_gradient_into(model, x_start, targets, scratch);
+  ops::copy(x_start, adv);  // no-op when adv aliases x_start
+  const float* pg = scratch.grad.raw();
   float* pa = adv.raw();
   for (std::size_t i = 0, n = adv.numel(); i < n; ++i) {
     const float s = (pg[i] > 0.0f) ? 1.0f : (pg[i] < 0.0f ? -1.0f : 0.0f);
     pa[i] -= step_size * s;
   }
   ops::project_linf(x_origin, eps, kPixelMin, kPixelMax, adv);
-  return adv;
 }
 
 TargetedFgsm::TargetedFgsm(float eps, std::size_t num_classes,
@@ -73,11 +84,12 @@ TargetedFgsm::TargetedFgsm(float eps, std::size_t num_classes,
   SATD_EXPECT(num_classes >= 2, "targeted attacks need >= 2 classes");
 }
 
-Tensor TargetedFgsm::perturb(nn::Sequential& model, const Tensor& x,
-                             std::span<const std::size_t> labels) {
+void TargetedFgsm::perturb_into(nn::Sequential& model, const Tensor& x,
+                                std::span<const std::size_t> labels,
+                                Tensor& adv) {
   const auto targets =
       resolve_targets(model, x, labels, num_classes_, policy_);
-  return targeted_step(model, x, x, targets, eps_, eps_);
+  targeted_step_into(model, x, x, targets, eps_, eps_, adv, scratch_);
 }
 
 std::string TargetedFgsm::name() const {
@@ -100,17 +112,18 @@ TargetedBim::TargetedBim(float eps, std::size_t iterations, float eps_step,
   SATD_EXPECT(num_classes >= 2, "targeted attacks need >= 2 classes");
 }
 
-Tensor TargetedBim::perturb(nn::Sequential& model, const Tensor& x,
-                            std::span<const std::size_t> labels) {
+void TargetedBim::perturb_into(nn::Sequential& model, const Tensor& x,
+                               std::span<const std::size_t> labels,
+                               Tensor& adv) {
   // Targets are fixed from the CLEAN input's prediction so the attack
   // does not chase a moving goal while it perturbs.
   const auto targets =
       resolve_targets(model, x, labels, num_classes_, policy_);
-  Tensor adv = x;
+  ops::copy(x, adv);
   for (std::size_t i = 0; i < iterations_; ++i) {
-    adv = targeted_step(model, adv, x, targets, eps_step_, eps_);
+    targeted_step_into(model, adv, x, targets, eps_step_, eps_, adv,
+                       scratch_);
   }
-  return adv;
 }
 
 std::string TargetedBim::name() const {

@@ -39,14 +39,23 @@ Tensor targeted_step(nn::Sequential& model, const Tensor& x_start,
                      std::span<const std::size_t> targets, float step_size,
                      float eps);
 
+/// Buffer-reuse form of targeted_step. `adv` may alias `x_start` (the
+/// in-place update TargetedBim uses); it must not alias `x_origin`.
+void targeted_step_into(nn::Sequential& model, const Tensor& x_start,
+                        const Tensor& x_origin,
+                        std::span<const std::size_t> targets,
+                        float step_size, float eps, Tensor& adv,
+                        GradientScratch& scratch);
+
 /// Single-step targeted FGSM.
 class TargetedFgsm : public Attack {
  public:
   TargetedFgsm(float eps, std::size_t num_classes,
                TargetPolicy policy = TargetPolicy::kLeastLikely);
 
-  Tensor perturb(nn::Sequential& model, const Tensor& x,
-                 std::span<const std::size_t> labels) override;
+  void perturb_into(nn::Sequential& model, const Tensor& x,
+                    std::span<const std::size_t> labels,
+                    Tensor& adv) override;
 
   float epsilon() const override { return eps_; }
   std::string name() const override;
@@ -55,6 +64,7 @@ class TargetedFgsm : public Attack {
   float eps_;
   std::size_t num_classes_;
   TargetPolicy policy_;
+  GradientScratch scratch_;
 };
 
 /// Iterative targeted attack (targets fixed from the initial prediction,
@@ -65,8 +75,9 @@ class TargetedBim : public Attack {
               std::size_t num_classes,
               TargetPolicy policy = TargetPolicy::kLeastLikely);
 
-  Tensor perturb(nn::Sequential& model, const Tensor& x,
-                 std::span<const std::size_t> labels) override;
+  void perturb_into(nn::Sequential& model, const Tensor& x,
+                    std::span<const std::size_t> labels,
+                    Tensor& adv) override;
 
   float epsilon() const override { return eps_; }
   std::size_t iterations() const { return iterations_; }
@@ -78,6 +89,7 @@ class TargetedBim : public Attack {
   float eps_step_;
   std::size_t num_classes_;
   TargetPolicy policy_;
+  GradientScratch scratch_;
 };
 
 /// Fraction of examples the attack successfully steered to its target.

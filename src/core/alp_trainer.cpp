@@ -32,41 +32,41 @@ LogitPairResult logit_pairing(const Tensor& logits_clean,
 }
 
 AlpTrainer::AlpTrainer(nn::Sequential& model, TrainConfig config)
-    : Trainer(model, config) {
+    : Trainer(model, config), attack_(config.eps) {
   SATD_EXPECT(config.alp_weight >= 0.0f, "alp_weight must be non-negative");
 }
 
-Tensor AlpTrainer::make_adversarial_batch(const data::Batch& batch) {
-  return attack::Fgsm(config_.eps).perturb(model_, batch.images, batch.labels);
+void AlpTrainer::make_adversarial_batch(const data::Batch& batch,
+                                        Tensor& adv) {
+  attack_.perturb_into(model_, batch.images, batch.labels, adv);
 }
 
 float AlpTrainer::train_batch(const data::Batch& batch) {
-  const Tensor adv = make_adversarial_batch(batch);
+  make_adversarial_batch(batch, adv_scratch_);
 
   // Same two-forward structure as ATDA (see atda_trainer.cpp): the layer
   // caches end up matching the adversarial batch, whose backward runs
   // first; the clean forward is repeated before the clean backward.
-  const Tensor logits_clean = model_.forward(batch.images, /*training=*/true);
-  const Tensor logits_adv = model_.forward(adv, /*training=*/true);
+  model_.forward_into(batch.images, logits_clean_, /*training=*/true);
+  model_.forward_into(adv_scratch_, logits_adv_, /*training=*/true);
 
-  const LogitPairResult pair = logit_pairing(logits_clean, logits_adv);
-  nn::LossResult ce_adv = nn::softmax_cross_entropy(logits_adv, batch.labels);
-  nn::LossResult ce_clean =
-      nn::softmax_cross_entropy(logits_clean, batch.labels);
+  const LogitPairResult pair = logit_pairing(logits_clean_, logits_adv_);
+  nn::softmax_cross_entropy_into(logits_adv_, batch.labels, ce_adv_);
+  nn::softmax_cross_entropy_into(logits_clean_, batch.labels, ce_clean_);
 
   const float mix = config_.adv_mix;
   const float lambda = config_.alp_weight;
   model_.zero_grad();
-  Tensor grad_adv = ops::scale(ce_adv.grad_logits, mix);
-  ops::axpy(lambda, pair.grad_adv, grad_adv);
-  model_.backward(grad_adv);
-  model_.forward(batch.images, /*training=*/true);
-  Tensor grad_clean = ops::scale(ce_clean.grad_logits, 1.0f - mix);
-  ops::axpy(lambda, pair.grad_clean, grad_clean);
-  model_.backward(grad_clean);
+  ops::scale(ce_adv_.grad_logits, mix, grad_side_);
+  ops::axpy(lambda, pair.grad_adv, grad_side_);
+  model_.backward_into(grad_side_, grad_in_scratch_);
+  model_.forward_into(batch.images, logits_clean_, /*training=*/true);
+  ops::scale(ce_clean_.grad_logits, 1.0f - mix, grad_side_);
+  ops::axpy(lambda, pair.grad_clean, grad_side_);
+  model_.backward_into(grad_side_, grad_in_scratch_);
   apply_step();
 
-  return (1.0f - mix) * ce_clean.value + mix * ce_adv.value +
+  return (1.0f - mix) * ce_clean_.value + mix * ce_adv_.value +
          lambda * pair.value;
 }
 

@@ -16,6 +16,7 @@
 // the attack budget spent in training.
 #pragma once
 
+#include "attack/fgsm.h"
 #include "core/trainer.h"
 
 namespace satd::core {
@@ -28,8 +29,17 @@ class AlpTrainer : public Trainer {
   std::string name() const override { return "ALP"; }
 
  protected:
-  Tensor make_adversarial_batch(const data::Batch& batch) override;
+  void make_adversarial_batch(const data::Batch& batch,
+                              Tensor& adv) override;
   float train_batch(const data::Batch& batch) override;
+
+ private:
+  attack::Fgsm attack_;  // persistent so its scratch survives batches
+  // Reused per-batch buffers: both logit batches must be live at once
+  // (the pairing term reads both), so this trainer cannot share the base
+  // class's single logits scratch.
+  Tensor logits_clean_, logits_adv_, grad_side_;
+  nn::LossResult ce_clean_, ce_adv_;
 };
 
 /// Value and per-side gradients of the mean squared logit-pairing term.

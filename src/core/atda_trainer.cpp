@@ -12,7 +12,7 @@
 namespace satd::core {
 
 AtdaTrainer::AtdaTrainer(nn::Sequential& model, TrainConfig config)
-    : Trainer(model, config) {}
+    : Trainer(model, config), attack_(config.eps) {}
 
 void AtdaTrainer::on_fit_begin(const data::Dataset& train) {
   // Logit-space centers: one row per class, width = number of logits.
@@ -33,13 +33,14 @@ void AtdaTrainer::load_method_state(std::istream& is) {
   centers_ = read_tensor(is);
 }
 
-Tensor AtdaTrainer::make_adversarial_batch(const data::Batch& batch) {
-  return attack::Fgsm(config_.eps).perturb(model_, batch.images, batch.labels);
+void AtdaTrainer::make_adversarial_batch(const data::Batch& batch,
+                                         Tensor& adv) {
+  attack_.perturb_into(model_, batch.images, batch.labels, adv);
 }
 
 float AtdaTrainer::train_batch(const data::Batch& batch) {
   SATD_EXPECT(batch.size() >= 2, "ATDA requires batches of at least 2");
-  const Tensor adv = make_adversarial_batch(batch);
+  make_adversarial_batch(batch, adv_scratch_);
 
   // Two forwards to obtain both logit batches. The layer caches end up
   // corresponding to the adversarial batch, so its backward runs first;
@@ -47,42 +48,41 @@ float AtdaTrainer::train_batch(const data::Batch& batch) {
   // clean backward. (This re-forward is the honest cost of the DA loss
   // in a cache-per-layer framework and is part of why ATDA sits between
   // Proposed and Iter-Adv in the per-epoch timing column.)
-  const Tensor logits_clean = model_.forward(batch.images, /*training=*/true);
-  const Tensor logits_adv = model_.forward(adv, /*training=*/true);
+  model_.forward_into(batch.images, logits_clean_, /*training=*/true);
+  model_.forward_into(adv_scratch_, logits_adv_, /*training=*/true);
 
   const AtdaLossWeights weights{config_.atda_lambda_coral,
                                 config_.atda_lambda_mmd,
                                 config_.atda_lambda_margin,
                                 config_.atda_margin};
   const AtdaLossResult da =
-      atda_domain_loss(logits_clean, logits_adv, batch.labels, centers_,
+      atda_domain_loss(logits_clean_, logits_adv_, batch.labels, centers_,
                        weights);
 
   const float mix = config_.adv_mix;
-  nn::LossResult ce_adv = nn::softmax_cross_entropy(logits_adv, batch.labels);
-  nn::LossResult ce_clean =
-      nn::softmax_cross_entropy(logits_clean, batch.labels);
+  nn::softmax_cross_entropy_into(logits_adv_, batch.labels, ce_adv_);
+  nn::softmax_cross_entropy_into(logits_clean_, batch.labels, ce_clean_);
 
   model_.zero_grad();
   // Adversarial side: weighted CE grad + DA grad (caches match adv now).
-  Tensor grad_adv = ops::scale(ce_adv.grad_logits, mix);
-  ops::axpy(1.0f, da.grad_adv, grad_adv);
-  model_.backward(grad_adv);
+  ops::scale(ce_adv_.grad_logits, mix, grad_side_);
+  ops::axpy(1.0f, da.grad_adv, grad_side_);
+  model_.backward_into(grad_side_, grad_in_scratch_);
   // Clean side: re-forward to restore caches, then backward.
-  model_.forward(batch.images, /*training=*/true);
-  Tensor grad_clean = ops::scale(ce_clean.grad_logits, 1.0f - mix);
-  ops::axpy(1.0f, da.grad_clean, grad_clean);
-  model_.backward(grad_clean);
+  model_.forward_into(batch.images, logits_clean_, /*training=*/true);
+  ops::scale(ce_clean_.grad_logits, 1.0f - mix, grad_side_);
+  ops::axpy(1.0f, da.grad_clean, grad_side_);
+  model_.backward_into(grad_side_, grad_in_scratch_);
   apply_step();
 
   // EMA the class centers from both domains (centers are constants for
   // the gradient, updated after the step like the reference method).
-  update_class_centers(centers_, logits_clean, batch.labels,
+  update_class_centers(centers_, logits_clean_, batch.labels,
                        config_.atda_center_alpha);
-  update_class_centers(centers_, logits_adv, batch.labels,
+  update_class_centers(centers_, logits_adv_, batch.labels,
                        config_.atda_center_alpha);
 
-  return (1.0f - mix) * ce_clean.value + mix * ce_adv.value + da.total;
+  return (1.0f - mix) * ce_clean_.value + mix * ce_adv_.value + da.total;
 }
 
 }  // namespace satd::core

@@ -7,6 +7,7 @@
 // training.
 #pragma once
 
+#include "attack/fgsm.h"
 #include "core/atda_loss.h"
 #include "core/trainer.h"
 
@@ -25,13 +26,19 @@ class AtdaTrainer : public Trainer {
 
  protected:
   void on_fit_begin(const data::Dataset& train) override;
-  Tensor make_adversarial_batch(const data::Batch& batch) override;
+  void make_adversarial_batch(const data::Batch& batch,
+                              Tensor& adv) override;
   float train_batch(const data::Batch& batch) override;
   void save_method_state(std::ostream& os) const override;
   void load_method_state(std::istream& is) override;
 
  private:
   Tensor centers_;
+  attack::Fgsm attack_;  // persistent so its scratch survives batches
+  // Reused per-batch buffers (both logit batches feed the DA loss, so
+  // the base class's single logits scratch cannot serve here).
+  Tensor logits_clean_, logits_adv_, grad_side_;
+  nn::LossResult ce_clean_, ce_adv_;
 };
 
 }  // namespace satd::core

@@ -1,22 +1,20 @@
 #include "core/bim_adv_trainer.h"
 
-#include "attack/bim.h"
 #include "common/contract.h"
 
 namespace satd::core {
 
+// The Bim constructor validates config.bim_iterations > 0.
 BimAdvTrainer::BimAdvTrainer(nn::Sequential& model, TrainConfig config)
-    : Trainer(model, config) {
-  SATD_EXPECT(config.bim_iterations > 0, "bim_iterations must be positive");
-}
+    : Trainer(model, config), attack_(config.eps, config.bim_iterations) {}
 
 std::string BimAdvTrainer::name() const {
   return "BIM(" + std::to_string(config_.bim_iterations) + ")-Adv";
 }
 
-Tensor BimAdvTrainer::make_adversarial_batch(const data::Batch& batch) {
-  attack::Bim bim(config_.eps, config_.bim_iterations);
-  return bim.perturb(model_, batch.images, batch.labels);
+void BimAdvTrainer::make_adversarial_batch(const data::Batch& batch,
+                                           Tensor& adv) {
+  attack_.perturb_into(model_, batch.images, batch.labels, adv);
 }
 
 }  // namespace satd::core

@@ -2,6 +2,7 @@
 // rows. Strong defense, N-fold attack cost inside every batch.
 #pragma once
 
+#include "attack/bim.h"
 #include "core/trainer.h"
 
 namespace satd::core {
@@ -16,7 +17,11 @@ class BimAdvTrainer : public Trainer {
   std::string name() const override;
 
  protected:
-  Tensor make_adversarial_batch(const data::Batch& batch) override;
+  void make_adversarial_batch(const data::Batch& batch,
+                              Tensor& adv) override;
+
+ private:
+  attack::Bim attack_;  // persistent so its scratch survives batches
 };
 
 }  // namespace satd::core

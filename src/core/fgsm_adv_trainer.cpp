@@ -1,14 +1,13 @@
 #include "core/fgsm_adv_trainer.h"
 
-#include "attack/fgsm.h"
-
 namespace satd::core {
 
 FgsmAdvTrainer::FgsmAdvTrainer(nn::Sequential& model, TrainConfig config)
-    : Trainer(model, config) {}
+    : Trainer(model, config), attack_(config.eps) {}
 
-Tensor FgsmAdvTrainer::make_adversarial_batch(const data::Batch& batch) {
-  return attack::Fgsm(config_.eps).perturb(model_, batch.images, batch.labels);
+void FgsmAdvTrainer::make_adversarial_batch(const data::Batch& batch,
+                                            Tensor& adv) {
+  attack_.perturb_into(model_, batch.images, batch.labels, adv);
 }
 
 }  // namespace satd::core

@@ -2,6 +2,7 @@
 // the paper's "FGSM-Adv" row.
 #pragma once
 
+#include "attack/fgsm.h"
 #include "core/trainer.h"
 
 namespace satd::core {
@@ -16,7 +17,11 @@ class FgsmAdvTrainer : public Trainer {
   std::string name() const override { return "FGSM-Adv"; }
 
  protected:
-  Tensor make_adversarial_batch(const data::Batch& batch) override;
+  void make_adversarial_batch(const data::Batch& batch,
+                              Tensor& adv) override;
+
+ private:
+  attack::Fgsm attack_;  // persistent so its scratch survives batches
 };
 
 }  // namespace satd::core

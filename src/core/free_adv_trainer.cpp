@@ -29,9 +29,9 @@ void FreeAdvTrainer::load_method_state(std::istream& is) {
   delta_ = read_tensor(is);
 }
 
-Tensor FreeAdvTrainer::make_adversarial_batch(const data::Batch& /*batch*/) {
+void FreeAdvTrainer::make_adversarial_batch(const data::Batch& /*batch*/,
+                                            Tensor& /*adv*/) {
   SATD_ENSURE(false, "FreeAdvTrainer::train_batch bypasses this hook");
-  return {};
 }
 
 float FreeAdvTrainer::train_batch(const data::Batch& batch) {
@@ -47,28 +47,28 @@ float FreeAdvTrainer::train_batch(const data::Batch& batch) {
   const float step =
       config_.eps / static_cast<float>(config_.free_replays);
   double loss_acc = 0.0;
-  Tensor perturbed(batch.images.shape());
+  perturbed_.ensure_shape(batch.images.shape());
   for (std::size_t replay = 0; replay < config_.free_replays; ++replay) {
     // x_adv = clip(x + delta) into the eps-ball and pixel range.
     {
       const float* px = batch.images.raw();
       const float* pd = delta_.raw();
-      float* pp = perturbed.raw();
+      float* pp = perturbed_.raw();
       for (std::size_t i = 0; i < used; ++i) pp[i] = px[i] + pd[i];
     }
     ops::project_linf(batch.images, config_.eps, attack::kPixelMin,
-                      attack::kPixelMax, perturbed);
+                      attack::kPixelMax, perturbed_);
     // One backward yields parameter grads AND input grads.
     model_.zero_grad();
-    const Tensor logits = model_.forward(perturbed, /*training=*/true);
-    const nn::LossResult loss =
-        nn::softmax_cross_entropy(logits, batch.labels);
-    const Tensor gx = model_.backward(loss.grad_logits);
+    model_.forward_into(perturbed_, logits_scratch_, /*training=*/true);
+    nn::softmax_cross_entropy_into(logits_scratch_, batch.labels,
+                                   loss_scratch_);
+    model_.backward_into(loss_scratch_.grad_logits, grad_in_scratch_);
     apply_step();
-    loss_acc += loss.value;
+    loss_acc += loss_scratch_.value;
     // Ascend the input gradient; keep delta inside the eps box.
     float* pd = delta_.raw();
-    const float* pg = gx.raw();
+    const float* pg = grad_in_scratch_.raw();
     for (std::size_t i = 0; i < used; ++i) {
       const float s = (pg[i] > 0.0f) ? 1.0f : (pg[i] < 0.0f ? -1.0f : 0.0f);
       pd[i] = std::clamp(pd[i] + step * s, -config_.eps, config_.eps);

@@ -28,13 +28,15 @@ class FreeAdvTrainer : public Trainer {
 
  protected:
   // Unused: this trainer overrides train_batch wholesale.
-  Tensor make_adversarial_batch(const data::Batch& batch) override;
+  void make_adversarial_batch(const data::Batch& batch,
+                              Tensor& adv) override;
   float train_batch(const data::Batch& batch) override;
   void save_method_state(std::ostream& os) const override;
   void load_method_state(std::istream& is) override;
 
  private:
-  Tensor delta_;  // [B, C, H, W] perturbation carried across batches
+  Tensor delta_;      // [B, C, H, W] perturbation carried across batches
+  Tensor perturbed_;  // reused x + delta buffer
 };
 
 }  // namespace satd::core

@@ -22,14 +22,18 @@ std::string PgdAdvTrainer::name() const {
   return "PGD(" + std::to_string(config_.bim_iterations) + ")-Adv";
 }
 
-Tensor PgdAdvTrainer::make_adversarial_batch(const data::Batch& batch) {
+void PgdAdvTrainer::make_adversarial_batch(const data::Batch& batch,
+                                           Tensor& adv) {
   // Each batch constructs a Pgd that forks from attack_rng_; forking
   // advances the parent stream, so every batch gets fresh random starts
   // while the whole run stays deterministic given the config seed.
+  // (Checkpoint resume depends on this per-batch fork sequence, so the
+  // attack object cannot be hoisted into a member; its gradient scratch
+  // is still reused across the PGD iterations within the batch.)
   attack::Pgd pgd(config_.eps, config_.bim_iterations,
                   config_.eps / static_cast<float>(config_.bim_iterations),
                   attack_rng_);
-  return pgd.perturb(model_, batch.images, batch.labels);
+  pgd.perturb_into(model_, batch.images, batch.labels, adv);
 }
 
 }  // namespace satd::core

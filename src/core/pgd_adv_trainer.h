@@ -21,7 +21,8 @@ class PgdAdvTrainer : public Trainer {
   std::string name() const override;
 
  protected:
-  Tensor make_adversarial_batch(const data::Batch& batch) override;
+  void make_adversarial_batch(const data::Batch& batch,
+                              Tensor& adv) override;
   void save_method_state(std::ostream& os) const override;
   void load_method_state(std::istream& is) override;
 

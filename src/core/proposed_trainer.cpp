@@ -1,5 +1,6 @@
 #include "core/proposed_trainer.h"
 
+#include <algorithm>
 #include <istream>
 #include <ostream>
 
@@ -49,25 +50,29 @@ void ProposedTrainer::on_epoch_begin(std::size_t epoch) {
   }
 }
 
-Tensor ProposedTrainer::make_adversarial_batch(const data::Batch& batch) {
+void ProposedTrainer::make_adversarial_batch(const data::Batch& batch,
+                                             Tensor& adv) {
   SATD_EXPECT(train_ != nullptr, "make_adversarial_batch outside fit()");
-  // Gather the buffered adversarial examples for this batch.
+  // Gather the buffered adversarial examples for this batch (raw copies:
+  // slice_row/set_row would materialize a temporary per row).
   const auto& dims = buffer_.shape().dims();
-  Tensor start(Shape{batch.size(), dims[1], dims[2], dims[3]});
+  const std::size_t ex = dims[1] * dims[2] * dims[3];  // elems per example
+  start_.ensure_shape(Shape{batch.size(), dims[1], dims[2], dims[3]});
   for (std::size_t k = 0; k < batch.size(); ++k) {
-    start.set_row(k, buffer_.slice_row(batch.indices[k]));
+    const float* src = buffer_.raw() + batch.indices[k] * ex;
+    std::copy(src, src + ex, start_.raw() + k * ex);
   }
   // One relatively large gradient-sign step from the buffered iterate,
   // clipped to the eps-ball around the CLEAN image (batch.images holds
   // the clean pixels for these indices).
   const float step = config_.eps * config_.step_fraction;
-  Tensor adv = attack::Fgsm::step(model_, start, batch.images, batch.labels,
-                                  step, config_.eps);
+  attack::Fgsm::step_into(model_, start_, batch.images, batch.labels, step,
+                          config_.eps, adv, scratch_);
   // Carry the advanced iterates to the next epoch.
   for (std::size_t k = 0; k < batch.size(); ++k) {
-    buffer_.set_row(batch.indices[k], adv.slice_row(k));
+    const float* src = adv.raw() + k * ex;
+    std::copy(src, src + ex, buffer_.raw() + batch.indices[k] * ex);
   }
-  return adv;
 }
 
 }  // namespace satd::core

@@ -24,6 +24,7 @@
 // paper), restarting the epoch-wise iteration against the current model.
 #pragma once
 
+#include "attack/attack.h"
 #include "core/trainer.h"
 
 namespace satd::core {
@@ -48,7 +49,8 @@ class ProposedTrainer : public Trainer {
   void on_fit_begin(const data::Dataset& train) override;
   void on_resume(const data::Dataset& train) override;
   void on_epoch_begin(std::size_t epoch) override;
-  Tensor make_adversarial_batch(const data::Batch& batch) override;
+  void make_adversarial_batch(const data::Batch& batch,
+                              Tensor& adv) override;
   void save_method_state(std::ostream& os) const override;
   void load_method_state(std::istream& is) override;
 
@@ -56,6 +58,8 @@ class ProposedTrainer : public Trainer {
   const data::Dataset* train_ = nullptr;  // borrowed during fit()
   Tensor buffer_;                          // [N, C, H, W] persistent advs
   std::size_t resets_ = 0;
+  Tensor start_;                     // reused gather buffer for the batch
+  attack::GradientScratch scratch_;  // reused by the per-epoch FGSM step
 };
 
 }  // namespace satd::core

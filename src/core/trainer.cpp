@@ -52,17 +52,18 @@ void Trainer::load_method_state(std::istream& /*is*/) {}
 float Trainer::accumulate_loss_gradient(const Tensor& x,
                                         std::span<const std::size_t> labels,
                                         float weight) {
-  const Tensor logits = model_.forward(x, /*training=*/true);
-  nn::LossResult loss =
-      config_.label_smoothing > 0.0f
-          ? nn::softmax_cross_entropy_smoothed(logits, labels,
-                                               config_.label_smoothing)
-          : nn::softmax_cross_entropy(logits, labels);
-  if (weight != 1.0f) {
-    for (float& g : loss.grad_logits.data()) g *= weight;
+  model_.forward_into(x, logits_scratch_, /*training=*/true);
+  if (config_.label_smoothing > 0.0f) {
+    nn::softmax_cross_entropy_smoothed_into(
+        logits_scratch_, labels, config_.label_smoothing, loss_scratch_);
+  } else {
+    nn::softmax_cross_entropy_into(logits_scratch_, labels, loss_scratch_);
   }
-  model_.backward(loss.grad_logits);
-  return loss.value;
+  if (weight != 1.0f) {
+    for (float& g : loss_scratch_.grad_logits.data()) g *= weight;
+  }
+  model_.backward_into(loss_scratch_.grad_logits, grad_in_scratch_);
+  return loss_scratch_.value;
 }
 
 void Trainer::apply_step() {
@@ -71,10 +72,10 @@ void Trainer::apply_step() {
 }
 
 float Trainer::train_batch(const data::Batch& batch) {
-  const Tensor adv = make_adversarial_batch(batch);
+  make_adversarial_batch(batch, adv_scratch_);
   model_.zero_grad();
   float loss = 0.0f;
-  if (adv.empty()) {
+  if (adv_scratch_.empty()) {
     loss = accumulate_loss_gradient(batch.images, batch.labels, 1.0f);
   } else {
     const float mix = config_.adv_mix;
@@ -84,7 +85,7 @@ float Trainer::train_batch(const data::Batch& batch) {
     const float clean_loss =
         accumulate_loss_gradient(batch.images, batch.labels, 1.0f - mix);
     const float adv_loss =
-        accumulate_loss_gradient(adv, batch.labels, mix);
+        accumulate_loss_gradient(adv_scratch_, batch.labels, mix);
     loss = (1.0f - mix) * clean_loss + mix * adv_loss;
   }
   apply_step();

@@ -20,6 +20,7 @@
 #include "common/stopwatch.h"
 #include "data/batcher.h"
 #include "data/dataset.h"
+#include "nn/loss.h"
 #include "nn/optimizer.h"
 #include "nn/sequential.h"
 
@@ -151,10 +152,12 @@ class Trainer {
   virtual void save_method_state(std::ostream& os) const;
   virtual void load_method_state(std::istream& is);
 
-  /// Produces the adversarial companion of `batch`, or an empty Tensor to
-  /// train on clean data only (VanillaTrainer). May use model() freely;
+  /// Writes the adversarial companion of `batch` into `adv` (a persistent
+  /// buffer reused across batches), or leaves/makes `adv` empty to train
+  /// on clean data only (VanillaTrainer). May use model() freely;
   /// parameter gradients must be left zeroed.
-  virtual Tensor make_adversarial_batch(const data::Batch& batch) = 0;
+  virtual void make_adversarial_batch(const data::Batch& batch,
+                                      Tensor& adv) = 0;
 
   /// One optimizer update on the clean/adversarial mixture. Returns the
   /// batch loss. Subclasses with bespoke losses (ATDA) override this.
@@ -175,6 +178,14 @@ class Trainer {
   Rng rng_;
   Rng shuffle_rng_;  // epoch-shuffle stream (member so checkpoints carry it)
   std::unique_ptr<nn::Optimizer> optimizer_;
+
+  // Persistent per-batch buffers (resized on shape change, reused
+  // otherwise) so the steady-state training loop is allocation free:
+  // forward logits, loss result, dLoss/dInput sink, adversarial batch.
+  Tensor logits_scratch_;
+  nn::LossResult loss_scratch_;
+  Tensor grad_in_scratch_;
+  Tensor adv_scratch_;
 };
 
 }  // namespace satd::core

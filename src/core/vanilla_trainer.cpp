@@ -5,8 +5,9 @@ namespace satd::core {
 VanillaTrainer::VanillaTrainer(nn::Sequential& model, TrainConfig config)
     : Trainer(model, config) {}
 
-Tensor VanillaTrainer::make_adversarial_batch(const data::Batch& /*batch*/) {
-  return Tensor{};  // empty: train on clean data only
+void VanillaTrainer::make_adversarial_batch(const data::Batch& /*batch*/,
+                                            Tensor& adv) {
+  adv = Tensor{};  // empty: train on clean data only
 }
 
 }  // namespace satd::core

@@ -14,7 +14,8 @@ class VanillaTrainer : public Trainer {
   std::string name() const override { return "Vanilla"; }
 
  protected:
-  Tensor make_adversarial_batch(const data::Batch& batch) override;
+  void make_adversarial_batch(const data::Batch& batch,
+                              Tensor& adv) override;
 };
 
 }  // namespace satd::core

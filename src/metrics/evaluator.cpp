@@ -11,35 +11,49 @@ namespace satd::metrics {
 
 namespace {
 
+/// Per-evaluation scratch: the batch view, the forward output and the
+/// prediction indices are carried across batches so a full test-set pass
+/// allocates only on the first (and, for a smaller trailing batch, the
+/// last) iteration.
+struct EvalScratch {
+  Tensor images;
+  std::vector<std::size_t> labels;
+  Tensor adv;
+  Tensor logits;
+  std::vector<std::size_t> preds;
+};
+
 /// Iterates the test set in fixed-size batches, invoking
-/// fn(images, labels) per batch.
+/// fn(images, labels) per batch. The batch tensors live in `scratch` and
+/// are reused (resize-on-shape-change) across batches.
 template <typename Fn>
 void for_each_batch(const data::Dataset& test, std::size_t batch_size,
-                    Fn&& fn) {
+                    EvalScratch& scratch, Fn&& fn) {
   SATD_EXPECT(batch_size > 0, "batch size must be positive");
   const std::size_t n = test.size();
   const auto& dims = test.images.shape().dims();
+  const std::size_t example = dims[1] * dims[2] * dims[3];
   for (std::size_t begin = 0; begin < n; begin += batch_size) {
     const std::size_t end = std::min(begin + batch_size, n);
-    Tensor images(Shape{end - begin, dims[1], dims[2], dims[3]});
-    std::vector<std::size_t> labels(test.labels.begin() +
-                                        static_cast<std::ptrdiff_t>(begin),
-                                    test.labels.begin() +
-                                        static_cast<std::ptrdiff_t>(end));
-    for (std::size_t i = begin; i < end; ++i) {
-      images.set_row(i - begin, test.images.slice_row(i));
-    }
-    fn(images, labels);
+    scratch.images.ensure_shape(
+        Shape{end - begin, dims[1], dims[2], dims[3]});
+    scratch.labels.assign(
+        test.labels.begin() + static_cast<std::ptrdiff_t>(begin),
+        test.labels.begin() + static_cast<std::ptrdiff_t>(end));
+    const float* src = test.images.raw() + begin * example;
+    std::copy(src, src + (end - begin) * example, scratch.images.raw());
+    fn(scratch.images, scratch.labels);
   }
 }
 
 std::size_t count_correct(nn::Sequential& model, const Tensor& images,
-                          const std::vector<std::size_t>& labels) {
-  const Tensor logits = model.forward(images, /*training=*/false);
-  const auto preds = ops::argmax_rows(logits);
+                          const std::vector<std::size_t>& labels,
+                          EvalScratch& scratch) {
+  model.forward_into(images, scratch.logits, /*training=*/false);
+  ops::argmax_rows_into(scratch.logits, scratch.preds);
   std::size_t correct = 0;
   for (std::size_t i = 0; i < labels.size(); ++i) {
-    if (preds[i] == labels[i]) ++correct;
+    if (scratch.preds[i] == labels[i]) ++correct;
   }
   return correct;
 }
@@ -49,10 +63,11 @@ std::size_t count_correct(nn::Sequential& model, const Tensor& images,
 float evaluate_clean(nn::Sequential& model, const data::Dataset& test,
                      std::size_t batch_size) {
   SATD_EXPECT(test.size() > 0, "empty test set");
+  EvalScratch scratch;
   std::size_t correct = 0;
-  for_each_batch(test, batch_size,
+  for_each_batch(test, batch_size, scratch,
                  [&](const Tensor& images, const std::vector<std::size_t>& labels) {
-                   correct += count_correct(model, images, labels);
+                   correct += count_correct(model, images, labels, scratch);
                  });
   return static_cast<float>(correct) / static_cast<float>(test.size());
 }
@@ -60,11 +75,12 @@ float evaluate_clean(nn::Sequential& model, const data::Dataset& test,
 float evaluate_attack(nn::Sequential& model, const data::Dataset& test,
                       attack::Attack& attack, std::size_t batch_size) {
   SATD_EXPECT(test.size() > 0, "empty test set");
+  EvalScratch scratch;
   std::size_t correct = 0;
-  for_each_batch(test, batch_size,
+  for_each_batch(test, batch_size, scratch,
                  [&](const Tensor& images, const std::vector<std::size_t>& labels) {
-                   const Tensor adv = attack.perturb(model, images, labels);
-                   correct += count_correct(model, adv, labels);
+                   attack.perturb_into(model, images, labels, scratch.adv);
+                   correct += count_correct(model, scratch.adv, labels, scratch);
                  });
   return static_cast<float>(correct) / static_cast<float>(test.size());
 }
@@ -92,13 +108,14 @@ std::vector<CurvePoint> intermediate_curve(nn::Sequential& model,
   SATD_EXPECT(total_iterations > 0, "need at least one iteration");
   std::vector<std::size_t> correct(total_iterations, 0);
   attack::Bim bim(eps, total_iterations);
+  EvalScratch scratch;
   for_each_batch(
-      test, batch_size,
+      test, batch_size, scratch,
       [&](const Tensor& images, const std::vector<std::size_t>& labels) {
         const auto trace = bim.perturb_with_trace(model, images, labels);
         SATD_ENSURE(trace.size() == total_iterations, "trace length mismatch");
         for (std::size_t t = 0; t < trace.size(); ++t) {
-          correct[t] += count_correct(model, trace[t], labels);
+          correct[t] += count_correct(model, trace[t], labels, scratch);
         }
       });
   std::vector<CurvePoint> curve(total_iterations);

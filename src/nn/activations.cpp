@@ -3,84 +3,98 @@
 #include <cmath>
 
 #include "common/contract.h"
+#include "tensor/ops.h"
 
 namespace satd::nn {
 
-Tensor ReLU::forward(const Tensor& x, bool /*training*/) {
-  x_cache_ = x;
-  Tensor out(x.shape());
+void ReLU::forward_into(const Tensor& x, Tensor& out, bool /*training*/) {
+  ops::copy(x, x_cache_);
+  out.ensure_shape(x.shape());
   const float* px = x.raw();
   float* po = out.raw();
   for (std::size_t i = 0, n = x.numel(); i < n; ++i) {
     po[i] = px[i] > 0.0f ? px[i] : 0.0f;
   }
-  return out;
+  note_forward();
 }
 
-Tensor ReLU::backward(const Tensor& grad_out) {
-  SATD_EXPECT(!x_cache_.empty(), "ReLU backward before forward");
+void ReLU::backward_into(const Tensor& grad_out, Tensor& grad_in) {
+  consume_cache("ReLU");
   SATD_EXPECT(grad_out.shape() == x_cache_.shape(),
               "ReLU backward: grad shape mismatch");
-  Tensor gx(grad_out.shape());
+  grad_in.ensure_shape(grad_out.shape());
   const float* px = x_cache_.raw();
   const float* pg = grad_out.raw();
-  float* po = gx.raw();
-  for (std::size_t i = 0, n = gx.numel(); i < n; ++i) {
+  float* po = grad_in.raw();
+  for (std::size_t i = 0, n = grad_in.numel(); i < n; ++i) {
     po[i] = px[i] > 0.0f ? pg[i] : 0.0f;
   }
-  return gx;
 }
 
-Tensor Tanh::forward(const Tensor& x, bool /*training*/) {
-  Tensor out(x.shape());
+void ReLU::release_buffers() {
+  Layer::release_buffers();
+  x_cache_ = Tensor();
+}
+
+void Tanh::forward_into(const Tensor& x, Tensor& out, bool /*training*/) {
+  out.ensure_shape(x.shape());
   const float* px = x.raw();
   float* po = out.raw();
   for (std::size_t i = 0, n = x.numel(); i < n; ++i) po[i] = std::tanh(px[i]);
-  y_cache_ = out;
-  return out;
+  ops::copy(out, y_cache_);
+  note_forward();
 }
 
-Tensor Tanh::backward(const Tensor& grad_out) {
-  SATD_EXPECT(!y_cache_.empty(), "Tanh backward before forward");
+void Tanh::backward_into(const Tensor& grad_out, Tensor& grad_in) {
+  consume_cache("Tanh");
   SATD_EXPECT(grad_out.shape() == y_cache_.shape(),
               "Tanh backward: grad shape mismatch");
-  Tensor gx(grad_out.shape());
+  grad_in.ensure_shape(grad_out.shape());
   const float* py = y_cache_.raw();
   const float* pg = grad_out.raw();
-  float* po = gx.raw();
-  for (std::size_t i = 0, n = gx.numel(); i < n; ++i) {
+  float* po = grad_in.raw();
+  for (std::size_t i = 0, n = grad_in.numel(); i < n; ++i) {
     po[i] = pg[i] * (1.0f - py[i] * py[i]);
   }
-  return gx;
+}
+
+void Tanh::release_buffers() {
+  Layer::release_buffers();
+  y_cache_ = Tensor();
 }
 
 LeakyReLU::LeakyReLU(float slope) : slope_(slope) {
   SATD_EXPECT(slope >= 0.0f && slope < 1.0f, "slope must be in [0, 1)");
 }
 
-Tensor LeakyReLU::forward(const Tensor& x, bool /*training*/) {
-  x_cache_ = x;
-  Tensor out(x.shape());
+void LeakyReLU::forward_into(const Tensor& x, Tensor& out,
+                             bool /*training*/) {
+  ops::copy(x, x_cache_);
+  out.ensure_shape(x.shape());
   const float* px = x.raw();
   float* po = out.raw();
   for (std::size_t i = 0, n = x.numel(); i < n; ++i) {
     po[i] = px[i] > 0.0f ? px[i] : slope_ * px[i];
   }
-  return out;
+  note_forward();
 }
 
-Tensor LeakyReLU::backward(const Tensor& grad_out) {
-  SATD_EXPECT(!x_cache_.empty(), "LeakyReLU backward before forward");
+void LeakyReLU::backward_into(const Tensor& grad_out, Tensor& grad_in) {
+  consume_cache("LeakyReLU");
   SATD_EXPECT(grad_out.shape() == x_cache_.shape(),
               "LeakyReLU backward: grad shape mismatch");
-  Tensor gx(grad_out.shape());
+  grad_in.ensure_shape(grad_out.shape());
   const float* px = x_cache_.raw();
   const float* pg = grad_out.raw();
-  float* po = gx.raw();
-  for (std::size_t i = 0, n = gx.numel(); i < n; ++i) {
+  float* po = grad_in.raw();
+  for (std::size_t i = 0, n = grad_in.numel(); i < n; ++i) {
     po[i] = px[i] > 0.0f ? pg[i] : slope_ * pg[i];
   }
-  return gx;
+}
+
+void LeakyReLU::release_buffers() {
+  Layer::release_buffers();
+  x_cache_ = Tensor();
 }
 
 std::string LeakyReLU::name() const {

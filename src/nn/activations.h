@@ -9,8 +9,9 @@ namespace satd::nn {
 /// convention relu'(0) = 0.
 class ReLU : public Layer {
  public:
-  Tensor forward(const Tensor& x, bool training) override;
-  Tensor backward(const Tensor& grad_out) override;
+  void forward_into(const Tensor& x, Tensor& out, bool training) override;
+  void backward_into(const Tensor& grad_out, Tensor& grad_in) override;
+  void release_buffers() override;
   std::string name() const override { return "ReLU"; }
   Shape output_shape(const Shape& input) const override { return input; }
 
@@ -21,8 +22,9 @@ class ReLU : public Layer {
 /// Hyperbolic tangent (used by one of the zoo's alternative models).
 class Tanh : public Layer {
  public:
-  Tensor forward(const Tensor& x, bool training) override;
-  Tensor backward(const Tensor& grad_out) override;
+  void forward_into(const Tensor& x, Tensor& out, bool training) override;
+  void backward_into(const Tensor& grad_out, Tensor& grad_in) override;
+  void release_buffers() override;
   std::string name() const override { return "Tanh"; }
   Shape output_shape(const Shape& input) const override { return input; }
 
@@ -34,8 +36,9 @@ class Tanh : public Layer {
 class LeakyReLU : public Layer {
  public:
   explicit LeakyReLU(float slope = 0.01f);
-  Tensor forward(const Tensor& x, bool training) override;
-  Tensor backward(const Tensor& grad_out) override;
+  void forward_into(const Tensor& x, Tensor& out, bool training) override;
+  void backward_into(const Tensor& grad_out, Tensor& grad_in) override;
+  void release_buffers() override;
   std::string name() const override;
   Shape output_shape(const Shape& input) const override { return input; }
 

@@ -22,7 +22,7 @@ BatchNorm2d::BatchNorm2d(std::size_t channels, float momentum, float eps)
   SATD_EXPECT(eps > 0.0f, "eps must be positive");
 }
 
-Tensor BatchNorm2d::forward(const Tensor& x, bool training) {
+void BatchNorm2d::forward_into(const Tensor& x, Tensor& out, bool training) {
   SATD_EXPECT(x.shape().rank() == 4 && x.shape()[1] == channels_,
               "BatchNorm2d expects [N, " + std::to_string(channels_) +
                   ", H, W]");
@@ -36,9 +36,9 @@ Tensor BatchNorm2d::forward(const Tensor& x, bool training) {
 
   in_shape_ = x.shape();
   cached_training_ = training;
-  x_hat_ = Tensor(x.shape());
-  inv_std_ = Tensor(Shape{channels_});
-  Tensor out(x.shape());
+  x_hat_.ensure_shape(x.shape());
+  inv_std_.ensure_shape(Shape{channels_});
+  out.ensure_shape(x.shape());
 
   const float* px = x.raw();
   float* pxh = x_hat_.raw();
@@ -82,20 +82,21 @@ Tensor BatchNorm2d::forward(const Tensor& x, bool training) {
       }
     }
   }
-  return out;
+  note_forward();
 }
 
-Tensor BatchNorm2d::backward(const Tensor& grad_out) {
+void BatchNorm2d::backward_into(const Tensor& grad_out, Tensor& grad_in) {
+  consume_cache("BatchNorm2d");
   SATD_EXPECT(in_shape_.rank() == 4, "BatchNorm2d backward before forward");
   SATD_EXPECT(grad_out.shape() == in_shape_, "grad shape mismatch");
   const std::size_t n = in_shape_[0];
   const std::size_t plane = in_shape_[2] * in_shape_[3];
   const std::size_t m = n * plane;
 
-  Tensor gx(in_shape_);
+  grad_in.ensure_shape(in_shape_);
   const float* pg = grad_out.raw();
   const float* pxh = x_hat_.raw();
-  float* pgx = gx.raw();
+  float* pgx = grad_in.raw();
   for (std::size_t c = 0; c < channels_; ++c) {
     // Accumulate dgamma = Σ g·x̂ and dbeta = Σ g for the channel.
     double sum_g = 0.0, sum_gxh = 0.0;
@@ -135,7 +136,13 @@ Tensor BatchNorm2d::backward(const Tensor& grad_out) {
       }
     }
   }
-  return gx;
+}
+
+void BatchNorm2d::release_buffers() {
+  Layer::release_buffers();
+  x_hat_ = Tensor();
+  inv_std_ = Tensor();
+  in_shape_ = Shape{};
 }
 
 std::string BatchNorm2d::name() const {

@@ -18,11 +18,13 @@ class BatchNorm2d : public Layer {
   explicit BatchNorm2d(std::size_t channels, float momentum = 0.1f,
                        float eps = 1e-5f);
 
-  Tensor forward(const Tensor& x, bool training) override;
-  Tensor backward(const Tensor& grad_out) override;
+  void forward_into(const Tensor& x, Tensor& out, bool training) override;
+  void backward_into(const Tensor& grad_out, Tensor& grad_in) override;
 
   std::vector<Tensor*> parameters() override { return {&gamma_, &beta_}; }
   std::vector<Tensor*> gradients() override { return {&ggamma_, &gbeta_}; }
+
+  void release_buffers() override;
 
   std::string name() const override;
   Shape output_shape(const Shape& input) const override;
@@ -40,7 +42,7 @@ class BatchNorm2d : public Layer {
   Tensor gamma_, beta_;
   Tensor ggamma_, gbeta_;
   Tensor running_mean_, running_var_;
-  // Forward cache.
+  // Forward cache (reused buffers, resized only on shape change).
   bool cached_training_ = false;
   Tensor x_hat_;        // normalized activations
   Tensor inv_std_;      // [C] 1/sqrt(var + eps) actually used

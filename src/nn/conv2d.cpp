@@ -34,37 +34,34 @@ ConvGeometry Conv2d::geometry_for(const Shape& batch_shape) const {
   return g;
 }
 
-Tensor Conv2d::forward(const Tensor& x, bool /*training*/) {
+void Conv2d::forward_into(const Tensor& x, Tensor& out, bool /*training*/) {
   const ConvGeometry g = geometry_for(x.shape());
   const std::size_t n = x.shape()[0];
   const std::size_t oh = g.out_h();
   const std::size_t ow = g.out_w();
   cached_geometry_ = g;
   cached_batch_ = n;
-  cols_cache_.resize(n);
 
-  Tensor out(Shape{n, out_c_, oh, ow});
-  Tensor y;  // per-image [oh*ow, out_c]
+  im2col_batch(x, g, cols_cache_);
+  // y = cols · Wᵀ : [N*oh*ow, patch] x [out_c, patch]ᵀ -> [N*oh*ow, out_c]
+  ops::matmul_nt(cols_cache_, w_, y_);
+  // Scatter each image's rows into [out_c, oh, ow] layout with bias.
+  out.ensure_shape(Shape{n, out_c_, oh, ow});
+  const float* bias = b_.raw();
   for (std::size_t i = 0; i < n; ++i) {
-    const Tensor img = x.slice_row(i);  // [C, H, W]
-    im2col(img, g, cols_cache_[i]);
-    // y = cols · Wᵀ : [oh*ow, patch] x [out_c, patch]ᵀ -> [oh*ow, out_c]
-    ops::matmul_nt(cols_cache_[i], w_, y);
-    // Scatter into [out_c, oh, ow] layout with bias.
     float* dst = out.raw() + i * out_c_ * oh * ow;
-    const float* src = y.raw();
-    const float* bias = b_.raw();
+    const float* src = y_.raw() + i * oh * ow * out_c_;
     for (std::size_t p = 0; p < oh * ow; ++p) {
       for (std::size_t c = 0; c < out_c_; ++c) {
         dst[c * oh * ow + p] = src[p * out_c_ + c] + bias[c];
       }
     }
   }
-  return out;
+  note_forward();
 }
 
-Tensor Conv2d::backward(const Tensor& grad_out) {
-  SATD_EXPECT(cached_batch_ > 0, "Conv2d backward before forward");
+void Conv2d::backward_into(const Tensor& grad_out, Tensor& grad_in) {
+  consume_cache("Conv2d");
   const ConvGeometry& g = cached_geometry_;
   const std::size_t n = cached_batch_;
   const std::size_t oh = g.out_h();
@@ -72,31 +69,37 @@ Tensor Conv2d::backward(const Tensor& grad_out) {
   SATD_EXPECT((grad_out.shape() == Shape{n, out_c_, oh, ow}),
               "Conv2d backward: grad shape mismatch");
 
-  Tensor gx(Shape{n, g.in_channels, g.in_h, g.in_w});
-  Tensor g2(Shape{oh * ow, out_c_});  // per-image grad in column layout
-  Tensor gw_img, gcols, gximg;
+  // Re-layout [N][out_c, oh*ow] -> [N*oh*ow, out_c] column layout.
+  g2_.ensure_shape(Shape{n * oh * ow, out_c_});
   for (std::size_t i = 0; i < n; ++i) {
-    // Re-layout [out_c, oh*ow] -> [oh*ow, out_c].
     const float* src = grad_out.raw() + i * out_c_ * oh * ow;
-    float* dst = g2.raw();
+    float* dst = g2_.raw() + i * oh * ow * out_c_;
     for (std::size_t c = 0; c < out_c_; ++c) {
       for (std::size_t p = 0; p < oh * ow; ++p) {
         dst[p * out_c_ + c] = src[c * oh * ow + p];
       }
     }
-    // gW += g2ᵀ · cols : [out_c, patch]
-    ops::matmul_tn(g2, cols_cache_[i], gw_img);
-    ops::axpy(1.0f, gw_img, gw_);
-    // gb += column sums of g2.
-    Tensor gb_img;
-    ops::sum_rows(g2, gb_img);
-    ops::axpy(1.0f, gb_img, gb_);
-    // gcols = g2 · W : [oh*ow, patch]; then fold back to image space.
-    ops::matmul(g2, w_, gcols);
-    col2im(gcols, g, gximg);
-    gx.set_row(i, gximg);
   }
-  return gx;
+  // gW += g2ᵀ · cols : [out_c, patch], one GEMM over the whole batch.
+  ops::matmul_tn(g2_, cols_cache_, gw_batch_);
+  ops::axpy(1.0f, gw_batch_, gw_);
+  // gb += column sums of g2.
+  ops::sum_rows(g2_, gb_batch_);
+  ops::axpy(1.0f, gb_batch_, gb_);
+  // gcols = g2 · W : [N*oh*ow, patch]; then fold back to image space.
+  ops::matmul(g2_, w_, gcols_);
+  col2im_batch(gcols_, n, g, grad_in);
+}
+
+void Conv2d::release_buffers() {
+  Layer::release_buffers();
+  cols_cache_ = Tensor();
+  y_ = Tensor();
+  g2_ = Tensor();
+  gw_batch_ = Tensor();
+  gb_batch_ = Tensor();
+  gcols_ = Tensor();
+  cached_batch_ = 0;
 }
 
 std::string Conv2d::name() const {

@@ -2,8 +2,6 @@
 // lowered to matmul via im2col / col2im.
 #pragma once
 
-#include <vector>
-
 #include "common/rng.h"
 #include "nn/layer.h"
 #include "tensor/im2col.h"
@@ -12,21 +10,25 @@ namespace satd::nn {
 
 /// Convolution over [N, C, H, W] batches with a square kernel.
 ///
-/// The filter bank is stored as a [out_channels, in_channels*k*k] matrix
-/// so both the forward pass and the weight-gradient pass are plain GEMMs
-/// against im2col columns; the input-gradient pass (needed by adversarial
-/// attacks) is a GEMM followed by col2im, the exact adjoint of the
-/// forward lowering.
+/// The filter bank is stored as a [out_channels, in_channels*k*k] matrix.
+/// The whole batch is unfolded at once (im2col_batch), so the forward
+/// pass and the weight-gradient pass are each ONE GEMM per batch rather
+/// than one per image; the input-gradient pass (needed by adversarial
+/// attacks) is a GEMM followed by col2im_batch, the exact adjoint of the
+/// forward lowering. All scratch (columns, GEMM outputs, re-layout
+/// buffers) persists across batches and resizes only on shape change.
 class Conv2d : public Layer {
  public:
   Conv2d(std::size_t in_channels, std::size_t out_channels,
          std::size_t kernel, std::size_t padding, Rng& rng);
 
-  Tensor forward(const Tensor& x, bool training) override;
-  Tensor backward(const Tensor& grad_out) override;
+  void forward_into(const Tensor& x, Tensor& out, bool training) override;
+  void backward_into(const Tensor& grad_out, Tensor& grad_in) override;
 
   std::vector<Tensor*> parameters() override { return {&w_, &b_}; }
   std::vector<Tensor*> gradients() override { return {&gw_, &gb_}; }
+
+  void release_buffers() override;
 
   std::string name() const override;
   Shape output_shape(const Shape& input) const override;
@@ -45,11 +47,15 @@ class Conv2d : public Layer {
   std::size_t in_c_, out_c_, kernel_, padding_;
   Tensor w_, b_;    // [out_c, in_c*k*k], [out_c]
   Tensor gw_, gb_;
-  // Cached per-image im2col columns from the last forward (one entry per
-  // batch element) plus the input geometry, both needed by backward.
-  std::vector<Tensor> cols_cache_;
+  // Batched im2col columns from the last forward
+  // ([N*oh*ow, patch], needed by the weight-gradient pass) plus the
+  // input geometry.
+  Tensor cols_cache_;
   ConvGeometry cached_geometry_;
   std::size_t cached_batch_ = 0;
+  // Reused scratch: forward GEMM output, backward grad re-layout,
+  // per-batch weight/bias gradients, column gradients.
+  Tensor y_, g2_, gw_batch_, gb_batch_, gcols_;
 };
 
 }  // namespace satd::nn

@@ -20,30 +20,33 @@ Dense::Dense(std::size_t in_features, std::size_t out_features, Rng& rng)
   init::he_normal(w_, in_features, rng);
 }
 
-Tensor Dense::forward(const Tensor& x, bool /*training*/) {
+void Dense::forward_into(const Tensor& x, Tensor& out, bool /*training*/) {
   SATD_EXPECT(x.shape().rank() == 2 && x.shape()[1] == in_,
               "Dense forward: expected [N, " + std::to_string(in_) +
                   "], got " + x.shape().to_string());
-  x_cache_ = x;
-  ops::matmul(x, w_, out_buf_);
-  ops::add_row_bias(out_buf_, b_, out_buf_);
-  return out_buf_;
+  ops::copy(x, x_cache_);
+  ops::matmul(x, w_, out);
+  ops::add_row_bias(out, b_, out);
+  note_forward();
 }
 
-Tensor Dense::backward(const Tensor& grad_out) {
-  SATD_EXPECT(!x_cache_.empty(), "Dense backward before forward");
+void Dense::backward_into(const Tensor& grad_out, Tensor& grad_in) {
+  consume_cache("Dense");
   SATD_EXPECT((grad_out.shape() == Shape{x_cache_.shape()[0], out_}),
               "Dense backward: grad shape mismatch");
   // gW += xᵀ·g ; gb += Σ_rows g ; gx = g·Wᵀ
-  Tensor gw_batch;
-  ops::matmul_tn(x_cache_, grad_out, gw_batch);
-  ops::axpy(1.0f, gw_batch, gw_);
-  Tensor gb_batch;
-  ops::sum_rows(grad_out, gb_batch);
-  ops::axpy(1.0f, gb_batch, gb_);
-  Tensor gx;
-  ops::matmul_nt(grad_out, w_, gx);
-  return gx;
+  ops::matmul_tn(x_cache_, grad_out, gw_batch_);
+  ops::axpy(1.0f, gw_batch_, gw_);
+  ops::sum_rows(grad_out, gb_batch_);
+  ops::axpy(1.0f, gb_batch_, gb_);
+  ops::matmul_nt(grad_out, w_, grad_in);
+}
+
+void Dense::release_buffers() {
+  Layer::release_buffers();
+  x_cache_ = Tensor();
+  gw_batch_ = Tensor();
+  gb_batch_ = Tensor();
 }
 
 std::string Dense::name() const {

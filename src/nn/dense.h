@@ -16,11 +16,13 @@ class Dense : public Layer {
   /// Constructs with He-normal weights drawn from `rng` and zero bias.
   Dense(std::size_t in_features, std::size_t out_features, Rng& rng);
 
-  Tensor forward(const Tensor& x, bool training) override;
-  Tensor backward(const Tensor& grad_out) override;
+  void forward_into(const Tensor& x, Tensor& out, bool training) override;
+  void backward_into(const Tensor& grad_out, Tensor& grad_in) override;
 
   std::vector<Tensor*> parameters() override { return {&w_, &b_}; }
   std::vector<Tensor*> gradients() override { return {&gw_, &gb_}; }
+
+  void release_buffers() override;
 
   std::string name() const override;
   Shape output_shape(const Shape& input) const override;
@@ -37,8 +39,8 @@ class Dense : public Layer {
   std::size_t out_;
   Tensor w_, b_;    // parameters
   Tensor gw_, gb_;  // accumulated gradients
-  Tensor x_cache_;  // input from the last forward
-  Tensor out_buf_;  // reused activation buffer
+  Tensor x_cache_;  // input from the last forward (reused buffer)
+  Tensor gw_batch_, gb_batch_;  // backward scratch (reused buffers)
 };
 
 }  // namespace satd::nn

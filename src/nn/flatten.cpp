@@ -1,21 +1,28 @@
 #include "nn/flatten.h"
 
+#include <algorithm>
+
 #include "common/contract.h"
 
 namespace satd::nn {
 
-Tensor Flatten::forward(const Tensor& x, bool /*training*/) {
+void Flatten::forward_into(const Tensor& x, Tensor& out, bool /*training*/) {
   SATD_EXPECT(x.shape().rank() >= 2, "Flatten expects rank >= 2");
   in_shape_ = x.shape();
   const std::size_t n = x.shape()[0];
-  return x.reshaped(Shape{n, x.numel() / n});
+  out.ensure_shape(Shape{n, x.numel() / n});
+  std::copy(x.raw(), x.raw() + x.numel(), out.raw());
+  note_forward();
 }
 
-Tensor Flatten::backward(const Tensor& grad_out) {
+void Flatten::backward_into(const Tensor& grad_out, Tensor& grad_in) {
+  consume_cache("Flatten");
   SATD_EXPECT(in_shape_.rank() >= 2, "Flatten backward before forward");
   SATD_EXPECT(grad_out.numel() == in_shape_.numel(),
               "Flatten backward: grad size mismatch");
-  return grad_out.reshaped(in_shape_);
+  grad_in.ensure_shape(in_shape_);
+  std::copy(grad_out.raw(), grad_out.raw() + grad_out.numel(),
+            grad_in.raw());
 }
 
 Shape Flatten::output_shape(const Shape& input) const {

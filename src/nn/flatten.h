@@ -8,8 +8,8 @@ namespace satd::nn {
 /// Reshapes each example to a flat vector; backward restores the shape.
 class Flatten : public Layer {
  public:
-  Tensor forward(const Tensor& x, bool training) override;
-  Tensor backward(const Tensor& grad_out) override;
+  void forward_into(const Tensor& x, Tensor& out, bool training) override;
+  void backward_into(const Tensor& grad_out, Tensor& grad_in) override;
   std::string name() const override { return "Flatten"; }
   Shape output_shape(const Shape& input) const override;
 

@@ -21,10 +21,16 @@ void check_batch(const Tensor& logits, std::span<const std::size_t> labels) {
 }  // namespace
 
 Tensor softmax(const Tensor& logits) {
+  Tensor out;
+  softmax_into(logits, out);
+  return out;
+}
+
+void softmax_into(const Tensor& logits, Tensor& out) {
   SATD_EXPECT(logits.shape().rank() == 2, "logits must be [N, K]");
   const std::size_t n = logits.shape()[0];
   const std::size_t k = logits.shape()[1];
-  Tensor out(logits.shape());
+  out.ensure_shape(logits.shape());
   const float* pl = logits.raw();
   float* po = out.raw();
   for (std::size_t i = 0; i < n; ++i) {
@@ -39,17 +45,23 @@ Tensor softmax(const Tensor& logits) {
     const float inv = static_cast<float>(1.0 / denom);
     for (std::size_t j = 0; j < k; ++j) orow[j] *= inv;
   }
-  return out;
 }
 
 LossResult softmax_cross_entropy(const Tensor& logits,
                                  std::span<const std::size_t> labels) {
+  LossResult res;
+  softmax_cross_entropy_into(logits, labels, res);
+  return res;
+}
+
+void softmax_cross_entropy_into(const Tensor& logits,
+                                std::span<const std::size_t> labels,
+                                LossResult& res) {
   check_batch(logits, labels);
   const std::size_t n = logits.shape()[0];
   const std::size_t k = logits.shape()[1];
   SATD_EXPECT(n > 0, "empty batch");
-  LossResult res;
-  res.grad_logits = softmax(logits);
+  softmax_into(logits, res.grad_logits);
   double loss = 0.0;
   float* pg = res.grad_logits.raw();
   const float inv_n = 1.0f / static_cast<float>(n);
@@ -61,7 +73,6 @@ LossResult softmax_cross_entropy(const Tensor& logits,
     for (std::size_t j = 0; j < k; ++j) row[j] *= inv_n;
   }
   res.value = static_cast<float>(loss / static_cast<double>(n));
-  return res;
 }
 
 float softmax_cross_entropy_value(const Tensor& logits,
@@ -85,13 +96,20 @@ float softmax_cross_entropy_value(const Tensor& logits,
 LossResult softmax_cross_entropy_smoothed(const Tensor& logits,
                                           std::span<const std::size_t> labels,
                                           float alpha) {
+  LossResult res;
+  softmax_cross_entropy_smoothed_into(logits, labels, alpha, res);
+  return res;
+}
+
+void softmax_cross_entropy_smoothed_into(const Tensor& logits,
+                                         std::span<const std::size_t> labels,
+                                         float alpha, LossResult& res) {
   check_batch(logits, labels);
   SATD_EXPECT(alpha >= 0.0f && alpha <= 1.0f, "alpha must be in [0,1]");
   const std::size_t n = logits.shape()[0];
   const std::size_t k = logits.shape()[1];
   SATD_EXPECT(n > 0, "empty batch");
-  LossResult res;
-  res.grad_logits = softmax(logits);
+  softmax_into(logits, res.grad_logits);
   const float off = alpha / static_cast<float>(k);
   const float on = 1.0f - alpha + off;
   double loss = 0.0;
@@ -107,7 +125,6 @@ LossResult softmax_cross_entropy_smoothed(const Tensor& logits,
     }
   }
   res.value = static_cast<float>(loss / static_cast<double>(n));
-  return res;
 }
 
 float softmax_cross_entropy_smoothed_value(

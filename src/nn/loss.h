@@ -23,10 +23,21 @@ struct LossResult {
 /// Row-wise softmax of logits [N, K] (numerically stabilized).
 Tensor softmax(const Tensor& logits);
 
+/// Out-parameter softmax: `out` is resized in place on shape change and
+/// reused otherwise. `out` must not alias `logits`.
+void softmax_into(const Tensor& logits, Tensor& out);
+
 /// Mean softmax cross-entropy of logits [N, K] against integer labels.
 /// The returned gradient is for the MEAN loss (already divided by N).
 LossResult softmax_cross_entropy(const Tensor& logits,
                                  std::span<const std::size_t> labels);
+
+/// Out-parameter cross-entropy: writes the loss value and gradient into
+/// `res`, reusing res.grad_logits across batches. The buffer-reuse form
+/// for steady-state training and attack loops.
+void softmax_cross_entropy_into(const Tensor& logits,
+                                std::span<const std::size_t> labels,
+                                LossResult& res);
 
 /// Loss value only (no gradient); used by evaluation loops.
 float softmax_cross_entropy_value(const Tensor& logits,
@@ -39,6 +50,12 @@ float softmax_cross_entropy_value(const Tensor& logits,
 LossResult softmax_cross_entropy_smoothed(const Tensor& logits,
                                           std::span<const std::size_t> labels,
                                           float alpha);
+
+/// Out-parameter variant of the smoothed loss (same reuse semantics as
+/// softmax_cross_entropy_into).
+void softmax_cross_entropy_smoothed_into(const Tensor& logits,
+                                         std::span<const std::size_t> labels,
+                                         float alpha, LossResult& res);
 
 /// Value-only variant of the smoothed loss.
 float softmax_cross_entropy_smoothed_value(

@@ -8,7 +8,8 @@ MaxPool2d::MaxPool2d(std::size_t window) : window_(window) {
   SATD_EXPECT(window >= 1, "pool window must be >= 1");
 }
 
-Tensor MaxPool2d::forward(const Tensor& x, bool /*training*/) {
+void MaxPool2d::forward_into(const Tensor& x, Tensor& out,
+                             bool /*training*/) {
   SATD_EXPECT(x.shape().rank() == 4, "MaxPool2d expects [N, C, H, W]");
   const std::size_t n = x.shape()[0];
   const std::size_t c = x.shape()[1];
@@ -19,7 +20,7 @@ Tensor MaxPool2d::forward(const Tensor& x, bool /*training*/) {
   const std::size_t oh = h / window_;
   const std::size_t ow = w / window_;
   in_shape_ = x.shape();
-  Tensor out(Shape{n, c, oh, ow});
+  out.ensure_shape(Shape{n, c, oh, ow});
   argmax_.assign(out.numel(), 0);
   const float* src = x.raw();
   float* dst = out.raw();
@@ -47,18 +48,26 @@ Tensor MaxPool2d::forward(const Tensor& x, bool /*training*/) {
       }
     }
   }
-  return out;
+  note_forward();
 }
 
-Tensor MaxPool2d::backward(const Tensor& grad_out) {
+void MaxPool2d::backward_into(const Tensor& grad_out, Tensor& grad_in) {
+  consume_cache("MaxPool2d");
   SATD_EXPECT(in_shape_.rank() == 4, "MaxPool2d backward before forward");
   SATD_EXPECT(grad_out.numel() == argmax_.size(),
               "MaxPool2d backward: grad shape mismatch");
-  Tensor gx(in_shape_);
+  // The scatter below accumulates, so the reused buffer must be zeroed.
+  grad_in.ensure_shape(in_shape_);
+  grad_in.fill(0.0f);
   const float* g = grad_out.raw();
-  float* dst = gx.raw();
+  float* dst = grad_in.raw();
   for (std::size_t o = 0; o < argmax_.size(); ++o) dst[argmax_[o]] += g[o];
-  return gx;
+}
+
+void MaxPool2d::release_buffers() {
+  Layer::release_buffers();
+  argmax_.clear();
+  argmax_.shrink_to_fit();
 }
 
 std::string MaxPool2d::name() const {

@@ -13,8 +13,10 @@ class MaxPool2d : public Layer {
  public:
   explicit MaxPool2d(std::size_t window = 2);
 
-  Tensor forward(const Tensor& x, bool training) override;
-  Tensor backward(const Tensor& grad_out) override;
+  void forward_into(const Tensor& x, Tensor& out, bool training) override;
+  void backward_into(const Tensor& grad_out, Tensor& grad_in) override;
+
+  void release_buffers() override;
 
   std::string name() const override;
   Shape output_shape(const Shape& input) const override;

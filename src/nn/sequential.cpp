@@ -23,19 +23,49 @@ const Layer& Sequential::layer(std::size_t i) const {
 }
 
 Tensor Sequential::forward(const Tensor& x, bool training) {
-  SATD_EXPECT(!layers_.empty(), "forward on empty model");
-  Tensor h = x;
-  for (auto& l : layers_) h = l->forward(h, training);
-  return h;
+  Tensor out;
+  forward_into(x, out, training);
+  return out;
 }
 
 Tensor Sequential::backward(const Tensor& grad_logits) {
-  SATD_EXPECT(!layers_.empty(), "backward on empty model");
-  Tensor g = grad_logits;
-  for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) {
-    g = (*it)->backward(g);
+  Tensor grad_in;
+  backward_into(grad_logits, grad_in);
+  return grad_in;
+}
+
+void Sequential::forward_into(const Tensor& x, Tensor& out, bool training) {
+  SATD_EXPECT(!layers_.empty(), "forward on empty model");
+  if (act_tape_.size() + 1 != layers_.size()) {
+    act_tape_.resize(layers_.size() - 1);
   }
-  return g;
+  const Tensor* h = &x;
+  for (std::size_t i = 0; i + 1 < layers_.size(); ++i) {
+    layers_[i]->forward_into(*h, act_tape_[i], training);
+    h = &act_tape_[i];
+  }
+  layers_.back()->forward_into(*h, out, training);
+}
+
+void Sequential::backward_into(const Tensor& grad_logits, Tensor& grad_in) {
+  SATD_EXPECT(!layers_.empty(), "backward on empty model");
+  if (grad_tape_.size() + 1 != layers_.size()) {
+    grad_tape_.resize(layers_.size() - 1);
+  }
+  const Tensor* g = &grad_logits;
+  for (std::size_t i = layers_.size(); i-- > 1;) {
+    layers_[i]->backward_into(*g, grad_tape_[i - 1]);
+    g = &grad_tape_[i - 1];
+  }
+  layers_.front()->backward_into(*g, grad_in);
+}
+
+void Sequential::release_buffers() {
+  for (auto& l : layers_) l->release_buffers();
+  act_tape_.clear();
+  act_tape_.shrink_to_fit();
+  grad_tape_.clear();
+  grad_tape_.shrink_to_fit();
 }
 
 std::vector<Tensor*> Sequential::parameters() {

@@ -32,11 +32,27 @@ class Sequential {
   const Layer& layer(std::size_t i) const;
 
   /// Runs the full forward pass. `training` enables train-only layers.
+  /// Value-returning wrapper over forward_into (allocates the result).
   Tensor forward(const Tensor& x, bool training = false);
 
   /// Back-propagates from dLoss/dLogits; accumulates parameter gradients
-  /// in every layer and returns dLoss/dInput.
+  /// in every layer and returns dLoss/dInput. Wrapper over backward_into.
   Tensor backward(const Tensor& grad_logits);
+
+  /// Allocation-free forward: intermediate activations flow through a
+  /// persistent tape reused across batches; the logits land in `out`
+  /// (resized on shape change, reused otherwise). `out` must not alias
+  /// `x` or a tensor the model caches.
+  void forward_into(const Tensor& x, Tensor& out, bool training = false);
+
+  /// Allocation-free backward: intermediate gradients flow through a
+  /// persistent tape; dLoss/dInput lands in `grad_in`. `grad_in` must
+  /// not alias `grad_logits`.
+  void backward_into(const Tensor& grad_logits, Tensor& grad_in);
+
+  /// Releases every layer's scratch plus both tapes (all regrow on the
+  /// next pass). For idle models and cold-buffer benchmarking.
+  void release_buffers();
 
   /// All trainable parameters / their gradient buffers, in layer order.
   std::vector<Tensor*> parameters();
@@ -57,6 +73,12 @@ class Sequential {
 
  private:
   std::vector<LayerPtr> layers_;
+  // Persistent inter-layer buffers: act_tape_[i] holds the output of
+  // layer i (the last layer writes the caller's `out`), grad_tape_[i]
+  // holds dLoss/d(input of layer i+1) (layer 0 writes the caller's
+  // `grad_in`). Sized on first use, reused across batches.
+  std::vector<Tensor> act_tape_;
+  std::vector<Tensor> grad_tape_;
 };
 
 }  // namespace satd::nn

@@ -5,26 +5,22 @@
 namespace satd {
 
 namespace {
-void check_geometry(const Tensor& image, const ConvGeometry& g) {
-  SATD_EXPECT(image.shape().rank() == 3, "im2col expects a [C,H,W] image");
-  SATD_EXPECT(image.shape()[0] == g.in_channels &&
-                  image.shape()[1] == g.in_h && image.shape()[2] == g.in_w,
+void check_image_geometry(const Shape& image, const ConvGeometry& g) {
+  SATD_EXPECT(image.rank() == 3, "im2col expects a [C,H,W] image");
+  SATD_EXPECT(image[0] == g.in_channels && image[1] == g.in_h &&
+                  image[2] == g.in_w,
               "image shape does not match geometry");
   SATD_EXPECT(g.kernel > 0 && g.kernel <= g.in_h + 2 * g.padding &&
                   g.kernel <= g.in_w + 2 * g.padding,
               "kernel larger than padded input");
 }
-}  // namespace
 
-void im2col(const Tensor& image, const ConvGeometry& g, Tensor& out) {
-  check_geometry(image, g);
+/// Unfolds one [C, H, W] image at `src` into `dst` (out_h*out_w rows of
+/// patch_size taps).
+void unfold_image(const float* src, const ConvGeometry& g, float* dst) {
   const std::size_t oh = g.out_h();
   const std::size_t ow = g.out_w();
   const std::size_t patch = g.patch_size();
-  const Shape want{oh * ow, patch};
-  if (out.shape() != want) out = Tensor(want);
-  const float* src = image.raw();
-  float* dst = out.raw();
   const std::ptrdiff_t pad = static_cast<std::ptrdiff_t>(g.padding);
   for (std::size_t oy = 0; oy < oh; ++oy) {
     for (std::size_t ox = 0; ox < ow; ++ox) {
@@ -51,17 +47,12 @@ void im2col(const Tensor& image, const ConvGeometry& g, Tensor& out) {
   }
 }
 
-void col2im(const Tensor& columns, const ConvGeometry& g, Tensor& out) {
+/// Folds one image's column gradients at `src` into the [C, H, W] image
+/// gradient at `dst` (accumulating; caller zeroes).
+void fold_image(const float* src, const ConvGeometry& g, float* dst) {
   const std::size_t oh = g.out_h();
   const std::size_t ow = g.out_w();
   const std::size_t patch = g.patch_size();
-  SATD_EXPECT((columns.shape() == Shape{oh * ow, patch}),
-              "columns shape does not match geometry");
-  const Shape want{g.in_channels, g.in_h, g.in_w};
-  if (out.shape() != want) out = Tensor(want);
-  out.fill(0.0f);
-  const float* src = columns.raw();
-  float* dst = out.raw();
   const std::ptrdiff_t pad = static_cast<std::ptrdiff_t>(g.padding);
   for (std::size_t oy = 0; oy < oh; ++oy) {
     for (std::size_t ox = 0; ox < ow; ++ox) {
@@ -86,6 +77,54 @@ void col2im(const Tensor& columns, const ConvGeometry& g, Tensor& out) {
         }
       }
     }
+  }
+}
+}  // namespace
+
+void im2col(const Tensor& image, const ConvGeometry& g, Tensor& out) {
+  check_image_geometry(image.shape(), g);
+  out.ensure_shape(Shape{g.out_h() * g.out_w(), g.patch_size()});
+  unfold_image(image.raw(), g, out.raw());
+}
+
+void col2im(const Tensor& columns, const ConvGeometry& g, Tensor& out) {
+  SATD_EXPECT((columns.shape() == Shape{g.out_h() * g.out_w(),
+                                        g.patch_size()}),
+              "columns shape does not match geometry");
+  out.ensure_shape(Shape{g.in_channels, g.in_h, g.in_w});
+  out.fill(0.0f);
+  fold_image(columns.raw(), g, out.raw());
+}
+
+void im2col_batch(const Tensor& batch, const ConvGeometry& g, Tensor& out) {
+  SATD_EXPECT(batch.shape().rank() == 4,
+              "im2col_batch expects [N, C, H, W]");
+  const std::size_t n = batch.shape()[0];
+  check_image_geometry(Shape{batch.shape()[1], batch.shape()[2],
+                             batch.shape()[3]},
+                       g);
+  const std::size_t rows = g.out_h() * g.out_w();
+  const std::size_t patch = g.patch_size();
+  out.ensure_shape(Shape{n * rows, patch});
+  const std::size_t image_elems = g.in_channels * g.in_h * g.in_w;
+  for (std::size_t i = 0; i < n; ++i) {
+    unfold_image(batch.raw() + i * image_elems, g,
+                 out.raw() + i * rows * patch);
+  }
+}
+
+void col2im_batch(const Tensor& columns, std::size_t batch_size,
+                  const ConvGeometry& g, Tensor& out) {
+  const std::size_t rows = g.out_h() * g.out_w();
+  const std::size_t patch = g.patch_size();
+  SATD_EXPECT((columns.shape() == Shape{batch_size * rows, patch}),
+              "columns shape does not match geometry");
+  out.ensure_shape(Shape{batch_size, g.in_channels, g.in_h, g.in_w});
+  out.fill(0.0f);
+  const std::size_t image_elems = g.in_channels * g.in_h * g.in_w;
+  for (std::size_t i = 0; i < batch_size; ++i) {
+    fold_image(columns.raw() + i * rows * patch, g,
+               out.raw() + i * image_elems);
   }
 }
 

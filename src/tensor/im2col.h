@@ -37,4 +37,16 @@ void im2col(const Tensor& image, const ConvGeometry& g, Tensor& out);
 /// `out` is resized and zeroed.
 void col2im(const Tensor& columns, const ConvGeometry& g, Tensor& out);
 
+/// Unfolds a whole batch [N, C, H, W] into [N*out_h*out_w, patch_size]
+/// (image i occupies rows [i*out_h*out_w, (i+1)*out_h*out_w)), so the
+/// convolution over the batch is one GEMM instead of N. `out` is resized
+/// in place (capacity reused) when the shape changes.
+void im2col_batch(const Tensor& batch, const ConvGeometry& g, Tensor& out);
+
+/// Adjoint of im2col_batch: folds [N*out_h*out_w, patch_size] column
+/// gradients back into a batch gradient [N, C, H, W]. `out` is resized
+/// in place and zeroed.
+void col2im_batch(const Tensor& columns, std::size_t batch_size,
+                  const ConvGeometry& g, Tensor& out);
+
 }  // namespace satd

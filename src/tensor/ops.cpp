@@ -15,11 +15,17 @@ void check_same_shape(const Tensor& a, const Tensor& b, const char* op) {
 }
 
 void prepare_out(const Tensor& like, Tensor& out) {
-  if (out.shape() != like.shape()) out = Tensor(like.shape());
+  out.ensure_shape(like.shape());
 }
 }  // namespace
 
 // ---- elementwise ----
+
+void copy(const Tensor& a, Tensor& out) {
+  if (&a == &out) return;
+  prepare_out(a, out);
+  std::copy(a.raw(), a.raw() + a.numel(), out.raw());
+}
 
 void add(const Tensor& a, const Tensor& b, Tensor& out) {
   check_same_shape(a, b, "add");
@@ -184,11 +190,17 @@ std::size_t argmax(const Tensor& a) {
 }
 
 std::vector<std::size_t> argmax_rows(const Tensor& a) {
+  std::vector<std::size_t> out;
+  argmax_rows_into(a, out);
+  return out;
+}
+
+void argmax_rows_into(const Tensor& a, std::vector<std::size_t>& out) {
   SATD_EXPECT(a.shape().rank() == 2, "argmax_rows requires rank 2");
   const std::size_t n = a.shape()[0];
   const std::size_t d = a.shape()[1];
   SATD_EXPECT(d > 0, "argmax_rows requires non-empty rows");
-  std::vector<std::size_t> out(n);
+  out.resize(n);
   const float* p = a.raw();
   for (std::size_t i = 0; i < n; ++i) {
     const float* row = p + i * d;
@@ -198,7 +210,6 @@ std::vector<std::size_t> argmax_rows(const Tensor& a) {
     }
     out[i] = best;
   }
-  return out;
 }
 
 // ---- linear algebra ----
@@ -210,7 +221,7 @@ void matmul(const Tensor& a, const Tensor& b, Tensor& out) {
   const std::size_t k = a.shape()[1];
   SATD_EXPECT(b.shape()[0] == k, "matmul inner dimension mismatch");
   const std::size_t n = b.shape()[1];
-  if (out.shape() != Shape{m, n}) out = Tensor(Shape{m, n});
+  out.ensure_shape(Shape{m, n});
   out.fill(0.0f);
   const float* pa = a.raw();
   const float* pb = b.raw();
@@ -241,7 +252,7 @@ void matmul_tn(const Tensor& a, const Tensor& b, Tensor& out) {
   const std::size_t m = a.shape()[1];
   SATD_EXPECT(b.shape()[0] == k, "matmul_tn inner dimension mismatch");
   const std::size_t n = b.shape()[1];
-  if (out.shape() != Shape{m, n}) out = Tensor(Shape{m, n});
+  out.ensure_shape(Shape{m, n});
   out.fill(0.0f);
   const float* pa = a.raw();
   const float* pb = b.raw();
@@ -271,7 +282,7 @@ void matmul_nt(const Tensor& a, const Tensor& b, Tensor& out) {
   const std::size_t k = a.shape()[1];
   SATD_EXPECT(b.shape()[1] == k, "matmul_nt inner dimension mismatch");
   const std::size_t n = b.shape()[0];
-  if (out.shape() != Shape{m, n}) out = Tensor(Shape{m, n});
+  out.ensure_shape(Shape{m, n});
   const float* pa = a.raw();
   const float* pb = b.raw();
   float* po = out.raw();
@@ -312,7 +323,7 @@ void sum_rows(const Tensor& grad, Tensor& out) {
   SATD_EXPECT(grad.shape().rank() == 2, "sum_rows requires rank 2");
   const std::size_t m = grad.shape()[0];
   const std::size_t n = grad.shape()[1];
-  if (out.shape() != Shape{n}) out = Tensor(Shape{n});
+  out.ensure_shape(Shape{n});
   out.fill(0.0f);
   const float* pg = grad.raw();
   float* po = out.raw();

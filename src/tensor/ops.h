@@ -16,6 +16,9 @@ namespace satd::ops {
 
 // ---- elementwise ----
 
+/// out = a (deep copy into a reused buffer; resizes out on shape change).
+void copy(const Tensor& a, Tensor& out);
+
 /// out = a + b (shapes must match).
 void add(const Tensor& a, const Tensor& b, Tensor& out);
 Tensor add(const Tensor& a, const Tensor& b);
@@ -73,6 +76,9 @@ std::size_t argmax(const Tensor& a);
 
 /// Row-wise argmax of a rank-2 tensor [N, D] -> N indices.
 std::vector<std::size_t> argmax_rows(const Tensor& a);
+
+/// Allocation-free variant: `out` is resized (capacity reused) per call.
+void argmax_rows_into(const Tensor& a, std::vector<std::size_t>& out);
 
 // ---- linear algebra ----
 

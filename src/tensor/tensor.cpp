@@ -108,6 +108,12 @@ Tensor Tensor::reshaped(Shape new_shape) const {
   return Tensor(std::move(new_shape), data_);
 }
 
+void Tensor::ensure_shape(const Shape& shape) {
+  if (shape_ == shape) return;
+  data_.resize(shape.numel());
+  shape_ = shape;
+}
+
 std::size_t Tensor::row_stride() const {
   SATD_EXPECT(shape_.rank() >= 2, "row access requires rank >= 2");
   std::size_t stride = 1;

@@ -85,6 +85,13 @@ class Tensor {
   /// Reinterprets the storage with a new shape of equal numel.
   Tensor reshaped(Shape new_shape) const;
 
+  /// Resizes the tensor to `shape` in place, reusing the existing
+  /// allocation whenever the new element count fits its capacity (the
+  /// foundation of every `_into` buffer-reuse path). No-op when the shape
+  /// already matches — contents are then preserved; after a shape change
+  /// the contents are unspecified.
+  void ensure_shape(const Shape& shape);
+
   /// Copies row `i` of a rank>=2 tensor (all trailing dims) into a new
   /// tensor of shape equal to the trailing dims.
   Tensor slice_row(std::size_t i) const;

@@ -1,0 +1,41 @@
+#include "tensor/workspace.h"
+
+#include "common/contract.h"
+
+namespace satd {
+
+Tensor& Workspace::get(std::string_view name, const Shape& shape) {
+  SATD_EXPECT(!name.empty(), "workspace buffer name must be non-empty");
+  auto it = buffers_.find(name);
+  if (it == buffers_.end()) {
+    it = buffers_.emplace(std::string(name), Tensor(shape)).first;
+    return it->second;
+  }
+  it->second.ensure_shape(shape);
+  return it->second;
+}
+
+Tensor& Workspace::get_zeroed(std::string_view name, const Shape& shape) {
+  Tensor& t = get(name, shape);
+  t.fill(0.0f);
+  return t;
+}
+
+const Tensor& Workspace::at(std::string_view name) const {
+  const auto it = buffers_.find(name);
+  SATD_EXPECT(it != buffers_.end(),
+              "workspace has no buffer named '" + std::string(name) + "'");
+  return it->second;
+}
+
+bool Workspace::has(std::string_view name) const {
+  return buffers_.find(name) != buffers_.end();
+}
+
+std::size_t Workspace::total_elements() const {
+  std::size_t n = 0;
+  for (const auto& [name, t] : buffers_) n += t.numel();
+  return n;
+}
+
+}  // namespace satd

@@ -1,0 +1,61 @@
+// Named scratch-buffer pool for allocation-free hot loops.
+//
+// The `_into` execution paths (nn layers, attacks, trainers) need scratch
+// tensors that survive across batches so the steady-state training loop
+// performs zero heap allocations. A Workspace owns those buffers by name:
+// the first `get` for a name allocates, every later `get` with the same
+// shape returns the identical buffer (stable address — references stay
+// valid across further insertions), and a shape change resizes in place,
+// reusing capacity where the new element count fits. Buffers regrow on
+// demand after `clear()`, which exists so long-lived models can shed
+// their scratch when idle (e.g. after eviction from a serving cache).
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+#include "tensor/tensor.h"
+
+namespace satd {
+
+/// Owns named, shape-managed scratch tensors for buffer-reuse paths.
+class Workspace {
+ public:
+  /// Returns the buffer registered under `name`, sized to `shape`.
+  /// Allocates on first use; resizes in place on a shape change (contents
+  /// then unspecified); otherwise returns the buffer untouched. The
+  /// reference remains valid until clear().
+  Tensor& get(std::string_view name, const Shape& shape);
+
+  /// Like get(), but zero-fills the buffer before returning it.
+  Tensor& get_zeroed(std::string_view name, const Shape& shape);
+
+  /// Read access to an existing buffer; fails the contract check if
+  /// `name` was never allocated.
+  const Tensor& at(std::string_view name) const;
+
+  bool has(std::string_view name) const;
+
+  /// Number of named buffers currently owned.
+  std::size_t size() const { return buffers_.size(); }
+
+  /// Total floats held across all buffers (for memory accounting).
+  std::size_t total_elements() const;
+
+  /// Releases every buffer; subsequent get() calls reallocate.
+  void clear() { buffers_.clear(); }
+
+ private:
+  // Transparent hashing so lookups by string_view never build a
+  // temporary std::string (which would allocate in the hot path).
+  struct Hash {
+    using is_transparent = void;
+    std::size_t operator()(std::string_view sv) const {
+      return std::hash<std::string_view>{}(sv);
+    }
+  };
+  std::unordered_map<std::string, Tensor, Hash, std::equal_to<>> buffers_;
+};
+
+}  // namespace satd

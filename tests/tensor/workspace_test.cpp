@@ -1,0 +1,88 @@
+#include "tensor/workspace.h"
+
+#include <gtest/gtest.h>
+
+#include "common/contract.h"
+
+namespace satd {
+namespace {
+
+TEST(Workspace, FirstGetAllocatesAtRequestedShape) {
+  Workspace ws;
+  Tensor& t = ws.get("a", Shape{2, 3});
+  EXPECT_EQ(t.shape(), (Shape{2, 3}));
+  EXPECT_EQ(ws.size(), 1u);
+  EXPECT_TRUE(ws.has("a"));
+  EXPECT_FALSE(ws.has("b"));
+}
+
+TEST(Workspace, SameShapeGetReturnsSameBufferUntouched) {
+  Workspace ws;
+  Tensor& t = ws.get("a", Shape{4});
+  t.fill(7.0f);
+  const float* data = t.raw();
+  Tensor& again = ws.get("a", Shape{4});
+  EXPECT_EQ(&t, &again);
+  EXPECT_EQ(again.raw(), data);  // no reallocation
+  for (float v : again.data()) EXPECT_EQ(v, 7.0f);
+}
+
+TEST(Workspace, ShapeChangeResizesInPlace) {
+  Workspace ws;
+  Tensor& t = ws.get("a", Shape{8, 8});
+  const float* data = t.raw();
+  Tensor& shrunk = ws.get("a", Shape{2, 2});
+  EXPECT_EQ(&t, &shrunk);
+  EXPECT_EQ(shrunk.shape(), (Shape{2, 2}));
+  // Shrinking fits within existing capacity: storage is reused.
+  EXPECT_EQ(shrunk.raw(), data);
+  EXPECT_EQ(ws.size(), 1u);
+}
+
+TEST(Workspace, ReferencesSurviveFurtherInsertions) {
+  Workspace ws;
+  Tensor& a = ws.get("a", Shape{3});
+  a.fill(1.5f);
+  // Enough insertions to force a rehash of any reasonable initial
+  // bucket count; node-based storage must keep `a` valid.
+  for (int i = 0; i < 100; ++i) {
+    ws.get("buf" + std::to_string(i), Shape{1});
+  }
+  EXPECT_EQ(ws.size(), 101u);
+  for (float v : a.data()) EXPECT_EQ(v, 1.5f);
+}
+
+TEST(Workspace, GetZeroedClearsPreviousContents) {
+  Workspace ws;
+  ws.get("a", Shape{5}).fill(3.0f);
+  Tensor& z = ws.get_zeroed("a", Shape{5});
+  for (float v : z.data()) EXPECT_EQ(v, 0.0f);
+}
+
+TEST(Workspace, AtReadsExistingAndThrowsOnMissing) {
+  Workspace ws;
+  ws.get("a", Shape{2}).fill(9.0f);
+  const Workspace& cws = ws;
+  EXPECT_EQ(cws.at("a").numel(), 2u);
+  EXPECT_THROW(cws.at("missing"), ContractViolation);
+}
+
+TEST(Workspace, TotalElementsSumsAllBuffers) {
+  Workspace ws;
+  ws.get("a", Shape{2, 3});
+  ws.get("b", Shape{4});
+  EXPECT_EQ(ws.total_elements(), 10u);
+}
+
+TEST(Workspace, ClearReleasesEverythingAndBuffersRegrow) {
+  Workspace ws;
+  ws.get("a", Shape{2});
+  ws.clear();
+  EXPECT_EQ(ws.size(), 0u);
+  EXPECT_FALSE(ws.has("a"));
+  Tensor& t = ws.get("a", Shape{6});
+  EXPECT_EQ(t.shape(), (Shape{6}));
+}
+
+}  // namespace
+}  // namespace satd
