@@ -1,0 +1,123 @@
+// Durable file persistence: atomic writes, checksummed framing, typed
+// I/O errors, and fault-injection hooks for tests.
+//
+// Every binary artifact the library persists (model files, trainer
+// checkpoints, the benches' model cache) goes through this layer so that
+//   (a) a crash mid-save can never destroy the previous good artifact —
+//       writes go to `<path>.tmp`, are flushed to disk, and are renamed
+//       over the target only once complete (POSIX rename atomicity);
+//   (b) truncation and bit-rot are always detected at load time — the
+//       payload is wrapped in a CRC32-checked frame — and surface as a
+//       typed CorruptFileError, never as garbage data or UB.
+//
+// The fault-injection hooks (`fault::arm_write_failure`, FaultStream)
+// let tests simulate crashes at an exact byte offset to prove both
+// properties end-to-end.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace satd::durable {
+
+/// Thrown when an OS-level file operation fails (open/write/flush/
+/// rename). The message always carries the path and strerror(errno).
+class IoError : public std::runtime_error {
+ public:
+  explicit IoError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Thrown when a file's content is detected as damaged: bad framing
+/// magic, length mismatch (truncation), or checksum mismatch (bit-rot).
+/// SerializeError (tensor/serialize.h) derives from this, so one catch
+/// covers both framing-level and payload-level corruption.
+class CorruptFileError : public std::runtime_error {
+ public:
+  explicit CorruptFileError(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
+/// CRC-32 (IEEE 802.3, the zlib polynomial). `crc` chains incremental
+/// updates; pass the previous return value to continue a running sum.
+std::uint32_t crc32(const void* data, std::size_t n, std::uint32_t crc = 0);
+std::uint32_t crc32(const std::string& bytes);
+
+/// Framing magic for checksummed files ("SATDCRC1").
+extern const char kFrameMagic[8];
+
+/// Wraps `payload` in the checksummed frame:
+///   "SATDCRC1" + u64 payload_size + payload + u32 crc32(payload)
+std::string wrap_checksummed(const std::string& payload);
+
+/// Verifies and strips the frame; throws CorruptFileError (message
+/// includes `context`, typically the file path) on bad magic, size
+/// mismatch or checksum mismatch.
+std::string unwrap_checksummed(const std::string& framed,
+                               const std::string& context);
+
+/// True if `bytes` begins with the checksummed-frame magic.
+bool is_checksummed(const std::string& bytes);
+
+/// Atomically replaces `path` with `bytes`: writes `<path>.tmp`, fsyncs,
+/// then renames over `path`. On any failure the previous file at `path`
+/// is untouched; throws IoError with path + errno context.
+void atomic_write_file(const std::string& path, const std::string& bytes);
+
+/// Serializes via `writer` into a memory buffer, wraps it in the
+/// checksummed frame, and writes it atomically. The one-call safe-save
+/// used by model files and checkpoints.
+void write_file_checksummed(const std::string& path,
+                            const std::function<void(std::ostream&)>& writer);
+
+/// Reads the whole file. If it carries the checksummed frame the payload
+/// is verified and unwrapped; a legacy (unframed) file is returned
+/// verbatim so pre-checksum artifacts stay loadable. Throws IoError if
+/// the file cannot be opened/read, CorruptFileError if the frame is
+/// damaged.
+std::string read_file_verified(const std::string& path);
+
+// ---- fault injection (tests only) ----
+//
+// Simulates a crash during atomic_write_file: once armed, the next write
+// stops after exactly `fail_at_byte` payload bytes have reached the temp
+// file and throws IoError, leaving the partial temp file behind (as a
+// real crash would) and the destination untouched. One-shot: the trigger
+// disarms itself when it fires.
+namespace fault {
+void arm_write_failure(std::size_t fail_at_byte);
+void disarm();
+bool armed();
+}  // namespace fault
+
+/// An ostream that accepts exactly `limit` bytes and then fails (badbit),
+/// mimicking a full disk / dying file handle mid-save. Bytes written
+/// before the cut are available via data() — which makes it double as a
+/// truncation generator for sweep tests.
+class FaultStream : public std::ostream {
+ public:
+  explicit FaultStream(std::size_t limit);
+  /// The (at most `limit`) bytes that were accepted.
+  std::string data() const { return buf_.data(); }
+
+ private:
+  class LimitBuf : public std::stringbuf {
+   public:
+    explicit LimitBuf(std::size_t limit) : limit_(limit) {}
+    std::string data() const { return str(); }
+
+   protected:
+    int overflow(int ch) override;
+    std::streamsize xsputn(const char* s, std::streamsize n) override;
+
+   private:
+    std::size_t limit_;
+    std::size_t written_ = 0;
+  };
+  LimitBuf buf_;
+};
+
+}  // namespace satd::durable

@@ -1,10 +1,12 @@
 #include "core/trainer.h"
 
-#include <fstream>
+#include <cmath>
 #include <istream>
 #include <ostream>
+#include <sstream>
 
 #include "common/contract.h"
+#include "common/durable_io.h"
 #include "common/log.h"
 #include "nn/loss.h"
 #include "tensor/serialize.h"
@@ -92,6 +94,22 @@ float Trainer::train_batch(const data::Batch& batch) {
   return loss;
 }
 
+const char* Trainer::epoch_health_verdict(float mean_loss,
+                                          float last_good_loss) const {
+  if (!std::isfinite(mean_loss)) return "non_finite_loss";
+  for (Tensor* p : model_.parameters()) {
+    for (float v : p->data()) {
+      if (!std::isfinite(v)) return "non_finite_parameter";
+    }
+  }
+  if (last_good_loss >= 0.0f &&
+      mean_loss >
+          config_.loss_spike_factor * std::max(last_good_loss, 0.1f)) {
+    return "loss_spike";
+  }
+  return nullptr;
+}
+
 TrainReport Trainer::fit(const data::Dataset& train, EpochCallback callback,
                          std::size_t start_epoch) {
   train.validate();
@@ -104,21 +122,87 @@ TrainReport Trainer::fit(const data::Dataset& train, EpochCallback callback,
     on_resume(train);
   }
   data::Batcher batcher(train, config_.batch_size);
+
+  // Last-good snapshot for divergence rollback and graceful shutdown:
+  // the full checkpoint payload (params, optimizer moments, both RNG
+  // streams, method state) serialized in memory at each epoch boundary.
+  // Restoring it and replaying the epoch is deterministic because the
+  // RNG streams rewind with it.
+  const bool keep_snapshot =
+      config_.health_checks || static_cast<bool>(stop_check_);
+  std::string snapshot;
+  auto take_snapshot = [&](std::size_t next_epoch) {
+    if (!keep_snapshot) return;
+    std::ostringstream ss(std::ios::binary);
+    save_checkpoint(ss, next_epoch);
+    snapshot = ss.str();
+  };
+  auto restore_snapshot = [&] {
+    std::istringstream ss(snapshot, std::ios::binary);
+    load_checkpoint(ss);
+  };
+  take_snapshot(start_epoch);
+
+  float last_good_loss = -1.0f;  // <0 = no baseline yet
   for (std::size_t epoch = start_epoch; epoch < config_.epochs; ++epoch) {
-    Stopwatch watch;
-    on_epoch_begin(epoch);
-    batcher.begin_epoch(shuffle_rng_);
-    double loss_acc = 0.0;
-    const std::size_t batches = batcher.batch_count();
-    for (std::size_t b = 0; b < batches; ++b) {
-      const data::Batch batch = batcher.make_batch(b);
-      loss_acc += train_batch(batch);
-    }
+    const double base_lr = optimizer_->learning_rate();
+    std::size_t attempt = 0;
     EpochStats stats;
-    stats.epoch = epoch;
-    stats.mean_loss = static_cast<float>(loss_acc / static_cast<double>(batches));
-    stats.seconds = watch.seconds();
+    for (;;) {
+      Stopwatch watch;
+      on_epoch_begin(epoch);
+      if (epoch_fault_hook_) epoch_fault_hook_(epoch, attempt, model_);
+      batcher.begin_epoch(shuffle_rng_);
+      double loss_acc = 0.0;
+      const std::size_t batches = batcher.batch_count();
+      std::size_t done = 0;
+      for (; done < batches; ++done) {
+        if (stop_check_ && stop_check_()) break;
+        const data::Batch batch = batcher.make_batch(done);
+        loss_acc += train_batch(batch);
+      }
+      if (done < batches) {
+        // Graceful shutdown: discard the partial epoch so the trainer
+        // sits exactly at the last completed epoch boundary, where a
+        // checkpoint is bit-identical to an uninterrupted run's.
+        restore_snapshot();
+        optimizer_->set_learning_rate(base_lr);
+        report.stopped_early = true;
+        log::info() << name() << " stop requested during epoch " << epoch
+                    << "; rolled back to the epoch boundary";
+        return report;
+      }
+      stats.epoch = epoch;
+      stats.mean_loss =
+          static_cast<float>(loss_acc / static_cast<double>(batches));
+      stats.seconds = watch.seconds();
+      const char* verdict =
+          config_.health_checks
+              ? epoch_health_verdict(stats.mean_loss, last_good_loss)
+              : nullptr;
+      if (verdict == nullptr) break;  // healthy epoch
+      report.divergence_events.push_back(
+          {epoch, attempt, stats.mean_loss, verdict});
+      ++attempt;
+      if (attempt > config_.divergence_max_retries) {
+        optimizer_->set_learning_rate(base_lr);
+        throw TrainingDivergedError(
+            name() + " diverged at epoch " + std::to_string(epoch) + " (" +
+            verdict + ", loss " + std::to_string(stats.mean_loss) +
+            ") and did not recover after " +
+            std::to_string(config_.divergence_max_retries) + " retries");
+      }
+      restore_snapshot();
+      const double retry_lr = base_lr * std::pow(0.5, attempt);
+      optimizer_->set_learning_rate(retry_lr);
+      log::warn() << name() << " epoch " << epoch << " diverged (" << verdict
+                  << ", loss " << stats.mean_loss
+                  << "); rolled back, retrying at lr " << retry_lr;
+    }
+    optimizer_->set_learning_rate(base_lr);  // undo any retry halving
+    last_good_loss = stats.mean_loss;
     report.epochs.push_back(stats);
+    take_snapshot(epoch + 1);
     if (callback) callback(stats);
     log::debug() << name() << " epoch " << epoch << " loss "
                  << stats.mean_loss << " (" << stats.seconds << "s)";
@@ -146,10 +230,10 @@ void Trainer::save_checkpoint(std::ostream& os, std::size_t next_epoch) {
 
 void Trainer::save_checkpoint_file(const std::string& path,
                                    std::size_t next_epoch) {
-  std::ofstream os(path, std::ios::binary);
-  SATD_EXPECT(static_cast<bool>(os), "cannot open for writing: " + path);
-  save_checkpoint(os, next_epoch);
-  SATD_ENSURE(static_cast<bool>(os), "checkpoint write failed: " + path);
+  // Atomic + checksummed (common/durable_io): an interrupted save leaves
+  // any previous checkpoint at `path` intact; IoError carries path+errno.
+  durable::write_file_checksummed(
+      path, [&](std::ostream& os) { save_checkpoint(os, next_epoch); });
 }
 
 std::size_t Trainer::load_checkpoint(std::istream& is) {
@@ -184,8 +268,7 @@ std::size_t Trainer::load_checkpoint(std::istream& is) {
 }
 
 std::size_t Trainer::load_checkpoint_file(const std::string& path) {
-  std::ifstream is(path, std::ios::binary);
-  SATD_EXPECT(static_cast<bool>(is), "cannot open for reading: " + path);
+  std::istringstream is(durable::read_file_verified(path), std::ios::binary);
   return load_checkpoint(is);
 }
 

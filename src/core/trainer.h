@@ -64,6 +64,24 @@ struct TrainConfig {
   float atda_lambda_margin = 0.05f;
   float atda_margin = 2.0f;
   float atda_center_alpha = 0.1f;  ///< EMA rate for class centers
+
+  // ---- training health guards ----
+  //
+  // Single-step adversarial training is known to collapse mid-run
+  // (Vivek & Babu 2020), so fit() checks every finished epoch for a
+  // non-finite loss, non-finite parameters, or a loss spike. A failed
+  // epoch is rolled back to the in-memory last-good snapshot (params +
+  // optimizer moments + RNG streams + method state) and retried with a
+  // halved learning rate; after `divergence_max_retries` failed retries
+  // of the same epoch, fit() throws TrainingDivergedError.
+  bool health_checks = true;
+  std::size_t divergence_max_retries = 2;
+  /// Epoch mean loss > factor * max(last-good loss, 0.1) counts as a
+  /// divergence. The floor keeps near-converged runs from tripping on
+  /// tiny absolute wobbles; the factor is sized to the cross-entropy
+  /// clamp (-log 1e-12 ≈ 27.6 caps any per-sample loss), so 10x the
+  /// last-good epoch is already a catastrophic, non-transient jump.
+  float loss_spike_factor = 10.0f;
 };
 
 /// Per-epoch record.
@@ -73,10 +91,33 @@ struct EpochStats {
   double seconds = 0.0;
 };
 
+/// One detected divergence (rolled back and retried, or fatal).
+struct DivergenceEvent {
+  std::size_t epoch = 0;
+  std::size_t attempt = 0;   ///< 0 = first try of the epoch
+  float loss = 0.0f;         ///< epoch mean loss at detection
+  std::string reason;        ///< "non_finite_loss" | "non_finite_parameter"
+                             ///< | "loss_spike"
+};
+
+/// Thrown when an epoch keeps diverging after the configured number of
+/// rollback-and-retry attempts.
+class TrainingDivergedError : public std::runtime_error {
+ public:
+  explicit TrainingDivergedError(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
 /// Result of a full fit() run.
 struct TrainReport {
   std::string method;
   std::vector<EpochStats> epochs;
+  /// Every divergence the health guards caught (empty on a clean run).
+  std::vector<DivergenceEvent> divergence_events;
+  /// True when fit() returned early because the stop check fired
+  /// (graceful shutdown); `epochs` then holds the completed epochs and
+  /// the trainer sits exactly at that epoch boundary.
+  bool stopped_early = false;
   /// Mean wall-clock seconds per epoch — the paper's Table I cost metric.
   double mean_epoch_seconds() const;
   /// Total training seconds.
@@ -87,6 +128,16 @@ struct TrainReport {
 
 /// Optional per-epoch observer (epoch stats as they complete).
 using EpochCallback = std::function<void(const EpochStats&)>;
+
+/// Polled between batches for graceful shutdown (e.g. a SIGINT flag).
+using StopCheck = std::function<bool()>;
+
+/// Test-only hook invoked at the start of each epoch attempt (after
+/// on_epoch_begin, before any batch) with (epoch, retry attempt, model)
+/// — lets fault-injection tests poison parameters so the epoch's own
+/// loss blows up and drives the rollback path deterministically.
+using EpochFaultHook =
+    std::function<void(std::size_t, std::size_t, nn::Sequential&)>;
 
 /// Base class implementing the epoch/batch loop and the clean+adversarial
 /// mixture update that all methods share. Subclasses provide the
@@ -102,9 +153,24 @@ class Trainer {
 
   /// Runs epochs [start_epoch, config.epochs) over `train`. start_epoch
   /// is only meaningful when resuming from a checkpoint (the report then
-  /// covers the resumed epochs only).
+  /// covers the resumed epochs only). With config.health_checks on, a
+  /// diverged epoch (NaN/Inf loss or parameters, loss spike) is rolled
+  /// back to the last-good state and retried at half the learning rate;
+  /// throws TrainingDivergedError once retries are exhausted.
   TrainReport fit(const data::Dataset& train, EpochCallback callback = {},
                   std::size_t start_epoch = 0);
+
+  /// Installs a predicate polled between batches; when it returns true,
+  /// fit() rolls the trainer back to the last completed epoch boundary
+  /// and returns early with report.stopped_early set — a checkpoint
+  /// saved right after is exactly epoch-granular. Must be cheap and
+  /// signal-safe to read (typically a sig_atomic_t / atomic flag).
+  void set_stop_check(StopCheck check) { stop_check_ = std::move(check); }
+
+  /// Installs the test-only fault hook (see EpochFaultHook).
+  void set_epoch_fault_hook(EpochFaultHook hook) {
+    epoch_fault_hook_ = std::move(hook);
+  }
 
   virtual std::string name() const = 0;
 
@@ -173,6 +239,13 @@ class Trainer {
   /// Applies the optimizer to the accumulated gradients and zeroes them.
   void apply_step();
 
+  /// Health verdict for a finished epoch: nullptr when healthy, else a
+  /// stable reason token ("non_finite_loss", "non_finite_parameter",
+  /// "loss_spike"). `last_good_loss` < 0 means no baseline yet (first
+  /// epoch of the run) and disables the spike check.
+  const char* epoch_health_verdict(float mean_loss,
+                                   float last_good_loss) const;
+
   nn::Sequential& model_;
   TrainConfig config_;
   Rng rng_;
@@ -186,6 +259,9 @@ class Trainer {
   nn::LossResult loss_scratch_;
   Tensor grad_in_scratch_;
   Tensor adv_scratch_;
+
+  StopCheck stop_check_;
+  EpochFaultHook epoch_fault_hook_;
 };
 
 }  // namespace satd::core

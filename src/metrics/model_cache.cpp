@@ -6,6 +6,7 @@
 #include <sstream>
 
 #include "common/contract.h"
+#include "common/durable_io.h"
 #include "common/log.h"
 #include "common/rng.h"
 #include "nn/model_io.h"
@@ -45,33 +46,78 @@ std::string ModelKey::stem() const {
 
 void write_report_file(const std::string& path,
                        const core::TrainReport& report) {
-  std::ofstream os(path);
-  SATD_EXPECT(static_cast<bool>(os), "cannot write report: " + path);
+  // Text sidecar, but written atomically so a crash mid-save cannot
+  // leave a half-written report next to a good model file.
+  std::ostringstream os;
   os << "method " << report.method << "\n";
   os << "epochs " << report.epochs.size() << "\n";
   os << std::setprecision(9);
   for (const auto& e : report.epochs) {
     os << e.epoch << " " << e.mean_loss << " " << e.seconds << "\n";
   }
+  os << "divergences " << report.divergence_events.size() << "\n";
+  for (const auto& d : report.divergence_events) {
+    os << d.epoch << " " << d.attempt << " " << d.loss << " " << d.reason
+       << "\n";
+  }
+  durable::atomic_write_file(path, os.str());
 }
 
 core::TrainReport read_report_file(const std::string& path) {
   std::ifstream is(path);
-  SATD_EXPECT(static_cast<bool>(is), "cannot read report: " + path);
+  if (!is) throw durable::IoError("cannot read report: " + path);
   core::TrainReport report;
   std::string tag;
   is >> tag >> report.method;
-  SATD_EXPECT(tag == "method", "malformed report file: " + path);
+  if (tag != "method") {
+    throw durable::CorruptFileError("malformed report file: " + path);
+  }
   std::size_t count = 0;
   is >> tag >> count;
-  SATD_EXPECT(tag == "epochs", "malformed report file: " + path);
+  if (tag != "epochs") {
+    throw durable::CorruptFileError("malformed report file: " + path);
+  }
   report.epochs.resize(count);
   for (auto& e : report.epochs) {
     is >> e.epoch >> e.mean_loss >> e.seconds;
   }
-  SATD_EXPECT(static_cast<bool>(is), "truncated report file: " + path);
+  if (!is) throw durable::CorruptFileError("truncated report file: " + path);
+  // Divergence section: absent in pre-fault-tolerance sidecars.
+  if (is >> tag) {
+    if (tag != "divergences") {
+      throw durable::CorruptFileError("malformed report file: " + path);
+    }
+    std::size_t events = 0;
+    is >> events;
+    report.divergence_events.resize(events);
+    for (auto& d : report.divergence_events) {
+      is >> d.epoch >> d.attempt >> d.loss >> d.reason;
+    }
+    if (!is) throw durable::CorruptFileError("truncated report file: " + path);
+  }
   return report;
 }
+
+namespace {
+
+/// Moves a damaged cache file aside as `<path>.corrupt` (best effort —
+/// if even the rename fails, the file is deleted so the retrain can
+/// overwrite it).
+void quarantine_file(const std::string& path, const std::string& reason) {
+  std::error_code ec;
+  const std::string target = path + ".corrupt";
+  fs::rename(path, target, ec);
+  if (ec) {
+    fs::remove(path, ec);
+    log::warn() << "cache quarantine: removed " << path << " (" << reason
+                << "; rename failed: " << ec.message() << ")";
+    return;
+  }
+  log::warn() << "cache quarantine: " << path << " -> " << target << " ("
+              << reason << ")";
+}
+
+}  // namespace
 
 CachedModel train_or_load(
     const std::string& cache_dir, const ModelKey& key,
@@ -85,11 +131,22 @@ CachedModel train_or_load(
 
   CachedModel out;
   if (fs::exists(model_path) && fs::exists(report_path)) {
-    log::info() << "cache hit: " << model_path;
-    out.model = nn::load_model_file(model_path);
-    out.report = read_report_file(report_path);
-    out.from_cache = true;
-    return out;
+    // Graceful degradation: a corrupt, truncated or mismatched entry is
+    // quarantined and the model retrained instead of aborting the bench.
+    try {
+      out.model = nn::load_model_file(model_path);
+      out.report = read_report_file(report_path);
+      out.from_cache = true;
+      log::info() << "cache hit: " << model_path;
+      return out;
+    } catch (const durable::CorruptFileError& e) {
+      // Covers SerializeError too (bad magic, truncation, shape or
+      // checksum mismatch anywhere in the entry).
+      quarantine_file(model_path, e.what());
+      quarantine_file(report_path, e.what());
+    } catch (const durable::IoError& e) {
+      log::warn() << "cache entry unreadable, retraining: " << e.what();
+    }
   }
 
   log::info() << "cache miss, training: " << key.stem();

@@ -7,6 +7,12 @@
 // model spec). A cache entry is a model file plus a sidecar with the
 // training timings, so Table I's time-per-epoch column survives a cache
 // hit. Delete the cache directory to force retraining.
+//
+// Fault tolerance: entries are written atomically with checksum framing
+// (common/durable_io). A corrupt, truncated or shape-mismatched entry
+// detected at load is quarantined (renamed `*.corrupt`, logged at warn)
+// and the model is retrained, so one damaged file never aborts a bench
+// run. Delete `*.corrupt` files once inspected — they are never read.
 #pragma once
 
 #include <functional>
@@ -42,15 +48,18 @@ struct ModelKey {
   std::string stem() const;
 };
 
-/// Returns the cached model if present, otherwise builds the
+/// Returns the cached model if present and intact, otherwise builds the
 /// architecture, runs `train` on it, and stores model + report.
 /// `train` receives the freshly initialized model and must return the
-/// training report.
+/// training report. A damaged cache entry is quarantined as `*.corrupt`
+/// and treated as a miss (retrain), never as a fatal error.
 CachedModel train_or_load(
     const std::string& cache_dir, const ModelKey& key,
     const std::function<core::TrainReport(nn::Sequential&)>& train);
 
-/// Writes / reads the sidecar report file (exposed for tests).
+/// Writes / reads the sidecar report file (exposed for tests). Writing
+/// is atomic; reading throws durable::IoError when the file cannot be
+/// opened and durable::CorruptFileError when malformed or truncated.
 void write_report_file(const std::string& path,
                        const core::TrainReport& report);
 core::TrainReport read_report_file(const std::string& path);

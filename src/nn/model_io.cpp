@@ -1,8 +1,9 @@
 #include "nn/model_io.h"
 
-#include <fstream>
+#include <sstream>
 
 #include "common/contract.h"
+#include "common/durable_io.h"
 #include "nn/zoo.h"
 #include "tensor/serialize.h"
 
@@ -10,7 +11,17 @@ namespace satd::nn {
 
 namespace {
 constexpr char kModelMagic[] = "SATDMDL1";
+
+std::string read_spec(std::istream& is, const std::string& context) {
+  char magic[8];
+  is.read(magic, 8);
+  if (!is || std::string(magic, 8) != kModelMagic) {
+    throw SerializeError("bad model magic" +
+                         (context.empty() ? "" : " in " + context));
+  }
+  return read_string(is);
 }
+}  // namespace
 
 void save_model(std::ostream& os, Sequential& model, const std::string& spec) {
   os.write(kModelMagic, 8);
@@ -22,19 +33,14 @@ void save_model(std::ostream& os, Sequential& model, const std::string& spec) {
 
 void save_model_file(const std::string& path, Sequential& model,
                      const std::string& spec) {
-  std::ofstream os(path, std::ios::binary);
-  if (!os) throw std::runtime_error("cannot open for writing: " + path);
-  save_model(os, model, spec);
-  if (!os) throw std::runtime_error("write failed: " + path);
+  // Atomic + checksummed: a crash mid-save leaves the previous file
+  // intact; corruption is detected at load. IoError carries path+errno.
+  durable::write_file_checksummed(
+      path, [&](std::ostream& os) { save_model(os, model, spec); });
 }
 
 std::string load_parameters(std::istream& is, Sequential& model) {
-  char magic[8];
-  is.read(magic, 8);
-  if (!is || std::string(magic, 8) != kModelMagic) {
-    throw SerializeError("bad model magic");
-  }
-  const std::string spec = read_string(is);
+  const std::string spec = read_spec(is, "");
   const std::uint64_t count = read_u64(is);
   const auto params = model.parameters();
   if (count != params.size()) {
@@ -55,23 +61,17 @@ std::string load_parameters(std::istream& is, Sequential& model) {
 }
 
 std::string peek_spec_file(const std::string& path) {
-  std::ifstream is(path, std::ios::binary);
-  if (!is) throw std::runtime_error("cannot open for reading: " + path);
-  char magic[8];
-  is.read(magic, 8);
-  if (!is || std::string(magic, 8) != kModelMagic) {
-    throw SerializeError("bad model magic in " + path);
-  }
-  return read_string(is);
+  std::istringstream is(durable::read_file_verified(path), std::ios::binary);
+  return read_spec(is, path);
 }
 
 Sequential load_model_file(const std::string& path) {
-  const std::string spec = peek_spec_file(path);
+  std::istringstream is(durable::read_file_verified(path), std::ios::binary);
+  const std::string spec = read_spec(is, path);
   // Weights are overwritten immediately, so the init RNG seed is moot.
   Rng rng(0);
   Sequential model = zoo::build(spec, rng);
-  std::ifstream is(path, std::ios::binary);
-  if (!is) throw std::runtime_error("cannot open for reading: " + path);
+  is.seekg(0);
   load_parameters(is, model);
   return model;
 }

@@ -4,6 +4,12 @@
 // the architecture) followed by every parameter tensor in layer order.
 // Loading reconstructs the architecture from the spec via the zoo and
 // then restores the parameters, so a file is self-describing.
+//
+// Files go through common/durable_io: saves are atomic (temp + fsync +
+// rename) and wrapped in a CRC32 frame; loads verify the frame and throw
+// durable::CorruptFileError / SerializeError on damage, durable::IoError
+// (with path + errno) when the file cannot be opened. Legacy unframed
+// files remain loadable.
 #pragma once
 
 #include <iosfwd>
@@ -16,7 +22,8 @@ namespace satd::nn {
 /// Writes `spec` + all parameters of `model` to a binary stream.
 void save_model(std::ostream& os, Sequential& model, const std::string& spec);
 
-/// Saves to a file path (throws std::runtime_error on I/O failure).
+/// Saves atomically with checksum framing (throws durable::IoError with
+/// path + errno context on I/O failure).
 void save_model_file(const std::string& path, Sequential& model,
                      const std::string& spec);
 

@@ -10,7 +10,12 @@ namespace satd {
 
 namespace {
 constexpr char kMagic[4] = {'S', 'T', 'S', 'R'};
-constexpr std::uint32_t kVersion = 1;
+// Version 2 appends a u32 CRC32 of the rank/dims/data bytes so bit-rot
+// inside a tensor record is detected even when the surrounding file
+// framing is absent (e.g. a record embedded in a legacy artifact).
+// Version-1 records (no CRC) remain readable.
+constexpr std::uint32_t kVersion = 2;
+constexpr std::uint32_t kOldVersion = 1;
 constexpr std::uint64_t kMaxStringLen = 1u << 20;
 constexpr std::uint64_t kMaxTensorElems = 1ull << 32;
 
@@ -26,6 +31,42 @@ std::uint32_t read_u32(std::istream& is) {
   if (!is) throw SerializeError("truncated stream reading u32");
   std::uint32_t v = 0;
   for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(buf[i]) << (8 * i);
+  return v;
+}
+
+// Checksummed variants: update `crc` with exactly the bytes put on /
+// taken off the wire, so writer and reader agree on the covered range.
+void write_u32_crc(std::ostream& os, std::uint32_t v, std::uint32_t& crc) {
+  unsigned char buf[4];
+  for (int i = 0; i < 4; ++i) buf[i] = static_cast<unsigned char>(v >> (8 * i));
+  crc = durable::crc32(buf, 4, crc);
+  os.write(reinterpret_cast<const char*>(buf), 4);
+}
+
+void write_u64_crc(std::ostream& os, std::uint64_t v, std::uint32_t& crc) {
+  unsigned char buf[8];
+  for (int i = 0; i < 8; ++i) buf[i] = static_cast<unsigned char>(v >> (8 * i));
+  crc = durable::crc32(buf, 8, crc);
+  os.write(reinterpret_cast<const char*>(buf), 8);
+}
+
+std::uint32_t read_u32_crc(std::istream& is, std::uint32_t& crc) {
+  unsigned char buf[4];
+  is.read(reinterpret_cast<char*>(buf), 4);
+  if (!is) throw SerializeError("truncated stream reading u32");
+  crc = durable::crc32(buf, 4, crc);
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(buf[i]) << (8 * i);
+  return v;
+}
+
+std::uint64_t read_u64_crc(std::istream& is, std::uint32_t& crc) {
+  unsigned char buf[8];
+  is.read(reinterpret_cast<char*>(buf), 8);
+  if (!is) throw SerializeError("truncated stream reading u64");
+  crc = durable::crc32(buf, 8, crc);
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(buf[i]) << (8 * i);
   return v;
 }
 }  // namespace
@@ -63,12 +104,16 @@ std::string read_string(std::istream& is) {
 void write_tensor(std::ostream& os, const Tensor& t) {
   os.write(kMagic, 4);
   write_u32(os, kVersion);
-  write_u32(os, static_cast<std::uint32_t>(t.shape().rank()));
-  for (std::size_t d : t.shape().dims()) write_u64(os, d);
+  std::uint32_t crc = 0;
+  write_u32_crc(os, static_cast<std::uint32_t>(t.shape().rank()), crc);
+  for (std::size_t d : t.shape().dims()) write_u64_crc(os, d, crc);
   // float32 is IEEE-754 on every supported platform; write raw.
   static_assert(sizeof(float) == 4);
-  os.write(reinterpret_cast<const char*>(t.raw()),
-           static_cast<std::streamsize>(t.numel() * sizeof(float)));
+  const std::streamsize nbytes =
+      static_cast<std::streamsize>(t.numel() * sizeof(float));
+  crc = durable::crc32(t.raw(), static_cast<std::size_t>(nbytes), crc);
+  os.write(reinterpret_cast<const char*>(t.raw()), nbytes);
+  write_u32(os, crc);
 }
 
 Tensor read_tensor(std::istream& is) {
@@ -78,16 +123,17 @@ Tensor read_tensor(std::istream& is) {
     throw SerializeError("bad tensor magic");
   }
   const std::uint32_t version = read_u32(is);
-  if (version != kVersion) {
+  if (version != kVersion && version != kOldVersion) {
     throw SerializeError("unsupported tensor version " +
                          std::to_string(version));
   }
-  const std::uint32_t rank = read_u32(is);
+  std::uint32_t crc = 0;
+  const std::uint32_t rank = read_u32_crc(is, crc);
   if (rank > 8) throw SerializeError("unreasonable tensor rank");
   std::vector<std::size_t> dims(rank);
   std::uint64_t numel = 1;
   for (auto& d : dims) {
-    d = static_cast<std::size_t>(read_u64(is));
+    d = static_cast<std::size_t>(read_u64_crc(is, crc));
     numel *= d;
     if (numel > kMaxTensorElems) {
       throw SerializeError("unreasonable tensor size");
@@ -97,6 +143,13 @@ Tensor read_tensor(std::istream& is) {
   is.read(reinterpret_cast<char*>(data.data()),
           static_cast<std::streamsize>(data.size() * sizeof(float)));
   if (!is) throw SerializeError("truncated stream reading tensor data");
+  if (version >= 2) {
+    crc = durable::crc32(data.data(), data.size() * sizeof(float), crc);
+    const std::uint32_t stored = read_u32(is);
+    if (stored != crc) {
+      throw SerializeError("tensor checksum mismatch (corrupted data)");
+    }
+  }
   return Tensor(Shape(std::move(dims)), std::move(data));
 }
 

@@ -1,28 +1,34 @@
 // Binary tensor (de)serialization.
 //
-// Format: magic "STSR", u32 version, u32 rank, u64 dims..., f32 data...
-// Little-endian, no alignment padding. Used by model save/load and the
+// Format (version 2): magic "STSR", u32 version, u32 rank, u64 dims...,
+// f32 data..., u32 crc32 over the rank/dims/data bytes. Little-endian,
+// no alignment padding. Version-1 files (no per-tensor CRC) are still
+// readable. Used by model save/load, trainer checkpoints and the
 // benches' trained-model cache.
 #pragma once
 
 #include <iosfwd>
-#include <stdexcept>
 #include <string>
 
+#include "common/durable_io.h"
 #include "tensor/tensor.h"
 
 namespace satd {
 
 /// Thrown when a stream does not contain a valid serialized tensor.
-class SerializeError : public std::runtime_error {
+/// Derives from durable::CorruptFileError so callers can treat framing-
+/// and payload-level corruption uniformly.
+class SerializeError : public durable::CorruptFileError {
  public:
-  explicit SerializeError(const std::string& what) : std::runtime_error(what) {}
+  explicit SerializeError(const std::string& what)
+      : durable::CorruptFileError(what) {}
 };
 
-/// Writes one tensor to a binary stream.
+/// Writes one tensor to a binary stream (current format version).
 void write_tensor(std::ostream& os, const Tensor& t);
 
-/// Reads one tensor; throws SerializeError on malformed input.
+/// Reads one tensor; throws SerializeError on malformed input (bad
+/// magic, unsupported version, truncation, or a version-2 CRC mismatch).
 Tensor read_tensor(std::istream& is);
 
 /// Writes a length-prefixed UTF-8 string (used by model metadata).

@@ -1,0 +1,240 @@
+// Divergence guards: an epoch that blows up (injected NaN parameters,
+// loss spike) is rolled back to the last-good snapshot and retried at a
+// halved learning rate; the run completes, converges, and reports the
+// event. Bounded retries end in a typed TrainingDivergedError.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "core/factory.h"
+#include "core/vanilla_trainer.h"
+#include "data/synthetic.h"
+#include "nn/zoo.h"
+
+namespace satd::core {
+namespace {
+
+const data::DatasetPair& digits() {
+  static const data::DatasetPair pair = [] {
+    data::SyntheticConfig cfg;
+    cfg.train_size = 120;
+    cfg.test_size = 30;
+    cfg.seed = 77;
+    return data::make_synthetic_digits(cfg);
+  }();
+  return pair;
+}
+
+TrainConfig config(std::size_t epochs) {
+  TrainConfig cfg;
+  cfg.epochs = epochs;
+  cfg.batch_size = 32;
+  cfg.seed = 13;
+  cfg.eps = 0.15f;
+  return cfg;
+}
+
+/// Poisons the output-layer bias with NaN — the footprint of an exploded
+/// update step. Injected at epoch start, the epoch's own loss turns NaN.
+/// (A NaN in an earlier layer can be squashed by ReLU — NaN > 0 is false,
+/// so it clamps to 0 — and never reach the loss; the logits can't hide.)
+void poison(nn::Sequential& model) {
+  Tensor* p = model.parameters().back();
+  p->data()[0] = std::numeric_limits<float>::quiet_NaN();
+}
+
+std::vector<Tensor> snapshot_params(nn::Sequential& model) {
+  std::vector<Tensor> out;
+  for (Tensor* p : model.parameters()) out.push_back(*p);
+  return out;
+}
+
+/// Runs 6 epochs with NaN injected at the start of epoch 2's first
+/// attempt. Returns (report, final params).
+std::pair<TrainReport, std::vector<Tensor>> injected_run(
+    const std::string& method) {
+  Rng rng(3);
+  nn::Sequential model = nn::zoo::build("mlp_small", rng);
+  auto trainer = make_trainer(method, model, config(6));
+  trainer->set_epoch_fault_hook(
+      [](std::size_t epoch, std::size_t attempt, nn::Sequential& m) {
+        if (epoch == 2 && attempt == 0) poison(m);
+      });
+  TrainReport report = trainer->fit(digits().train);
+  return {std::move(report), snapshot_params(model)};
+}
+
+TEST(TrainerRollback, InjectedNanEpochRollsBackAndRunConverges) {
+  const auto [report, params] = injected_run("proposed");
+  // The event is visible in the report...
+  ASSERT_EQ(report.divergence_events.size(), 1u);
+  EXPECT_EQ(report.divergence_events[0].epoch, 2u);
+  EXPECT_EQ(report.divergence_events[0].attempt, 0u);
+  EXPECT_EQ(report.divergence_events[0].reason, "non_finite_loss");
+  // ...the run still completed all epochs with a finite, improving loss...
+  ASSERT_EQ(report.epochs.size(), 6u);
+  EXPECT_TRUE(std::isfinite(report.final_loss()));
+  EXPECT_LT(report.final_loss(), report.epochs.front().mean_loss)
+      << "run failed to make progress after the rollback";
+  // ...and no NaN survived into the final parameters.
+  for (const Tensor& p : params) {
+    for (float v : p.data()) ASSERT_TRUE(std::isfinite(v));
+  }
+}
+
+TEST(TrainerRollback, RollbackRunIsDeterministic) {
+  const auto [r1, p1] = injected_run("proposed");
+  const auto [r2, p2] = injected_run("proposed");
+  ASSERT_EQ(r1.divergence_events.size(), r2.divergence_events.size());
+  ASSERT_EQ(p1.size(), p2.size());
+  for (std::size_t i = 0; i < p1.size(); ++i) {
+    EXPECT_TRUE(p1[i].equals(p2[i]))
+        << "parameter " << i << " differs between identical seeded runs";
+  }
+  for (std::size_t e = 0; e < r1.epochs.size(); ++e) {
+    EXPECT_EQ(r1.epochs[e].mean_loss, r2.epochs[e].mean_loss);
+  }
+}
+
+/// Exposes the protected health verdict for direct classification tests.
+class VerdictProbe : public VanillaTrainer {
+ public:
+  using VanillaTrainer::VanillaTrainer;
+  const char* verdict(float loss, float last_good) {
+    return epoch_health_verdict(loss, last_good);
+  }
+};
+
+TEST(TrainerRollback, HealthVerdictClassifiesEveryFailureMode) {
+  Rng rng(10);
+  nn::Sequential model = nn::zoo::build("mlp_small", rng);
+  VerdictProbe probe(model, config(2));
+
+  EXPECT_EQ(probe.verdict(1.5f, 2.0f), nullptr);  // healthy
+  EXPECT_EQ(probe.verdict(1.5f, -1.0f), nullptr); // healthy, no baseline
+  EXPECT_STREQ(probe.verdict(std::numeric_limits<float>::quiet_NaN(), 2.0f),
+               "non_finite_loss");
+  EXPECT_STREQ(probe.verdict(std::numeric_limits<float>::infinity(), 2.0f),
+               "non_finite_loss");
+  // Spike: loss >> factor * last-good.
+  EXPECT_STREQ(probe.verdict(1e6f, 1.0f), "loss_spike");
+  // No baseline (first epoch of a run) disables the spike check.
+  EXPECT_EQ(probe.verdict(1e6f, -1.0f), nullptr);
+  // A poisoned parameter is flagged even when the loss looks fine.
+  poison(model);
+  EXPECT_STREQ(probe.verdict(1.5f, 2.0f), "non_finite_parameter");
+}
+
+TEST(TrainerRollback, PersistentDivergenceThrowsTypedErrorAfterRetries) {
+  Rng rng(5);
+  nn::Sequential model = nn::zoo::build("mlp_small", rng);
+  TrainConfig cfg = config(4);
+  cfg.divergence_max_retries = 2;
+  auto trainer = make_trainer("vanilla", model, cfg);
+  std::size_t hook_calls = 0;
+  trainer->set_epoch_fault_hook(
+      [&](std::size_t epoch, std::size_t, nn::Sequential& m) {
+        if (epoch == 1) {
+          ++hook_calls;
+          poison(m);  // every attempt, including retries
+        }
+      });
+  EXPECT_THROW(trainer->fit(digits().train), TrainingDivergedError);
+  // first try + max_retries retries, each poisoned.
+  EXPECT_EQ(hook_calls, cfg.divergence_max_retries + 1);
+}
+
+TEST(TrainerRollback, LossSpikeRollsBackAndRecovers) {
+  Rng rng(6);
+  nn::Sequential model = nn::zoo::build("mlp_small", rng);
+  TrainConfig cfg = config(5);
+  // The cross-entropy clamp (-log 1e-12 ≈ 27.6) bounds how far any loss
+  // can spike; pick a factor the injected jump clears with margin while a
+  // healthy retry (loss ≈ last-good) stays well below it.
+  cfg.loss_spike_factor = 4.0f;
+  auto trainer = make_trainer("vanilla", model, cfg);
+  // Negate and blow up the weights for one attempt: the model becomes
+  // confidently wrong on nearly every sample, so the epoch's mean loss
+  // saturates near the clamp while staying finite — the spike detector's
+  // case (a NaN would trip the non_finite checks instead).
+  trainer->set_epoch_fault_hook(
+      [](std::size_t epoch, std::size_t attempt, nn::Sequential& m) {
+        if (epoch == 2 && attempt == 0) {
+          for (Tensor* p : m.parameters()) {
+            for (float& v : p->data()) v *= -1e4f;
+          }
+        }
+      });
+  const TrainReport report = trainer->fit(digits().train);
+  ASSERT_EQ(report.divergence_events.size(), 1u);
+  EXPECT_EQ(report.divergence_events[0].epoch, 2u);
+  EXPECT_EQ(report.divergence_events[0].reason, "loss_spike");
+  ASSERT_EQ(report.epochs.size(), 5u);
+  EXPECT_TRUE(std::isfinite(report.final_loss()));
+}
+
+TEST(TrainerRollback, HealthChecksCanBeDisabled) {
+  Rng rng(7);
+  nn::Sequential model = nn::zoo::build("mlp_small", rng);
+  TrainConfig cfg = config(3);
+  cfg.health_checks = false;
+  auto trainer = make_trainer("vanilla", model, cfg);
+  trainer->set_epoch_fault_hook(
+      [](std::size_t epoch, std::size_t, nn::Sequential& m) {
+        if (epoch == 1) poison(m);
+      });
+  const TrainReport report = trainer->fit(digits().train);
+  EXPECT_TRUE(report.divergence_events.empty());
+  EXPECT_FALSE(std::isfinite(report.final_loss()))
+      << "with guards off the NaN should propagate — otherwise this test "
+         "isn't exercising anything";
+}
+
+TEST(TrainerRollback, StopCheckRollsBackToEpochBoundaryDeterministically) {
+  // A run stopped mid-epoch then checkpointed must equal the straight
+  // run's state at that boundary: resuming it reproduces the straight
+  // run bit for bit.
+  const std::size_t epochs = 6;
+  const std::size_t stop_after = 3;
+
+  // Straight run for reference.
+  Rng rng(8);
+  nn::Sequential ref_model = nn::zoo::build("mlp_small", rng);
+  auto ref = make_trainer("proposed", ref_model, config(epochs));
+  ref->fit(digits().train);
+
+  // Interrupted run: stop flag raised after `stop_after` epochs, then a
+  // fresh trainer resumes from the written checkpoint.
+  std::stringstream ckpt;
+  {
+    Rng rng2(8);
+    nn::Sequential model = nn::zoo::build("mlp_small", rng2);
+    auto trainer = make_trainer("proposed", model, config(epochs));
+    bool stop = false;
+    trainer->set_stop_check([&] { return stop; });
+    const TrainReport report = trainer->fit(
+        digits().train, [&](const EpochStats& stats) {
+          if (stats.epoch + 1 == stop_after) stop = true;
+        });
+    EXPECT_TRUE(report.stopped_early);
+    EXPECT_EQ(report.epochs.size(), stop_after);
+    trainer->save_checkpoint(ckpt, stop_after);
+  }
+  Rng rng3(99);
+  nn::Sequential model = nn::zoo::build("mlp_small", rng3);
+  auto resumed = make_trainer("proposed", model, config(epochs));
+  EXPECT_EQ(resumed->load_checkpoint(ckpt), stop_after);
+  resumed->fit(digits().train, {}, stop_after);
+
+  const auto a = ref_model.parameters();
+  const auto b = model.parameters();
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_TRUE(a[i]->equals(*b[i]))
+        << "graceful-stop resume diverged from the straight run";
+  }
+}
+
+}  // namespace
+}  // namespace satd::core

@@ -7,6 +7,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "common/durable_io.h"
 #include "common/rng.h"
 #include "nn/zoo.h"
 #include "tensor/serialize.h"
@@ -81,9 +82,60 @@ TEST_F(ModelIoTest, GarbageFileThrows) {
   EXPECT_THROW(load_model_file(path("junk.bin")), SerializeError);
 }
 
-TEST_F(ModelIoTest, MissingFileThrows) {
-  EXPECT_THROW(load_model_file(path("absent.bin")), std::runtime_error);
-  EXPECT_THROW(peek_spec_file(path("absent.bin")), std::runtime_error);
+TEST_F(ModelIoTest, MissingFileThrowsIoErrorWithContext) {
+  try {
+    load_model_file(path("absent.bin"));
+    FAIL() << "expected durable::IoError";
+  } catch (const durable::IoError& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find(path("absent.bin")), std::string::npos) << msg;
+    EXPECT_NE(msg.find("No such file or directory"), std::string::npos) << msg;
+  }
+  EXPECT_THROW(peek_spec_file(path("absent.bin")), durable::IoError);
+}
+
+TEST_F(ModelIoTest, SavedFileIsChecksumFramed) {
+  Rng rng(5);
+  Sequential m = zoo::build("mlp_small", rng);
+  save_model_file(path("framed.bin"), m, "mlp_small");
+  std::ifstream is(path("framed.bin"), std::ios::binary);
+  const std::string bytes(std::istreambuf_iterator<char>(is), {});
+  EXPECT_TRUE(durable::is_checksummed(bytes));
+  EXPECT_FALSE(fs::exists(path("framed.bin") + ".tmp"));
+}
+
+TEST_F(ModelIoTest, LegacyUnframedFileStillLoads) {
+  // Pre-durability builds wrote the raw model payload straight to disk;
+  // those files must keep loading (read-compat).
+  Rng rng(6);
+  Sequential m = zoo::build("mlp_small", rng);
+  std::stringstream payload;
+  save_model(payload, m, "mlp_small");
+  {
+    std::ofstream os(path("legacy.bin"), std::ios::binary);
+    os << payload.str();
+  }
+  EXPECT_EQ(peek_spec_file(path("legacy.bin")), "mlp_small");
+  Sequential loaded = load_model_file(path("legacy.bin"));
+  Tensor probe = Tensor::full(Shape{1, 1, 28, 28}, 0.5f);
+  EXPECT_TRUE(m.forward(probe, false).equals(loaded.forward(probe, false)));
+}
+
+TEST_F(ModelIoTest, CorruptedFrameThrowsCorruptFileError) {
+  Rng rng(7);
+  Sequential m = zoo::build("mlp_small", rng);
+  save_model_file(path("rot.bin"), m, "mlp_small");
+  {
+    std::fstream f(path("rot.bin"),
+                   std::ios::in | std::ios::out | std::ios::binary);
+    f.seekg(64);
+    char b = 0;
+    f.read(&b, 1);
+    f.seekp(64);
+    b = static_cast<char>(b ^ 0x5A);  // guaranteed change
+    f.write(&b, 1);
+  }
+  EXPECT_THROW(load_model_file(path("rot.bin")), durable::CorruptFileError);
 }
 
 }  // namespace

@@ -99,5 +99,63 @@ TEST(Serialize, UnreasonableStringLengthRejected) {
   EXPECT_THROW(read_string(ss), SerializeError);
 }
 
+namespace {
+void put_u32(std::string& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out.push_back(static_cast<char>(v >> (8 * i)));
+}
+void put_u64(std::string& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) out.push_back(static_cast<char>(v >> (8 * i)));
+}
+}  // namespace
+
+// Read-compat pin: version-1 records (pre-checksum, no CRC trailer) must
+// keep loading byte-for-byte as written by older builds.
+TEST(Serialize, Version1TensorStillLoads) {
+  const float values[3] = {1.0f, -2.5f, 42.0f};
+  std::string bytes = "STSR";
+  put_u32(bytes, 1);  // version 1: no trailing CRC
+  put_u32(bytes, 1);  // rank
+  put_u64(bytes, 3);  // dim
+  bytes.append(reinterpret_cast<const char*>(values), sizeof(values));
+  std::stringstream ss(bytes);
+  const Tensor t = read_tensor(ss);
+  EXPECT_EQ(t.shape(), (Shape{3}));
+  EXPECT_EQ(t[0], 1.0f);
+  EXPECT_EQ(t[1], -2.5f);
+  EXPECT_EQ(t[2], 42.0f);
+}
+
+TEST(Serialize, Version2ChecksumDetectsCorruptedData) {
+  Rng rng(3);
+  Tensor t(Shape{5, 5});
+  for (float& v : t.data()) v = static_cast<float>(rng.uniform(-1, 1));
+  std::stringstream ss;
+  write_tensor(ss, t);
+  std::string buf = ss.str();
+  buf[buf.size() - 10] ^= 0x04;  // flip one bit inside the float data
+  std::stringstream corrupted(buf);
+  EXPECT_THROW(read_tensor(corrupted), SerializeError);
+}
+
+TEST(Serialize, Version2ChecksumDetectsCorruptedDims) {
+  std::stringstream ss;
+  Tensor t(Shape{2, 3}, {1, 2, 3, 4, 5, 6});
+  write_tensor(ss, t);
+  std::string buf = ss.str();
+  // Swap the dims (2x3 -> 3x2): same element count, so only the CRC can
+  // tell — exactly the silent-garbage case version 2 closes.
+  std::swap(buf[12], buf[20]);
+  std::stringstream corrupted(buf);
+  EXPECT_THROW(read_tensor(corrupted), SerializeError);
+}
+
+TEST(Serialize, UnsupportedFutureVersionRejected) {
+  std::string bytes = "STSR";
+  put_u32(bytes, 3);
+  put_u32(bytes, 0);
+  std::stringstream ss(bytes);
+  EXPECT_THROW(read_tensor(ss), SerializeError);
+}
+
 }  // namespace
 }  // namespace satd
