@@ -1,11 +1,29 @@
 // Microbenchmarks (google-benchmark) for the numerical substrate: the
 // per-op throughput numbers that determine every training time in
 // Table I. Not part of the paper; engineering visibility.
+//
+// Two modes:
+//   bench_micro                  — the google-benchmark suite below.
+//   bench_micro --emit-json[=d]  — the perf-regression harness: median-
+//     of-N ns/op for the GEMM shapes the models hit, the full train step
+//     and a BIM(10) batch, written as machine-readable BENCH_gemm.json /
+//     BENCH_train_step.json into directory `d` (default "."). CI commits
+//     a baseline under bench/baseline/ so every PR has a perf trajectory
+//     to regress against (format documented in README.md).
 #include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
 
 #include "attack/bim.h"
 #include "attack/fgsm.h"
 #include "common/rng.h"
+#include "common/thread_pool.h"
 #include "data/synthetic.h"
 #include "nn/loss.h"
 #include "nn/zoo.h"
@@ -243,4 +261,202 @@ BENCHMARK(BM_RenderFashion);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// ---- perf-regression harness (--emit-json) ----
+
+namespace {
+
+/// Seed-era scalar GEMM (i-k-j with the zero skip), kept verbatim as the
+/// reference the blocked kernels are scored against.
+void naive_matmul(const Tensor& a, const Tensor& b, Tensor& out) {
+  const std::size_t m = a.shape()[0];
+  const std::size_t k = a.shape()[1];
+  const std::size_t n = b.shape()[1];
+  out.ensure_shape(Shape{m, n});
+  out.fill(0.0f);
+  const float* pa = a.raw();
+  const float* pb = b.raw();
+  float* po = out.raw();
+  for (std::size_t i = 0; i < m; ++i) {
+    const float* arow = pa + i * k;
+    float* crow = po + i * n;
+    for (std::size_t kk = 0; kk < k; ++kk) {
+      const float av = arow[kk];
+      if (av == 0.0f) continue;
+      const float* brow = pb + kk * n;
+      for (std::size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+}
+
+/// Median wall-clock ns of `reps` timed calls to fn (after one warmup),
+/// where each timed sample runs fn `inner` times.
+template <typename Fn>
+double median_ns(Fn&& fn, int reps, int inner) {
+  fn();  // warmup: grow scratch, fault in pages
+  std::vector<double> samples;
+  samples.reserve(static_cast<std::size_t>(reps));
+  for (int r = 0; r < reps; ++r) {
+    const auto t0 = std::chrono::steady_clock::now();
+    for (int i = 0; i < inner; ++i) fn();
+    const auto t1 = std::chrono::steady_clock::now();
+    samples.push_back(
+        std::chrono::duration<double, std::nano>(t1 - t0).count() / inner);
+  }
+  std::sort(samples.begin(), samples.end());
+  return samples[samples.size() / 2];
+}
+
+/// Picks an inner-iteration count so one sample takes ~5 ms.
+template <typename Fn>
+int calibrate_inner(Fn&& fn) {
+  const double once = median_ns(fn, 1, 1);
+  return std::max(1, static_cast<int>(5e6 / std::max(once, 1.0)));
+}
+
+struct JsonResult {
+  std::string name;
+  std::vector<std::pair<std::string, double>> numbers;
+};
+
+void write_json(const std::string& path, const std::string& kind,
+                const std::vector<JsonResult>& results) {
+  std::ofstream os(path);
+  os << "{\n  \"schema\": \"satd-bench-1\",\n  \"kind\": \"" << kind
+     << "\",\n  \"reps\": 15,\n  \"hardware_threads\": "
+     << std::thread::hardware_concurrency() << ",\n  \"results\": [\n";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    os << "    {\"name\": \"" << results[i].name << "\"";
+    for (const auto& [key, value] : results[i].numbers) {
+      os << ", \"" << key << "\": " << value;
+    }
+    os << "}" << (i + 1 < results.size() ? "," : "") << "\n";
+  }
+  os << "  ]\n}\n";
+  std::printf("wrote %s\n", path.c_str());
+}
+
+constexpr int kReps = 15;
+
+/// GEMM sweep: the [batch=64] x layer shapes of the mlp / mlp_small
+/// dense models plus the conv-lowered cnn_small GEMMs, blocked kernel at
+/// 1 and 4 threads against the single-thread seed kernel.
+void emit_gemm_json(const std::string& dir) {
+  struct GemmShape {
+    const char* name;
+    std::size_t m, k, n;
+  };
+  const GemmShape shapes[] = {
+      {"mlp_fc1_64x784x256", 64, 784, 256},
+      {"mlp_fc2_64x256x128", 64, 256, 128},
+      {"mlp_fc3_64x128x10", 64, 128, 10},
+      {"mlp_small_fc1_64x784x64", 64, 784, 64},
+      {"cnn_small_conv1_cols_21632x9x4", 21632, 9, 4},
+      {"cnn_small_conv2_cols_3200x64x8", 3200, 64, 8},
+      {"cnn_small_fc1_32x200x32", 32, 200, 32},
+  };
+  std::vector<JsonResult> results;
+  for (const GemmShape& s : shapes) {
+    const Tensor a = random_tensor(Shape{s.m, s.k}, 101);
+    const Tensor b = random_tensor(Shape{s.k, s.n}, 102);
+    Tensor c;
+    auto blocked = [&] { ops::matmul(a, b, c); };
+    auto naive = [&] { naive_matmul(a, b, c); };
+    const int inner = calibrate_inner(blocked);
+
+    ThreadPool::set_global_threads(1);
+    const double naive_1t = median_ns(naive, kReps, inner);
+    const double blocked_1t = median_ns(blocked, kReps, inner);
+    ThreadPool::set_global_threads(4);
+    const double blocked_4t = median_ns(blocked, kReps, inner);
+    ThreadPool::set_global_threads(0);
+
+    JsonResult r;
+    r.name = s.name;
+    r.numbers = {{"m", double(s.m)},
+                 {"k", double(s.k)},
+                 {"n", double(s.n)},
+                 {"ns_op_seed_1t", naive_1t},
+                 {"ns_op_blocked_1t", blocked_1t},
+                 {"ns_op_blocked_4t", blocked_4t},
+                 {"speedup_1t", naive_1t / blocked_1t},
+                 {"speedup_4t", naive_1t / blocked_4t}};
+    results.push_back(std::move(r));
+  }
+  write_json(dir + "/BENCH_gemm.json", "gemm", results);
+}
+
+/// Full-train-step + BIM(10) timings at 1/2/4 threads (steady-state
+/// `_into` path, cnn_small, batch 32).
+void emit_train_step_json(const std::string& dir) {
+  const Tensor x = random_tensor(Shape{32, 1, 28, 28}, 14);
+  std::vector<std::size_t> labels(32);
+  for (std::size_t i = 0; i < 32; ++i) labels[i] = i % 10;
+
+  std::vector<JsonResult> results;
+  const std::size_t thread_counts[] = {1, 2, 4};
+
+  {
+    Rng rng(13);
+    nn::Sequential model = nn::zoo::build("cnn_small", rng);
+    Tensor logits, gx;
+    nn::LossResult loss;
+    auto step = [&] {
+      model.forward_into(x, logits, true);
+      nn::softmax_cross_entropy_into(logits, labels, loss);
+      model.backward_into(loss.grad_logits, gx);
+      model.zero_grad();
+    };
+    const int inner = calibrate_inner(step);
+    JsonResult r;
+    r.name = "train_step_cnn_small_b32";
+    double ns_1t = 0.0;
+    for (std::size_t t : thread_counts) {
+      ThreadPool::set_global_threads(t);
+      const double ns = median_ns(step, kReps, inner);
+      if (t == 1) ns_1t = ns;
+      r.numbers.emplace_back("ns_op_" + std::to_string(t) + "t", ns);
+    }
+    r.numbers.emplace_back("speedup_4t", ns_1t / r.numbers.back().second);
+    results.push_back(std::move(r));
+  }
+  {
+    Rng rng(10);
+    nn::Sequential model = nn::zoo::build("cnn_small", rng);
+    attack::Bim bim(0.3f, 10);
+    Tensor adv;
+    auto attack_step = [&] { bim.perturb_into(model, x, labels, adv); };
+    const int inner = calibrate_inner(attack_step);
+    JsonResult r;
+    r.name = "bim10_cnn_small_b32";
+    double ns_1t = 0.0;
+    for (std::size_t t : thread_counts) {
+      ThreadPool::set_global_threads(t);
+      const double ns = median_ns(attack_step, kReps, inner);
+      if (t == 1) ns_1t = ns;
+      r.numbers.emplace_back("ns_op_" + std::to_string(t) + "t", ns);
+    }
+    r.numbers.emplace_back("speedup_4t", ns_1t / r.numbers.back().second);
+    results.push_back(std::move(r));
+  }
+  ThreadPool::set_global_threads(0);
+  write_json(dir + "/BENCH_train_step.json", "train_step", results);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--emit-json", 11) == 0) {
+      const char* eq = std::strchr(argv[i], '=');
+      const std::string dir = eq ? eq + 1 : ".";
+      emit_gemm_json(dir);
+      emit_train_step_json(dir);
+      return 0;
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,6 +1,7 @@
 #include "attack/fgsm.h"
 
 #include "common/contract.h"
+#include "common/thread_pool.h"
 #include "tensor/ops.h"
 
 namespace satd::attack {
@@ -30,10 +31,14 @@ void Fgsm::step_into(nn::Sequential& model, const Tensor& x_start,
   ops::copy(x_start, adv);  // no-op when adv aliases x_start
   const float* pg = scratch.grad.raw();
   float* pa = adv.raw();
-  for (std::size_t i = 0, n = adv.numel(); i < n; ++i) {
-    const float s = (pg[i] > 0.0f) ? 1.0f : (pg[i] < 0.0f ? -1.0f : 0.0f);
-    pa[i] += step_size * s;
-  }
+  parallel_for(adv.numel(), kElementGrain,
+               [pg, pa, step_size](std::size_t begin, std::size_t end) {
+                 for (std::size_t i = begin; i < end; ++i) {
+                   const float s =
+                       (pg[i] > 0.0f) ? 1.0f : (pg[i] < 0.0f ? -1.0f : 0.0f);
+                   pa[i] += step_size * s;
+                 }
+               });
   ops::project_linf(x_origin, eps, kPixelMin, kPixelMax, adv);
 }
 

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/contract.h"
+#include "common/thread_pool.h"
 #include "tensor/ops.h"
 
 namespace satd::attack {
@@ -34,11 +35,18 @@ void MiFgsm::perturb_into(nn::Sequential& model, const Tensor& x,
     float* pv = velocity_.raw();
     const float* pg = g.raw();
     float* pa = adv.raw();
-    for (std::size_t i = 0, n = adv.numel(); i < n; ++i) {
-      pv[i] = momentum_ * pv[i] + pg[i] * inv;
-      const float s = (pv[i] > 0.0f) ? 1.0f : (pv[i] < 0.0f ? -1.0f : 0.0f);
-      pa[i] += eps_step_ * s;
-    }
+    const float momentum = momentum_;
+    const float eps_step = eps_step_;
+    parallel_for(adv.numel(), kElementGrain,
+                 [pv, pg, pa, inv, momentum,
+                  eps_step](std::size_t begin, std::size_t end) {
+                   for (std::size_t i = begin; i < end; ++i) {
+                     pv[i] = momentum * pv[i] + pg[i] * inv;
+                     const float s =
+                         (pv[i] > 0.0f) ? 1.0f : (pv[i] < 0.0f ? -1.0f : 0.0f);
+                     pa[i] += eps_step * s;
+                   }
+                 });
     ops::project_linf(x, eps_, kPixelMin, kPixelMax, adv);
   }
 }

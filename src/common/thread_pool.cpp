@@ -1,18 +1,50 @@
 #include "common/thread_pool.h"
 
 #include <algorithm>
+#include <cstdlib>
+#include <memory>
+#include <string>
 
 #include "common/contract.h"
 
 namespace satd {
 
-ThreadPool::ThreadPool(std::size_t threads) {
-  if (threads == 0) {
-    const unsigned hc = std::thread::hardware_concurrency();
-    threads = hc > 1 ? hc - 1 : 0;
+namespace {
+
+// Set while a thread is executing inside worker_loop(); parallel_for
+// checks it so nested parallelism degrades to inline execution instead
+// of deadlocking on wait_idle().
+thread_local bool t_is_pool_worker = false;
+
+/// Default worker count: SATD_THREADS (total threads incl. caller) wins,
+/// else hardware concurrency; both leave one thread for the caller.
+std::size_t default_workers() {
+  if (const char* env = std::getenv("SATD_THREADS")) {
+    char* end = nullptr;
+    const long v = std::strtol(env, &end, 10);
+    if (end != env && *end == '\0' && v >= 1) {
+      return static_cast<std::size_t>(v) - 1;
+    }
   }
-  workers_.reserve(threads);
-  for (std::size_t i = 0; i < threads; ++i) {
+  const unsigned hc = std::thread::hardware_concurrency();
+  return hc > 1 ? hc - 1 : 0;
+}
+
+std::mutex& global_mutex() {
+  static std::mutex m;
+  return m;
+}
+
+std::unique_ptr<ThreadPool>& global_slot() {
+  static std::unique_ptr<ThreadPool> pool;
+  return pool;
+}
+
+}  // namespace
+
+ThreadPool::ThreadPool(std::size_t workers) {
+  workers_.reserve(workers);
+  for (std::size_t i = 0; i < workers; ++i) {
     workers_.emplace_back([this] { worker_loop(); });
   }
 }
@@ -47,11 +79,26 @@ void ThreadPool::wait_idle() {
 }
 
 ThreadPool& ThreadPool::global() {
-  static ThreadPool pool;
-  return pool;
+  std::lock_guard<std::mutex> lock(global_mutex());
+  auto& slot = global_slot();
+  if (!slot) slot = std::make_unique<ThreadPool>(default_workers());
+  return *slot;
+}
+
+void ThreadPool::set_global_threads(std::size_t total) {
+  std::lock_guard<std::mutex> lock(global_mutex());
+  auto& slot = global_slot();
+  slot.reset();  // join old workers before spawning replacements
+  slot = std::make_unique<ThreadPool>(total > 0 ? total - 1
+                                                : default_workers());
+}
+
+std::size_t ThreadPool::global_threads() {
+  return ThreadPool::global().worker_count() + 1;
 }
 
 void ThreadPool::worker_loop() {
+  t_is_pool_worker = true;
   for (;;) {
     std::function<void()> job;
     {
@@ -72,14 +119,25 @@ void ThreadPool::worker_loop() {
 
 void parallel_for(std::size_t n,
                   const std::function<void(std::size_t, std::size_t)>& body) {
+  parallel_for(n, 1, body);
+}
+
+void parallel_for(std::size_t n, std::size_t grain,
+                  const std::function<void(std::size_t, std::size_t)>& body) {
   if (n == 0) return;
+  if (grain == 0) grain = 1;
+  if (n <= grain || t_is_pool_worker) {
+    body(0, n);
+    return;
+  }
   ThreadPool& pool = ThreadPool::global();
   const std::size_t parts = pool.worker_count() + 1;
   if (parts == 1) {
     body(0, n);
     return;
   }
-  const std::size_t chunk = (n + parts - 1) / parts;
+  const std::size_t chunk =
+      std::max(grain, (n + parts - 1) / parts);
   // Workers take chunks 1..k; the calling thread runs chunk 0 itself so
   // it is never idle while others work.
   for (std::size_t begin = chunk; begin < n; begin += chunk) {

@@ -4,6 +4,7 @@
 
 #include "attack/bim.h"
 #include "common/contract.h"
+#include "common/thread_pool.h"
 #include "nn/loss.h"
 #include "tensor/ops.h"
 
@@ -26,6 +27,13 @@ struct EvalScratch {
 /// Iterates the test set in fixed-size batches, invoking
 /// fn(images, labels) per batch. The batch tensors live in `scratch` and
 /// are reused (resize-on-shape-change) across batches.
+///
+/// The outer batch loop is intentionally sequential: the model's layer
+/// caches and the attack scratch are shared state, so the parallelism
+/// lives *inside* fn (GEMM row panels, im2col images, elementwise attack
+/// updates) where the decomposition is over independent outputs and the
+/// results stay thread-count independent. Only the batch staging copy is
+/// parallelized here.
 template <typename Fn>
 void for_each_batch(const data::Dataset& test, std::size_t batch_size,
                     EvalScratch& scratch, Fn&& fn) {
@@ -41,7 +49,14 @@ void for_each_batch(const data::Dataset& test, std::size_t batch_size,
         test.labels.begin() + static_cast<std::ptrdiff_t>(begin),
         test.labels.begin() + static_cast<std::ptrdiff_t>(end));
     const float* src = test.images.raw() + begin * example;
-    std::copy(src, src + (end - begin) * example, scratch.images.raw());
+    float* dst = scratch.images.raw();
+    const std::size_t grain =
+        std::max<std::size_t>(1, kElementGrain / example);
+    parallel_for(end - begin, grain,
+                 [src, dst, example](std::size_t i0, std::size_t i1) {
+                   std::copy(src + i0 * example, src + i1 * example,
+                             dst + i0 * example);
+                 });
     fn(scratch.images, scratch.labels);
   }
 }

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/contract.h"
+#include "common/thread_pool.h"
 #include "tensor/ops.h"
 
 namespace satd::nn {
@@ -12,9 +13,12 @@ void ReLU::forward_into(const Tensor& x, Tensor& out, bool /*training*/) {
   out.ensure_shape(x.shape());
   const float* px = x.raw();
   float* po = out.raw();
-  for (std::size_t i = 0, n = x.numel(); i < n; ++i) {
-    po[i] = px[i] > 0.0f ? px[i] : 0.0f;
-  }
+  parallel_for(x.numel(), kElementGrain,
+               [px, po](std::size_t begin, std::size_t end) {
+                 for (std::size_t i = begin; i < end; ++i) {
+                   po[i] = px[i] > 0.0f ? px[i] : 0.0f;
+                 }
+               });
   note_forward();
 }
 
@@ -26,9 +30,12 @@ void ReLU::backward_into(const Tensor& grad_out, Tensor& grad_in) {
   const float* px = x_cache_.raw();
   const float* pg = grad_out.raw();
   float* po = grad_in.raw();
-  for (std::size_t i = 0, n = grad_in.numel(); i < n; ++i) {
-    po[i] = px[i] > 0.0f ? pg[i] : 0.0f;
-  }
+  parallel_for(grad_in.numel(), kElementGrain,
+               [px, pg, po](std::size_t begin, std::size_t end) {
+                 for (std::size_t i = begin; i < end; ++i) {
+                   po[i] = px[i] > 0.0f ? pg[i] : 0.0f;
+                 }
+               });
 }
 
 void ReLU::release_buffers() {
@@ -40,7 +47,12 @@ void Tanh::forward_into(const Tensor& x, Tensor& out, bool /*training*/) {
   out.ensure_shape(x.shape());
   const float* px = x.raw();
   float* po = out.raw();
-  for (std::size_t i = 0, n = x.numel(); i < n; ++i) po[i] = std::tanh(px[i]);
+  // tanh is by far the costliest elementwise op, so use a finer grain.
+  parallel_for(x.numel(), kElementGrain / 8,
+               [px, po](std::size_t begin, std::size_t end) {
+                 for (std::size_t i = begin; i < end; ++i)
+                   po[i] = std::tanh(px[i]);
+               });
   ops::copy(out, y_cache_);
   note_forward();
 }
@@ -53,9 +65,12 @@ void Tanh::backward_into(const Tensor& grad_out, Tensor& grad_in) {
   const float* py = y_cache_.raw();
   const float* pg = grad_out.raw();
   float* po = grad_in.raw();
-  for (std::size_t i = 0, n = grad_in.numel(); i < n; ++i) {
-    po[i] = pg[i] * (1.0f - py[i] * py[i]);
-  }
+  parallel_for(grad_in.numel(), kElementGrain,
+               [py, pg, po](std::size_t begin, std::size_t end) {
+                 for (std::size_t i = begin; i < end; ++i) {
+                   po[i] = pg[i] * (1.0f - py[i] * py[i]);
+                 }
+               });
 }
 
 void Tanh::release_buffers() {
@@ -73,9 +88,13 @@ void LeakyReLU::forward_into(const Tensor& x, Tensor& out,
   out.ensure_shape(x.shape());
   const float* px = x.raw();
   float* po = out.raw();
-  for (std::size_t i = 0, n = x.numel(); i < n; ++i) {
-    po[i] = px[i] > 0.0f ? px[i] : slope_ * px[i];
-  }
+  const float slope = slope_;
+  parallel_for(x.numel(), kElementGrain,
+               [px, po, slope](std::size_t begin, std::size_t end) {
+                 for (std::size_t i = begin; i < end; ++i) {
+                   po[i] = px[i] > 0.0f ? px[i] : slope * px[i];
+                 }
+               });
   note_forward();
 }
 
@@ -87,9 +106,13 @@ void LeakyReLU::backward_into(const Tensor& grad_out, Tensor& grad_in) {
   const float* px = x_cache_.raw();
   const float* pg = grad_out.raw();
   float* po = grad_in.raw();
-  for (std::size_t i = 0, n = grad_in.numel(); i < n; ++i) {
-    po[i] = px[i] > 0.0f ? pg[i] : slope_ * pg[i];
-  }
+  const float slope = slope_;
+  parallel_for(grad_in.numel(), kElementGrain,
+               [px, pg, po, slope](std::size_t begin, std::size_t end) {
+                 for (std::size_t i = begin; i < end; ++i) {
+                   po[i] = px[i] > 0.0f ? pg[i] : slope * pg[i];
+                 }
+               });
 }
 
 void LeakyReLU::release_buffers() {

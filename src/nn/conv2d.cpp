@@ -1,6 +1,7 @@
 #include "nn/conv2d.h"
 
 #include "common/contract.h"
+#include "common/thread_pool.h"
 #include "nn/init.h"
 #include "tensor/ops.h"
 
@@ -48,15 +49,21 @@ void Conv2d::forward_into(const Tensor& x, Tensor& out, bool /*training*/) {
   // Scatter each image's rows into [out_c, oh, ow] layout with bias.
   out.ensure_shape(Shape{n, out_c_, oh, ow});
   const float* bias = b_.raw();
-  for (std::size_t i = 0; i < n; ++i) {
-    float* dst = out.raw() + i * out_c_ * oh * ow;
-    const float* src = y_.raw() + i * oh * ow * out_c_;
-    for (std::size_t p = 0; p < oh * ow; ++p) {
-      for (std::size_t c = 0; c < out_c_; ++c) {
-        dst[c * oh * ow + p] = src[p * out_c_ + c] + bias[c];
+  float* pout = out.raw();
+  const float* py = y_.raw();
+  const std::size_t out_c = out_c_;
+  parallel_for(n, [pout, py, bias, out_c, oh, ow](std::size_t i0,
+                                                  std::size_t i1) {
+    for (std::size_t i = i0; i < i1; ++i) {
+      float* dst = pout + i * out_c * oh * ow;
+      const float* src = py + i * oh * ow * out_c;
+      for (std::size_t p = 0; p < oh * ow; ++p) {
+        for (std::size_t c = 0; c < out_c; ++c) {
+          dst[c * oh * ow + p] = src[p * out_c + c] + bias[c];
+        }
       }
     }
-  }
+  });
   note_forward();
 }
 
@@ -71,15 +78,21 @@ void Conv2d::backward_into(const Tensor& grad_out, Tensor& grad_in) {
 
   // Re-layout [N][out_c, oh*ow] -> [N*oh*ow, out_c] column layout.
   g2_.ensure_shape(Shape{n * oh * ow, out_c_});
-  for (std::size_t i = 0; i < n; ++i) {
-    const float* src = grad_out.raw() + i * out_c_ * oh * ow;
-    float* dst = g2_.raw() + i * oh * ow * out_c_;
-    for (std::size_t c = 0; c < out_c_; ++c) {
-      for (std::size_t p = 0; p < oh * ow; ++p) {
-        dst[p * out_c_ + c] = src[c * oh * ow + p];
+  const float* pgrad = grad_out.raw();
+  float* pg2 = g2_.raw();
+  const std::size_t out_c = out_c_;
+  parallel_for(n, [pgrad, pg2, out_c, oh, ow](std::size_t i0,
+                                              std::size_t i1) {
+    for (std::size_t i = i0; i < i1; ++i) {
+      const float* src = pgrad + i * out_c * oh * ow;
+      float* dst = pg2 + i * oh * ow * out_c;
+      for (std::size_t c = 0; c < out_c; ++c) {
+        for (std::size_t p = 0; p < oh * ow; ++p) {
+          dst[p * out_c + c] = src[c * oh * ow + p];
+        }
       }
     }
-  }
+  });
   // gW += g2ᵀ · cols : [out_c, patch], one GEMM over the whole batch.
   ops::matmul_tn(g2_, cols_cache_, gw_batch_);
   ops::axpy(1.0f, gw_batch_, gw_);

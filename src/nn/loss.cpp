@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/contract.h"
+#include "common/thread_pool.h"
 #include "tensor/ops.h"
 
 namespace satd::nn {
@@ -33,18 +34,23 @@ void softmax_into(const Tensor& logits, Tensor& out) {
   out.ensure_shape(logits.shape());
   const float* pl = logits.raw();
   float* po = out.raw();
-  for (std::size_t i = 0; i < n; ++i) {
-    const float* row = pl + i * k;
-    float* orow = po + i * k;
-    const float m = *std::max_element(row, row + k);
-    double denom = 0.0;
-    for (std::size_t j = 0; j < k; ++j) {
-      orow[j] = std::exp(row[j] - m);
-      denom += orow[j];
+  // Rows are independent (the denominator reduction stays within a row),
+  // so a row split is deterministic for any thread count.
+  const std::size_t grain = std::max<std::size_t>(1, 512 / (k + 1));
+  parallel_for(n, grain, [pl, po, k](std::size_t i0, std::size_t i1) {
+    for (std::size_t i = i0; i < i1; ++i) {
+      const float* row = pl + i * k;
+      float* orow = po + i * k;
+      const float m = *std::max_element(row, row + k);
+      double denom = 0.0;
+      for (std::size_t j = 0; j < k; ++j) {
+        orow[j] = std::exp(row[j] - m);
+        denom += orow[j];
+      }
+      const float inv = static_cast<float>(1.0 / denom);
+      for (std::size_t j = 0; j < k; ++j) orow[j] *= inv;
     }
-    const float inv = static_cast<float>(1.0 / denom);
-    for (std::size_t j = 0; j < k; ++j) orow[j] *= inv;
-  }
+  });
 }
 
 LossResult softmax_cross_entropy(const Tensor& logits,

@@ -1,6 +1,7 @@
 #include "nn/maxpool2d.h"
 
 #include "common/contract.h"
+#include "common/thread_pool.h"
 
 namespace satd::nn {
 
@@ -24,18 +25,23 @@ void MaxPool2d::forward_into(const Tensor& x, Tensor& out,
   argmax_.assign(out.numel(), 0);
   const float* src = x.raw();
   float* dst = out.raw();
-  std::size_t o = 0;
-  for (std::size_t i = 0; i < n; ++i) {
-    for (std::size_t ch = 0; ch < c; ++ch) {
-      const std::size_t plane = (i * c + ch) * h * w;
+  std::size_t* amax = argmax_.data();
+  const std::size_t window = window_;
+  // One [H, W] plane per unit of work; every plane owns a disjoint slice
+  // of the output and the argmax record.
+  parallel_for(n * c, [src, dst, amax, h, w, oh, ow,
+                       window](std::size_t p0, std::size_t p1) {
+    for (std::size_t pl = p0; pl < p1; ++pl) {
+      const std::size_t plane = pl * h * w;
+      std::size_t o = pl * oh * ow;
       for (std::size_t oy = 0; oy < oh; ++oy) {
         for (std::size_t ox = 0; ox < ow; ++ox, ++o) {
-          std::size_t best = plane + (oy * window_) * w + ox * window_;
+          std::size_t best = plane + (oy * window) * w + ox * window;
           float best_v = src[best];
-          for (std::size_t dy = 0; dy < window_; ++dy) {
-            for (std::size_t dx = 0; dx < window_; ++dx) {
+          for (std::size_t dy = 0; dy < window; ++dy) {
+            for (std::size_t dx = 0; dx < window; ++dx) {
               const std::size_t idx =
-                  plane + (oy * window_ + dy) * w + (ox * window_ + dx);
+                  plane + (oy * window + dy) * w + (ox * window + dx);
               if (src[idx] > best_v) {
                 best_v = src[idx];
                 best = idx;
@@ -43,11 +49,11 @@ void MaxPool2d::forward_into(const Tensor& x, Tensor& out,
             }
           }
           dst[o] = best_v;
-          argmax_[o] = best;
+          amax[o] = best;
         }
       }
     }
-  }
+  });
   note_forward();
 }
 
@@ -61,7 +67,17 @@ void MaxPool2d::backward_into(const Tensor& grad_out, Tensor& grad_in) {
   grad_in.fill(0.0f);
   const float* g = grad_out.raw();
   float* dst = grad_in.raw();
-  for (std::size_t o = 0; o < argmax_.size(); ++o) dst[argmax_[o]] += g[o];
+  const std::size_t* amax = argmax_.data();
+  const std::size_t plane_out =
+      (in_shape_[2] / window_) * (in_shape_[3] / window_);
+  // Every argmax index stays inside its own plane's [H, W] block, so a
+  // per-plane split scatters into disjoint ranges.
+  parallel_for(in_shape_[0] * in_shape_[1],
+               [g, dst, amax, plane_out](std::size_t p0, std::size_t p1) {
+                 for (std::size_t o = p0 * plane_out; o < p1 * plane_out; ++o) {
+                   dst[amax[o]] += g[o];
+                 }
+               });
 }
 
 void MaxPool2d::release_buffers() {

@@ -1,6 +1,7 @@
 #include "tensor/im2col.h"
 
 #include "common/contract.h"
+#include "common/thread_pool.h"
 
 namespace satd {
 
@@ -107,10 +108,16 @@ void im2col_batch(const Tensor& batch, const ConvGeometry& g, Tensor& out) {
   const std::size_t patch = g.patch_size();
   out.ensure_shape(Shape{n * rows, patch});
   const std::size_t image_elems = g.in_channels * g.in_h * g.in_w;
-  for (std::size_t i = 0; i < n; ++i) {
-    unfold_image(batch.raw() + i * image_elems, g,
-                 out.raw() + i * rows * patch);
-  }
+  const float* src = batch.raw();
+  float* dst = out.raw();
+  // One image per unit of work: images write disjoint column ranges, so
+  // the unfold order (and result) is thread-count independent.
+  parallel_for(n, [&g, src, dst, image_elems, rows,
+                   patch](std::size_t i0, std::size_t i1) {
+    for (std::size_t i = i0; i < i1; ++i) {
+      unfold_image(src + i * image_elems, g, dst + i * rows * patch);
+    }
+  });
 }
 
 void col2im_batch(const Tensor& columns, std::size_t batch_size,
@@ -122,10 +129,16 @@ void col2im_batch(const Tensor& columns, std::size_t batch_size,
   out.ensure_shape(Shape{batch_size, g.in_channels, g.in_h, g.in_w});
   out.fill(0.0f);
   const std::size_t image_elems = g.in_channels * g.in_h * g.in_w;
-  for (std::size_t i = 0; i < batch_size; ++i) {
-    fold_image(columns.raw() + i * rows * patch, g,
-               out.raw() + i * image_elems);
-  }
+  const float* src = columns.raw();
+  float* dst = out.raw();
+  // Each image's fold scatters only into its own [C,H,W] block, so the
+  // per-image accumulation order is unchanged by the parallel split.
+  parallel_for(batch_size, [&g, src, dst, image_elems, rows,
+                            patch](std::size_t i0, std::size_t i1) {
+    for (std::size_t i = i0; i < i1; ++i) {
+      fold_image(src + i * rows * patch, g, dst + i * image_elems);
+    }
+  });
 }
 
 }  // namespace satd

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <vector>
 
 #include "common/contract.h"
+#include "common/thread_pool.h"
 
 namespace satd::ops {
 
@@ -20,11 +22,20 @@ void prepare_out(const Tensor& like, Tensor& out) {
 }  // namespace
 
 // ---- elementwise ----
+//
+// Each kernel is parallelized over disjoint element ranges (kElementGrain
+// per chunk minimum), so the per-element arithmetic — and therefore the
+// result — is independent of the thread count.
 
 void copy(const Tensor& a, Tensor& out) {
   if (&a == &out) return;
   prepare_out(a, out);
-  std::copy(a.raw(), a.raw() + a.numel(), out.raw());
+  const float* pa = a.raw();
+  float* po = out.raw();
+  parallel_for(a.numel(), kElementGrain,
+               [pa, po](std::size_t begin, std::size_t end) {
+                 std::copy(pa + begin, pa + end, po + begin);
+               });
 }
 
 void add(const Tensor& a, const Tensor& b, Tensor& out) {
@@ -33,7 +44,10 @@ void add(const Tensor& a, const Tensor& b, Tensor& out) {
   const float* pa = a.raw();
   const float* pb = b.raw();
   float* po = out.raw();
-  for (std::size_t i = 0, n = a.numel(); i < n; ++i) po[i] = pa[i] + pb[i];
+  parallel_for(a.numel(), kElementGrain,
+               [pa, pb, po](std::size_t begin, std::size_t end) {
+                 for (std::size_t i = begin; i < end; ++i) po[i] = pa[i] + pb[i];
+               });
 }
 
 Tensor add(const Tensor& a, const Tensor& b) {
@@ -48,7 +62,10 @@ void sub(const Tensor& a, const Tensor& b, Tensor& out) {
   const float* pa = a.raw();
   const float* pb = b.raw();
   float* po = out.raw();
-  for (std::size_t i = 0, n = a.numel(); i < n; ++i) po[i] = pa[i] - pb[i];
+  parallel_for(a.numel(), kElementGrain,
+               [pa, pb, po](std::size_t begin, std::size_t end) {
+                 for (std::size_t i = begin; i < end; ++i) po[i] = pa[i] - pb[i];
+               });
 }
 
 Tensor sub(const Tensor& a, const Tensor& b) {
@@ -63,7 +80,10 @@ void mul(const Tensor& a, const Tensor& b, Tensor& out) {
   const float* pa = a.raw();
   const float* pb = b.raw();
   float* po = out.raw();
-  for (std::size_t i = 0, n = a.numel(); i < n; ++i) po[i] = pa[i] * pb[i];
+  parallel_for(a.numel(), kElementGrain,
+               [pa, pb, po](std::size_t begin, std::size_t end) {
+                 for (std::size_t i = begin; i < end; ++i) po[i] = pa[i] * pb[i];
+               });
 }
 
 Tensor mul(const Tensor& a, const Tensor& b) {
@@ -76,7 +96,10 @@ void scale(const Tensor& a, float s, Tensor& out) {
   prepare_out(a, out);
   const float* pa = a.raw();
   float* po = out.raw();
-  for (std::size_t i = 0, n = a.numel(); i < n; ++i) po[i] = pa[i] * s;
+  parallel_for(a.numel(), kElementGrain,
+               [pa, po, s](std::size_t begin, std::size_t end) {
+                 for (std::size_t i = begin; i < end; ++i) po[i] = pa[i] * s;
+               });
 }
 
 Tensor scale(const Tensor& a, float s) {
@@ -89,16 +112,23 @@ void axpy(float alpha, const Tensor& b, Tensor& a) {
   check_same_shape(a, b, "axpy");
   float* pa = a.raw();
   const float* pb = b.raw();
-  for (std::size_t i = 0, n = a.numel(); i < n; ++i) pa[i] += alpha * pb[i];
+  parallel_for(a.numel(), kElementGrain,
+               [pa, pb, alpha](std::size_t begin, std::size_t end) {
+                 for (std::size_t i = begin; i < end; ++i)
+                   pa[i] += alpha * pb[i];
+               });
 }
 
 void sign(const Tensor& a, Tensor& out) {
   prepare_out(a, out);
   const float* pa = a.raw();
   float* po = out.raw();
-  for (std::size_t i = 0, n = a.numel(); i < n; ++i) {
-    po[i] = (pa[i] > 0.0f) ? 1.0f : (pa[i] < 0.0f ? -1.0f : 0.0f);
-  }
+  parallel_for(a.numel(), kElementGrain,
+               [pa, po](std::size_t begin, std::size_t end) {
+                 for (std::size_t i = begin; i < end; ++i) {
+                   po[i] = (pa[i] > 0.0f) ? 1.0f : (pa[i] < 0.0f ? -1.0f : 0.0f);
+                 }
+               });
 }
 
 Tensor sign(const Tensor& a) {
@@ -112,9 +142,12 @@ void clamp(const Tensor& a, float lo, float hi, Tensor& out) {
   prepare_out(a, out);
   const float* pa = a.raw();
   float* po = out.raw();
-  for (std::size_t i = 0, n = a.numel(); i < n; ++i) {
-    po[i] = std::min(hi, std::max(lo, pa[i]));
-  }
+  parallel_for(a.numel(), kElementGrain,
+               [pa, po, lo, hi](std::size_t begin, std::size_t end) {
+                 for (std::size_t i = begin; i < end; ++i) {
+                   po[i] = std::min(hi, std::max(lo, pa[i]));
+                 }
+               });
 }
 
 Tensor clamp(const Tensor& a, float lo, float hi) {
@@ -129,15 +162,22 @@ void project_linf(const Tensor& center, float eps, float lo, float hi,
   SATD_EXPECT(eps >= 0.0f, "eps must be non-negative");
   const float* pc = center.raw();
   float* px = x.raw();
-  for (std::size_t i = 0, n = x.numel(); i < n; ++i) {
-    const float ball_lo = pc[i] - eps;
-    const float ball_hi = pc[i] + eps;
-    float v = std::min(ball_hi, std::max(ball_lo, px[i]));
-    px[i] = std::min(hi, std::max(lo, v));
-  }
+  parallel_for(x.numel(), kElementGrain,
+               [pc, px, eps, lo, hi](std::size_t begin, std::size_t end) {
+                 for (std::size_t i = begin; i < end; ++i) {
+                   const float ball_lo = pc[i] - eps;
+                   const float ball_hi = pc[i] + eps;
+                   float v = std::min(ball_hi, std::max(ball_lo, px[i]));
+                   px[i] = std::min(hi, std::max(lo, v));
+                 }
+               });
 }
 
 // ---- reductions ----
+//
+// Reductions stay single-threaded on purpose: splitting a sum across
+// threads would make the accumulation order (and the float result)
+// depend on the thread count, breaking the determinism contract.
 
 float sum(const Tensor& a) {
   // Pairwise-ish accumulation in double to keep the reduction stable.
@@ -202,17 +242,135 @@ void argmax_rows_into(const Tensor& a, std::vector<std::size_t>& out) {
   SATD_EXPECT(d > 0, "argmax_rows requires non-empty rows");
   out.resize(n);
   const float* p = a.raw();
-  for (std::size_t i = 0; i < n; ++i) {
-    const float* row = p + i * d;
-    std::size_t best = 0;
-    for (std::size_t j = 1; j < d; ++j) {
-      if (row[j] > row[best]) best = j;
+  std::size_t* po = out.data();
+  const std::size_t grain = std::max<std::size_t>(1, kElementGrain / d);
+  parallel_for(n, grain, [p, po, d](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) {
+      const float* row = p + i * d;
+      std::size_t best = 0;
+      for (std::size_t j = 1; j < d; ++j) {
+        if (row[j] > row[best]) best = j;
+      }
+      po[i] = best;
     }
-    out[i] = best;
-  }
+  });
 }
 
 // ---- linear algebra ----
+//
+// One blocked, packed, register-tiled kernel backs all three GEMM entry
+// points. Shared structure:
+//
+//   * The output is processed in panels of kMR=4 rows. For each panel the
+//     corresponding A rows are packed k-major-interleaved into a
+//     per-thread buffer (apack[kk*kMR + r]) — for matmul_tn this is the
+//     step that turns the k-major layout into an i-major packed form, so
+//     its parallel decomposition is over output rows exactly like the
+//     others.
+//   * Columns are processed in kNC-wide blocks whose accumulators live in
+//     a register/L1-resident tile; the inner loop over kk issues kMR
+//     independent FMAs per column, which the compiler auto-vectorizes
+//     across the column block.
+//   * Accumulation is float, in strictly increasing kk order with one
+//     accumulator per output element. The order never depends on the
+//     blocking or on how row panels are distributed across threads, so
+//     any thread count produces bit-identical results.
+//
+// matmul_nt first transposes B into a per-thread scratch (cost O(nk),
+// amortized against the O(mnk) multiply) and then runs the same kernel,
+// which also makes its accumulator policy identical to the other two.
+
+namespace {
+
+constexpr std::size_t kMR = 4;    // rows per packed A panel
+constexpr std::size_t kNC = 256;  // columns per accumulator tile
+
+// Per-thread packing scratch. Workers are pool threads, so each gets its
+// own buffer; steady-state calls reuse the grown capacity (no alloc).
+thread_local std::vector<float> t_apack;
+thread_local std::vector<float> t_btrans;
+
+/// Packs rows [i0, i0+rows) of the logical m×k matrix A — element
+/// (i, kk) lives at a[i*row_stride + kk*col_stride] — into
+/// apack[kk*kMR + r]. Tail rows beyond `rows` are zero-filled; their
+/// results are computed into the local tile and discarded on store.
+void pack_a_panel(const float* a, std::size_t row_stride,
+                  std::size_t col_stride, std::size_t i0, std::size_t rows,
+                  std::size_t k, float* apack) {
+  for (std::size_t kk = 0; kk < k; ++kk) {
+    const float* src = a + kk * col_stride;
+    float* dst = apack + kk * kMR;
+    for (std::size_t r = 0; r < kMR; ++r) {
+      dst[r] = r < rows ? src[(i0 + r) * row_stride] : 0.0f;
+    }
+  }
+}
+
+/// C rows [i0, i0+rows) of a full GEMM: c += apack · B with B row-major
+/// [k, n]. `c` points at row i0. Accumulators are a stack tile, so the
+/// destination is written exactly once (no prior zeroing needed).
+void gemm_panel(const float* apack, std::size_t rows, const float* b,
+                std::size_t k, std::size_t n, float* c) {
+  alignas(64) float acc[kMR][kNC];
+  for (std::size_t j0 = 0; j0 < n; j0 += kNC) {
+    const std::size_t jb = std::min(kNC, n - j0);
+    for (std::size_t r = 0; r < kMR; ++r) {
+      for (std::size_t jj = 0; jj < jb; ++jj) acc[r][jj] = 0.0f;
+    }
+    for (std::size_t kk = 0; kk < k; ++kk) {
+      const float a0 = apack[kk * kMR + 0];
+      const float a1 = apack[kk * kMR + 1];
+      const float a2 = apack[kk * kMR + 2];
+      const float a3 = apack[kk * kMR + 3];
+      const float* brow = b + kk * n + j0;
+      for (std::size_t jj = 0; jj < jb; ++jj) {
+        const float bv = brow[jj];
+        acc[0][jj] += a0 * bv;
+        acc[1][jj] += a1 * bv;
+        acc[2][jj] += a2 * bv;
+        acc[3][jj] += a3 * bv;
+      }
+    }
+    for (std::size_t r = 0; r < rows; ++r) {
+      float* crow = c + r * n + j0;
+      for (std::size_t jj = 0; jj < jb; ++jj) crow[jj] = acc[r][jj];
+    }
+  }
+}
+
+/// Shared driver: C[m,n] = A·B with A given via its packing strides and B
+/// row-major [k, n]. Parallelism is over kMR-aligned row panels only, so
+/// the work split never touches the kk reduction order.
+void gemm_driver(const float* a, std::size_t row_stride,
+                 std::size_t col_stride, const float* b, std::size_t m,
+                 std::size_t n, std::size_t k, float* c) {
+  if (m == 0 || n == 0) return;
+  if (k == 0) {
+    std::fill(c, c + m * n, 0.0f);
+    return;
+  }
+  const std::size_t panels = (m + kMR - 1) / kMR;
+  // Aim for >= ~64k multiply-adds per chunk so the pool handoff stays
+  // negligible even for skinny matrices.
+  const std::size_t panel_flops = kMR * n * k;
+  const std::size_t grain =
+      std::max<std::size_t>(1, (1u << 16) / std::max<std::size_t>(1, panel_flops) + 1);
+  parallel_for(panels, grain,
+               [a, row_stride, col_stride, b, m, n, k,
+                c](std::size_t p0, std::size_t p1) {
+                 std::vector<float>& apack = t_apack;
+                 apack.resize(k * kMR);
+                 for (std::size_t p = p0; p < p1; ++p) {
+                   const std::size_t i0 = p * kMR;
+                   const std::size_t rows = std::min(kMR, m - i0);
+                   pack_a_panel(a, row_stride, col_stride, i0, rows, k,
+                                apack.data());
+                   gemm_panel(apack.data(), rows, b, k, n, c + i0 * n);
+                 }
+               });
+}
+
+}  // namespace
 
 void matmul(const Tensor& a, const Tensor& b, Tensor& out) {
   SATD_EXPECT(a.shape().rank() == 2 && b.shape().rank() == 2,
@@ -222,21 +380,8 @@ void matmul(const Tensor& a, const Tensor& b, Tensor& out) {
   SATD_EXPECT(b.shape()[0] == k, "matmul inner dimension mismatch");
   const std::size_t n = b.shape()[1];
   out.ensure_shape(Shape{m, n});
-  out.fill(0.0f);
-  const float* pa = a.raw();
-  const float* pb = b.raw();
-  float* po = out.raw();
-  // i-k-j order: the inner loop streams rows of B and C.
-  for (std::size_t i = 0; i < m; ++i) {
-    const float* arow = pa + i * k;
-    float* crow = po + i * n;
-    for (std::size_t kk = 0; kk < k; ++kk) {
-      const float av = arow[kk];
-      if (av == 0.0f) continue;
-      const float* brow = pb + kk * n;
-      for (std::size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
-    }
-  }
+  gemm_driver(a.raw(), /*row_stride=*/k, /*col_stride=*/1, b.raw(), m, n, k,
+              out.raw());
 }
 
 Tensor matmul(const Tensor& a, const Tensor& b) {
@@ -253,20 +398,9 @@ void matmul_tn(const Tensor& a, const Tensor& b, Tensor& out) {
   SATD_EXPECT(b.shape()[0] == k, "matmul_tn inner dimension mismatch");
   const std::size_t n = b.shape()[1];
   out.ensure_shape(Shape{m, n});
-  out.fill(0.0f);
-  const float* pa = a.raw();
-  const float* pb = b.raw();
-  float* po = out.raw();
-  for (std::size_t kk = 0; kk < k; ++kk) {
-    const float* arow = pa + kk * m;
-    const float* brow = pb + kk * n;
-    for (std::size_t i = 0; i < m; ++i) {
-      const float av = arow[i];
-      if (av == 0.0f) continue;
-      float* crow = po + i * n;
-      for (std::size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
-    }
-  }
+  // Aᵀ's logical element (i, kk) sits at a[kk*m + i].
+  gemm_driver(a.raw(), /*row_stride=*/1, /*col_stride=*/m, b.raw(), m, n, k,
+              out.raw());
 }
 
 Tensor matmul_tn(const Tensor& a, const Tensor& b) {
@@ -283,19 +417,21 @@ void matmul_nt(const Tensor& a, const Tensor& b, Tensor& out) {
   SATD_EXPECT(b.shape()[1] == k, "matmul_nt inner dimension mismatch");
   const std::size_t n = b.shape()[0];
   out.ensure_shape(Shape{m, n});
-  const float* pa = a.raw();
+  if (m == 0 || n == 0) return;
+  // Transpose B once into [k, n] scratch, then run the shared kernel.
+  std::vector<float>& bt = t_btrans;
+  bt.resize(k * n);
   const float* pb = b.raw();
-  float* po = out.raw();
-  for (std::size_t i = 0; i < m; ++i) {
-    const float* arow = pa + i * k;
-    float* crow = po + i * n;
-    for (std::size_t j = 0; j < n; ++j) {
-      const float* brow = pb + j * k;
-      double acc = 0.0;
-      for (std::size_t kk = 0; kk < k; ++kk) acc += static_cast<double>(arow[kk]) * brow[kk];
-      crow[j] = static_cast<float>(acc);
+  float* pbt = bt.data();
+  const std::size_t grain = std::max<std::size_t>(1, kElementGrain / (n + 1));
+  parallel_for(k, grain, [pb, pbt, n, k](std::size_t k0, std::size_t k1) {
+    for (std::size_t kk = k0; kk < k1; ++kk) {
+      float* dst = pbt + kk * n;
+      for (std::size_t j = 0; j < n; ++j) dst[j] = pb[j * k + kk];
     }
-  }
+  });
+  gemm_driver(a.raw(), /*row_stride=*/k, /*col_stride=*/1, pbt, m, n, k,
+              out.raw());
 }
 
 Tensor matmul_nt(const Tensor& a, const Tensor& b) {
@@ -314,9 +450,13 @@ void add_row_bias(const Tensor& a, const Tensor& bias, Tensor& out) {
   const float* pa = a.raw();
   const float* pbias = bias.raw();
   float* po = out.raw();
-  for (std::size_t i = 0; i < m; ++i) {
-    for (std::size_t j = 0; j < n; ++j) po[i * n + j] = pa[i * n + j] + pbias[j];
-  }
+  const std::size_t grain = std::max<std::size_t>(1, kElementGrain / (n + 1));
+  parallel_for(m, grain, [pa, pbias, po, n](std::size_t i0, std::size_t i1) {
+    for (std::size_t i = i0; i < i1; ++i) {
+      for (std::size_t j = 0; j < n; ++j)
+        po[i * n + j] = pa[i * n + j] + pbias[j];
+    }
+  });
 }
 
 void sum_rows(const Tensor& grad, Tensor& out) {
@@ -327,6 +467,8 @@ void sum_rows(const Tensor& grad, Tensor& out) {
   out.fill(0.0f);
   const float* pg = grad.raw();
   float* po = out.raw();
+  // Row-major accumulation kept serial: each output column is a reduction
+  // over rows, and m*n is small (batch x features) on every call site.
   for (std::size_t i = 0; i < m; ++i) {
     for (std::size_t j = 0; j < n; ++j) po[j] += pg[i * n + j];
   }

@@ -2,9 +2,19 @@
 //
 // Free functions, out-parameter variants where the hot loops need to
 // avoid allocation (the training loop reuses buffers), plus convenience
-// value-returning forms for tests and cold paths. Matmul is a blocked
-// i-k-j loop — on the single-core hosts this library targets it reaches a
-// few GFLOP/s, which is enough for the paper's scaled-down workloads.
+// value-returning forms for tests and cold paths.
+//
+// The three GEMM entry points share one cache-blocked, register-tiled
+// kernel: A is packed into 4-row interleaved panels per thread, C is
+// accumulated in a stack-resident column tile, and work is distributed
+// over output row panels only (see DESIGN.md §8). Accumulator policy
+// (uniform across matmul / matmul_tn / matmul_nt): every output element
+// is a float accumulator summed in strictly increasing k order, with no
+// zero-skip short-circuits — NaN and Inf operands propagate exactly as
+// IEEE float arithmetic dictates, and results are bit-identical for any
+// thread count. Elementwise kernels are likewise parallelized over
+// disjoint ranges; reductions stay single-threaded so their accumulation
+// order is fixed.
 #pragma once
 
 #include <cstddef>

@@ -22,13 +22,23 @@ TEST(ThreadPool, SubmitRunsJob) {
 }
 
 TEST(ThreadPool, ZeroWorkerPoolRunsInline) {
-  // Force a truly inline pool by asking for a pool of explicit size on a
-  // 1-core machine (threads=0 -> hardware_concurrency-1, may be 0).
+  // workers=0 is the poolless executor: submit runs on the caller.
   ThreadPool pool(0);
+  EXPECT_EQ(pool.worker_count(), 0u);
   std::atomic<int> counter{0};
   pool.submit([&counter] { counter.fetch_add(1); });
   pool.wait_idle();
   EXPECT_EQ(counter.load(), 1);
+}
+
+TEST(ThreadPool, SetGlobalThreadsResizesPool) {
+  ThreadPool::set_global_threads(4);
+  EXPECT_EQ(ThreadPool::global_threads(), 4u);
+  EXPECT_EQ(ThreadPool::global().worker_count(), 3u);
+  ThreadPool::set_global_threads(1);
+  EXPECT_EQ(ThreadPool::global_threads(), 1u);
+  ThreadPool::set_global_threads(0);  // restore SATD_THREADS / hw default
+  EXPECT_GE(ThreadPool::global_threads(), 1u);
 }
 
 TEST(ThreadPool, NullJobRejected) {
@@ -68,6 +78,43 @@ TEST(ParallelFor, SingleIteration) {
     calls.fetch_add(1);
   });
   EXPECT_EQ(calls.load(), 1);
+}
+
+TEST(ParallelFor, GrainCoversEveryIndexExactlyOnce) {
+  ThreadPool::set_global_threads(4);
+  std::vector<std::atomic<int>> hits(1000);
+  parallel_for(hits.size(), 64, [&](std::size_t begin, std::size_t end) {
+    EXPECT_TRUE(end - begin >= 64 || end == hits.size());
+    for (std::size_t i = begin; i < end; ++i) hits[i].fetch_add(1);
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+  ThreadPool::set_global_threads(0);
+}
+
+TEST(ParallelFor, BelowGrainRunsAsSingleInlineChunk) {
+  std::atomic<int> calls{0};
+  parallel_for(100, 1000, [&](std::size_t begin, std::size_t end) {
+    EXPECT_EQ(begin, 0u);
+    EXPECT_EQ(end, 100u);
+    calls.fetch_add(1);
+  });
+  EXPECT_EQ(calls.load(), 1);
+}
+
+TEST(ParallelFor, NestedCallRunsInlineInsteadOfDeadlocking) {
+  ThreadPool::set_global_threads(4);
+  std::atomic<int> inner_total{0};
+  parallel_for(8, [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) {
+      // A nested parallel_for on a worker thread must degrade to inline
+      // execution (a single body(0, n) call), not wait on the pool.
+      parallel_for(10, [&](std::size_t b, std::size_t e) {
+        inner_total.fetch_add(static_cast<int>(e - b));
+      });
+    }
+  });
+  EXPECT_EQ(inner_total.load(), 80);
+  ThreadPool::set_global_threads(0);
 }
 
 TEST(ParallelFor, SumMatchesSerial) {

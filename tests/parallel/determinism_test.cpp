@@ -1,0 +1,146 @@
+// Pins the parallel-execution determinism contract (DESIGN.md §8): every
+// hot-path decomposition is over independent output elements, so train
+// steps, attacks and full training runs are bit-identical for any thread
+// count. Runs the same workloads at 1, 2 and 4 global threads and
+// compares results with exact float equality.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "attack/bim.h"
+#include "common/rng.h"
+#include "common/thread_pool.h"
+#include "core/fgsm_adv_trainer.h"
+#include "data/synthetic.h"
+#include "nn/loss.h"
+#include "nn/zoo.h"
+#include "tensor/tensor.h"
+
+namespace satd {
+namespace {
+
+Tensor random_batch(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  Tensor t(Shape{n, 1, 28, 28});
+  for (float& v : t.data()) v = static_cast<float>(rng.uniform(0, 1));
+  return t;
+}
+
+std::vector<std::size_t> cyclic_labels(std::size_t n) {
+  std::vector<std::size_t> labels(n);
+  for (std::size_t i = 0; i < n; ++i) labels[i] = i % 10;
+  return labels;
+}
+
+/// Snapshots all model parameters (deep copies).
+std::vector<Tensor> snapshot_params(nn::Sequential& model) {
+  std::vector<Tensor> out;
+  for (const Tensor* p : model.parameters()) out.push_back(*p);
+  return out;
+}
+
+void expect_bit_identical(const std::vector<Tensor>& a,
+                          const std::vector<Tensor>& b, std::size_t threads) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_TRUE(a[i].equals(b[i]))
+        << "tensor " << i << " differs at " << threads << " threads";
+  }
+}
+
+/// Restores the SATD_THREADS / hardware default pool after each test so
+/// thread-count overrides never leak into other suites.
+class ParallelDeterminismTest : public ::testing::Test {
+ protected:
+  ~ParallelDeterminismTest() override { ThreadPool::set_global_threads(0); }
+  static constexpr std::size_t kThreadCounts[] = {1, 2, 4};
+};
+
+TEST_F(ParallelDeterminismTest, TrainStepGradientsBitIdentical) {
+  const Tensor x = random_batch(32, 17);
+  const auto labels = cyclic_labels(32);
+
+  std::vector<Tensor> reference;
+  Tensor ref_logits;
+  for (std::size_t threads : kThreadCounts) {
+    ThreadPool::set_global_threads(threads);
+    Rng rng(5);
+    nn::Sequential model = nn::zoo::build("cnn_small", rng);
+    Tensor logits, gx;
+    nn::LossResult loss;
+    model.forward_into(x, logits, true);
+    nn::softmax_cross_entropy_into(logits, labels, loss);
+    model.backward_into(loss.grad_logits, gx);
+
+    std::vector<Tensor> grads;
+    for (const Tensor* g : model.gradients()) grads.push_back(*g);
+    grads.push_back(gx);
+    if (threads == 1) {
+      reference = std::move(grads);
+      ref_logits = logits;
+    } else {
+      EXPECT_TRUE(logits.equals(ref_logits))
+          << "logits differ at " << threads << " threads";
+      expect_bit_identical(reference, grads, threads);
+    }
+  }
+}
+
+TEST_F(ParallelDeterminismTest, BimAttackBitIdentical) {
+  const Tensor x = random_batch(16, 23);
+  const auto labels = cyclic_labels(16);
+
+  Tensor reference;
+  for (std::size_t threads : kThreadCounts) {
+    ThreadPool::set_global_threads(threads);
+    Rng rng(9);
+    nn::Sequential model = nn::zoo::build("cnn_small", rng);
+    attack::Bim bim(0.3f, 10);
+    Tensor adv;
+    bim.perturb_into(model, x, labels, adv);
+    if (threads == 1) {
+      reference = adv;
+    } else {
+      EXPECT_TRUE(adv.equals(reference))
+          << "BIM output differs at " << threads << " threads";
+    }
+  }
+}
+
+// The acceptance-level pin: two full adversarial-training epochs produce
+// bit-identical model parameters at 1, 2 and 4 threads.
+TEST_F(ParallelDeterminismTest, TwoEpochTrainingParametersBitIdentical) {
+  data::SyntheticConfig data_cfg;
+  data_cfg.train_size = 96;
+  data_cfg.test_size = 10;
+  data_cfg.seed = 31;
+  const auto data = data::make_synthetic_digits(data_cfg);
+
+  core::TrainConfig cfg;
+  cfg.epochs = 2;
+  cfg.batch_size = 32;
+  cfg.seed = 7;
+  cfg.eps = 0.2f;
+
+  std::vector<Tensor> reference;
+  float ref_loss = 0.0f;
+  for (std::size_t threads : kThreadCounts) {
+    ThreadPool::set_global_threads(threads);
+    Rng rng(cfg.seed);
+    nn::Sequential model = nn::zoo::build("cnn_small", rng);
+    core::FgsmAdvTrainer trainer(model, cfg);
+    const core::TrainReport report = trainer.fit(data.train);
+    ASSERT_EQ(report.epochs.size(), 2u);
+    if (threads == 1) {
+      reference = snapshot_params(model);
+      ref_loss = report.final_loss();
+    } else {
+      EXPECT_EQ(report.final_loss(), ref_loss)
+          << "loss differs at " << threads << " threads";
+      expect_bit_identical(reference, snapshot_params(model), threads);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace satd

@@ -1,0 +1,161 @@
+// Validates the blocked, packed GEMM kernels (tensor/ops.cpp) against a
+// naive reference over odd, degenerate and empty shapes, pins the
+// no-zero-skip NaN/Inf propagation contract, and asserts thread-count
+// invariance of the results.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "common/rng.h"
+#include "common/thread_pool.h"
+#include "tensor/ops.h"
+#include "tensor/tensor.h"
+
+namespace satd {
+namespace {
+
+Tensor random_tensor(Shape shape, std::uint64_t seed) {
+  Rng rng(seed);
+  Tensor t(std::move(shape));
+  for (float& v : t.data()) v = static_cast<float>(rng.uniform(-1, 1));
+  return t;
+}
+
+/// Reference GEMM: the scalar i-j-k triple loop, float accumulation in
+/// increasing k order (the documented accumulator policy of ops.h).
+Tensor naive_matmul(const Tensor& a, const Tensor& b) {
+  const std::size_t m = a.shape()[0];
+  const std::size_t k = a.shape()[1];
+  const std::size_t n = b.shape()[1];
+  Tensor c(Shape{m, n});
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      float acc = 0.0f;
+      for (std::size_t kk = 0; kk < k; ++kk) {
+        acc += a.at(i, kk) * b.at(kk, j);
+      }
+      c.at(i, j) = acc;
+    }
+  }
+  return c;
+}
+
+class GemmShapeSweep
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(GemmShapeSweep, AllKernelsMatchNaiveReference) {
+  const auto [mi, ni, ki] = GetParam();
+  const auto m = static_cast<std::size_t>(mi);
+  const auto n = static_cast<std::size_t>(ni);
+  const auto k = static_cast<std::size_t>(ki);
+  const Tensor a = random_tensor(Shape{m, k}, 1000 + m * 31 + n * 7 + k);
+  const Tensor b = random_tensor(Shape{k, n}, 2000 + m + n * 13 + k * 5);
+  const Tensor expected = naive_matmul(a, b);
+
+  EXPECT_TRUE(ops::matmul(a, b).allclose(expected, 1e-4f))
+      << "matmul " << m << "x" << k << "x" << n;
+  EXPECT_TRUE(ops::matmul_tn(ops::transpose(a), b).allclose(expected, 1e-4f))
+      << "matmul_tn " << m << "x" << k << "x" << n;
+  EXPECT_TRUE(ops::matmul_nt(a, ops::transpose(b)).allclose(expected, 1e-4f))
+      << "matmul_nt " << m << "x" << k << "x" << n;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    OddAndBlockedSizes, GemmShapeSweep,
+    ::testing::Combine(::testing::Values(1, 3, 7, 17, 64, 65),
+                       ::testing::Values(1, 3, 7, 17, 64, 65),
+                       ::testing::Values(1, 3, 7, 17, 64, 65)));
+
+TEST(GemmKernel, EmptyDimensionsProduceEmptyOrZeroOutputs) {
+  // k = 0: the contraction is empty, so C must be all zeros.
+  const Tensor a(Shape{3, 0});
+  const Tensor b(Shape{0, 4});
+  Tensor c = ops::matmul(a, b);
+  ASSERT_EQ(c.shape(), (Shape{3, 4}));
+  for (float v : c.data()) EXPECT_EQ(v, 0.0f);
+  c = ops::matmul_tn(Tensor(Shape{0, 3}), b);
+  ASSERT_EQ(c.shape(), (Shape{3, 4}));
+  for (float v : c.data()) EXPECT_EQ(v, 0.0f);
+  c = ops::matmul_nt(a, Tensor(Shape{4, 0}));
+  ASSERT_EQ(c.shape(), (Shape{3, 4}));
+  for (float v : c.data()) EXPECT_EQ(v, 0.0f);
+
+  // m = 0 and n = 0: zero-element outputs, no crash.
+  EXPECT_EQ(ops::matmul(Tensor(Shape{0, 5}), random_tensor(Shape{5, 4}, 1))
+                .numel(),
+            0u);
+  EXPECT_EQ(ops::matmul(random_tensor(Shape{4, 5}, 2), Tensor(Shape{5, 0}))
+                .numel(),
+            0u);
+}
+
+// Regression for the seed kernels' `if (av == 0.0f) continue;`
+// short-circuit: skipping zero multiplicands silently suppressed
+// 0 * inf = NaN. The packed kernels must propagate non-finite operands
+// exactly as IEEE arithmetic dictates.
+TEST(GemmKernel, ZeroTimesInfPropagatesNaN) {
+  const float inf = std::numeric_limits<float>::infinity();
+  Tensor a(Shape{2, 2});
+  a.at(0, 0) = 0.0f;
+  a.at(0, 1) = 1.0f;
+  a.at(1, 0) = 2.0f;
+  a.at(1, 1) = 3.0f;
+  Tensor b(Shape{2, 2});
+  b.at(0, 0) = inf;
+  b.at(0, 1) = 1.0f;
+  b.at(1, 0) = 1.0f;
+  b.at(1, 1) = 1.0f;
+
+  // c[0,0] = 0 * inf + 1 * 1 -> NaN; c[1,0] = 2 * inf + 3 -> inf.
+  const Tensor c = ops::matmul(a, b);
+  EXPECT_TRUE(std::isnan(c.at(0, 0)));
+  EXPECT_TRUE(std::isinf(c.at(1, 0)));
+  EXPECT_FLOAT_EQ(c.at(0, 1), 1.0f);
+
+  const Tensor c_tn = ops::matmul_tn(ops::transpose(a), b);
+  EXPECT_TRUE(std::isnan(c_tn.at(0, 0)));
+  EXPECT_TRUE(std::isinf(c_tn.at(1, 0)));
+
+  const Tensor c_nt = ops::matmul_nt(a, ops::transpose(b));
+  EXPECT_TRUE(std::isnan(c_nt.at(0, 0)));
+  EXPECT_TRUE(std::isinf(c_nt.at(1, 0)));
+}
+
+TEST(GemmKernel, NaNOperandPoisonsItsRow) {
+  const float nan = std::numeric_limits<float>::quiet_NaN();
+  Tensor a = random_tensor(Shape{3, 4}, 7);
+  a.at(1, 2) = nan;
+  const Tensor b = random_tensor(Shape{4, 3}, 8);
+  const Tensor c = ops::matmul(a, b);
+  for (std::size_t j = 0; j < 3; ++j) {
+    EXPECT_TRUE(std::isnan(c.at(1, j))) << "col " << j;
+    EXPECT_FALSE(std::isnan(c.at(0, j))) << "col " << j;
+    EXPECT_FALSE(std::isnan(c.at(2, j))) << "col " << j;
+  }
+}
+
+// The row-panel-only work decomposition makes results bit-identical for
+// any thread count; this is the kernel-level half of the determinism
+// contract (tests/parallel/determinism_test.cpp pins the training side).
+TEST(GemmKernel, ResultsBitIdenticalAcrossThreadCounts) {
+  const Tensor a = random_tensor(Shape{65, 37}, 21);
+  const Tensor b = random_tensor(Shape{37, 53}, 22);
+  const Tensor at = ops::transpose(a);
+  const Tensor bt = ops::transpose(b);
+
+  ThreadPool::set_global_threads(1);
+  const Tensor c1 = ops::matmul(a, b);
+  const Tensor c1_tn = ops::matmul_tn(at, b);
+  const Tensor c1_nt = ops::matmul_nt(a, bt);
+  for (std::size_t threads : {2u, 4u}) {
+    ThreadPool::set_global_threads(threads);
+    EXPECT_TRUE(ops::matmul(a, b).equals(c1)) << threads << " threads";
+    EXPECT_TRUE(ops::matmul_tn(at, b).equals(c1_tn)) << threads << " threads";
+    EXPECT_TRUE(ops::matmul_nt(a, bt).equals(c1_nt)) << threads << " threads";
+  }
+  ThreadPool::set_global_threads(0);  // restore the environment default
+}
+
+}  // namespace
+}  // namespace satd
