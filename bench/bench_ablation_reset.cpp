@@ -6,55 +6,16 @@
 // buffered examples go stale against the drifting parameters; resetting
 // every epoch degenerates to FGSM-Adv (the buffer never matures past one
 // step). The useful defense lives in between.
-#include <cstdio>
-#include <vector>
-
-#include "attack/bim.h"
-#include "bench_util.h"
-#include "metrics/evaluator.h"
+//
+// The body lives in experiments.cpp so the supervised bench_all
+// orchestrator can run the same experiment as a resumable job.
+#include "experiments.h"
 
 using namespace satd;
 
 int main() {
-  const auto env = metrics::ExperimentEnv::from_env();
-  bench::print_header(
-      "Ablation — Proposed method's buffer reset period", env);
-
-  const std::string dataset = "digits";
-  const float eps = metrics::ExperimentEnv::eps_for(dataset);
-  const data::DatasetPair data = bench::load_dataset(env, dataset);
-
-  // "1" degenerates to single-step-from-clean; a period beyond the epoch
-  // count means "never reset".
-  std::vector<std::size_t> periods{1, env.epochs / 6 > 0 ? env.epochs / 6 : 2,
-                                   env.epochs / 3 > 0 ? env.epochs / 3 : 3,
-                                   2 * env.epochs / 3 > 0 ? 2 * env.epochs / 3
-                                                          : 4,
-                                   env.epochs + 1};
-
-  metrics::Table table(
-      {"reset period", "clean", "BIM(10)", "BIM(30)", "s/epoch"});
-  for (std::size_t period : periods) {
-    bench::MethodOverrides ov;
-    ov.reset_period = period;
-    metrics::CachedModel trained =
-        bench::train_cached(env, data, dataset, "proposed", ov);
-    attack::Bim bim10(eps, 10), bim30(eps, 30);
-    const std::string label = period > env.epochs
-                                  ? "never"
-                                  : std::to_string(period) + " epochs";
-    table.add_row(
-        {label,
-         metrics::percent(metrics::evaluate_clean(trained.model, data.test)),
-         metrics::percent(
-             metrics::evaluate_attack(trained.model, data.test, bim10)),
-         metrics::percent(
-             metrics::evaluate_attack(trained.model, data.test, bim30)),
-         metrics::seconds(trained.report.mean_epoch_seconds())});
-  }
-
-  std::fputs(table.to_string().c_str(), stdout);
-  table.write_csv("ablation_reset.csv");
-  std::printf("(rows written to ablation_reset.csv)\n");
+  bench::ExperimentContext ctx;
+  ctx.env = metrics::ExperimentEnv::from_env();
+  bench::run_ablation_reset(ctx);
   return 0;
 }

@@ -6,49 +6,16 @@
 // (eps/40) means the buffered examples never reach the full budget
 // between resets, echoing the paper's claim that overly small steps
 // waste computation without improving the defense.
-#include <cstdio>
-#include <vector>
-
-#include "attack/bim.h"
-#include "bench_util.h"
-#include "metrics/evaluator.h"
+//
+// The body lives in experiments.cpp so the supervised bench_all
+// orchestrator can run the same experiment as a resumable job.
+#include "experiments.h"
 
 using namespace satd;
 
 int main() {
-  const auto env = metrics::ExperimentEnv::from_env();
-  bench::print_header(
-      "Ablation — Proposed method's per-epoch step size (fraction of eps)",
-      env);
-
-  const std::string dataset = "digits";
-  const float eps = metrics::ExperimentEnv::eps_for(dataset);
-  const data::DatasetPair data = bench::load_dataset(env, dataset);
-
-  const std::vector<float> fractions{0.5f, 0.25f, 0.1f, 0.05f, 0.025f};
-
-  metrics::Table table(
-      {"step (x eps)", "clean", "BIM(10)", "BIM(30)", "s/epoch"});
-  for (float fraction : fractions) {
-    bench::MethodOverrides ov;
-    ov.step_fraction = fraction;
-    metrics::CachedModel trained =
-        bench::train_cached(env, data, dataset, "proposed", ov);
-    attack::Bim bim10(eps, 10), bim30(eps, 30);
-    char label[32];
-    std::snprintf(label, sizeof label, "%.3f", fraction);
-    table.add_row(
-        {label,
-         metrics::percent(metrics::evaluate_clean(trained.model, data.test)),
-         metrics::percent(
-             metrics::evaluate_attack(trained.model, data.test, bim10)),
-         metrics::percent(
-             metrics::evaluate_attack(trained.model, data.test, bim30)),
-         metrics::seconds(trained.report.mean_epoch_seconds())});
-  }
-
-  std::fputs(table.to_string().c_str(), stdout);
-  table.write_csv("ablation_step.csv");
-  std::printf("(rows written to ablation_step.csv)\n");
+  bench::ExperimentContext ctx;
+  ctx.env = metrics::ExperimentEnv::from_env();
+  bench::run_ablation_step(ctx);
   return 0;
 }

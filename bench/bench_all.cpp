@@ -1,0 +1,234 @@
+// Supervised end-to-end reproduction: runs the whole experiment matrix
+// (Table I, Figures 1 and 2, both ablations) under the job supervisor
+// (src/runtime/supervisor.h).
+//
+// The matrix is decomposed into resumable jobs: one training job per
+// (dataset, method) pair — whose output is the model-cache entry — and
+// one job per table/figure/ablation artifact, depending on the training
+// jobs it evaluates. Every state transition is journaled in a durable
+// manifest, so killing the process mid-matrix (even `kill -9`) and
+// rerunning resumes from the last completed job; because training is
+// deterministic and completed models live in the cache, the resumed
+// run's CSVs are bit-identical to an uninterrupted run's. A job that
+// exhausts its retries is reported DEGRADED, but independent jobs keep
+// running: one broken corner never costs the rest of the matrix.
+//
+// Single-step training jobs (FGSM-Adv and Proposed) run under the
+// robustness-collapse sentinel (core/sentinel.h) unless --no-sentinel
+// is given.
+#include <cstddef>
+#include <cstdio>
+#include <exception>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/cli.h"
+#include "common/durable_io.h"
+#include "experiments.h"
+#include "runtime/supervisor.h"
+
+using namespace satd;
+
+namespace {
+
+/// One trained classifier the matrix needs: a cache-backed training job.
+struct TrainSpec {
+  std::string label;   // job-name suffix, e.g. "bim10"
+  std::string method;  // trainer factory name
+  bench::MethodOverrides ov;
+};
+
+const std::vector<TrainSpec>& train_specs() {
+  static const std::vector<TrainSpec> specs{
+      {"vanilla", "vanilla", {}},
+      {"fgsm_adv", "fgsm_adv", {}},
+      {"atda", "atda", {}},
+      {"proposed", "proposed", {}},
+      {"bim10", "bim_adv", {.bim_iterations = 10}},
+      {"bim30", "bim_adv", {.bim_iterations = 30}},
+  };
+  return specs;
+}
+
+std::string train_job_name(const std::string& dataset,
+                           const std::string& label) {
+  return "train:" + dataset + ":" + label;
+}
+
+/// The cache files a training job promises (what resume checks for).
+std::vector<std::string> train_outputs(const metrics::ExperimentEnv& env,
+                                       const std::string& dataset,
+                                       const TrainSpec& spec) {
+  const core::TrainConfig cfg = bench::resolve_config(env, dataset, spec.ov);
+  const std::string stem =
+      env.cache_dir + "/" +
+      bench::make_model_key(env, cfg, dataset, spec.method).stem();
+  return {stem + ".model", stem + ".report"};
+}
+
+/// Wraps an experiment body as a job attempt: the watchdog deadline is
+/// polled at batch boundaries via the trainer stop check, an interrupted
+/// run reports an overrun (retryable), any other error a failure.
+runtime::JobResult run_attempt(
+    const metrics::ExperimentEnv& env, bool sentinel,
+    runtime::JobContext& jc,
+    const std::function<void(const bench::ExperimentContext&)>& body) {
+  bench::ExperimentContext ctx{env, jc.stop_check(), sentinel};
+  try {
+    body(ctx);
+  } catch (const bench::ExperimentInterrupted& e) {
+    return runtime::JobResult::overrun(e.what());
+  } catch (const std::exception& e) {
+    return runtime::JobResult::failed(e.what());
+  }
+  return runtime::JobResult::ok();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliParser cli("bench_all",
+                "Runs the full experiment matrix (Table I, Figures 1-2, "
+                "ablations) under the resilient job supervisor.");
+  cli.add_string("scale", "",
+                 "workload scale: tiny|smoke|fast|paper (default: the "
+                 "SATD_SCALE environment, i.e. fast)");
+  cli.add_string("manifest", "",
+                 "supervisor manifest path (default: "
+                 "<cache_dir>/supervisor_manifest.bin)");
+  cli.add_string("report", "bench_all_report.txt",
+                 "where to write the final matrix report");
+  cli.add_int("max-attempts", 3, "attempt budget per job");
+  cli.add_double("deadline", 1800.0,
+                 "per-attempt watchdog deadline in seconds (0 = none)");
+  cli.add_flag("no-sentinel",
+               "disable the robustness-collapse sentinel on single-step "
+               "training jobs");
+  if (!cli.parse(argc, argv)) return 0;
+
+  metrics::ExperimentEnv env = metrics::ExperimentEnv::from_env();
+  const std::string scale = cli.get_string("scale");
+  if (scale == "tiny") {
+    // Smaller than SATD_SCALE=smoke: sized for CI, where bench_all must
+    // prove the orchestration (not the science) in seconds.
+    env.train_size = 120;
+    env.test_size = 60;
+    env.epochs = 3;
+  } else if (scale == "smoke") {
+    env.train_size = 200;
+    env.test_size = 100;
+    env.epochs = 6;
+  } else if (scale == "paper") {
+    env.train_size = 4000;
+    env.test_size = 1000;
+    env.epochs = 40;
+  } else if (!scale.empty() && scale != "fast") {
+    std::fprintf(stderr, "unknown --scale \"%s\"\n", scale.c_str());
+    return 2;
+  }
+
+  const bool sentinel = !cli.get_flag("no-sentinel");
+  const double deadline = cli.get_double("deadline");
+  const auto max_attempts =
+      static_cast<std::size_t>(cli.get_int("max-attempts"));
+  std::string manifest_path = cli.get_string("manifest");
+  if (manifest_path.empty()) {
+    manifest_path = env.cache_dir + "/supervisor_manifest.bin";
+  }
+
+  bench::print_header("bench_all — supervised experiment matrix", env);
+  std::printf("manifest: %s (delete it to forget past progress)\n\n",
+              manifest_path.c_str());
+
+  runtime::Supervisor::Options options;
+  options.manifest_path = manifest_path;
+  // A manifest journaled at a different scale/seed describes different
+  // artifacts; the fingerprint makes the supervisor start fresh then.
+  options.fingerprint = "bench_all:" + env.describe();
+  runtime::Supervisor supervisor(options);
+
+  auto add_job = [&](std::string name,
+                     std::function<void(const bench::ExperimentContext&)> body,
+                     std::vector<std::string> deps,
+                     std::vector<std::string> outputs) {
+    runtime::Job job;
+    job.name = std::move(name);
+    job.deps = std::move(deps);
+    job.outputs = std::move(outputs);
+    job.deadline_seconds = deadline;
+    job.max_attempts = max_attempts;
+    job.run = [&env, sentinel, body = std::move(body)](
+                  runtime::JobContext& jc) {
+      return run_attempt(env, sentinel, jc, body);
+    };
+    supervisor.add(std::move(job));
+  };
+
+  // Training jobs: populate the model cache, one classifier each.
+  const std::vector<std::string> datasets{"digits", "fashion"};
+  for (const std::string& dataset : datasets) {
+    for (const TrainSpec& spec : train_specs()) {
+      add_job(
+          train_job_name(dataset, spec.label),
+          [&, dataset, spec](const bench::ExperimentContext& ctx) {
+            const data::DatasetPair data = bench::load_dataset(ctx.env, dataset);
+            bench::train_cached_ctx(ctx, data, dataset, spec.method, spec.ov);
+          },
+          {}, train_outputs(env, dataset, spec));
+    }
+  }
+
+  // Table I evaluates every method except vanilla on both datasets.
+  std::vector<std::string> table1_deps;
+  for (const std::string& dataset : datasets) {
+    for (const TrainSpec& spec : train_specs()) {
+      if (spec.label != "vanilla") {
+        table1_deps.push_back(train_job_name(dataset, spec.label));
+      }
+    }
+  }
+  add_job("exp:table1", [](const bench::ExperimentContext& ctx) {
+    bench::run_table1(ctx);
+  }, std::move(table1_deps), {"table1.csv"});
+
+  // Figures 1 and 2 share the same four classifiers per dataset.
+  const std::vector<std::string> figure_labels{"vanilla", "fgsm_adv", "bim10",
+                                               "bim30"};
+  for (std::size_t i = 0; i < datasets.size(); ++i) {
+    const std::string& dataset = datasets[i];
+    const char* panel = i == 0 ? "a" : "b";
+    std::vector<std::string> deps;
+    for (const std::string& label : figure_labels) {
+      deps.push_back(train_job_name(dataset, label));
+    }
+    add_job("exp:fig1:" + dataset,
+            [dataset, panel](const bench::ExperimentContext& ctx) {
+              bench::run_fig1_panel(ctx, dataset, panel);
+            },
+            deps, {"fig1_" + dataset + ".csv"});
+    add_job("exp:fig2:" + dataset,
+            [dataset, panel](const bench::ExperimentContext& ctx) {
+              bench::run_fig2_panel(ctx, dataset, panel);
+            },
+            std::move(deps), {"fig2_" + dataset + ".csv"});
+  }
+
+  // The ablations train their own Proposed variants (distinct cache
+  // keys), so they are dependency-free — they demonstrate that
+  // independent jobs keep running when another corner degrades.
+  add_job("exp:ablation_reset", [](const bench::ExperimentContext& ctx) {
+    bench::run_ablation_reset(ctx);
+  }, {}, {"ablation_reset.csv"});
+  add_job("exp:ablation_step", [](const bench::ExperimentContext& ctx) {
+    bench::run_ablation_step(ctx);
+  }, {}, {"ablation_step.csv"});
+
+  const runtime::MatrixReport report = supervisor.run();
+  const std::string summary = report.to_string();
+  std::printf("\n%s", summary.c_str());
+  durable::atomic_write_file(cli.get_string("report"), summary);
+  std::printf("(report written to %s)\n", cli.get_string("report").c_str());
+  return report.all_done() ? 0 : 1;
+}

@@ -7,80 +7,19 @@
 // Vanilla and FGSM-Adv collapse below 10% within a few iterations, the
 // BIM-Adv classifiers stay high and flat — establishing empirical
 // property P1 ("per-step perturbation below a limit stops helping").
-#include <cstdio>
-#include <vector>
-
-#include "bench_util.h"
-#include "metrics/chart.h"
-#include "metrics/evaluator.h"
+//
+// The body lives in experiments.cpp so the supervised bench_all
+// orchestrator can run the same experiment as a resumable job.
+#include "experiments.h"
 
 using namespace satd;
 
-namespace {
-
-const std::vector<std::size_t> kIterationCounts{1, 2, 3, 4, 5, 7,
-                                                10, 15, 20, 30};
-
-void run_panel(const metrics::ExperimentEnv& env, const std::string& dataset,
-               const char* panel) {
-  std::printf("--- Figure 1%s: %s (eps=%.2f, eps_step = eps/N) ---\n", panel,
-              dataset.c_str(), metrics::ExperimentEnv::eps_for(dataset));
-  const data::DatasetPair data = bench::load_dataset(env, dataset);
-  const float eps = metrics::ExperimentEnv::eps_for(dataset);
-
-  const std::vector<std::pair<std::string, bench::MethodOverrides>> methods{
-      {"vanilla", {}},
-      {"fgsm_adv", {}},
-      {"bim_adv", {.bim_iterations = 10}},
-      {"bim_adv", {.bim_iterations = 30}},
-  };
-
-  metrics::Table table([&] {
-    std::vector<std::string> header{"classifier"};
-    for (std::size_t n : kIterationCounts) {
-      header.push_back("N=" + std::to_string(n));
-    }
-    return header;
-  }());
-
-  metrics::AsciiChart chart(64, 14);
-  {
-    std::vector<std::string> x_labels;
-    for (std::size_t n : kIterationCounts) {
-      x_labels.push_back("N=" + std::to_string(n));
-    }
-    chart.set_x_labels(x_labels);
-  }
-
-  for (const auto& [method, ov] : methods) {
-    metrics::CachedModel trained =
-        bench::train_cached(env, data, dataset, method, ov);
-    const auto curve = metrics::robust_curve(trained.model, data.test, eps,
-                                             kIterationCounts);
-    std::vector<std::string> row{trained.report.method};
-    std::vector<float> ys;
-    for (const auto& point : curve) {
-      row.push_back(metrics::percent(point.accuracy));
-      ys.push_back(point.accuracy);
-    }
-    table.add_row(std::move(row));
-    chart.add_series(trained.report.method, ys);
-  }
-
-  std::fputs(table.to_string().c_str(), stdout);
-  std::printf("\n%s\n", chart.to_string().c_str());
-  const std::string csv = "fig1_" + dataset + ".csv";
-  table.write_csv(csv);
-  std::printf("(series written to %s)\n\n", csv.c_str());
-}
-
-}  // namespace
-
 int main() {
-  const auto env = metrics::ExperimentEnv::from_env();
+  bench::ExperimentContext ctx;
+  ctx.env = metrics::ExperimentEnv::from_env();
   bench::print_header(
-      "Figure 1 — accuracy vs BIM iteration count (fixed eps)", env);
-  run_panel(env, "digits", "a");
-  run_panel(env, "fashion", "b");
+      "Figure 1 — accuracy vs BIM iteration count (fixed eps)", ctx.env);
+  bench::run_fig1_panel(ctx, "digits", "a");
+  bench::run_fig1_panel(ctx, "fashion", "b");
   return 0;
 }

@@ -8,81 +8,19 @@
 // attack finishes, and most of the degradation happens within the first
 // ~6 iterations — establishing empirical property P2 ("intermediate
 // results already reveal the majority of blind spots").
-#include <cstdio>
-#include <vector>
-
-#include "bench_util.h"
-#include "metrics/chart.h"
-#include "metrics/evaluator.h"
+//
+// The body lives in experiments.cpp so the supervised bench_all
+// orchestrator can run the same experiment as a resumable job.
+#include "experiments.h"
 
 using namespace satd;
 
-namespace {
-
-constexpr std::size_t kTotalIterations = 10;
-
-void run_panel(const metrics::ExperimentEnv& env, const std::string& dataset,
-               const char* panel) {
-  const float eps = metrics::ExperimentEnv::eps_for(dataset);
-  std::printf(
-      "--- Figure 2%s: %s (BIM(%zu), eps=%.2f, accuracy after each "
-      "iteration) ---\n",
-      panel, dataset.c_str(), kTotalIterations, eps);
-  const data::DatasetPair data = bench::load_dataset(env, dataset);
-
-  const std::vector<std::pair<std::string, bench::MethodOverrides>> methods{
-      {"vanilla", {}},
-      {"fgsm_adv", {}},
-      {"bim_adv", {.bim_iterations = 10}},
-      {"bim_adv", {.bim_iterations = 30}},
-  };
-
-  metrics::Table table([&] {
-    std::vector<std::string> header{"classifier"};
-    for (std::size_t i = 1; i <= kTotalIterations; ++i) {
-      header.push_back("iter " + std::to_string(i));
-    }
-    return header;
-  }());
-
-  metrics::AsciiChart chart(60, 14);
-  {
-    std::vector<std::string> x_labels;
-    for (std::size_t i = 1; i <= kTotalIterations; ++i) {
-      x_labels.push_back("i=" + std::to_string(i));
-    }
-    chart.set_x_labels(x_labels);
-  }
-
-  for (const auto& [method, ov] : methods) {
-    metrics::CachedModel trained =
-        bench::train_cached(env, data, dataset, method, ov);
-    const auto curve = metrics::intermediate_curve(trained.model, data.test,
-                                                   eps, kTotalIterations);
-    std::vector<std::string> row{trained.report.method};
-    std::vector<float> ys;
-    for (const auto& point : curve) {
-      row.push_back(metrics::percent(point.accuracy));
-      ys.push_back(point.accuracy);
-    }
-    table.add_row(std::move(row));
-    chart.add_series(trained.report.method, ys);
-  }
-
-  std::fputs(table.to_string().c_str(), stdout);
-  std::printf("\n%s\n", chart.to_string().c_str());
-  const std::string csv = "fig2_" + dataset + ".csv";
-  table.write_csv(csv);
-  std::printf("(series written to %s)\n\n", csv.c_str());
-}
-
-}  // namespace
-
 int main() {
-  const auto env = metrics::ExperimentEnv::from_env();
+  bench::ExperimentContext ctx;
+  ctx.env = metrics::ExperimentEnv::from_env();
   bench::print_header(
-      "Figure 2 — accuracy on intermediate BIM iterates", env);
-  run_panel(env, "digits", "a");
-  run_panel(env, "fashion", "b");
+      "Figure 2 — accuracy on intermediate BIM iterates", ctx.env);
+  bench::run_fig2_panel(ctx, "digits", "a");
+  bench::run_fig2_panel(ctx, "fashion", "b");
   return 0;
 }

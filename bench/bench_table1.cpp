@@ -7,84 +7,16 @@
 // FGSM; only ATDA / Proposed / BIM-Adv resist iterative attacks;
 // Proposed beats ATDA on BIM accuracy and sits at BIM-Adv level; time
 // per epoch is FGSM-Adv ~ Proposed < ATDA << BIM(10)-Adv << BIM(30)-Adv.
-#include <cstdio>
-#include <vector>
-
-#include "attack/bim.h"
-#include "attack/fgsm.h"
-#include "bench_util.h"
-#include "metrics/evaluator.h"
+//
+// The body lives in experiments.cpp so the supervised bench_all
+// orchestrator can run the same experiment as a resumable job.
+#include "experiments.h"
 
 using namespace satd;
 
-namespace {
-
-struct MethodRow {
-  std::string method;
-  bench::MethodOverrides ov;
-};
-
-const std::vector<MethodRow> kMethods{
-    {"fgsm_adv", {}},
-    {"atda", {}},
-    {"proposed", {}},
-    {"bim_adv", {.bim_iterations = 10}},
-    {"bim_adv", {.bim_iterations = 30}},
-};
-
-struct EvalResult {
-  std::string name;
-  float original = 0, fgsm = 0, bim10 = 0, bim30 = 0;
-  double epoch_seconds = 0;
-};
-
-EvalResult evaluate(const metrics::ExperimentEnv& env,
-                    const data::DatasetPair& data,
-                    const std::string& dataset, const MethodRow& row) {
-  metrics::CachedModel trained =
-      bench::train_cached(env, data, dataset, row.method, row.ov);
-  const float eps = metrics::ExperimentEnv::eps_for(dataset);
-  EvalResult out;
-  out.name = trained.report.method;
-  out.epoch_seconds = trained.report.mean_epoch_seconds();
-  out.original = metrics::evaluate_clean(trained.model, data.test);
-  attack::Fgsm fgsm(eps);
-  out.fgsm = metrics::evaluate_attack(trained.model, data.test, fgsm);
-  attack::Bim bim10(eps, 10);
-  out.bim10 = metrics::evaluate_attack(trained.model, data.test, bim10);
-  attack::Bim bim30(eps, 30);
-  out.bim30 = metrics::evaluate_attack(trained.model, data.test, bim30);
-  return out;
-}
-
-}  // namespace
-
 int main() {
-  const auto env = metrics::ExperimentEnv::from_env();
-  bench::print_header("Table I — defensive power and training cost", env);
-
-  const data::DatasetPair digits = bench::load_dataset(env, "digits");
-  const data::DatasetPair fashion = bench::load_dataset(env, "fashion");
-
-  metrics::Table table({"method", "dig:Original", "dig:FGSM", "dig:BIM(10)",
-                        "dig:BIM(30)", "fash:Original", "fash:FGSM",
-                        "fash:BIM(10)", "fash:BIM(30)", "s/epoch"});
-
-  for (const MethodRow& row : kMethods) {
-    const EvalResult d = evaluate(env, digits, "digits", row);
-    const EvalResult f = evaluate(env, fashion, "fashion", row);
-    table.add_row({d.name, metrics::percent(d.original),
-                   metrics::percent(d.fgsm), metrics::percent(d.bim10),
-                   metrics::percent(d.bim30), metrics::percent(f.original),
-                   metrics::percent(f.fgsm), metrics::percent(f.bim10),
-                   metrics::percent(f.bim30),
-                   // The paper reports one per-epoch time; we average the
-                   // two datasets' runs (identical workload shape).
-                   metrics::seconds((d.epoch_seconds + f.epoch_seconds) / 2)});
-  }
-
-  std::fputs(table.to_string().c_str(), stdout);
-  table.write_csv("table1.csv");
-  std::printf("(rows written to table1.csv)\n");
+  bench::ExperimentContext ctx;
+  ctx.env = metrics::ExperimentEnv::from_env();
+  bench::run_table1(ctx);
   return 0;
 }

@@ -26,17 +26,23 @@ struct MethodOverrides {
   float step_fraction = 0.0f;     // 0 = keep default (0.1)
 };
 
-/// Trains (or loads from bench_cache) one method on one dataset.
-inline metrics::CachedModel train_cached(const metrics::ExperimentEnv& env,
-                                         const data::DatasetPair& data,
-                                         const std::string& dataset_name,
-                                         const std::string& method,
-                                         const MethodOverrides& ov = {}) {
+/// Resolves the TrainConfig for (env, dataset) with overrides applied.
+inline core::TrainConfig resolve_config(const metrics::ExperimentEnv& env,
+                                        const std::string& dataset_name,
+                                        const MethodOverrides& ov) {
   core::TrainConfig cfg = env.train_config(dataset_name);
   cfg.bim_iterations = ov.bim_iterations;
   if (ov.reset_period > 0) cfg.reset_period = ov.reset_period;
   if (ov.step_fraction > 0.0f) cfg.step_fraction = ov.step_fraction;
+  return cfg;
+}
 
+/// Cache key identifying one training run (shared by the benches and the
+/// bench_all supervisor, which needs it to declare job outputs).
+inline metrics::ModelKey make_model_key(const metrics::ExperimentEnv& env,
+                                        const core::TrainConfig& cfg,
+                                        const std::string& dataset_name,
+                                        const std::string& method) {
   metrics::ModelKey key;
   key.method = method;
   key.dataset = dataset_name;
@@ -49,7 +55,18 @@ inline metrics::CachedModel train_cached(const metrics::ExperimentEnv& env,
   key.bim_iterations = method == "bim_adv" ? cfg.bim_iterations : 0;
   key.reset_period = method == "proposed" ? cfg.reset_period : 0;
   key.step_fraction = method == "proposed" ? cfg.step_fraction : 0.0f;
+  return key;
+}
 
+/// Trains (or loads from bench_cache) one method on one dataset.
+inline metrics::CachedModel train_cached(const metrics::ExperimentEnv& env,
+                                         const data::DatasetPair& data,
+                                         const std::string& dataset_name,
+                                         const std::string& method,
+                                         const MethodOverrides& ov = {}) {
+  const core::TrainConfig cfg = resolve_config(env, dataset_name, ov);
+  const metrics::ModelKey key =
+      make_model_key(env, cfg, dataset_name, method);
   return metrics::train_or_load(
       env.cache_dir, key, [&](nn::Sequential& model) {
         auto trainer = core::make_trainer(method, model, cfg);

@@ -1,0 +1,71 @@
+// Reusable bodies of the reproduction experiments.
+//
+// Each run_* function is the full body of one bench binary (banner,
+// cached training, evaluation, table + CSV output), factored out so the
+// same code path serves two callers: the standalone bench binaries
+// (bench_table1, bench_fig1, ...) and the supervised bench_all
+// orchestrator, which runs them as resumable jobs with a watchdog
+// deadline and a robustness-collapse sentinel.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+#include "bench_util.h"
+
+namespace satd::bench {
+
+/// How an experiment body should run: the workload scale, an optional
+/// stop predicate polled during training (the supervisor wires its
+/// watchdog deadline here), and whether single-step adversarial methods
+/// train under the robustness-collapse sentinel (core/sentinel.h).
+struct ExperimentContext {
+  metrics::ExperimentEnv env;
+  core::StopCheck stop;
+  bool sentinel = false;
+};
+
+/// Thrown when the stop predicate fires mid-training: the run was
+/// abandoned at an epoch boundary and nothing was cached — the partial
+/// model never reaches the model cache, so a later retry retrains from
+/// scratch and stays bit-identical to an uninterrupted run.
+class ExperimentInterrupted : public std::runtime_error {
+ public:
+  explicit ExperimentInterrupted(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
+/// train_cached with the context applied: the stop check is polled at
+/// batch boundaries, and (when ctx.sentinel is set) fgsm_adv/proposed
+/// train under a BIM-probe sentinel whose collapse verdict rides the
+/// trainer's rollback-and-retry path. Throws ExperimentInterrupted when
+/// the stop check ended training early.
+metrics::CachedModel train_cached_ctx(const ExperimentContext& ctx,
+                                      const data::DatasetPair& data,
+                                      const std::string& dataset_name,
+                                      const std::string& method,
+                                      const MethodOverrides& ov = {});
+
+/// Table I: five methods x {Original, FGSM, BIM(10), BIM(30)} x both
+/// datasets + s/epoch. Writes table1.csv.
+void run_table1(const ExperimentContext& ctx);
+
+/// One Figure-1 panel (accuracy vs BIM iteration count). Writes
+/// fig1_<dataset>.csv. `panel` is the paper's panel letter ("a"/"b").
+void run_fig1_panel(const ExperimentContext& ctx, const std::string& dataset,
+                    const char* panel);
+
+/// One Figure-2 panel (accuracy on intermediate BIM(10) iterates).
+/// Writes fig2_<dataset>.csv.
+void run_fig2_panel(const ExperimentContext& ctx, const std::string& dataset,
+                    const char* panel);
+
+/// Ablation of the Proposed method's buffer reset period. Writes
+/// ablation_reset.csv.
+void run_ablation_reset(const ExperimentContext& ctx);
+
+/// Ablation of the Proposed method's per-epoch step size. Writes
+/// ablation_step.csv.
+void run_ablation_step(const ExperimentContext& ctx);
+
+}  // namespace satd::bench

@@ -1,0 +1,32 @@
+#include "common/backoff.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/contract.h"
+
+namespace satd {
+
+Backoff::Backoff(BackoffPolicy policy, std::uint64_t seed)
+    : policy_(policy), rng_(seed) {
+  SATD_EXPECT(policy_.base_delay >= 0.0, "base_delay must be non-negative");
+  SATD_EXPECT(policy_.multiplier >= 1.0, "multiplier must be >= 1");
+  SATD_EXPECT(policy_.max_delay >= policy_.base_delay,
+              "max_delay must be >= base_delay");
+  SATD_EXPECT(policy_.jitter_fraction >= 0.0 && policy_.jitter_fraction < 1.0,
+              "jitter_fraction must be in [0,1)");
+}
+
+double Backoff::delay(std::size_t attempt) {
+  double d = policy_.base_delay *
+             std::pow(policy_.multiplier, static_cast<double>(attempt));
+  d = std::min(d, policy_.max_delay);
+  if (policy_.jitter_fraction > 0.0) {
+    const double jitter =
+        rng_.uniform(-policy_.jitter_fraction, policy_.jitter_fraction);
+    d *= 1.0 + jitter;
+  }
+  return std::max(d, 0.0);
+}
+
+}  // namespace satd

@@ -1,0 +1,44 @@
+// Exponential retry backoff with deterministic, seeded jitter.
+//
+// The pattern follows HPC task spoolers: delay grows geometrically per
+// attempt, is capped, and carries a multiplicative jitter term so that a
+// fleet of supervisors retrying against the same shared resource does not
+// retry in lockstep. Unlike the usual random_device jitter, ours is drawn
+// from a seeded satd::Rng so a retry schedule is exactly reproducible
+// from (policy, seed) — the property the chaos tests pin.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/rng.h"
+
+namespace satd {
+
+/// Shape of the retry schedule. All durations in seconds.
+struct BackoffPolicy {
+  double base_delay = 1.0;       ///< delay before the first retry
+  double multiplier = 2.0;       ///< geometric growth per retry
+  double max_delay = 60.0;       ///< cap applied before jitter
+  double jitter_fraction = 0.1;  ///< uniform in [-f, +f] of the delay
+};
+
+/// Stateful backoff schedule: delay(k) is base * multiplier^k capped at
+/// max_delay, scaled by (1 + U[-jitter, +jitter]) from the seeded stream.
+/// Each call consumes one draw, so re-running with the same seed replays
+/// the identical schedule.
+class Backoff {
+ public:
+  Backoff(BackoffPolicy policy, std::uint64_t seed);
+
+  /// Delay before retry `attempt` (0 = first retry). Always >= 0.
+  double delay(std::size_t attempt);
+
+  const BackoffPolicy& policy() const { return policy_; }
+
+ private:
+  BackoffPolicy policy_;
+  Rng rng_;
+};
+
+}  // namespace satd

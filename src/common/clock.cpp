@@ -1,0 +1,23 @@
+#include "common/clock.h"
+
+#include <chrono>
+#include <thread>
+
+namespace satd {
+
+double SystemClock::now() {
+  using namespace std::chrono;
+  return duration<double>(steady_clock::now().time_since_epoch()).count();
+}
+
+void SystemClock::sleep_for(double seconds) {
+  if (seconds <= 0) return;
+  std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
+}
+
+SystemClock& SystemClock::instance() {
+  static SystemClock clock;
+  return clock;
+}
+
+}  // namespace satd

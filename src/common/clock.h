@@ -1,0 +1,58 @@
+// Injectable wall-clock abstraction for deadline supervision.
+//
+// The runtime supervisor (src/runtime) enforces watchdog deadlines and
+// retry backoff in terms of a Clock so that tests can drive the whole
+// deadline/backoff state machine with a FakeClock — deterministically and
+// in microseconds — while production uses the monotonic system clock.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace satd {
+
+/// Monotonic time source plus a blocking sleep. `now()` is in seconds
+/// from an arbitrary fixed origin; only differences are meaningful.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+  virtual double now() = 0;
+  virtual void sleep_for(double seconds) = 0;
+};
+
+/// Real clock: std::chrono::steady_clock + std::this_thread::sleep_for.
+class SystemClock : public Clock {
+ public:
+  double now() override;
+  void sleep_for(double seconds) override;
+
+  /// Shared process-wide instance (the supervisor's default).
+  static SystemClock& instance();
+};
+
+/// Manually advanced clock for tests. sleep_for() advances time instantly
+/// and records the requested duration so tests can assert the exact
+/// backoff schedule a supervisor executed.
+class FakeClock : public Clock {
+ public:
+  explicit FakeClock(double start = 0.0) : now_(start) {}
+
+  double now() override { return now_; }
+  void sleep_for(double seconds) override {
+    if (seconds > 0) now_ += seconds;
+    sleeps_.push_back(seconds);
+  }
+
+  /// Moves time forward without recording a sleep (models work taking
+  /// wall-clock time inside a job).
+  void advance(double seconds) { now_ += seconds; }
+
+  /// Every duration passed to sleep_for(), in call order.
+  const std::vector<double>& sleeps() const { return sleeps_; }
+
+ private:
+  double now_;
+  std::vector<double> sleeps_;
+};
+
+}  // namespace satd

@@ -58,6 +58,39 @@ constexpr std::size_t kFrameTrailer = 4;
 bool g_fault_armed = false;
 std::size_t g_fault_at_byte = 0;
 
+// Last directory fsynced by atomic_write_file (observable so tests can
+// assert the directory-durability path is exercised).
+std::string g_last_dir_fsync;
+
+/// Directory containing `path` ("." for a bare filename).
+std::string parent_dir_of(const std::string& path) {
+  const std::size_t slash = path.find_last_of('/');
+  if (slash == std::string::npos) return ".";
+  if (slash == 0) return "/";
+  return path.substr(0, slash);
+}
+
+/// fsyncs the directory holding `path`. POSIX rename atomicity protects
+/// against a *process* crash, but the rename itself lives in the
+/// directory inode — until that is flushed, a power loss can roll the
+/// directory back to the old entry (or to neither file on some
+/// filesystems). Throws IoError so callers never believe an un-durable
+/// write was durable.
+void fsync_parent_dir(const std::string& path) {
+  const std::string dir = parent_dir_of(path);
+  const int fd = ::open(dir.c_str(), O_RDONLY);
+  if (fd < 0) {
+    throw IoError(errno_context("cannot open directory for fsync", dir));
+  }
+  if (::fsync(fd) != 0) {
+    const std::string msg = errno_context("directory fsync failed", dir);
+    ::close(fd);
+    throw IoError(msg);
+  }
+  ::close(fd);
+  g_last_dir_fsync = dir;
+}
+
 }  // namespace
 
 const char kFrameMagic[8] = {'S', 'A', 'T', 'D', 'C', 'R', 'C', '1'};
@@ -164,6 +197,10 @@ void atomic_write_file(const std::string& path, const std::string& bytes) {
   if (std::rename(tmp.c_str(), path.c_str()) != 0) {
     throw IoError(errno_context("rename failed", tmp + " -> " + path));
   }
+  // The data is durable (fsync above) but the rename is not until the
+  // parent directory's inode is flushed too — without this, the atomic-
+  // write contract survives a process crash yet not a power loss.
+  fsync_parent_dir(path);
 }
 
 void write_file_checksummed(
@@ -195,6 +232,8 @@ void arm_write_failure(std::size_t fail_at_byte) {
 }
 void disarm() { g_fault_armed = false; }
 bool armed() { return g_fault_armed; }
+const std::string& last_dir_fsync() { return g_last_dir_fsync; }
+void reset_dir_fsync_probe() { g_last_dir_fsync.clear(); }
 }  // namespace fault
 
 int FaultStream::LimitBuf::overflow(int ch) {

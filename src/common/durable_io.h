@@ -91,6 +91,13 @@ namespace fault {
 void arm_write_failure(std::size_t fail_at_byte);
 void disarm();
 bool armed();
+
+/// Directory fsynced by the most recent successful atomic_write_file
+/// (empty if none since reset). Lets tests assert the parent-directory
+/// durability step — the part of the atomic-write contract that protects
+/// the rename itself against power loss — is actually exercised.
+const std::string& last_dir_fsync();
+void reset_dir_fsync_probe();
 }  // namespace fault
 
 /// An ostream that accepts exactly `limit` bytes and then fails (badbit),

@@ -1,11 +1,19 @@
 #include "common/thread_pool.h"
 
 #include <algorithm>
+#include <cerrno>
 #include <cstdlib>
 #include <memory>
 #include <string>
 
 #include "common/contract.h"
+#include "common/log.h"
+
+namespace {
+// Far above any sane host; larger values are certainly typos (an extra
+// digit) and would exhaust memory spawning threads.
+constexpr long kMaxReasonableThreads = 4096;
+}  // namespace
 
 namespace satd {
 
@@ -20,11 +28,8 @@ thread_local bool t_is_pool_worker = false;
 /// else hardware concurrency; both leave one thread for the caller.
 std::size_t default_workers() {
   if (const char* env = std::getenv("SATD_THREADS")) {
-    char* end = nullptr;
-    const long v = std::strtol(env, &end, 10);
-    if (end != env && *end == '\0' && v >= 1) {
-      return static_cast<std::size_t>(v) - 1;
-    }
+    const std::size_t total = ThreadPool::parse_thread_env(env);
+    if (total > 0) return total - 1;
   }
   const unsigned hc = std::thread::hardware_concurrency();
   return hc > 1 ? hc - 1 : 0;
@@ -95,6 +100,33 @@ void ThreadPool::set_global_threads(std::size_t total) {
 
 std::size_t ThreadPool::global_threads() {
   return ThreadPool::global().worker_count() + 1;
+}
+
+std::size_t ThreadPool::parse_thread_env(const char* text) {
+  if (text == nullptr || *text == '\0') {
+    log::warn() << "SATD_THREADS is empty; using the hardware default";
+    return 0;
+  }
+  errno = 0;
+  char* end = nullptr;
+  const long v = std::strtol(text, &end, 10);
+  if (end == text || *end != '\0') {
+    log::warn() << "SATD_THREADS=\"" << text
+                << "\" is not a number; using the hardware default";
+    return 0;
+  }
+  if (errno == ERANGE || v > kMaxReasonableThreads) {
+    log::warn() << "SATD_THREADS=\"" << text
+                << "\" is out of range; using the hardware default";
+    return 0;
+  }
+  if (v < 1) {
+    log::warn() << "SATD_THREADS=" << v
+                << " must be >= 1 (total threads including the caller); "
+                   "using the hardware default";
+    return 0;
+  }
+  return static_cast<std::size_t>(v);
 }
 
 void ThreadPool::worker_loop() {

@@ -63,6 +63,14 @@ class ThreadPool {
   /// Total threads the global pool brings to a parallel_for (workers+1).
   static std::size_t global_threads();
 
+  /// Parses a SATD_THREADS-style value. Returns the total thread count
+  /// for a well-formed positive integer; returns 0 — meaning "fall back
+  /// to the hardware default" — for anything else (empty, non-numeric,
+  /// trailing garbage, zero, negative, or out-of-range values), logging
+  /// one warning describing the rejected text. Exposed so tests can pin
+  /// the hardening without mutating the process environment.
+  static std::size_t parse_thread_env(const char* text);
+
  private:
   void worker_loop();
 

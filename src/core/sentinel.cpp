@@ -1,0 +1,67 @@
+#include "core/sentinel.h"
+
+#include "common/contract.h"
+#include "common/log.h"
+#include "tensor/ops.h"
+
+namespace satd::core {
+
+RobustnessSentinel::RobustnessSentinel(data::Dataset probe,
+                                       SentinelConfig config)
+    : probe_(std::move(probe)),
+      config_(config),
+      bim_(config.eps, config.iterations) {
+  probe_.validate();
+  SATD_EXPECT(probe_.size() > 0, "sentinel needs a non-empty probe set");
+  SATD_EXPECT(config_.period > 0, "sentinel period must be positive");
+  SATD_EXPECT(config_.iterations > 0,
+              "sentinel needs at least one BIM iteration");
+  SATD_EXPECT(
+      config_.collapse_fraction > 0.0f && config_.collapse_fraction < 1.0f,
+      "collapse_fraction must be in (0,1)");
+  SATD_EXPECT(config_.min_baseline >= 0.0f && config_.min_baseline <= 1.0f,
+              "min_baseline must be in [0,1]");
+}
+
+void RobustnessSentinel::attach(Trainer& trainer) {
+  trainer.set_epoch_health_hook(
+      [this](std::size_t epoch, std::size_t /*attempt*/,
+             nn::Sequential& model, float /*mean_loss*/) {
+        return check(epoch, model);
+      });
+}
+
+float RobustnessSentinel::measure(nn::Sequential& model) {
+  // The probe is small by contract, so it is attacked and evaluated as a
+  // single batch; BIM and the forward pass are deterministic and consume
+  // no trainer RNG.
+  bim_.perturb_into(model, probe_.images, probe_.labels, adv_scratch_);
+  model.forward_into(adv_scratch_, logits_scratch_, /*training=*/false);
+  ops::argmax_rows_into(logits_scratch_, preds_scratch_);
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < probe_.labels.size(); ++i) {
+    if (preds_scratch_[i] == probe_.labels[i]) ++correct;
+  }
+  return static_cast<float>(correct) /
+         static_cast<float>(probe_.labels.size());
+}
+
+const char* RobustnessSentinel::check(std::size_t epoch,
+                                      nn::Sequential& model) {
+  if ((epoch + 1) % config_.period != 0) return nullptr;
+  float acc = measure(model);
+  if (override_) acc = override_(epoch, acc);
+  last_ = acc;
+  if (best_ >= config_.min_baseline &&
+      acc < config_.collapse_fraction * best_) {
+    ++trips_;
+    log::warn() << "robustness sentinel: probe accuracy " << acc
+                << " collapsed below " << config_.collapse_fraction
+                << " x best (" << best_ << ") at epoch " << epoch;
+    return "robust_collapse";
+  }
+  if (acc > best_) best_ = acc;
+  return nullptr;
+}
+
+}  // namespace satd::core

@@ -1,0 +1,96 @@
+// Robustness-collapse sentinel: a periodic BIM-probe health check for
+// adversarial training.
+//
+// Single-step adversarial training (FGSM-Adv and, by construction, the
+// paper's Proposed method early after a buffer reset) is known to fail
+// *silently*: robust accuracy can collapse catastrophically mid-run
+// while the clean loss keeps improving (Vivek & Babu, "Regularizers for
+// Single-step Adversarial Training"). The trainer's built-in guards
+// (NaN/Inf, loss spikes) cannot see this failure mode because nothing in
+// the clean loss misbehaves.
+//
+// The sentinel watches the one signal that does move: robust accuracy on
+// a small fixed probe set under a few BIM iterations. Attached to a
+// Trainer as its epoch health hook, a collapse (probe accuracy falling
+// below `collapse_fraction` of the best seen so far) returns the stable
+// verdict "robust_collapse" and rides the trainer's existing
+// rollback-and-retry machinery: the epoch is rolled back to the
+// last-good snapshot and retried at a halved learning rate, and retries
+// exhausting throws TrainingDivergedError — which a supervised job then
+// absorbs as a DEGRADED outcome instead of aborting the matrix.
+//
+// The probe evaluation runs the model in inference mode and consumes no
+// trainer RNG, so attaching a sentinel never changes the parameters a
+// healthy run produces — cached models and CSVs stay bit-identical.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "attack/bim.h"
+#include "core/trainer.h"
+#include "data/dataset.h"
+
+namespace satd::core {
+
+/// Sentinel knobs. Defaults are deliberately conservative: the check
+/// only arms once the probe has ever reached `min_baseline`, and trips
+/// only on a fall below half of the best observed accuracy — ordinary
+/// epoch-to-epoch wobble cannot reach that.
+struct SentinelConfig {
+  std::size_t period = 1;          ///< check every `period` epochs
+  float eps = 0.3f;                ///< probe attack budget
+  std::size_t iterations = 5;      ///< BIM iterations on the probe
+  float collapse_fraction = 0.5f;  ///< trip when acc < fraction * best
+  float min_baseline = 0.2f;       ///< arm only after best >= this
+};
+
+/// Periodic BIM-probe robust-accuracy watchdog (see file comment).
+/// The sentinel must outlive the trainer's fit() it is attached to.
+class RobustnessSentinel {
+ public:
+  /// `probe` is a small held-out slice (a few dozen examples is enough);
+  /// it is copied in. Throws ContractViolation on an empty probe or a
+  /// degenerate config.
+  RobustnessSentinel(data::Dataset probe, SentinelConfig config);
+
+  /// Installs check() as `trainer`'s epoch health hook.
+  void attach(Trainer& trainer);
+
+  /// The health check: measures probe robust accuracy on scheduled
+  /// epochs and returns "robust_collapse" or nullptr. Exposed for tests
+  /// and custom wiring.
+  const char* check(std::size_t epoch, nn::Sequential& model);
+
+  /// Best probe robust accuracy seen so far (-1 before the first check).
+  float best_accuracy() const { return best_; }
+  /// Most recent measurement (-1 before the first check).
+  float last_accuracy() const { return last_; }
+  /// Number of collapse verdicts returned so far.
+  std::size_t trips() const { return trips_; }
+
+  /// Test-only: replaces each measured accuracy with
+  /// `override_fn(epoch, measured)` — lets chaos tests inject a collapse
+  /// (and a recovery) at exact epochs without engineering a real one.
+  void set_probe_override(
+      std::function<float(std::size_t, float)> override_fn) {
+    override_ = std::move(override_fn);
+  }
+
+ private:
+  float measure(nn::Sequential& model);
+
+  data::Dataset probe_;
+  SentinelConfig config_;
+  attack::Bim bim_;
+  Tensor adv_scratch_;
+  Tensor logits_scratch_;
+  std::vector<std::size_t> preds_scratch_;
+  float best_ = -1.0f;
+  float last_ = -1.0f;
+  std::size_t trips_ = 0;
+  std::function<float(std::size_t, float)> override_;
+};
+
+}  // namespace satd::core

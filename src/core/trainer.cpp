@@ -128,8 +128,9 @@ TrainReport Trainer::fit(const data::Dataset& train, EpochCallback callback,
   // streams, method state) serialized in memory at each epoch boundary.
   // Restoring it and replaying the epoch is deterministic because the
   // RNG streams rewind with it.
-  const bool keep_snapshot =
-      config_.health_checks || static_cast<bool>(stop_check_);
+  const bool keep_snapshot = config_.health_checks ||
+                             static_cast<bool>(stop_check_) ||
+                             static_cast<bool>(epoch_health_hook_);
   std::string snapshot;
   auto take_snapshot = [&](std::size_t next_epoch) {
     if (!keep_snapshot) return;
@@ -180,6 +181,10 @@ TrainReport Trainer::fit(const data::Dataset& train, EpochCallback callback,
           config_.health_checks
               ? epoch_health_verdict(stats.mean_loss, last_good_loss)
               : nullptr;
+      if (verdict == nullptr && epoch_health_hook_) {
+        verdict =
+            epoch_health_hook_(epoch, attempt, model_, stats.mean_loss);
+      }
       if (verdict == nullptr) break;  // healthy epoch
       report.divergence_events.push_back(
           {epoch, attempt, stats.mean_loss, verdict});

@@ -139,6 +139,18 @@ using StopCheck = std::function<bool()>;
 using EpochFaultHook =
     std::function<void(std::size_t, std::size_t, nn::Sequential&)>;
 
+/// Pluggable end-of-epoch health check, run after the built-in
+/// NaN/spike verdict passes, with (epoch, retry attempt, model, epoch
+/// mean loss). Returns nullptr for a healthy epoch or a STABLE reason
+/// token (a string literal — the pointer must outlive the call); a
+/// non-null verdict drives the same rollback-and-retry path as the
+/// built-in divergence checks. Used by the robustness-collapse sentinel
+/// (core/sentinel.h): single-step adversarial training can collapse in
+/// robust accuracy while the clean loss stays perfectly healthy, which
+/// no loss-based guard can see.
+using EpochHealthHook = std::function<const char*(
+    std::size_t, std::size_t, nn::Sequential&, float)>;
+
 /// Base class implementing the epoch/batch loop and the clean+adversarial
 /// mixture update that all methods share. Subclasses provide the
 /// adversarial batch (or opt out) via make_adversarial_batch().
@@ -170,6 +182,14 @@ class Trainer {
   /// Installs the test-only fault hook (see EpochFaultHook).
   void set_epoch_fault_hook(EpochFaultHook hook) {
     epoch_fault_hook_ = std::move(hook);
+  }
+
+  /// Installs an extra end-of-epoch health check (see EpochHealthHook).
+  /// Runs even when config.health_checks is off, and shares the rollback
+  /// budget: an epoch the hook keeps rejecting throws
+  /// TrainingDivergedError after divergence_max_retries retries.
+  void set_epoch_health_hook(EpochHealthHook hook) {
+    epoch_health_hook_ = std::move(hook);
   }
 
   virtual std::string name() const = 0;
@@ -262,6 +282,7 @@ class Trainer {
 
   StopCheck stop_check_;
   EpochFaultHook epoch_fault_hook_;
+  EpochHealthHook epoch_health_hook_;
 };
 
 }  // namespace satd::core

@@ -1,0 +1,93 @@
+// Job model for the experiment supervisor (src/runtime/supervisor.h).
+//
+// A Job is one named, resumable unit of the experiment matrix: a training
+// run, a table/figure evaluation, an export. Jobs declare dependencies by
+// name, the files they promise to produce, a wall-clock watchdog deadline
+// and a bounded attempt budget. The Supervisor runs them in dependency
+// order, journals every state transition durably, and resumes a crashed
+// matrix from the last completed job.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+
+namespace satd::runtime {
+
+/// Lifecycle of a supervised job (the manifest journals these).
+///   PENDING  — registered, not yet attempted
+///   RUNNING  — an attempt is in flight (a manifest left in this state
+///              means the process crashed mid-attempt)
+///   DONE     — completed; outputs are on disk
+///   FAILED   — last attempt failed, retries remain
+///   DEGRADED — attempt budget exhausted (or a dependency degraded); the
+///              matrix keeps running, the final report flags the gap
+enum class JobState { kPending, kRunning, kDone, kFailed, kDegraded };
+
+const char* to_string(JobState state);
+
+/// What one attempt of a job reports back to the supervisor.
+struct JobResult {
+  enum class Status {
+    kOk,       ///< finished; outputs written
+    kFailed,   ///< errored; retry may help
+    kOverrun,  ///< bailed out because the watchdog deadline expired
+  };
+  Status status = Status::kOk;
+  std::string message;
+
+  static JobResult ok() { return {}; }
+  static JobResult failed(std::string why) {
+    return {Status::kFailed, std::move(why)};
+  }
+  static JobResult overrun(std::string why) {
+    return {Status::kOverrun, std::move(why)};
+  }
+};
+
+/// Per-attempt context handed to the job body. The deadline is
+/// cooperative: long-running work polls expired() (typically via
+/// stop_check() wired into Trainer::set_stop_check) and bails out with
+/// JobResult::overrun when the watchdog fires.
+class JobContext {
+ public:
+  JobContext(Clock& clock, double deadline_at)
+      : clock_(clock), deadline_at_(deadline_at) {}
+
+  Clock& clock() { return clock_; }
+
+  /// Absolute deadline on the clock; +inf when the job has none.
+  double deadline_at() const { return deadline_at_; }
+
+  /// True once the watchdog deadline has passed.
+  bool expired() { return clock_.now() > deadline_at_; }
+
+  /// Adapter for Trainer::set_stop_check and similar poll points: a
+  /// cheap predicate that turns true when the deadline expires.
+  std::function<bool()> stop_check() {
+    return [this] { return expired(); };
+  }
+
+ private:
+  Clock& clock_;
+  double deadline_at_;
+};
+
+inline constexpr double kNoDeadline = 0.0;
+
+/// One supervised unit of work.
+struct Job {
+  std::string name;
+  std::function<JobResult(JobContext&)> run;
+  std::vector<std::string> deps;     ///< names of jobs that must be DONE
+  std::vector<std::string> outputs;  ///< files the job promises to produce
+  /// Wall-clock watchdog budget per attempt, seconds; kNoDeadline = none.
+  double deadline_seconds = kNoDeadline;
+  std::size_t max_attempts = 3;
+};
+
+}  // namespace satd::runtime

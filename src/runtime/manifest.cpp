@@ -1,0 +1,142 @@
+#include "runtime/manifest.h"
+
+#include <filesystem>
+#include <sstream>
+
+#include "common/contract.h"
+#include "common/durable_io.h"
+#include "common/log.h"
+#include "tensor/serialize.h"
+
+namespace satd::runtime {
+
+namespace fs = std::filesystem;
+
+const char* to_string(JobState state) {
+  switch (state) {
+    case JobState::kPending:
+      return "PENDING";
+    case JobState::kRunning:
+      return "RUNNING";
+    case JobState::kDone:
+      return "DONE";
+    case JobState::kFailed:
+      return "FAILED";
+    case JobState::kDegraded:
+      return "DEGRADED";
+  }
+  return "UNKNOWN";
+}
+
+namespace {
+
+constexpr char kManifestMagic[] = "SATDMAN1";
+
+JobState state_from_u64(std::uint64_t v, const std::string& context) {
+  if (v > static_cast<std::uint64_t>(JobState::kDegraded)) {
+    throw durable::CorruptFileError("manifest holds unknown job state " +
+                                    std::to_string(v) + ": " + context);
+  }
+  return static_cast<JobState>(v);
+}
+
+}  // namespace
+
+Manifest::Manifest(std::string path, std::string fingerprint)
+    : path_(std::move(path)), fingerprint_(std::move(fingerprint)) {}
+
+bool Manifest::load() {
+  records_.clear();
+  if (path_.empty() || !fs::exists(path_)) return false;
+  try {
+    std::istringstream is(durable::read_file_verified(path_),
+                          std::ios::binary);
+    char magic[8];
+    is.read(magic, 8);
+    if (!is || std::string(magic, 8) != kManifestMagic) {
+      throw durable::CorruptFileError("bad manifest magic: " + path_);
+    }
+    const std::string stored_fp = read_string(is);
+    const std::uint64_t count = read_u64(is);
+    std::vector<JobRecord> loaded;
+    loaded.reserve(count);
+    for (std::uint64_t i = 0; i < count; ++i) {
+      JobRecord rec;
+      rec.name = read_string(is);
+      rec.state = state_from_u64(read_u64(is), path_);
+      rec.attempts = read_u64(is);
+      rec.reason = read_string(is);
+      const std::uint64_t outputs = read_u64(is);
+      for (std::uint64_t k = 0; k < outputs; ++k) {
+        rec.outputs.push_back(read_string(is));
+      }
+      loaded.push_back(std::move(rec));
+    }
+    if (!is) {
+      throw durable::CorruptFileError("truncated manifest: " + path_);
+    }
+    if (stored_fp != fingerprint_) {
+      log::warn() << "manifest " << path_ << " belongs to a different run ("
+                  << stored_fp << " != " << fingerprint_
+                  << "); starting fresh";
+      return false;
+    }
+    records_ = std::move(loaded);
+    return true;
+  } catch (const durable::CorruptFileError& e) {
+    // Crash-only recovery: a damaged journal is moved aside and the run
+    // starts from scratch — the cache layer still absorbs the rework.
+    std::error_code ec;
+    fs::rename(path_, path_ + ".corrupt", ec);
+    if (ec) fs::remove(path_, ec);
+    log::warn() << "manifest quarantined (" << e.what() << ")";
+    return false;
+  } catch (const durable::IoError& e) {
+    log::warn() << "manifest unreadable, starting fresh: " << e.what();
+    return false;
+  }
+}
+
+void Manifest::record(JobRecord rec) {
+  SATD_EXPECT(!rec.name.empty(), "job record needs a name");
+  bool replaced = false;
+  for (auto& existing : records_) {
+    if (existing.name == rec.name) {
+      existing = std::move(rec);
+      replaced = true;
+      break;
+    }
+  }
+  if (!replaced) records_.push_back(std::move(rec));
+  flush();
+}
+
+const JobRecord* Manifest::find(const std::string& name) const {
+  for (const auto& rec : records_) {
+    if (rec.name == name) return &rec;
+  }
+  return nullptr;
+}
+
+void Manifest::flush() const {
+  if (path_.empty()) return;
+  // The journal often lives inside a cache directory that nothing has
+  // created yet on a fresh run.
+  const fs::path parent = fs::path(path_).parent_path();
+  if (!parent.empty()) fs::create_directories(parent);
+  durable::write_file_checksummed(path_, [this](std::ostream& os) {
+    os.write(kManifestMagic, 8);
+    write_string(os, fingerprint_);
+    write_u64(os, records_.size());
+    for (const auto& rec : records_) {
+      write_string(os, rec.name);
+      write_u64(os, static_cast<std::uint64_t>(rec.state));
+      write_u64(os, rec.attempts);
+      write_string(os, rec.reason);
+      write_u64(os, rec.outputs.size());
+      for (const auto& out : rec.outputs) write_string(os, out);
+    }
+  });
+}
+
+}  // namespace satd::runtime

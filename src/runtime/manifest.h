@@ -1,0 +1,69 @@
+// Crash-only durable job journal for the supervisor.
+//
+// The manifest records, for every job of a supervised run, its lifecycle
+// state, attempt count, last failure reason and declared output files.
+// Every state transition rewrites the whole journal atomically through
+// common/durable_io (write-to-tmp + fsync + rename + parent-dir fsync,
+// CRC-framed), so the on-disk journal is always a consistent snapshot of
+// some prefix of the run — `kill -9` at any instant leaves either the
+// previous snapshot or the new one, never a torn file.
+//
+// Recovery is crash-only: there is no shutdown path to get right. A rerun
+// loads the journal; jobs recorded DONE (with outputs still present) are
+// skipped, a job recorded RUNNING crashed mid-attempt and resumes with
+// that attempt counted against its budget, everything else starts fresh.
+// A corrupt journal is quarantined (`*.corrupt`) and treated as absent;
+// a fingerprint mismatch (the run's config changed) also starts fresh.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "runtime/job.h"
+
+namespace satd::runtime {
+
+/// Journal entry for one job.
+struct JobRecord {
+  std::string name;
+  JobState state = JobState::kPending;
+  std::size_t attempts = 0;  ///< attempts started (incl. a crashed one)
+  std::string reason;        ///< last failure/degradation reason
+  std::vector<std::string> outputs;
+};
+
+/// The durable journal. With an empty path the manifest is memory-only
+/// (used by tests and ad-hoc supervisors); all operations work the same
+/// but nothing touches disk.
+class Manifest {
+ public:
+  /// `fingerprint` identifies the run configuration (scale, seed, model
+  /// ...). A journal written under a different fingerprint is ignored on
+  /// load so stale state can never satisfy a changed matrix.
+  Manifest(std::string path, std::string fingerprint);
+
+  /// Adopts the on-disk journal if present, intact and fingerprint-
+  /// matching. Returns true when prior state was adopted. A damaged
+  /// journal is renamed `<path>.corrupt` and ignored (fresh start).
+  bool load();
+
+  /// Upserts a record and durably rewrites the journal.
+  void record(JobRecord rec);
+
+  /// Looks up a record by job name; nullptr when absent.
+  const JobRecord* find(const std::string& name) const;
+
+  const std::vector<JobRecord>& records() const { return records_; }
+  const std::string& path() const { return path_; }
+  const std::string& fingerprint() const { return fingerprint_; }
+
+ private:
+  void flush() const;
+
+  std::string path_;
+  std::string fingerprint_;
+  std::vector<JobRecord> records_;
+};
+
+}  // namespace satd::runtime

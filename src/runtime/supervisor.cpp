@@ -1,0 +1,296 @@
+#include "runtime/supervisor.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <limits>
+#include <sstream>
+
+#include "common/contract.h"
+#include "common/log.h"
+
+namespace satd::runtime {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+// ---- chaos registry (tests only, single-threaded by design) ----
+
+enum class FaultKind { kCrash, kHang };
+
+struct ArmedFault {
+  std::string job;
+  std::size_t attempt;
+  FaultKind kind;
+};
+
+std::vector<ArmedFault>& armed_faults() {
+  static std::vector<ArmedFault> faults;
+  return faults;
+}
+
+/// Consumes (one-shot) an armed fault matching this attempt, if any.
+bool take_fault(const std::string& job, std::size_t attempt,
+                FaultKind kind) {
+  auto& faults = armed_faults();
+  for (auto it = faults.begin(); it != faults.end(); ++it) {
+    if (it->kind == kind && it->job == job && it->attempt == attempt) {
+      faults.erase(it);
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+namespace fault {
+
+void arm_job_crash(const std::string& job, std::size_t attempt) {
+  armed_faults().push_back({job, attempt, FaultKind::kCrash});
+}
+
+void arm_job_hang(const std::string& job, std::size_t attempt) {
+  armed_faults().push_back({job, attempt, FaultKind::kHang});
+}
+
+void disarm() { armed_faults().clear(); }
+
+}  // namespace fault
+
+std::size_t MatrixReport::done() const {
+  return static_cast<std::size_t>(
+      std::count_if(jobs.begin(), jobs.end(), [](const JobOutcome& j) {
+        return j.state == JobState::kDone;
+      }));
+}
+
+std::size_t MatrixReport::degraded() const {
+  return static_cast<std::size_t>(
+      std::count_if(jobs.begin(), jobs.end(), [](const JobOutcome& j) {
+        return j.state == JobState::kDegraded;
+      }));
+}
+
+std::string MatrixReport::to_string() const {
+  std::ostringstream ss;
+  ss << "supervised matrix: " << done() << "/" << jobs.size() << " done";
+  if (degraded() > 0) ss << ", " << degraded() << " DEGRADED";
+  ss << "\n";
+  for (const auto& job : jobs) {
+    ss << "  " << runtime::to_string(job.state) << "  " << job.name
+       << "  attempts=" << job.attempts;
+    if (job.resumed) ss << "  (resumed)";
+    if (!job.reason.empty()) ss << "  [" << job.reason << "]";
+    ss << "\n";
+  }
+  return ss.str();
+}
+
+Supervisor::Supervisor(Options options)
+    : options_(std::move(options)),
+      clock_(options_.clock ? *options_.clock : SystemClock::instance()),
+      backoff_(options_.backoff, options_.backoff_seed),
+      manifest_(options_.manifest_path, options_.fingerprint) {}
+
+void Supervisor::add(Job job) {
+  SATD_EXPECT(!job.name.empty(), "job needs a name");
+  SATD_EXPECT(static_cast<bool>(job.run), "job needs a run function");
+  SATD_EXPECT(job.max_attempts > 0, "job needs at least one attempt");
+  for (const auto& existing : jobs_) {
+    SATD_EXPECT(existing.name != job.name,
+                "duplicate job name: " + job.name);
+  }
+  jobs_.push_back(std::move(job));
+}
+
+std::vector<std::size_t> Supervisor::topological_order() const {
+  const std::size_t n = jobs_.size();
+  std::vector<std::size_t> indegree(n, 0);
+  std::vector<std::vector<std::size_t>> dependents(n);
+  auto index_of = [this](const std::string& name) -> std::size_t {
+    for (std::size_t i = 0; i < jobs_.size(); ++i) {
+      if (jobs_[i].name == name) return i;
+    }
+    throw std::invalid_argument("unknown dependency: " + name);
+  };
+  for (std::size_t i = 0; i < n; ++i) {
+    for (const auto& dep : jobs_[i].deps) {
+      const std::size_t d = index_of(dep);
+      ++indegree[i];
+      dependents[d].push_back(i);
+    }
+  }
+  // Kahn's algorithm, always draining the lowest-index ready job so the
+  // schedule is stable in registration order (determinism).
+  std::vector<std::size_t> ready;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (indegree[i] == 0) ready.push_back(i);
+  }
+  std::vector<std::size_t> order;
+  order.reserve(n);
+  while (!ready.empty()) {
+    const auto it = std::min_element(ready.begin(), ready.end());
+    const std::size_t i = *it;
+    ready.erase(it);
+    order.push_back(i);
+    for (std::size_t child : dependents[i]) {
+      if (--indegree[child] == 0) ready.push_back(child);
+    }
+  }
+  if (order.size() != n) {
+    throw std::invalid_argument("dependency cycle in the job graph");
+  }
+  return order;
+}
+
+bool Supervisor::outputs_present(const Job& job) const {
+  for (const auto& out : job.outputs) {
+    if (!fs::exists(out)) return false;
+  }
+  return true;
+}
+
+MatrixReport Supervisor::run() {
+  const std::vector<std::size_t> order = topological_order();
+  if (manifest_.load()) {
+    log::info() << "supervisor: adopted manifest " << manifest_.path()
+                << " (" << manifest_.records().size() << " prior records)";
+  }
+
+  std::vector<JobOutcome> outcomes(jobs_.size());
+  for (std::size_t idx : order) {
+    const Job& job = jobs_[idx];
+    JobOutcome& outcome = outcomes[idx];
+    outcome.name = job.name;
+
+    // A job whose dependency did not finish degrades instead of running
+    // against missing inputs; independent jobs are unaffected.
+    const char* broken_dep = nullptr;
+    for (const auto& dep : job.deps) {
+      const JobRecord* rec = manifest_.find(dep);
+      if (rec == nullptr || rec->state != JobState::kDone) {
+        broken_dep = dep.c_str();
+        break;
+      }
+    }
+    if (broken_dep != nullptr) {
+      outcome.state = JobState::kDegraded;
+      outcome.reason = std::string("dependency not satisfied: ") + broken_dep;
+      manifest_.record({job.name, JobState::kDegraded, 0, outcome.reason,
+                        job.outputs});
+      log::warn() << "supervisor: " << job.name << " degraded ("
+                  << outcome.reason << ")";
+      continue;
+    }
+
+    // Crash-only resume: a DONE record whose outputs survive is adopted
+    // verbatim — the job (and its training cost) is skipped entirely.
+    const JobRecord* prior = manifest_.find(job.name);
+    if (prior != nullptr && prior->state == JobState::kDone) {
+      if (outputs_present(job)) {
+        outcome.state = JobState::kDone;
+        outcome.attempts = prior->attempts;
+        outcome.resumed = true;
+        log::info() << "supervisor: " << job.name
+                    << " already done, skipping";
+        continue;
+      }
+      log::warn() << "supervisor: " << job.name
+                  << " recorded done but outputs are missing; re-running";
+    }
+
+    // A RUNNING record means the process died mid-attempt: that attempt
+    // counts against the budget. FAILED/DEGRADED records belong to a
+    // previous supervision episode and get a fresh budget (the operator
+    // re-launched the matrix on purpose).
+    std::size_t attempts =
+        (prior != nullptr && prior->state == JobState::kRunning)
+            ? prior->attempts
+            : 0;
+
+    for (;;) {
+      ++attempts;
+      manifest_.record(
+          {job.name, JobState::kRunning, attempts, "", job.outputs});
+
+      if (take_fault(job.name, attempts, FaultKind::kCrash)) {
+        // Simulated SIGKILL: unwind with the journal showing the attempt
+        // in flight, exactly as a dead process would leave it.
+        throw SimulatedCrashError("injected crash during " + job.name +
+                                  " attempt " + std::to_string(attempts));
+      }
+
+      const double deadline_at =
+          job.deadline_seconds > kNoDeadline
+              ? clock_.now() + job.deadline_seconds
+              : std::numeric_limits<double>::infinity();
+      JobContext ctx(clock_, deadline_at);
+
+      JobResult result;
+      if (take_fault(job.name, attempts, FaultKind::kHang)) {
+        // Simulated hang: the attempt consumes its whole watchdog budget
+        // and produces nothing.
+        clock_.sleep_for(job.deadline_seconds > kNoDeadline
+                             ? job.deadline_seconds * 1.25
+                             : fault::kHangForeverSeconds);
+        result = JobResult::overrun("injected hang");
+      } else {
+        try {
+          result = job.run(ctx);
+        } catch (const SimulatedCrashError&) {
+          throw;
+        } catch (const std::exception& e) {
+          result = JobResult::failed(e.what());
+        }
+      }
+      if (result.status == JobResult::Status::kFailed && ctx.expired()) {
+        // A failure that surfaced after the watchdog fired is an overrun
+        // for retry accounting (the stop check aborts work mid-flight).
+        result.status = JobResult::Status::kOverrun;
+      }
+
+      if (result.status == JobResult::Status::kOk) {
+        if (ctx.expired()) {
+          log::warn() << "supervisor: " << job.name
+                      << " finished past its deadline (accepted)";
+        }
+        outcome.state = JobState::kDone;
+        outcome.attempts = attempts;
+        manifest_.record(
+            {job.name, JobState::kDone, attempts, "", job.outputs});
+        break;
+      }
+
+      const std::string reason =
+          (result.status == JobResult::Status::kOverrun
+               ? std::string("deadline_overrun")
+               : std::string("failed")) +
+          (result.message.empty() ? "" : ": " + result.message);
+
+      if (attempts >= job.max_attempts) {
+        outcome.state = JobState::kDegraded;
+        outcome.attempts = attempts;
+        outcome.reason = reason;
+        manifest_.record(
+            {job.name, JobState::kDegraded, attempts, reason, job.outputs});
+        log::warn() << "supervisor: " << job.name << " degraded after "
+                    << attempts << " attempts (" << reason << ")";
+        break;
+      }
+
+      manifest_.record(
+          {job.name, JobState::kFailed, attempts, reason, job.outputs});
+      const double delay = backoff_.delay(attempts - 1);
+      log::warn() << "supervisor: " << job.name << " attempt " << attempts
+                  << " " << reason << "; retrying in " << delay << "s";
+      clock_.sleep_for(delay);
+    }
+  }
+
+  MatrixReport report;
+  report.jobs = std::move(outcomes);
+  return report;
+}
+
+}  // namespace satd::runtime

@@ -1,0 +1,141 @@
+// Resilient experiment orchestrator: a dependency-aware job supervisor
+// with watchdog deadlines, retry/backoff and crash-only resume.
+//
+// The headline artifacts of this reproduction (Table I, the figures, the
+// ablation CSVs) are hours of training spread over many independent
+// pieces; an unsupervised hang or crash used to lose all of it. The
+// Supervisor runs the matrix as named jobs (runtime/job.h), journaling
+// every state transition in a durable manifest (runtime/manifest.h):
+//
+//   - Jobs run in dependency order (stable topological order); a job
+//     whose dependency is not DONE is marked DEGRADED and skipped, but
+//     independent jobs keep running — the matrix never aborts because
+//     one corner of it failed.
+//   - Each attempt gets a cooperative wall-clock watchdog deadline
+//     (JobContext::expired / stop_check); a failed or overrun attempt is
+//     retried with exponential backoff plus deterministic seeded jitter
+//     (common/backoff.h) until the attempt budget is exhausted, at which
+//     point the job degrades instead of killing the run.
+//   - `kill -9` mid-matrix is the *designed* shutdown path: a rerun
+//     adopts the manifest, skips DONE jobs whose outputs still exist,
+//     counts a crashed RUNNING attempt against its budget and finishes
+//     the rest. Because training is deterministic and the model cache
+//     absorbs completed work, the resumed run's artifacts are
+//     bit-identical to an uninterrupted run's.
+//
+// Chaos hooks (runtime::fault) let tests inject a process crash or a
+// hung attempt at an exact (job, attempt) coordinate to prove all of the
+// above without real signals or real hangs.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "common/backoff.h"
+#include "common/clock.h"
+#include "runtime/job.h"
+#include "runtime/manifest.h"
+
+namespace satd::runtime {
+
+/// Thrown by the chaos crash hook to simulate `kill -9` mid-matrix: the
+/// manifest is left exactly as a dead process would leave it (the
+/// victim's record durably RUNNING). Tests catch it, re-create the
+/// supervisor and prove resume.
+class SimulatedCrashError : public std::runtime_error {
+ public:
+  explicit SimulatedCrashError(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
+/// Final state of one job after a run() — the matrix report row.
+struct JobOutcome {
+  std::string name;
+  JobState state = JobState::kPending;
+  std::size_t attempts = 0;
+  std::string reason;
+  bool resumed = false;  ///< DONE was adopted from a previous run
+};
+
+/// Summary of a whole supervised run.
+struct MatrixReport {
+  std::vector<JobOutcome> jobs;
+
+  std::size_t done() const;
+  std::size_t degraded() const;
+  bool all_done() const { return degraded() == 0 && done() == jobs.size(); }
+
+  /// Human-readable table; DEGRADED rows carry their reason so consumers
+  /// know which artifacts are stale/missing.
+  std::string to_string() const;
+};
+
+/// The orchestrator. Register jobs with add(), then run() once.
+class Supervisor {
+ public:
+  struct Options {
+    /// Journal path; empty = memory-only (no resume across processes).
+    std::string manifest_path;
+    /// Identifies the run config; a manifest with a different
+    /// fingerprint is ignored on load.
+    std::string fingerprint = "default";
+    BackoffPolicy backoff{};
+    /// Seed for the backoff jitter stream (deterministic schedules).
+    std::uint64_t backoff_seed = 0x5AD0FFULL;
+    /// Borrowed time source; nullptr = the shared SystemClock.
+    Clock* clock = nullptr;
+  };
+
+  explicit Supervisor(Options options);
+
+  /// Registers a job. Names must be unique and non-empty; `run` must be
+  /// callable. Throws ContractViolation otherwise.
+  void add(Job job);
+
+  /// Executes the matrix. Throws std::invalid_argument on an unknown
+  /// dependency or a dependency cycle; propagates SimulatedCrashError
+  /// from the chaos hook. Everything else — failures, overruns,
+  /// exhausted retries — is absorbed into DEGRADED outcomes.
+  MatrixReport run();
+
+  const Manifest& manifest() const { return manifest_; }
+
+ private:
+  std::vector<std::size_t> topological_order() const;
+  bool outputs_present(const Job& job) const;
+
+  Options options_;
+  Clock& clock_;
+  Backoff backoff_;
+  Manifest manifest_;
+  std::vector<Job> jobs_;
+};
+
+// ---- chaos fault injection (tests only) ----
+//
+// Extends the durable_io fault philosophy to whole jobs: faults are
+// armed at a (job name, attempt number) coordinate (attempts are
+// 1-based) and fire exactly once.
+namespace fault {
+
+/// The named attempt dies as if the process were SIGKILLed: the manifest
+/// records the attempt RUNNING, then SimulatedCrashError unwinds run().
+void arm_job_crash(const std::string& job, std::size_t attempt = 1);
+
+/// The named attempt hangs past its watchdog deadline: the supervisor
+/// burns the job's full deadline on the clock and records an overrun
+/// (a job without a deadline hangs for kHangForeverSeconds instead).
+void arm_job_hang(const std::string& job, std::size_t attempt = 1);
+
+/// Clears all armed job faults.
+void disarm();
+
+/// Simulated duration of a hang when the job has no deadline.
+inline constexpr double kHangForeverSeconds = 86400.0;
+
+}  // namespace fault
+
+}  // namespace satd::runtime

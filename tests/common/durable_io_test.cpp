@@ -86,6 +86,33 @@ TEST_F(DurableIoTest, AtomicWriteCreatesAndReplaces) {
   EXPECT_FALSE(fs::exists(p + ".tmp"));  // temp renamed away
 }
 
+TEST_F(DurableIoTest, AtomicWriteFsyncsTheParentDirectory) {
+  // The rename is only durable once the directory entry itself is on
+  // disk; a successful atomic write must therefore fsync the parent.
+  fault::reset_dir_fsync_probe();
+  EXPECT_EQ(fault::last_dir_fsync(), "");
+  const std::string p = path("durable.bin");
+  atomic_write_file(p, "bytes");
+  EXPECT_EQ(fault::last_dir_fsync(), dir_.string());
+}
+
+TEST_F(DurableIoTest, RelativePathFsyncsTheWorkingDirectory) {
+  fault::reset_dir_fsync_probe();
+  const std::string p = "satd_durable_io_relative.bin";
+  atomic_write_file(p, "bytes");
+  EXPECT_EQ(fault::last_dir_fsync(), ".");
+  fs::remove(p);
+}
+
+TEST_F(DurableIoTest, FailedWriteNeverReachesTheDirectoryFsync) {
+  fault::reset_dir_fsync_probe();
+  const std::string p = path("victim.bin");
+  fault::arm_write_failure(2);
+  EXPECT_THROW(atomic_write_file(p, "payload"), IoError);
+  EXPECT_EQ(fault::last_dir_fsync(), "")
+      << "an aborted save must not report directory durability";
+}
+
 TEST_F(DurableIoTest, OpenFailureCarriesPathAndErrnoContext) {
   const std::string p = path("no_such_dir") + "/file.bin";
   try {

@@ -56,6 +56,32 @@ TEST(ThreadPool, WaitIdleIsReusable) {
   EXPECT_EQ(counter.load(), 2);
 }
 
+TEST(ThreadPool, ParseThreadEnvAcceptsPositiveIntegers) {
+  EXPECT_EQ(ThreadPool::parse_thread_env("1"), 1u);
+  EXPECT_EQ(ThreadPool::parse_thread_env("8"), 8u);
+  EXPECT_EQ(ThreadPool::parse_thread_env("4096"), 4096u);
+}
+
+TEST(ThreadPool, ParseThreadEnvRejectsNonPositive) {
+  // 0 = "fall back to the hardware default" for every malformed value.
+  EXPECT_EQ(ThreadPool::parse_thread_env("0"), 0u);
+  EXPECT_EQ(ThreadPool::parse_thread_env("-3"), 0u);
+}
+
+TEST(ThreadPool, ParseThreadEnvRejectsNonNumeric) {
+  EXPECT_EQ(ThreadPool::parse_thread_env(nullptr), 0u);
+  EXPECT_EQ(ThreadPool::parse_thread_env(""), 0u);
+  EXPECT_EQ(ThreadPool::parse_thread_env("four"), 0u);
+  EXPECT_EQ(ThreadPool::parse_thread_env("4cores"), 0u);  // trailing garbage
+  EXPECT_EQ(ThreadPool::parse_thread_env("3.5"), 0u);
+  EXPECT_EQ(ThreadPool::parse_thread_env(" 4 "), 0u);
+}
+
+TEST(ThreadPool, ParseThreadEnvRejectsAbsurdValues) {
+  EXPECT_EQ(ThreadPool::parse_thread_env("4097"), 0u);  // above the cap
+  EXPECT_EQ(ThreadPool::parse_thread_env("99999999999999999999"), 0u);
+}
+
 TEST(ParallelFor, CoversEveryIndexExactlyOnce) {
   std::vector<std::atomic<int>> hits(1000);
   parallel_for(hits.size(), [&](std::size_t begin, std::size_t end) {

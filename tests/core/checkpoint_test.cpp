@@ -38,6 +38,12 @@ TrainConfig config(std::size_t epochs) {
   return cfg;
 }
 
+std::vector<Tensor> params_of(nn::Sequential& model) {
+  std::vector<Tensor> params;
+  for (Tensor* p : model.parameters()) params.push_back(*p);
+  return params;
+}
+
 /// Final parameters after an uninterrupted `epochs`-epoch run.
 std::vector<Tensor> straight_run(const std::string& method,
                                  std::size_t epochs) {
@@ -45,9 +51,7 @@ std::vector<Tensor> straight_run(const std::string& method,
   nn::Sequential model = nn::zoo::build("mlp_small", rng);
   auto trainer = make_trainer(method, model, config(epochs));
   trainer->fit(digits().train);
-  std::vector<Tensor> params;
-  for (Tensor* p : model.parameters()) params.push_back(*p);
-  return params;
+  return params_of(model);
 }
 
 /// Final parameters after running `split` epochs, checkpointing,
@@ -76,9 +80,7 @@ std::vector<Tensor> resumed_run(const std::string& method,
   const std::size_t start = trainer->load_checkpoint(checkpoint);
   EXPECT_EQ(start, split);
   trainer->fit(digits().train, {}, start);
-  std::vector<Tensor> params;
-  for (Tensor* p : model.parameters()) params.push_back(*p);
-  return params;
+  return params_of(model);
 }
 
 class CheckpointMethodTest : public ::testing::TestWithParam<std::string> {};
@@ -100,6 +102,51 @@ INSTANTIATE_TEST_SUITE_P(AllMethods, CheckpointMethodTest,
                          ::testing::Values("vanilla", "fgsm_adv", "bim_adv",
                                            "atda", "proposed", "pgd_adv",
                                            "free_adv", "alp"));
+
+// Graceful shutdown meets checkpointing: a stop check firing in the
+// MIDDLE of an epoch must roll the trainer back to the last completed
+// epoch boundary, and a checkpoint taken there must resume into a run
+// bit-identical to an uninterrupted one. This is the contract the
+// runtime supervisor's watchdog deadline leans on (a deadline expiring
+// mid-epoch costs at most one epoch of work, never correctness).
+TEST(Checkpoint, MidEpochStopResumesBitIdentically) {
+  const std::string method = "proposed";
+  const std::size_t epochs = 6;
+  const auto straight = straight_run(method, epochs);
+
+  std::stringstream checkpoint;
+  std::size_t completed = 0;
+  {
+    Rng rng(3);
+    nn::Sequential model = nn::zoo::build("mlp_small", rng);
+    auto trainer = make_trainer(method, model, config(epochs));
+    // 120 examples / batch 32 = 4 batches (and 4 polls) per epoch; poll
+    // 14 lands mid-epoch 3, after one batch of it already trained.
+    std::size_t polls = 0;
+    trainer->set_stop_check([&polls] { return ++polls == 14; });
+    const TrainReport report = trainer->fit(digits().train);
+    EXPECT_TRUE(report.stopped_early);
+    ASSERT_EQ(report.epochs.size(), 3u) << "partial epoch must be discarded";
+    completed = report.epochs.size();
+    trainer->save_checkpoint(checkpoint, completed);
+  }
+
+  Rng rng(999);  // different init — must be fully overwritten by the load
+  nn::Sequential model = nn::zoo::build("mlp_small", rng);
+  auto trainer = make_trainer(method, model, config(epochs));
+  const std::size_t start = trainer->load_checkpoint(checkpoint);
+  EXPECT_EQ(start, completed);
+  const TrainReport resumed_report = trainer->fit(digits().train, {}, start);
+  EXPECT_FALSE(resumed_report.stopped_early);
+  EXPECT_EQ(resumed_report.epochs.size(), epochs - completed);
+
+  const auto resumed = params_of(model);
+  ASSERT_EQ(straight.size(), resumed.size());
+  for (std::size_t i = 0; i < straight.size(); ++i) {
+    EXPECT_TRUE(straight[i].equals(resumed[i]))
+        << "parameter " << i << " diverged after a mid-epoch stop/resume";
+  }
+}
 
 TEST(Checkpoint, MethodMismatchIsRejected) {
   Rng rng(1);

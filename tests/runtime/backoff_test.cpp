@@ -1,0 +1,81 @@
+// Retry backoff: geometric growth, cap, bounded jitter, and — the
+// property the supervisor's chaos tests lean on — exact reproducibility
+// of a schedule from (policy, seed).
+#include <gtest/gtest.h>
+
+#include "common/backoff.h"
+#include "common/contract.h"
+
+namespace satd {
+namespace {
+
+BackoffPolicy no_jitter(double base, double mult, double cap) {
+  BackoffPolicy policy;
+  policy.base_delay = base;
+  policy.multiplier = mult;
+  policy.max_delay = cap;
+  policy.jitter_fraction = 0.0;
+  return policy;
+}
+
+TEST(Backoff, GrowsGeometricallyAndCaps) {
+  Backoff backoff(no_jitter(1.0, 2.0, 5.0), /*seed=*/1);
+  EXPECT_DOUBLE_EQ(backoff.delay(0), 1.0);
+  EXPECT_DOUBLE_EQ(backoff.delay(1), 2.0);
+  EXPECT_DOUBLE_EQ(backoff.delay(2), 4.0);
+  EXPECT_DOUBLE_EQ(backoff.delay(3), 5.0);  // capped
+  EXPECT_DOUBLE_EQ(backoff.delay(10), 5.0);
+}
+
+TEST(Backoff, JitterStaysWithinConfiguredFraction) {
+  BackoffPolicy policy = no_jitter(2.0, 1.0, 2.0);
+  policy.jitter_fraction = 0.25;
+  Backoff backoff(policy, /*seed=*/7);
+  bool saw_jitter = false;
+  for (int i = 0; i < 200; ++i) {
+    const double d = backoff.delay(0);
+    EXPECT_GE(d, 2.0 * 0.75);
+    EXPECT_LE(d, 2.0 * 1.25);
+    if (d != 2.0) saw_jitter = true;
+  }
+  EXPECT_TRUE(saw_jitter);
+}
+
+TEST(Backoff, SameSeedReplaysIdenticalSchedule) {
+  BackoffPolicy policy;  // defaults carry jitter
+  Backoff a(policy, 99);
+  Backoff b(policy, 99);
+  for (std::size_t attempt = 0; attempt < 20; ++attempt) {
+    EXPECT_DOUBLE_EQ(a.delay(attempt), b.delay(attempt));
+  }
+}
+
+TEST(Backoff, DifferentSeedsDiverge) {
+  BackoffPolicy policy;
+  Backoff a(policy, 1);
+  Backoff b(policy, 2);
+  bool diverged = false;
+  for (std::size_t attempt = 0; attempt < 20 && !diverged; ++attempt) {
+    diverged = a.delay(attempt) != b.delay(attempt);
+  }
+  EXPECT_TRUE(diverged);
+}
+
+TEST(Backoff, DelaysAreNeverNegative) {
+  BackoffPolicy policy = no_jitter(0.1, 3.0, 60.0);
+  policy.jitter_fraction = 0.5;
+  Backoff backoff(policy, 3);
+  for (std::size_t attempt = 0; attempt < 50; ++attempt) {
+    EXPECT_GE(backoff.delay(attempt), 0.0);
+  }
+}
+
+TEST(Backoff, RejectsDegeneratePolicy) {
+  BackoffPolicy negative_base = no_jitter(-1.0, 2.0, 60.0);
+  EXPECT_THROW(Backoff(negative_base, 1), ContractViolation);
+  BackoffPolicy shrinking = no_jitter(1.0, 0.5, 60.0);
+  EXPECT_THROW(Backoff(shrinking, 1), ContractViolation);
+}
+
+}  // namespace
+}  // namespace satd

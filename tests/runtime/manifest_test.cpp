@@ -1,0 +1,124 @@
+// Durable job journal: round trips, upserts, fingerprint guard, and
+// crash-only recovery from a corrupt file.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "runtime/manifest.h"
+
+namespace satd::runtime {
+namespace {
+
+namespace fs = std::filesystem;
+
+class ManifestTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() / "satd_manifest_test";
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+    path_ = (dir_ / "manifest.bin").string();
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  fs::path dir_;
+  std::string path_;
+};
+
+TEST_F(ManifestTest, RoundTripsRecords) {
+  {
+    Manifest m(path_, "fp");
+    EXPECT_FALSE(m.load());  // nothing on disk yet
+    m.record({"train:a", JobState::kDone, 2, "", {"a.model", "a.report"}});
+    m.record({"train:b", JobState::kRunning, 1, "", {}});
+    m.record({"exp:c", JobState::kDegraded, 3, "failed: boom", {"c.csv"}});
+  }
+  Manifest m2(path_, "fp");
+  ASSERT_TRUE(m2.load());
+  ASSERT_EQ(m2.records().size(), 3u);
+
+  const JobRecord* a = m2.find("train:a");
+  ASSERT_NE(a, nullptr);
+  EXPECT_EQ(a->state, JobState::kDone);
+  EXPECT_EQ(a->attempts, 2u);
+  ASSERT_EQ(a->outputs.size(), 2u);
+  EXPECT_EQ(a->outputs[0], "a.model");
+
+  const JobRecord* b = m2.find("train:b");
+  ASSERT_NE(b, nullptr);
+  EXPECT_EQ(b->state, JobState::kRunning);
+
+  const JobRecord* c = m2.find("exp:c");
+  ASSERT_NE(c, nullptr);
+  EXPECT_EQ(c->state, JobState::kDegraded);
+  EXPECT_EQ(c->reason, "failed: boom");
+}
+
+TEST_F(ManifestTest, RecordUpsertsByName) {
+  Manifest m(path_, "fp");
+  m.record({"job", JobState::kRunning, 1, "", {}});
+  m.record({"job", JobState::kDone, 1, "", {}});
+  ASSERT_EQ(m.records().size(), 1u);
+  EXPECT_EQ(m.find("job")->state, JobState::kDone);
+
+  Manifest reloaded(path_, "fp");
+  ASSERT_TRUE(reloaded.load());
+  ASSERT_EQ(reloaded.records().size(), 1u);
+  EXPECT_EQ(reloaded.find("job")->state, JobState::kDone);
+}
+
+TEST_F(ManifestTest, FingerprintMismatchStartsFresh) {
+  {
+    Manifest m(path_, "scale=tiny");
+    m.record({"job", JobState::kDone, 1, "", {}});
+  }
+  Manifest other(path_, "scale=paper");
+  EXPECT_FALSE(other.load());
+  EXPECT_TRUE(other.records().empty());
+}
+
+TEST_F(ManifestTest, CorruptJournalIsQuarantined) {
+  {
+    std::ofstream os(path_, std::ios::binary);
+    os << "definitely not a manifest";
+  }
+  Manifest m(path_, "fp");
+  EXPECT_FALSE(m.load());
+  EXPECT_FALSE(fs::exists(path_));               // moved aside
+  EXPECT_TRUE(fs::exists(path_ + ".corrupt"));   // kept for inspection
+  // The quarantined journal never blocks progress: recording works.
+  m.record({"job", JobState::kDone, 1, "", {}});
+  Manifest reloaded(path_, "fp");
+  EXPECT_TRUE(reloaded.load());
+}
+
+TEST_F(ManifestTest, TruncatedJournalIsQuarantined) {
+  {
+    Manifest m(path_, "fp");
+    m.record({"job", JobState::kDone, 1, "", {"out.csv"}});
+  }
+  const auto size = fs::file_size(path_);
+  fs::resize_file(path_, size / 2);
+  Manifest m(path_, "fp");
+  EXPECT_FALSE(m.load());
+  EXPECT_TRUE(fs::exists(path_ + ".corrupt"));
+}
+
+TEST_F(ManifestTest, MemoryOnlyManifestTouchesNoDisk) {
+  Manifest m("", "fp");
+  EXPECT_FALSE(m.load());
+  m.record({"job", JobState::kDone, 1, "", {}});
+  EXPECT_NE(m.find("job"), nullptr);
+  EXPECT_TRUE(fs::is_empty(dir_));
+}
+
+TEST_F(ManifestTest, CreatesMissingParentDirectories) {
+  const std::string nested = (dir_ / "cache" / "deep" / "manifest.bin").string();
+  Manifest m(nested, "fp");
+  m.record({"job", JobState::kRunning, 1, "", {}});
+  EXPECT_TRUE(fs::exists(nested));
+}
+
+}  // namespace
+}  // namespace satd::runtime
