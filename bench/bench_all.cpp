@@ -106,7 +106,12 @@ int main(int argc, char** argv) {
   cli.add_flag("no-sentinel",
                "disable the robustness-collapse sentinel on single-step "
                "training jobs");
+  add_threads_option(cli);
+  cli.add_string("emit-json", "",
+                 "also write BENCH_matrix.json (per-job outcomes, "
+                 "satd-bench-1 schema) into this directory");
   if (!cli.parse(argc, argv)) return 0;
+  apply_threads_option(cli);
 
   metrics::ExperimentEnv env = metrics::ExperimentEnv::from_env();
   const std::string scale = cli.get_string("scale");
@@ -230,5 +235,25 @@ int main(int argc, char** argv) {
   std::printf("\n%s", summary.c_str());
   durable::atomic_write_file(cli.get_string("report"), summary);
   std::printf("(report written to %s)\n", cli.get_string("report").c_str());
+
+  if (const std::string dir = cli.get_string("emit-json"); !dir.empty()) {
+    std::vector<bench::JsonResult> rows;
+    for (const runtime::JobOutcome& job : report.jobs) {
+      bench::JsonResult r;
+      r.name = job.name;
+      r.numbers = {
+          {"done", job.state == runtime::JobState::kDone ? 1.0 : 0.0},
+          {"attempts", static_cast<double>(job.attempts)},
+          {"resumed", job.resumed ? 1.0 : 0.0}};
+      rows.push_back(std::move(r));
+    }
+    bench::JsonResult total;
+    total.name = "matrix";
+    total.numbers = {{"jobs", static_cast<double>(report.jobs.size())},
+                     {"done", static_cast<double>(report.done())},
+                     {"degraded", static_cast<double>(report.degraded())}};
+    rows.push_back(std::move(total));
+    bench::write_bench_json(dir + "/BENCH_matrix.json", "matrix", 0, rows);
+  }
   return report.all_done() ? 0 : 1;
 }

@@ -22,6 +22,7 @@
 
 #include "attack/bim.h"
 #include "attack/fgsm.h"
+#include "bench_util.h"
 #include "common/rng.h"
 #include "common/thread_pool.h"
 #include "data/synthetic.h"
@@ -313,27 +314,7 @@ int calibrate_inner(Fn&& fn) {
   return std::max(1, static_cast<int>(5e6 / std::max(once, 1.0)));
 }
 
-struct JsonResult {
-  std::string name;
-  std::vector<std::pair<std::string, double>> numbers;
-};
-
-void write_json(const std::string& path, const std::string& kind,
-                const std::vector<JsonResult>& results) {
-  std::ofstream os(path);
-  os << "{\n  \"schema\": \"satd-bench-1\",\n  \"kind\": \"" << kind
-     << "\",\n  \"reps\": 15,\n  \"hardware_threads\": "
-     << std::thread::hardware_concurrency() << ",\n  \"results\": [\n";
-  for (std::size_t i = 0; i < results.size(); ++i) {
-    os << "    {\"name\": \"" << results[i].name << "\"";
-    for (const auto& [key, value] : results[i].numbers) {
-      os << ", \"" << key << "\": " << value;
-    }
-    os << "}" << (i + 1 < results.size() ? "," : "") << "\n";
-  }
-  os << "  ]\n}\n";
-  std::printf("wrote %s\n", path.c_str());
-}
+using bench::JsonResult;
 
 constexpr int kReps = 15;
 
@@ -382,7 +363,7 @@ void emit_gemm_json(const std::string& dir) {
                  {"speedup_4t", naive_1t / blocked_4t}};
     results.push_back(std::move(r));
   }
-  write_json(dir + "/BENCH_gemm.json", "gemm", results);
+  bench::write_bench_json(dir + "/BENCH_gemm.json", "gemm", kReps, results);
 }
 
 /// Full-train-step + BIM(10) timings at 1/2/4 threads (steady-state
@@ -439,7 +420,8 @@ void emit_train_step_json(const std::string& dir) {
     results.push_back(std::move(r));
   }
   ThreadPool::set_global_threads(0);
-  write_json(dir + "/BENCH_train_step.json", "train_step", results);
+  bench::write_bench_json(dir + "/BENCH_train_step.json", "train_step", kReps,
+                          results);
 }
 
 }  // namespace

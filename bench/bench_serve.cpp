@@ -1,0 +1,231 @@
+// Serving bench: throughput/latency of the micro-batching inference
+// server (src/serve) under closed- and open-loop load.
+//
+// Three experiment families, all against a deterministically initialized
+// cnn_small (serving cost does not depend on trained weights, so no
+// training is needed and the bench starts instantly):
+//
+//   closed_w{W}_b{B} — closed loop: 2*W client threads submit-and-wait in
+//     lockstep over W workers with max_batch B. Measures steady-state
+//     throughput, latency percentiles and achieved batch coalescing.
+//   overload         — open loop: fires every request instantly at a
+//     small queue with no consumers keeping up, demonstrating typed
+//     backpressure (queue_full rejects) instead of unbounded queueing.
+//   deadline         — closed loop with a tight per-request timeout and a
+//     deliberately slow batching window, demonstrating deadline-miss
+//     accounting.
+//
+// Arrivals and image selection are seeded-Rng deterministic; timing (and
+// therefore the numbers, not the workload) is the only nondeterminism.
+// --emit-json writes BENCH_serve.json in the same satd-bench-1 schema as
+// bench_micro (baseline committed under bench/baseline/).
+#include <atomic>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/cli.h"
+#include "common/clock.h"
+#include "common/rng.h"
+#include "data/synthetic.h"
+#include "nn/zoo.h"
+#include "serve/server.h"
+
+using namespace satd;
+
+namespace {
+
+/// The images the load generator draws from (deterministic).
+Tensor make_pool(std::size_t n) {
+  data::SyntheticConfig cfg;
+  cfg.train_size = n;
+  cfg.test_size = 1;
+  return data::make_synthetic_digits(cfg).train.images;
+}
+
+struct PointConfig {
+  std::size_t workers = 1;
+  std::size_t max_batch = 8;
+  double max_wait = 0.001;
+  std::size_t requests = 256;
+  std::size_t clients = 2;
+  std::size_t queue_capacity = 1024;
+  double timeout = 0.0;  ///< per-request relative deadline (0 = none)
+};
+
+/// Closed-loop point: each client thread submits one request, waits for
+/// the response, repeats. Returns the stats snapshot plus wall seconds.
+std::pair<serve::StatsSnapshot, double> run_closed(
+    serve::ModelRegistry& registry, const Tensor& pool,
+    const PointConfig& pc) {
+  serve::ServerConfig cfg;
+  cfg.model_name = "bench";
+  cfg.workers = pc.workers;
+  cfg.queue.capacity = pc.queue_capacity;
+  cfg.batch.max_batch = pc.max_batch;
+  cfg.batch.max_wait = pc.max_wait;
+  serve::Server server(registry, cfg);
+  server.start();
+
+  const std::size_t pool_size = pool.shape()[0];
+  std::atomic<std::size_t> next{0};
+  const double t0 = SystemClock::instance().now();
+  std::vector<std::thread> clients;
+  clients.reserve(pc.clients);
+  for (std::size_t c = 0; c < pc.clients; ++c) {
+    clients.emplace_back([&, c] {
+      Rng rng(1000 + c);
+      for (;;) {
+        const std::size_t i = next.fetch_add(1);
+        if (i >= pc.requests) return;
+        const Tensor image = pool.slice_row(rng.uniform_index(pool_size));
+        server.submit(image, pc.timeout).wait();
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  const double elapsed = SystemClock::instance().now() - t0;
+  server.drain();
+  return {server.stats().snapshot(), elapsed};
+}
+
+/// Open-loop overload point: fire-and-forget submission far beyond queue
+/// capacity, then collect every ticket. Demonstrates typed rejection.
+serve::StatsSnapshot run_overload(serve::ModelRegistry& registry,
+                                  const Tensor& pool, std::size_t requests) {
+  serve::ServerConfig cfg;
+  cfg.model_name = "bench";
+  cfg.workers = 1;
+  cfg.queue.capacity = 32;
+  cfg.batch.max_batch = 8;
+  cfg.batch.max_wait = 0.0005;
+  serve::Server server(registry, cfg);
+  server.start();
+
+  Rng rng(7);
+  const std::size_t pool_size = pool.shape()[0];
+  std::vector<serve::Ticket> tickets;
+  tickets.reserve(requests);
+  for (std::size_t i = 0; i < requests; ++i) {
+    const Tensor image = pool.slice_row(rng.uniform_index(pool_size));
+    tickets.push_back(server.submit(image));
+  }
+  for (serve::Ticket& t : tickets) t.wait();
+  server.drain();
+  return server.stats().snapshot();
+}
+
+void add_closed_row(std::vector<bench::JsonResult>& rows,
+                    const std::string& name,
+                    const PointConfig& pc,
+                    const std::pair<serve::StatsSnapshot, double>& r) {
+  const auto& [s, elapsed] = r;
+  bench::JsonResult row;
+  row.name = name;
+  row.numbers = {
+      {"workers", static_cast<double>(pc.workers)},
+      {"max_batch", static_cast<double>(pc.max_batch)},
+      {"requests", static_cast<double>(pc.requests)},
+      {"served", static_cast<double>(s.served)},
+      {"throughput_rps", elapsed > 0 ? s.served / elapsed : 0.0},
+      {"mean_batch", s.mean_batch},
+      {"p50_ms", s.p50 * 1e3},
+      {"p95_ms", s.p95 * 1e3},
+      {"p99_ms", s.p99 * 1e3},
+      {"deadline_misses", static_cast<double>(s.deadline_misses)},
+      {"rejected_infeasible", static_cast<double>(s.rejected_infeasible)},
+  };
+  rows.push_back(std::move(row));
+  std::printf("%-16s %6zu served  %8.0f req/s  p50 %.3f ms  p99 %.3f ms  "
+              "mean batch %.2f\n",
+              name.c_str(), s.served, elapsed > 0 ? s.served / elapsed : 0.0,
+              s.p50 * 1e3, s.p99 * 1e3, s.mean_batch);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliParser cli("bench_serve",
+                "Micro-batching inference server load bench (closed-loop "
+                "sweep, open-loop overload, deadline pressure).");
+  cli.add_int("requests", 256, "requests per closed-loop point");
+  cli.add_string("model", "cnn_small", "zoo spec to serve");
+  add_threads_option(cli);
+  cli.add_string("emit-json", "",
+                 "write BENCH_serve.json (satd-bench-1 schema) into this "
+                 "directory");
+  if (!cli.parse(argc, argv)) return 0;
+  apply_threads_option(cli);
+
+  const auto requests = static_cast<std::size_t>(cli.get_int("requests"));
+  const std::string spec = cli.get_string("model");
+
+  serve::ModelRegistry registry;
+  {
+    Rng rng(42);
+    nn::Sequential model = nn::zoo::build(spec, rng);
+    registry.publish("bench", model, spec);
+  }
+  const Tensor pool = make_pool(128);
+  std::printf("bench_serve: %s, %zu requests per point, %zu hw threads\n\n",
+              spec.c_str(), requests,
+              static_cast<std::size_t>(std::thread::hardware_concurrency()));
+
+  std::vector<bench::JsonResult> rows;
+
+  // Closed-loop sweep: worker count x batching policy.
+  for (std::size_t workers : {std::size_t{1}, std::size_t{2}, std::size_t{4}}) {
+    for (std::size_t max_batch : {std::size_t{1}, std::size_t{8}}) {
+      PointConfig pc;
+      pc.workers = workers;
+      pc.max_batch = max_batch;
+      pc.requests = requests;
+      pc.clients = 2 * workers;
+      const auto r = run_closed(registry, pool, pc);
+      add_closed_row(rows,
+                     "closed_w" + std::to_string(workers) + "_b" +
+                         std::to_string(max_batch),
+                     pc, r);
+    }
+  }
+
+  // Deadline pressure: the batch can never fill (more slots than
+  // clients), so the window holds its full max_wait — longer than the
+  // per-request timeout — and admitted requests expire before serving.
+  {
+    PointConfig pc;
+    pc.workers = 1;
+    pc.max_batch = 16;
+    pc.max_wait = 0.004;
+    pc.requests = requests;
+    pc.clients = 4;
+    pc.timeout = 0.002;
+    const auto r = run_closed(registry, pool, pc);
+    add_closed_row(rows, "deadline", pc, r);
+  }
+
+  // Open-loop overload: typed backpressure instead of unbounded queueing.
+  {
+    const serve::StatsSnapshot s = run_overload(registry, pool, 4 * requests);
+    bench::JsonResult row;
+    row.name = "overload";
+    row.numbers = {
+        {"submitted", static_cast<double>(4 * requests)},
+        {"served", static_cast<double>(s.served)},
+        {"rejected_full", static_cast<double>(s.rejected_full)},
+        {"deadline_misses", static_cast<double>(s.deadline_misses)},
+        {"max_queue_depth", static_cast<double>(s.max_queue_depth)},
+        {"mean_batch", s.mean_batch},
+    };
+    std::printf("%-16s %6zu served  %zu rejected_full  depth<=%zu\n",
+                "overload", s.served, s.rejected_full, s.max_queue_depth);
+    rows.push_back(std::move(row));
+  }
+
+  if (const std::string dir = cli.get_string("emit-json"); !dir.empty()) {
+    bench::write_bench_json(dir + "/BENCH_serve.json", "serve", 0, rows);
+  }
+  return 0;
+}

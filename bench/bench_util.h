@@ -3,7 +3,11 @@
 #pragma once
 
 #include <cstdio>
+#include <fstream>
 #include <string>
+#include <thread>
+#include <utility>
+#include <vector>
 
 #include "core/factory.h"
 #include "data/synthetic.h"
@@ -72,6 +76,33 @@ inline metrics::CachedModel train_cached(const metrics::ExperimentEnv& env,
         auto trainer = core::make_trainer(method, model, cfg);
         return trainer->fit(data.train);
       });
+}
+
+/// One row of a machine-readable bench result: a name plus named numbers.
+struct JsonResult {
+  std::string name;
+  std::vector<std::pair<std::string, double>> numbers;
+};
+
+/// Writes the "satd-bench-1" JSON document shared by bench_micro,
+/// bench_all and bench_serve (BENCH_*.json; format documented in
+/// README.md). `kind` tags what was measured, `reps` the samples per
+/// median (0 when not a timing document).
+inline void write_bench_json(const std::string& path, const std::string& kind,
+                             int reps, const std::vector<JsonResult>& results) {
+  std::ofstream os(path);
+  os << "{\n  \"schema\": \"satd-bench-1\",\n  \"kind\": \"" << kind
+     << "\",\n  \"reps\": " << reps << ",\n  \"hardware_threads\": "
+     << std::thread::hardware_concurrency() << ",\n  \"results\": [\n";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    os << "    {\"name\": \"" << results[i].name << "\"";
+    for (const auto& [key, value] : results[i].numbers) {
+      os << ", \"" << key << "\": " << value;
+    }
+    os << "}" << (i + 1 < results.size() ? "," : "") << "\n";
+  }
+  os << "  ]\n}\n";
+  std::printf("wrote %s\n", path.c_str());
 }
 
 /// Prints the experiment banner common to all benches.

@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "common/contract.h"
+#include "common/thread_pool.h"
 
 namespace satd {
 
@@ -125,6 +126,23 @@ std::string CliParser::usage() const {
   }
   ss << "  --help\n      print this message\n";
   return ss.str();
+}
+
+void add_threads_option(CliParser& cli) {
+  cli.add_string("threads", "",
+                 "total threads for parallel_for (like SATD_THREADS; "
+                 "empty = keep the environment/hardware default)");
+}
+
+void apply_threads_option(const CliParser& cli) {
+  const std::string& value = cli.get_string("threads");
+  if (value.empty()) return;
+  const std::size_t total = ThreadPool::parse_thread_env(value.c_str());
+  if (total == 0) {
+    throw CliParser::CliError("option --threads expects a positive integer, "
+                              "got '" + value + "'");
+  }
+  ThreadPool::set_global_threads(total);
 }
 
 }  // namespace satd

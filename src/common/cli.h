@@ -69,4 +69,15 @@ class CliParser {
   std::vector<std::string> order_;  // registration order for help output
 };
 
+/// Registers the shared `--threads N` option (total threads participating
+/// in parallel_for; empty keeps the SATD_THREADS / hardware default).
+void add_threads_option(CliParser& cli);
+
+/// Applies a parsed `--threads` value by routing it through
+/// ThreadPool::set_global_threads. Validation matches
+/// ThreadPool::parse_thread_env: zero, negative, non-numeric or
+/// out-of-range values throw CliParser::CliError instead of silently
+/// falling back. A no-op when the option was left empty.
+void apply_threads_option(const CliParser& cli);
+
 }  // namespace satd

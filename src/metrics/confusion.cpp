@@ -5,7 +5,7 @@
 #include <sstream>
 
 #include "common/contract.h"
-#include "tensor/ops.h"
+#include "metrics/evaluator.h"
 
 namespace satd::metrics {
 
@@ -68,21 +68,12 @@ std::string ConfusionMatrix::to_string() const {
 
 ConfusionMatrix confusion_on(nn::Sequential& model, const data::Dataset& test,
                              std::size_t batch_size) {
-  SATD_EXPECT(batch_size > 0, "batch size must be positive");
   ConfusionMatrix cm(test.num_classes);
-  const std::size_t n = test.size();
-  const auto& dims = test.images.shape().dims();
-  for (std::size_t begin = 0; begin < n; begin += batch_size) {
-    const std::size_t end = std::min(begin + batch_size, n);
-    Tensor images(Shape{end - begin, dims[1], dims[2], dims[3]});
-    for (std::size_t i = begin; i < end; ++i) {
-      images.set_row(i - begin, test.images.slice_row(i));
-    }
-    const Tensor logits = model.forward(images, /*training=*/false);
-    const auto preds = ops::argmax_rows(logits);
-    for (std::size_t i = begin; i < end; ++i) {
-      cm.record(test.labels[i], preds[i - begin]);
-    }
+  Tensor logits;
+  std::vector<std::size_t> preds;
+  predict_into(model, test.images, batch_size, logits, preds);
+  for (std::size_t i = 0; i < test.size(); ++i) {
+    cm.record(test.labels[i], preds[i]);
   }
   return cm;
 }

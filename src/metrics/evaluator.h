@@ -11,6 +11,17 @@
 
 namespace satd::metrics {
 
+/// Shared batched-prediction path: forwards `images` ([N, ...]) through
+/// `model` in inference mode, in sub-batches of at most `batch_size`,
+/// writing the logits ([N, K]) into `logits` and the row argmaxes into
+/// `preds` (both reused across calls). This is the one inference loop
+/// behind the confusion matrix, the transfer study and the serving
+/// microbatcher, so evaluation and serving cannot drift: predictions are
+/// bit-identical for any sub-batch split.
+void predict_into(nn::Sequential& model, const Tensor& images,
+                  std::size_t batch_size, Tensor& logits,
+                  std::vector<std::size_t>& preds);
+
 /// Accuracy on clean examples.
 float evaluate_clean(nn::Sequential& model, const data::Dataset& test,
                      std::size_t batch_size = 64);

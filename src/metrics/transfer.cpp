@@ -5,7 +5,7 @@
 #include <sstream>
 
 #include "common/contract.h"
-#include "tensor/ops.h"
+#include "metrics/evaluator.h"
 
 namespace satd::metrics {
 
@@ -52,6 +52,8 @@ TransferMatrix transfer_matrix(const std::vector<TransferModel>& models,
   const auto& dims = test.images.shape().dims();
   std::vector<std::vector<std::size_t>> correct(
       models.size(), std::vector<std::size_t>(models.size(), 0));
+  Tensor logits;
+  std::vector<std::size_t> preds;
 
   for (std::size_t begin = 0; begin < test.size(); begin += batch_size) {
     const std::size_t end = std::min(begin + batch_size, test.size());
@@ -66,8 +68,7 @@ TransferMatrix transfer_matrix(const std::vector<TransferModel>& models,
       const Tensor adv =
           attack.perturb(*models[src].model, images, labels);
       for (std::size_t dst = 0; dst < models.size(); ++dst) {
-        const Tensor logits = models[dst].model->forward(adv, false);
-        const auto preds = ops::argmax_rows(logits);
+        predict_into(*models[dst].model, adv, batch_size, logits, preds);
         for (std::size_t k = 0; k < labels.size(); ++k) {
           if (preds[k] == labels[k]) ++correct[src][dst];
         }

@@ -23,6 +23,11 @@ class BatchNorm2d : public Layer {
 
   std::vector<Tensor*> parameters() override { return {&gamma_, &beta_}; }
   std::vector<Tensor*> gradients() override { return {&ggamma_, &gbeta_}; }
+  /// Running statistics are what inference normalizes by; they must
+  /// survive save/load or a served model behaves like an untrained one.
+  std::vector<Tensor*> state_tensors() override {
+    return {&running_mean_, &running_var_};
+  }
 
   void release_buffers() override;
 

@@ -79,6 +79,12 @@ class Layer {
   /// Gradient buffers, aligned index-for-index with parameters().
   virtual std::vector<Tensor*> gradients() { return {}; }
 
+  /// Non-trainable persistent state the layer needs at inference (e.g.
+  /// BatchNorm running statistics). Unlike forward caches this state is
+  /// part of what a trained model IS, so model_io serializes it next to
+  /// the parameters. Empty for stateless layers.
+  virtual std::vector<Tensor*> state_tensors() { return {}; }
+
   /// Zeroes all gradient buffers.
   virtual void zero_grad() {
     for (Tensor* g : gradients()) g->fill(0.0f);

@@ -10,25 +10,64 @@
 namespace satd::nn {
 
 namespace {
-constexpr char kModelMagic[] = "SATDMDL1";
+// v1 ("SATDMDL1") stored parameters only; v2 appends the non-trainable
+// layer state (BatchNorm running statistics), without which a loaded
+// cnn_bn normalizes by its init statistics and serves garbage. v1 files
+// remain loadable — their state section is simply absent and the
+// freshly-built layers keep their init-default state.
+constexpr char kModelMagicV1[] = "SATDMDL1";
+constexpr char kModelMagicV2[] = "SATDMDL2";
 
-std::string read_spec(std::istream& is, const std::string& context) {
+struct SpecHeader {
+  std::string spec;
+  int version = 2;
+};
+
+SpecHeader read_spec(std::istream& is, const std::string& context) {
   char magic[8];
   is.read(magic, 8);
-  if (!is || std::string(magic, 8) != kModelMagic) {
+  const std::string tag(magic, is ? 8 : 0);
+  SpecHeader h;
+  if (tag == kModelMagicV2) {
+    h.version = 2;
+  } else if (tag == kModelMagicV1) {
+    h.version = 1;
+  } else {
     throw SerializeError("bad model magic" +
                          (context.empty() ? "" : " in " + context));
   }
-  return read_string(is);
+  h.spec = read_string(is);
+  return h;
+}
+
+void load_tensors_into(std::istream& is, const std::vector<Tensor*>& dst,
+                       std::uint64_t count, const char* what) {
+  if (count != dst.size()) {
+    throw SerializeError(std::string(what) + " count mismatch: file has " +
+                         std::to_string(count) + ", model has " +
+                         std::to_string(dst.size()));
+  }
+  for (Tensor* p : dst) {
+    Tensor t = read_tensor(is);
+    if (t.shape() != p->shape()) {
+      throw SerializeError(std::string(what) + " shape mismatch: file " +
+                           t.shape().to_string() + " vs model " +
+                           p->shape().to_string());
+    }
+    *p = std::move(t);
+  }
 }
 }  // namespace
 
 void save_model(std::ostream& os, Sequential& model, const std::string& spec) {
-  os.write(kModelMagic, 8);
+  os.write(kModelMagicV2, 8);
   write_string(os, spec);
   const auto params = model.parameters();
   write_u64(os, params.size());
   for (Tensor* p : params) write_tensor(os, *p);
+  const auto states = model.state_tensors();
+  write_u64(os, states.size());
+  for (Tensor* s : states) write_tensor(os, *s);
 }
 
 void save_model_file(const std::string& path, Sequential& model,
@@ -40,37 +79,25 @@ void save_model_file(const std::string& path, Sequential& model,
 }
 
 std::string load_parameters(std::istream& is, Sequential& model) {
-  const std::string spec = read_spec(is, "");
-  const std::uint64_t count = read_u64(is);
-  const auto params = model.parameters();
-  if (count != params.size()) {
-    throw SerializeError("parameter count mismatch: file has " +
-                         std::to_string(count) + ", model has " +
-                         std::to_string(params.size()));
+  const SpecHeader header = read_spec(is, "");
+  load_tensors_into(is, model.parameters(), read_u64(is), "parameter");
+  if (header.version >= 2) {
+    load_tensors_into(is, model.state_tensors(), read_u64(is), "state tensor");
   }
-  for (Tensor* p : params) {
-    Tensor t = read_tensor(is);
-    if (t.shape() != p->shape()) {
-      throw SerializeError("parameter shape mismatch: file " +
-                           t.shape().to_string() + " vs model " +
-                           p->shape().to_string());
-    }
-    *p = std::move(t);
-  }
-  return spec;
+  return header.spec;
 }
 
 std::string peek_spec_file(const std::string& path) {
   std::istringstream is(durable::read_file_verified(path), std::ios::binary);
-  return read_spec(is, path);
+  return read_spec(is, path).spec;
 }
 
 Sequential load_model_file(const std::string& path) {
   std::istringstream is(durable::read_file_verified(path), std::ios::binary);
-  const std::string spec = read_spec(is, path);
+  const SpecHeader header = read_spec(is, path);
   // Weights are overwritten immediately, so the init RNG seed is moot.
   Rng rng(0);
-  Sequential model = zoo::build(spec, rng);
+  Sequential model = zoo::build(header.spec, rng);
   is.seekg(0);
   load_parameters(is, model);
   return model;

@@ -1,9 +1,12 @@
 // Model parameter persistence.
 //
 // A saved model file holds a metadata string (the zoo spec used to build
-// the architecture) followed by every parameter tensor in layer order.
-// Loading reconstructs the architecture from the spec via the zoo and
-// then restores the parameters, so a file is self-describing.
+// the architecture) followed by every parameter tensor in layer order,
+// then every non-trainable state tensor (BatchNorm running statistics —
+// format v2, "SATDMDL2"). Loading reconstructs the architecture from the
+// spec via the zoo and then restores parameters and state, so a file is
+// self-describing. v1 files (parameters only) remain loadable; their
+// layers keep init-default state.
 //
 // Files go through common/durable_io: saves are atomic (temp + fsync +
 // rename) and wrapped in a CRC32 frame; loads verify the frame and throw

@@ -84,6 +84,14 @@ std::vector<Tensor*> Sequential::gradients() {
   return out;
 }
 
+std::vector<Tensor*> Sequential::state_tensors() {
+  std::vector<Tensor*> out;
+  for (auto& l : layers_) {
+    for (Tensor* s : l->state_tensors()) out.push_back(s);
+  }
+  return out;
+}
+
 std::size_t Sequential::parameter_count() const {
   std::size_t n = 0;
   for (const auto& l : layers_) {

@@ -58,6 +58,10 @@ class Sequential {
   std::vector<Tensor*> parameters();
   std::vector<Tensor*> gradients();
 
+  /// Non-trainable persistent layer state (BatchNorm running statistics
+  /// and the like), in layer order; serialized alongside parameters.
+  std::vector<Tensor*> state_tensors();
+
   /// Total number of trainable scalars.
   std::size_t parameter_count() const;
 

@@ -1,0 +1,148 @@
+#include "serve/microbatcher.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/contract.h"
+#include "metrics/evaluator.h"
+#include "nn/loss.h"
+
+namespace satd::serve {
+
+Microbatcher::Microbatcher(ModelRegistry& registry, std::string model_name,
+                           RequestQueue& queue, ServerStats& stats,
+                           Clock& clock, BatchPolicy policy,
+                           RobustnessMonitor* monitor)
+    : registry_(registry),
+      model_name_(std::move(model_name)),
+      queue_(queue),
+      stats_(stats),
+      clock_(clock),
+      policy_(policy),
+      monitor_(monitor) {
+  SATD_EXPECT(policy.max_batch > 0, "max_batch must be positive");
+  SATD_EXPECT(policy.max_wait >= 0.0, "max_wait must be non-negative");
+  SATD_EXPECT(policy.poll_interval > 0.0, "poll_interval must be positive");
+}
+
+bool Microbatcher::step() {
+  staged_.clear();
+  Request first;
+  if (!queue_.pop(first)) return false;
+  staged_.push_back(std::move(first));
+
+  // Batching window: keep popping until full or max_wait has elapsed.
+  // The deadline is measured on the injected clock, so a FakeClock test
+  // steps through the window in exact poll_interval quanta.
+  const double window_close = clock_.now() + policy_.max_wait;
+  while (staged_.size() < policy_.max_batch) {
+    Request next;
+    if (queue_.pop(next)) {
+      staged_.push_back(std::move(next));
+      continue;
+    }
+    if (clock_.now() >= window_close) break;
+    clock_.sleep_for(policy_.poll_interval);
+  }
+
+  serve_batch(staged_);
+  staged_.clear();
+  return true;
+}
+
+void Microbatcher::run() {
+  for (;;) {
+    if (step()) continue;
+    if (queue_.drained()) return;
+    clock_.sleep_for(policy_.idle_wait);
+  }
+}
+
+void Microbatcher::refresh_replica() {
+  SnapshotPtr snapshot = registry_.current(model_name_);
+  if (!snapshot) {
+    replica_.reset();
+    replica_version_ = 0;
+    return;
+  }
+  if (!replica_ || replica_version_ != snapshot->version) {
+    replica_ = ModelRegistry::instantiate(*snapshot);
+    replica_version_ = snapshot->version;
+  }
+}
+
+void Microbatcher::serve_batch(std::vector<Request>& batch) {
+  // Expire requests whose deadline passed while queued; they must not
+  // consume forward-pass work.
+  const double now = clock_.now();
+  std::vector<Request*> live;
+  live.reserve(batch.size());
+  for (Request& req : batch) {
+    if (req.deadline != 0.0 && now > req.deadline) {
+      stats_.record_error(ServeError::kDeadlineMiss);
+      Response miss;
+      miss.error = ServeError::kDeadlineMiss;
+      miss.latency = now - req.submit_time;
+      req.promise.set_value(std::move(miss));
+    } else {
+      live.push_back(&req);
+    }
+  }
+  if (live.empty()) return;
+
+  // The replica is refreshed at the batch boundary only: every request in
+  // this batch is answered by exactly one model version.
+  refresh_replica();
+  if (!replica_) {
+    for (Request* req : live) {
+      stats_.record_error(ServeError::kNoModel);
+      Response r;
+      r.error = ServeError::kNoModel;
+      r.latency = clock_.now() - req->submit_time;
+      req->promise.set_value(std::move(r));
+    }
+    return;
+  }
+
+  // Coalesce into [B, ...image dims]; all images must share one shape
+  // (the server serves a single model).
+  const std::size_t b = live.size();
+  const Tensor& proto = live[0]->image;
+  std::vector<std::size_t> dims;
+  dims.reserve(proto.shape().rank() + 1);
+  dims.push_back(b);
+  for (std::size_t d : proto.shape().dims()) dims.push_back(d);
+  batch_.ensure_shape(Shape(dims));
+  const std::size_t example = proto.numel();
+  for (std::size_t i = 0; i < b; ++i) {
+    const Tensor& img = live[i]->image;
+    SATD_EXPECT(img.numel() == example,
+                "all images in a serving batch must share one shape");
+    std::copy(img.raw(), img.raw() + example, batch_.raw() + i * example);
+  }
+
+  // The shared evaluation/serving inference path (metrics::predict_into):
+  // one inference-mode forward plus row argmaxes, so a served prediction
+  // is bit-identical to what the evaluators would report for this image.
+  metrics::predict_into(*replica_, batch_, b, logits_, preds_);
+  nn::softmax_into(logits_, probs_);
+  stats_.record_batch(b);
+
+  const std::size_t classes = probs_.shape()[1];
+  const double done = clock_.now();
+  for (std::size_t i = 0; i < b; ++i) {
+    Request* req = live[i];
+    Response r;
+    r.predicted = preds_[i];
+    r.probabilities.assign(probs_.raw() + i * classes,
+                           probs_.raw() + (i + 1) * classes);
+    r.model_version = replica_version_;
+    r.batch_size = b;
+    r.latency = done - req->submit_time;
+    stats_.record_served(r.latency);
+    if (monitor_) monitor_->observe(req->image, r.predicted);
+    req->promise.set_value(std::move(r));
+  }
+}
+
+}  // namespace satd::serve

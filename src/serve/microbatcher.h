@@ -1,0 +1,89 @@
+// Dynamic micro-batching: coalesces single-image requests into one
+// forward pass.
+//
+// Policy is the classic (max_batch, max_wait) pair: on popping the first
+// request a worker opens a batching window of at most max_wait seconds and
+// keeps popping until the batch is full or the window closes, then runs
+// ONE workspace-based forward_into + softmax_into over the coalesced
+// [B, C, H, W] tensor and scatters per-request probabilities/argmax back
+// through each request's promise.
+//
+// Numerics contract: the library's kernels compute each output row from
+// its input row alone (independent-output decomposition), so a request's
+// probabilities are bit-identical whether it was served in a batch of 1
+// or coalesced with 31 strangers — pinned by tests/serve. That is what
+// makes micro-batching safe to enable: it changes throughput, never
+// answers.
+//
+// Time flows through the injected Clock; the window is a poll loop over
+// clock.sleep_for rather than a condition variable, so a FakeClock drives
+// the window/deadline state machine deterministically in tests.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "nn/sequential.h"
+#include "serve/queue.h"
+#include "serve/registry.h"
+#include "serve/robustness_monitor.h"
+#include "serve/stats.h"
+
+namespace satd::serve {
+
+/// Coalescing policy.
+struct BatchPolicy {
+  std::size_t max_batch = 8;      ///< hard batch-size cap
+  double max_wait = 0.002;        ///< seconds to hold an open window
+  double poll_interval = 0.0002;  ///< sleep granularity inside the window
+  double idle_wait = 0.0005;      ///< sleep when the queue is empty
+};
+
+/// One serving worker's batching loop. Each worker owns a Microbatcher —
+/// and through it a private model replica — so workers never share
+/// mutable model state.
+class Microbatcher {
+ public:
+  /// `monitor` may be null (monitoring disabled).
+  Microbatcher(ModelRegistry& registry, std::string model_name,
+               RequestQueue& queue, ServerStats& stats, Clock& clock,
+               BatchPolicy policy, RobustnessMonitor* monitor = nullptr);
+
+  /// One batching cycle: pop the first request, hold the window, serve
+  /// the coalesced batch. Returns false if the queue was empty (nothing
+  /// was done). Exposed for deterministic single-threaded tests.
+  bool step();
+
+  /// Runs step() until the queue is drained (begin_drain + backlog empty).
+  void run();
+
+  /// Version of the replica that served the last batch (0 = none yet).
+  std::uint64_t replica_version() const { return replica_version_; }
+
+ private:
+  void refresh_replica();
+  void serve_batch(std::vector<Request>& batch);
+
+  ModelRegistry& registry_;
+  std::string model_name_;
+  RequestQueue& queue_;
+  ServerStats& stats_;
+  Clock& clock_;
+  BatchPolicy policy_;
+  RobustnessMonitor* monitor_;
+
+  std::optional<nn::Sequential> replica_;
+  std::uint64_t replica_version_ = 0;
+
+  // Reused across batches: the coalesced input, logits, probabilities
+  // and argmax scratch (the steady state serves with no allocation
+  // beyond per-response probability vectors).
+  Tensor batch_, logits_, probs_;
+  std::vector<std::size_t> preds_;
+  std::vector<Request> staged_;
+};
+
+}  // namespace satd::serve

@@ -1,0 +1,71 @@
+#include "serve/queue.h"
+
+#include <utility>
+
+#include "common/contract.h"
+
+namespace satd::serve {
+
+RequestQueue::RequestQueue(QueueConfig config, ServerStats& stats,
+                           Clock& clock)
+    : config_(config), stats_(stats), clock_(clock) {
+  SATD_EXPECT(config.capacity > 0, "queue capacity must be positive");
+  SATD_EXPECT(config.min_slack >= 0.0, "min_slack must be non-negative");
+}
+
+Ticket RequestQueue::submit(const Tensor& image, double deadline) {
+  SATD_EXPECT(!image.empty(), "cannot serve an empty image");
+  const double now = clock_.now();
+  ServeError reject = ServeError::kNone;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (draining_) {
+      reject = ServeError::kStopping;
+    } else if (queue_.size() >= config_.capacity) {
+      reject = ServeError::kQueueFull;
+    } else if (deadline != 0.0 && deadline < now + config_.min_slack) {
+      reject = ServeError::kDeadlineInfeasible;
+    } else {
+      Request req;
+      req.image = image;
+      req.submit_time = now;
+      req.deadline = deadline;
+      Ticket ticket(req.promise.get_future());
+      queue_.push_back(std::move(req));
+      stats_.observe_queue_depth(queue_.size());
+      return ticket;
+    }
+  }
+  stats_.record_error(reject);
+  return rejected_ticket(reject);
+}
+
+bool RequestQueue::pop(Request& out) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (queue_.empty()) return false;
+  out = std::move(queue_.front());
+  queue_.pop_front();
+  return true;
+}
+
+std::size_t RequestQueue::depth() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return queue_.size();
+}
+
+void RequestQueue::begin_drain() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  draining_ = true;
+}
+
+bool RequestQueue::draining() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return draining_;
+}
+
+bool RequestQueue::drained() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return draining_ && queue_.empty();
+}
+
+}  // namespace satd::serve

@@ -1,0 +1,68 @@
+// Bounded MPMC request queue with deadline-aware admission control.
+//
+// Admission is where backpressure becomes *typed*: a submit against a full
+// queue resolves immediately with kQueueFull, an absolute deadline that is
+// already unmeetable resolves with kDeadlineInfeasible, and a queue that
+// has begun draining resolves with kStopping. Clients therefore never
+// block on an overloaded server and always learn *why* they were turned
+// away.
+//
+// Shutdown is drain-then-stop: begin_drain() closes admission but every
+// already-admitted request stays poppable, so workers finish the backlog
+// before exiting (drained() flips true only when draining AND empty).
+// Time flows through an injected Clock so tests drive deadline semantics
+// with a FakeClock.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <mutex>
+
+#include "common/clock.h"
+#include "serve/stats.h"
+#include "serve/types.h"
+
+namespace satd::serve {
+
+/// Admission-control knobs.
+struct QueueConfig {
+  std::size_t capacity = 256;  ///< max admitted-but-unserved requests
+  /// A deadline closer than now + min_slack (seconds) is rejected as
+  /// infeasible — the request could not clear the queue in time anyway.
+  /// 0 rejects only deadlines that have already passed.
+  double min_slack = 0.0;
+};
+
+/// Bounded multi-producer / multi-consumer queue (see file comment).
+class RequestQueue {
+ public:
+  RequestQueue(QueueConfig config, ServerStats& stats, Clock& clock);
+
+  /// Admits one image. `deadline` is an ABSOLUTE clock time (0 = none).
+  /// On rejection the returned ticket is already resolved with the
+  /// matching typed error and the image is not copied into the queue.
+  Ticket submit(const Tensor& image, double deadline = 0.0);
+
+  /// Pops the oldest request. Non-blocking: returns false when empty.
+  bool pop(Request& out);
+
+  std::size_t depth() const;
+
+  /// Closes admission; the backlog remains poppable.
+  void begin_drain();
+
+  bool draining() const;
+
+  /// True once draining AND the backlog is empty — workers may exit.
+  bool drained() const;
+
+ private:
+  QueueConfig config_;
+  ServerStats& stats_;
+  Clock& clock_;
+  mutable std::mutex mutex_;
+  std::deque<Request> queue_;
+  bool draining_ = false;
+};
+
+}  // namespace satd::serve

@@ -1,0 +1,70 @@
+#include "serve/registry.h"
+
+#include <sstream>
+#include <utility>
+
+#include "common/contract.h"
+#include "common/rng.h"
+#include "nn/model_io.h"
+#include "nn/zoo.h"
+
+namespace satd::serve {
+
+std::uint64_t ModelRegistry::publish(const std::string& name,
+                                     nn::Sequential& model,
+                                     const std::string& spec) {
+  SATD_EXPECT(!name.empty(), "model name must be non-empty");
+  SATD_EXPECT(nn::zoo::is_known_spec(spec),
+              "cannot publish unknown spec: " + spec);
+  std::ostringstream os;
+  nn::save_model(os, model, spec);
+
+  auto snapshot = std::make_shared<ModelSnapshot>();
+  snapshot->name = name;
+  snapshot->spec = spec;
+  snapshot->payload = os.str();
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = models_.find(name);
+  snapshot->version = (it == models_.end()) ? 1 : it->second->version + 1;
+  models_[name] = std::move(snapshot);
+  return models_[name]->version;
+}
+
+std::uint64_t ModelRegistry::publish_file(const std::string& name,
+                                          const std::string& path) {
+  const std::string spec = nn::peek_spec_file(path);
+  nn::Sequential model = nn::load_model_file(path);
+  return publish(name, model, spec);
+}
+
+SnapshotPtr ModelRegistry::current(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = models_.find(name);
+  return it == models_.end() ? nullptr : it->second;
+}
+
+void ModelRegistry::withdraw(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  models_.erase(name);
+}
+
+std::vector<std::string> ModelRegistry::names() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> out;
+  out.reserve(models_.size());
+  for (const auto& [name, _] : models_) out.push_back(name);
+  return out;
+}
+
+nn::Sequential ModelRegistry::instantiate(const ModelSnapshot& snapshot) {
+  // The freshly initialized weights are immediately overwritten by
+  // load_parameters, so the seed is irrelevant to the result.
+  Rng rng(snapshot.version);
+  nn::Sequential model = nn::zoo::build(snapshot.spec, rng);
+  std::istringstream is(snapshot.payload);
+  nn::load_parameters(is, model);
+  return model;
+}
+
+}  // namespace satd::serve

@@ -1,0 +1,76 @@
+// Model registry for the inference server: named, versioned, hot-swappable
+// model snapshots.
+//
+// A Sequential is NOT shareable across threads — forward_into mutates the
+// internal activation tape — so the registry never hands out a live model.
+// Instead publish() serializes the model (nn::save_model) into an immutable
+// ModelSnapshot, and each serving worker *instantiates* a private replica
+// from the snapshot it is currently batching against. Raw-float
+// serialization makes every replica bit-identical to the published model,
+// so hot-swapping is invisible to numerics: a response computed on version
+// v is exactly what version v's weights produce.
+//
+// Hot swap: publish() atomically replaces the shared_ptr held under the
+// registry mutex. Workers that already grabbed the old snapshot finish
+// their in-flight batch on it (the shared_ptr keeps it alive); they pick up
+// the new version at the next batch boundary. A batch therefore never
+// mixes versions and a forward pass is never torn by a swap.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "nn/sequential.h"
+
+namespace satd::serve {
+
+/// Immutable published model: the zoo spec, a monotonically increasing
+/// per-name version, and the serialized parameter payload.
+struct ModelSnapshot {
+  std::string name;
+  std::uint64_t version = 0;
+  std::string spec;     ///< zoo spec used to rebuild the architecture
+  std::string payload;  ///< nn::save_model bytes (spec + params + state)
+};
+
+using SnapshotPtr = std::shared_ptr<const ModelSnapshot>;
+
+/// Thread-safe name -> snapshot map (see file comment for the swap
+/// protocol).
+class ModelRegistry {
+ public:
+  /// Serializes `model` and publishes it under `name`, replacing any
+  /// previous version atomically. Returns the new version number
+  /// (starting at 1). `spec` must be a known zoo spec — instantiate()
+  /// rebuilds the architecture from it.
+  std::uint64_t publish(const std::string& name, nn::Sequential& model,
+                        const std::string& spec);
+
+  /// Loads a model file (nn::load_model_file semantics: durable frame,
+  /// spec header) and publishes it under `name`.
+  std::uint64_t publish_file(const std::string& name,
+                             const std::string& path);
+
+  /// Current snapshot for `name`, or nullptr when nothing is published.
+  SnapshotPtr current(const std::string& name) const;
+
+  /// Removes `name`; in-flight replicas keep working on their snapshot.
+  void withdraw(const std::string& name);
+
+  /// Published names (for diagnostics).
+  std::vector<std::string> names() const;
+
+  /// Builds a private, bit-identical replica of a snapshot. Each serving
+  /// thread owns its replica; replicas are never shared.
+  static nn::Sequential instantiate(const ModelSnapshot& snapshot);
+
+ private:
+  mutable std::mutex mutex_;
+  std::unordered_map<std::string, SnapshotPtr> models_;
+};
+
+}  // namespace satd::serve

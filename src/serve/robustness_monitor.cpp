@@ -1,0 +1,135 @@
+#include "serve/robustness_monitor.h"
+
+#include <utility>
+
+#include "common/contract.h"
+#include "common/log.h"
+#include "tensor/ops.h"
+
+namespace satd::serve {
+
+RobustnessMonitor::RobustnessMonitor(ModelRegistry& registry,
+                                     std::string model_name,
+                                     MonitorConfig config, Clock& clock)
+    : registry_(registry),
+      model_name_(std::move(model_name)),
+      config_(config),
+      clock_(clock),
+      bim_(config.eps, config.iterations) {
+  SATD_EXPECT(config.sample_period > 0, "sample_period must be positive");
+  SATD_EXPECT(config.max_pending > 0, "max_pending must be positive");
+  SATD_EXPECT(config.window > 0, "window must be positive");
+  SATD_EXPECT(config.collapse_fraction > 0.0f &&
+                  config.collapse_fraction < 1.0f,
+              "collapse_fraction must be in (0, 1)");
+}
+
+RobustnessMonitor::~RobustnessMonitor() { stop(); }
+
+void RobustnessMonitor::observe(const Tensor& image, std::size_t predicted) {
+  const std::uint64_t n = observed_.fetch_add(1, std::memory_order_relaxed);
+  if ((n + 1) % config_.sample_period != 0) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (pending_.size() >= config_.max_pending) {
+    ++dropped_;
+    return;
+  }
+  ++sampled_;
+  pending_.push_back(Sample{image, predicted});
+}
+
+bool RobustnessMonitor::step() {
+  Sample sample;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (pending_.empty()) return false;
+    sample = std::move(pending_.front());
+    pending_.pop_front();
+  }
+  probe(sample);
+  return true;
+}
+
+void RobustnessMonitor::probe(const Sample& sample) {
+  SnapshotPtr snapshot = registry_.current(model_name_);
+  if (!snapshot) return;  // nothing published; skip quietly
+  if (!replica_ || replica_version_ != snapshot->version) {
+    replica_ = ModelRegistry::instantiate(*snapshot);
+    replica_version_ = snapshot->version;
+  }
+
+  // Stage the single image as a batch of one and attack the model's own
+  // prediction: survived == the prediction is stable inside the eps-ball.
+  std::vector<std::size_t> batch_dims;
+  batch_dims.push_back(1);
+  for (std::size_t d : sample.image.shape().dims()) batch_dims.push_back(d);
+  batch_.ensure_shape(Shape(batch_dims));
+  std::copy(sample.image.raw(), sample.image.raw() + sample.image.numel(),
+            batch_.raw());
+  const std::size_t labels[1] = {sample.predicted};
+  bim_.perturb_into(*replica_, batch_, labels, adv_);
+  replica_->forward_into(adv_, logits_, /*training=*/false);
+  ops::argmax_rows_into(logits_, preds_);
+  const bool survived = preds_[0] == sample.predicted;
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++probed_;
+  outcomes_.push_back(survived);
+  while (outcomes_.size() > config_.window) outcomes_.pop_front();
+  std::size_t ok = 0;
+  for (bool b : outcomes_) ok += b ? 1 : 0;
+  const float fraction =
+      static_cast<float>(ok) / static_cast<float>(outcomes_.size());
+  if (fraction > best_) best_ = fraction;
+  // Arm only once the window is representative and the baseline has been
+  // reached; then a collapse below the fraction of best trips an alarm.
+  if (outcomes_.size() >= config_.window && best_ >= config_.min_baseline &&
+      fraction < config_.collapse_fraction * best_) {
+    ++alarms_;
+    log::warn() << "serve monitor: robust fraction " << fraction
+                << " collapsed below "
+                << config_.collapse_fraction * best_ << " (best " << best_
+                << ") for model '" << model_name_ << "' v"
+                << replica_version_;
+  }
+}
+
+void RobustnessMonitor::start() {
+  if (started_) return;
+  started_ = true;
+  stop_.store(false);
+  worker_ = std::thread([this] { run(); });
+}
+
+void RobustnessMonitor::stop() {
+  if (!started_) return;
+  stop_.store(true);
+  if (worker_.joinable()) worker_.join();
+  started_ = false;
+}
+
+void RobustnessMonitor::run() {
+  while (!stop_.load(std::memory_order_relaxed)) {
+    if (!step()) clock_.sleep_for(config_.idle_wait);
+  }
+}
+
+MonitorReport RobustnessMonitor::report() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  MonitorReport r;
+  r.observed = observed_.load(std::memory_order_relaxed);
+  r.sampled = sampled_;
+  r.dropped = dropped_;
+  r.probed = probed_;
+  if (!outcomes_.empty()) {
+    std::size_t ok = 0;
+    for (bool b : outcomes_) ok += b ? 1 : 0;
+    r.robust_fraction =
+        static_cast<float>(ok) / static_cast<float>(outcomes_.size());
+  }
+  r.best_fraction = best_;
+  r.alarms = alarms_;
+  return r;
+}
+
+}  // namespace satd::serve

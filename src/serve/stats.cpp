@@ -1,0 +1,107 @@
+#include "serve/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/contract.h"
+
+namespace satd::serve {
+
+const char* to_string(ServeError e) {
+  switch (e) {
+    case ServeError::kNone: return "ok";
+    case ServeError::kQueueFull: return "queue_full";
+    case ServeError::kDeadlineInfeasible: return "deadline_infeasible";
+    case ServeError::kStopping: return "stopping";
+    case ServeError::kDeadlineMiss: return "deadline_miss";
+    case ServeError::kNoModel: return "no_model";
+  }
+  return "unknown";
+}
+
+LatencyHistogram::LatencyHistogram() {
+  double edge = 1e-6;  // 1 microsecond
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    upper_[i] = edge;
+    edge *= 1.25;
+  }
+}
+
+void LatencyHistogram::record(double seconds) {
+  auto it = std::lower_bound(upper_.begin(), upper_.end(), seconds);
+  const std::size_t idx =
+      it == upper_.end() ? kBuckets - 1
+                         : static_cast<std::size_t>(it - upper_.begin());
+  ++counts_[idx];
+  ++count_;
+}
+
+double LatencyHistogram::percentile(double p) const {
+  if (count_ == 0) return 0.0;
+  p = std::clamp(p, 0.0, 1.0);
+  const auto target = static_cast<std::size_t>(
+      std::max(1.0, std::ceil(p * static_cast<double>(count_))));
+  std::size_t cum = 0;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    cum += counts_[i];
+    if (cum >= target) return upper_[i];
+  }
+  return upper_[kBuckets - 1];
+}
+
+void LatencyHistogram::merge(const LatencyHistogram& other) {
+  for (std::size_t i = 0; i < kBuckets; ++i) counts_[i] += other.counts_[i];
+  count_ += other.count_;
+}
+
+void ServerStats::record_served(double latency) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  latency_.record(latency);
+  ++served_;
+}
+
+void ServerStats::record_batch(std::size_t size) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++batches_;
+  batched_requests_ += size;
+}
+
+void ServerStats::record_error(ServeError e) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  switch (e) {
+    case ServeError::kQueueFull: ++rejected_full_; break;
+    case ServeError::kDeadlineInfeasible: ++rejected_infeasible_; break;
+    case ServeError::kStopping: ++rejected_stopping_; break;
+    case ServeError::kDeadlineMiss: ++deadline_misses_; break;
+    case ServeError::kNoModel: ++no_model_; break;
+    case ServeError::kNone:
+      SATD_EXPECT(false, "record_error called with kNone");
+  }
+}
+
+void ServerStats::observe_queue_depth(std::size_t depth) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  max_queue_depth_ = std::max(max_queue_depth_, depth);
+}
+
+StatsSnapshot ServerStats::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  StatsSnapshot s;
+  s.served = served_;
+  s.batches = batches_;
+  s.mean_batch = batches_ == 0 ? 0.0
+                               : static_cast<double>(batched_requests_) /
+                                     static_cast<double>(batches_);
+  s.deadline_misses = deadline_misses_;
+  s.rejected_full = rejected_full_;
+  s.rejected_infeasible = rejected_infeasible_;
+  s.rejected_stopping = rejected_stopping_;
+  s.no_model = no_model_;
+  s.max_queue_depth = max_queue_depth_;
+  s.p50 = latency_.percentile(0.50);
+  s.p95 = latency_.percentile(0.95);
+  s.p99 = latency_.percentile(0.99);
+  return s;
+}
+
+}  // namespace satd::serve

@@ -1,0 +1,93 @@
+// Serving telemetry: latency percentiles, batch shape, queue pressure.
+//
+// The histogram uses fixed log-spaced buckets so recording is O(log B)
+// with no allocation and percentile readout is deterministic (a percentile
+// is the upper edge of the bucket containing that rank — the same stream
+// of samples always yields the same p50/p95/p99, regardless of arrival
+// interleaving). Counters are guarded by one mutex; the serving hot path
+// touches it once per request, which is negligible next to a forward pass.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <mutex>
+#include <vector>
+
+#include "serve/types.h"
+
+namespace satd::serve {
+
+/// Fixed-bucket log-spaced latency histogram (seconds).
+///
+/// Buckets span 1 microsecond to ~20 minutes with a geometric ratio of
+/// 1.25 (~96 buckets, ~25% worst-case percentile quantization). Samples
+/// below/above the span clamp to the first/last bucket.
+class LatencyHistogram {
+ public:
+  static constexpr std::size_t kBuckets = 96;
+
+  LatencyHistogram();
+
+  void record(double seconds);
+
+  /// Upper edge of the bucket holding the p-th percentile sample
+  /// (p in [0, 1]). Returns 0 when empty.
+  double percentile(double p) const;
+
+  std::size_t count() const { return count_; }
+
+  void merge(const LatencyHistogram& other);
+
+ private:
+  std::array<double, kBuckets> upper_;   ///< bucket upper edges
+  std::array<std::size_t, kBuckets> counts_{};
+  std::size_t count_ = 0;
+};
+
+/// Point-in-time copy of every serving counter.
+struct StatsSnapshot {
+  std::size_t served = 0;            ///< responses with error == kNone
+  std::size_t batches = 0;           ///< coalesced batches executed
+  double mean_batch = 0.0;           ///< served / batches
+  std::size_t deadline_misses = 0;   ///< admitted but expired in queue
+  std::size_t rejected_full = 0;
+  std::size_t rejected_infeasible = 0;
+  std::size_t rejected_stopping = 0;
+  std::size_t no_model = 0;
+  std::size_t max_queue_depth = 0;   ///< high-water mark observed at submit
+  double p50 = 0.0, p95 = 0.0, p99 = 0.0;  ///< latency, seconds
+};
+
+/// Thread-safe counter hub shared by queue, workers and the server.
+class ServerStats {
+ public:
+  /// Records one successfully served response latency (seconds).
+  void record_served(double latency);
+
+  /// Records a coalesced batch of the given size.
+  void record_batch(std::size_t size);
+
+  /// Records a non-success outcome (admission reject, deadline miss,
+  /// missing model).
+  void record_error(ServeError e);
+
+  /// Updates the queue-depth high-water mark.
+  void observe_queue_depth(std::size_t depth);
+
+  StatsSnapshot snapshot() const;
+
+ private:
+  mutable std::mutex mutex_;
+  LatencyHistogram latency_;
+  std::size_t served_ = 0;
+  std::size_t batches_ = 0;
+  std::size_t batched_requests_ = 0;
+  std::size_t deadline_misses_ = 0;
+  std::size_t rejected_full_ = 0;
+  std::size_t rejected_infeasible_ = 0;
+  std::size_t rejected_stopping_ = 0;
+  std::size_t no_model_ = 0;
+  std::size_t max_queue_depth_ = 0;
+};
+
+}  // namespace satd::serve

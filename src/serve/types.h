@@ -1,0 +1,76 @@
+// Shared request/response vocabulary of the serving subsystem.
+//
+// Every outcome a client can observe is a Response carrying a typed
+// ServeError, so backpressure (queue full), infeasible deadlines, shutdown
+// and deadline misses are distinguishable programmatically — not stringly.
+// Rejections resolve the client's Ticket immediately; accepted requests
+// resolve when a serving worker completes (or expires) them.
+#pragma once
+
+#include <cstdint>
+#include <future>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace satd::serve {
+
+/// Typed outcome of a serve request.
+enum class ServeError {
+  kNone = 0,             ///< served successfully
+  kQueueFull,            ///< rejected at admission: queue at capacity
+  kDeadlineInfeasible,   ///< rejected at admission: deadline already unmeetable
+  kStopping,             ///< rejected at admission: server draining/stopped
+  kDeadlineMiss,         ///< admitted, but expired before a worker served it
+  kNoModel,              ///< no model published under the served name
+};
+
+/// Stable textual tag for logs and JSON (e.g. "queue_full").
+const char* to_string(ServeError e);
+
+/// What the client gets back for one image.
+struct Response {
+  ServeError error = ServeError::kNone;
+  std::size_t predicted = 0;          ///< argmax class (valid when kNone)
+  std::vector<float> probabilities;   ///< softmax row (valid when kNone)
+  std::uint64_t model_version = 0;    ///< registry version that served it
+  std::size_t batch_size = 0;         ///< size of the coalesced batch
+  double latency = 0.0;               ///< seconds from submit to response
+};
+
+/// One admitted unit of work inside the queue. Move-only (owns the
+/// client's promise).
+struct Request {
+  Tensor image;           ///< single example, e.g. [1, 28, 28]
+  double submit_time = 0; ///< clock time at admission
+  double deadline = 0;    ///< absolute clock time; 0 = no deadline
+  std::promise<Response> promise;
+};
+
+/// Client handle for one submitted request. wait() blocks until the
+/// server resolves it (rejections resolve immediately).
+class Ticket {
+ public:
+  Ticket() = default;
+  explicit Ticket(std::future<Response> future)
+      : future_(std::move(future)) {}
+
+  bool valid() const { return future_.valid(); }
+
+  /// Blocks for the response. One-shot: the ticket is invalid afterwards.
+  Response wait() { return future_.get(); }
+
+ private:
+  std::future<Response> future_;
+};
+
+/// Builds a pre-resolved ticket (used for admission rejections).
+inline Ticket rejected_ticket(ServeError error) {
+  std::promise<Response> p;
+  Response r;
+  r.error = error;
+  p.set_value(std::move(r));
+  return Ticket(p.get_future());
+}
+
+}  // namespace satd::serve

@@ -2,7 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
+#include <vector>
+
 #include "common/contract.h"
+#include "common/thread_pool.h"
 
 namespace satd {
 namespace {
@@ -110,6 +114,53 @@ TEST(Cli, TypeMismatchOnGetIsContractViolation) {
 TEST(Cli, UnregisteredGetIsContractViolation) {
   CliParser cli = make_parser();
   EXPECT_THROW(cli.get_int("nope"), ContractViolation);
+}
+
+// ---- the shared --threads option ----
+
+/// Parses argv through a parser carrying only the threads option.
+CliParser threads_parser(std::vector<const char*> argv) {
+  CliParser cli("p", "d");
+  add_threads_option(cli);
+  argv.insert(argv.begin(), "p");
+  cli.parse(static_cast<int>(argv.size()), argv.data());
+  return cli;
+}
+
+TEST(CliThreads, EmptyIsANoOp) {
+  const std::size_t before = ThreadPool::global_threads();
+  CliParser cli = threads_parser({});
+  apply_threads_option(cli);
+  EXPECT_EQ(ThreadPool::global_threads(), before);
+}
+
+TEST(CliThreads, ValidValueRoutesToGlobalPool) {
+  CliParser cli = threads_parser({"--threads", "3"});
+  apply_threads_option(cli);
+  EXPECT_EQ(ThreadPool::global_threads(), 3u);
+  ThreadPool::set_global_threads(0);  // restore the default
+}
+
+TEST(CliThreads, RejectsZeroNegativeAndGarbage) {
+  const std::size_t before = ThreadPool::global_threads();
+  for (const char* bad : {"0", "-2", "abc", "4x", ""}) {
+    SCOPED_TRACE(bad);
+    CliParser cli = threads_parser({"--threads", bad});
+    if (std::string(bad).empty()) {
+      // Explicit empty means "option given without a usable value" — the
+      // no-op branch, not an error.
+      apply_threads_option(cli);
+    } else {
+      EXPECT_THROW(apply_threads_option(cli), CliParser::CliError);
+    }
+    EXPECT_EQ(ThreadPool::global_threads(), before);
+  }
+}
+
+TEST(CliThreads, UsageMentionsThreads) {
+  CliParser cli("p", "d");
+  add_threads_option(cli);
+  EXPECT_NE(cli.usage().find("--threads"), std::string::npos);
 }
 
 }  // namespace

@@ -121,6 +121,59 @@ TEST_F(ModelIoTest, LegacyUnframedFileStillLoads) {
   EXPECT_TRUE(m.forward(probe, false).equals(loaded.forward(probe, false)));
 }
 
+TEST_F(ModelIoTest, EveryZooSpecRoundTripsBitIdentically) {
+  // Serving loads arbitrary published checkpoints, so the save/load path
+  // must be exact for EVERY architecture in the zoo — including cnn_bn,
+  // whose BatchNorm running statistics are state, not parameters. A
+  // training-mode forward first moves that state off its init values so
+  // the round trip actually exercises the state section.
+  Tensor batch(Shape{4, 1, 28, 28});
+  Rng data_rng(77);
+  for (float& v : batch.data()) {
+    v = static_cast<float>(data_rng.uniform());
+  }
+  for (const std::string& spec : zoo::known_specs()) {
+    SCOPED_TRACE(spec);
+    Rng rng(11);
+    Sequential m = zoo::build(spec, rng);
+    (void)m.forward(batch, /*training=*/true);
+    save_model_file(path(spec + ".bin"), m, spec);
+
+    Sequential loaded = load_model_file(path(spec + ".bin"));
+    const auto s1 = m.state_tensors();
+    const auto s2 = loaded.state_tensors();
+    ASSERT_EQ(s1.size(), s2.size());
+    for (std::size_t i = 0; i < s1.size(); ++i) {
+      EXPECT_TRUE(s1[i]->equals(*s2[i])) << "state tensor " << i;
+    }
+    EXPECT_TRUE(
+        m.forward(batch, false).equals(loaded.forward(batch, false)));
+  }
+}
+
+TEST_F(ModelIoTest, V1ParameterOnlyPayloadStillLoads) {
+  // Files written before the state section existed carry the v1 magic
+  // and no trailing state; they must load with parameters restored and
+  // layer state left at its init defaults.
+  Rng rng(8);
+  Sequential m = zoo::build("mlp_small", rng);
+  std::stringstream ss;
+  ss.write("SATDMDL1", 8);
+  write_string(ss, "mlp_small");
+  const auto params = m.parameters();
+  write_u64(ss, params.size());
+  for (Tensor* p : params) write_tensor(ss, *p);
+
+  Rng rng2(9);
+  Sequential loaded = zoo::build("mlp_small", rng2);
+  EXPECT_EQ(load_parameters(ss, loaded), "mlp_small");
+  const auto p1 = m.parameters();
+  const auto p2 = loaded.parameters();
+  for (std::size_t i = 0; i < p1.size(); ++i) {
+    EXPECT_TRUE(p1[i]->equals(*p2[i]));
+  }
+}
+
 TEST_F(ModelIoTest, CorruptedFrameThrowsCorruptFileError) {
   Rng rng(7);
   Sequential m = zoo::build("mlp_small", rng);

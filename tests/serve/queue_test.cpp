@@ -1,0 +1,114 @@
+// Admission-control semantics of the serve queue, driven on a FakeClock
+// so deadline feasibility is exact.
+#include "serve/queue.h"
+
+#include <gtest/gtest.h>
+
+#include "common/clock.h"
+
+namespace satd::serve {
+namespace {
+
+Tensor image() { return Tensor::full(Shape{1, 28, 28}, 0.5f); }
+
+struct QueueHarness {
+  explicit QueueHarness(QueueConfig cfg = {}) : queue(cfg, stats, clock) {}
+  FakeClock clock{100.0};
+  ServerStats stats;
+  RequestQueue queue;
+};
+
+TEST(Queue, SubmitThenPopRoundTrips) {
+  QueueHarness h;
+  Ticket t = h.queue.submit(image());
+  EXPECT_EQ(h.queue.depth(), 1u);
+
+  Request req;
+  ASSERT_TRUE(h.queue.pop(req));
+  EXPECT_EQ(h.queue.depth(), 0u);
+  EXPECT_DOUBLE_EQ(req.submit_time, 100.0);
+  EXPECT_DOUBLE_EQ(req.deadline, 0.0);
+
+  Response r;
+  r.predicted = 7;
+  req.promise.set_value(r);
+  EXPECT_EQ(t.wait().predicted, 7u);
+}
+
+TEST(Queue, PopOnEmptyReturnsFalse) {
+  QueueHarness h;
+  Request req;
+  EXPECT_FALSE(h.queue.pop(req));
+}
+
+TEST(Queue, FullQueueRejectsTyped) {
+  QueueConfig cfg;
+  cfg.capacity = 2;
+  QueueHarness h(cfg);
+  Ticket a = h.queue.submit(image());
+  Ticket b = h.queue.submit(image());
+  Ticket c = h.queue.submit(image());
+
+  Response r = c.wait();  // resolves immediately
+  EXPECT_EQ(r.error, ServeError::kQueueFull);
+  EXPECT_EQ(h.queue.depth(), 2u);
+  EXPECT_EQ(h.stats.snapshot().rejected_full, 1u);
+}
+
+TEST(Queue, PastDeadlineIsInfeasible) {
+  QueueHarness h;  // clock at 100
+  Ticket t = h.queue.submit(image(), /*deadline=*/99.0);
+  EXPECT_EQ(t.wait().error, ServeError::kDeadlineInfeasible);
+  EXPECT_EQ(h.queue.depth(), 0u);
+  EXPECT_EQ(h.stats.snapshot().rejected_infeasible, 1u);
+}
+
+TEST(Queue, MinSlackExtendsTheFeasibilityHorizon) {
+  QueueConfig cfg;
+  cfg.min_slack = 0.5;
+  QueueHarness h(cfg);  // clock at 100
+  // 100.4 is in the future but closer than now + min_slack: infeasible.
+  EXPECT_EQ(h.queue.submit(image(), 100.4).wait().error,
+            ServeError::kDeadlineInfeasible);
+  // 100.6 clears the horizon: admitted.
+  Ticket ok = h.queue.submit(image(), 100.6);
+  EXPECT_EQ(h.queue.depth(), 1u);
+}
+
+TEST(Queue, ZeroDeadlineMeansNoDeadline) {
+  QueueConfig cfg;
+  cfg.min_slack = 10.0;
+  QueueHarness h(cfg);
+  h.queue.submit(image(), 0.0);
+  EXPECT_EQ(h.queue.depth(), 1u);
+}
+
+TEST(Queue, DrainClosesAdmissionButKeepsBacklogPoppable) {
+  QueueHarness h;
+  Ticket a = h.queue.submit(image());
+  h.queue.begin_drain();
+  EXPECT_TRUE(h.queue.draining());
+  EXPECT_FALSE(h.queue.drained());  // backlog not yet served
+
+  Ticket late = h.queue.submit(image());
+  EXPECT_EQ(late.wait().error, ServeError::kStopping);
+  EXPECT_EQ(h.stats.snapshot().rejected_stopping, 1u);
+
+  Request req;
+  ASSERT_TRUE(h.queue.pop(req));
+  EXPECT_TRUE(h.queue.drained());
+}
+
+TEST(Queue, DepthHighWaterMarkIsTracked) {
+  QueueHarness h;
+  h.queue.submit(image());
+  h.queue.submit(image());
+  h.queue.submit(image());
+  Request req;
+  h.queue.pop(req);
+  h.queue.submit(image());
+  EXPECT_EQ(h.stats.snapshot().max_queue_depth, 3u);
+}
+
+}  // namespace
+}  // namespace satd::serve

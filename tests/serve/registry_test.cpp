@@ -1,0 +1,120 @@
+#include "serve/registry.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "common/contract.h"
+#include "common/rng.h"
+#include "nn/model_io.h"
+#include "nn/zoo.h"
+
+namespace satd::serve {
+namespace {
+
+namespace fs = std::filesystem;
+
+Tensor probe_batch() {
+  Tensor x(Shape{3, 1, 28, 28});
+  Rng rng(5);
+  for (float& v : x.data()) v = static_cast<float>(rng.uniform());
+  return x;
+}
+
+TEST(Registry, PublishAssignsIncreasingVersionsPerName) {
+  ModelRegistry registry;
+  Rng rng(1);
+  nn::Sequential m = nn::zoo::build("mlp_small", rng);
+  EXPECT_EQ(registry.publish("a", m, "mlp_small"), 1u);
+  EXPECT_EQ(registry.publish("a", m, "mlp_small"), 2u);
+  EXPECT_EQ(registry.publish("b", m, "mlp_small"), 1u);
+  EXPECT_EQ(registry.current("a")->version, 2u);
+  EXPECT_EQ(registry.current("b")->version, 1u);
+}
+
+TEST(Registry, CurrentIsNullForUnknownName) {
+  ModelRegistry registry;
+  EXPECT_EQ(registry.current("nope"), nullptr);
+}
+
+TEST(Registry, UnknownSpecIsRejected) {
+  ModelRegistry registry;
+  Rng rng(2);
+  nn::Sequential m = nn::zoo::build("mlp_small", rng);
+  EXPECT_THROW(registry.publish("a", m, "not_a_spec"), ContractViolation);
+}
+
+TEST(Registry, InstantiateIsBitIdenticalToThePublishedModel) {
+  ModelRegistry registry;
+  Rng rng(3);
+  nn::Sequential m = nn::zoo::build("cnn_small", rng);
+  registry.publish("m", m, "cnn_small");
+
+  nn::Sequential replica = ModelRegistry::instantiate(*registry.current("m"));
+  const Tensor x = probe_batch();
+  EXPECT_TRUE(m.forward(x, false).equals(replica.forward(x, false)));
+}
+
+TEST(Registry, InstantiateRestoresBatchNormState) {
+  // Serving a cnn_bn checkpoint must reproduce the trained running
+  // statistics, not the init defaults — the case format v2 exists for.
+  ModelRegistry registry;
+  Rng rng(4);
+  nn::Sequential m = nn::zoo::build("cnn_bn", rng);
+  const Tensor x = probe_batch();
+  (void)m.forward(x, /*training=*/true);  // move the running stats
+  registry.publish("bn", m, "cnn_bn");
+
+  nn::Sequential replica =
+      ModelRegistry::instantiate(*registry.current("bn"));
+  EXPECT_TRUE(m.forward(x, false).equals(replica.forward(x, false)));
+}
+
+TEST(Registry, PublishFileLoadsACheckpoint) {
+  const fs::path dir = fs::temp_directory_path() / "satd_registry_test";
+  fs::create_directories(dir);
+  const std::string path = (dir / "m.bin").string();
+  Rng rng(6);
+  nn::Sequential m = nn::zoo::build("mlp_small", rng);
+  nn::save_model_file(path, m, "mlp_small");
+
+  ModelRegistry registry;
+  EXPECT_EQ(registry.publish_file("disk", path), 1u);
+  EXPECT_EQ(registry.current("disk")->spec, "mlp_small");
+  nn::Sequential replica =
+      ModelRegistry::instantiate(*registry.current("disk"));
+  const Tensor x = probe_batch();
+  EXPECT_TRUE(m.forward(x, false).equals(replica.forward(x, false)));
+  fs::remove_all(dir);
+}
+
+TEST(Registry, OldSnapshotSurvivesHotSwap) {
+  // A worker holding the old snapshot (shared_ptr) must be able to keep
+  // serving it after a publish replaces the current version.
+  ModelRegistry registry;
+  Rng rng1(7), rng2(8);
+  nn::Sequential v1 = nn::zoo::build("mlp_small", rng1);
+  nn::Sequential v2 = nn::zoo::build("mlp_small", rng2);
+  registry.publish("m", v1, "mlp_small");
+  SnapshotPtr held = registry.current("m");
+  registry.publish("m", v2, "mlp_small");
+
+  EXPECT_EQ(held->version, 1u);
+  EXPECT_EQ(registry.current("m")->version, 2u);
+  nn::Sequential replica = ModelRegistry::instantiate(*held);
+  const Tensor x = probe_batch();
+  EXPECT_TRUE(v1.forward(x, false).equals(replica.forward(x, false)));
+}
+
+TEST(Registry, WithdrawRemovesTheName) {
+  ModelRegistry registry;
+  Rng rng(9);
+  nn::Sequential m = nn::zoo::build("mlp_small", rng);
+  registry.publish("m", m, "mlp_small");
+  registry.withdraw("m");
+  EXPECT_EQ(registry.current("m"), nullptr);
+  EXPECT_TRUE(registry.names().empty());
+}
+
+}  // namespace
+}  // namespace satd::serve

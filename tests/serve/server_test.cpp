@@ -1,0 +1,246 @@
+// Threaded end-to-end server tests (real SystemClock): bit-identical
+// serving at 1/2/4 workers, graceful drain, typed overload rejection and
+// hot-swap consistency under concurrent load.
+#include "serve/server.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+#include "data/synthetic.h"
+#include "nn/loss.h"
+#include "nn/zoo.h"
+
+namespace satd::serve {
+namespace {
+
+Tensor image_pool(std::size_t n) {
+  data::SyntheticConfig cfg;
+  cfg.train_size = n;
+  cfg.test_size = 1;
+  return data::make_synthetic_digits(cfg).train.images;
+}
+
+void publish_seeded(ModelRegistry& registry, const std::string& name,
+                    std::uint64_t seed) {
+  Rng rng(seed);
+  nn::Sequential m = nn::zoo::build("mlp_small", rng);
+  registry.publish(name, m, "mlp_small");
+}
+
+/// Reference softmax rows for every pool image, computed one-by-one on a
+/// private replica — the ground truth every served response must equal
+/// bit-for-bit.
+std::vector<std::vector<float>> reference_probs(ModelRegistry& registry,
+                                                const std::string& name,
+                                                const Tensor& pool) {
+  nn::Sequential replica =
+      ModelRegistry::instantiate(*registry.current(name));
+  const std::size_t n = pool.shape()[0];
+  std::vector<std::vector<float>> out(n);
+  Tensor batch(Shape{1, 1, 28, 28});
+  for (std::size_t i = 0; i < n; ++i) {
+    batch.set_row(0, pool.slice_row(i));
+    const Tensor probs = nn::softmax(replica.forward(batch, false));
+    out[i].assign(probs.raw(), probs.raw() + probs.numel());
+  }
+  return out;
+}
+
+TEST(Server, BitIdenticalServingAtOneTwoFourWorkers) {
+  const Tensor pool = image_pool(8);
+  ModelRegistry registry;
+  publish_seeded(registry, "m", 42);
+  const auto expected = reference_probs(registry, "m", pool);
+
+  for (std::size_t workers : {std::size_t{1}, std::size_t{2}, std::size_t{4}}) {
+    SCOPED_TRACE("workers=" + std::to_string(workers));
+    ServerConfig cfg;
+    cfg.model_name = "m";
+    cfg.workers = workers;
+    cfg.batch.max_batch = 4;
+    cfg.batch.max_wait = 0.001;
+    Server server(registry, cfg);
+    server.start();
+
+    // Concurrent clients so batches actually coalesce across requests.
+    const std::size_t per_client = 24;
+    std::vector<std::thread> clients;
+    std::atomic<std::size_t> mismatches{0};
+    for (std::size_t c = 0; c < 3; ++c) {
+      clients.emplace_back([&, c] {
+        Rng rng(100 + c);
+        for (std::size_t i = 0; i < per_client; ++i) {
+          const std::size_t idx = rng.uniform_index(pool.shape()[0]);
+          Response r = server.submit(pool.slice_row(idx)).wait();
+          if (r.error != ServeError::kNone ||
+              r.probabilities != expected[idx]) {
+            mismatches.fetch_add(1);
+          }
+        }
+      });
+    }
+    for (std::thread& t : clients) t.join();
+    server.drain();
+    EXPECT_EQ(mismatches.load(), 0u);
+    EXPECT_EQ(server.stats().snapshot().served, 3 * per_client);
+  }
+}
+
+TEST(Server, DrainResolvesEveryAdmittedTicket) {
+  const Tensor pool = image_pool(4);
+  ModelRegistry registry;
+  publish_seeded(registry, "m", 1);
+  ServerConfig cfg;
+  cfg.model_name = "m";
+  cfg.workers = 2;
+  cfg.queue.capacity = 1024;
+  Server server(registry, cfg);
+  server.start();
+
+  // Fire-and-forget a backlog, then drain: every ticket must resolve as
+  // served (capacity was never exceeded, no deadlines were set).
+  std::vector<Ticket> tickets;
+  Rng rng(3);
+  for (std::size_t i = 0; i < 64; ++i) {
+    tickets.push_back(
+        server.submit(pool.slice_row(rng.uniform_index(pool.shape()[0]))));
+  }
+  server.drain();
+  for (Ticket& t : tickets) {
+    EXPECT_EQ(t.wait().error, ServeError::kNone);
+  }
+  EXPECT_EQ(server.stats().snapshot().served, 64u);
+
+  // After drain, admission is closed with a typed rejection.
+  EXPECT_EQ(server.submit(pool.slice_row(0)).wait().error,
+            ServeError::kStopping);
+}
+
+TEST(Server, OverloadYieldsTypedRejectionsNotBlocking) {
+  const Tensor pool = image_pool(4);
+  ModelRegistry registry;
+  publish_seeded(registry, "m", 2);
+  ServerConfig cfg;
+  cfg.model_name = "m";
+  cfg.workers = 1;
+  cfg.queue.capacity = 8;
+  cfg.batch.max_wait = 0.002;  // slow the worker so the queue can fill
+  Server server(registry, cfg);
+  server.start();
+
+  std::vector<Ticket> tickets;
+  for (std::size_t i = 0; i < 256; ++i) {
+    tickets.push_back(server.submit(pool.slice_row(i % 4)));
+  }
+  std::size_t served = 0, rejected = 0;
+  for (Ticket& t : tickets) {
+    const Response r = t.wait();
+    if (r.error == ServeError::kNone) {
+      ++served;
+    } else {
+      ASSERT_EQ(r.error, ServeError::kQueueFull);
+      ++rejected;
+    }
+  }
+  server.drain();
+  EXPECT_EQ(served + rejected, 256u);
+  EXPECT_GT(rejected, 0u);  // 256 instant submits cannot all fit in 8 slots
+  const StatsSnapshot s = server.stats().snapshot();
+  EXPECT_EQ(s.served, served);
+  EXPECT_EQ(s.rejected_full, rejected);
+  EXPECT_LE(s.max_queue_depth, 8u);
+}
+
+TEST(Server, HotSwapUnderLoadNeverTearsAResponse) {
+  // Two models with different weights; every response must carry the
+  // probabilities of EXACTLY the version it reports — a response mixing
+  // old and new weights (a torn swap) would match neither reference.
+  const Tensor pool = image_pool(4);
+  ModelRegistry registry;
+  publish_seeded(registry, "m", 10);  // v1
+  const auto probs_v1 = reference_probs(registry, "m", pool);
+  {
+    Rng rng(20);
+    nn::Sequential v2 = nn::zoo::build("mlp_small", rng);
+    ModelRegistry scratch;
+    scratch.publish("m", v2, "mlp_small");
+  }
+
+  ServerConfig cfg;
+  cfg.model_name = "m";
+  cfg.workers = 2;
+  cfg.batch.max_batch = 4;
+  cfg.batch.max_wait = 0.0005;
+  Server server(registry, cfg);
+  server.start();
+
+  std::atomic<bool> stop{false};
+  std::atomic<std::size_t> torn{0};
+  std::atomic<std::size_t> checked{0};
+
+  // Swapper: alternates v(odd) = seed 10 weights, v(even) = seed 20.
+  std::thread swapper([&] {
+    std::uint64_t flips = 0;
+    while (!stop.load()) {
+      publish_seeded(registry, "m", flips % 2 == 0 ? 20 : 10);
+      ++flips;
+      std::this_thread::sleep_for(std::chrono::microseconds(300));
+    }
+  });
+
+  // probs for seed-20 weights (they become even versions).
+  ModelRegistry ref2;
+  publish_seeded(ref2, "m", 20);
+  const auto probs_v2 = reference_probs(ref2, "m", pool);
+
+  std::vector<std::thread> clients;
+  for (std::size_t c = 0; c < 3; ++c) {
+    clients.emplace_back([&, c] {
+      Rng rng(300 + c);
+      for (std::size_t i = 0; i < 40; ++i) {
+        const std::size_t idx = rng.uniform_index(pool.shape()[0]);
+        Response r = server.submit(pool.slice_row(idx)).wait();
+        if (r.error != ServeError::kNone) continue;
+        checked.fetch_add(1);
+        // Odd versions carry seed-10 weights, even versions seed-20.
+        const auto& want =
+            r.model_version % 2 == 1 ? probs_v1[idx] : probs_v2[idx];
+        if (r.probabilities != want) torn.fetch_add(1);
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  stop.store(true);
+  swapper.join();
+  server.drain();
+
+  EXPECT_EQ(torn.load(), 0u);
+  EXPECT_EQ(checked.load(), 120u);
+}
+
+TEST(Server, DeadlineTimeoutIsHonored) {
+  const Tensor pool = image_pool(2);
+  ModelRegistry registry;
+  publish_seeded(registry, "m", 5);
+  ServerConfig cfg;
+  cfg.model_name = "m";
+  cfg.workers = 1;
+  // A window far longer than the timeout and a batch that can't fill:
+  // every admitted request expires in the queue.
+  cfg.batch.max_batch = 16;
+  cfg.batch.max_wait = 0.05;
+  Server server(registry, cfg);
+  server.start();
+
+  Response r = server.submit(pool.slice_row(0), /*timeout=*/0.005).wait();
+  EXPECT_EQ(r.error, ServeError::kDeadlineMiss);
+  server.drain();
+  EXPECT_EQ(server.stats().snapshot().deadline_misses, 1u);
+}
+
+}  // namespace
+}  // namespace satd::serve
