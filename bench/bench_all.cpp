@@ -107,11 +107,13 @@ int main(int argc, char** argv) {
                "disable the robustness-collapse sentinel on single-step "
                "training jobs");
   add_threads_option(cli);
+  add_kernel_option(cli);
   cli.add_string("emit-json", "",
                  "also write BENCH_matrix.json (per-job outcomes, "
                  "satd-bench-1 schema) into this directory");
   if (!cli.parse(argc, argv)) return 0;
   apply_threads_option(cli);
+  apply_kernel_option(cli);
 
   metrics::ExperimentEnv env = metrics::ExperimentEnv::from_env();
   const std::string scale = cli.get_string("scale");

@@ -23,12 +23,14 @@
 #include "attack/bim.h"
 #include "attack/fgsm.h"
 #include "bench_util.h"
+#include "common/cli.h"
 #include "common/rng.h"
 #include "common/thread_pool.h"
 #include "data/synthetic.h"
 #include "nn/loss.h"
 #include "nn/zoo.h"
 #include "tensor/im2col.h"
+#include "tensor/kernel/microkernel.h"
 #include "tensor/ops.h"
 
 using namespace satd;
@@ -320,7 +322,11 @@ constexpr int kReps = 15;
 
 /// GEMM sweep: the [batch=64] x layer shapes of the mlp / mlp_small
 /// dense models plus the conv-lowered cnn_small GEMMs, blocked kernel at
-/// 1 and 4 threads against the single-thread seed kernel.
+/// 1 and 4 threads against the single-thread seed kernel, then one row
+/// per compiled-and-available microkernel variant (f32 matmul and the
+/// int8 int32-accumulate GEMM, both at 1 thread) scored against the
+/// scalar kernel. The dispatch default on this machine is auto (best
+/// available), so `blocked_*` rows reflect what users actually get.
 void emit_gemm_json(const std::string& dir) {
   struct GemmShape {
     const char* name;
@@ -362,6 +368,44 @@ void emit_gemm_json(const std::string& dir) {
                  {"speedup_1t", naive_1t / blocked_1t},
                  {"speedup_4t", naive_1t / blocked_4t}};
     results.push_back(std::move(r));
+
+    // Per-kernel-variant rows. available_kernels() lists scalar first,
+    // so the reference times are in hand before any SIMD row needs them.
+    std::vector<std::int8_t> qa(s.m * s.k), qb(s.k * s.n);
+    std::vector<std::int32_t> qc(s.m * s.n);
+    Rng qrng(103);
+    for (auto& v : qa) {
+      v = static_cast<std::int8_t>(static_cast<long>(qrng.uniform(-127, 127)));
+    }
+    for (auto& v : qb) {
+      v = static_cast<std::int8_t>(static_cast<long>(qrng.uniform(-127, 127)));
+    }
+    auto s8 = [&] {
+      kernel::gemm_s8(qa.data(), qb.data(), s.m, s.n, s.k, qc.data());
+    };
+    double scalar_f32 = 0.0, scalar_s8 = 0.0;
+    ThreadPool::set_global_threads(1);
+    for (const kernel::MicroKernel* kern : kernel::available_kernels()) {
+      kernel::set_active_kernel(kern->name);
+      const double f32_ns = median_ns(blocked, kReps, inner);
+      const double s8_ns = median_ns(s8, kReps, inner);
+      if (std::strcmp(kern->name, "scalar") == 0) {
+        scalar_f32 = f32_ns;
+        scalar_s8 = s8_ns;
+      }
+      JsonResult kr;
+      kr.name = std::string(s.name) + "__" + kern->name;
+      kr.numbers = {{"m", double(s.m)},
+                    {"k", double(s.k)},
+                    {"n", double(s.n)},
+                    {"ns_op_f32_1t", f32_ns},
+                    {"ns_op_s8_1t", s8_ns},
+                    {"speedup_f32_vs_scalar", scalar_f32 / f32_ns},
+                    {"speedup_s8_vs_scalar", scalar_s8 / s8_ns}};
+      results.push_back(std::move(kr));
+    }
+    kernel::set_active_kernel("");
+    ThreadPool::set_global_threads(0);
   }
   bench::write_bench_json(dir + "/BENCH_gemm.json", "gemm", kReps, results);
 }
@@ -427,6 +471,26 @@ void emit_train_step_json(const std::string& dir) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  // Pre-scan for the shared --kernel option (google-benchmark owns the
+  // rest of argv, so it is extracted before Initialize). Routed through
+  // the common/cli helper so the pin/warn/fallback semantics match
+  // bench_serve and bench_all exactly.
+  for (int i = 1; i < argc; ++i) {
+    const bool split = std::strcmp(argv[i], "--kernel") == 0 && i + 1 < argc;
+    if (split || std::strncmp(argv[i], "--kernel=", 9) == 0) {
+      satd::CliParser cli("bench_micro", "microbenchmarks");
+      satd::add_kernel_option(cli);
+      const std::string joined =
+          split ? std::string("--kernel=") + argv[i + 1] : argv[i];
+      const char* fake[] = {"bench_micro", joined.c_str()};
+      cli.parse(2, fake);
+      satd::apply_kernel_option(cli);
+      const int consumed = split ? 2 : 1;
+      for (int j = i; j + consumed < argc; ++j) argv[j] = argv[j + consumed];
+      argc -= consumed;
+      break;
+    }
+  }
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--emit-json", 11) == 0) {
       const char* eq = std::strchr(argv[i], '=');

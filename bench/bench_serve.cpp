@@ -53,6 +53,7 @@ struct PointConfig {
   std::size_t clients = 2;
   std::size_t queue_capacity = 1024;
   double timeout = 0.0;  ///< per-request relative deadline (0 = none)
+  bool quantized = false;  ///< serve through the int8 snapshot
 };
 
 /// Closed-loop point: each client thread submits one request, waits for
@@ -66,6 +67,7 @@ std::pair<serve::StatsSnapshot, double> run_closed(
   cfg.queue.capacity = pc.queue_capacity;
   cfg.batch.max_batch = pc.max_batch;
   cfg.batch.max_wait = pc.max_wait;
+  cfg.batch.quantized = pc.quantized;
   serve::Server server(registry, cfg);
   server.start();
 
@@ -153,11 +155,13 @@ int main(int argc, char** argv) {
   cli.add_int("requests", 256, "requests per closed-loop point");
   cli.add_string("model", "cnn_small", "zoo spec to serve");
   add_threads_option(cli);
+  add_kernel_option(cli);
   cli.add_string("emit-json", "",
                  "write BENCH_serve.json (satd-bench-1 schema) into this "
                  "directory");
   if (!cli.parse(argc, argv)) return 0;
   apply_threads_option(cli);
+  apply_kernel_option(cli);
 
   const auto requests = static_cast<std::size_t>(cli.get_int("requests"));
   const std::string spec = cli.get_string("model");
@@ -189,6 +193,22 @@ int main(int argc, char** argv) {
                          std::to_string(max_batch),
                      pc, r);
     }
+  }
+
+  // Quantized closed-loop points: same policy as the float w{1,2}_b8
+  // rows above, but served through the int8 snapshot (per-row dynamic
+  // activation quantization, int32-accumulate GEMM). The interesting
+  // comparison is throughput_rps and p50 against the float twin.
+  for (std::size_t workers : {std::size_t{1}, std::size_t{2}}) {
+    PointConfig pc;
+    pc.workers = workers;
+    pc.max_batch = 8;
+    pc.requests = requests;
+    pc.clients = 2 * workers;
+    pc.quantized = true;
+    const auto r = run_closed(registry, pool, pc);
+    add_closed_row(rows, "quantized_w" + std::to_string(workers) + "_b8", pc,
+                   r);
   }
 
   // Deadline pressure: the batch can never fill (more slots than

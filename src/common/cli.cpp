@@ -5,6 +5,7 @@
 
 #include "common/contract.h"
 #include "common/thread_pool.h"
+#include "tensor/kernel/microkernel.h"
 
 namespace satd {
 
@@ -143,6 +144,18 @@ void apply_threads_option(const CliParser& cli) {
                               "got '" + value + "'");
   }
   ThreadPool::set_global_threads(total);
+}
+
+void add_kernel_option(CliParser& cli) {
+  cli.add_string("kernel", "",
+                 "GEMM microkernel to pin (like SATD_KERNEL: scalar, sse41, "
+                 "avx2, ...; empty = environment/auto dispatch)");
+}
+
+void apply_kernel_option(const CliParser& cli) {
+  const std::string& value = cli.get_string("kernel");
+  if (value.empty()) return;
+  kernel::set_active_kernel(value);  // warns + auto-dispatches on bad names
 }
 
 }  // namespace satd

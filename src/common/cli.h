@@ -80,4 +80,15 @@ void add_threads_option(CliParser& cli);
 /// falling back. A no-op when the option was left empty.
 void apply_threads_option(const CliParser& cli);
 
+/// Registers the shared `--kernel NAME` option (GEMM microkernel to pin;
+/// empty keeps the SATD_KERNEL / CPUID auto-dispatch default).
+void add_kernel_option(CliParser& cli);
+
+/// Applies a parsed `--kernel` value through kernel::set_active_kernel.
+/// Unlike --threads, a bad name is NOT an error: dispatch hardening
+/// (warn once, fall back to auto) already covers it, and a bench run on
+/// a machine without the requested ISA should degrade, not die. A no-op
+/// when the option was left empty.
+void apply_kernel_option(const CliParser& cli);
+
 }  // namespace satd

@@ -48,3 +48,17 @@ namespace detail {
       ::satd::detail::contract_fail("invariant", #cond, __FILE__, __LINE__, \
                                     (msg));                                 \
   } while (false)
+
+/// Invariant check on a per-element hot path (e.g. packing-scratch
+/// geometry inside the GEMM drivers). Unlike SATD_ENSURE this IS
+/// compiled out under NDEBUG: the guarded invariants are structural —
+/// established once by the dispatch layer, not data dependent — so
+/// debug/sanitizer builds and the test suite exercise them while release
+/// binaries pay nothing per panel.
+#ifdef NDEBUG
+#define SATD_DEBUG_ENSURE(cond, msg) \
+  do {                               \
+  } while (false)
+#else
+#define SATD_DEBUG_ENSURE(cond, msg) SATD_ENSURE(cond, msg)
+#endif

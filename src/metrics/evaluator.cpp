@@ -105,6 +105,37 @@ void predict_into(nn::Sequential& model, const Tensor& images,
   ops::argmax_rows_into(logits, preds);
 }
 
+void predict_quantized_into(const nn::QuantizedModel& model,
+                            const Tensor& images, std::size_t batch_size,
+                            Tensor& logits, std::vector<std::size_t>& preds,
+                            nn::QuantizedWorkspace& ws) {
+  SATD_EXPECT(batch_size > 0, "batch size must be positive");
+  SATD_EXPECT(images.shape().rank() >= 2, "predict needs a batched tensor");
+  const std::size_t n = images.shape()[0];
+  if (n <= batch_size) {
+    model.forward_into(images, logits, ws);
+    ops::argmax_rows_into(logits, preds);
+    return;
+  }
+  const std::size_t example = images.numel() / n;
+  Tensor sub, sub_logits;
+  std::vector<std::size_t> sub_dims = images.shape().dims();
+  for (std::size_t begin = 0; begin < n; begin += batch_size) {
+    const std::size_t end = std::min(begin + batch_size, n);
+    sub_dims[0] = end - begin;
+    sub.ensure_shape(Shape(sub_dims));
+    std::copy(images.raw() + begin * example, images.raw() + end * example,
+              sub.raw());
+    model.forward_into(sub, sub_logits, ws);
+    if (begin == 0) {
+      logits.ensure_shape(Shape{n, sub_logits.shape()[1]});
+    }
+    std::copy(sub_logits.raw(), sub_logits.raw() + sub_logits.numel(),
+              logits.raw() + begin * sub_logits.shape()[1]);
+  }
+  ops::argmax_rows_into(logits, preds);
+}
+
 float evaluate_clean(nn::Sequential& model, const data::Dataset& test,
                      std::size_t batch_size) {
   SATD_EXPECT(test.size() > 0, "empty test set");

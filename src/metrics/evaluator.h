@@ -7,6 +7,7 @@
 
 #include "attack/attack.h"
 #include "data/dataset.h"
+#include "nn/quantized.h"
 #include "nn/sequential.h"
 
 namespace satd::metrics {
@@ -21,6 +22,16 @@ namespace satd::metrics {
 void predict_into(nn::Sequential& model, const Tensor& images,
                   std::size_t batch_size, Tensor& logits,
                   std::vector<std::size_t>& preds);
+
+/// Int8 twin of predict_into: same sub-batching and argmax convention,
+/// but the forward runs through the immutable QuantizedModel with the
+/// caller-owned workspace. Per-row activation quantization keeps the
+/// result independent of the sub-batch split, exactly like the float
+/// path.
+void predict_quantized_into(const nn::QuantizedModel& model,
+                            const Tensor& images, std::size_t batch_size,
+                            Tensor& logits, std::vector<std::size_t>& preds,
+                            nn::QuantizedWorkspace& ws);
 
 /// Accuracy on clean examples.
 float evaluate_clean(nn::Sequential& model, const data::Dataset& test,

@@ -35,6 +35,7 @@ class BatchNorm2d : public Layer {
   Shape output_shape(const Shape& input) const override;
 
   std::size_t channels() const { return channels_; }
+  float eps() const { return eps_; }
   const Tensor& running_mean() const { return running_mean_; }
   const Tensor& running_var() const { return running_var_; }
   Tensor& gamma() { return gamma_; }

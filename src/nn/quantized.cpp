@@ -1,0 +1,363 @@
+#include "nn/quantized.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+
+#include "common/contract.h"
+#include "common/thread_pool.h"
+#include "nn/activations.h"
+#include "nn/batchnorm.h"
+#include "nn/conv2d.h"
+#include "nn/dense.h"
+#include "nn/dropout.h"
+#include "nn/flatten.h"
+#include "nn/maxpool2d.h"
+#include "tensor/im2col.h"
+#include "tensor/kernel/microkernel.h"
+
+namespace satd::nn {
+
+namespace {
+
+std::int8_t quantize_value(float v, float inv_scale) {
+  const long q = std::lrintf(v * inv_scale);
+  return static_cast<std::int8_t>(std::clamp<long>(q, -127, 127));
+}
+
+/// Row-wise dynamic activation quantization: each row of the [rows, cols]
+/// matrix gets its own scale from its own max|x| alone, so a row's int8
+/// image never depends on what else is in the batch (the serving
+/// batch-of-1 invariance) and rows can quantize in parallel.
+void quantize_rows(const float* x, std::size_t rows, std::size_t cols,
+                   QuantizedWorkspace& ws) {
+  ws.qx.resize(rows * cols);
+  ws.row_scale.resize(rows);
+  std::int8_t* q = ws.qx.data();
+  float* scales = ws.row_scale.data();
+  const std::size_t grain =
+      std::max<std::size_t>(1, kElementGrain / std::max<std::size_t>(1, cols));
+  parallel_for(rows, grain, [x, q, scales, cols](std::size_t i0,
+                                                 std::size_t i1) {
+    for (std::size_t i = i0; i < i1; ++i) {
+      const float* row = x + i * cols;
+      float amax = 0.0f;
+      for (std::size_t j = 0; j < cols; ++j) {
+        amax = std::max(amax, std::fabs(row[j]));
+      }
+      const float scale = amax > 0.0f ? amax / 127.0f : 1.0f;
+      scales[i] = scale;
+      const float inv = 1.0f / scale;
+      std::int8_t* qrow = q + i * cols;
+      for (std::size_t j = 0; j < cols; ++j) {
+        qrow[j] = quantize_value(row[j], inv);
+      }
+    }
+  });
+}
+
+void apply_dense(const QuantizedOp& op, const Tensor& in, Tensor& out,
+                 QuantizedWorkspace& ws) {
+  SATD_EXPECT(in.shape().rank() == 2, "quantized Dense expects [N, in]");
+  const std::size_t rows = in.shape()[0];
+  const std::size_t kdim = op.w.shape[0];
+  const std::size_t out_f = op.w.shape[1];
+  SATD_EXPECT(in.shape()[1] == kdim, "quantized Dense input width mismatch");
+  quantize_rows(in.raw(), rows, kdim, ws);
+  ws.acc.resize(rows * out_f);
+  kernel::gemm_s8(ws.qx.data(), op.w.q.data(), rows, out_f, kdim,
+                  ws.acc.data());
+  out.ensure_shape(Shape{rows, out_f});
+  const std::int32_t* acc = ws.acc.data();
+  const float* scales = ws.row_scale.data();
+  const float* bias = op.bias.raw();
+  const float wscale = op.w.scale;
+  float* po = out.raw();
+  const std::size_t grain =
+      std::max<std::size_t>(1, kElementGrain / std::max<std::size_t>(1, out_f));
+  parallel_for(rows, grain,
+               [acc, scales, bias, wscale, po, out_f](std::size_t i0,
+                                                      std::size_t i1) {
+                 for (std::size_t i = i0; i < i1; ++i) {
+                   const float s = scales[i] * wscale;
+                   const std::int32_t* arow = acc + i * out_f;
+                   float* orow = po + i * out_f;
+                   for (std::size_t j = 0; j < out_f; ++j) {
+                     orow[j] = static_cast<float>(arow[j]) * s + bias[j];
+                   }
+                 }
+               });
+}
+
+void apply_conv(const QuantizedOp& op, const Tensor& in, Tensor& out,
+                QuantizedWorkspace& ws) {
+  SATD_EXPECT(in.shape().rank() == 4, "quantized Conv expects [N, C, H, W]");
+  SATD_EXPECT(in.shape()[1] == op.in_c, "quantized Conv channel mismatch");
+  ConvGeometry g;
+  g.in_channels = op.in_c;
+  g.in_h = in.shape()[2];
+  g.in_w = in.shape()[3];
+  g.kernel = op.kernel;
+  g.padding = op.padding;
+  const std::size_t n = in.shape()[0];
+  const std::size_t oh = g.out_h();
+  const std::size_t ow = g.out_w();
+  const std::size_t patch = g.patch_size();
+  const std::size_t out_c = op.out_c;
+
+  im2col_batch(in, g, ws.cols);  // [N*oh*ow, patch]
+  const std::size_t rows = n * oh * ow;
+  quantize_rows(ws.cols.raw(), rows, patch, ws);
+  ws.acc.resize(rows * out_c);
+  // The filter bank was pre-transposed to [patch, out_c] at quantize
+  // time, so this is the same plain NN GEMM shape as the dense path.
+  kernel::gemm_s8(ws.qx.data(), op.w.q.data(), rows, out_c, patch,
+                  ws.acc.data());
+
+  // Dequantizing scatter into [N, out_c, oh, ow] — the mirror of
+  // Conv2d::forward_into's bias scatter.
+  out.ensure_shape(Shape{n, out_c, oh, ow});
+  const std::int32_t* acc = ws.acc.data();
+  const float* scales = ws.row_scale.data();
+  const float* bias = op.bias.raw();
+  const float wscale = op.w.scale;
+  float* po = out.raw();
+  parallel_for(n, [acc, scales, bias, wscale, po, out_c, oh,
+                   ow](std::size_t i0, std::size_t i1) {
+    for (std::size_t i = i0; i < i1; ++i) {
+      float* dst = po + i * out_c * oh * ow;
+      const std::int32_t* arows = acc + i * oh * ow * out_c;
+      const float* srows = scales + i * oh * ow;
+      for (std::size_t p = 0; p < oh * ow; ++p) {
+        const float s = srows[p] * wscale;
+        for (std::size_t c = 0; c < out_c; ++c) {
+          dst[c * oh * ow + p] =
+              static_cast<float>(arows[p * out_c + c]) * s + bias[c];
+        }
+      }
+    }
+  });
+}
+
+void apply_affine(const QuantizedOp& op, const Tensor& in, Tensor& out) {
+  SATD_EXPECT(in.shape().rank() == 4, "folded BatchNorm expects [N, C, H, W]");
+  const std::size_t n = in.shape()[0];
+  const std::size_t c = in.shape()[1];
+  const std::size_t hw = in.shape()[2] * in.shape()[3];
+  SATD_EXPECT(c == static_cast<std::size_t>(op.ch_scale.numel()),
+              "folded BatchNorm channel mismatch");
+  out.ensure_shape(in.shape());
+  const float* px = in.raw();
+  const float* sc = op.ch_scale.raw();
+  const float* sh = op.ch_shift.raw();
+  float* po = out.raw();
+  parallel_for(n, [px, sc, sh, po, c, hw](std::size_t i0, std::size_t i1) {
+    for (std::size_t i = i0; i < i1; ++i) {
+      for (std::size_t ch = 0; ch < c; ++ch) {
+        const float* src = px + (i * c + ch) * hw;
+        float* dst = po + (i * c + ch) * hw;
+        for (std::size_t p = 0; p < hw; ++p) dst[p] = sc[ch] * src[p] + sh[ch];
+      }
+    }
+  });
+}
+
+void apply_maxpool(const QuantizedOp& op, const Tensor& in, Tensor& out) {
+  SATD_EXPECT(in.shape().rank() == 4, "MaxPool expects [N, C, H, W]");
+  const std::size_t w = op.window;
+  const std::size_t n = in.shape()[0];
+  const std::size_t c = in.shape()[1];
+  const std::size_t h = in.shape()[2];
+  const std::size_t ww = in.shape()[3];
+  SATD_EXPECT(h % w == 0 && ww % w == 0,
+              "MaxPool extents must be divisible by the window");
+  const std::size_t oh = h / w;
+  const std::size_t ow = ww / w;
+  out.ensure_shape(Shape{n, c, oh, ow});
+  const float* px = in.raw();
+  float* po = out.raw();
+  parallel_for(n * c, [px, po, w, h, ww, oh, ow](std::size_t i0,
+                                                 std::size_t i1) {
+    for (std::size_t nc = i0; nc < i1; ++nc) {
+      const float* src = px + nc * h * ww;
+      float* dst = po + nc * oh * ow;
+      for (std::size_t oy = 0; oy < oh; ++oy) {
+        for (std::size_t ox = 0; ox < ow; ++ox) {
+          float best = src[oy * w * ww + ox * w];
+          for (std::size_t dy = 0; dy < w; ++dy) {
+            for (std::size_t dx = 0; dx < w; ++dx) {
+              best = std::max(best, src[(oy * w + dy) * ww + ox * w + dx]);
+            }
+          }
+          dst[oy * ow + ox] = best;
+        }
+      }
+    }
+  });
+}
+
+void apply_elementwise(const QuantizedOp& op, const Tensor& in, Tensor& out) {
+  out.ensure_shape(in.shape());
+  const float* px = in.raw();
+  float* po = out.raw();
+  const float slope = op.slope;
+  const QuantizedOp::Kind kind = op.kind;
+  parallel_for(in.numel(), kElementGrain,
+               [px, po, slope, kind](std::size_t i0, std::size_t i1) {
+                 switch (kind) {
+                   case QuantizedOp::Kind::kReLU:
+                     for (std::size_t i = i0; i < i1; ++i) {
+                       po[i] = px[i] > 0.0f ? px[i] : 0.0f;
+                     }
+                     break;
+                   case QuantizedOp::Kind::kLeakyReLU:
+                     for (std::size_t i = i0; i < i1; ++i) {
+                       po[i] = px[i] > 0.0f ? px[i] : slope * px[i];
+                     }
+                     break;
+                   case QuantizedOp::Kind::kTanh:
+                     for (std::size_t i = i0; i < i1; ++i) {
+                       po[i] = std::tanh(px[i]);
+                     }
+                     break;
+                   default:
+                     break;  // unreachable (dispatch is exhaustive)
+                 }
+               });
+}
+
+void apply_flatten(const Tensor& in, Tensor& out) {
+  const std::size_t n = in.shape()[0];
+  SATD_EXPECT(n > 0, "Flatten expects a non-empty batch");
+  out.ensure_shape(Shape{n, in.numel() / n});
+  std::copy(in.raw(), in.raw() + in.numel(), out.raw());
+}
+
+}  // namespace
+
+void quantize_symmetric(const Tensor& t, QuantizedTensor& out) {
+  out.shape = t.shape();
+  out.q.resize(t.numel());
+  float amax = 0.0f;
+  const float* p = t.raw();
+  for (std::size_t i = 0; i < t.numel(); ++i) {
+    amax = std::max(amax, std::fabs(p[i]));
+  }
+  out.scale = amax > 0.0f ? amax / 127.0f : 1.0f;
+  const float inv = 1.0f / out.scale;
+  for (std::size_t i = 0; i < t.numel(); ++i) {
+    out.q[i] = quantize_value(p[i], inv);
+  }
+}
+
+QuantizedModel QuantizedModel::from(Sequential& model) {
+  QuantizedModel qm;
+  qm.ops_.reserve(model.layer_count());
+  for (std::size_t i = 0; i < model.layer_count(); ++i) {
+    Layer& layer = model.layer(i);
+    QuantizedOp op;
+    if (auto* dense = dynamic_cast<Dense*>(&layer)) {
+      op.kind = QuantizedOp::Kind::kDense;
+      quantize_symmetric(dense->weight(), op.w);
+      op.bias = dense->bias();
+      SATD_EXPECT(dense->in_features() <= kernel::kMaxS8Depth,
+                  "Dense too deep for int8 accumulation");
+    } else if (auto* conv = dynamic_cast<Conv2d*>(&layer)) {
+      op.kind = QuantizedOp::Kind::kConv;
+      op.in_c = conv->in_channels();
+      op.out_c = conv->out_channels();
+      op.kernel = conv->kernel();
+      op.padding = conv->padding();
+      // Pre-transpose the [out_c, patch] filter bank to [patch, out_c]
+      // so the forward GEMM is plain NN (cols · Wᵀ without a transposed
+      // operand). Transposing BEFORE quantizing keeps the int8 image
+      // identical to quantizing the original bank.
+      const Tensor& w = conv->weight();
+      const std::size_t out_c = w.shape()[0];
+      const std::size_t patch = w.shape()[1];
+      SATD_EXPECT(patch <= kernel::kMaxS8Depth,
+                  "Conv patch too deep for int8 accumulation");
+      Tensor wt(Shape{patch, out_c});
+      for (std::size_t c = 0; c < out_c; ++c) {
+        for (std::size_t p = 0; p < patch; ++p) {
+          wt.raw()[p * out_c + c] = w.raw()[c * patch + p];
+        }
+      }
+      quantize_symmetric(wt, op.w);
+      op.bias = conv->bias();
+    } else if (auto* bn = dynamic_cast<BatchNorm2d*>(&layer)) {
+      // Inference BatchNorm is an affine in the running statistics:
+      //   y = gamma * (x - mean) * inv_std + beta
+      //     = (gamma * inv_std) * x + (beta - mean * gamma * inv_std).
+      op.kind = QuantizedOp::Kind::kAffine;
+      const std::size_t c = bn->channels();
+      op.ch_scale = Tensor(Shape{c});
+      op.ch_shift = Tensor(Shape{c});
+      const float* gamma = bn->gamma().raw();
+      const float* beta = bn->beta().raw();
+      const float* mean = bn->running_mean().raw();
+      const float* var = bn->running_var().raw();
+      for (std::size_t ch = 0; ch < c; ++ch) {
+        const float inv_std = 1.0f / std::sqrt(var[ch] + bn->eps());
+        const float s = gamma[ch] * inv_std;
+        op.ch_scale.raw()[ch] = s;
+        op.ch_shift.raw()[ch] = beta[ch] - mean[ch] * s;
+      }
+    } else if (auto* leaky = dynamic_cast<LeakyReLU*>(&layer)) {
+      op.kind = QuantizedOp::Kind::kLeakyReLU;
+      op.slope = leaky->slope();
+    } else if (dynamic_cast<ReLU*>(&layer) != nullptr) {
+      op.kind = QuantizedOp::Kind::kReLU;
+    } else if (dynamic_cast<Tanh*>(&layer) != nullptr) {
+      op.kind = QuantizedOp::Kind::kTanh;
+    } else if (auto* pool = dynamic_cast<MaxPool2d*>(&layer)) {
+      op.kind = QuantizedOp::Kind::kMaxPool;
+      op.window = pool->window();
+    } else if (dynamic_cast<Flatten*>(&layer) != nullptr) {
+      op.kind = QuantizedOp::Kind::kFlatten;
+    } else if (dynamic_cast<Dropout*>(&layer) != nullptr) {
+      op.kind = QuantizedOp::Kind::kIdentity;
+    } else {
+      SATD_EXPECT(false, "cannot quantize layer: " + layer.name());
+    }
+    qm.ops_.push_back(std::move(op));
+  }
+  return qm;
+}
+
+void QuantizedModel::forward_into(const Tensor& x, Tensor& out,
+                                  QuantizedWorkspace& ws) const {
+  SATD_EXPECT(x.shape().rank() >= 2, "quantized forward needs a batch");
+  const Tensor* cur = &x;
+  bool use_ping = true;
+  for (const QuantizedOp& op : ops_) {
+    if (op.kind == QuantizedOp::Kind::kIdentity) continue;
+    Tensor& dst = use_ping ? ws.ping : ws.pong;
+    switch (op.kind) {
+      case QuantizedOp::Kind::kDense:
+        apply_dense(op, *cur, dst, ws);
+        break;
+      case QuantizedOp::Kind::kConv:
+        apply_conv(op, *cur, dst, ws);
+        break;
+      case QuantizedOp::Kind::kAffine:
+        apply_affine(op, *cur, dst);
+        break;
+      case QuantizedOp::Kind::kMaxPool:
+        apply_maxpool(op, *cur, dst);
+        break;
+      case QuantizedOp::Kind::kFlatten:
+        apply_flatten(*cur, dst);
+        break;
+      default:
+        apply_elementwise(op, *cur, dst);
+        break;
+    }
+    cur = &dst;
+    use_ping = !use_ping;
+  }
+  out.ensure_shape(cur->shape());
+  std::copy(cur->raw(), cur->raw() + cur->numel(), out.raw());
+}
+
+}  // namespace satd::nn

@@ -1,0 +1,109 @@
+// Int8 fixed-point inference-only forward path.
+//
+// A QuantizedModel is a frozen, inference-mode view of a trained
+// Sequential: every GEMM-backed layer's weights are quantized once
+// (per-tensor symmetric int8, scale = max|w| / 127, no zero point) and
+// the heavy matrix multiplies run through kernel::gemm_s8 with exact
+// int32 accumulation. Everything between the GEMMs stays float — this is
+// classic dynamic quantization: activations are re-quantized on the fly
+// right before each int8 GEMM and the accumulator is immediately
+// dequantized back to float, so cheap layers (ReLU, pooling, the folded
+// BatchNorm affine) and the logits keep full precision. Training is
+// untouched; a QuantizedModel holds no gradients and no layer caches.
+//
+// Activation quantization is PER ROW of the GEMM operand (one image row
+// for Dense, one output pixel's im2col patch for Conv). A row's scale
+// depends only on that row's values, never on its batch neighbours, so a
+// request served in a batch of 32 gets bit-identical results to the same
+// request served alone — the invariant the serving stack pins for the
+// float path carries over to the quantized path unchanged. Combined with
+// the exact int32 accumulation of gemm_s8, quantized inference is also
+// bit-identical across thread counts and across microkernels.
+//
+// Thread model: QuantizedModel is immutable after construction and safe
+// to share across serving workers (unlike Sequential, whose forward
+// mutates layer caches). All mutable forward state lives in a caller-
+// owned QuantizedWorkspace, one per worker/evaluation loop.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "nn/sequential.h"
+#include "tensor/tensor.h"
+
+namespace satd::nn {
+
+/// Per-tensor symmetric int8 quantization: real = scale * q.
+struct QuantizedTensor {
+  Shape shape;
+  std::vector<std::int8_t> q;
+  float scale = 1.0f;
+};
+
+/// Quantizes `t` with scale = max|t| / 127 (scale 1 for an all-zero
+/// tensor). Values round to nearest; the result always fits [-127, 127].
+void quantize_symmetric(const Tensor& t, QuantizedTensor& out);
+
+/// One step of the quantized forward program. A tagged struct rather
+/// than a class hierarchy: the op set is closed (it mirrors the zoo's
+/// layer vocabulary) and the forward loop is a simple switch.
+struct QuantizedOp {
+  enum class Kind {
+    kDense,      ///< int8 GEMM vs w [in, out], + float bias
+    kConv,       ///< im2col + int8 GEMM vs w [patch, out_c], + float bias
+    kAffine,     ///< folded BatchNorm: y = ch_scale[c] * x + ch_shift[c]
+    kReLU,
+    kLeakyReLU,  ///< slope
+    kTanh,
+    kMaxPool,    ///< window
+    kFlatten,
+    kIdentity,   ///< inference no-ops (Dropout)
+  };
+
+  Kind kind = Kind::kIdentity;
+  QuantizedTensor w;  ///< kDense: [in, out]; kConv: [patch, out_c]
+                      ///< (the conv filter bank is pre-transposed at
+                      ///< quantize time so both GEMMs are plain NN)
+  Tensor bias;        ///< float, [out] / [out_c]
+  std::size_t in_c = 0, out_c = 0, kernel = 0, padding = 0;  // kConv
+  Tensor ch_scale, ch_shift;  ///< kAffine, [C] each
+  float slope = 0.0f;         ///< kLeakyReLU
+  std::size_t window = 0;     ///< kMaxPool
+};
+
+/// Per-caller mutable forward state: ping-pong float activations, the
+/// im2col scratch and the int8/int32 GEMM operand buffers. Reused across
+/// batches (resize-on-shape-change), so steady-state quantized serving
+/// allocates nothing.
+struct QuantizedWorkspace {
+  Tensor ping, pong;
+  Tensor cols;
+  std::vector<std::int8_t> qx;
+  std::vector<float> row_scale;
+  std::vector<std::int32_t> acc;
+};
+
+/// Immutable quantized snapshot of a Sequential (see file comment).
+class QuantizedModel {
+ public:
+  /// Quantizes every layer of `model`. BatchNorm folds its running
+  /// statistics into a per-channel affine (inference mode); Dropout
+  /// becomes a no-op. Throws ContractViolation for a layer outside the
+  /// zoo vocabulary. `model` is only read (non-const because layer
+  /// accessors are non-const).
+  static QuantizedModel from(Sequential& model);
+
+  /// Inference forward: `x` is a [N, ...] batch, logits land in `out`.
+  /// Safe to call concurrently from many threads, each with its own `ws`.
+  void forward_into(const Tensor& x, Tensor& out,
+                    QuantizedWorkspace& ws) const;
+
+  std::size_t op_count() const { return ops_.size(); }
+  const QuantizedOp& op(std::size_t i) const { return ops_[i]; }
+
+ private:
+  std::vector<QuantizedOp> ops_;
+};
+
+}  // namespace satd::nn

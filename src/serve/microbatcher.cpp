@@ -62,7 +62,17 @@ void Microbatcher::refresh_replica() {
   SnapshotPtr snapshot = registry_.current(model_name_);
   if (!snapshot) {
     replica_.reset();
+    qreplica_.reset();
     replica_version_ = 0;
+    return;
+  }
+  if (policy_.quantized) {
+    // The quantized snapshot is immutable and thread-safe: adopt the
+    // shared object instead of instantiating a private replica.
+    if (!qreplica_ || replica_version_ != snapshot->version) {
+      qreplica_ = snapshot->quantized;
+      replica_version_ = snapshot->version;
+    }
     return;
   }
   if (!replica_ || replica_version_ != snapshot->version) {
@@ -93,7 +103,7 @@ void Microbatcher::serve_batch(std::vector<Request>& batch) {
   // The replica is refreshed at the batch boundary only: every request in
   // this batch is answered by exactly one model version.
   refresh_replica();
-  if (!replica_) {
+  if (policy_.quantized ? !qreplica_ : !replica_) {
     for (Request* req : live) {
       stats_.record_error(ServeError::kNoModel);
       Response r;
@@ -121,10 +131,16 @@ void Microbatcher::serve_batch(std::vector<Request>& batch) {
     std::copy(img.raw(), img.raw() + example, batch_.raw() + i * example);
   }
 
-  // The shared evaluation/serving inference path (metrics::predict_into):
-  // one inference-mode forward plus row argmaxes, so a served prediction
-  // is bit-identical to what the evaluators would report for this image.
-  metrics::predict_into(*replica_, batch_, b, logits_, preds_);
+  // The shared evaluation/serving inference path (metrics::predict_into
+  // or its quantized twin): one inference-mode forward plus row argmaxes,
+  // so a served prediction is bit-identical to what the evaluators would
+  // report for this image under the same numerics mode.
+  if (policy_.quantized) {
+    metrics::predict_quantized_into(*qreplica_, batch_, b, logits_, preds_,
+                                    qws_);
+  } else {
+    metrics::predict_into(*replica_, batch_, b, logits_, preds_);
+  }
   nn::softmax_into(logits_, probs_);
   stats_.record_batch(b);
 

@@ -40,6 +40,12 @@ struct BatchPolicy {
   double max_wait = 0.002;        ///< seconds to hold an open window
   double poll_interval = 0.0002;  ///< sleep granularity inside the window
   double idle_wait = 0.0005;      ///< sleep when the queue is empty
+  /// Serve with the snapshot's int8 QuantizedModel instead of a float
+  /// replica. The per-row activation quantization keeps the batch-of-1
+  /// invariance, so micro-batching stays answer-preserving in this mode
+  /// too; predictions may differ from the float path within the pinned
+  /// quantization tolerance (tests/nn/quantized_test.cpp).
+  bool quantized = false;
 };
 
 /// One serving worker's batching loop. Each worker owns a Microbatcher —
@@ -76,6 +82,11 @@ class Microbatcher {
   RobustnessMonitor* monitor_;
 
   std::optional<nn::Sequential> replica_;
+  // Quantized mode: the snapshot's immutable QuantizedModel is shared
+  // across workers (no per-worker instantiation); only the workspace is
+  // worker-private.
+  std::shared_ptr<const nn::QuantizedModel> qreplica_;
+  nn::QuantizedWorkspace qws_;
   std::uint64_t replica_version_ = 0;
 
   // Reused across batches: the coalesced input, logits, probabilities

@@ -23,6 +23,8 @@ std::uint64_t ModelRegistry::publish(const std::string& name,
   snapshot->name = name;
   snapshot->spec = spec;
   snapshot->payload = os.str();
+  snapshot->quantized =
+      std::make_shared<const nn::QuantizedModel>(nn::QuantizedModel::from(model));
 
   std::lock_guard<std::mutex> lock(mutex_);
   auto it = models_.find(name);

@@ -24,17 +24,23 @@
 #include <unordered_map>
 #include <vector>
 
+#include "nn/quantized.h"
 #include "nn/sequential.h"
 
 namespace satd::serve {
 
 /// Immutable published model: the zoo spec, a monotonically increasing
-/// per-name version, and the serialized parameter payload.
+/// per-name version, and the serialized parameter payload. Alongside the
+/// float payload, publish() bakes an int8 QuantizedModel of the same
+/// weights; unlike a Sequential it is immutable and thread-safe, so
+/// quantized-mode workers share it directly instead of instantiating
+/// per-worker replicas.
 struct ModelSnapshot {
   std::string name;
   std::uint64_t version = 0;
   std::string spec;     ///< zoo spec used to rebuild the architecture
   std::string payload;  ///< nn::save_model bytes (spec + params + state)
+  std::shared_ptr<const nn::QuantizedModel> quantized;
 };
 
 using SnapshotPtr = std::shared_ptr<const ModelSnapshot>;

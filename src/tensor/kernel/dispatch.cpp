@@ -1,0 +1,272 @@
+// Kernel registry, runtime dispatch and the blocked GEMM drivers.
+//
+// The drivers own everything outside the register tile: strided A-panel
+// packing (which is what absorbs the tn transpose), the parallel
+// decomposition over mr-aligned row panels, and the per-thread packing
+// scratch. The active MicroKernel only ever sees one packed panel and a
+// row-major B block, so swapping kernels can change speed but never the
+// macro-level work split — which is why the thread-count-invariance
+// contract holds per kernel (see microkernel.h).
+#include "tensor/kernel/microkernel.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <sstream>
+#include <vector>
+
+#include "common/contract.h"
+#include "common/log.h"
+#include "common/thread_pool.h"
+
+namespace satd::kernel {
+
+// Defined by the per-ISA translation units actually compiled in.
+extern const MicroKernel kScalarKernel;
+#if defined(__x86_64__) || defined(__i386__)
+extern const MicroKernel kSse41Kernel;
+extern const MicroKernel kAvx2Kernel;
+#endif
+#if defined(__aarch64__)
+extern const MicroKernel kNeonKernel;
+#endif
+
+namespace {
+
+/// Ascending preference order: auto-detection picks the LAST available
+/// entry, so wider kernels go later.
+std::vector<const MicroKernel*> make_registry() {
+  std::vector<const MicroKernel*> v;
+  v.push_back(&kScalarKernel);
+#if defined(__aarch64__)
+  v.push_back(&kNeonKernel);
+#endif
+#if defined(__x86_64__) || defined(__i386__)
+  v.push_back(&kSse41Kernel);
+  v.push_back(&kAvx2Kernel);
+#endif
+  return v;
+}
+
+std::string known_names() {
+  std::ostringstream ss;
+  const auto& all = compiled_kernels();
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    if (i) ss << ", ";
+    ss << all[i]->name;
+  }
+  return ss.str();
+}
+
+const MicroKernel* resolve_auto() {
+  const MicroKernel* best = &kScalarKernel;
+  for (const MicroKernel* k : compiled_kernels()) {
+    if (k->runtime_available()) best = k;
+  }
+  return best;
+}
+
+/// SATD_KERNEL resolution with parse_thread_env-style hardening: any
+/// rejected value logs one warning and falls back to auto-detection.
+const MicroKernel* resolve_from_env() {
+  const char* env = std::getenv("SATD_KERNEL");
+  if (env == nullptr || *env == '\0') return resolve_auto();
+  const MicroKernel* k = find_kernel(env);
+  if (k == nullptr) {
+    log::warn() << "SATD_KERNEL=\"" << env << "\" is not a known kernel ("
+                << known_names() << "); using auto-dispatch ("
+                << resolve_auto()->name << ")";
+    return resolve_auto();
+  }
+  if (!k->runtime_available()) {
+    log::warn() << "SATD_KERNEL=\"" << env
+                << "\" is not supported by this CPU; using auto-dispatch ("
+                << resolve_auto()->name << ")";
+    return resolve_auto();
+  }
+  return k;
+}
+
+std::atomic<const MicroKernel*>& active_slot() {
+  static std::atomic<const MicroKernel*> slot{nullptr};
+  return slot;
+}
+
+// ---- per-thread packing scratch ----
+//
+// Workers are pool threads, so each gets its own buffers; steady-state
+// calls reuse the grown capacity (no alloc). The recorded geometry is
+// what the debug asserts in acquire_pack_* check against the active
+// kernel, so a kernel with a different panel width can never reinterpret
+// another kernel's packed layout.
+struct PackScratch {
+  std::vector<float> f32;
+  std::vector<std::int8_t> s8;
+  std::size_t mr_f32 = 0, k_f32 = 0;
+  std::size_t mr_s8 = 0, k_s8 = 0;
+};
+thread_local PackScratch t_pack;
+
+/// Packs rows [i0, i0+rows) of the logical m×k matrix A — element
+/// (i, kk) lives at a[i*row_stride + kk*col_stride] — into
+/// apack[kk*mr + r]. Tail rows beyond `rows` are zero-filled; their
+/// results are computed into the kernel's local tile and discarded on
+/// store.
+void pack_a_panel_f32(const float* a, std::size_t row_stride,
+                      std::size_t col_stride, std::size_t i0,
+                      std::size_t rows, std::size_t k, std::size_t mr,
+                      float* apack) {
+  for (std::size_t kk = 0; kk < k; ++kk) {
+    const float* src = a + kk * col_stride;
+    float* dst = apack + kk * mr;
+    for (std::size_t r = 0; r < mr; ++r) {
+      dst[r] = r < rows ? src[(i0 + r) * row_stride] : 0.0f;
+    }
+  }
+}
+
+void pack_a_panel_s8(const std::int8_t* a, std::size_t i0, std::size_t rows,
+                     std::size_t k, std::size_t mr, std::int8_t* apack) {
+  for (std::size_t kk = 0; kk < k; ++kk) {
+    std::int8_t* dst = apack + kk * mr;
+    for (std::size_t r = 0; r < mr; ++r) {
+      dst[r] = r < rows ? a[(i0 + r) * k + kk] : std::int8_t{0};
+    }
+  }
+}
+
+/// Aim for >= ~64k multiply-adds per chunk so the pool handoff stays
+/// negligible even for skinny matrices.
+std::size_t panel_grain(std::size_t mr, std::size_t n, std::size_t k) {
+  const std::size_t panel_flops = mr * n * k;
+  return std::max<std::size_t>(
+      1, (1u << 16) / std::max<std::size_t>(1, panel_flops) + 1);
+}
+
+}  // namespace
+
+const std::vector<const MicroKernel*>& compiled_kernels() {
+  static const std::vector<const MicroKernel*> registry = make_registry();
+  return registry;
+}
+
+std::vector<const MicroKernel*> available_kernels() {
+  std::vector<const MicroKernel*> v;
+  for (const MicroKernel* k : compiled_kernels()) {
+    if (k->runtime_available()) v.push_back(k);
+  }
+  return v;
+}
+
+const MicroKernel* find_kernel(const std::string& name) {
+  for (const MicroKernel* k : compiled_kernels()) {
+    if (name == k->name) return k;
+  }
+  return nullptr;
+}
+
+const MicroKernel& active_kernel() {
+  const MicroKernel* k = active_slot().load(std::memory_order_acquire);
+  if (k == nullptr) {
+    k = resolve_from_env();
+    active_slot().store(k, std::memory_order_release);
+  }
+  return *k;
+}
+
+bool set_active_kernel(const std::string& name) {
+  if (name.empty()) {
+    active_slot().store(resolve_from_env(), std::memory_order_release);
+    return true;
+  }
+  const MicroKernel* k = find_kernel(name);
+  if (k == nullptr) {
+    log::warn() << "unknown kernel \"" << name << "\" (" << known_names()
+                << "); using auto-dispatch (" << resolve_auto()->name << ")";
+    active_slot().store(resolve_auto(), std::memory_order_release);
+    return false;
+  }
+  if (!k->runtime_available()) {
+    log::warn() << "kernel \"" << name
+                << "\" is not supported by this CPU; using auto-dispatch ("
+                << resolve_auto()->name << ")";
+    active_slot().store(resolve_auto(), std::memory_order_release);
+    return false;
+  }
+  active_slot().store(k, std::memory_order_release);
+  return true;
+}
+
+std::string auto_kernel_name() { return resolve_auto()->name; }
+
+float* acquire_pack_f32(std::size_t mr, std::size_t k) {
+  SATD_DEBUG_ENSURE(mr == active_kernel().mr,
+                    "f32 packing geometry does not match the active kernel");
+  PackScratch& s = t_pack;
+  s.f32.resize(mr * k);
+  s.mr_f32 = mr;
+  s.k_f32 = k;
+  return s.f32.data();
+}
+
+std::int8_t* acquire_pack_s8(std::size_t mr, std::size_t k) {
+  SATD_DEBUG_ENSURE(mr == active_kernel().mr,
+                    "s8 packing geometry does not match the active kernel");
+  PackScratch& s = t_pack;
+  s.s8.resize(mr * k);
+  s.mr_s8 = mr;
+  s.k_s8 = k;
+  return s.s8.data();
+}
+
+void gemm_f32(const float* a, std::size_t row_stride, std::size_t col_stride,
+              const float* b, std::size_t m, std::size_t n, std::size_t k,
+              float* c) {
+  if (m == 0 || n == 0) return;
+  if (k == 0) {
+    std::fill(c, c + m * n, 0.0f);
+    return;
+  }
+  const MicroKernel& kern = active_kernel();
+  const std::size_t mr = kern.mr;
+  const std::size_t panels = (m + mr - 1) / mr;
+  parallel_for(panels, panel_grain(mr, n, k),
+               [a, row_stride, col_stride, b, m, n, k, mr, c,
+                &kern](std::size_t p0, std::size_t p1) {
+                 float* apack = acquire_pack_f32(mr, k);
+                 for (std::size_t p = p0; p < p1; ++p) {
+                   const std::size_t i0 = p * mr;
+                   const std::size_t rows = std::min(mr, m - i0);
+                   pack_a_panel_f32(a, row_stride, col_stride, i0, rows, k,
+                                    mr, apack);
+                   kern.gemm_panel_f32(apack, rows, b, k, n, c + i0 * n);
+                 }
+               });
+}
+
+void gemm_s8(const std::int8_t* a, const std::int8_t* b, std::size_t m,
+             std::size_t n, std::size_t k, std::int32_t* c) {
+  if (m == 0 || n == 0) return;
+  if (k == 0) {
+    std::fill(c, c + m * n, 0);
+    return;
+  }
+  SATD_EXPECT(k <= kMaxS8Depth,
+              "gemm_s8 depth would overflow the int32 accumulator");
+  const MicroKernel& kern = active_kernel();
+  const std::size_t mr = kern.mr;
+  const std::size_t panels = (m + mr - 1) / mr;
+  parallel_for(panels, panel_grain(mr, n, k),
+               [a, b, m, n, k, mr, c,
+                &kern](std::size_t p0, std::size_t p1) {
+                 std::int8_t* apack = acquire_pack_s8(mr, k);
+                 for (std::size_t p = p0; p < p1; ++p) {
+                   const std::size_t i0 = p * mr;
+                   const std::size_t rows = std::min(mr, m - i0);
+                   pack_a_panel_s8(a, i0, rows, k, mr, apack);
+                   kern.gemm_panel_s8(apack, rows, b, k, n, c + i0 * n);
+                 }
+               });
+}
+
+}  // namespace satd::kernel

@@ -1,0 +1,226 @@
+// AVX2 microkernel: 8-row panels, 8 columns (one YMM lane) per step.
+//
+// Deliberately uses a DIFFERENT packed-panel width than the scalar/SSE
+// kernels (mr = 8 vs 4) — the packing scratch is sized and checked per
+// kernel through the dispatch layer, so the wider layout can never be
+// misread by a 4-row kernel. The f32 body is single-rounded vmulps +
+// vaddps per step (no FMA), each output element advancing in strictly
+// increasing k order — bit-identical to the scalar reference. The s8
+// body widens with vpmovsxbd and accumulates exactly in int32.
+#if defined(__x86_64__) || defined(__i386__)
+
+#include <immintrin.h>
+
+#include <algorithm>
+
+#include "tensor/kernel/microkernel.h"
+
+namespace satd::kernel {
+namespace {
+
+constexpr std::size_t kMR = 8;
+
+// k-direction block: caps the apack slice a j-sweep re-traverses at
+// kKC * kMR floats (8 KiB), so deep GEMMs (k = 784 in the mlp first
+// layers) keep the packed panel L1-resident instead of thrashing it once
+// per 8-column chunk. Accumulators spill to C between k blocks; the
+// memory round-trip does not re-round, so every output element still
+// sees the same single-rounded mul/add sequence in strictly increasing k
+// order and the result stays bit-identical to the scalar reference.
+constexpr std::size_t kKC = 256;
+
+void tail_f32(const float* apack, std::size_t rows, const float* b,
+              std::size_t k, std::size_t n, float* c, std::size_t j) {
+  for (; j < n; ++j) {
+    float acc[kMR] = {};
+    for (std::size_t kk = 0; kk < k; ++kk) {
+      const float bv = b[kk * n + j];
+      for (std::size_t r = 0; r < kMR; ++r) acc[r] += apack[kk * kMR + r] * bv;
+    }
+    for (std::size_t r = 0; r < rows; ++r) c[r * n + j] = acc[r];
+  }
+}
+
+__attribute__((target("avx2"))) void panel_f32(const float* apack,
+                                               std::size_t rows,
+                                               const float* b, std::size_t k,
+                                               std::size_t n, float* c) {
+  std::size_t j = 0;
+  if (rows == kMR) {
+    for (; j + 8 <= n; j += 8) {
+      for (std::size_t k0 = 0; k0 < k || k0 == 0; k0 += kKC) {
+        const std::size_t k1 = std::min(k0 + kKC, k);
+        __m256 acc0, acc1, acc2, acc3, acc4, acc5, acc6, acc7;
+        if (k0 == 0) {
+          acc0 = acc1 = acc2 = acc3 = _mm256_setzero_ps();
+          acc4 = acc5 = acc6 = acc7 = _mm256_setzero_ps();
+        } else {
+          acc0 = _mm256_loadu_ps(c + 0 * n + j);
+          acc1 = _mm256_loadu_ps(c + 1 * n + j);
+          acc2 = _mm256_loadu_ps(c + 2 * n + j);
+          acc3 = _mm256_loadu_ps(c + 3 * n + j);
+          acc4 = _mm256_loadu_ps(c + 4 * n + j);
+          acc5 = _mm256_loadu_ps(c + 5 * n + j);
+          acc6 = _mm256_loadu_ps(c + 6 * n + j);
+          acc7 = _mm256_loadu_ps(c + 7 * n + j);
+        }
+        for (std::size_t kk = k0; kk < k1; ++kk) {
+          // The b walk strides n floats per step (a cache line per
+          // iteration for the model shapes), which outruns the hardware
+          // prefetcher; fetch a few rows ahead to hide the L2 latency.
+          if (kk + 4 < k1) {
+            _mm_prefetch(reinterpret_cast<const char*>(b + (kk + 4) * n + j),
+                         _MM_HINT_T0);
+          }
+          const __m256 bv = _mm256_loadu_ps(b + kk * n + j);
+          const float* ap = apack + kk * kMR;
+          acc0 = _mm256_add_ps(acc0, _mm256_mul_ps(_mm256_broadcast_ss(ap + 0), bv));
+          acc1 = _mm256_add_ps(acc1, _mm256_mul_ps(_mm256_broadcast_ss(ap + 1), bv));
+          acc2 = _mm256_add_ps(acc2, _mm256_mul_ps(_mm256_broadcast_ss(ap + 2), bv));
+          acc3 = _mm256_add_ps(acc3, _mm256_mul_ps(_mm256_broadcast_ss(ap + 3), bv));
+          acc4 = _mm256_add_ps(acc4, _mm256_mul_ps(_mm256_broadcast_ss(ap + 4), bv));
+          acc5 = _mm256_add_ps(acc5, _mm256_mul_ps(_mm256_broadcast_ss(ap + 5), bv));
+          acc6 = _mm256_add_ps(acc6, _mm256_mul_ps(_mm256_broadcast_ss(ap + 6), bv));
+          acc7 = _mm256_add_ps(acc7, _mm256_mul_ps(_mm256_broadcast_ss(ap + 7), bv));
+        }
+        _mm256_storeu_ps(c + 0 * n + j, acc0);
+        _mm256_storeu_ps(c + 1 * n + j, acc1);
+        _mm256_storeu_ps(c + 2 * n + j, acc2);
+        _mm256_storeu_ps(c + 3 * n + j, acc3);
+        _mm256_storeu_ps(c + 4 * n + j, acc4);
+        _mm256_storeu_ps(c + 5 * n + j, acc5);
+        _mm256_storeu_ps(c + 6 * n + j, acc6);
+        _mm256_storeu_ps(c + 7 * n + j, acc7);
+      }
+    }
+  } else {
+    // Tail panel (rows < 8): C has no scratch rows to spill into, so run
+    // the single-pass form. k-blocking is a locality choice, not a
+    // numerics one, so both forms produce identical bits.
+    for (; j + 8 <= n; j += 8) {
+      __m256 acc0 = _mm256_setzero_ps(), acc1 = _mm256_setzero_ps();
+      __m256 acc2 = _mm256_setzero_ps(), acc3 = _mm256_setzero_ps();
+      __m256 acc4 = _mm256_setzero_ps(), acc5 = _mm256_setzero_ps();
+      __m256 acc6 = _mm256_setzero_ps(), acc7 = _mm256_setzero_ps();
+      for (std::size_t kk = 0; kk < k; ++kk) {
+        const __m256 bv = _mm256_loadu_ps(b + kk * n + j);
+        const float* ap = apack + kk * kMR;
+        acc0 = _mm256_add_ps(acc0, _mm256_mul_ps(_mm256_broadcast_ss(ap + 0), bv));
+        acc1 = _mm256_add_ps(acc1, _mm256_mul_ps(_mm256_broadcast_ss(ap + 1), bv));
+        acc2 = _mm256_add_ps(acc2, _mm256_mul_ps(_mm256_broadcast_ss(ap + 2), bv));
+        acc3 = _mm256_add_ps(acc3, _mm256_mul_ps(_mm256_broadcast_ss(ap + 3), bv));
+        acc4 = _mm256_add_ps(acc4, _mm256_mul_ps(_mm256_broadcast_ss(ap + 4), bv));
+        acc5 = _mm256_add_ps(acc5, _mm256_mul_ps(_mm256_broadcast_ss(ap + 5), bv));
+        acc6 = _mm256_add_ps(acc6, _mm256_mul_ps(_mm256_broadcast_ss(ap + 6), bv));
+        acc7 = _mm256_add_ps(acc7, _mm256_mul_ps(_mm256_broadcast_ss(ap + 7), bv));
+      }
+      const __m256 acc[kMR] = {acc0, acc1, acc2, acc3, acc4, acc5, acc6, acc7};
+      for (std::size_t r = 0; r < rows; ++r) {
+        _mm256_storeu_ps(c + r * n + j, acc[r]);
+      }
+    }
+  }
+  tail_f32(apack, rows, b, k, n, c, j);
+}
+
+void tail_s8(const std::int8_t* apack, std::size_t rows, const std::int8_t* b,
+             std::size_t k, std::size_t n, std::int32_t* c, std::size_t j) {
+  for (; j < n; ++j) {
+    std::int32_t acc[kMR] = {};
+    for (std::size_t kk = 0; kk < k; ++kk) {
+      const std::int32_t bv = b[kk * n + j];
+      for (std::size_t r = 0; r < kMR; ++r) {
+        acc[r] += static_cast<std::int32_t>(apack[kk * kMR + r]) * bv;
+      }
+    }
+    for (std::size_t r = 0; r < rows; ++r) c[r * n + j] = acc[r];
+  }
+}
+
+__attribute__((target("avx2"))) void panel_s8(const std::int8_t* apack,
+                                              std::size_t rows,
+                                              const std::int8_t* b,
+                                              std::size_t k, std::size_t n,
+                                              std::int32_t* c) {
+  std::size_t j = 0;
+  if (rows == kMR) {
+    for (; j + 8 <= n; j += 8) {
+      for (std::size_t k0 = 0; k0 < k || k0 == 0; k0 += kKC) {
+        const std::size_t k1 = std::min(k0 + kKC, k);
+        __m256i acc0, acc1, acc2, acc3, acc4, acc5, acc6, acc7;
+        if (k0 == 0) {
+          acc0 = acc1 = acc2 = acc3 = _mm256_setzero_si256();
+          acc4 = acc5 = acc6 = acc7 = _mm256_setzero_si256();
+        } else {
+          acc0 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(c + 0 * n + j));
+          acc1 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(c + 1 * n + j));
+          acc2 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(c + 2 * n + j));
+          acc3 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(c + 3 * n + j));
+          acc4 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(c + 4 * n + j));
+          acc5 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(c + 5 * n + j));
+          acc6 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(c + 6 * n + j));
+          acc7 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(c + 7 * n + j));
+        }
+        for (std::size_t kk = k0; kk < k1; ++kk) {
+          const __m256i bv = _mm256_cvtepi8_epi32(
+              _mm_loadl_epi64(reinterpret_cast<const __m128i*>(b + kk * n + j)));
+          const std::int8_t* ap = apack + kk * kMR;
+          acc0 = _mm256_add_epi32(acc0, _mm256_mullo_epi32(_mm256_set1_epi32(ap[0]), bv));
+          acc1 = _mm256_add_epi32(acc1, _mm256_mullo_epi32(_mm256_set1_epi32(ap[1]), bv));
+          acc2 = _mm256_add_epi32(acc2, _mm256_mullo_epi32(_mm256_set1_epi32(ap[2]), bv));
+          acc3 = _mm256_add_epi32(acc3, _mm256_mullo_epi32(_mm256_set1_epi32(ap[3]), bv));
+          acc4 = _mm256_add_epi32(acc4, _mm256_mullo_epi32(_mm256_set1_epi32(ap[4]), bv));
+          acc5 = _mm256_add_epi32(acc5, _mm256_mullo_epi32(_mm256_set1_epi32(ap[5]), bv));
+          acc6 = _mm256_add_epi32(acc6, _mm256_mullo_epi32(_mm256_set1_epi32(ap[6]), bv));
+          acc7 = _mm256_add_epi32(acc7, _mm256_mullo_epi32(_mm256_set1_epi32(ap[7]), bv));
+        }
+        _mm256_storeu_si256(reinterpret_cast<__m256i*>(c + 0 * n + j), acc0);
+        _mm256_storeu_si256(reinterpret_cast<__m256i*>(c + 1 * n + j), acc1);
+        _mm256_storeu_si256(reinterpret_cast<__m256i*>(c + 2 * n + j), acc2);
+        _mm256_storeu_si256(reinterpret_cast<__m256i*>(c + 3 * n + j), acc3);
+        _mm256_storeu_si256(reinterpret_cast<__m256i*>(c + 4 * n + j), acc4);
+        _mm256_storeu_si256(reinterpret_cast<__m256i*>(c + 5 * n + j), acc5);
+        _mm256_storeu_si256(reinterpret_cast<__m256i*>(c + 6 * n + j), acc6);
+        _mm256_storeu_si256(reinterpret_cast<__m256i*>(c + 7 * n + j), acc7);
+      }
+    }
+  } else {
+    for (; j + 8 <= n; j += 8) {
+      __m256i acc0 = _mm256_setzero_si256(), acc1 = _mm256_setzero_si256();
+      __m256i acc2 = _mm256_setzero_si256(), acc3 = _mm256_setzero_si256();
+      __m256i acc4 = _mm256_setzero_si256(), acc5 = _mm256_setzero_si256();
+      __m256i acc6 = _mm256_setzero_si256(), acc7 = _mm256_setzero_si256();
+      for (std::size_t kk = 0; kk < k; ++kk) {
+        const __m256i bv = _mm256_cvtepi8_epi32(
+            _mm_loadl_epi64(reinterpret_cast<const __m128i*>(b + kk * n + j)));
+        const std::int8_t* ap = apack + kk * kMR;
+        acc0 = _mm256_add_epi32(acc0, _mm256_mullo_epi32(_mm256_set1_epi32(ap[0]), bv));
+        acc1 = _mm256_add_epi32(acc1, _mm256_mullo_epi32(_mm256_set1_epi32(ap[1]), bv));
+        acc2 = _mm256_add_epi32(acc2, _mm256_mullo_epi32(_mm256_set1_epi32(ap[2]), bv));
+        acc3 = _mm256_add_epi32(acc3, _mm256_mullo_epi32(_mm256_set1_epi32(ap[3]), bv));
+        acc4 = _mm256_add_epi32(acc4, _mm256_mullo_epi32(_mm256_set1_epi32(ap[4]), bv));
+        acc5 = _mm256_add_epi32(acc5, _mm256_mullo_epi32(_mm256_set1_epi32(ap[5]), bv));
+        acc6 = _mm256_add_epi32(acc6, _mm256_mullo_epi32(_mm256_set1_epi32(ap[6]), bv));
+        acc7 = _mm256_add_epi32(acc7, _mm256_mullo_epi32(_mm256_set1_epi32(ap[7]), bv));
+      }
+      const __m256i acc[kMR] = {acc0, acc1, acc2, acc3, acc4, acc5, acc6, acc7};
+      for (std::size_t r = 0; r < rows; ++r) {
+        _mm256_storeu_si256(reinterpret_cast<__m256i*>(c + r * n + j), acc[r]);
+      }
+    }
+  }
+  tail_s8(apack, rows, b, k, n, c, j);
+}
+
+bool avx2_available() { return __builtin_cpu_supports("avx2") != 0; }
+
+}  // namespace
+
+extern const MicroKernel kAvx2Kernel;
+const MicroKernel kAvx2Kernel = {
+    "avx2", kMR, avx2_available, panel_f32, panel_s8,
+};
+
+}  // namespace satd::kernel
+
+#endif  // x86

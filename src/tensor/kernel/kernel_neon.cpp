@@ -1,0 +1,129 @@
+// NEON microkernel (AArch64): 4-row panels, 8 columns (two Q registers)
+// per step. AArch64 guarantees Advanced SIMD, so the runtime check is a
+// constant — the kernel is simply absent from non-ARM builds. Same
+// accumulation contract as every other kernel: single-rounded vmul +
+// vadd per step (no fused vmla), strictly increasing k order, so f32
+// results are bit-identical to the scalar reference; s8 widens through
+// int16/int32 moves and accumulates exactly.
+#if defined(__aarch64__)
+
+#include <arm_neon.h>
+
+#include "tensor/kernel/microkernel.h"
+
+namespace satd::kernel {
+namespace {
+
+constexpr std::size_t kMR = 4;
+
+void tail_f32(const float* apack, std::size_t rows, const float* b,
+              std::size_t k, std::size_t n, float* c, std::size_t j) {
+  for (; j < n; ++j) {
+    float acc[kMR] = {};
+    for (std::size_t kk = 0; kk < k; ++kk) {
+      const float bv = b[kk * n + j];
+      for (std::size_t r = 0; r < kMR; ++r) acc[r] += apack[kk * kMR + r] * bv;
+    }
+    for (std::size_t r = 0; r < rows; ++r) c[r * n + j] = acc[r];
+  }
+}
+
+void panel_f32(const float* apack, std::size_t rows, const float* b,
+               std::size_t k, std::size_t n, float* c) {
+  std::size_t j = 0;
+  for (; j + 8 <= n; j += 8) {
+    float32x4_t a0l = vdupq_n_f32(0.0f), a0h = vdupq_n_f32(0.0f);
+    float32x4_t a1l = vdupq_n_f32(0.0f), a1h = vdupq_n_f32(0.0f);
+    float32x4_t a2l = vdupq_n_f32(0.0f), a2h = vdupq_n_f32(0.0f);
+    float32x4_t a3l = vdupq_n_f32(0.0f), a3h = vdupq_n_f32(0.0f);
+    for (std::size_t kk = 0; kk < k; ++kk) {
+      const float* brow = b + kk * n + j;
+      const float32x4_t bl = vld1q_f32(brow);
+      const float32x4_t bh = vld1q_f32(brow + 4);
+      const float* ap = apack + kk * kMR;
+      float32x4_t av = vdupq_n_f32(ap[0]);
+      a0l = vaddq_f32(a0l, vmulq_f32(av, bl));
+      a0h = vaddq_f32(a0h, vmulq_f32(av, bh));
+      av = vdupq_n_f32(ap[1]);
+      a1l = vaddq_f32(a1l, vmulq_f32(av, bl));
+      a1h = vaddq_f32(a1h, vmulq_f32(av, bh));
+      av = vdupq_n_f32(ap[2]);
+      a2l = vaddq_f32(a2l, vmulq_f32(av, bl));
+      a2h = vaddq_f32(a2h, vmulq_f32(av, bh));
+      av = vdupq_n_f32(ap[3]);
+      a3l = vaddq_f32(a3l, vmulq_f32(av, bl));
+      a3h = vaddq_f32(a3h, vmulq_f32(av, bh));
+    }
+    const float32x4_t accl[kMR] = {a0l, a1l, a2l, a3l};
+    const float32x4_t acch[kMR] = {a0h, a1h, a2h, a3h};
+    for (std::size_t r = 0; r < rows; ++r) {
+      vst1q_f32(c + r * n + j, accl[r]);
+      vst1q_f32(c + r * n + j + 4, acch[r]);
+    }
+  }
+  tail_f32(apack, rows, b, k, n, c, j);
+}
+
+void tail_s8(const std::int8_t* apack, std::size_t rows, const std::int8_t* b,
+             std::size_t k, std::size_t n, std::int32_t* c, std::size_t j) {
+  for (; j < n; ++j) {
+    std::int32_t acc[kMR] = {};
+    for (std::size_t kk = 0; kk < k; ++kk) {
+      const std::int32_t bv = b[kk * n + j];
+      for (std::size_t r = 0; r < kMR; ++r) {
+        acc[r] += static_cast<std::int32_t>(apack[kk * kMR + r]) * bv;
+      }
+    }
+    for (std::size_t r = 0; r < rows; ++r) c[r * n + j] = acc[r];
+  }
+}
+
+void panel_s8(const std::int8_t* apack, std::size_t rows,
+              const std::int8_t* b, std::size_t k, std::size_t n,
+              std::int32_t* c) {
+  std::size_t j = 0;
+  for (; j + 8 <= n; j += 8) {
+    int32x4_t a0l = vdupq_n_s32(0), a0h = vdupq_n_s32(0);
+    int32x4_t a1l = vdupq_n_s32(0), a1h = vdupq_n_s32(0);
+    int32x4_t a2l = vdupq_n_s32(0), a2h = vdupq_n_s32(0);
+    int32x4_t a3l = vdupq_n_s32(0), a3h = vdupq_n_s32(0);
+    for (std::size_t kk = 0; kk < k; ++kk) {
+      const int16x8_t bw = vmovl_s8(vld1_s8(b + kk * n + j));
+      const int32x4_t bl = vmovl_s16(vget_low_s16(bw));
+      const int32x4_t bh = vmovl_s16(vget_high_s16(bw));
+      const std::int8_t* ap = apack + kk * kMR;
+      int32x4_t av = vdupq_n_s32(ap[0]);
+      a0l = vaddq_s32(a0l, vmulq_s32(av, bl));
+      a0h = vaddq_s32(a0h, vmulq_s32(av, bh));
+      av = vdupq_n_s32(ap[1]);
+      a1l = vaddq_s32(a1l, vmulq_s32(av, bl));
+      a1h = vaddq_s32(a1h, vmulq_s32(av, bh));
+      av = vdupq_n_s32(ap[2]);
+      a2l = vaddq_s32(a2l, vmulq_s32(av, bl));
+      a2h = vaddq_s32(a2h, vmulq_s32(av, bh));
+      av = vdupq_n_s32(ap[3]);
+      a3l = vaddq_s32(a3l, vmulq_s32(av, bl));
+      a3h = vaddq_s32(a3h, vmulq_s32(av, bh));
+    }
+    const int32x4_t accl[kMR] = {a0l, a1l, a2l, a3l};
+    const int32x4_t acch[kMR] = {a0h, a1h, a2h, a3h};
+    for (std::size_t r = 0; r < rows; ++r) {
+      vst1q_s32(c + r * n + j, accl[r]);
+      vst1q_s32(c + r * n + j + 4, acch[r]);
+    }
+  }
+  tail_s8(apack, rows, b, k, n, c, j);
+}
+
+bool neon_available() { return true; }
+
+}  // namespace
+
+extern const MicroKernel kNeonKernel;
+const MicroKernel kNeonKernel = {
+    "neon", kMR, neon_available, panel_f32, panel_s8,
+};
+
+}  // namespace satd::kernel
+
+#endif  // __aarch64__

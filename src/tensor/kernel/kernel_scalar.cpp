@@ -1,0 +1,89 @@
+// The always-available scalar reference microkernel: the kMR=4
+// register-tile loop the PR-3 blocked GEMM shipped with, now behind the
+// MicroKernel interface. Every SIMD variant must reproduce this kernel's
+// results bit-for-bit (f32) / exactly (s8); the CI leg that forces
+// SATD_KERNEL=scalar keeps this path from rotting.
+#include <algorithm>
+
+#include "tensor/kernel/microkernel.h"
+
+namespace satd::kernel {
+namespace {
+
+constexpr std::size_t kMR = 4;    // rows per packed A panel
+constexpr std::size_t kNC = 256;  // columns per accumulator tile
+
+/// C rows [0, rows) of one panel: c = apack · B with B row-major [k, n].
+/// Accumulators live in a stack tile, one float per output element,
+/// summed in strictly increasing kk order (mul, then add — the
+/// accumulation contract every other kernel must match).
+void panel_f32(const float* apack, std::size_t rows, const float* b,
+               std::size_t k, std::size_t n, float* c) {
+  alignas(64) float acc[kMR][kNC];
+  for (std::size_t j0 = 0; j0 < n; j0 += kNC) {
+    const std::size_t jb = std::min(kNC, n - j0);
+    for (std::size_t r = 0; r < kMR; ++r) {
+      for (std::size_t jj = 0; jj < jb; ++jj) acc[r][jj] = 0.0f;
+    }
+    for (std::size_t kk = 0; kk < k; ++kk) {
+      const float a0 = apack[kk * kMR + 0];
+      const float a1 = apack[kk * kMR + 1];
+      const float a2 = apack[kk * kMR + 2];
+      const float a3 = apack[kk * kMR + 3];
+      const float* brow = b + kk * n + j0;
+      for (std::size_t jj = 0; jj < jb; ++jj) {
+        const float bv = brow[jj];
+        acc[0][jj] += a0 * bv;
+        acc[1][jj] += a1 * bv;
+        acc[2][jj] += a2 * bv;
+        acc[3][jj] += a3 * bv;
+      }
+    }
+    for (std::size_t r = 0; r < rows; ++r) {
+      float* crow = c + r * n + j0;
+      for (std::size_t jj = 0; jj < jb; ++jj) crow[jj] = acc[r][jj];
+    }
+  }
+}
+
+/// Integer twin of panel_f32: int8 operands, exact int32 accumulation.
+void panel_s8(const std::int8_t* apack, std::size_t rows,
+              const std::int8_t* b, std::size_t k, std::size_t n,
+              std::int32_t* c) {
+  alignas(64) std::int32_t acc[kMR][kNC];
+  for (std::size_t j0 = 0; j0 < n; j0 += kNC) {
+    const std::size_t jb = std::min(kNC, n - j0);
+    for (std::size_t r = 0; r < kMR; ++r) {
+      for (std::size_t jj = 0; jj < jb; ++jj) acc[r][jj] = 0;
+    }
+    for (std::size_t kk = 0; kk < k; ++kk) {
+      const std::int32_t a0 = apack[kk * kMR + 0];
+      const std::int32_t a1 = apack[kk * kMR + 1];
+      const std::int32_t a2 = apack[kk * kMR + 2];
+      const std::int32_t a3 = apack[kk * kMR + 3];
+      const std::int8_t* brow = b + kk * n + j0;
+      for (std::size_t jj = 0; jj < jb; ++jj) {
+        const std::int32_t bv = brow[jj];
+        acc[0][jj] += a0 * bv;
+        acc[1][jj] += a1 * bv;
+        acc[2][jj] += a2 * bv;
+        acc[3][jj] += a3 * bv;
+      }
+    }
+    for (std::size_t r = 0; r < rows; ++r) {
+      std::int32_t* crow = c + r * n + j0;
+      for (std::size_t jj = 0; jj < jb; ++jj) crow[jj] = acc[r][jj];
+    }
+  }
+}
+
+bool always_available() { return true; }
+
+}  // namespace
+
+extern const MicroKernel kScalarKernel;
+const MicroKernel kScalarKernel = {
+    "scalar", kMR, always_available, panel_f32, panel_s8,
+};
+
+}  // namespace satd::kernel

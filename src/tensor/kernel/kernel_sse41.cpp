@@ -1,0 +1,143 @@
+// SSE4.1 microkernel: 4-row panels, 8 columns (two XMM lanes) per step.
+//
+// Compiled with a per-function target attribute so the binary stays
+// runnable on any x86-64 (dispatch checks CPUID before selecting it).
+// The f32 path uses separate single-rounded mulps/addps — NOT fused —
+// and advances each output element's accumulator in the same strictly
+// increasing k order as the scalar kernel, so results are bit-identical
+// to the reference. The s8 path widens int8 to int32 lanes
+// (pmovsxbd) and accumulates exactly.
+#if defined(__x86_64__) || defined(__i386__)
+
+#include <immintrin.h>
+
+#include <cstring>
+
+#include "tensor/kernel/microkernel.h"
+
+namespace satd::kernel {
+namespace {
+
+constexpr std::size_t kMR = 4;
+
+/// Scalar column tail, accumulation order identical to the vector body.
+void tail_f32(const float* apack, std::size_t rows, const float* b,
+              std::size_t k, std::size_t n, float* c, std::size_t j) {
+  for (; j < n; ++j) {
+    float acc[kMR] = {0.0f, 0.0f, 0.0f, 0.0f};
+    for (std::size_t kk = 0; kk < k; ++kk) {
+      const float bv = b[kk * n + j];
+      for (std::size_t r = 0; r < kMR; ++r) acc[r] += apack[kk * kMR + r] * bv;
+    }
+    for (std::size_t r = 0; r < rows; ++r) c[r * n + j] = acc[r];
+  }
+}
+
+__attribute__((target("sse4.1"))) void panel_f32(const float* apack,
+                                                 std::size_t rows,
+                                                 const float* b, std::size_t k,
+                                                 std::size_t n, float* c) {
+  std::size_t j = 0;
+  for (; j + 8 <= n; j += 8) {
+    __m128 a0l = _mm_setzero_ps(), a0h = _mm_setzero_ps();
+    __m128 a1l = _mm_setzero_ps(), a1h = _mm_setzero_ps();
+    __m128 a2l = _mm_setzero_ps(), a2h = _mm_setzero_ps();
+    __m128 a3l = _mm_setzero_ps(), a3h = _mm_setzero_ps();
+    for (std::size_t kk = 0; kk < k; ++kk) {
+      const float* brow = b + kk * n + j;
+      const __m128 bl = _mm_loadu_ps(brow);
+      const __m128 bh = _mm_loadu_ps(brow + 4);
+      const float* ap = apack + kk * kMR;
+      __m128 av = _mm_set1_ps(ap[0]);
+      a0l = _mm_add_ps(a0l, _mm_mul_ps(av, bl));
+      a0h = _mm_add_ps(a0h, _mm_mul_ps(av, bh));
+      av = _mm_set1_ps(ap[1]);
+      a1l = _mm_add_ps(a1l, _mm_mul_ps(av, bl));
+      a1h = _mm_add_ps(a1h, _mm_mul_ps(av, bh));
+      av = _mm_set1_ps(ap[2]);
+      a2l = _mm_add_ps(a2l, _mm_mul_ps(av, bl));
+      a2h = _mm_add_ps(a2h, _mm_mul_ps(av, bh));
+      av = _mm_set1_ps(ap[3]);
+      a3l = _mm_add_ps(a3l, _mm_mul_ps(av, bl));
+      a3h = _mm_add_ps(a3h, _mm_mul_ps(av, bh));
+    }
+    const __m128 accl[kMR] = {a0l, a1l, a2l, a3l};
+    const __m128 acch[kMR] = {a0h, a1h, a2h, a3h};
+    for (std::size_t r = 0; r < rows; ++r) {
+      _mm_storeu_ps(c + r * n + j, accl[r]);
+      _mm_storeu_ps(c + r * n + j + 4, acch[r]);
+    }
+  }
+  tail_f32(apack, rows, b, k, n, c, j);
+}
+
+void tail_s8(const std::int8_t* apack, std::size_t rows, const std::int8_t* b,
+             std::size_t k, std::size_t n, std::int32_t* c, std::size_t j) {
+  for (; j < n; ++j) {
+    std::int32_t acc[kMR] = {0, 0, 0, 0};
+    for (std::size_t kk = 0; kk < k; ++kk) {
+      const std::int32_t bv = b[kk * n + j];
+      for (std::size_t r = 0; r < kMR; ++r) {
+        acc[r] += static_cast<std::int32_t>(apack[kk * kMR + r]) * bv;
+      }
+    }
+    for (std::size_t r = 0; r < rows; ++r) c[r * n + j] = acc[r];
+  }
+}
+
+__attribute__((target("sse4.1"))) void panel_s8(const std::int8_t* apack,
+                                                std::size_t rows,
+                                                const std::int8_t* b,
+                                                std::size_t k, std::size_t n,
+                                                std::int32_t* c) {
+  std::size_t j = 0;
+  for (; j + 8 <= n; j += 8) {
+    __m128i a0l = _mm_setzero_si128(), a0h = _mm_setzero_si128();
+    __m128i a1l = _mm_setzero_si128(), a1h = _mm_setzero_si128();
+    __m128i a2l = _mm_setzero_si128(), a2h = _mm_setzero_si128();
+    __m128i a3l = _mm_setzero_si128(), a3h = _mm_setzero_si128();
+    for (std::size_t kk = 0; kk < k; ++kk) {
+      const std::int8_t* brow = b + kk * n + j;
+      std::int64_t raw;  // 8 packed int8 column values
+      std::memcpy(&raw, brow, sizeof(raw));
+      const __m128i b8 = _mm_cvtsi64_si128(raw);
+      const __m128i bl = _mm_cvtepi8_epi32(b8);
+      const __m128i bh = _mm_cvtepi8_epi32(_mm_srli_si128(b8, 4));
+      const std::int8_t* ap = apack + kk * kMR;
+      __m128i av = _mm_set1_epi32(ap[0]);
+      a0l = _mm_add_epi32(a0l, _mm_mullo_epi32(av, bl));
+      a0h = _mm_add_epi32(a0h, _mm_mullo_epi32(av, bh));
+      av = _mm_set1_epi32(ap[1]);
+      a1l = _mm_add_epi32(a1l, _mm_mullo_epi32(av, bl));
+      a1h = _mm_add_epi32(a1h, _mm_mullo_epi32(av, bh));
+      av = _mm_set1_epi32(ap[2]);
+      a2l = _mm_add_epi32(a2l, _mm_mullo_epi32(av, bl));
+      a2h = _mm_add_epi32(a2h, _mm_mullo_epi32(av, bh));
+      av = _mm_set1_epi32(ap[3]);
+      a3l = _mm_add_epi32(a3l, _mm_mullo_epi32(av, bl));
+      a3h = _mm_add_epi32(a3h, _mm_mullo_epi32(av, bh));
+    }
+    const __m128i accl[kMR] = {a0l, a1l, a2l, a3l};
+    const __m128i acch[kMR] = {a0h, a1h, a2h, a3h};
+    for (std::size_t r = 0; r < rows; ++r) {
+      _mm_storeu_si128(reinterpret_cast<__m128i*>(c + r * n + j), accl[r]);
+      _mm_storeu_si128(reinterpret_cast<__m128i*>(c + r * n + j + 4), acch[r]);
+    }
+  }
+  tail_s8(apack, rows, b, k, n, c, j);
+}
+
+bool sse41_available() {
+  return __builtin_cpu_supports("sse4.1") != 0;
+}
+
+}  // namespace
+
+extern const MicroKernel kSse41Kernel;
+const MicroKernel kSse41Kernel = {
+    "sse41", kMR, sse41_available, panel_f32, panel_s8,
+};
+
+}  // namespace satd::kernel
+
+#endif  // x86

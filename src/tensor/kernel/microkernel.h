@@ -1,0 +1,114 @@
+// Runtime-dispatched GEMM microkernel layer.
+//
+// The blocked GEMM in tensor/ops.cpp owns the *macro* structure — cache
+// blocking, A-panel packing, the parallel decomposition over row panels —
+// and delegates the register-tile inner loop to a MicroKernel. Each
+// kernel is a plain table of function pointers (no virtual dispatch on
+// the hot path beyond one indirect call per panel) computing one packed
+// A-panel times a row-major B block:
+//
+//   * f32: C[rows, n] = Apack · B with one float accumulator per output
+//     element, summed in strictly increasing k order via a single-rounded
+//     multiply then a single-rounded add per step. Every kernel follows
+//     this exact per-element operation sequence, so all f32 kernels are
+//     BIT-IDENTICAL to the scalar reference — vectorization only changes
+//     how many independent output columns advance per instruction, never
+//     the arithmetic applied to any one of them. (No FMA: fusing would
+//     drop the intermediate rounding and break cross-kernel identity.)
+//   * s8: the int8 variant accumulating exactly in int32. Integer
+//     accumulation is associative, so s8 results are bit-identical across
+//     kernels and thread counts by construction. Callers must keep
+//     k <= kMaxS8Depth so a dot product cannot overflow int32.
+//
+// Dispatch: the active kernel is resolved once, in priority order
+//   1. SATD_KERNEL environment variable (validated; unknown or
+//      unavailable names log a warning and fall back to auto),
+//   2. auto-detection — the widest kernel the CPU supports at runtime
+//      (CPUID via __builtin_cpu_supports on x86), scalar otherwise.
+// set_active() lets CLI flags override the environment; the scalar
+// reference kernel is always compiled in and always available.
+//
+// Panel geometry: kernels may declare different packed-panel row counts
+// (mr). The per-thread packing scratch is owned by this layer and handed
+// out through acquire_pack_*, which records the requested geometry and
+// (in debug builds) asserts it matches the active kernel — so two
+// kernels with different panel widths can never silently alias one
+// buffer layout as another.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace satd::kernel {
+
+/// Hard depth bound for the s8 path: k * 127 * 127 must fit int32.
+inline constexpr std::size_t kMaxS8Depth =
+    static_cast<std::size_t>(2147483647) / (127 * 127);
+
+/// One register-tile inner kernel (see file comment for the contract).
+/// Apack holds `mr` interleaved rows (apack[kk*mr + r], tail rows
+/// zero-filled); `b` is row-major [k, n]; `c` is row-major with row
+/// stride n and only the first `rows` rows are written.
+struct MicroKernel {
+  const char* name;   ///< stable identifier ("scalar", "avx2", ...)
+  std::size_t mr;     ///< rows per packed A panel
+  bool (*runtime_available)();  ///< CPU supports this kernel right now
+  void (*gemm_panel_f32)(const float* apack, std::size_t rows,
+                         const float* b, std::size_t k, std::size_t n,
+                         float* c);
+  void (*gemm_panel_s8)(const std::int8_t* apack, std::size_t rows,
+                        const std::int8_t* b, std::size_t k, std::size_t n,
+                        std::int32_t* c);
+};
+
+/// Every kernel compiled into this binary (scalar first; SIMD variants
+/// only on the architectures that can compile them).
+const std::vector<const MicroKernel*>& compiled_kernels();
+
+/// The compiled kernels whose runtime_available() check passes on this
+/// machine — the legal values for SATD_KERNEL / --kernel here.
+std::vector<const MicroKernel*> available_kernels();
+
+/// Compiled kernel by name, or nullptr.
+const MicroKernel* find_kernel(const std::string& name);
+
+/// The kernel all GEMM entry points currently dispatch to. First call
+/// resolves SATD_KERNEL / auto-detection (see file comment).
+const MicroKernel& active_kernel();
+
+/// Forces the active kernel by name. Unknown or unavailable names log a
+/// warning, select auto-detection instead and return false (same
+/// harden-and-fall-back shape as ThreadPool::parse_thread_env). An empty
+/// name explicitly re-runs the SATD_KERNEL / auto resolution.
+bool set_active_kernel(const std::string& name);
+
+/// Name that auto-detection would pick on this machine.
+std::string auto_kernel_name();
+
+// ---- blocked GEMM drivers (macro loop + packing + threading) ----
+
+/// C[m,n] = A · B where A's logical element (i, kk) lives at
+/// a[i*row_stride + kk*col_stride] (strided packing absorbs transposes)
+/// and B is row-major [k, n]. Parallelized over mr-aligned row panels
+/// only, so results are bit-identical for any thread count.
+void gemm_f32(const float* a, std::size_t row_stride, std::size_t col_stride,
+              const float* b, std::size_t m, std::size_t n, std::size_t k,
+              float* c);
+
+/// C[m,n] = A · B for row-major int8 A [m,k] and B [k,n], exact int32
+/// accumulation. Requires k <= kMaxS8Depth.
+void gemm_s8(const std::int8_t* a, const std::int8_t* b, std::size_t m,
+             std::size_t n, std::size_t k, std::int32_t* c);
+
+// ---- per-thread packing scratch (geometry-checked) ----
+
+/// Hands out the calling thread's f32 packing buffer, sized for an
+/// mr-row by k-deep panel. The geometry is recorded and asserted against
+/// the active kernel in debug builds.
+float* acquire_pack_f32(std::size_t mr, std::size_t k);
+
+/// s8 variant of acquire_pack_f32.
+std::int8_t* acquire_pack_s8(std::size_t mr, std::size_t k);
+
+}  // namespace satd::kernel

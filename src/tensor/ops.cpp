@@ -6,6 +6,7 @@
 
 #include "common/contract.h"
 #include "common/thread_pool.h"
+#include "tensor/kernel/microkernel.h"
 
 namespace satd::ops {
 
@@ -258,117 +259,26 @@ void argmax_rows_into(const Tensor& a, std::vector<std::size_t>& out) {
 
 // ---- linear algebra ----
 //
-// One blocked, packed, register-tiled kernel backs all three GEMM entry
-// points. Shared structure:
-//
-//   * The output is processed in panels of kMR=4 rows. For each panel the
-//     corresponding A rows are packed k-major-interleaved into a
-//     per-thread buffer (apack[kk*kMR + r]) — for matmul_tn this is the
-//     step that turns the k-major layout into an i-major packed form, so
-//     its parallel decomposition is over output rows exactly like the
-//     others.
-//   * Columns are processed in kNC-wide blocks whose accumulators live in
-//     a register/L1-resident tile; the inner loop over kk issues kMR
-//     independent FMAs per column, which the compiler auto-vectorizes
-//     across the column block.
-//   * Accumulation is float, in strictly increasing kk order with one
-//     accumulator per output element. The order never depends on the
-//     blocking or on how row panels are distributed across threads, so
-//     any thread count produces bit-identical results.
+// All three GEMM entry points are thin shims over the microkernel
+// dispatch layer (tensor/kernel/): they validate shapes, express their
+// transpose as A packing strides, and call kernel::gemm_f32, which owns
+// the blocked decomposition, the per-thread packing scratch, and the
+// runtime-selected register-tile kernel. The accumulation contract
+// (strictly increasing kk order, one single-rounded mul+add per step)
+// lives with the kernels — see tensor/kernel/microkernel.h — so results
+// stay bit-identical across thread counts and across kernels.
 //
 // matmul_nt first transposes B into a per-thread scratch (cost O(nk),
-// amortized against the O(mnk) multiply) and then runs the same kernel,
-// which also makes its accumulator policy identical to the other two.
+// amortized against the O(mnk) multiply) and then runs the same NN
+// driver, which also makes its accumulator policy identical to the
+// other two.
 
 namespace {
 
-constexpr std::size_t kMR = 4;    // rows per packed A panel
-constexpr std::size_t kNC = 256;  // columns per accumulator tile
-
-// Per-thread packing scratch. Workers are pool threads, so each gets its
-// own buffer; steady-state calls reuse the grown capacity (no alloc).
-thread_local std::vector<float> t_apack;
+// Per-thread B-transpose scratch for matmul_nt. Workers are pool
+// threads, so each gets its own buffer; steady-state calls reuse the
+// grown capacity (no alloc).
 thread_local std::vector<float> t_btrans;
-
-/// Packs rows [i0, i0+rows) of the logical m×k matrix A — element
-/// (i, kk) lives at a[i*row_stride + kk*col_stride] — into
-/// apack[kk*kMR + r]. Tail rows beyond `rows` are zero-filled; their
-/// results are computed into the local tile and discarded on store.
-void pack_a_panel(const float* a, std::size_t row_stride,
-                  std::size_t col_stride, std::size_t i0, std::size_t rows,
-                  std::size_t k, float* apack) {
-  for (std::size_t kk = 0; kk < k; ++kk) {
-    const float* src = a + kk * col_stride;
-    float* dst = apack + kk * kMR;
-    for (std::size_t r = 0; r < kMR; ++r) {
-      dst[r] = r < rows ? src[(i0 + r) * row_stride] : 0.0f;
-    }
-  }
-}
-
-/// C rows [i0, i0+rows) of a full GEMM: c += apack · B with B row-major
-/// [k, n]. `c` points at row i0. Accumulators are a stack tile, so the
-/// destination is written exactly once (no prior zeroing needed).
-void gemm_panel(const float* apack, std::size_t rows, const float* b,
-                std::size_t k, std::size_t n, float* c) {
-  alignas(64) float acc[kMR][kNC];
-  for (std::size_t j0 = 0; j0 < n; j0 += kNC) {
-    const std::size_t jb = std::min(kNC, n - j0);
-    for (std::size_t r = 0; r < kMR; ++r) {
-      for (std::size_t jj = 0; jj < jb; ++jj) acc[r][jj] = 0.0f;
-    }
-    for (std::size_t kk = 0; kk < k; ++kk) {
-      const float a0 = apack[kk * kMR + 0];
-      const float a1 = apack[kk * kMR + 1];
-      const float a2 = apack[kk * kMR + 2];
-      const float a3 = apack[kk * kMR + 3];
-      const float* brow = b + kk * n + j0;
-      for (std::size_t jj = 0; jj < jb; ++jj) {
-        const float bv = brow[jj];
-        acc[0][jj] += a0 * bv;
-        acc[1][jj] += a1 * bv;
-        acc[2][jj] += a2 * bv;
-        acc[3][jj] += a3 * bv;
-      }
-    }
-    for (std::size_t r = 0; r < rows; ++r) {
-      float* crow = c + r * n + j0;
-      for (std::size_t jj = 0; jj < jb; ++jj) crow[jj] = acc[r][jj];
-    }
-  }
-}
-
-/// Shared driver: C[m,n] = A·B with A given via its packing strides and B
-/// row-major [k, n]. Parallelism is over kMR-aligned row panels only, so
-/// the work split never touches the kk reduction order.
-void gemm_driver(const float* a, std::size_t row_stride,
-                 std::size_t col_stride, const float* b, std::size_t m,
-                 std::size_t n, std::size_t k, float* c) {
-  if (m == 0 || n == 0) return;
-  if (k == 0) {
-    std::fill(c, c + m * n, 0.0f);
-    return;
-  }
-  const std::size_t panels = (m + kMR - 1) / kMR;
-  // Aim for >= ~64k multiply-adds per chunk so the pool handoff stays
-  // negligible even for skinny matrices.
-  const std::size_t panel_flops = kMR * n * k;
-  const std::size_t grain =
-      std::max<std::size_t>(1, (1u << 16) / std::max<std::size_t>(1, panel_flops) + 1);
-  parallel_for(panels, grain,
-               [a, row_stride, col_stride, b, m, n, k,
-                c](std::size_t p0, std::size_t p1) {
-                 std::vector<float>& apack = t_apack;
-                 apack.resize(k * kMR);
-                 for (std::size_t p = p0; p < p1; ++p) {
-                   const std::size_t i0 = p * kMR;
-                   const std::size_t rows = std::min(kMR, m - i0);
-                   pack_a_panel(a, row_stride, col_stride, i0, rows, k,
-                                apack.data());
-                   gemm_panel(apack.data(), rows, b, k, n, c + i0 * n);
-                 }
-               });
-}
 
 }  // namespace
 
@@ -380,8 +290,8 @@ void matmul(const Tensor& a, const Tensor& b, Tensor& out) {
   SATD_EXPECT(b.shape()[0] == k, "matmul inner dimension mismatch");
   const std::size_t n = b.shape()[1];
   out.ensure_shape(Shape{m, n});
-  gemm_driver(a.raw(), /*row_stride=*/k, /*col_stride=*/1, b.raw(), m, n, k,
-              out.raw());
+  kernel::gemm_f32(a.raw(), /*row_stride=*/k, /*col_stride=*/1, b.raw(), m, n,
+                   k, out.raw());
 }
 
 Tensor matmul(const Tensor& a, const Tensor& b) {
@@ -399,8 +309,8 @@ void matmul_tn(const Tensor& a, const Tensor& b, Tensor& out) {
   const std::size_t n = b.shape()[1];
   out.ensure_shape(Shape{m, n});
   // Aᵀ's logical element (i, kk) sits at a[kk*m + i].
-  gemm_driver(a.raw(), /*row_stride=*/1, /*col_stride=*/m, b.raw(), m, n, k,
-              out.raw());
+  kernel::gemm_f32(a.raw(), /*row_stride=*/1, /*col_stride=*/m, b.raw(), m, n,
+                   k, out.raw());
 }
 
 Tensor matmul_tn(const Tensor& a, const Tensor& b) {
@@ -430,8 +340,8 @@ void matmul_nt(const Tensor& a, const Tensor& b, Tensor& out) {
       for (std::size_t j = 0; j < n; ++j) dst[j] = pb[j * k + kk];
     }
   });
-  gemm_driver(a.raw(), /*row_stride=*/k, /*col_stride=*/1, pbt, m, n, k,
-              out.raw());
+  kernel::gemm_f32(a.raw(), /*row_stride=*/k, /*col_stride=*/1, pbt, m, n, k,
+                   out.raw());
 }
 
 Tensor matmul_nt(const Tensor& a, const Tensor& b) {

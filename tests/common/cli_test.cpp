@@ -7,6 +7,7 @@
 
 #include "common/contract.h"
 #include "common/thread_pool.h"
+#include "tensor/kernel/microkernel.h"
 
 namespace satd {
 namespace {
@@ -161,6 +162,48 @@ TEST(CliThreads, UsageMentionsThreads) {
   CliParser cli("p", "d");
   add_threads_option(cli);
   EXPECT_NE(cli.usage().find("--threads"), std::string::npos);
+}
+
+// ---- the shared --kernel option ----
+
+/// Parses argv through a parser carrying only the kernel option.
+CliParser kernel_parser(std::vector<const char*> argv) {
+  CliParser cli("p", "d");
+  add_kernel_option(cli);
+  argv.insert(argv.begin(), "p");
+  cli.parse(static_cast<int>(argv.size()), argv.data());
+  return cli;
+}
+
+TEST(CliKernel, EmptyIsANoOp) {
+  const std::string before = kernel::active_kernel().name;
+  CliParser cli = kernel_parser({});
+  apply_kernel_option(cli);
+  EXPECT_EQ(kernel::active_kernel().name, before);
+}
+
+TEST(CliKernel, ValidNamePinsTheDispatch) {
+  CliParser cli = kernel_parser({"--kernel", "scalar"});
+  apply_kernel_option(cli);
+  EXPECT_STREQ(kernel::active_kernel().name, "scalar");
+  kernel::set_active_kernel("");  // restore env/auto resolution
+}
+
+TEST(CliKernel, UnknownNameFallsBackToAutoInsteadOfThrowing) {
+  // Unlike --threads, a bad kernel name is hardening territory, not an
+  // error: the dispatch layer warns and auto-dispatches so a bench
+  // invocation written on an AVX2 box still runs elsewhere.
+  CliParser cli = kernel_parser({"--kernel", "not-a-kernel"});
+  apply_kernel_option(cli);
+  EXPECT_EQ(std::string(kernel::active_kernel().name),
+            kernel::auto_kernel_name());
+  kernel::set_active_kernel("");
+}
+
+TEST(CliKernel, UsageMentionsKernel) {
+  CliParser cli("p", "d");
+  add_kernel_option(cli);
+  EXPECT_NE(cli.usage().find("--kernel"), std::string::npos);
 }
 
 }  // namespace

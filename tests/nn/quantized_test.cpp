@@ -1,0 +1,237 @@
+// Int8 quantized inference path: quantize_symmetric round-trip bounds,
+// structural coverage of the whole zoo vocabulary, the batch-of-one /
+// sub-batch-split / cross-kernel bit-identity invariants, and the
+// headline accuracy pins — quantized clean and FGSM-robust accuracy must
+// sit within one percentage point of the float model on trained
+// fixtures.
+#include "nn/quantized.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <span>
+#include <vector>
+
+#include "attack/fgsm.h"
+#include "common/rng.h"
+#include "core/vanilla_trainer.h"
+#include "data/synthetic.h"
+#include "metrics/evaluator.h"
+#include "nn/zoo.h"
+#include "tensor/kernel/microkernel.h"
+#include "tensor/ops.h"
+
+namespace satd {
+namespace {
+
+Tensor random_images(std::size_t n, std::uint64_t seed) {
+  Tensor x(Shape{n, 1, 28, 28});
+  Rng rng(seed);
+  for (std::size_t i = 0; i < x.numel(); ++i) {
+    x.raw()[i] = static_cast<float>(rng.uniform(0.0, 1.0));
+  }
+  return x;
+}
+
+float accuracy_of(const std::vector<std::size_t>& preds,
+                  const std::vector<std::size_t>& labels) {
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    if (preds[i] == labels[i]) ++correct;
+  }
+  return static_cast<float>(correct) / static_cast<float>(labels.size());
+}
+
+TEST(QuantizeSymmetric, RoundTripErrorBoundedByHalfScale) {
+  Tensor t(Shape{4, 5});
+  Rng rng(7);
+  for (std::size_t i = 0; i < t.numel(); ++i) {
+    t.raw()[i] = static_cast<float>(rng.uniform(-3.0, 3.0));
+  }
+  nn::QuantizedTensor q;
+  nn::quantize_symmetric(t, q);
+  ASSERT_EQ(q.q.size(), t.numel());
+  float amax = 0.0f;
+  for (std::size_t i = 0; i < t.numel(); ++i) {
+    amax = std::max(amax, std::fabs(t.raw()[i]));
+  }
+  EXPECT_FLOAT_EQ(q.scale, amax / 127.0f);
+  for (std::size_t i = 0; i < t.numel(); ++i) {
+    EXPECT_GE(q.q[i], -127);
+    EXPECT_LE(q.q[i], 127);
+    const float back = q.scale * static_cast<float>(q.q[i]);
+    EXPECT_NEAR(back, t.raw()[i], q.scale * 0.5f + 1e-7f) << "element " << i;
+  }
+}
+
+TEST(QuantizeSymmetric, AllZeroTensorUsesUnitScale) {
+  Tensor t(Shape{3, 3});
+  std::fill(t.raw(), t.raw() + t.numel(), 0.0f);
+  nn::QuantizedTensor q;
+  nn::quantize_symmetric(t, q);
+  EXPECT_FLOAT_EQ(q.scale, 1.0f);
+  for (std::int8_t v : q.q) EXPECT_EQ(v, 0);
+}
+
+TEST(QuantizeSymmetric, ExtremesMapToFullRange) {
+  Tensor t(Shape{2});
+  t.raw()[0] = 2.0f;
+  t.raw()[1] = -2.0f;
+  nn::QuantizedTensor q;
+  nn::quantize_symmetric(t, q);
+  EXPECT_EQ(q.q[0], 127);
+  EXPECT_EQ(q.q[1], -127);
+}
+
+// Every spec in the zoo must quantize (the op vocabulary is closed over
+// the zoo's layers) and produce finite logits of the right shape, with
+// each example's row bit-identical whether it is forwarded alone or
+// inside the batch.
+TEST(QuantizedModel, CoversEveryZooSpecWithBatchOfOneInvariance) {
+  const Tensor batch = random_images(3, 11);
+  for (const std::string& spec : nn::zoo::known_specs()) {
+    Rng rng(5);
+    nn::Sequential net = nn::zoo::build(spec, rng);
+    const nn::QuantizedModel qm = nn::QuantizedModel::from(net);
+    ASSERT_GT(qm.op_count(), 0u) << spec;
+
+    nn::QuantizedWorkspace ws;
+    Tensor logits;
+    qm.forward_into(batch, logits, ws);
+    ASSERT_EQ(logits.shape().rank(), 2u) << spec;
+    ASSERT_EQ(logits.shape()[0], 3u) << spec;
+    ASSERT_EQ(logits.shape()[1], 10u) << spec;
+    for (std::size_t i = 0; i < logits.numel(); ++i) {
+      ASSERT_TRUE(std::isfinite(logits.raw()[i])) << spec;
+    }
+
+    // Per-row activation scales make batching invisible: serve one
+    // example alone and its logits match its row in the batch exactly.
+    const std::size_t cols = logits.shape()[1];
+    nn::QuantizedWorkspace ws1;
+    Tensor one(Shape{1, 1, 28, 28}), one_logits;
+    for (std::size_t i = 0; i < 3; ++i) {
+      std::memcpy(one.raw(), batch.raw() + i * one.numel(),
+                  one.numel() * sizeof(float));
+      qm.forward_into(one, one_logits, ws1);
+      for (std::size_t j = 0; j < cols; ++j) {
+        EXPECT_EQ(one_logits.raw()[j], logits.raw()[i * cols + j])
+            << spec << " row " << i << " col " << j;
+      }
+    }
+  }
+}
+
+// gemm_s8 accumulates exactly in int32, so the quantized forward is
+// bit-identical no matter which microkernel runs it.
+TEST(QuantizedModel, LogitsBitIdenticalAcrossKernels) {
+  struct KernelGuard {
+    ~KernelGuard() { kernel::set_active_kernel(""); }
+  } guard;
+
+  Rng rng(5);
+  nn::Sequential net = nn::zoo::build("cnn_small", rng);
+  const nn::QuantizedModel qm = nn::QuantizedModel::from(net);
+  const Tensor batch = random_images(5, 13);
+
+  ASSERT_TRUE(kernel::set_active_kernel("scalar"));
+  nn::QuantizedWorkspace ws;
+  Tensor ref;
+  qm.forward_into(batch, ref, ws);
+
+  for (const kernel::MicroKernel* k : kernel::available_kernels()) {
+    ASSERT_TRUE(kernel::set_active_kernel(k->name));
+    nn::QuantizedWorkspace kws;
+    Tensor logits;
+    qm.forward_into(batch, logits, kws);
+    EXPECT_TRUE(logits.equals(ref)) << k->name;
+  }
+}
+
+TEST(QuantizedModel, PredictIndependentOfSubBatchSplit) {
+  Rng rng(9);
+  nn::Sequential net = nn::zoo::build("mlp_small", rng);
+  const nn::QuantizedModel qm = nn::QuantizedModel::from(net);
+  const Tensor images = random_images(23, 17);
+
+  nn::QuantizedWorkspace ws_a, ws_b;
+  Tensor logits_a, logits_b;
+  std::vector<std::size_t> preds_a, preds_b;
+  metrics::predict_quantized_into(qm, images, 64, logits_a, preds_a, ws_a);
+  metrics::predict_quantized_into(qm, images, 7, logits_b, preds_b, ws_b);
+  EXPECT_TRUE(logits_a.equals(logits_b));
+  EXPECT_EQ(preds_a, preds_b);
+}
+
+// Trained-fixture accuracy pins. The fixture trains once per suite run
+// (everything is deterministic: fixed seeds, thread-count-invariant
+// numerics), then both headline deltas are checked against the float
+// model: clean accuracy and FGSM robust accuracy within 1%.
+class QuantizedAccuracy : public ::testing::Test {
+ protected:
+  static constexpr float kMaxDelta = 0.01f + 1e-4f;
+
+  static data::DatasetPair make_data() {
+    data::SyntheticConfig cfg;
+    cfg.train_size = 300;
+    cfg.test_size = 200;
+    cfg.seed = 44;
+    return data::make_synthetic_digits(cfg);
+  }
+
+  static void check_deltas(nn::Sequential& net, const data::Dataset& test,
+                           const char* what) {
+    const nn::QuantizedModel qm = nn::QuantizedModel::from(net);
+    nn::QuantizedWorkspace ws;
+    Tensor logits, qlogits;
+    std::vector<std::size_t> preds, qpreds;
+
+    metrics::predict_into(net, test.images, 64, logits, preds);
+    metrics::predict_quantized_into(qm, test.images, 64, qlogits, qpreds, ws);
+    const float clean_f = accuracy_of(preds, test.labels);
+    const float clean_q = accuracy_of(qpreds, test.labels);
+    EXPECT_GT(clean_f, 0.5f) << what << ": fixture failed to train";
+    EXPECT_NEAR(clean_q, clean_f, kMaxDelta) << what << " clean";
+
+    // Robust accuracy on a shared adversarial set crafted against the
+    // float model, so both paths face the same perturbations.
+    attack::Fgsm fgsm(0.1f);
+    Tensor adv;
+    fgsm.perturb_into(net, test.images,
+                      std::span<const std::size_t>(test.labels), adv);
+    metrics::predict_into(net, adv, 64, logits, preds);
+    metrics::predict_quantized_into(qm, adv, 64, qlogits, qpreds, ws);
+    const float robust_f = accuracy_of(preds, test.labels);
+    const float robust_q = accuracy_of(qpreds, test.labels);
+    EXPECT_NEAR(robust_q, robust_f, kMaxDelta) << what << " robust";
+  }
+};
+
+TEST_F(QuantizedAccuracy, MlpWithinOnePercentCleanAndRobust) {
+  const data::DatasetPair digits = make_data();
+  Rng rng(1);
+  nn::Sequential net = nn::zoo::build("mlp_small", rng);
+  core::TrainConfig cfg;
+  cfg.epochs = 8;
+  cfg.seed = 2;
+  core::VanillaTrainer trainer(net, cfg);
+  trainer.fit(digits.train);
+  check_deltas(net, digits.test, "mlp_small");
+}
+
+TEST_F(QuantizedAccuracy, ConvWithinOnePercentCleanAndRobust) {
+  const data::DatasetPair digits = make_data();
+  Rng rng(1);
+  nn::Sequential net = nn::zoo::build("cnn_small", rng);
+  core::TrainConfig cfg;
+  cfg.epochs = 3;
+  cfg.seed = 2;
+  core::VanillaTrainer trainer(net, cfg);
+  trainer.fit(digits.train);
+  check_deltas(net, digits.test, "cnn_small");
+}
+
+}  // namespace
+}  // namespace satd

@@ -1,14 +1,18 @@
-// Validates the blocked, packed GEMM kernels (tensor/ops.cpp) against a
-// naive reference over odd, degenerate and empty shapes, pins the
-// no-zero-skip NaN/Inf propagation contract, and asserts thread-count
-// invariance of the results.
+// Validates the blocked, packed GEMM against a naive reference over odd,
+// degenerate and empty shapes — for EVERY microkernel compiled into this
+// binary — pins the no-zero-skip NaN/Inf propagation contract, the
+// cross-kernel f32 bit-identity contract, the exact int8 path, and
+// thread-count invariance of the results under each kernel.
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdint>
 #include <limits>
+#include <vector>
 
 #include "common/rng.h"
 #include "common/thread_pool.h"
+#include "tensor/kernel/microkernel.h"
 #include "tensor/ops.h"
 #include "tensor/tensor.h"
 
@@ -20,6 +24,41 @@ Tensor random_tensor(Shape shape, std::uint64_t seed) {
   Tensor t(std::move(shape));
   for (float& v : t.data()) v = static_cast<float>(rng.uniform(-1, 1));
   return t;
+}
+
+/// Restores SATD_KERNEL/auto dispatch when a test that pins a specific
+/// kernel leaves scope (even via an assertion failure).
+struct KernelGuard {
+  ~KernelGuard() { kernel::set_active_kernel(""); }
+};
+
+std::vector<std::int8_t> random_s8(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::int8_t> v(n);
+  for (auto& x : v) {
+    x = static_cast<std::int8_t>(static_cast<long>(rng.uniform(-127, 127)));
+  }
+  return v;
+}
+
+/// Reference int8 GEMM: exact int32 accumulation, any order (integer
+/// addition is associative, so order is irrelevant here).
+std::vector<std::int32_t> naive_s8(const std::vector<std::int8_t>& a,
+                                   const std::vector<std::int8_t>& b,
+                                   std::size_t m, std::size_t n,
+                                   std::size_t k) {
+  std::vector<std::int32_t> c(m * n, 0);
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      std::int32_t acc = 0;
+      for (std::size_t kk = 0; kk < k; ++kk) {
+        acc += static_cast<std::int32_t>(a[i * k + kk]) *
+               static_cast<std::int32_t>(b[kk * n + j]);
+      }
+      c[i * n + j] = acc;
+    }
+  }
+  return c;
 }
 
 /// Reference GEMM: the scalar i-j-k triple loop, float accumulation in
@@ -51,14 +90,71 @@ TEST_P(GemmShapeSweep, AllKernelsMatchNaiveReference) {
   const auto k = static_cast<std::size_t>(ki);
   const Tensor a = random_tensor(Shape{m, k}, 1000 + m * 31 + n * 7 + k);
   const Tensor b = random_tensor(Shape{k, n}, 2000 + m + n * 13 + k * 5);
+  const Tensor at = ops::transpose(a);
+  const Tensor bt = ops::transpose(b);
   const Tensor expected = naive_matmul(a, b);
 
-  EXPECT_TRUE(ops::matmul(a, b).allclose(expected, 1e-4f))
-      << "matmul " << m << "x" << k << "x" << n;
-  EXPECT_TRUE(ops::matmul_tn(ops::transpose(a), b).allclose(expected, 1e-4f))
-      << "matmul_tn " << m << "x" << k << "x" << n;
-  EXPECT_TRUE(ops::matmul_nt(a, ops::transpose(b)).allclose(expected, 1e-4f))
-      << "matmul_nt " << m << "x" << k << "x" << n;
+  KernelGuard guard;
+  for (const kernel::MicroKernel* kern : kernel::available_kernels()) {
+    ASSERT_TRUE(kernel::set_active_kernel(kern->name));
+    EXPECT_TRUE(ops::matmul(a, b).allclose(expected, 1e-4f))
+        << kern->name << " matmul " << m << "x" << k << "x" << n;
+    EXPECT_TRUE(ops::matmul_tn(at, b).allclose(expected, 1e-4f))
+        << kern->name << " matmul_tn " << m << "x" << k << "x" << n;
+    EXPECT_TRUE(ops::matmul_nt(a, bt).allclose(expected, 1e-4f))
+        << kern->name << " matmul_nt " << m << "x" << k << "x" << n;
+  }
+}
+
+// The accumulation contract (single-rounded mul + add, strictly
+// increasing k, one accumulator per output element) makes every SIMD
+// variant produce the scalar kernel's results bit-for-bit — which is
+// what lets auto-dispatch change the kernel without invalidating any
+// pinned golden value in the suite.
+TEST_P(GemmShapeSweep, SimdKernelsBitIdenticalToScalar) {
+  const auto [mi, ni, ki] = GetParam();
+  const auto m = static_cast<std::size_t>(mi);
+  const auto n = static_cast<std::size_t>(ni);
+  const auto k = static_cast<std::size_t>(ki);
+  const Tensor a = random_tensor(Shape{m, k}, 5000 + m * 31 + n * 7 + k);
+  const Tensor b = random_tensor(Shape{k, n}, 6000 + m + n * 13 + k * 5);
+  const Tensor at = ops::transpose(a);
+  const Tensor bt = ops::transpose(b);
+
+  KernelGuard guard;
+  ASSERT_TRUE(kernel::set_active_kernel("scalar"));
+  const Tensor ref = ops::matmul(a, b);
+  const Tensor ref_tn = ops::matmul_tn(at, b);
+  const Tensor ref_nt = ops::matmul_nt(a, bt);
+  for (const kernel::MicroKernel* kern : kernel::available_kernels()) {
+    ASSERT_TRUE(kernel::set_active_kernel(kern->name));
+    EXPECT_TRUE(ops::matmul(a, b).equals(ref))
+        << kern->name << " " << m << "x" << k << "x" << n;
+    EXPECT_TRUE(ops::matmul_tn(at, b).equals(ref_tn))
+        << kern->name << " tn " << m << "x" << k << "x" << n;
+    EXPECT_TRUE(ops::matmul_nt(a, bt).equals(ref_nt))
+        << kern->name << " nt " << m << "x" << k << "x" << n;
+  }
+}
+
+TEST_P(GemmShapeSweep, Int8KernelsExactlyMatchNaiveReference) {
+  const auto [mi, ni, ki] = GetParam();
+  const auto m = static_cast<std::size_t>(mi);
+  const auto n = static_cast<std::size_t>(ni);
+  const auto k = static_cast<std::size_t>(ki);
+  const auto a = random_s8(m * k, 300 + m * 31 + n * 7 + k);
+  const auto b = random_s8(k * n, 400 + m + n * 13 + k * 5);
+  const auto expected = naive_s8(a, b, m, n, k);
+
+  KernelGuard guard;
+  std::vector<std::int32_t> c(m * n);
+  for (const kernel::MicroKernel* kern : kernel::available_kernels()) {
+    ASSERT_TRUE(kernel::set_active_kernel(kern->name));
+    std::fill(c.begin(), c.end(), -1);
+    kernel::gemm_s8(a.data(), b.data(), m, n, k, c.data());
+    EXPECT_EQ(c, expected)
+        << kern->name << " s8 " << m << "x" << k << "x" << n;
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(
@@ -108,18 +204,22 @@ TEST(GemmKernel, ZeroTimesInfPropagatesNaN) {
   b.at(1, 1) = 1.0f;
 
   // c[0,0] = 0 * inf + 1 * 1 -> NaN; c[1,0] = 2 * inf + 3 -> inf.
-  const Tensor c = ops::matmul(a, b);
-  EXPECT_TRUE(std::isnan(c.at(0, 0)));
-  EXPECT_TRUE(std::isinf(c.at(1, 0)));
-  EXPECT_FLOAT_EQ(c.at(0, 1), 1.0f);
+  KernelGuard guard;
+  for (const kernel::MicroKernel* kern : kernel::available_kernels()) {
+    ASSERT_TRUE(kernel::set_active_kernel(kern->name));
+    const Tensor c = ops::matmul(a, b);
+    EXPECT_TRUE(std::isnan(c.at(0, 0))) << kern->name;
+    EXPECT_TRUE(std::isinf(c.at(1, 0))) << kern->name;
+    EXPECT_FLOAT_EQ(c.at(0, 1), 1.0f) << kern->name;
 
-  const Tensor c_tn = ops::matmul_tn(ops::transpose(a), b);
-  EXPECT_TRUE(std::isnan(c_tn.at(0, 0)));
-  EXPECT_TRUE(std::isinf(c_tn.at(1, 0)));
+    const Tensor c_tn = ops::matmul_tn(ops::transpose(a), b);
+    EXPECT_TRUE(std::isnan(c_tn.at(0, 0))) << kern->name;
+    EXPECT_TRUE(std::isinf(c_tn.at(1, 0))) << kern->name;
 
-  const Tensor c_nt = ops::matmul_nt(a, ops::transpose(b));
-  EXPECT_TRUE(std::isnan(c_nt.at(0, 0)));
-  EXPECT_TRUE(std::isinf(c_nt.at(1, 0)));
+    const Tensor c_nt = ops::matmul_nt(a, ops::transpose(b));
+    EXPECT_TRUE(std::isnan(c_nt.at(0, 0))) << kern->name;
+    EXPECT_TRUE(std::isinf(c_nt.at(1, 0))) << kern->name;
+  }
 }
 
 TEST(GemmKernel, NaNOperandPoisonsItsRow) {
@@ -127,34 +227,53 @@ TEST(GemmKernel, NaNOperandPoisonsItsRow) {
   Tensor a = random_tensor(Shape{3, 4}, 7);
   a.at(1, 2) = nan;
   const Tensor b = random_tensor(Shape{4, 3}, 8);
-  const Tensor c = ops::matmul(a, b);
-  for (std::size_t j = 0; j < 3; ++j) {
-    EXPECT_TRUE(std::isnan(c.at(1, j))) << "col " << j;
-    EXPECT_FALSE(std::isnan(c.at(0, j))) << "col " << j;
-    EXPECT_FALSE(std::isnan(c.at(2, j))) << "col " << j;
+  KernelGuard guard;
+  for (const kernel::MicroKernel* kern : kernel::available_kernels()) {
+    ASSERT_TRUE(kernel::set_active_kernel(kern->name));
+    const Tensor c = ops::matmul(a, b);
+    for (std::size_t j = 0; j < 3; ++j) {
+      EXPECT_TRUE(std::isnan(c.at(1, j))) << kern->name << " col " << j;
+      EXPECT_FALSE(std::isnan(c.at(0, j))) << kern->name << " col " << j;
+      EXPECT_FALSE(std::isnan(c.at(2, j))) << kern->name << " col " << j;
+    }
   }
 }
 
 // The row-panel-only work decomposition makes results bit-identical for
-// any thread count; this is the kernel-level half of the determinism
-// contract (tests/parallel/determinism_test.cpp pins the training side).
-TEST(GemmKernel, ResultsBitIdenticalAcrossThreadCounts) {
+// any thread count UNDER ANY FIXED KERNEL; this is the kernel-level half
+// of the determinism contract (tests/parallel/determinism_test.cpp pins
+// the training side).
+TEST(GemmKernel, ResultsBitIdenticalAcrossThreadCountsForEveryKernel) {
   const Tensor a = random_tensor(Shape{65, 37}, 21);
   const Tensor b = random_tensor(Shape{37, 53}, 22);
   const Tensor at = ops::transpose(a);
   const Tensor bt = ops::transpose(b);
+  const auto as8 = random_s8(65 * 37, 23);
+  const auto bs8 = random_s8(37 * 53, 24);
 
-  ThreadPool::set_global_threads(1);
-  const Tensor c1 = ops::matmul(a, b);
-  const Tensor c1_tn = ops::matmul_tn(at, b);
-  const Tensor c1_nt = ops::matmul_nt(a, bt);
-  for (std::size_t threads : {2u, 4u}) {
-    ThreadPool::set_global_threads(threads);
-    EXPECT_TRUE(ops::matmul(a, b).equals(c1)) << threads << " threads";
-    EXPECT_TRUE(ops::matmul_tn(at, b).equals(c1_tn)) << threads << " threads";
-    EXPECT_TRUE(ops::matmul_nt(a, bt).equals(c1_nt)) << threads << " threads";
+  KernelGuard guard;
+  for (const kernel::MicroKernel* kern : kernel::available_kernels()) {
+    ASSERT_TRUE(kernel::set_active_kernel(kern->name));
+    ThreadPool::set_global_threads(1);
+    const Tensor c1 = ops::matmul(a, b);
+    const Tensor c1_tn = ops::matmul_tn(at, b);
+    const Tensor c1_nt = ops::matmul_nt(a, bt);
+    std::vector<std::int32_t> s1(65 * 53);
+    kernel::gemm_s8(as8.data(), bs8.data(), 65, 53, 37, s1.data());
+    for (std::size_t threads : {2u, 4u}) {
+      ThreadPool::set_global_threads(threads);
+      EXPECT_TRUE(ops::matmul(a, b).equals(c1))
+          << kern->name << " " << threads << " threads";
+      EXPECT_TRUE(ops::matmul_tn(at, b).equals(c1_tn))
+          << kern->name << " " << threads << " threads";
+      EXPECT_TRUE(ops::matmul_nt(a, bt).equals(c1_nt))
+          << kern->name << " " << threads << " threads";
+      std::vector<std::int32_t> sn(65 * 53);
+      kernel::gemm_s8(as8.data(), bs8.data(), 65, 53, 37, sn.data());
+      EXPECT_EQ(sn, s1) << kern->name << " s8 " << threads << " threads";
+    }
+    ThreadPool::set_global_threads(0);  // restore the environment default
   }
-  ThreadPool::set_global_threads(0);  // restore the environment default
 }
 
 }  // namespace
