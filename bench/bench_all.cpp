@@ -1,6 +1,8 @@
 // Supervised end-to-end reproduction: runs the whole experiment matrix
-// (Table I, Figures 1 and 2, both ablations) under the job supervisor
-// (src/runtime/supervisor.h).
+// (Table I, Figures 1 and 2, both ablations) under a resilient job
+// orchestrator — in-process (src/runtime/supervisor.h) by default, or
+// with every job fork/exec'd as an isolated child process under the
+// multi-process spooler (src/runtime/spooler.h) when --spool is given.
 //
 // The matrix is decomposed into resumable jobs: one training job per
 // (dataset, method) pair — whose output is the model-cache entry — and
@@ -13,13 +15,25 @@
 // exhausts its retries is reported DEGRADED, but independent jobs keep
 // running: one broken corner never costs the rest of the matrix.
 //
+// Spool mode adds crash isolation (a child can segfault or be OOM-killed
+// without hurting the matrix), hard SIGKILL watchdogs, per-child CPU
+// pinning from a --cores budget, per-job resource accounting (peak RSS,
+// wall/user/sys time) in the report and BENCH_matrix.json, and a named
+// --farm slot gate so several bench_all invocations share one machine-
+// wide concurrency budget. Children re-enter this binary with
+// `--run-job <name>` and report back through the process exit protocol
+// (0 = ok, 75 = cooperative watchdog overrun, else failure).
+//
 // Single-step training jobs (FGSM-Adv and Proposed) run under the
 // robustness-collapse sentinel (core/sentinel.h) unless --no-sentinel
 // is given.
+#include <unistd.h>
+
 #include <cstddef>
 #include <cstdio>
 #include <exception>
 #include <functional>
+#include <limits>
 #include <string>
 #include <utility>
 #include <vector>
@@ -27,6 +41,7 @@
 #include "common/cli.h"
 #include "common/durable_io.h"
 #include "experiments.h"
+#include "runtime/spooler.h"
 #include "runtime/supervisor.h"
 
 using namespace satd;
@@ -68,109 +83,35 @@ std::vector<std::string> train_outputs(const metrics::ExperimentEnv& env,
   return {stem + ".model", stem + ".report"};
 }
 
-/// Wraps an experiment body as a job attempt: the watchdog deadline is
-/// polled at batch boundaries via the trainer stop check, an interrupted
-/// run reports an overrun (retryable), any other error a failure.
-runtime::JobResult run_attempt(
-    const metrics::ExperimentEnv& env, bool sentinel,
-    runtime::JobContext& jc,
-    const std::function<void(const bench::ExperimentContext&)>& body) {
-  bench::ExperimentContext ctx{env, jc.stop_check(), sentinel};
-  try {
-    body(ctx);
-  } catch (const bench::ExperimentInterrupted& e) {
-    return runtime::JobResult::overrun(e.what());
-  } catch (const std::exception& e) {
-    return runtime::JobResult::failed(e.what());
-  }
-  return runtime::JobResult::ok();
-}
+/// One matrix entry: the job metadata plus the experiment body it runs.
+/// The body is kept separate from Job::run so the same definition serves
+/// all three execution modes (in-process supervisor, spooler parent —
+/// which never runs bodies — and `--run-job` child re-entry).
+struct MatrixJob {
+  runtime::Job job;
+  std::function<void(const bench::ExperimentContext&)> body;
+};
 
-}  // namespace
-
-int main(int argc, char** argv) {
-  CliParser cli("bench_all",
-                "Runs the full experiment matrix (Table I, Figures 1-2, "
-                "ablations) under the resilient job supervisor.");
-  cli.add_string("scale", "",
-                 "workload scale: tiny|smoke|fast|paper (default: the "
-                 "SATD_SCALE environment, i.e. fast)");
-  cli.add_string("manifest", "",
-                 "supervisor manifest path (default: "
-                 "<cache_dir>/supervisor_manifest.bin)");
-  cli.add_string("report", "bench_all_report.txt",
-                 "where to write the final matrix report");
-  cli.add_int("max-attempts", 3, "attempt budget per job");
-  cli.add_double("deadline", 1800.0,
-                 "per-attempt watchdog deadline in seconds (0 = none)");
-  cli.add_flag("no-sentinel",
-               "disable the robustness-collapse sentinel on single-step "
-               "training jobs");
-  add_threads_option(cli);
-  add_kernel_option(cli);
-  cli.add_string("emit-json", "",
-                 "also write BENCH_matrix.json (per-job outcomes, "
-                 "satd-bench-1 schema) into this directory");
-  if (!cli.parse(argc, argv)) return 0;
-  apply_threads_option(cli);
-  apply_kernel_option(cli);
-
-  metrics::ExperimentEnv env = metrics::ExperimentEnv::from_env();
-  const std::string scale = cli.get_string("scale");
-  if (scale == "tiny") {
-    // Smaller than SATD_SCALE=smoke: sized for CI, where bench_all must
-    // prove the orchestration (not the science) in seconds.
-    env.train_size = 120;
-    env.test_size = 60;
-    env.epochs = 3;
-  } else if (scale == "smoke") {
-    env.train_size = 200;
-    env.test_size = 100;
-    env.epochs = 6;
-  } else if (scale == "paper") {
-    env.train_size = 4000;
-    env.test_size = 1000;
-    env.epochs = 40;
-  } else if (!scale.empty() && scale != "fast") {
-    std::fprintf(stderr, "unknown --scale \"%s\"\n", scale.c_str());
-    return 2;
-  }
-
-  const bool sentinel = !cli.get_flag("no-sentinel");
-  const double deadline = cli.get_double("deadline");
-  const auto max_attempts =
-      static_cast<std::size_t>(cli.get_int("max-attempts"));
-  std::string manifest_path = cli.get_string("manifest");
-  if (manifest_path.empty()) {
-    manifest_path = env.cache_dir + "/supervisor_manifest.bin";
-  }
-
-  bench::print_header("bench_all — supervised experiment matrix", env);
-  std::printf("manifest: %s (delete it to forget past progress)\n\n",
-              manifest_path.c_str());
-
-  runtime::Supervisor::Options options;
-  options.manifest_path = manifest_path;
-  // A manifest journaled at a different scale/seed describes different
-  // artifacts; the fingerprint makes the supervisor start fresh then.
-  options.fingerprint = "bench_all:" + env.describe();
-  runtime::Supervisor supervisor(options);
-
+/// Builds the full experiment matrix. The job graph (names, deps,
+/// outputs) is identical in every mode, which is what makes the child
+/// re-entry protocol safe: parent and child agree on what each job name
+/// means and which files it promises.
+std::vector<MatrixJob> build_matrix(const metrics::ExperimentEnv& env,
+                                    double deadline,
+                                    std::size_t max_attempts) {
+  std::vector<MatrixJob> matrix;
   auto add_job = [&](std::string name,
                      std::function<void(const bench::ExperimentContext&)> body,
                      std::vector<std::string> deps,
                      std::vector<std::string> outputs) {
-    runtime::Job job;
-    job.name = std::move(name);
-    job.deps = std::move(deps);
-    job.outputs = std::move(outputs);
-    job.deadline_seconds = deadline;
-    job.max_attempts = max_attempts;
-    job.run = [&env, sentinel, body = std::move(body)](
-                  runtime::JobContext& jc) {
-      return run_attempt(env, sentinel, jc, body);
-    };
-    supervisor.add(std::move(job));
+    MatrixJob entry;
+    entry.job.name = std::move(name);
+    entry.job.deps = std::move(deps);
+    entry.job.outputs = std::move(outputs);
+    entry.job.deadline_seconds = deadline;
+    entry.job.max_attempts = max_attempts;
+    entry.body = std::move(body);
+    matrix.push_back(std::move(entry));
   };
 
   // Training jobs: populate the model cache, one classifier each.
@@ -179,7 +120,7 @@ int main(int argc, char** argv) {
     for (const TrainSpec& spec : train_specs()) {
       add_job(
           train_job_name(dataset, spec.label),
-          [&, dataset, spec](const bench::ExperimentContext& ctx) {
+          [&env, dataset, spec](const bench::ExperimentContext& ctx) {
             const data::DatasetPair data = bench::load_dataset(ctx.env, dataset);
             bench::train_cached_ctx(ctx, data, dataset, spec.method, spec.ov);
           },
@@ -232,7 +173,229 @@ int main(int argc, char** argv) {
     bench::run_ablation_step(ctx);
   }, {}, {"ablation_step.csv"});
 
-  const runtime::MatrixReport report = supervisor.run();
+  return matrix;
+}
+
+/// Wraps an experiment body as a job attempt: the watchdog deadline is
+/// polled at batch boundaries via the trainer stop check, an interrupted
+/// run reports an overrun (retryable), any other error a failure.
+runtime::JobResult run_attempt(
+    const metrics::ExperimentEnv& env, bool sentinel,
+    runtime::JobContext& jc,
+    const std::function<void(const bench::ExperimentContext&)>& body) {
+  bench::ExperimentContext ctx{env, jc.stop_check(), sentinel};
+  try {
+    body(ctx);
+  } catch (const bench::ExperimentInterrupted& e) {
+    return runtime::JobResult::overrun(e.what());
+  } catch (const std::exception& e) {
+    return runtime::JobResult::failed(e.what());
+  }
+  return runtime::JobResult::ok();
+}
+
+/// Child re-entry (`--run-job <name>`): runs ONE job body in this
+/// process and reports through the exit code — 0 ok, 75 cooperative
+/// overrun (Spooler::kExitOverrun), 1 failure, 2 unknown job. The
+/// spooler parent owns the manifest; the child only writes the job's
+/// own artifacts (which are atomic, so a SIGKILL mid-write never leaves
+/// a torn file for the retry to trip over).
+int run_single_job(const std::vector<MatrixJob>& matrix,
+                   const std::string& name,
+                   const metrics::ExperimentEnv& env, bool sentinel,
+                   double deadline) {
+  const MatrixJob* found = nullptr;
+  for (const MatrixJob& entry : matrix) {
+    if (entry.job.name == name) {
+      found = &entry;
+      break;
+    }
+  }
+  if (found == nullptr) {
+    std::fprintf(stderr, "bench_all --run-job: unknown job \"%s\"\n",
+                 name.c_str());
+    return 2;
+  }
+
+  Clock& clock = SystemClock::instance();
+  const double deadline_at =
+      deadline > 0.0 ? clock.now() + deadline
+                     : std::numeric_limits<double>::infinity();
+  runtime::JobContext jc(clock, deadline_at);
+  const runtime::JobResult result =
+      run_attempt(env, sentinel, jc, found->body);
+  switch (result.status) {
+    case runtime::JobResult::Status::kOk:
+      return 0;
+    case runtime::JobResult::Status::kOverrun:
+      std::fprintf(stderr, "bench_all --run-job %s: overrun: %s\n",
+                   name.c_str(), result.message.c_str());
+      return runtime::Spooler::kExitOverrun;
+    case runtime::JobResult::Status::kFailed:
+      break;
+  }
+  std::fprintf(stderr, "bench_all --run-job %s: failed: %s\n", name.c_str(),
+               result.message.c_str());
+  return 1;
+}
+
+/// Path of this very binary, for spawning `--run-job` children.
+std::string self_exe_path(const char* argv0) {
+  char buf[4096];
+  const ssize_t n = ::readlink("/proc/self/exe", buf, sizeof(buf) - 1);
+  if (n > 0) {
+    buf[n] = '\0';
+    return std::string(buf);
+  }
+  return std::string(argv0);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliParser cli("bench_all",
+                "Runs the full experiment matrix (Table I, Figures 1-2, "
+                "ablations) under the resilient job supervisor, or as "
+                "isolated child processes with --spool.");
+  cli.add_string("scale", "",
+                 "workload scale: tiny|smoke|fast|paper (default: the "
+                 "SATD_SCALE environment, i.e. fast)");
+  cli.add_string("manifest", "",
+                 "supervisor manifest path (default: "
+                 "<cache_dir>/supervisor_manifest.bin)");
+  cli.add_string("report", "bench_all_report.txt",
+                 "where to write the final matrix report");
+  cli.add_int("max-attempts", 3, "attempt budget per job");
+  cli.add_double("deadline", 1800.0,
+                 "per-attempt watchdog deadline in seconds (0 = none)");
+  cli.add_flag("no-sentinel",
+               "disable the robustness-collapse sentinel on single-step "
+               "training jobs");
+  add_threads_option(cli);
+  add_kernel_option(cli);
+  cli.add_flag("spool",
+               "run each job as a fork/exec'd child process under the "
+               "multi-process spooler (crash isolation, CPU pinning, "
+               "resource accounting)");
+  add_spool_options(cli);
+  cli.add_string("farm", "",
+                 "named machine-wide slot gate; bench_all invocations "
+                 "sharing a farm name also share the --slots budget "
+                 "(empty: this invocation only limits itself)");
+  cli.add_string("run-job", "",
+                 "internal child re-entry: run exactly this job in-process "
+                 "and exit (0 ok, 75 watchdog overrun, else failure)");
+  cli.add_string("emit-json", "",
+                 "also write BENCH_matrix.json (per-job outcomes and "
+                 "resource accounting, satd-bench-1 schema) into this "
+                 "directory");
+  if (!cli.parse(argc, argv)) return 0;
+  apply_threads_option(cli);
+  apply_kernel_option(cli);
+
+  metrics::ExperimentEnv env = metrics::ExperimentEnv::from_env();
+  const std::string scale = cli.get_string("scale");
+  if (scale == "tiny") {
+    // Smaller than SATD_SCALE=smoke: sized for CI, where bench_all must
+    // prove the orchestration (not the science) in seconds.
+    env.train_size = 120;
+    env.test_size = 60;
+    env.epochs = 3;
+  } else if (scale == "smoke") {
+    env.train_size = 200;
+    env.test_size = 100;
+    env.epochs = 6;
+  } else if (scale == "paper") {
+    env.train_size = 4000;
+    env.test_size = 1000;
+    env.epochs = 40;
+  } else if (!scale.empty() && scale != "fast") {
+    std::fprintf(stderr, "unknown --scale \"%s\"\n", scale.c_str());
+    return 2;
+  }
+
+  const bool sentinel = !cli.get_flag("no-sentinel");
+  const double deadline = cli.get_double("deadline");
+  const auto max_attempts =
+      static_cast<std::size_t>(cli.get_int("max-attempts"));
+  const std::vector<MatrixJob> matrix =
+      build_matrix(env, deadline, max_attempts);
+
+  // Child re-entry: run one job and exit through the process protocol.
+  if (const std::string& job_name = cli.get_string("run-job");
+      !job_name.empty()) {
+    return run_single_job(matrix, job_name, env, sentinel, deadline);
+  }
+
+  std::string manifest_path = cli.get_string("manifest");
+  if (manifest_path.empty()) {
+    manifest_path = env.cache_dir + "/supervisor_manifest.bin";
+  }
+
+  bench::print_header("bench_all — supervised experiment matrix", env);
+  std::printf("manifest: %s (delete it to forget past progress)\n\n",
+              manifest_path.c_str());
+
+  // A manifest journaled at a different scale/seed describes different
+  // artifacts; the fingerprint makes the orchestrator start fresh then.
+  const std::string fingerprint = "bench_all:" + env.describe();
+
+  runtime::MatrixReport report;
+  if (cli.get_flag("spool")) {
+    runtime::Spooler::Options options;
+    options.manifest_path = manifest_path;
+    options.fingerprint = fingerprint;
+    options.slots = resolve_slots_option(cli, 2);
+    options.cores = resolve_cores_option(cli);
+    options.gate_name = cli.get_string("farm");
+    options.log_dir = env.cache_dir + "/spool_logs";
+
+    // Children re-enter this binary with --run-job. Config flags are
+    // forwarded explicitly; SATD_* environment is inherited. --threads
+    // is NOT forwarded when a core budget is set — the spooler exports a
+    // SATD_THREADS matching each child's core count instead.
+    const std::string exe = self_exe_path(argv[0]);
+    const bool forward_threads = options.cores.empty();
+    runtime::Spooler spooler(
+        std::move(options),
+        [&, exe, forward_threads](const runtime::Job& job,
+                                  std::size_t /*attempt*/) {
+          runtime::SpawnSpec spec;
+          spec.argv = {exe, "--run-job", job.name, "--deadline",
+                       std::to_string(deadline)};
+          if (!scale.empty()) {
+            spec.argv.push_back("--scale");
+            spec.argv.push_back(scale);
+          }
+          if (!sentinel) spec.argv.push_back("--no-sentinel");
+          if (const std::string& k = cli.get_string("kernel"); !k.empty()) {
+            spec.argv.push_back("--kernel");
+            spec.argv.push_back(k);
+          }
+          if (const std::string& t = cli.get_string("threads");
+              forward_threads && !t.empty()) {
+            spec.argv.push_back("--threads");
+            spec.argv.push_back(t);
+          }
+          return spec;
+        });
+    for (const MatrixJob& entry : matrix) spooler.add(entry.job);
+    report = spooler.run();
+  } else {
+    runtime::Supervisor::Options options;
+    options.manifest_path = manifest_path;
+    options.fingerprint = fingerprint;
+    runtime::Supervisor supervisor(options);
+    for (const MatrixJob& entry : matrix) {
+      runtime::Job job = entry.job;
+      job.run = [&env, sentinel, body = entry.body](runtime::JobContext& jc) {
+        return run_attempt(env, sentinel, jc, body);
+      };
+      supervisor.add(std::move(job));
+    }
+    report = supervisor.run();
+  }
+
   const std::string summary = report.to_string();
   std::printf("\n%s", summary.c_str());
   durable::atomic_write_file(cli.get_string("report"), summary);
@@ -246,7 +409,14 @@ int main(int argc, char** argv) {
       r.numbers = {
           {"done", job.state == runtime::JobState::kDone ? 1.0 : 0.0},
           {"attempts", static_cast<double>(job.attempts)},
-          {"resumed", job.resumed ? 1.0 : 0.0}};
+          {"resumed", job.resumed ? 1.0 : 0.0},
+          // Resource accounting (all zero in in-process supervisor mode,
+          // filled by the spooler's per-child wait4/proc sampling).
+          {"wall_seconds", job.usage.wall_seconds},
+          {"user_seconds", job.usage.user_seconds},
+          {"sys_seconds", job.usage.sys_seconds},
+          {"peak_rss_kb", static_cast<double>(job.usage.peak_rss_kb)},
+          {"cores", static_cast<double>(job.cores.size())}};
       rows.push_back(std::move(r));
     }
     bench::JsonResult total;

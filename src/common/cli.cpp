@@ -3,7 +3,10 @@
 #include <cstdio>
 #include <sstream>
 
+#include <cstdlib>
+
 #include "common/contract.h"
+#include "common/env.h"
 #include "common/thread_pool.h"
 #include "tensor/kernel/microkernel.h"
 
@@ -144,6 +147,50 @@ void apply_threads_option(const CliParser& cli) {
                               "got '" + value + "'");
   }
   ThreadPool::set_global_threads(total);
+}
+
+void add_spool_options(CliParser& cli) {
+  cli.add_string("slots", "",
+                 "concurrent child processes for --spool (like SATD_SLOTS; "
+                 "empty = environment, else 2)");
+  cli.add_string("cores", "",
+                 "CPU ids handed out to spooled children, e.g. \"0-3,6\" "
+                 "(like SATD_CORES; empty = environment, else no affinity)");
+}
+
+std::size_t resolve_slots_option(const CliParser& cli, std::size_t fallback) {
+  const std::string& value = cli.get_string("slots");
+  if (!value.empty()) {
+    const std::size_t slots =
+        env::parse_positive_count(value.c_str(), "--slots");
+    if (slots == 0) {
+      throw CliParser::CliError("option --slots expects a positive integer, "
+                                "got '" + value + "'");
+    }
+    return slots;
+  }
+  if (const char* env_value = std::getenv("SATD_SLOTS")) {
+    const std::size_t slots =
+        env::parse_positive_count(env_value, "SATD_SLOTS");
+    if (slots > 0) return slots;  // malformed values warned and fall through
+  }
+  return fallback;
+}
+
+std::vector<int> resolve_cores_option(const CliParser& cli) {
+  const std::string& value = cli.get_string("cores");
+  if (!value.empty()) {
+    std::vector<int> cores = env::parse_cpu_list(value.c_str(), "--cores");
+    if (cores.empty()) {
+      throw CliParser::CliError("option --cores expects a cpu list like "
+                                "\"0-3,6\", got '" + value + "'");
+    }
+    return cores;
+  }
+  if (const char* env_value = std::getenv("SATD_CORES")) {
+    return env::parse_cpu_list(env_value, "SATD_CORES");
+  }
+  return {};
 }
 
 void add_kernel_option(CliParser& cli) {

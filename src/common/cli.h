@@ -84,6 +84,23 @@ void apply_threads_option(const CliParser& cli);
 /// empty keeps the SATD_KERNEL / CPUID auto-dispatch default).
 void add_kernel_option(CliParser& cli);
 
+/// Registers the shared multi-process spooling options: `--slots N`
+/// (concurrent child processes) and `--cores LIST` (CPU ids handed out
+/// to children, e.g. "0-3,6"). Empty values defer to the SATD_SLOTS /
+/// SATD_CORES environment overrides.
+void add_spool_options(CliParser& cli);
+
+/// Resolves the spooler slot budget: an explicit `--slots` wins (a
+/// malformed value throws CliError), else SATD_SLOTS (malformed values
+/// warn and fall through, matching env::parse_positive_count), else
+/// `fallback`.
+std::size_t resolve_slots_option(const CliParser& cli, std::size_t fallback);
+
+/// Resolves the spooler core budget the same way: `--cores` (throws on
+/// malformed input), else SATD_CORES (warn and fall through), else empty
+/// — meaning "no affinity budget".
+std::vector<int> resolve_cores_option(const CliParser& cli);
+
 /// Applies a parsed `--kernel` value through kernel::set_active_kernel.
 /// Unlike --threads, a bad name is NOT an error: dispatch hardening
 /// (warn once, fall back to auto) already covers it, and a bench run on

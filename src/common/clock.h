@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstddef>
+#include <functional>
 #include <vector>
 
 namespace satd {
@@ -41,6 +42,15 @@ class FakeClock : public Clock {
   void sleep_for(double seconds) override {
     if (seconds > 0) now_ += seconds;
     sleeps_.push_back(seconds);
+    if (on_sleep_) on_sleep_(now_);
+  }
+
+  /// Hook invoked after every sleep_for with the new time. Poll-loop
+  /// tests (the spooler waits for children or for a farm slot) use it to
+  /// model the outside world making progress while the supervisor
+  /// sleeps — e.g. another invocation releasing a semaphore token.
+  void set_on_sleep(std::function<void(double)> hook) {
+    on_sleep_ = std::move(hook);
   }
 
   /// Moves time forward without recording a sleep (models work taking
@@ -53,6 +63,7 @@ class FakeClock : public Clock {
  private:
   double now_;
   std::vector<double> sleeps_;
+  std::function<void(double)> on_sleep_;
 };
 
 }  // namespace satd

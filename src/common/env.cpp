@@ -1,0 +1,95 @@
+#include "common/env.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdlib>
+#include <string>
+
+#include "common/log.h"
+
+namespace satd::env {
+
+namespace {
+
+/// Matches ThreadPool's ceiling: nobody schedules a million of anything.
+constexpr long kMaxReasonableCount = 1 << 20;
+
+/// Parses one non-negative integer token; returns -1 on any malformation
+/// (the callers translate that into their own warning).
+long parse_long_token(const char* text, const char** end_out) {
+  errno = 0;
+  char* end = nullptr;
+  const long v = std::strtol(text, &end, 10);
+  if (end == text || errno == ERANGE) {
+    *end_out = text;
+    return -1;
+  }
+  *end_out = end;
+  return v;
+}
+
+}  // namespace
+
+std::size_t parse_positive_count(const char* text, const char* what) {
+  if (text == nullptr || *text == '\0') {
+    log::warn() << what << " is empty; using the default";
+    return 0;
+  }
+  const char* end = nullptr;
+  const long v = parse_long_token(text, &end);
+  if (end == text || *end != '\0') {
+    log::warn() << what << "=\"" << text
+                << "\" is not a number; using the default";
+    return 0;
+  }
+  if (v > kMaxReasonableCount) {
+    log::warn() << what << "=\"" << text
+                << "\" is out of range; using the default";
+    return 0;
+  }
+  if (v < 1) {
+    log::warn() << what << "=" << v
+                << " must be >= 1; using the default";
+    return 0;
+  }
+  return static_cast<std::size_t>(v);
+}
+
+std::vector<int> parse_cpu_list(const char* text, const char* what) {
+  if (text == nullptr || *text == '\0') {
+    log::warn() << what << " is empty; running without a core budget";
+    return {};
+  }
+  const auto reject = [&](const char* why) -> std::vector<int> {
+    log::warn() << what << "=\"" << text << "\" " << why
+                << "; running without a core budget";
+    return {};
+  };
+  std::vector<int> cpus;
+  const char* p = text;
+  for (;;) {
+    const char* end = nullptr;
+    const long lo = parse_long_token(p, &end);
+    if (end == p) return reject("has a malformed cpu id");
+    if (lo < 0 || lo >= kMaxCpuId) return reject("has a cpu id out of range");
+    long hi = lo;
+    p = end;
+    if (*p == '-') {
+      ++p;
+      hi = parse_long_token(p, &end);
+      if (end == p) return reject("has an unbounded range");
+      if (hi < lo) return reject("has a reversed range");
+      if (hi >= kMaxCpuId) return reject("has a cpu id out of range");
+      p = end;
+    }
+    for (long c = lo; c <= hi; ++c) cpus.push_back(static_cast<int>(c));
+    if (*p == '\0') break;
+    if (*p != ',') return reject("has trailing garbage");
+    ++p;  // past the comma; an empty trailing token is caught above
+  }
+  std::sort(cpus.begin(), cpus.end());
+  cpus.erase(std::unique(cpus.begin(), cpus.end()), cpus.end());
+  return cpus;
+}
+
+}  // namespace satd::env

@@ -1,0 +1,35 @@
+// Hardened parsing for SATD_* environment overrides.
+//
+// The runtime spooler reads its machine-level budgets from the
+// environment (SATD_SLOTS for concurrent child processes, SATD_CORES for
+// the CPU set handed out to them). Like ThreadPool::parse_thread_env,
+// these parsers never throw and never propagate garbage: a malformed
+// value earns one warning and a "fall back to the default" result, so a
+// typo in a shell profile degrades a run instead of killing it.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace satd::env {
+
+/// Parses a SATD_SLOTS-style positive count. Returns the value for a
+/// well-formed positive integer; returns 0 — meaning "use the default" —
+/// for anything else (null, empty, non-numeric, trailing garbage, zero,
+/// negative, or absurdly large values), logging one warning naming
+/// `what` and the rejected text.
+std::size_t parse_positive_count(const char* text, const char* what);
+
+/// Parses a SATD_CORES-style CPU list: comma-separated ids and inclusive
+/// ranges, e.g. "0,2-4,7" -> {0,2,3,4,7}. The result is sorted and
+/// deduplicated. Any malformed token (empty, non-numeric, reversed or
+/// unbounded range, id >= kMaxCpuId) rejects the WHOLE list — returning
+/// empty, meaning "no affinity budget" — with one warning, so a partial
+/// typo can never silently pin jobs to the wrong cores.
+std::vector<int> parse_cpu_list(const char* text, const char* what);
+
+/// Upper bound on an accepted CPU id (sanity guard, matches the kernel's
+/// CONFIG_NR_CPUS ceiling on common distros).
+inline constexpr int kMaxCpuId = 4096;
+
+}  // namespace satd::env

@@ -30,6 +30,19 @@ enum class JobState { kPending, kRunning, kDone, kFailed, kDegraded };
 
 const char* to_string(JobState state);
 
+/// Why an attempt did not finish cleanly. Journaled next to the state so
+/// a postmortem can tell a watchdog kill from a crash from an ordinary
+/// error without parsing reason strings.
+///   NONE    — no failure (DONE, or never attempted)
+///   FAILED  — the attempt errored (nonzero exit / thrown exception)
+///   TIMEOUT — the watchdog deadline fired (cooperative overrun, or the
+///             spooler SIGKILLed the child past its deadline)
+///   CRASHED — the process died under it (signal, OOM-kill, or the
+///             supervising process itself was killed mid-attempt)
+enum class FailureKind { kNone, kFailed, kTimeout, kCrashed };
+
+const char* to_string(FailureKind kind);
+
 /// What one attempt of a job reports back to the supervisor.
 struct JobResult {
   enum class Status {

@@ -1,5 +1,6 @@
 #include "runtime/manifest.h"
 
+#include <cstring>
 #include <filesystem>
 #include <sstream>
 
@@ -28,9 +29,27 @@ const char* to_string(JobState state) {
   return "UNKNOWN";
 }
 
+const char* to_string(FailureKind kind) {
+  switch (kind) {
+    case FailureKind::kNone:
+      return "NONE";
+    case FailureKind::kFailed:
+      return "FAILED";
+    case FailureKind::kTimeout:
+      return "TIMEOUT";
+    case FailureKind::kCrashed:
+      return "CRASHED";
+  }
+  return "UNKNOWN";
+}
+
 namespace {
 
-constexpr char kManifestMagic[] = "SATDMAN1";
+// v1 journaled only the lifecycle triple; v2 adds failure kind, exit
+// status, child identity, the core set and resource accounting. Both
+// load; v2 is always written.
+constexpr char kManifestMagicV1[] = "SATDMAN1";
+constexpr char kManifestMagicV2[] = "SATDMAN2";
 
 JobState state_from_u64(std::uint64_t v, const std::string& context) {
   if (v > static_cast<std::uint64_t>(JobState::kDegraded)) {
@@ -38,6 +57,30 @@ JobState state_from_u64(std::uint64_t v, const std::string& context) {
                                     std::to_string(v) + ": " + context);
   }
   return static_cast<JobState>(v);
+}
+
+FailureKind kind_from_u64(std::uint64_t v, const std::string& context) {
+  if (v > static_cast<std::uint64_t>(FailureKind::kCrashed)) {
+    throw durable::CorruptFileError("manifest holds unknown failure kind " +
+                                    std::to_string(v) + ": " + context);
+  }
+  return static_cast<FailureKind>(v);
+}
+
+// Doubles travel as their IEEE-754 bit pattern inside the CRC frame, the
+// same trick tensor serialization uses for floats.
+void write_f64(std::ostream& os, double v) {
+  std::uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  write_u64(os, bits);
+}
+
+double read_f64(std::istream& is) {
+  const std::uint64_t bits = read_u64(is);
+  double v;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
 }
 
 }  // namespace
@@ -53,7 +96,9 @@ bool Manifest::load() {
                           std::ios::binary);
     char magic[8];
     is.read(magic, 8);
-    if (!is || std::string(magic, 8) != kManifestMagic) {
+    const std::string magic_text(magic, is ? 8 : 0);
+    const bool v2 = magic_text == kManifestMagicV2;
+    if (!is || (!v2 && magic_text != kManifestMagicV1)) {
       throw durable::CorruptFileError("bad manifest magic: " + path_);
     }
     const std::string stored_fp = read_string(is);
@@ -69,6 +114,22 @@ bool Manifest::load() {
       const std::uint64_t outputs = read_u64(is);
       for (std::uint64_t k = 0; k < outputs; ++k) {
         rec.outputs.push_back(read_string(is));
+      }
+      if (v2) {
+        rec.kind = kind_from_u64(read_u64(is), path_);
+        rec.exit_code = static_cast<int>(
+            static_cast<std::int64_t>(read_u64(is)));
+        rec.exit_signal = static_cast<int>(read_u64(is));
+        rec.pid = static_cast<int>(read_u64(is));
+        rec.start_id = read_string(is);
+        const std::uint64_t cores = read_u64(is);
+        for (std::uint64_t k = 0; k < cores; ++k) {
+          rec.cores.push_back(static_cast<int>(read_u64(is)));
+        }
+        rec.usage.wall_seconds = read_f64(is);
+        rec.usage.user_seconds = read_f64(is);
+        rec.usage.sys_seconds = read_f64(is);
+        rec.usage.peak_rss_kb = static_cast<long>(read_u64(is));
       }
       loaded.push_back(std::move(rec));
     }
@@ -125,7 +186,7 @@ void Manifest::flush() const {
   const fs::path parent = fs::path(path_).parent_path();
   if (!parent.empty()) fs::create_directories(parent);
   durable::write_file_checksummed(path_, [this](std::ostream& os) {
-    os.write(kManifestMagic, 8);
+    os.write(kManifestMagicV2, 8);
     write_string(os, fingerprint_);
     write_u64(os, records_.size());
     for (const auto& rec : records_) {
@@ -135,6 +196,20 @@ void Manifest::flush() const {
       write_string(os, rec.reason);
       write_u64(os, rec.outputs.size());
       for (const auto& out : rec.outputs) write_string(os, out);
+      write_u64(os, static_cast<std::uint64_t>(rec.kind));
+      write_u64(os, static_cast<std::uint64_t>(
+                        static_cast<std::int64_t>(rec.exit_code)));
+      write_u64(os, static_cast<std::uint64_t>(rec.exit_signal));
+      write_u64(os, static_cast<std::uint64_t>(rec.pid));
+      write_string(os, rec.start_id);
+      write_u64(os, rec.cores.size());
+      for (int core : rec.cores) {
+        write_u64(os, static_cast<std::uint64_t>(core));
+      }
+      write_f64(os, rec.usage.wall_seconds);
+      write_f64(os, rec.usage.user_seconds);
+      write_f64(os, rec.usage.sys_seconds);
+      write_u64(os, static_cast<std::uint64_t>(rec.usage.peak_rss_kb));
     }
   });
 }

@@ -21,16 +21,41 @@
 #include <vector>
 
 #include "runtime/job.h"
+#include "runtime/rusage.h"
 
 namespace satd::runtime {
 
 /// Journal entry for one job.
+///
+/// Format v2 ("SATDMAN2") extends the v1 lifecycle triple with process
+/// supervision fields: the failure kind (FAILED vs TIMEOUT vs CRASHED),
+/// the child's exit code / terminating signal, the (pid, start-time)
+/// identity a resumed spooler needs to adopt or declare dead an orphaned
+/// child, the CPU set the attempt was pinned to, and its measured
+/// resource cost. v1 journals load with these fields defaulted.
 struct JobRecord {
+  JobRecord() = default;
+  JobRecord(std::string name_, JobState state_, std::size_t attempts_,
+            std::string reason_, std::vector<std::string> outputs_)
+      : name(std::move(name_)),
+        state(state_),
+        attempts(attempts_),
+        reason(std::move(reason_)),
+        outputs(std::move(outputs_)) {}
+
   std::string name;
   JobState state = JobState::kPending;
   std::size_t attempts = 0;  ///< attempts started (incl. a crashed one)
   std::string reason;        ///< last failure/degradation reason
   std::vector<std::string> outputs;
+
+  FailureKind kind = FailureKind::kNone;  ///< last attempt's failure kind
+  int exit_code = 0;         ///< child exit code, 0 when n/a
+  int exit_signal = 0;       ///< terminating signal, 0 = none
+  int pid = 0;               ///< child pid while RUNNING (spooled jobs)
+  std::string start_id;      ///< /proc start-time identity of that pid
+  std::vector<int> cores;    ///< CPU set assigned to the attempt
+  ResourceUsage usage;       ///< measured cost of the last attempt
 };
 
 /// The durable journal. With an empty path the manifest is memory-only

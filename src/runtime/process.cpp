@@ -1,0 +1,257 @@
+#include "runtime/process.h"
+
+#include <fcntl.h>
+#include <sched.h>
+#include <signal.h>
+#include <sys/resource.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <stdexcept>
+
+#include "common/contract.h"
+#include "common/log.h"
+
+namespace satd::runtime {
+
+// ---- ForkExecRunner ----
+
+ForkExecRunner& ForkExecRunner::instance() {
+  static ForkExecRunner runner;
+  return runner;
+}
+
+ProcessId ForkExecRunner::spawn(const SpawnSpec& spec) {
+  SATD_EXPECT(!spec.argv.empty(), "spawn needs an argv");
+
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    throw std::runtime_error(std::string("fork failed: ") +
+                             std::strerror(errno));
+  }
+  if (pid == 0) {
+    // Child. Only async-signal-safe-ish setup; any failure exits 127.
+    if (!spec.cpus.empty()) {
+      cpu_set_t mask;
+      CPU_ZERO(&mask);
+      for (int cpu : spec.cpus) {
+        if (cpu >= 0 && cpu < CPU_SETSIZE) CPU_SET(cpu, &mask);
+      }
+      ::sched_setaffinity(0, sizeof(mask), &mask);  // best-effort
+    }
+    for (const auto& [key, value] : spec.env) {
+      ::setenv(key.c_str(), value.c_str(), 1);
+    }
+    if (!spec.log_path.empty()) {
+      const int fd = ::open(spec.log_path.c_str(),
+                            O_CREAT | O_WRONLY | O_APPEND, 0644);
+      if (fd >= 0) {
+        ::dup2(fd, STDOUT_FILENO);
+        ::dup2(fd, STDERR_FILENO);
+        if (fd > STDERR_FILENO) ::close(fd);
+      }
+    }
+    std::vector<char*> argv;
+    argv.reserve(spec.argv.size() + 1);
+    for (const auto& arg : spec.argv) {
+      argv.push_back(const_cast<char*>(arg.c_str()));
+    }
+    argv.push_back(nullptr);
+    ::execv(argv[0], argv.data());
+    // exec failed; 127 is the shell's "command not found" convention.
+    ::_exit(127);
+  }
+
+  // Parent. The child stays visible in /proc until reaped (zombies
+  // included), so the start identity read here can never miss.
+  ProcessId id;
+  id.pid = static_cast<int>(pid);
+  id.start_id = read_proc_start_id(id.pid);
+  tracked_[id.pid] = {SystemClock::instance().now(), 0};
+  return id;
+}
+
+ChildStatus ForkExecRunner::poll(const ProcessId& id) {
+  ChildStatus status;
+  int wstatus = 0;
+  struct rusage ru{};
+  const pid_t r = ::wait4(id.pid, &wstatus, WNOHANG, &ru);
+  if (r == 0) return status;  // still running
+  if (r < 0) {
+    // Not our child (adopted orphan, or double-reap): fall back to the
+    // identity check. A vanished process reports a crash-like exit.
+    status.running = alive(id);
+    if (!status.running) {
+      status.signaled = true;
+      status.term_signal = SIGKILL;
+    }
+    return status;
+  }
+
+  status.running = false;
+  if (WIFSIGNALED(wstatus)) {
+    status.signaled = true;
+    status.term_signal = WTERMSIG(wstatus);
+  } else {
+    status.exit_code = WEXITSTATUS(wstatus);
+  }
+  status.usage.user_seconds =
+      ru.ru_utime.tv_sec + ru.ru_utime.tv_usec / 1e6;
+  status.usage.sys_seconds =
+      ru.ru_stime.tv_sec + ru.ru_stime.tv_usec / 1e6;
+  status.usage.peak_rss_kb = ru.ru_maxrss;  // kB on Linux
+  auto it = tracked_.find(id.pid);
+  if (it != tracked_.end()) {
+    status.usage.wall_seconds =
+        SystemClock::instance().now() - it->second.spawned_at;
+    if (it->second.peak_rss_kb > status.usage.peak_rss_kb) {
+      status.usage.peak_rss_kb = it->second.peak_rss_kb;
+    }
+    tracked_.erase(it);
+  }
+  return status;
+}
+
+void ForkExecRunner::kill(const ProcessId& id, int signal) {
+  if (id.pid > 0) ::kill(id.pid, signal);
+}
+
+long ForkExecRunner::sample_rss_kb(const ProcessId& id) {
+  const long kb = read_proc_peak_rss_kb(id.pid);
+  auto it = tracked_.find(id.pid);
+  if (it != tracked_.end() && kb > it->second.peak_rss_kb) {
+    it->second.peak_rss_kb = kb;
+  }
+  return kb;
+}
+
+bool ForkExecRunner::alive(const ProcessId& id) {
+  return process_matches(id.pid, id.start_id);
+}
+
+// ---- FakeProcessRunner ----
+
+void FakeProcessRunner::enqueue(const std::string& key, Script script) {
+  scripts_[key].push_back(std::move(script));
+}
+
+void FakeProcessRunner::add_orphan(int pid, const std::string& start_id,
+                                   double dies_at,
+                                   std::function<void()> on_death) {
+  orphans_[pid] = Orphan{start_id, dies_at, std::move(on_death), false};
+}
+
+ProcessId FakeProcessRunner::spawn(const SpawnSpec& spec) {
+  SATD_EXPECT(!spec.argv.empty(), "spawn needs an argv");
+  Fake fake;
+  auto it = scripts_.find(spec.argv[0]);
+  if (it != scripts_.end() && !it->second.empty()) {
+    fake.script = std::move(it->second.front());
+    it->second.erase(it->second.begin());
+  }
+  fake.started_at = clock_.now();
+
+  ProcessId id;
+  id.pid = next_pid_++;
+  id.start_id = "fake-" + std::to_string(id.pid);
+  fakes_[id.pid] = std::move(fake);
+  spawned_.push_back(spec);
+  ++spawn_count_;
+  ++live_;
+  if (live_ > max_concurrent_) max_concurrent_ = live_;
+  return id;
+}
+
+bool FakeProcessRunner::fake_exited(const Fake& f) const {
+  if (f.killed) return true;
+  return clock_.now() >= f.started_at + f.script.duration;
+}
+
+ChildStatus FakeProcessRunner::poll(const ProcessId& id) {
+  ChildStatus status;
+  if (orphans_.count(id.pid) != 0 && fakes_.count(id.pid) == 0) {
+    // Non-child orphan: mirror ForkExecRunner's fallback — alive while
+    // the identity matches, a crash-like exit once it vanishes.
+    status.running = alive(id);
+    if (!status.running) {
+      status.signaled = true;
+      status.term_signal = SIGKILL;
+    }
+    return status;
+  }
+  auto it = fakes_.find(id.pid);
+  SATD_EXPECT(it != fakes_.end(), "poll of unknown fake pid");
+  Fake& fake = it->second;
+  if (!fake_exited(fake)) return status;
+
+  status.running = false;
+  if (fake.killed) {
+    status.signaled = true;
+    status.term_signal = fake.kill_signal;
+    status.usage.wall_seconds = fake.killed_at - fake.started_at;
+  } else {
+    if (fake.script.term_signal > 0) {
+      status.signaled = true;
+      status.term_signal = fake.script.term_signal;
+    } else {
+      status.exit_code = fake.script.exit_code;
+    }
+    status.usage.wall_seconds = fake.script.duration;
+  }
+  status.usage.user_seconds = fake.script.user_seconds;
+  status.usage.sys_seconds = fake.script.sys_seconds;
+  status.usage.peak_rss_kb = fake.script.peak_rss_kb;
+  if (!fake.reaped) {
+    fake.reaped = true;
+    --live_;
+    if (fake.script.on_exit && !fake.killed) fake.script.on_exit();
+  }
+  return status;
+}
+
+void FakeProcessRunner::kill(const ProcessId& id, int signal) {
+  kills_.emplace_back(id.pid, signal);
+  auto it = fakes_.find(id.pid);
+  if (it == fakes_.end()) {
+    auto orphan = orphans_.find(id.pid);
+    if (orphan != orphans_.end() && signal == SIGKILL) {
+      // Dead immediately; a killed orphan never runs its natural-death
+      // hook (it models the child writing outputs before exiting).
+      orphan->second.dies_at = clock_.now();
+      orphan->second.death_ran = true;
+    }
+    return;
+  }
+  if (signal == SIGKILL && !fake_exited(it->second)) {
+    it->second.killed = true;
+    it->second.kill_signal = signal;
+    it->second.killed_at = clock_.now();
+  }
+}
+
+long FakeProcessRunner::sample_rss_kb(const ProcessId& id) {
+  auto it = fakes_.find(id.pid);
+  if (it != fakes_.end() && !fake_exited(it->second)) {
+    return it->second.script.peak_rss_kb;
+  }
+  return 0;
+}
+
+bool FakeProcessRunner::alive(const ProcessId& id) {
+  auto orphan = orphans_.find(id.pid);
+  if (orphan != orphans_.end() && orphan->second.start_id == id.start_id) {
+    if (clock_.now() < orphan->second.dies_at) return true;
+    if (!orphan->second.death_ran) {
+      orphan->second.death_ran = true;
+      if (orphan->second.on_death) orphan->second.on_death();
+    }
+    return false;
+  }
+  auto it = fakes_.find(id.pid);
+  return it != fakes_.end() && !fake_exited(it->second);
+}
+
+}  // namespace satd::runtime

@@ -1,0 +1,177 @@
+// Injectable child-process layer for the job spooler.
+//
+// The Spooler never calls fork/exec/waitpid directly: every spawn, poll,
+// kill and RSS sample goes through a ProcessRunner. Production uses
+// ForkExecRunner (real processes, CPU affinity, env exports, wait4
+// rusage at reap). Unit tests use FakeProcessRunner, whose "children"
+// are scripted outcomes advanced by a FakeClock — so the whole
+// watchdog / retry / orphan state machine runs deterministically in
+// microseconds, with no dependence on real child-process timing.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/clock.h"
+#include "runtime/rusage.h"
+
+namespace satd::runtime {
+
+/// Identity of a spawned process: the pid plus the /proc start-time tag
+/// that survives in the manifest so a resumed spooler can distinguish
+/// its orphaned child from an unrelated pid reuse.
+struct ProcessId {
+  int pid = -1;
+  std::string start_id;
+};
+
+/// What to launch and how to confine it.
+struct SpawnSpec {
+  std::vector<std::string> argv;  ///< argv[0] is the executable path
+  /// Extra environment exported to the child (on top of the inherited
+  /// environment), e.g. {"SATD_THREADS", "2"}.
+  std::vector<std::pair<std::string, std::string>> env;
+  /// CPU ids the child is pinned to (sched_setaffinity); empty =
+  /// inherit the parent's mask.
+  std::vector<int> cpus;
+  /// Redirect the child's stdout+stderr (appending) into this file;
+  /// empty = inherit.
+  std::string log_path;
+};
+
+/// Result of polling a child.
+struct ChildStatus {
+  bool running = true;
+  bool signaled = false;  ///< terminated by a signal
+  int exit_code = 0;      ///< valid when !running && !signaled
+  int term_signal = 0;    ///< valid when signaled
+  ResourceUsage usage;    ///< filled at reap (user/sys/maxrss)
+};
+
+/// The abstract process layer.
+class ProcessRunner {
+ public:
+  virtual ~ProcessRunner() = default;
+
+  /// Launches a child. Throws std::runtime_error when the spawn itself
+  /// fails (fork/exec errors inside the child surface as exit 127).
+  virtual ProcessId spawn(const SpawnSpec& spec) = 0;
+
+  /// Non-blocking status check; reaps the child (collecting rusage)
+  /// the first time it reports !running. Only valid for ids returned by
+  /// this runner's spawn().
+  virtual ChildStatus poll(const ProcessId& id) = 0;
+
+  /// Sends a signal to the child (ESRCH is ignored).
+  virtual void kill(const ProcessId& id, int signal) = 0;
+
+  /// Current peak-RSS sample in kB; 0 when unavailable. Valid for any
+  /// live process, not just our children (used for adopted orphans).
+  virtual long sample_rss_kb(const ProcessId& id) = 0;
+
+  /// Identity-checked liveness: true while a process with this pid AND
+  /// this start_id exists. Works for non-children (orphan adoption).
+  virtual bool alive(const ProcessId& id) = 0;
+};
+
+/// Real processes: fork + sched_setaffinity + setenv + exec, waitpid
+/// with WNOHANG for polling, wait4 rusage at reap, /proc VmHWM samples.
+class ForkExecRunner : public ProcessRunner {
+ public:
+  ProcessId spawn(const SpawnSpec& spec) override;
+  ChildStatus poll(const ProcessId& id) override;
+  void kill(const ProcessId& id, int signal) override;
+  long sample_rss_kb(const ProcessId& id) override;
+  bool alive(const ProcessId& id) override;
+
+  /// Shared instance (the Spooler's default runner).
+  static ForkExecRunner& instance();
+
+ private:
+  struct Tracked {
+    double spawned_at = 0.0;  // SystemClock seconds
+    long peak_rss_kb = 0;     // max of samples, merged with ru_maxrss
+  };
+  std::map<int, Tracked> tracked_;  // pid -> bookkeeping until reaped
+};
+
+/// Scripted processes for unit tests, advanced by the test's Clock.
+///
+/// Outcomes are enqueued per *key* — the first argv element — and
+/// consumed in order, so a test can script "attempt 1 crashes, attempt 2
+/// succeeds" for one job. An empty queue yields the default outcome
+/// (immediate clean exit).
+class FakeProcessRunner : public ProcessRunner {
+ public:
+  struct Script {
+    double duration = 0.0;   ///< clock-seconds until the child exits
+    int exit_code = 0;
+    int term_signal = 0;     ///< nonzero = dies by signal instead
+    long peak_rss_kb = 0;
+    double user_seconds = 0.0;
+    double sys_seconds = 0.0;
+    /// Runs when the exit is first observed by poll() (models the child
+    /// writing its outputs just before exiting).
+    std::function<void()> on_exit;
+  };
+
+  explicit FakeProcessRunner(Clock& clock) : clock_(clock) {}
+
+  /// Scripts the next spawn whose argv[0] == key.
+  void enqueue(const std::string& key, Script script);
+
+  /// Registers an "orphan": a process that exists independently of any
+  /// spawn (models a child surviving its spooler's kill -9). It stays
+  /// alive until the clock passes dies_at, then `on_death` runs once.
+  void add_orphan(int pid, const std::string& start_id, double dies_at,
+                  std::function<void()> on_death = nullptr);
+
+  // -- introspection for assertions --
+  std::size_t spawn_count() const { return spawn_count_; }
+  std::size_t max_concurrent() const { return max_concurrent_; }
+  /// Every spec ever spawned, in order.
+  const std::vector<SpawnSpec>& spawned() const { return spawned_; }
+  /// Signals delivered via kill(), as (pid, signal).
+  const std::vector<std::pair<int, int>>& kills() const { return kills_; }
+
+  ProcessId spawn(const SpawnSpec& spec) override;
+  ChildStatus poll(const ProcessId& id) override;
+  void kill(const ProcessId& id, int signal) override;
+  long sample_rss_kb(const ProcessId& id) override;
+  bool alive(const ProcessId& id) override;
+
+ private:
+  struct Fake {
+    Script script;
+    double started_at = 0.0;
+    bool killed = false;
+    int kill_signal = 0;
+    double killed_at = 0.0;
+    bool reaped = false;
+  };
+  struct Orphan {
+    std::string start_id;
+    double dies_at = 0.0;
+    std::function<void()> on_death;
+    bool death_ran = false;
+  };
+
+  bool fake_exited(const Fake& f) const;
+
+  Clock& clock_;
+  std::map<std::string, std::vector<Script>> scripts_;
+  std::map<int, Fake> fakes_;
+  std::map<int, Orphan> orphans_;
+  std::vector<SpawnSpec> spawned_;
+  std::vector<std::pair<int, int>> kills_;
+  int next_pid_ = 1000;
+  std::size_t spawn_count_ = 0;
+  std::size_t live_ = 0;
+  std::size_t max_concurrent_ = 0;
+};
+
+}  // namespace satd::runtime

@@ -1,0 +1,78 @@
+#include "runtime/report.h"
+
+#include <algorithm>
+#include <cstring>
+#include <csignal>
+#include <sstream>
+
+namespace satd::runtime {
+
+std::string describe_exit(int exit_code, int exit_signal) {
+  if (exit_signal > 0) {
+    std::string text = "signal " + std::to_string(exit_signal);
+    if (const char* name = strsignal(exit_signal)) {
+      text += " (SIG";
+      // strsignal gives "Killed"; sigabbrev_np is glibc>=2.32, so map the
+      // common ones by hand and fall back to the description.
+      switch (exit_signal) {
+        case SIGKILL: text += "KILL)"; break;
+        case SIGSEGV: text += "SEGV)"; break;
+        case SIGABRT: text += "ABRT)"; break;
+        case SIGTERM: text += "TERM)"; break;
+        case SIGINT: text += "INT)"; break;
+        case SIGBUS: text += "BUS)"; break;
+        default:
+          text.resize(text.size() - 4);  // drop " (SIG"
+          text += std::string(" (") + name + ")";
+          break;
+      }
+    }
+    return text;
+  }
+  if (exit_code != 0) return "exit " + std::to_string(exit_code);
+  return "";
+}
+
+std::size_t MatrixReport::done() const {
+  return static_cast<std::size_t>(
+      std::count_if(jobs.begin(), jobs.end(), [](const JobOutcome& j) {
+        return j.state == JobState::kDone;
+      }));
+}
+
+std::size_t MatrixReport::degraded() const {
+  return static_cast<std::size_t>(
+      std::count_if(jobs.begin(), jobs.end(), [](const JobOutcome& j) {
+        return j.state == JobState::kDegraded;
+      }));
+}
+
+std::string MatrixReport::to_string() const {
+  std::ostringstream ss;
+  ss << "supervised matrix: " << done() << "/" << jobs.size() << " done";
+  if (degraded() > 0) ss << ", " << degraded() << " DEGRADED";
+  ss << "\n";
+  for (const auto& job : jobs) {
+    ss << "  " << runtime::to_string(job.state) << "  " << job.name
+       << "  attempts=" << job.attempts;
+    if (job.resumed) ss << "  (resumed)";
+    if (!job.cores.empty()) {
+      ss << "  cores=";
+      for (std::size_t i = 0; i < job.cores.size(); ++i) {
+        if (i > 0) ss << ",";
+        ss << job.cores[i];
+      }
+    }
+    if (job.usage.any()) ss << "  {" << job.usage.to_string() << "}";
+    if (job.kind != FailureKind::kNone) {
+      ss << "  " << runtime::to_string(job.kind);
+      const std::string exit = describe_exit(job.exit_code, job.exit_signal);
+      if (!exit.empty()) ss << "(" << exit << ")";
+    }
+    if (!job.reason.empty()) ss << "  [" << job.reason << "]";
+    ss << "\n";
+  }
+  return ss.str();
+}
+
+}  // namespace satd::runtime

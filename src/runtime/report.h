@@ -1,0 +1,52 @@
+// Matrix outcome report shared by the in-process Supervisor and the
+// multi-process Spooler.
+//
+// A run of either orchestrator produces one JobOutcome per job. On top
+// of the original state/attempts/reason triple, outcomes now carry the
+// failure *kind* (FAILED vs TIMEOUT vs CRASHED), the child's exit code
+// or terminating signal, the CPU set it ran on and what the attempt cost
+// (runtime/rusage.h) — so a DEGRADED row in the report or the bench JSON
+// explains itself without grepping logs.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "runtime/job.h"
+#include "runtime/rusage.h"
+
+namespace satd::runtime {
+
+/// Final state of one job after a run — the matrix report row.
+struct JobOutcome {
+  std::string name;
+  JobState state = JobState::kPending;
+  std::size_t attempts = 0;
+  std::string reason;
+  bool resumed = false;  ///< DONE was adopted from a previous run
+  FailureKind kind = FailureKind::kNone;  ///< last attempt's failure kind
+  int exit_code = 0;     ///< child exit code (spooled jobs; 0 otherwise)
+  int exit_signal = 0;   ///< terminating signal, 0 = none
+  std::vector<int> cores;  ///< CPU set the last attempt was pinned to
+  ResourceUsage usage;     ///< last attempt's measured cost
+};
+
+/// Renders "signal 9 (SIGKILL)" / "exit 3" for report rows; empty when
+/// the outcome carries neither.
+std::string describe_exit(int exit_code, int exit_signal);
+
+/// Summary of a whole supervised run.
+struct MatrixReport {
+  std::vector<JobOutcome> jobs;
+
+  std::size_t done() const;
+  std::size_t degraded() const;
+  bool all_done() const { return degraded() == 0 && done() == jobs.size(); }
+
+  /// Human-readable table; DEGRADED rows carry their failure kind,
+  /// exit status and reason, DONE rows their resource cost.
+  std::string to_string() const;
+};
+
+}  // namespace satd::runtime

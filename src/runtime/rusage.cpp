@@ -1,0 +1,85 @@
+#include "runtime/rusage.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace satd::runtime {
+
+namespace {
+
+std::string proc_path(int pid, const char* leaf) {
+  return "/proc/" + std::to_string(pid) + "/" + leaf;
+}
+
+}  // namespace
+
+std::string ResourceUsage::to_string() const {
+  std::ostringstream ss;
+  char buf[64];
+  bool first = true;
+  const auto emit = [&](const char* text) {
+    if (!first) ss << " ";
+    ss << text;
+    first = false;
+  };
+  if (peak_rss_kb > 0) {
+    if (peak_rss_kb >= 1024) {
+      std::snprintf(buf, sizeof(buf), "rss=%.0fMB", peak_rss_kb / 1024.0);
+    } else {
+      std::snprintf(buf, sizeof(buf), "rss=%ldkB", peak_rss_kb);
+    }
+    emit(buf);
+  }
+  if (wall_seconds > 0.0) {
+    std::snprintf(buf, sizeof(buf), "wall=%.1fs", wall_seconds);
+    emit(buf);
+  }
+  if (user_seconds > 0.0) {
+    std::snprintf(buf, sizeof(buf), "user=%.1fs", user_seconds);
+    emit(buf);
+  }
+  if (sys_seconds > 0.0) {
+    std::snprintf(buf, sizeof(buf), "sys=%.1fs", sys_seconds);
+    emit(buf);
+  }
+  return ss.str();
+}
+
+long read_proc_peak_rss_kb(int pid) {
+  std::ifstream status(proc_path(pid, "status"));
+  std::string line;
+  while (std::getline(status, line)) {
+    if (line.rfind("VmHWM:", 0) == 0) {
+      long kb = 0;
+      if (std::sscanf(line.c_str(), "VmHWM: %ld", &kb) == 1) return kb;
+      return 0;
+    }
+  }
+  return 0;
+}
+
+std::string read_proc_start_id(int pid) {
+  std::ifstream stat(proc_path(pid, "stat"));
+  std::string contents;
+  if (!std::getline(stat, contents)) return "";
+  // Field 2 (comm) may contain spaces; everything after the closing ')'
+  // is space-separated, with starttime at position 22 overall.
+  const std::size_t paren = contents.rfind(')');
+  if (paren == std::string::npos) return "";
+  std::istringstream rest(contents.substr(paren + 1));
+  std::string field;
+  for (int i = 3; i <= 22; ++i) {
+    if (!(rest >> field)) return "";
+  }
+  return field;
+}
+
+bool process_matches(int pid, const std::string& start_id) {
+  if (pid <= 0) return false;
+  const std::string current = read_proc_start_id(pid);
+  if (current.empty()) return false;
+  return start_id.empty() || current == start_id;
+}
+
+}  // namespace satd::runtime

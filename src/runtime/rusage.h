@@ -1,0 +1,55 @@
+// Per-process resource accounting for the job spooler.
+//
+// Every spooled attempt is a real child process, so its cost can be
+// measured instead of estimated: wall time from the supervising clock,
+// user/sys CPU time from wait4()'s rusage at reap, and peak resident set
+// from periodic /proc/<pid>/status sampling (VmHWM) merged with
+// ru_maxrss. The numbers land in the manifest journal and in
+// BENCH_matrix.json so a degraded or OOM-killed job can be diagnosed
+// from its row alone.
+//
+// The /proc helpers also expose the process *identity* primitive the
+// orphan-adoption protocol needs: a pid alone is recyclable, but the
+// pair (pid, starttime-from-/proc/<pid>/stat) is unique for the life of
+// the machine, so a resumed spooler can tell "my orphaned child is still
+// running" from "some unrelated process reused the pid".
+#pragma once
+
+#include <string>
+
+namespace satd::runtime {
+
+/// What one attempt of a job cost. Zero-initialized means "not
+/// measured" (e.g. the in-process Supervisor, or a v1 manifest).
+struct ResourceUsage {
+  double wall_seconds = 0.0;  ///< spawn-to-reap on the supervising clock
+  double user_seconds = 0.0;  ///< ru_utime at reap
+  double sys_seconds = 0.0;   ///< ru_stime at reap
+  long peak_rss_kb = 0;       ///< max(VmHWM samples, ru_maxrss)
+
+  /// True when any field was actually measured.
+  bool any() const {
+    return wall_seconds > 0.0 || user_seconds > 0.0 || sys_seconds > 0.0 ||
+           peak_rss_kb > 0;
+  }
+
+  /// Compact human rendering, e.g. "rss=182MB wall=12.3s user=11.8s
+  /// sys=0.3s" (omitting unmeasured fields).
+  std::string to_string() const;
+};
+
+/// Peak resident set (VmHWM) of a live process in kB from
+/// /proc/<pid>/status; 0 when the process is gone or the field is
+/// unavailable.
+long read_proc_peak_rss_kb(int pid);
+
+/// Process start-time identity: field 22 (starttime, in clock ticks
+/// since boot) of /proc/<pid>/stat, as text. Empty when the process does
+/// not exist. Stable across exec, unique per pid incarnation.
+std::string read_proc_start_id(int pid);
+
+/// True when a process with this pid exists AND matches the recorded
+/// start identity (empty `start_id` degrades to a bare existence check).
+bool process_matches(int pid, const std::string& start_id);
+
+}  // namespace satd::runtime

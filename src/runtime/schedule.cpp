@@ -1,0 +1,47 @@
+#include "runtime/schedule.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
+namespace satd::runtime {
+
+std::vector<std::size_t> topological_order(const std::vector<Job>& jobs) {
+  const std::size_t n = jobs.size();
+  std::vector<std::size_t> indegree(n, 0);
+  std::vector<std::vector<std::size_t>> dependents(n);
+  auto index_of = [&jobs](const std::string& name) -> std::size_t {
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+      if (jobs[i].name == name) return i;
+    }
+    throw std::invalid_argument("unknown dependency: " + name);
+  };
+  for (std::size_t i = 0; i < n; ++i) {
+    for (const auto& dep : jobs[i].deps) {
+      const std::size_t d = index_of(dep);
+      ++indegree[i];
+      dependents[d].push_back(i);
+    }
+  }
+  std::vector<std::size_t> ready;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (indegree[i] == 0) ready.push_back(i);
+  }
+  std::vector<std::size_t> order;
+  order.reserve(n);
+  while (!ready.empty()) {
+    const auto it = std::min_element(ready.begin(), ready.end());
+    const std::size_t i = *it;
+    ready.erase(it);
+    order.push_back(i);
+    for (std::size_t child : dependents[i]) {
+      if (--indegree[child] == 0) ready.push_back(child);
+    }
+  }
+  if (order.size() != n) {
+    throw std::invalid_argument("dependency cycle in the job graph");
+  }
+  return order;
+}
+
+}  // namespace satd::runtime

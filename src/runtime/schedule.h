@@ -1,0 +1,19 @@
+// Deterministic dependency scheduling shared by the Supervisor (which
+// runs jobs in-process, one at a time) and the Spooler (which fork/execs
+// them concurrently under a slot budget).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "runtime/job.h"
+
+namespace satd::runtime {
+
+/// Stable topological order of the job graph: Kahn's algorithm, always
+/// draining the lowest-index ready job, so the schedule is deterministic
+/// in registration order. Throws std::invalid_argument on an unknown
+/// dependency name or a cycle.
+std::vector<std::size_t> topological_order(const std::vector<Job>& jobs);
+
+}  // namespace satd::runtime

@@ -1,0 +1,209 @@
+#include "runtime/semaphore.h"
+
+#include <fcntl.h>
+#include <semaphore.h>
+#include <sys/file.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+
+#include "common/contract.h"
+#include "common/log.h"
+
+namespace satd::runtime {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+sem_t* as_sem(void* p) { return static_cast<sem_t*>(p); }
+
+/// RAII flock on the registry-wide repair lock file: at most one process
+/// repairs at a time, so leaked tokens are never double-posted.
+class RegistryLock {
+ public:
+  explicit RegistryLock(const std::string& registry_dir) {
+    const std::string path = registry_dir + "/.repair.lock";
+    fd_ = ::open(path.c_str(), O_CREAT | O_RDWR | O_CLOEXEC, 0644);
+    if (fd_ >= 0) ::flock(fd_, LOCK_EX);
+  }
+  ~RegistryLock() {
+    if (fd_ >= 0) ::close(fd_);  // close drops the flock
+  }
+  bool locked() const { return fd_ >= 0; }
+
+ private:
+  int fd_ = -1;
+};
+
+}  // namespace
+
+std::string SlotGate::sanitize_name(const std::string& name) {
+  std::string out = "/";
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == '.' ||
+                    c == '-';
+    out.push_back(ok ? c : '_');
+  }
+  if (out.size() > 200) out.resize(200);  // well under NAME_MAX
+  if (out.size() == 1) out += "satd_gate";
+  return out;
+}
+
+std::string SlotGate::default_registry(const std::string& sem_name) {
+  return (fs::temp_directory_path() /
+          ("satd_gate_" + sem_name.substr(1)))
+      .string();
+}
+
+SlotGate::SlotGate(const std::string& name, unsigned slots,
+                   std::string registry_dir)
+    : sem_name_(sanitize_name(name)),
+      registry_dir_(std::move(registry_dir)),
+      slots_(slots) {
+  SATD_EXPECT(slots > 0, "slot gate needs at least one slot");
+  if (registry_dir_.empty()) registry_dir_ = default_registry(sem_name_);
+  fs::create_directories(registry_dir_);
+
+  sem_t* sem = ::sem_open(sem_name_.c_str(), O_CREAT, 0644, slots);
+  if (sem == SEM_FAILED) {
+    throw std::runtime_error("sem_open(" + sem_name_ + ") failed: " +
+                             std::strerror(errno));
+  }
+  sem_ = sem;
+
+  // Record the budget for repair accounting. The first creator wins; a
+  // later invocation asking for a different budget is warned — the
+  // semaphore's initial value was fixed at creation and cannot change.
+  const std::string slots_path = registry_dir_ + "/slots";
+  {
+    RegistryLock lock(registry_dir_);
+    std::ifstream in(slots_path);
+    unsigned recorded = 0;
+    if (in >> recorded && recorded > 0) {
+      if (recorded != slots) {
+        log::warn() << "slot gate " << sem_name_ << " already has a budget "
+                    << "of " << recorded << " (requested " << slots
+                    << "); keeping " << recorded;
+      }
+      slots_ = recorded;
+    } else {
+      std::ofstream out(slots_path, std::ios::trunc);
+      out << slots << "\n";
+    }
+  }
+}
+
+SlotGate::~SlotGate() {
+  while (!held_.empty()) release();
+  if (sem_ != nullptr) ::sem_close(as_sem(sem_));
+}
+
+std::string SlotGate::make_holder_file() {
+  // The sequence is process-wide, not per-instance: two SlotGates in one
+  // process (several spoolers, or tests) must never reuse a holder path,
+  // or the second's uncontended flock below would deadlock on the first.
+  static std::atomic<unsigned> seq{0};
+  return registry_dir_ + "/h" + std::to_string(::getpid()) + "." +
+         std::to_string(seq.fetch_add(1));
+}
+
+bool SlotGate::try_acquire() {
+  // Claim file first: from here on, a kill -9 at ANY point leaves either
+  // a locked file (we are alive and will proceed) or an unlocked one
+  // (we died; repair prunes it and re-posts our token if we held one).
+  Held h;
+  h.path = make_holder_file();
+  h.fd = ::open(h.path.c_str(), O_CREAT | O_RDWR | O_CLOEXEC, 0644);
+  if (h.fd < 0) {
+    log::warn() << "slot gate " << sem_name_ << ": cannot create holder "
+                << h.path << " (" << std::strerror(errno)
+                << "); acquiring without leak protection";
+  } else {
+    ::flock(h.fd, LOCK_EX);  // uncontended: the file name is ours
+  }
+
+  if (::sem_trywait(as_sem(sem_)) != 0) {
+    if (h.fd >= 0) ::close(h.fd);
+    ::unlink(h.path.c_str());
+    return false;
+  }
+  held_.push_back(h);
+  return true;
+}
+
+void SlotGate::release() {
+  SATD_EXPECT(!held_.empty(), "release without a held slot");
+  const Held h = held_.back();
+  held_.pop_back();
+  // Post before dropping the claim: between the two, repair sees a live
+  // holder and a returned token and clamps the leak estimate at zero.
+  ::sem_post(as_sem(sem_));
+  if (h.fd >= 0) ::close(h.fd);
+  ::unlink(h.path.c_str());
+}
+
+void SlotGate::repair() {
+  RegistryLock lock(registry_dir_);
+  if (!lock.locked()) return;
+
+  std::size_t live = 0;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(registry_dir_, ec)) {
+    const std::string leaf = entry.path().filename().string();
+    if (leaf.empty() || leaf[0] != 'h') continue;
+    const int fd = ::open(entry.path().c_str(), O_RDWR | O_CLOEXEC);
+    if (fd < 0) continue;  // raced with the owner's own unlink
+    if (::flock(fd, LOCK_EX | LOCK_NB) == 0) {
+      // Nobody holds the lock: the owner is dead. Prune; the token it
+      // may have held is restored by the arithmetic below.
+      ::unlink(entry.path().c_str());
+      ::close(fd);
+    } else {
+      ++live;  // locked by a live process (holder or in-flight waiter)
+      ::close(fd);
+    }
+  }
+
+  int value = 0;
+  if (::sem_getvalue(as_sem(sem_), &value) != 0) return;
+  const long leaked = static_cast<long>(slots_) - value -
+                      static_cast<long>(live);
+  for (long i = 0; i < leaked; ++i) {
+    log::warn() << "slot gate " << sem_name_
+                << ": restoring a token leaked by a dead holder";
+    ::sem_post(as_sem(sem_));
+  }
+}
+
+int SlotGate::value() const {
+  int v = 0;
+  ::sem_getvalue(as_sem(sem_), &v);
+  return v;
+}
+
+void SlotGate::abandon_for_test() {
+  for (const Held& h : held_) {
+    if (h.fd >= 0) ::close(h.fd);  // drops the flock, leaves the file
+  }
+  held_.clear();
+}
+
+void SlotGate::unlink(const std::string& name,
+                      const std::string& registry_dir) {
+  const std::string sem_name = sanitize_name(name);
+  ::sem_unlink(sem_name.c_str());
+  std::error_code ec;
+  fs::remove_all(registry_dir.empty() ? default_registry(sem_name)
+                                      : registry_dir,
+                 ec);
+}
+
+}  // namespace satd::runtime

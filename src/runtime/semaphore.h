@@ -1,0 +1,105 @@
+// Kill-9-safe named-semaphore slot gate for multi-tenant spooling.
+//
+// Several bench_all invocations on one machine must cooperate: the total
+// number of concurrently running experiment children is bounded by a
+// POSIX named semaphore (sem_open), so independent spoolers queue
+// against the same machine-wide budget instead of oversubscribing it.
+//
+// The classic failure mode of a named semaphore is the token leak: a
+// holder that dies on SIGKILL never sem_post()s, and the budget shrinks
+// forever. The gate closes that hole with a holder registry:
+//
+//   - Before sem_trywait, the acquiring process creates a *holder file*
+//     in a shared registry directory and takes a flock(LOCK_EX) on it.
+//     The kernel releases flocks on process death — even kill -9 — so a
+//     live holder's file is always locked and a dead holder's never is.
+//   - repair() (run by any waiter, serialized by a registry-wide lock
+//     file) prunes every holder file it can flock (owner dead), then
+//     computes leaked = slots - sem_value - live_holders and posts the
+//     difference back. A file created before a failed trywait counts as
+//     live-but-tokenless and simply makes the estimate conservative —
+//     repair never over-posts.
+//
+// try_acquire() is non-blocking on purpose: the spooler interleaves slot
+// acquisition with child polling in its own event loop, so the gate
+// never needs to block the supervisor.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace satd::runtime {
+
+/// One process's view of a machine-wide concurrency budget.
+class SlotGate {
+ public:
+  /// Opens (creating if absent) the named semaphore `name` with `slots`
+  /// initial tokens and its holder registry. `name` is sanitized into a
+  /// valid sem_open name ("/" + [A-Za-z0-9_.-]). `registry_dir` defaults
+  /// to <tmp>/satd_gate_<sanitized-name>. If the semaphore already
+  /// exists, its current budget wins and `slots` is only recorded for
+  /// repair accounting — first creator fixes the budget.
+  /// Throws std::runtime_error when the semaphore cannot be opened.
+  SlotGate(const std::string& name, unsigned slots,
+           std::string registry_dir = "");
+
+  /// Releases every held token (normal-exit path) and closes the
+  /// semaphore. Does NOT unlink it: the budget outlives one invocation.
+  ~SlotGate();
+
+  SlotGate(const SlotGate&) = delete;
+  SlotGate& operator=(const SlotGate&) = delete;
+
+  /// Tries to take one token without blocking. Returns true on success.
+  bool try_acquire();
+
+  /// Returns one token. Must be balanced with a successful try_acquire.
+  void release();
+
+  /// Scans the holder registry for dead holders and restores their
+  /// leaked tokens. Safe (and cheap) to call any time; waiters call it
+  /// between failed try_acquire attempts.
+  void repair();
+
+  /// Tokens this SlotGate instance currently holds.
+  std::size_t held() const { return held_.size(); }
+
+  /// Current semaphore value (free tokens) — diagnostic/tests.
+  int value() const;
+
+  /// The budget recorded at creation (or adopted from the registry).
+  unsigned slots() const { return slots_; }
+
+  const std::string& sem_name() const { return sem_name_; }
+  const std::string& registry_dir() const { return registry_dir_; }
+
+  /// Simulates kill -9 for tests: drops every held token's file lock
+  /// and forgets it WITHOUT sem_post or unlink — exactly the state a
+  /// SIGKILLed holder leaves behind. repair() must recover the tokens.
+  void abandon_for_test();
+
+  /// Removes the named semaphore and its registry from the machine
+  /// (tests; production budgets persist).
+  static void unlink(const std::string& name, const std::string&
+                     registry_dir = "");
+
+  /// The sem_open name `name` maps to (exposed for tests).
+  static std::string sanitize_name(const std::string& name);
+
+ private:
+  struct Held {
+    int fd = -1;          // flock-held holder file
+    std::string path;
+  };
+
+  std::string make_holder_file();  // process-wide-unique holder path
+  static std::string default_registry(const std::string& sem_name);
+
+  std::string sem_name_;
+  std::string registry_dir_;
+  unsigned slots_ = 0;
+  void* sem_ = nullptr;  // sem_t*, kept opaque to spare headers
+  std::vector<Held> held_;
+};
+
+}  // namespace satd::runtime

@@ -1,0 +1,564 @@
+#include "runtime/spooler.h"
+
+#include <fcntl.h>
+#include <sys/file.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <csignal>
+#include <cstring>
+#include <filesystem>
+#include <stdexcept>
+#include <string>
+
+#include "common/contract.h"
+#include "common/log.h"
+#include "runtime/schedule.h"
+#include "runtime/semaphore.h"
+#include "runtime/supervisor.h"  // SimulatedCrashError
+
+namespace satd::runtime {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+// ---- chaos registry (tests only, single-threaded by design) ----
+
+struct ArmedSpoolCrash {
+  std::string job;
+  std::size_t attempt;
+};
+
+std::vector<ArmedSpoolCrash>& armed_spool_crashes() {
+  static std::vector<ArmedSpoolCrash> faults;
+  return faults;
+}
+
+bool take_spool_crash(const std::string& job, std::size_t attempt) {
+  auto& faults = armed_spool_crashes();
+  for (auto it = faults.begin(); it != faults.end(); ++it) {
+    if (it->job == job && it->attempt == attempt) {
+      faults.erase(it);
+      return true;
+    }
+  }
+  return false;
+}
+
+std::string sanitize_leaf(const std::string& name) {
+  std::string out;
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == '.' ||
+                    c == '-';
+    out.push_back(ok ? c : '_');
+  }
+  return out;
+}
+
+}  // namespace
+
+namespace fault {
+
+void arm_spool_crash(const std::string& job, std::size_t attempt) {
+  armed_spool_crashes().push_back({job, attempt});
+}
+
+void disarm_spool_faults() { armed_spool_crashes().clear(); }
+
+}  // namespace fault
+
+/// Per-job scheduling state for one run().
+struct Spooler::Track {
+  enum class Phase { kWaiting, kRunning, kDone, kDegraded };
+  Phase phase = Phase::kWaiting;
+  std::size_t attempts = 0;   ///< attempts started so far
+  double eligible_at = 0.0;   ///< backoff gate for the next attempt
+};
+
+/// One running (owned or adopted) child.
+struct Spooler::Child {
+  std::size_t idx = 0;        ///< index into jobs_
+  ProcessId id;
+  std::size_t attempt = 0;
+  bool adopted = false;       ///< orphan from a previous spooler
+  double kill_at = 0.0;       ///< hard watchdog; 0 = none
+  bool kill_sent = false;
+  bool deadline_kill = false; ///< we killed it for overrunning
+  double spawned_at = 0.0;
+  double next_rss_at = 0.0;
+  long peak_rss_kb = 0;
+  std::vector<int> cores;
+  bool gate_held = false;
+  bool done = false;          ///< reaped; remove from children_
+};
+
+Spooler::Spooler(Options options, SpawnFactory factory)
+    : options_(std::move(options)),
+      factory_(std::move(factory)),
+      clock_(options_.clock ? *options_.clock : SystemClock::instance()),
+      runner_(options_.runner ? *options_.runner
+                              : ForkExecRunner::instance()),
+      backoff_(options_.backoff, options_.backoff_seed),
+      manifest_(options_.manifest_path, options_.fingerprint) {
+  SATD_EXPECT(static_cast<bool>(factory_), "spooler needs a spawn factory");
+  SATD_EXPECT(options_.slots > 0, "spooler needs at least one slot");
+  if (!options_.gate_name.empty()) {
+    gate_ = std::make_unique<SlotGate>(options_.gate_name,
+                                       static_cast<unsigned>(options_.slots),
+                                       options_.gate_registry);
+  }
+}
+
+Spooler::~Spooler() {
+  if (manifest_lock_fd_ >= 0) ::close(manifest_lock_fd_);
+}
+
+void Spooler::lock_manifest() {
+  if (options_.manifest_path.empty() || manifest_lock_fd_ >= 0) return;
+  const fs::path path(options_.manifest_path + ".lock");
+  std::error_code ec;
+  if (path.has_parent_path()) fs::create_directories(path.parent_path(), ec);
+  manifest_lock_fd_ =
+      ::open(path.c_str(), O_CREAT | O_RDWR | O_CLOEXEC, 0644);
+  if (manifest_lock_fd_ < 0) {
+    log::warn() << "spooler: cannot create " << path.string() << " ("
+                << std::strerror(errno)
+                << "); running without double-spooler protection";
+    return;
+  }
+  if (::flock(manifest_lock_fd_, LOCK_EX | LOCK_NB) != 0) {
+    ::close(manifest_lock_fd_);
+    manifest_lock_fd_ = -1;
+    throw std::runtime_error(
+        "another live spooler already owns " + options_.manifest_path +
+        " (two spoolers must not share a journal; a dead owner releases "
+        "the lock automatically)");
+  }
+}
+
+void Spooler::add(Job job) {
+  SATD_EXPECT(!job.name.empty(), "job needs a name");
+  SATD_EXPECT(job.max_attempts > 0, "job needs at least one attempt");
+  for (const auto& existing : jobs_) {
+    SATD_EXPECT(existing.name != job.name,
+                "duplicate job name: " + job.name);
+  }
+  jobs_.push_back(std::move(job));
+}
+
+bool Spooler::outputs_present(const Job& job) const {
+  for (const auto& out : job.outputs) {
+    if (!fs::exists(out)) return false;
+  }
+  return true;
+}
+
+std::size_t Spooler::cores_per_child() const {
+  if (options_.cores.empty()) return 0;
+  const std::size_t per = options_.cores.size() / options_.slots;
+  return per > 0 ? per : 1;
+}
+
+void Spooler::finish_done(std::size_t idx, std::size_t attempt,
+                          bool adopted, const ResourceUsage& usage,
+                          const std::vector<int>& cores) {
+  const Job& job = jobs_[idx];
+  track_[idx].phase = Track::Phase::kDone;
+  track_[idx].attempts = attempt;
+  JobRecord rec{job.name, JobState::kDone, attempt,
+                adopted ? "adopted orphan finished" : "", job.outputs};
+  rec.cores = cores;
+  rec.usage = usage;
+  manifest_.record(std::move(rec));
+  log::info() << "spooler: " << job.name << " done (attempt " << attempt
+              << (adopted ? ", adopted orphan" : "")
+              << (usage.any() ? ", " + usage.to_string() : "") << ")";
+}
+
+void Spooler::finish_failure(std::size_t idx, std::size_t attempt,
+                             FailureKind kind, const std::string& reason,
+                             int exit_code, int exit_signal,
+                             const ResourceUsage& usage,
+                             const std::vector<int>& cores) {
+  const Job& job = jobs_[idx];
+  const bool exhausted = attempt >= job.max_attempts;
+  JobRecord rec{job.name,
+                exhausted ? JobState::kDegraded : JobState::kFailed,
+                attempt, reason, job.outputs};
+  rec.kind = kind;
+  rec.exit_code = exit_code;
+  rec.exit_signal = exit_signal;
+  rec.cores = cores;
+  rec.usage = usage;
+  manifest_.record(std::move(rec));
+  track_[idx].attempts = attempt;
+  if (exhausted) {
+    track_[idx].phase = Track::Phase::kDegraded;
+    log::warn() << "spooler: " << job.name << " degraded after " << attempt
+                << " attempts (" << reason << ")";
+  } else {
+    track_[idx].phase = Track::Phase::kWaiting;
+    const double delay = backoff_.delay(attempt - 1);
+    track_[idx].eligible_at = clock_.now() + delay;
+    log::warn() << "spooler: " << job.name << " attempt " << attempt << " "
+                << reason << "; retrying in " << delay << "s";
+  }
+}
+
+void Spooler::reap(Child& child, const ChildStatus& status) {
+  const Job& job = jobs_[child.idx];
+  ResourceUsage usage = status.usage;
+  if (child.peak_rss_kb > usage.peak_rss_kb) {
+    usage.peak_rss_kb = child.peak_rss_kb;
+  }
+  if (usage.wall_seconds <= 0.0) {
+    usage.wall_seconds = clock_.now() - child.spawned_at;
+  }
+
+  if (status.signaled) {
+    if (child.deadline_kill) {
+      finish_failure(child.idx, child.attempt, FailureKind::kTimeout,
+                     "timeout: SIGKILLed past the watchdog deadline", 0,
+                     status.term_signal, usage, child.cores);
+    } else {
+      finish_failure(child.idx, child.attempt, FailureKind::kCrashed,
+                     "crashed: " + describe_exit(0, status.term_signal), 0,
+                     status.term_signal, usage, child.cores);
+    }
+  } else if (status.exit_code == 0) {
+    if (outputs_present(job)) {
+      finish_done(child.idx, child.attempt, child.adopted, usage,
+                  child.cores);
+    } else {
+      finish_failure(child.idx, child.attempt, FailureKind::kFailed,
+                     "failed: exited 0 but declared outputs are missing",
+                     0, 0, usage, child.cores);
+    }
+  } else if (status.exit_code == kExitOverrun) {
+    finish_failure(child.idx, child.attempt, FailureKind::kTimeout,
+                   "deadline_overrun: child stopped at its watchdog "
+                   "deadline", status.exit_code, 0, usage, child.cores);
+  } else {
+    finish_failure(child.idx, child.attempt, FailureKind::kFailed,
+                   "failed: " + describe_exit(status.exit_code, 0),
+                   status.exit_code, 0, usage, child.cores);
+  }
+
+  for (int core : child.cores) free_cores_.push_back(core);
+  if (child.gate_held && gate_) gate_->release();
+  child.done = true;
+}
+
+MatrixReport Spooler::run() {
+  const std::vector<std::size_t> order = topological_order(jobs_);
+  lock_manifest();
+  if (manifest_.load()) {
+    log::info() << "spooler: adopted manifest " << manifest_.path() << " ("
+                << manifest_.records().size() << " prior records)";
+  }
+  if (!options_.log_dir.empty()) fs::create_directories(options_.log_dir);
+
+  track_.assign(jobs_.size(), Track{});
+  children_.clear();
+  free_cores_ = options_.cores;
+  std::vector<bool> resumed(jobs_.size(), false);
+
+  // ---- resume pass: adopt DONE work and orphaned children ----
+  for (std::size_t i = 0; i < jobs_.size(); ++i) {
+    const Job& job = jobs_[i];
+    const JobRecord* prior = manifest_.find(job.name);
+    if (prior == nullptr) continue;
+
+    if (prior->state == JobState::kDone) {
+      if (outputs_present(job)) {
+        track_[i].phase = Track::Phase::kDone;
+        track_[i].attempts = prior->attempts;
+        resumed[i] = true;
+        log::info() << "spooler: " << job.name << " already done, skipping";
+      } else {
+        log::warn() << "spooler: " << job.name
+                    << " recorded done but outputs are missing; re-running";
+      }
+      continue;
+    }
+
+    if (prior->state != JobState::kRunning) continue;
+    track_[i].attempts = prior->attempts;
+
+    ProcessId id{prior->pid, prior->start_id};
+    if (prior->pid > 0 && runner_.alive(id)) {
+      // The previous spooler died but its child survived: adopt it.
+      // We cannot reap a non-child, so completion is judged by the
+      // process vanishing and the declared outputs appearing.
+      Child child;
+      child.idx = i;
+      child.id = id;
+      child.attempt = prior->attempts;
+      child.adopted = true;
+      child.spawned_at = clock_.now();
+      child.next_rss_at = clock_.now();
+      child.peak_rss_kb = prior->usage.peak_rss_kb;
+      child.cores = prior->cores;
+      const double budget = job.deadline_seconds > kNoDeadline
+                                ? job.deadline_seconds
+                                : options_.orphan_deadline;
+      child.kill_at = clock_.now() + budget + options_.kill_grace;
+      children_.push_back(std::move(child));
+      track_[i].phase = Track::Phase::kRunning;
+      log::info() << "spooler: adopted orphaned child of " << job.name
+                  << " (pid " << prior->pid << ")";
+    } else {
+      // Dead (or pre-spawn) RUNNING record: the attempt crashed with its
+      // supervisor. Journal it as CRASHED — distinguishable from an
+      // ordinary failure — and let the normal retry path decide.
+      JobRecord crashed = *prior;
+      crashed.state = JobState::kFailed;
+      crashed.kind = FailureKind::kCrashed;
+      crashed.reason = prior->pid > 0
+                           ? "crashed: spooler died mid-attempt; orphan pid " +
+                                 std::to_string(prior->pid) + " is gone"
+                           : "crashed: process died mid-attempt";
+      manifest_.record(std::move(crashed));
+      if (prior->attempts >= job.max_attempts) {
+        JobRecord degraded = *manifest_.find(job.name);
+        degraded.state = JobState::kDegraded;
+        manifest_.record(std::move(degraded));
+        track_[i].phase = Track::Phase::kDegraded;
+        log::warn() << "spooler: " << job.name
+                    << " crashed on its final attempt; degraded";
+      } else {
+        log::warn() << "spooler: " << job.name << " attempt "
+                    << prior->attempts
+                    << " crashed in a previous run; retrying";
+      }
+    }
+  }
+
+  const std::size_t per_child = cores_per_child();
+
+  // ---- event loop ----
+  for (;;) {
+    bool all_terminal = true;
+    for (const Track& t : track_) {
+      if (t.phase != Track::Phase::kDone &&
+          t.phase != Track::Phase::kDegraded) {
+        all_terminal = false;
+        break;
+      }
+    }
+    if (all_terminal) break;
+
+    bool progressed = false;
+    const double now = clock_.now();
+
+    // 1) Poll running children: sample RSS, enforce deadlines, reap.
+    for (Child& child : children_) {
+      if (child.done) continue;
+      const Job& job = jobs_[child.idx];
+
+      if (child.adopted) {
+        // poll() covers both orphan flavors: a process that is still our
+        // reapable child (the previous "spooler" died by simulated crash
+        // in this very process) is wait4'd normally — real rusage and
+        // all — while a true non-child orphan falls back to the
+        // identity-checked liveness probe and reports a crash-like exit
+        // once it vanishes. Either way success is judged by the declared
+        // outputs, never by an exit code we may not have observed.
+        const ChildStatus status = runner_.poll(child.id);
+        if (status.running) {
+          if (now >= child.next_rss_at) {
+            const long kb = runner_.sample_rss_kb(child.id);
+            if (kb > child.peak_rss_kb) child.peak_rss_kb = kb;
+            child.next_rss_at = now + options_.rss_sample_interval;
+          }
+          if (child.kill_at > 0.0 && now > child.kill_at &&
+              !child.kill_sent) {
+            log::warn() << "spooler: adopted orphan of " << job.name
+                        << " overran its watchdog; killing";
+            runner_.kill(child.id, SIGKILL);
+            child.kill_sent = true;
+            child.deadline_kill = true;
+          }
+          continue;
+        }
+        ResourceUsage usage = status.usage;
+        if (child.peak_rss_kb > usage.peak_rss_kb) {
+          usage.peak_rss_kb = child.peak_rss_kb;
+        }
+        if (usage.wall_seconds <= 0.0) {
+          usage.wall_seconds = now - child.spawned_at;
+        }
+        if (!child.deadline_kill && outputs_present(job)) {
+          finish_done(child.idx, child.attempt, true, usage, child.cores);
+        } else {
+          finish_failure(
+              child.idx, child.attempt,
+              child.deadline_kill ? FailureKind::kTimeout
+                                  : FailureKind::kCrashed,
+              child.deadline_kill
+                  ? "timeout: adopted orphan SIGKILLed past the deadline"
+                  : "crashed: adopted orphan died without its outputs",
+              0, child.deadline_kill ? SIGKILL : 0, usage, child.cores);
+        }
+        for (int core : child.cores) free_cores_.push_back(core);
+        child.done = true;
+        progressed = true;
+        continue;
+      }
+
+      const ChildStatus status = runner_.poll(child.id);
+      if (status.running) {
+        if (now >= child.next_rss_at) {
+          const long kb = runner_.sample_rss_kb(child.id);
+          if (kb > child.peak_rss_kb) child.peak_rss_kb = kb;
+          child.next_rss_at = now + options_.rss_sample_interval;
+        }
+        if (child.kill_at > 0.0 && now > child.kill_at &&
+            !child.kill_sent) {
+          log::warn() << "spooler: " << job.name
+                      << " overran its watchdog deadline; killing pid "
+                      << child.id.pid;
+          runner_.kill(child.id, SIGKILL);
+          child.kill_sent = true;
+          child.deadline_kill = true;
+        }
+        continue;
+      }
+      reap(child, status);
+      progressed = true;
+    }
+    std::erase_if(children_, [](const Child& c) { return c.done; });
+
+    // 2) Launch ready jobs, in stable topological order.
+    for (std::size_t idx : order) {
+      Track& track = track_[idx];
+      if (track.phase != Track::Phase::kWaiting) continue;
+      const Job& job = jobs_[idx];
+
+      // Dependency gating: a degraded dep degrades this job; a pending
+      // or running dep just means "not yet".
+      bool deps_done = true;
+      const char* broken_dep = nullptr;
+      for (const auto& dep : job.deps) {
+        for (std::size_t d = 0; d < jobs_.size(); ++d) {
+          if (jobs_[d].name != dep) continue;
+          if (track_[d].phase == Track::Phase::kDegraded) {
+            broken_dep = dep.c_str();
+          } else if (track_[d].phase != Track::Phase::kDone) {
+            deps_done = false;
+          }
+          break;
+        }
+        if (broken_dep != nullptr) break;
+      }
+      if (broken_dep != nullptr) {
+        const std::string reason =
+            std::string("dependency not satisfied: ") + broken_dep;
+        manifest_.record({job.name, JobState::kDegraded, track.attempts,
+                          reason, job.outputs});
+        track.phase = Track::Phase::kDegraded;
+        log::warn() << "spooler: " << job.name << " degraded (" << reason
+                    << ")";
+        progressed = true;
+        continue;
+      }
+      if (!deps_done || now < track.eligible_at) continue;
+      if (children_.size() >= options_.slots) continue;
+      if (per_child > 0 && free_cores_.size() < per_child) continue;
+
+      bool gate_held = false;
+      if (gate_) {
+        gate_held = gate_->try_acquire();
+        if (!gate_held && now >= next_gate_repair_) {
+          gate_->repair();
+          next_gate_repair_ = now + 1.0;
+          gate_held = gate_->try_acquire();
+        }
+        if (!gate_held) continue;  // farm is saturated; poll again later
+      }
+
+      const std::size_t attempt = ++track.attempts;
+      Child child;
+      child.idx = idx;
+      child.attempt = attempt;
+      child.spawned_at = now;
+      child.next_rss_at = now + options_.rss_sample_interval;
+      child.gate_held = gate_held;
+      if (per_child > 0) {
+        child.cores.assign(free_cores_.begin(),
+                           free_cores_.begin() +
+                               static_cast<std::ptrdiff_t>(per_child));
+        free_cores_.erase(free_cores_.begin(),
+                          free_cores_.begin() +
+                              static_cast<std::ptrdiff_t>(per_child));
+      }
+      if (job.deadline_seconds > kNoDeadline) {
+        child.kill_at = now + job.deadline_seconds + options_.kill_grace;
+      }
+
+      SpawnSpec spec = factory_(job, attempt);
+      spec.cpus = child.cores;
+      if (!child.cores.empty()) {
+        spec.env.emplace_back("SATD_THREADS",
+                              std::to_string(child.cores.size()));
+      }
+      if (!options_.log_dir.empty() && spec.log_path.empty()) {
+        spec.log_path =
+            options_.log_dir + "/" + sanitize_leaf(job.name) + ".log";
+      }
+
+      child.id = runner_.spawn(spec);
+      JobRecord rec{job.name, JobState::kRunning, attempt, "",
+                    job.outputs};
+      rec.pid = child.id.pid;
+      rec.start_id = child.id.start_id;
+      rec.cores = child.cores;
+      manifest_.record(std::move(rec));
+      log::info() << "spooler: launched " << job.name << " attempt "
+                  << attempt << " as pid " << child.id.pid;
+      track.phase = Track::Phase::kRunning;
+      children_.push_back(std::move(child));
+      progressed = true;
+
+      if (take_spool_crash(job.name, attempt)) {
+        // Simulated kill -9 of the spooler: leak the children (they keep
+        // running as orphans), leak any gate tokens (repair recovers
+        // them), and unwind with the journal showing RUNNING + pid —
+        // byte-for-byte what a dead spooler leaves behind.
+        if (gate_) gate_->abandon_for_test();
+        for (Child& c : children_) c.gate_held = false;
+        throw SimulatedCrashError("injected spooler crash after launching " +
+                                  job.name + " attempt " +
+                                  std::to_string(attempt));
+      }
+    }
+
+    if (!progressed) clock_.sleep_for(options_.poll_interval);
+  }
+
+  // ---- report ----
+  MatrixReport report;
+  report.jobs.resize(jobs_.size());
+  for (std::size_t i = 0; i < jobs_.size(); ++i) {
+    JobOutcome& outcome = report.jobs[i];
+    outcome.name = jobs_[i].name;
+    outcome.state = track_[i].phase == Track::Phase::kDone
+                        ? JobState::kDone
+                        : JobState::kDegraded;
+    outcome.attempts = track_[i].attempts;
+    outcome.resumed = resumed[i];
+    if (const JobRecord* rec = manifest_.find(jobs_[i].name)) {
+      outcome.reason = rec->reason;
+      outcome.kind = rec->kind;
+      outcome.exit_code = rec->exit_code;
+      outcome.exit_signal = rec->exit_signal;
+      outcome.cores = rec->cores;
+      outcome.usage = rec->usage;
+    }
+  }
+  return report;
+}
+
+}  // namespace satd::runtime

@@ -1,0 +1,176 @@
+// Multi-process job spooler: fork/exec isolation for the experiment
+// matrix.
+//
+// The in-process Supervisor (runtime/supervisor.h) shares one address
+// space with its jobs, so a segfault, OOM-kill or runaway attack loop in
+// any job takes the whole matrix down. The Spooler runs every attempt as
+// a supervised CHILD PROCESS instead (bench_all re-enters itself with
+// `--run-job <name>`), which buys:
+//
+//   - Crash isolation: a child can die of anything — signal, OOM, hard
+//     hang — and the spooler just reaps it, journals the failure kind
+//     (FAILED / TIMEOUT / CRASHED + exit status) and retries on the
+//     seeded backoff. Supervisor state can never be corrupted by a job.
+//   - Hard watchdogs: a child past its deadline (plus kill_grace for the
+//     cooperative stop check to act) is SIGKILLed, not asked nicely.
+//   - A machine-wide concurrency budget: children only launch under a
+//     named-semaphore slot gate (runtime/semaphore.h), so several
+//     bench_all invocations cooperate as a multi-tenant farm.
+//   - A core budget: each child is pinned to its own CPU set
+//     (sched_setaffinity) with SATD_THREADS exported to match, so
+//     children never fight over cores.
+//   - Resource accounting: peak RSS (periodic /proc sampling merged with
+//     wait4 ru_maxrss), wall/user/sys time and the assigned core set are
+//     journaled per attempt and surface in the report and bench JSON.
+//   - kill-9-of-anything recovery: SIGKILL a child — it is retried;
+//     SIGKILL the spooler — a rerun resumes from the manifest journal
+//     and every RUNNING record's (pid, start-time) identity is checked
+//     against /proc: a still-live orphan is ADOPTED (supervised to
+//     completion, outputs honored), a dead one is declared crashed and
+//     retried. Either way the rerun's artifacts are bit-identical,
+//     because jobs are deterministic and completed work is cached.
+//
+// All process operations go through an injectable ProcessRunner
+// (runtime/process.h), so the entire state machine is unit-testable on a
+// FakeClock with scripted fake children — no real timing anywhere.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/backoff.h"
+#include "common/clock.h"
+#include "runtime/job.h"
+#include "runtime/manifest.h"
+#include "runtime/process.h"
+#include "runtime/report.h"
+
+namespace satd::runtime {
+
+class SlotGate;
+
+/// The multi-process orchestrator. Register jobs with add(), then run()
+/// once. Jobs do not need a `run` function — the SpawnFactory says how
+/// to launch each attempt as a child process.
+class Spooler {
+ public:
+  /// Builds the child command for one attempt of a job (argv, extra env,
+  /// log redirection). The spooler itself fills in the CPU set and the
+  /// matching SATD_THREADS when a core budget is configured.
+  using SpawnFactory =
+      std::function<SpawnSpec(const Job& job, std::size_t attempt)>;
+
+  struct Options {
+    /// Journal path; empty = memory-only (no resume across processes).
+    std::string manifest_path;
+    /// Identifies the run config; a manifest with a different
+    /// fingerprint is ignored on load.
+    std::string fingerprint = "default";
+    BackoffPolicy backoff{};
+    std::uint64_t backoff_seed = 0x5AD0FFULL;
+    /// Borrowed time source; nullptr = the shared SystemClock.
+    Clock* clock = nullptr;
+    /// Borrowed process layer; nullptr = the shared ForkExecRunner.
+    ProcessRunner* runner = nullptr;
+
+    /// Concurrent children THIS spooler may run.
+    std::size_t slots = 2;
+    /// CPU ids handed out to children, cores.size()/slots at a time;
+    /// empty = no affinity pinning and SATD_THREADS is left alone.
+    std::vector<int> cores;
+    /// Named machine-wide slot gate; empty = this invocation only
+    /// respects its own `slots` budget.
+    std::string gate_name;
+    /// Holder-registry override for the gate (tests).
+    std::string gate_registry;
+    /// Directory for per-child stdout/stderr logs; empty = inherit.
+    std::string log_dir;
+
+    /// Event-loop pause when nothing progressed, seconds.
+    double poll_interval = 0.05;
+    /// Cadence of /proc peak-RSS sampling per child, seconds.
+    double rss_sample_interval = 0.25;
+    /// Grace past the deadline before SIGKILL (gives the child's
+    /// cooperative stop check a chance to exit cleanly first).
+    double kill_grace = 5.0;
+    /// Watchdog for adopted orphans whose job has no deadline, seconds.
+    double orphan_deadline = 3600.0;
+  };
+
+  Spooler(Options options, SpawnFactory factory);
+  ~Spooler();
+
+  /// Registers a job. Names must be unique and non-empty; `job.run` is
+  /// ignored (children are spawned via the factory).
+  void add(Job job);
+
+  /// Executes the matrix. Throws std::invalid_argument on an unknown
+  /// dependency or cycle; propagates SimulatedCrashError from the chaos
+  /// hook (leaving children running and the journal mid-flight, exactly
+  /// like kill -9). Everything else degrades instead of throwing.
+  MatrixReport run();
+
+  const Manifest& manifest() const { return manifest_; }
+
+  /// Exit code a child uses to report a *cooperative* watchdog overrun
+  /// (it noticed its own deadline and bailed at a safe boundary).
+  /// BSD's EX_TEMPFAIL — retryable by convention.
+  static constexpr int kExitOverrun = 75;
+
+ private:
+  struct Child;  // one running (or adopted) child process
+
+  bool outputs_present(const Job& job) const;
+  std::size_t cores_per_child() const;
+  void lock_manifest();
+  void reap(Child& child, const ChildStatus& status);
+  void finish_failure(std::size_t idx, std::size_t attempt,
+                      FailureKind kind, const std::string& reason,
+                      int exit_code, int exit_signal,
+                      const ResourceUsage& usage,
+                      const std::vector<int>& cores);
+  void finish_done(std::size_t idx, std::size_t attempt, bool adopted,
+                   const ResourceUsage& usage,
+                   const std::vector<int>& cores);
+
+  Options options_;
+  SpawnFactory factory_;
+  Clock& clock_;
+  ProcessRunner& runner_;
+  Backoff backoff_;
+  Manifest manifest_;
+  std::vector<Job> jobs_;
+  std::unique_ptr<SlotGate> gate_;
+
+  // run() state
+  struct Track;
+  std::vector<Track> track_;
+  std::vector<Child> children_;
+  std::vector<int> free_cores_;
+  double next_gate_repair_ = 0.0;
+  /// flock on <manifest>.lock for the spooler's lifetime: two live
+  /// spoolers must never share a journal (their atomic writes would
+  /// race). kill -9 drops the lock, so resume is never blocked.
+  int manifest_lock_fd_ = -1;
+};
+
+// ---- chaos fault injection (tests only) ----
+namespace fault {
+
+/// Arms a simulated `kill -9` OF THE SPOOLER ITSELF: right after the
+/// named job's child for this attempt has been spawned and journaled
+/// RUNNING, run() unwinds with SimulatedCrashError (supervisor.h),
+/// leaving the child alive and orphaned — exactly the state a real
+/// SIGKILL leaves. Cleared by disarm_spool_faults().
+void arm_spool_crash(const std::string& job, std::size_t attempt = 1);
+
+/// Clears all armed spooler faults.
+void disarm_spool_faults();
+
+}  // namespace fault
+
+}  // namespace satd::runtime

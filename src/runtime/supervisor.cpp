@@ -7,6 +7,7 @@
 
 #include "common/contract.h"
 #include "common/log.h"
+#include "runtime/schedule.h"
 
 namespace satd::runtime {
 
@@ -58,35 +59,6 @@ void disarm() { armed_faults().clear(); }
 
 }  // namespace fault
 
-std::size_t MatrixReport::done() const {
-  return static_cast<std::size_t>(
-      std::count_if(jobs.begin(), jobs.end(), [](const JobOutcome& j) {
-        return j.state == JobState::kDone;
-      }));
-}
-
-std::size_t MatrixReport::degraded() const {
-  return static_cast<std::size_t>(
-      std::count_if(jobs.begin(), jobs.end(), [](const JobOutcome& j) {
-        return j.state == JobState::kDegraded;
-      }));
-}
-
-std::string MatrixReport::to_string() const {
-  std::ostringstream ss;
-  ss << "supervised matrix: " << done() << "/" << jobs.size() << " done";
-  if (degraded() > 0) ss << ", " << degraded() << " DEGRADED";
-  ss << "\n";
-  for (const auto& job : jobs) {
-    ss << "  " << runtime::to_string(job.state) << "  " << job.name
-       << "  attempts=" << job.attempts;
-    if (job.resumed) ss << "  (resumed)";
-    if (!job.reason.empty()) ss << "  [" << job.reason << "]";
-    ss << "\n";
-  }
-  return ss.str();
-}
-
 Supervisor::Supervisor(Options options)
     : options_(std::move(options)),
       clock_(options_.clock ? *options_.clock : SystemClock::instance()),
@@ -104,46 +76,6 @@ void Supervisor::add(Job job) {
   jobs_.push_back(std::move(job));
 }
 
-std::vector<std::size_t> Supervisor::topological_order() const {
-  const std::size_t n = jobs_.size();
-  std::vector<std::size_t> indegree(n, 0);
-  std::vector<std::vector<std::size_t>> dependents(n);
-  auto index_of = [this](const std::string& name) -> std::size_t {
-    for (std::size_t i = 0; i < jobs_.size(); ++i) {
-      if (jobs_[i].name == name) return i;
-    }
-    throw std::invalid_argument("unknown dependency: " + name);
-  };
-  for (std::size_t i = 0; i < n; ++i) {
-    for (const auto& dep : jobs_[i].deps) {
-      const std::size_t d = index_of(dep);
-      ++indegree[i];
-      dependents[d].push_back(i);
-    }
-  }
-  // Kahn's algorithm, always draining the lowest-index ready job so the
-  // schedule is stable in registration order (determinism).
-  std::vector<std::size_t> ready;
-  for (std::size_t i = 0; i < n; ++i) {
-    if (indegree[i] == 0) ready.push_back(i);
-  }
-  std::vector<std::size_t> order;
-  order.reserve(n);
-  while (!ready.empty()) {
-    const auto it = std::min_element(ready.begin(), ready.end());
-    const std::size_t i = *it;
-    ready.erase(it);
-    order.push_back(i);
-    for (std::size_t child : dependents[i]) {
-      if (--indegree[child] == 0) ready.push_back(child);
-    }
-  }
-  if (order.size() != n) {
-    throw std::invalid_argument("dependency cycle in the job graph");
-  }
-  return order;
-}
-
 bool Supervisor::outputs_present(const Job& job) const {
   for (const auto& out : job.outputs) {
     if (!fs::exists(out)) return false;
@@ -152,7 +84,7 @@ bool Supervisor::outputs_present(const Job& job) const {
 }
 
 MatrixReport Supervisor::run() {
-  const std::vector<std::size_t> order = topological_order();
+  const std::vector<std::size_t> order = topological_order(jobs_);
   if (manifest_.load()) {
     log::info() << "supervisor: adopted manifest " << manifest_.path()
                 << " (" << manifest_.records().size() << " prior records)";
@@ -201,13 +133,22 @@ MatrixReport Supervisor::run() {
     }
 
     // A RUNNING record means the process died mid-attempt: that attempt
-    // counts against the budget. FAILED/DEGRADED records belong to a
+    // counts against the budget, and the journal is amended to say so —
+    // CRASHED, not a generic failure — so a postmortem can tell a kill-9
+    // from an ordinary error. FAILED/DEGRADED records belong to a
     // previous supervision episode and get a fresh budget (the operator
     // re-launched the matrix on purpose).
-    std::size_t attempts =
-        (prior != nullptr && prior->state == JobState::kRunning)
-            ? prior->attempts
-            : 0;
+    std::size_t attempts = 0;
+    if (prior != nullptr && prior->state == JobState::kRunning) {
+      attempts = prior->attempts;
+      JobRecord crashed = *prior;
+      crashed.state = JobState::kFailed;
+      crashed.kind = FailureKind::kCrashed;
+      crashed.reason = "crashed: process died mid-attempt";
+      manifest_.record(std::move(crashed));
+      log::warn() << "supervisor: " << job.name << " attempt " << attempts
+                  << " crashed in a previous run; retrying";
+    }
 
     for (;;) {
       ++attempts;
@@ -262,25 +203,32 @@ MatrixReport Supervisor::run() {
         break;
       }
 
+      const bool overrun = result.status == JobResult::Status::kOverrun;
+      const FailureKind kind =
+          overrun ? FailureKind::kTimeout : FailureKind::kFailed;
       const std::string reason =
-          (result.status == JobResult::Status::kOverrun
-               ? std::string("deadline_overrun")
-               : std::string("failed")) +
+          (overrun ? std::string("deadline_overrun")
+                   : std::string("failed")) +
           (result.message.empty() ? "" : ": " + result.message);
 
       if (attempts >= job.max_attempts) {
         outcome.state = JobState::kDegraded;
         outcome.attempts = attempts;
         outcome.reason = reason;
-        manifest_.record(
-            {job.name, JobState::kDegraded, attempts, reason, job.outputs});
+        outcome.kind = kind;
+        JobRecord rec{job.name, JobState::kDegraded, attempts, reason,
+                      job.outputs};
+        rec.kind = kind;
+        manifest_.record(std::move(rec));
         log::warn() << "supervisor: " << job.name << " degraded after "
                     << attempts << " attempts (" << reason << ")";
         break;
       }
 
-      manifest_.record(
-          {job.name, JobState::kFailed, attempts, reason, job.outputs});
+      JobRecord rec{job.name, JobState::kFailed, attempts, reason,
+                    job.outputs};
+      rec.kind = kind;
+      manifest_.record(std::move(rec));
       const double delay = backoff_.delay(attempts - 1);
       log::warn() << "supervisor: " << job.name << " attempt " << attempts
                   << " " << reason << "; retrying in " << delay << "s";

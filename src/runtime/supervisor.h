@@ -38,6 +38,7 @@
 #include "common/clock.h"
 #include "runtime/job.h"
 #include "runtime/manifest.h"
+#include "runtime/report.h"
 
 namespace satd::runtime {
 
@@ -51,27 +52,8 @@ class SimulatedCrashError : public std::runtime_error {
       : std::runtime_error(what) {}
 };
 
-/// Final state of one job after a run() — the matrix report row.
-struct JobOutcome {
-  std::string name;
-  JobState state = JobState::kPending;
-  std::size_t attempts = 0;
-  std::string reason;
-  bool resumed = false;  ///< DONE was adopted from a previous run
-};
-
-/// Summary of a whole supervised run.
-struct MatrixReport {
-  std::vector<JobOutcome> jobs;
-
-  std::size_t done() const;
-  std::size_t degraded() const;
-  bool all_done() const { return degraded() == 0 && done() == jobs.size(); }
-
-  /// Human-readable table; DEGRADED rows carry their reason so consumers
-  /// know which artifacts are stale/missing.
-  std::string to_string() const;
-};
+// JobOutcome / MatrixReport (shared with the multi-process Spooler) live
+// in runtime/report.h.
 
 /// The orchestrator. Register jobs with add(), then run() once.
 class Supervisor {
@@ -104,7 +86,6 @@ class Supervisor {
   const Manifest& manifest() const { return manifest_; }
 
  private:
-  std::vector<std::size_t> topological_order() const;
   bool outputs_present(const Job& job) const;
 
   Options options_;

@@ -1,0 +1,79 @@
+// Hardened SATD_SLOTS / SATD_CORES parsing: malformed values must warn
+// and fall back (never throw, never propagate garbage), well-formed
+// values must round-trip exactly.
+#include <gtest/gtest.h>
+
+#include "common/env.h"
+
+namespace satd::env {
+namespace {
+
+TEST(ParsePositiveCountTest, AcceptsPlainPositiveIntegers) {
+  EXPECT_EQ(parse_positive_count("1", "SATD_SLOTS"), 1u);
+  EXPECT_EQ(parse_positive_count("8", "SATD_SLOTS"), 8u);
+  EXPECT_EQ(parse_positive_count("128", "SATD_SLOTS"), 128u);
+}
+
+TEST(ParsePositiveCountTest, NullAndEmptyFallBack) {
+  EXPECT_EQ(parse_positive_count(nullptr, "SATD_SLOTS"), 0u);
+  EXPECT_EQ(parse_positive_count("", "SATD_SLOTS"), 0u);
+  EXPECT_EQ(parse_positive_count("   ", "SATD_SLOTS"), 0u);
+}
+
+TEST(ParsePositiveCountTest, RejectsZeroAndNegative) {
+  EXPECT_EQ(parse_positive_count("0", "SATD_SLOTS"), 0u);
+  EXPECT_EQ(parse_positive_count("-2", "SATD_SLOTS"), 0u);
+}
+
+TEST(ParsePositiveCountTest, RejectsNonNumericAndTrailingGarbage) {
+  EXPECT_EQ(parse_positive_count("many", "SATD_SLOTS"), 0u);
+  EXPECT_EQ(parse_positive_count("4cores", "SATD_SLOTS"), 0u);
+  EXPECT_EQ(parse_positive_count("3.5", "SATD_SLOTS"), 0u);
+  EXPECT_EQ(parse_positive_count("1e3", "SATD_SLOTS"), 0u);
+}
+
+TEST(ParsePositiveCountTest, RejectsAbsurdMagnitudes) {
+  EXPECT_EQ(parse_positive_count("99999999999999999999", "SATD_SLOTS"), 0u);
+  EXPECT_EQ(parse_positive_count("1048577", "SATD_SLOTS"), 0u);
+}
+
+TEST(ParseCpuListTest, ParsesSingleIdsAndRanges) {
+  EXPECT_EQ(parse_cpu_list("0", "SATD_CORES"), (std::vector<int>{0}));
+  EXPECT_EQ(parse_cpu_list("0,2-4,7", "SATD_CORES"),
+            (std::vector<int>{0, 2, 3, 4, 7}));
+  EXPECT_EQ(parse_cpu_list("3-3", "SATD_CORES"), (std::vector<int>{3}));
+}
+
+TEST(ParseCpuListTest, SortsAndDeduplicates) {
+  EXPECT_EQ(parse_cpu_list("7,1,3,1,2-3", "SATD_CORES"),
+            (std::vector<int>{1, 2, 3, 7}));
+}
+
+TEST(ParseCpuListTest, NullAndEmptyMeanNoBudget) {
+  EXPECT_TRUE(parse_cpu_list(nullptr, "SATD_CORES").empty());
+  EXPECT_TRUE(parse_cpu_list("", "SATD_CORES").empty());
+}
+
+TEST(ParseCpuListTest, AnyMalformedTokenRejectsTheWholeList) {
+  // A partial typo must never pin jobs to a half-right core set.
+  EXPECT_TRUE(parse_cpu_list("0,banana,2", "SATD_CORES").empty());
+  EXPECT_TRUE(parse_cpu_list("0,,2", "SATD_CORES").empty());
+  EXPECT_TRUE(parse_cpu_list("0,-1", "SATD_CORES").empty());
+  EXPECT_TRUE(parse_cpu_list("4-2", "SATD_CORES").empty());   // reversed
+  EXPECT_TRUE(parse_cpu_list("2-", "SATD_CORES").empty());    // unbounded
+  EXPECT_TRUE(parse_cpu_list("-3", "SATD_CORES").empty());
+  EXPECT_TRUE(parse_cpu_list("0,1x", "SATD_CORES").empty());
+}
+
+TEST(ParseCpuListTest, RejectsOutOfRangeIds) {
+  EXPECT_TRUE(parse_cpu_list("5000", "SATD_CORES").empty());
+  EXPECT_TRUE(
+      parse_cpu_list(("0," + std::to_string(kMaxCpuId)).c_str(), "SATD_CORES")
+          .empty());
+  EXPECT_EQ(parse_cpu_list(std::to_string(kMaxCpuId - 1).c_str(),
+                           "SATD_CORES"),
+            (std::vector<int>{kMaxCpuId - 1}));
+}
+
+}  // namespace
+}  // namespace satd::env

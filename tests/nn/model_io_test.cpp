@@ -20,7 +20,12 @@ namespace fs = std::filesystem;
 class ModelIoTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    dir_ = fs::temp_directory_path() / "satd_model_io_test";
+    // Per-test dir: ctest runs cases of this binary in parallel, and a
+    // shared dir would let one test's teardown delete another's files.
+    const auto* info =
+        ::testing::UnitTest::GetInstance()->current_test_info();
+    dir_ = fs::temp_directory_path() /
+           (std::string("satd_model_io_") + info->name());
     fs::create_directories(dir_);
   }
   void TearDown() override { fs::remove_all(dir_); }

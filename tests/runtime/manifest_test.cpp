@@ -4,8 +4,11 @@
 
 #include <filesystem>
 #include <fstream>
+#include <sstream>
 
+#include "common/durable_io.h"
 #include "runtime/manifest.h"
+#include "tensor/serialize.h"
 
 namespace satd::runtime {
 namespace {
@@ -111,6 +114,73 @@ TEST_F(ManifestTest, MemoryOnlyManifestTouchesNoDisk) {
   m.record({"job", JobState::kDone, 1, "", {}});
   EXPECT_NE(m.find("job"), nullptr);
   EXPECT_TRUE(fs::is_empty(dir_));
+}
+
+TEST_F(ManifestTest, RoundTripsSpoolerAccountingFields) {
+  {
+    Manifest m(path_, "fp");
+    JobRecord rec("train:a", JobState::kDegraded, 3,
+                  "timeout: SIGKILLed past the watchdog deadline",
+                  {"a.model"});
+    rec.kind = FailureKind::kTimeout;
+    rec.exit_code = -1;
+    rec.exit_signal = 9;
+    rec.pid = 4242;
+    rec.start_id = "123456789";
+    rec.cores = {2, 3};
+    rec.usage.wall_seconds = 12.5;
+    rec.usage.user_seconds = 11.25;
+    rec.usage.sys_seconds = 0.75;
+    rec.usage.peak_rss_kb = 81920;
+    m.record(rec);
+  }
+  Manifest m2(path_, "fp");
+  ASSERT_TRUE(m2.load());
+  const JobRecord* rec = m2.find("train:a");
+  ASSERT_NE(rec, nullptr);
+  EXPECT_EQ(rec->kind, FailureKind::kTimeout);
+  EXPECT_EQ(rec->exit_code, -1);
+  EXPECT_EQ(rec->exit_signal, 9);
+  EXPECT_EQ(rec->pid, 4242);
+  EXPECT_EQ(rec->start_id, "123456789");
+  EXPECT_EQ(rec->cores, (std::vector<int>{2, 3}));
+  EXPECT_DOUBLE_EQ(rec->usage.wall_seconds, 12.5);
+  EXPECT_DOUBLE_EQ(rec->usage.user_seconds, 11.25);
+  EXPECT_DOUBLE_EQ(rec->usage.sys_seconds, 0.75);
+  EXPECT_EQ(rec->usage.peak_rss_kb, 81920);
+}
+
+TEST_F(ManifestTest, LoadsV1JournalsWithDefaultedAccounting) {
+  // Hand-craft a SATDMAN1 payload: journals written before the spooler
+  // landed must keep resuming (their extras default).
+  durable::write_file_checksummed(path_, [](std::ostream& os) {
+    os.write("SATDMAN1", 8);
+    write_string(os, "fp");
+    write_u64(os, 1);
+    write_string(os, "train:old");
+    write_u64(os, static_cast<std::uint64_t>(JobState::kDone));
+    write_u64(os, 2);  // attempts
+    write_string(os, "");
+    write_u64(os, 1);  // outputs
+    write_string(os, "old.model");
+  });
+  Manifest m(path_, "fp");
+  ASSERT_TRUE(m.load());
+  const JobRecord* rec = m.find("train:old");
+  ASSERT_NE(rec, nullptr);
+  EXPECT_EQ(rec->state, JobState::kDone);
+  EXPECT_EQ(rec->attempts, 2u);
+  ASSERT_EQ(rec->outputs.size(), 1u);
+  EXPECT_EQ(rec->kind, FailureKind::kNone);
+  EXPECT_EQ(rec->pid, 0);
+  EXPECT_TRUE(rec->start_id.empty());
+  EXPECT_TRUE(rec->cores.empty());
+  EXPECT_EQ(rec->usage.peak_rss_kb, 0);
+  // The next flush upgrades the journal to v2 in place.
+  m.record({"train:new", JobState::kRunning, 1, "", {}});
+  Manifest upgraded(path_, "fp");
+  ASSERT_TRUE(upgraded.load());
+  EXPECT_EQ(upgraded.records().size(), 2u);
 }
 
 TEST_F(ManifestTest, CreatesMissingParentDirectories) {

@@ -1,0 +1,219 @@
+// Process layer tests: the real ForkExecRunner against /bin/sh children
+// (exit codes, signals, env export, log redirection, rusage, pid-reuse-
+// proof identity) and the scripted FakeProcessRunner the spooler suite
+// builds on.
+#include <gtest/gtest.h>
+
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <csignal>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "common/clock.h"
+#include "runtime/process.h"
+#include "runtime/rusage.h"
+
+namespace satd::runtime {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Polls until the child reaps, with a real-time guard rail.
+ChildStatus wait_reaped(ProcessRunner& runner, const ProcessId& id,
+                        double timeout_seconds = 20.0) {
+  Clock& clock = SystemClock::instance();
+  const double deadline = clock.now() + timeout_seconds;
+  for (;;) {
+    const ChildStatus status = runner.poll(id);
+    if (!status.running) return status;
+    if (clock.now() > deadline) {
+      ADD_FAILURE() << "child " << id.pid << " never exited";
+      runner.kill(id, SIGKILL);
+      return status;
+    }
+    clock.sleep_for(0.01);
+  }
+}
+
+class ForkExecRunnerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    const auto* info =
+        ::testing::UnitTest::GetInstance()->current_test_info();
+    dir_ = fs::temp_directory_path() /
+           (std::string("satd_process_") + info->name());
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  SpawnSpec shell(const std::string& script) {
+    SpawnSpec spec;
+    spec.argv = {"/bin/sh", "-c", script};
+    return spec;
+  }
+
+  ForkExecRunner runner_;
+  fs::path dir_;
+};
+
+TEST_F(ForkExecRunnerTest, ReportsChildExitCode) {
+  const ProcessId id = runner_.spawn(shell("exit 7"));
+  ASSERT_GT(id.pid, 0);
+  EXPECT_FALSE(id.start_id.empty());
+  const ChildStatus status = wait_reaped(runner_, id);
+  EXPECT_FALSE(status.signaled);
+  EXPECT_EQ(status.exit_code, 7);
+}
+
+TEST_F(ForkExecRunnerTest, ReportsTerminatingSignal) {
+  const ProcessId id = runner_.spawn(shell("kill -9 $$"));
+  const ChildStatus status = wait_reaped(runner_, id);
+  EXPECT_TRUE(status.signaled);
+  EXPECT_EQ(status.term_signal, SIGKILL);
+}
+
+TEST_F(ForkExecRunnerTest, ExecFailureSurfacesAsExit127) {
+  SpawnSpec spec;
+  spec.argv = {(dir_ / "no_such_binary").string()};
+  const ProcessId id = runner_.spawn(spec);
+  const ChildStatus status = wait_reaped(runner_, id);
+  EXPECT_EQ(status.exit_code, 127);
+}
+
+TEST_F(ForkExecRunnerTest, ExportsSpecEnvironmentToChild) {
+  SpawnSpec spec = shell("exit \"$SATD_TEST_CODE\"");
+  spec.env.emplace_back("SATD_TEST_CODE", "9");
+  const ChildStatus status = wait_reaped(runner_, runner_.spawn(spec));
+  EXPECT_EQ(status.exit_code, 9);
+}
+
+TEST_F(ForkExecRunnerTest, RedirectsChildOutputToLogFile) {
+  const std::string log = (dir_ / "child.log").string();
+  SpawnSpec spec = shell("echo to-stdout; echo to-stderr 1>&2");
+  spec.log_path = log;
+  wait_reaped(runner_, runner_.spawn(spec));
+  std::ifstream in(log);
+  std::string text((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  EXPECT_NE(text.find("to-stdout"), std::string::npos);
+  EXPECT_NE(text.find("to-stderr"), std::string::npos);
+}
+
+TEST_F(ForkExecRunnerTest, CollectsRusageAtReap) {
+  // Burn a little user time so ru_utime is visibly nonzero.
+  const ProcessId id = runner_.spawn(
+      shell("i=0; while [ $i -lt 200000 ]; do i=$((i+1)); done"));
+  const ChildStatus status = wait_reaped(runner_, id);
+  EXPECT_EQ(status.exit_code, 0);
+  EXPECT_GT(status.usage.wall_seconds, 0.0);
+  EXPECT_GT(status.usage.user_seconds + status.usage.sys_seconds, 0.0);
+  EXPECT_GT(status.usage.peak_rss_kb, 0);
+}
+
+TEST_F(ForkExecRunnerTest, AliveTracksIdentityNotJustPid) {
+  const ProcessId id = runner_.spawn(shell("sleep 5"));
+  EXPECT_TRUE(runner_.alive(id));
+  // Same pid, wrong start time: a recycled pid must not match.
+  ProcessId impostor = id;
+  impostor.start_id = "0";
+  EXPECT_FALSE(runner_.alive(impostor));
+  runner_.kill(id, SIGKILL);
+  const ChildStatus status = wait_reaped(runner_, id);
+  EXPECT_TRUE(status.signaled);
+  EXPECT_FALSE(runner_.alive(id));
+}
+
+TEST_F(ForkExecRunnerTest, SamplesPeakRssOfLiveChild) {
+  const ProcessId id = runner_.spawn(shell("sleep 2"));
+  Clock& clock = SystemClock::instance();
+  long kb = 0;
+  const double deadline = clock.now() + 10.0;
+  while (kb <= 0 && clock.now() < deadline) {
+    kb = runner_.sample_rss_kb(id);
+    if (kb <= 0) clock.sleep_for(0.02);
+  }
+  EXPECT_GT(kb, 0);
+  runner_.kill(id, SIGKILL);
+  wait_reaped(runner_, id);
+}
+
+TEST(ProcIdentityTest, ReadsOwnStartIdAndPeakRss) {
+  const int self = static_cast<int>(::getpid());
+  EXPECT_FALSE(read_proc_start_id(self).empty());
+  EXPECT_GT(read_proc_peak_rss_kb(self), 0);
+  EXPECT_TRUE(process_matches(self, read_proc_start_id(self)));
+  EXPECT_FALSE(process_matches(self, "not-a-start-id"));
+  EXPECT_FALSE(process_matches(-1, "0"));
+}
+
+TEST(FakeProcessRunnerTest, ScriptedChildrenFollowTheClock) {
+  FakeClock clock;
+  FakeProcessRunner runner(clock);
+  runner.enqueue("job", {.duration = 2.0, .exit_code = 5, .on_exit = {}});
+  SpawnSpec spec;
+  spec.argv = {"job"};
+  const ProcessId id = runner.spawn(spec);
+  EXPECT_TRUE(runner.poll(id).running);
+  clock.advance(1.0);
+  EXPECT_TRUE(runner.poll(id).running);
+  clock.advance(1.0);
+  const ChildStatus status = runner.poll(id);
+  EXPECT_FALSE(status.running);
+  EXPECT_EQ(status.exit_code, 5);
+}
+
+TEST(FakeProcessRunnerTest, ScriptsAreConsumedPerKeyInOrder) {
+  FakeClock clock;
+  FakeProcessRunner runner(clock);
+  runner.enqueue("job", {.duration = 0.0, .exit_code = 1, .on_exit = {}});
+  runner.enqueue("job", {.duration = 0.0, .exit_code = 0, .on_exit = {}});
+  SpawnSpec spec;
+  spec.argv = {"job"};
+  EXPECT_EQ(runner.poll(runner.spawn(spec)).exit_code, 1);
+  EXPECT_EQ(runner.poll(runner.spawn(spec)).exit_code, 0);
+}
+
+TEST(FakeProcessRunnerTest, SigkillEndsAFakeChild) {
+  FakeClock clock;
+  FakeProcessRunner runner(clock);
+  bool exited = false;
+  runner.enqueue("job", {.duration = 100.0,
+                         .on_exit = [&exited] { exited = true; }});
+  SpawnSpec spec;
+  spec.argv = {"job"};
+  const ProcessId id = runner.spawn(spec);
+  clock.advance(1.0);
+  runner.kill(id, SIGKILL);
+  const ChildStatus status = runner.poll(id);
+  EXPECT_FALSE(status.running);
+  EXPECT_TRUE(status.signaled);
+  EXPECT_EQ(status.term_signal, SIGKILL);
+  EXPECT_DOUBLE_EQ(status.usage.wall_seconds, 1.0);
+  // A killed child never reached its output-writing hook.
+  EXPECT_FALSE(exited);
+}
+
+TEST(FakeProcessRunnerTest, OrphansLiveUntilTheirDeathTime) {
+  FakeClock clock;
+  FakeProcessRunner runner(clock);
+  bool died = false;
+  runner.add_orphan(900, "orphan-900", 3.0, [&died] { died = true; });
+  ProcessId id{900, "orphan-900"};
+  EXPECT_TRUE(runner.alive(id));
+  EXPECT_TRUE(runner.poll(id).running);
+  ProcessId impostor{900, "wrong"};
+  EXPECT_FALSE(runner.alive(impostor));
+  clock.advance(3.0);
+  const ChildStatus status = runner.poll(id);
+  EXPECT_FALSE(status.running);
+  EXPECT_TRUE(status.signaled);
+  EXPECT_TRUE(died);
+  EXPECT_FALSE(runner.alive(id));
+}
+
+}  // namespace
+}  // namespace satd::runtime

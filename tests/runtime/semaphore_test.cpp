@@ -1,0 +1,140 @@
+// SlotGate tests: machine-wide concurrency budget semantics, plus the
+// kill-9 token-leak repair path (abandon_for_test models a SIGKILLed
+// holder: flocks dropped, no sem_post).
+//
+// Semaphore names are machine-global, so every test salts its name with
+// the pid and unlinks in teardown — parallel ctest runs must not share
+// budgets.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <filesystem>
+#include <memory>
+#include <string>
+
+#include "runtime/semaphore.h"
+
+namespace satd::runtime {
+namespace {
+
+namespace fs = std::filesystem;
+
+class SlotGateTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    const auto* info =
+        ::testing::UnitTest::GetInstance()->current_test_info();
+    name_ = std::string("satd_gate_test_") +
+            std::to_string(::getpid()) + "_" + info->name();
+    registry_ = (fs::temp_directory_path() / (name_ + "_reg")).string();
+    SlotGate::unlink(name_, registry_);
+  }
+  void TearDown() override { SlotGate::unlink(name_, registry_); }
+
+  std::string name_;
+  std::string registry_;
+};
+
+TEST_F(SlotGateTest, AcquireReleaseRoundTripsTheBudget) {
+  SlotGate gate(name_, 2, registry_);
+  EXPECT_EQ(gate.slots(), 2u);
+  EXPECT_EQ(gate.value(), 2);
+  EXPECT_TRUE(gate.try_acquire());
+  EXPECT_EQ(gate.held(), 1u);
+  EXPECT_EQ(gate.value(), 1);
+  EXPECT_TRUE(gate.try_acquire());
+  EXPECT_EQ(gate.value(), 0);
+  EXPECT_FALSE(gate.try_acquire());
+  gate.release();
+  gate.release();
+  EXPECT_EQ(gate.held(), 0u);
+  EXPECT_EQ(gate.value(), 2);
+}
+
+TEST_F(SlotGateTest, BudgetIsSharedAcrossInstancesOfOneName) {
+  SlotGate a(name_, 2, registry_);
+  SlotGate b(name_, 2, registry_);
+  EXPECT_TRUE(a.try_acquire());
+  EXPECT_TRUE(b.try_acquire());
+  // Two tenants together exhaust the single machine-wide budget.
+  EXPECT_FALSE(a.try_acquire());
+  EXPECT_FALSE(b.try_acquire());
+  a.release();
+  EXPECT_TRUE(b.try_acquire());
+}
+
+TEST_F(SlotGateTest, FirstCreatorFixesTheBudget) {
+  SlotGate first(name_, 3, registry_);
+  // A later tenant asking for a bigger budget adopts the existing one.
+  SlotGate second(name_, 10, registry_);
+  EXPECT_EQ(second.slots(), 3u);
+  EXPECT_EQ(second.value(), 3);
+}
+
+TEST_F(SlotGateTest, DestructorReturnsHeldTokens) {
+  {
+    SlotGate gate(name_, 2, registry_);
+    ASSERT_TRUE(gate.try_acquire());
+    ASSERT_TRUE(gate.try_acquire());
+  }
+  SlotGate fresh(name_, 2, registry_);
+  EXPECT_EQ(fresh.value(), 2);
+}
+
+TEST_F(SlotGateTest, RepairRecoversTokensLeakedByADeadHolder) {
+  SlotGate victim(name_, 2, registry_);
+  ASSERT_TRUE(victim.try_acquire());
+  ASSERT_TRUE(victim.try_acquire());
+  // kill -9 the victim: flocks drop, tokens stay un-posted.
+  victim.abandon_for_test();
+  SlotGate waiter(name_, 2, registry_);
+  EXPECT_EQ(waiter.value(), 0);
+  EXPECT_FALSE(waiter.try_acquire());
+  waiter.repair();
+  EXPECT_EQ(waiter.value(), 2);
+  EXPECT_TRUE(waiter.try_acquire());
+  waiter.release();
+}
+
+TEST_F(SlotGateTest, RepairNeverStealsFromLiveHolders) {
+  SlotGate holder(name_, 2, registry_);
+  ASSERT_TRUE(holder.try_acquire());
+  SlotGate waiter(name_, 2, registry_);
+  waiter.repair();
+  // The live holder's token must not be double-counted back in.
+  EXPECT_EQ(waiter.value(), 1);
+  ASSERT_TRUE(waiter.try_acquire());
+  EXPECT_FALSE(waiter.try_acquire());
+  waiter.repair();
+  EXPECT_FALSE(waiter.try_acquire());
+  waiter.release();
+  holder.release();
+}
+
+TEST_F(SlotGateTest, RepairIsIdempotentAfterALeak) {
+  SlotGate victim(name_, 1, registry_);
+  ASSERT_TRUE(victim.try_acquire());
+  victim.abandon_for_test();
+  SlotGate waiter(name_, 1, registry_);
+  waiter.repair();
+  waiter.repair();
+  waiter.repair();
+  // Repeated repairs must not over-post past the budget.
+  EXPECT_EQ(waiter.value(), 1);
+}
+
+TEST(SlotGateNameTest, SanitizesArbitraryNamesIntoSemNames) {
+  const std::string sem = SlotGate::sanitize_name("my farm/gpu#1");
+  EXPECT_EQ(sem.front(), '/');
+  EXPECT_EQ(sem.find('/', 1), std::string::npos);
+  for (char c : sem.substr(1)) {
+    EXPECT_TRUE((c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                (c >= '0' && c <= '9') || c == '_' || c == '.' || c == '-')
+        << "bad char in sem name: " << c;
+  }
+  EXPECT_EQ(SlotGate::sanitize_name("abc"), SlotGate::sanitize_name("abc"));
+}
+
+}  // namespace
+}  // namespace satd::runtime

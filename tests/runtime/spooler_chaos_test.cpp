@@ -1,0 +1,202 @@
+// Spooler chaos tests with REAL child processes (ForkExecRunner +
+// SystemClock): kill -9 a child mid-write, kill -9 the spooler itself,
+// adopt the surviving orphan, and verify the recovered artifacts are
+// bit-identical. These are the end-to-end counterparts of the scripted
+// FakeProcessRunner suite in spooler_test.cpp.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <csignal>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "runtime/spooler.h"
+#include "runtime/supervisor.h"
+
+namespace satd::runtime {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string slurp(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+}
+
+const JobOutcome& outcome_of(const MatrixReport& report,
+                             const std::string& name) {
+  for (const auto& outcome : report.jobs) {
+    if (outcome.name == name) return outcome;
+  }
+  static JobOutcome missing;
+  ADD_FAILURE() << "no outcome for job " << name;
+  return missing;
+}
+
+class SpoolerChaosTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    fault::disarm_spool_faults();
+    const auto* info =
+        ::testing::UnitTest::GetInstance()->current_test_info();
+    dir_ = fs::temp_directory_path() /
+           (std::string("satd_spooler_chaos_") + info->name());
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+  }
+  void TearDown() override {
+    fault::disarm_spool_faults();
+    fs::remove_all(dir_);
+  }
+
+  /// Real-process options: short polls, short backoff, real clock.
+  Spooler::Options options() {
+    Spooler::Options o;
+    o.manifest_path = (dir_ / "manifest.bin").string();
+    o.fingerprint = "chaos-test";
+    o.backoff.base_delay = 0.01;
+    o.backoff.multiplier = 2.0;
+    o.backoff.max_delay = 0.1;
+    o.backoff.jitter_fraction = 0.0;
+    o.slots = 2;
+    o.poll_interval = 0.01;
+    o.rss_sample_interval = 0.05;
+    o.kill_grace = 0.2;
+    return o;
+  }
+
+  Job make_job(const std::string& name, std::vector<std::string> outputs,
+               std::size_t max_attempts = 3,
+               double deadline = kNoDeadline) {
+    Job job;
+    job.name = name;
+    job.outputs = std::move(outputs);
+    job.max_attempts = max_attempts;
+    job.deadline_seconds = deadline;
+    return job;
+  }
+
+  static SpawnSpec shell(const std::string& script) {
+    SpawnSpec spec;
+    spec.argv = {"/bin/sh", "-c", script};
+    return spec;
+  }
+
+  fs::path dir_;
+};
+
+TEST_F(SpoolerChaosTest, ChildSigkilledMidWriteIsRetriedBitIdentical) {
+  const fs::path out = dir_ / "table.csv";
+  const std::string payload = "model,clean,pgd\nsimplified,0.871,0.446\n";
+  auto factory = [&](const Job&, std::size_t attempt) {
+    if (attempt == 1) {
+      // Dies by SIGKILL with only a partial temp file on disk — the
+      // classic mid-write crash. The declared output never appears.
+      return shell("echo partial > " + out.string() + ".tmp; kill -9 $$");
+    }
+    return shell("printf '" + payload + "' > " + out.string());
+  };
+
+  {
+    Spooler spooler(options(), factory);
+    spooler.add(make_job("table", {out.string()}));
+    const MatrixReport report = spooler.run();
+
+    const JobOutcome& outcome = outcome_of(report, "table");
+    EXPECT_EQ(outcome.state, JobState::kDone);
+    EXPECT_EQ(outcome.attempts, 2u);
+    EXPECT_EQ(slurp(out), payload);
+  }
+
+  // A rerun over the same journal (the first owner is gone, its lock
+  // released) respawns nothing and leaves the artifact bit-for-bit
+  // untouched.
+  Spooler rerun(options(), factory);
+  rerun.add(make_job("table", {out.string()}));
+  const MatrixReport resumed = rerun.run();
+  EXPECT_TRUE(outcome_of(resumed, "table").resumed);
+  EXPECT_EQ(slurp(out), payload);
+}
+
+TEST_F(SpoolerChaosTest, SpoolerKillNineResumesAndAdoptsLiveOrphan) {
+  const fs::path out = dir_ / "adopted.out";
+  auto factory = [&](const Job&, std::size_t) {
+    // Outlives the first spooler episode, then writes its output.
+    return shell("sleep 1.2; printf done > " + out.string());
+  };
+
+  // Episode 1: the spooler "takes a kill -9" right after journaling the
+  // child RUNNING. The real child keeps running, now orphaned.
+  fault::arm_spool_crash("adoptee", 1);
+  {
+    Spooler spooler(options(), factory);
+    spooler.add(make_job("adoptee", {out.string()}));
+    EXPECT_THROW(spooler.run(), SimulatedCrashError);
+  }
+  fault::disarm_spool_faults();
+  EXPECT_FALSE(fs::exists(out));
+
+  // Episode 2: resume finds the RUNNING record, verifies the (pid,
+  // start-time) identity against /proc, and adopts the live orphan
+  // instead of double-spawning the job.
+  Spooler resumed(options(), factory);
+  resumed.add(make_job("adoptee", {out.string()}));
+  const MatrixReport report = resumed.run();
+
+  const JobOutcome& outcome = outcome_of(report, "adoptee");
+  EXPECT_EQ(outcome.state, JobState::kDone);
+  EXPECT_EQ(outcome.attempts, 1u);
+  EXPECT_NE(outcome.reason.find("adopted"), std::string::npos);
+  EXPECT_EQ(slurp(out), "done");
+}
+
+TEST_F(SpoolerChaosTest, AdoptedOrphanWithoutOutputsIsRetried) {
+  const fs::path out = dir_ / "late.out";
+  auto factory = [&](const Job&, std::size_t attempt) {
+    if (attempt == 1) {
+      // Survives the spooler crash but dies without its outputs.
+      return shell("sleep 0.3");
+    }
+    return shell("printf ok > " + out.string());
+  };
+
+  fault::arm_spool_crash("late", 1);
+  {
+    Spooler spooler(options(), factory);
+    spooler.add(make_job("late", {out.string()}));
+    EXPECT_THROW(spooler.run(), SimulatedCrashError);
+  }
+  fault::disarm_spool_faults();
+
+  Spooler resumed(options(), factory);
+  resumed.add(make_job("late", {out.string()}));
+  const MatrixReport report = resumed.run();
+
+  const JobOutcome& outcome = outcome_of(report, "late");
+  EXPECT_EQ(outcome.state, JobState::kDone);
+  EXPECT_EQ(outcome.attempts, 2u);
+  EXPECT_EQ(slurp(out), "ok");
+}
+
+TEST_F(SpoolerChaosTest, WatchdogSigkillsARealRunawayChild) {
+  auto factory = [&](const Job&, std::size_t) { return shell("sleep 30"); };
+
+  Spooler::Options o = options();
+  o.kill_grace = 0.1;
+  Spooler spooler(o, factory);
+  spooler.add(make_job("runaway", {(dir_ / "never.out").string()},
+                       /*max_attempts=*/1, /*deadline=*/0.2));
+  const MatrixReport report = spooler.run();
+
+  const JobOutcome& outcome = outcome_of(report, "runaway");
+  EXPECT_EQ(outcome.state, JobState::kDegraded);
+  EXPECT_EQ(outcome.kind, FailureKind::kTimeout);
+  EXPECT_EQ(outcome.exit_signal, SIGKILL);
+  EXPECT_NE(outcome.reason.find("timeout"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace satd::runtime

@@ -1,0 +1,639 @@
+// Deterministic suite for the multi-process job spooler: the entire
+// launch / poll / watchdog / retry / adopt state machine runs on a
+// FakeClock with scripted FakeProcessRunner children, so every scenario
+// — including kill-9 recovery — is exact and takes microseconds.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <csignal>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/durable_io.h"
+#include "runtime/semaphore.h"
+#include "runtime/spooler.h"
+#include "runtime/supervisor.h"  // SimulatedCrashError, fault::disarm
+
+namespace satd::runtime {
+namespace {
+
+namespace fs = std::filesystem;
+
+class SpoolerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    fault::disarm();
+    fault::disarm_spool_faults();
+    const auto* info =
+        ::testing::UnitTest::GetInstance()->current_test_info();
+    // Unique per test: the suite runs under `ctest -j` next to itself.
+    dir_ = fs::temp_directory_path() /
+           (std::string("satd_spooler_") + info->name());
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+    manifest_path_ = (dir_ / "manifest.bin").string();
+  }
+  void TearDown() override {
+    fault::disarm();
+    fault::disarm_spool_faults();
+    fs::remove_all(dir_);
+  }
+
+  Spooler::Options options(FakeClock& clock, FakeProcessRunner& runner) {
+    Spooler::Options o;
+    o.manifest_path = manifest_path_;
+    o.fingerprint = "test";
+    o.clock = &clock;
+    o.runner = &runner;
+    o.backoff.base_delay = 1.0;
+    o.backoff.multiplier = 2.0;
+    o.backoff.max_delay = 8.0;
+    o.backoff.jitter_fraction = 0.0;
+    o.slots = 2;
+    o.poll_interval = 0.05;
+    o.kill_grace = 5.0;
+    return o;
+  }
+
+  /// The factory used throughout: argv[0] is the job name, which is also
+  /// the FakeProcessRunner script key.
+  static Spooler::SpawnFactory name_factory() {
+    return [](const Job& job, std::size_t) {
+      SpawnSpec spec;
+      spec.argv = {job.name};
+      return spec;
+    };
+  }
+
+  Job make_job(const std::string& name, std::vector<std::string> outputs,
+               std::vector<std::string> deps = {},
+               std::size_t max_attempts = 3, double deadline = kNoDeadline) {
+    Job job;
+    job.name = name;
+    job.outputs = std::move(outputs);
+    job.deps = std::move(deps);
+    job.max_attempts = max_attempts;
+    job.deadline_seconds = deadline;
+    return job;
+  }
+
+  std::string out_path(const std::string& leaf) {
+    return (dir_ / leaf).string();
+  }
+
+  /// An on_exit hook that writes the job's output file.
+  std::function<void()> writes(const std::string& path,
+                               const std::string& payload = "payload\n") {
+    return [path, payload] { durable::atomic_write_file(path, payload); };
+  }
+
+  const JobOutcome& outcome_of(const MatrixReport& report,
+                               const std::string& name) {
+    for (const auto& job : report.jobs) {
+      if (job.name == name) return job;
+    }
+    ADD_FAILURE() << "no outcome for " << name;
+    static JobOutcome missing;
+    return missing;
+  }
+
+  fs::path dir_;
+  std::string manifest_path_;
+};
+
+TEST_F(SpoolerTest, RunsDependencyOrderedMatrixWithResourceAccounting) {
+  FakeClock clock;
+  FakeProcessRunner runner(clock);
+  const std::string out_a = out_path("a.csv"), out_b = out_path("b.csv");
+  runner.enqueue("a", {.duration = 1.0,
+                       .peak_rss_kb = 4096,
+                       .user_seconds = 0.8,
+                       .sys_seconds = 0.1,
+                       .on_exit = writes(out_a)});
+  runner.enqueue("b", {.duration = 2.0,
+                       .peak_rss_kb = 8192,
+                       .on_exit = writes(out_b)});
+
+  Spooler spooler(options(clock, runner), name_factory());
+  spooler.add(make_job("b", {out_b}, {"a"}));
+  spooler.add(make_job("a", {out_a}));
+  const MatrixReport report = spooler.run();
+
+  EXPECT_TRUE(report.all_done());
+  EXPECT_EQ(runner.spawn_count(), 2u);
+  // b depends on a, so it must have been spawned strictly after.
+  ASSERT_EQ(runner.spawned().size(), 2u);
+  EXPECT_EQ(runner.spawned()[0].argv[0], "a");
+  EXPECT_EQ(runner.spawned()[1].argv[0], "b");
+
+  const JobOutcome& a = outcome_of(report, "a");
+  EXPECT_EQ(a.state, JobState::kDone);
+  EXPECT_EQ(a.attempts, 1u);
+  EXPECT_EQ(a.kind, FailureKind::kNone);
+  EXPECT_EQ(a.usage.peak_rss_kb, 4096);
+  EXPECT_DOUBLE_EQ(a.usage.user_seconds, 0.8);
+  EXPECT_DOUBLE_EQ(a.usage.sys_seconds, 0.1);
+  EXPECT_DOUBLE_EQ(a.usage.wall_seconds, 1.0);
+  const std::string text = report.to_string();
+  EXPECT_NE(text.find("rss="), std::string::npos);
+}
+
+TEST_F(SpoolerTest, SlotBudgetCapsConcurrency) {
+  FakeClock clock;
+  FakeProcessRunner runner(clock);
+  std::vector<Job> jobs;
+  Spooler spooler(options(clock, runner), name_factory());
+  for (int i = 0; i < 5; ++i) {
+    const std::string name = "job" + std::to_string(i);
+    const std::string out = out_path(name + ".out");
+    runner.enqueue(name, {.duration = 1.0, .on_exit = writes(out)});
+    spooler.add(make_job(name, {out}));
+  }
+  EXPECT_TRUE(spooler.run().all_done());
+  EXPECT_EQ(runner.spawn_count(), 5u);
+  EXPECT_LE(runner.max_concurrent(), 2u);  // slots = 2
+  EXPECT_GE(runner.max_concurrent(), 2u);  // and it does use both
+}
+
+TEST_F(SpoolerTest, CrashedChildIsRetriedOnBackoffSchedule) {
+  FakeClock clock;
+  FakeProcessRunner runner(clock);
+  const std::string out = out_path("flaky.out");
+  runner.enqueue("flaky", {.duration = 0.5, .term_signal = SIGSEGV,
+                           .on_exit = {}});
+  runner.enqueue("flaky", {.duration = 0.5, .on_exit = writes(out)});
+
+  Spooler spooler(options(clock, runner), name_factory());
+  spooler.add(make_job("flaky", {out}));
+  const MatrixReport report = spooler.run();
+
+  EXPECT_TRUE(report.all_done());
+  EXPECT_EQ(outcome_of(report, "flaky").attempts, 2u);
+  EXPECT_EQ(runner.spawn_count(), 2u);
+  EXPECT_TRUE(fs::exists(out));
+}
+
+TEST_F(SpoolerTest, SignalDeathRecordsCrashedKindAndSignal) {
+  FakeClock clock;
+  FakeProcessRunner runner(clock);
+  runner.enqueue("victim", {.duration = 0.5, .term_signal = SIGSEGV,
+                            .on_exit = {}});
+
+  Spooler spooler(options(clock, runner), name_factory());
+  spooler.add(make_job("victim", {out_path("v.out")}, {},
+                       /*max_attempts=*/1));
+  const MatrixReport report = spooler.run();
+
+  const JobOutcome& out = outcome_of(report, "victim");
+  EXPECT_EQ(out.state, JobState::kDegraded);
+  EXPECT_EQ(out.kind, FailureKind::kCrashed);
+  EXPECT_EQ(out.exit_signal, SIGSEGV);
+  EXPECT_NE(out.reason.find("signal 11"), std::string::npos);
+  const std::string text = report.to_string();
+  EXPECT_NE(text.find("CRASHED"), std::string::npos);
+  EXPECT_NE(text.find("SIGSEGV"), std::string::npos);
+}
+
+TEST_F(SpoolerTest, NonzeroExitRecordsFailedKindAndExitCode) {
+  FakeClock clock;
+  FakeProcessRunner runner(clock);
+  runner.enqueue("broken", {.duration = 0.5, .exit_code = 3, .on_exit = {}});
+
+  Spooler spooler(options(clock, runner), name_factory());
+  spooler.add(make_job("broken", {out_path("b.out")}, {}, 1));
+  const MatrixReport report = spooler.run();
+
+  const JobOutcome& out = outcome_of(report, "broken");
+  EXPECT_EQ(out.state, JobState::kDegraded);
+  EXPECT_EQ(out.kind, FailureKind::kFailed);
+  EXPECT_EQ(out.exit_code, 3);
+  EXPECT_NE(out.reason.find("exit 3"), std::string::npos);
+}
+
+TEST_F(SpoolerTest, CooperativeOverrunExitCodeRecordsTimeoutKind) {
+  FakeClock clock;
+  FakeProcessRunner runner(clock);
+  runner.enqueue("slow",
+                 {.duration = 0.5, .exit_code = Spooler::kExitOverrun,
+                  .on_exit = {}});
+
+  Spooler spooler(options(clock, runner), name_factory());
+  spooler.add(make_job("slow", {out_path("s.out")}, {}, 1));
+  const MatrixReport report = spooler.run();
+
+  const JobOutcome& out = outcome_of(report, "slow");
+  EXPECT_EQ(out.state, JobState::kDegraded);
+  EXPECT_EQ(out.kind, FailureKind::kTimeout);
+  EXPECT_EQ(out.exit_code, Spooler::kExitOverrun);
+  EXPECT_NE(out.reason.find("deadline_overrun"), std::string::npos);
+}
+
+TEST_F(SpoolerTest, WatchdogSigkillsChildPastDeadlinePlusGrace) {
+  FakeClock clock;
+  FakeProcessRunner runner(clock);
+  runner.enqueue("hung", {.duration = 1e9,
+                          .on_exit = {}});  // never exits on its own
+
+  Spooler spooler(options(clock, runner), name_factory());
+  spooler.add(make_job("hung", {out_path("h.out")}, {}, /*max_attempts=*/1,
+                       /*deadline=*/10.0));
+  const MatrixReport report = spooler.run();
+
+  const JobOutcome& out = outcome_of(report, "hung");
+  EXPECT_EQ(out.state, JobState::kDegraded);
+  EXPECT_EQ(out.kind, FailureKind::kTimeout);
+  EXPECT_NE(out.reason.find("SIGKILLed past the watchdog"),
+            std::string::npos);
+  ASSERT_EQ(runner.kills().size(), 1u);
+  EXPECT_EQ(runner.kills()[0].second, SIGKILL);
+  // The kill fired after deadline + grace (10 + 5), not at the deadline.
+  EXPECT_GT(clock.now(), 15.0);
+  EXPECT_LT(clock.now(), 16.0);
+}
+
+TEST_F(SpoolerTest, CleanExitWithMissingOutputsIsAFailure) {
+  FakeClock clock;
+  FakeProcessRunner runner(clock);
+  runner.enqueue("liar", {.duration = 0.5, .exit_code = 0,
+                          .on_exit = {}});  // no on_exit
+
+  Spooler spooler(options(clock, runner), name_factory());
+  spooler.add(make_job("liar", {out_path("missing.out")}, {}, 1));
+  const MatrixReport report = spooler.run();
+
+  const JobOutcome& out = outcome_of(report, "liar");
+  EXPECT_EQ(out.state, JobState::kDegraded);
+  EXPECT_EQ(out.kind, FailureKind::kFailed);
+  EXPECT_NE(out.reason.find("outputs are missing"), std::string::npos);
+}
+
+TEST_F(SpoolerTest, DegradedDependencyCascades) {
+  FakeClock clock;
+  FakeProcessRunner runner(clock);
+  runner.enqueue("root", {.duration = 0.5, .exit_code = 1, .on_exit = {}});
+  const std::string out_ok = out_path("ok.out");
+  runner.enqueue("independent", {.duration = 0.5, .on_exit = writes(out_ok)});
+
+  Spooler spooler(options(clock, runner), name_factory());
+  spooler.add(make_job("root", {out_path("r.out")}, {}, 1));
+  spooler.add(make_job("mid", {out_path("m.out")}, {"root"}));
+  spooler.add(make_job("leaf", {out_path("l.out")}, {"mid"}));
+  spooler.add(make_job("independent", {out_ok}));
+  const MatrixReport report = spooler.run();
+
+  EXPECT_EQ(report.done(), 1u);
+  EXPECT_EQ(report.degraded(), 3u);
+  EXPECT_EQ(outcome_of(report, "mid").reason,
+            "dependency not satisfied: root");
+  EXPECT_EQ(outcome_of(report, "leaf").reason,
+            "dependency not satisfied: mid");
+  EXPECT_EQ(outcome_of(report, "independent").state, JobState::kDone);
+  // Only root and independent ever spawned a child.
+  EXPECT_EQ(runner.spawn_count(), 2u);
+}
+
+TEST_F(SpoolerTest, CoreBudgetPinsChildrenAndExportsMatchingThreads) {
+  FakeClock clock;
+  FakeProcessRunner runner(clock);
+  Spooler::Options o = options(clock, runner);
+  o.cores = {0, 1, 2, 3};  // 2 slots -> 2 cores per child
+  Spooler spooler(std::move(o), name_factory());
+  for (int i = 0; i < 4; ++i) {
+    const std::string name = "job" + std::to_string(i);
+    const std::string out = out_path(name + ".out");
+    runner.enqueue(name, {.duration = 1.0, .on_exit = writes(out)});
+    spooler.add(make_job(name, {out}));
+  }
+  const MatrixReport report = spooler.run();
+  EXPECT_TRUE(report.all_done());
+
+  for (const SpawnSpec& spec : runner.spawned()) {
+    ASSERT_EQ(spec.cpus.size(), 2u) << spec.argv[0];
+    for (int cpu : spec.cpus) {
+      EXPECT_GE(cpu, 0);
+      EXPECT_LE(cpu, 3);
+    }
+    bool exported = false;
+    for (const auto& [key, value] : spec.env) {
+      if (key == "SATD_THREADS") {
+        exported = true;
+        EXPECT_EQ(value, "2");
+      }
+    }
+    EXPECT_TRUE(exported) << spec.argv[0];
+  }
+  // Concurrent children never share a core.
+  for (const auto& job : report.jobs) {
+    EXPECT_EQ(job.cores.size(), 2u);
+  }
+}
+
+TEST_F(SpoolerTest, ConcurrentChildrenNeverShareACore) {
+  FakeClock clock;
+  FakeProcessRunner runner(clock);
+  Spooler::Options o = options(clock, runner);
+  o.cores = {0, 1};  // one core per child
+  Spooler spooler(std::move(o), name_factory());
+  // Two long jobs overlap; their core assignments must be disjoint.
+  for (const char* name : {"left", "right"}) {
+    const std::string out = out_path(std::string(name) + ".out");
+    runner.enqueue(name, {.duration = 5.0, .on_exit = writes(out)});
+    spooler.add(make_job(name, {out}));
+  }
+  EXPECT_TRUE(spooler.run().all_done());
+  ASSERT_EQ(runner.spawned().size(), 2u);
+  ASSERT_EQ(runner.spawned()[0].cpus.size(), 1u);
+  ASSERT_EQ(runner.spawned()[1].cpus.size(), 1u);
+  EXPECT_NE(runner.spawned()[0].cpus[0], runner.spawned()[1].cpus[0]);
+}
+
+TEST_F(SpoolerTest, ResumeSkipsDoneJobsWithoutRespawning) {
+  const std::string out = out_path("done.out");
+  {
+    FakeClock clock;
+    FakeProcessRunner runner(clock);
+    runner.enqueue("done", {.duration = 1.0, .on_exit = writes(out)});
+    Spooler spooler(options(clock, runner), name_factory());
+    spooler.add(make_job("done", {out}));
+    EXPECT_TRUE(spooler.run().all_done());
+  }
+  {
+    FakeClock clock;
+    FakeProcessRunner runner(clock);
+    Spooler spooler(options(clock, runner), name_factory());
+    spooler.add(make_job("done", {out}));
+    const MatrixReport report = spooler.run();
+    EXPECT_TRUE(report.all_done());
+    EXPECT_TRUE(outcome_of(report, "done").resumed);
+    EXPECT_EQ(runner.spawn_count(), 0u);
+  }
+}
+
+TEST_F(SpoolerTest, ResumeDeclaresDeadOrphanCrashedAndRetries) {
+  const std::string out = out_path("orphaned.out");
+  {
+    // A previous spooler journaled RUNNING with a pid that no longer
+    // exists (nothing registered in the runner).
+    Manifest journal(manifest_path_, "test");
+    JobRecord rec{"orphaned", JobState::kRunning, 1, "", {out}};
+    rec.pid = 4242;
+    rec.start_id = "long-gone";
+    journal.record(std::move(rec));
+  }
+  FakeClock clock;
+  FakeProcessRunner runner(clock);
+  runner.enqueue("orphaned", {.duration = 1.0, .on_exit = writes(out)});
+  Spooler spooler(options(clock, runner), name_factory());
+  spooler.add(make_job("orphaned", {out}));
+  const MatrixReport report = spooler.run();
+
+  const JobOutcome& job = outcome_of(report, "orphaned");
+  EXPECT_EQ(job.state, JobState::kDone);
+  EXPECT_EQ(job.attempts, 2u);  // the crashed attempt spent budget
+  EXPECT_EQ(runner.spawn_count(), 1u);
+}
+
+TEST_F(SpoolerTest, DeadOrphanOnFinalAttemptDegradesAsCrashed) {
+  const std::string out = out_path("doomed.out");
+  {
+    Manifest journal(manifest_path_, "test");
+    JobRecord rec{"doomed", JobState::kRunning, 1, "", {out}};
+    rec.pid = 4242;
+    rec.start_id = "long-gone";
+    journal.record(std::move(rec));
+  }
+  FakeClock clock;
+  FakeProcessRunner runner(clock);
+  Spooler spooler(options(clock, runner), name_factory());
+  spooler.add(make_job("doomed", {out}, {}, /*max_attempts=*/1));
+  const MatrixReport report = spooler.run();
+
+  const JobOutcome& job = outcome_of(report, "doomed");
+  EXPECT_EQ(job.state, JobState::kDegraded);
+  EXPECT_EQ(job.kind, FailureKind::kCrashed);
+  EXPECT_NE(job.reason.find("orphan pid 4242 is gone"), std::string::npos);
+  EXPECT_EQ(runner.spawn_count(), 0u);
+}
+
+TEST_F(SpoolerTest, ResumeAdoptsLiveOrphanToCompletion) {
+  const std::string out = out_path("adopted.out");
+  {
+    Manifest journal(manifest_path_, "test");
+    JobRecord rec{"adopted", JobState::kRunning, 1, "", {out}};
+    rec.pid = 777;
+    rec.start_id = "orphan-777";
+    journal.record(std::move(rec));
+  }
+  FakeClock clock;
+  FakeProcessRunner runner(clock);
+  // The orphan keeps running until t=5, then exits having written its
+  // outputs — the resumed spooler must supervise it, not respawn it.
+  runner.add_orphan(777, "orphan-777", /*dies_at=*/5.0, writes(out));
+  Spooler spooler(options(clock, runner), name_factory());
+  spooler.add(make_job("adopted", {out}));
+  const MatrixReport report = spooler.run();
+
+  const JobOutcome& job = outcome_of(report, "adopted");
+  EXPECT_EQ(job.state, JobState::kDone);
+  EXPECT_EQ(job.attempts, 1u);
+  EXPECT_EQ(job.reason, "adopted orphan finished");
+  EXPECT_EQ(runner.spawn_count(), 0u);  // never respawned
+}
+
+TEST_F(SpoolerTest, AdoptedOrphanDyingWithoutOutputsIsRetried) {
+  const std::string out = out_path("halfdone.out");
+  {
+    Manifest journal(manifest_path_, "test");
+    JobRecord rec{"halfdone", JobState::kRunning, 1, "", {out}};
+    rec.pid = 778;
+    rec.start_id = "orphan-778";
+    journal.record(std::move(rec));
+  }
+  FakeClock clock;
+  FakeProcessRunner runner(clock);
+  runner.add_orphan(778, "orphan-778", /*dies_at=*/2.0);  // dies empty
+  runner.enqueue("halfdone", {.duration = 1.0, .on_exit = writes(out)});
+  Spooler spooler(options(clock, runner), name_factory());
+  spooler.add(make_job("halfdone", {out}));
+  const MatrixReport report = spooler.run();
+
+  const JobOutcome& job = outcome_of(report, "halfdone");
+  EXPECT_EQ(job.state, JobState::kDone);
+  EXPECT_EQ(job.attempts, 2u);
+  EXPECT_EQ(runner.spawn_count(), 1u);
+}
+
+TEST_F(SpoolerTest, AdoptedOrphanIsSigkilledPastItsWatchdog) {
+  const std::string out = out_path("runaway.out");
+  {
+    Manifest journal(manifest_path_, "test");
+    JobRecord rec{"runaway", JobState::kRunning, 1, "", {out}};
+    rec.pid = 779;
+    rec.start_id = "orphan-779";
+    journal.record(std::move(rec));
+  }
+  FakeClock clock;
+  FakeProcessRunner runner(clock);
+  runner.add_orphan(779, "orphan-779", /*dies_at=*/1e9);  // runs forever
+  Spooler spooler(options(clock, runner), name_factory());
+  // deadline 10 + grace 5: the adopted orphan is killed at ~15.
+  spooler.add(make_job("runaway", {out}, {}, /*max_attempts=*/1,
+                       /*deadline=*/10.0));
+  const MatrixReport report = spooler.run();
+
+  const JobOutcome& job = outcome_of(report, "runaway");
+  EXPECT_EQ(job.state, JobState::kDegraded);
+  EXPECT_EQ(job.kind, FailureKind::kTimeout);
+  ASSERT_EQ(runner.kills().size(), 1u);
+  EXPECT_EQ(runner.kills()[0], (std::pair<int, int>{779, SIGKILL}));
+}
+
+TEST_F(SpoolerTest, SimulatedSpoolerCrashLeavesAdoptableJournal) {
+  const std::string out = out_path("survivor.out");
+  // Episode 1: the spooler "dies" (SIGKILL-equivalent unwind) right
+  // after launching the child, which keeps running as an orphan.
+  FakeClock clock;
+  FakeProcessRunner runner(clock);
+  runner.enqueue("survivor", {.duration = 3.0, .on_exit = writes(out)});
+  {
+    fault::arm_spool_crash("survivor", 1);
+    Spooler spooler(options(clock, runner), name_factory());
+    spooler.add(make_job("survivor", {out}));
+    EXPECT_THROW(spooler.run(), SimulatedCrashError);
+  }
+
+  // The journal reads exactly as a dead spooler would leave it: RUNNING
+  // with the child's (pid, start-time) identity.
+  int orphan_pid = 0;
+  std::string orphan_start_id;
+  {
+    Manifest journal(manifest_path_, "test");
+    ASSERT_TRUE(journal.load());
+    const JobRecord* rec = journal.find("survivor");
+    ASSERT_NE(rec, nullptr);
+    EXPECT_EQ(rec->state, JobState::kRunning);
+    EXPECT_EQ(rec->attempts, 1u);
+    ASSERT_GT(rec->pid, 0);
+    ASSERT_FALSE(rec->start_id.empty());
+    orphan_pid = rec->pid;
+    orphan_start_id = rec->start_id;
+  }
+
+  // Episode 2: a fresh spooler (sharing the same runner, whose fake
+  // child is still running) adopts the orphan and sees it through.
+  {
+    Spooler spooler(options(clock, runner), name_factory());
+    spooler.add(make_job("survivor", {out}));
+    const MatrixReport report = spooler.run();
+    const JobOutcome& job = outcome_of(report, "survivor");
+    EXPECT_EQ(job.state, JobState::kDone);
+    EXPECT_EQ(job.attempts, 1u);
+    EXPECT_EQ(job.reason, "adopted orphan finished");
+  }
+  EXPECT_EQ(runner.spawn_count(), 1u);  // the work was never repeated
+  EXPECT_EQ(durable::read_file_verified(out), "payload\n");
+  (void)orphan_pid;
+  (void)orphan_start_id;
+}
+
+TEST_F(SpoolerTest, FarmGateBoundsConcurrencyBelowOwnSlots) {
+  FakeClock clock;
+  FakeProcessRunner runner(clock);
+  const std::string gate_name =
+      "satd_test_gate_" + std::to_string(::getpid()) + "_farm";
+  const std::string registry = (dir_ / "gate").string();
+  SlotGate::unlink(gate_name, registry);
+  // Another "invocation" holds one of the farm's two tokens for the
+  // whole run, so this spooler — despite slots=2 — runs one at a time.
+  SlotGate other(gate_name, 2, registry);
+  ASSERT_TRUE(other.try_acquire());
+
+  Spooler::Options o = options(clock, runner);
+  o.gate_name = gate_name;
+  o.gate_registry = registry;
+  Spooler spooler(std::move(o), name_factory());
+  for (int i = 0; i < 3; ++i) {
+    const std::string name = "job" + std::to_string(i);
+    const std::string out = out_path(name + ".out");
+    runner.enqueue(name, {.duration = 1.0, .on_exit = writes(out)});
+    spooler.add(make_job(name, {out}));
+  }
+  const MatrixReport report = spooler.run();
+  EXPECT_TRUE(report.all_done());
+  EXPECT_EQ(runner.max_concurrent(), 1u);
+
+  other.release();
+  SlotGate::unlink(gate_name, registry);
+}
+
+TEST_F(SpoolerTest, FarmGateRecoversTokensLeakedByDeadHolder) {
+  FakeClock clock;
+  FakeProcessRunner runner(clock);
+  const std::string gate_name =
+      "satd_test_gate_" + std::to_string(::getpid()) + "_leak";
+  const std::string registry = (dir_ / "gate").string();
+  SlotGate::unlink(gate_name, registry);
+  {
+    // A holder dies (kill -9) with both tokens: locks drop, tokens leak.
+    SlotGate dead(gate_name, 2, registry);
+    ASSERT_TRUE(dead.try_acquire());
+    ASSERT_TRUE(dead.try_acquire());
+    dead.abandon_for_test();
+  }
+
+  Spooler::Options o = options(clock, runner);
+  o.gate_name = gate_name;
+  o.gate_registry = registry;
+  Spooler spooler(std::move(o), name_factory());
+  const std::string out = out_path("after.out");
+  runner.enqueue("after", {.duration = 1.0, .on_exit = writes(out)});
+  spooler.add(make_job("after", {out}));
+  // The spooler's own repair pass must restore the leaked tokens; the
+  // run completes instead of waiting forever on an empty semaphore.
+  const MatrixReport report = spooler.run();
+  EXPECT_TRUE(report.all_done());
+
+  SlotGate::unlink(gate_name, registry);
+}
+
+TEST_F(SpoolerTest, SecondLiveSpoolerOnSameManifestIsRejected) {
+  FakeClock clock;
+  FakeProcessRunner runner(clock);
+  const std::string out = out_path("solo.out");
+  runner.enqueue("solo", {.duration = 1.0, .on_exit = writes(out)});
+  Spooler first(options(clock, runner), name_factory());
+  first.add(make_job("solo", {out}));
+  EXPECT_TRUE(first.run().all_done());
+
+  // `first` is still alive and holds the journal lock; a concurrent
+  // spooler on the same manifest must fail fast, not corrupt it.
+  FakeClock clock2;
+  FakeProcessRunner runner2(clock2);
+  Spooler second(options(clock2, runner2), name_factory());
+  second.add(make_job("solo", {out}));
+  EXPECT_THROW(second.run(), std::runtime_error);
+}
+
+TEST_F(SpoolerTest, DuplicateOrAnonymousJobsAreRejected) {
+  FakeClock clock;
+  FakeProcessRunner runner(clock);
+  Spooler spooler(options(clock, runner), name_factory());
+  spooler.add(make_job("a", {}));
+  EXPECT_ANY_THROW(spooler.add(make_job("a", {})));
+  EXPECT_ANY_THROW(spooler.add(make_job("", {})));
+}
+
+TEST_F(SpoolerTest, UnknownDependencyThrows) {
+  FakeClock clock;
+  FakeProcessRunner runner(clock);
+  Spooler spooler(options(clock, runner), name_factory());
+  spooler.add(make_job("a", {}, {"ghost"}));
+  EXPECT_THROW(spooler.run(), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace satd::runtime

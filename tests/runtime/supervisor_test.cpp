@@ -168,6 +168,7 @@ TEST_F(SupervisorTest, ExhaustedRetriesDegradeWithoutStoppingOthers) {
   EXPECT_EQ(bad_out.state, JobState::kDegraded);
   EXPECT_EQ(bad_out.attempts, 2u);
   EXPECT_EQ(bad_out.reason, "failed: boom");
+  EXPECT_EQ(bad_out.kind, FailureKind::kFailed);
 
   const JobOutcome& child = outcome_of(report, "child");
   EXPECT_EQ(child.state, JobState::kDegraded);
@@ -214,6 +215,7 @@ TEST_F(SupervisorTest, PersistentHangDegradesAsOverrun) {
   const JobOutcome& out = outcome_of(report, "slow");
   EXPECT_EQ(out.state, JobState::kDegraded);
   EXPECT_EQ(out.reason, "deadline_overrun: injected hang");
+  EXPECT_EQ(out.kind, FailureKind::kTimeout);
 }
 
 TEST_F(SupervisorTest, FailureAfterDeadlineCountsAsOverrun) {
@@ -235,6 +237,7 @@ TEST_F(SupervisorTest, FailureAfterDeadlineCountsAsOverrun) {
   const JobOutcome& out = outcome_of(report, "cooperative");
   EXPECT_EQ(out.state, JobState::kDegraded);
   EXPECT_EQ(out.reason, "deadline_overrun: stopped at epoch boundary");
+  EXPECT_EQ(out.kind, FailureKind::kTimeout);
 }
 
 TEST_F(SupervisorTest, CrashLeavesRunningRecordInJournal) {
