@@ -1,25 +1,41 @@
 // Serving bench: throughput/latency of the micro-batching inference
-// server (src/serve) under closed- and open-loop load.
+// server (src/serve) under closed- and open-loop load, static vs
+// SLO-aware adaptive batching.
 //
-// Three experiment families, all against a deterministically initialized
+// Experiment families, all against a deterministically initialized
 // cnn_small (serving cost does not depend on trained weights, so no
 // training is needed and the bench starts instantly):
 //
-//   closed_w{W}_b{B} — closed loop: 2*W client threads submit-and-wait in
-//     lockstep over W workers with max_batch B. Measures steady-state
-//     throughput, latency percentiles and achieved batch coalescing.
-//   overload         — open loop: fires every request instantly at a
-//     small queue with no consumers keeping up, demonstrating typed
-//     backpressure (queue_full rejects) instead of unbounded queueing.
-//   deadline         — closed loop with a tight per-request timeout and a
-//     deliberately slow batching window, demonstrating deadline-miss
-//     accounting.
+//   closed_w{W}_b{B}   — closed loop: 2*W client threads submit-and-wait
+//     in lockstep over W workers with the STATIC (max_batch, max_wait)
+//     window. Measures steady-state throughput, latency percentiles,
+//     jitter (mean/stddev) and achieved batch coalescing.
+//   adaptive_w{W}_b8   — the same closed-loop load under the ADAPTIVE
+//     window (arrival-rate + service-time estimators close the window
+//     early when waiting cannot raise goodput). The headline comparison:
+//     the static b8 rows wait out max_wait for clients that are blocked
+//     on the batch in flight and invert the throughput ordering; the
+//     adaptive rows must restore adaptive_b8 >= closed_b1.
+//   open_w{W}_b8_*     — open loop: a FIXED, SEEDED arrival schedule
+//     (exponential inter-arrival gaps at --open-loop-rps) is drawn up
+//     front and replayed fire-and-forget, so static and adaptive points
+//     face byte-identical offered load and latency includes queueing
+//     delay, not client back-pressure.
+//   deadline           — a per-request timeout shorter than the expected
+//     window + service horizon: the feasibility gate rejects every
+//     request AT ADMISSION (rejected_infeasible) instead of admitting
+//     work that can only expire (the pre-horizon behavior counted these
+//     as deadline misses after queueing).
+//   overload           — fires far beyond queue capacity with no
+//     consumers keeping up: typed backpressure (queue_full rejects)
+//     instead of unbounded queueing.
 //
 // Arrivals and image selection are seeded-Rng deterministic; timing (and
 // therefore the numbers, not the workload) is the only nondeterminism.
 // --emit-json writes BENCH_serve.json in the same satd-bench-1 schema as
 // bench_micro (baseline committed under bench/baseline/).
 #include <atomic>
+#include <cmath>
 #include <cstdio>
 #include <string>
 #include <thread>
@@ -54,13 +70,10 @@ struct PointConfig {
   std::size_t queue_capacity = 1024;
   double timeout = 0.0;  ///< per-request relative deadline (0 = none)
   bool quantized = false;  ///< serve through the int8 snapshot
+  bool adaptive = false;   ///< SLO-aware adaptive window policy
 };
 
-/// Closed-loop point: each client thread submits one request, waits for
-/// the response, repeats. Returns the stats snapshot plus wall seconds.
-std::pair<serve::StatsSnapshot, double> run_closed(
-    serve::ModelRegistry& registry, const Tensor& pool,
-    const PointConfig& pc) {
+serve::ServerConfig make_config(const PointConfig& pc) {
   serve::ServerConfig cfg;
   cfg.model_name = "bench";
   cfg.workers = pc.workers;
@@ -68,7 +81,16 @@ std::pair<serve::StatsSnapshot, double> run_closed(
   cfg.batch.max_batch = pc.max_batch;
   cfg.batch.max_wait = pc.max_wait;
   cfg.batch.quantized = pc.quantized;
-  serve::Server server(registry, cfg);
+  cfg.batch.adaptive = pc.adaptive;
+  return cfg;
+}
+
+/// Closed-loop point: each client thread submits one request, waits for
+/// the response, repeats. Returns the stats snapshot plus wall seconds.
+std::pair<serve::StatsSnapshot, double> run_closed(
+    serve::ModelRegistry& registry, const Tensor& pool,
+    const PointConfig& pc) {
+  serve::Server server(registry, make_config(pc));
   server.start();
 
   const std::size_t pool_size = pool.shape()[0];
@@ -93,42 +115,54 @@ std::pair<serve::StatsSnapshot, double> run_closed(
   return {server.stats().snapshot(), elapsed};
 }
 
-/// Open-loop overload point: fire-and-forget submission far beyond queue
-/// capacity, then collect every ticket. Demonstrates typed rejection.
-serve::StatsSnapshot run_overload(serve::ModelRegistry& registry,
-                                  const Tensor& pool, std::size_t requests) {
-  serve::ServerConfig cfg;
-  cfg.model_name = "bench";
-  cfg.workers = 1;
-  cfg.queue.capacity = 32;
-  cfg.batch.max_batch = 8;
-  cfg.batch.max_wait = 0.0005;
-  serve::Server server(registry, cfg);
+/// Open-loop point: the whole arrival schedule (exponential gaps at
+/// `rps`) and image sequence are drawn from a seeded Rng BEFORE the
+/// server starts, then replayed fire-and-forget against the wall clock.
+/// Static and adaptive policies therefore face an identical offered
+/// load, and latency measures queueing + service, not client lockstep.
+std::pair<serve::StatsSnapshot, double> run_open(
+    serve::ModelRegistry& registry, const Tensor& pool,
+    const PointConfig& pc, double rps, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> arrival(pc.requests);
+  std::vector<std::size_t> which(pc.requests);
+  double t = 0.0;
+  for (std::size_t i = 0; i < pc.requests; ++i) {
+    t += -std::log(1.0 - rng.uniform()) / rps;  // exponential gap
+    arrival[i] = t;
+    which[i] = rng.uniform_index(pool.shape()[0]);
+  }
+
+  serve::Server server(registry, make_config(pc));
   server.start();
 
-  Rng rng(7);
-  const std::size_t pool_size = pool.shape()[0];
   std::vector<serve::Ticket> tickets;
-  tickets.reserve(requests);
-  for (std::size_t i = 0; i < requests; ++i) {
-    const Tensor image = pool.slice_row(rng.uniform_index(pool_size));
-    tickets.push_back(server.submit(image));
+  tickets.reserve(pc.requests);
+  SystemClock& clock = SystemClock::instance();
+  const double t0 = clock.now();
+  for (std::size_t i = 0; i < pc.requests; ++i) {
+    const double target = t0 + arrival[i];
+    const double now = clock.now();
+    if (target > now) clock.sleep_for(target - now);
+    tickets.push_back(server.submit(pool.slice_row(which[i]), pc.timeout));
   }
-  for (serve::Ticket& t : tickets) t.wait();
+  for (serve::Ticket& tk : tickets) tk.wait();
+  const double elapsed = clock.now() - t0;
   server.drain();
-  return server.stats().snapshot();
+  return {server.stats().snapshot(), elapsed};
 }
 
-void add_closed_row(std::vector<bench::JsonResult>& rows,
-                    const std::string& name,
-                    const PointConfig& pc,
-                    const std::pair<serve::StatsSnapshot, double>& r) {
+void add_row(std::vector<bench::JsonResult>& rows, const std::string& name,
+             const PointConfig& pc,
+             const std::pair<serve::StatsSnapshot, double>& r,
+             double offered_rps = 0.0) {
   const auto& [s, elapsed] = r;
   bench::JsonResult row;
   row.name = name;
   row.numbers = {
       {"workers", static_cast<double>(pc.workers)},
       {"max_batch", static_cast<double>(pc.max_batch)},
+      {"adaptive", pc.adaptive ? 1.0 : 0.0},
       {"requests", static_cast<double>(pc.requests)},
       {"served", static_cast<double>(s.served)},
       {"throughput_rps", elapsed > 0 ? s.served / elapsed : 0.0},
@@ -136,14 +170,22 @@ void add_closed_row(std::vector<bench::JsonResult>& rows,
       {"p50_ms", s.p50 * 1e3},
       {"p95_ms", s.p95 * 1e3},
       {"p99_ms", s.p99 * 1e3},
+      {"mean_ms", s.mean * 1e3},
+      {"stddev_ms", s.stddev * 1e3},
       {"deadline_misses", static_cast<double>(s.deadline_misses)},
       {"rejected_infeasible", static_cast<double>(s.rejected_infeasible)},
   };
+  if (offered_rps > 0.0) {
+    row.numbers.push_back({"offered_rps", offered_rps});
+    row.numbers.push_back(
+        {"rejected_full", static_cast<double>(s.rejected_full)});
+  }
   rows.push_back(std::move(row));
-  std::printf("%-16s %6zu served  %8.0f req/s  p50 %.3f ms  p99 %.3f ms  "
-              "mean batch %.2f\n",
+  std::printf("%-22s %6zu served  %8.0f req/s  p50 %.3f ms  p99 %.3f ms  "
+              "mean %.3f±%.3f ms  batch %.2f\n",
               name.c_str(), s.served, elapsed > 0 ? s.served / elapsed : 0.0,
-              s.p50 * 1e3, s.p99 * 1e3, s.mean_batch);
+              s.p50 * 1e3, s.p99 * 1e3, s.mean * 1e3, s.stddev * 1e3,
+              s.mean_batch);
 }
 
 }  // namespace
@@ -151,9 +193,14 @@ void add_closed_row(std::vector<bench::JsonResult>& rows,
 int main(int argc, char** argv) {
   CliParser cli("bench_serve",
                 "Micro-batching inference server load bench (closed-loop "
-                "sweep, open-loop overload, deadline pressure).");
+                "static vs adaptive sweep, seeded open-loop schedule, "
+                "overload, deadline pressure).");
   cli.add_int("requests", 256, "requests per closed-loop point");
   cli.add_string("model", "cnn_small", "zoo spec to serve");
+  cli.add_double("open-loop-rps", 2000.0,
+                 "offered arrival rate for the open-loop points");
+  cli.add_int("open-loop-seed", 7,
+              "seed of the fixed open-loop arrival schedule");
   add_threads_option(cli);
   add_kernel_option(cli);
   cli.add_string("emit-json", "",
@@ -165,6 +212,9 @@ int main(int argc, char** argv) {
 
   const auto requests = static_cast<std::size_t>(cli.get_int("requests"));
   const std::string spec = cli.get_string("model");
+  const double open_rps = cli.get_double("open-loop-rps");
+  const auto open_seed =
+      static_cast<std::uint64_t>(cli.get_int("open-loop-seed"));
 
   serve::ModelRegistry registry;
   {
@@ -179,7 +229,7 @@ int main(int argc, char** argv) {
 
   std::vector<bench::JsonResult> rows;
 
-  // Closed-loop sweep: worker count x batching policy.
+  // Closed-loop sweep: worker count x static batching policy.
   for (std::size_t workers : {std::size_t{1}, std::size_t{2}, std::size_t{4}}) {
     for (std::size_t max_batch : {std::size_t{1}, std::size_t{8}}) {
       PointConfig pc;
@@ -188,10 +238,42 @@ int main(int argc, char** argv) {
       pc.requests = requests;
       pc.clients = 2 * workers;
       const auto r = run_closed(registry, pool, pc);
-      add_closed_row(rows,
-                     "closed_w" + std::to_string(workers) + "_b" +
-                         std::to_string(max_batch),
-                     pc, r);
+      add_row(rows,
+              "closed_w" + std::to_string(workers) + "_b" +
+                  std::to_string(max_batch),
+              pc, r);
+    }
+  }
+
+  // Adaptive twins of the static b8 rows: the window closes as soon as
+  // the arrival estimator stops promising a neighbour, so the blocked
+  // closed-loop clients are served immediately instead of waiting out
+  // max_wait — the inversion (static b8 far below b1) must disappear.
+  for (std::size_t workers : {std::size_t{1}, std::size_t{2}, std::size_t{4}}) {
+    PointConfig pc;
+    pc.workers = workers;
+    pc.max_batch = 8;
+    pc.requests = requests;
+    pc.clients = 2 * workers;
+    pc.adaptive = true;
+    const auto r = run_closed(registry, pool, pc);
+    add_row(rows, "adaptive_w" + std::to_string(workers) + "_b8", pc, r);
+  }
+
+  // Open-loop schedule replay: identical offered load for static vs
+  // adaptive at each worker count.
+  for (std::size_t workers : {std::size_t{1}, std::size_t{2}}) {
+    for (bool adaptive : {false, true}) {
+      PointConfig pc;
+      pc.workers = workers;
+      pc.max_batch = 8;
+      pc.requests = requests;
+      pc.adaptive = adaptive;
+      const auto r = run_open(registry, pool, pc, open_rps, open_seed);
+      add_row(rows,
+              "open_w" + std::to_string(workers) + "_b8" +
+                  (adaptive ? "_adaptive" : "_static"),
+              pc, r, open_rps);
     }
   }
 
@@ -207,13 +289,13 @@ int main(int argc, char** argv) {
     pc.clients = 2 * workers;
     pc.quantized = true;
     const auto r = run_closed(registry, pool, pc);
-    add_closed_row(rows, "quantized_w" + std::to_string(workers) + "_b8", pc,
-                   r);
+    add_row(rows, "quantized_w" + std::to_string(workers) + "_b8", pc, r);
   }
 
-  // Deadline pressure: the batch can never fill (more slots than
-  // clients), so the window holds its full max_wait — longer than the
-  // per-request timeout — and admitted requests expire before serving.
+  // Deadline pressure: the expected window (max_wait, far longer than
+  // the timeout) makes every request infeasible at admission — the
+  // feasibility horizon rejects them typed instead of letting them age
+  // in the queue and expire as deadline misses.
   {
     PointConfig pc;
     pc.workers = 1;
@@ -223,23 +305,40 @@ int main(int argc, char** argv) {
     pc.clients = 4;
     pc.timeout = 0.002;
     const auto r = run_closed(registry, pool, pc);
-    add_closed_row(rows, "deadline", pc, r);
+    add_row(rows, "deadline", pc, r);
   }
 
   // Open-loop overload: typed backpressure instead of unbounded queueing.
   {
-    const serve::StatsSnapshot s = run_overload(registry, pool, 4 * requests);
+    PointConfig pc;
+    pc.workers = 1;
+    pc.max_batch = 8;
+    pc.max_wait = 0.0005;
+    pc.queue_capacity = 32;
+    pc.requests = 4 * requests;
+    serve::Server server(registry, make_config(pc));
+    server.start();
+    Rng rng(7);
+    std::vector<serve::Ticket> tickets;
+    tickets.reserve(pc.requests);
+    for (std::size_t i = 0; i < pc.requests; ++i) {
+      const Tensor image = pool.slice_row(rng.uniform_index(pool.shape()[0]));
+      tickets.push_back(server.submit(image));
+    }
+    for (serve::Ticket& t : tickets) t.wait();
+    server.drain();
+    const serve::StatsSnapshot s = server.stats().snapshot();
     bench::JsonResult row;
     row.name = "overload";
     row.numbers = {
-        {"submitted", static_cast<double>(4 * requests)},
+        {"submitted", static_cast<double>(pc.requests)},
         {"served", static_cast<double>(s.served)},
         {"rejected_full", static_cast<double>(s.rejected_full)},
         {"deadline_misses", static_cast<double>(s.deadline_misses)},
         {"max_queue_depth", static_cast<double>(s.max_queue_depth)},
         {"mean_batch", s.mean_batch},
     };
-    std::printf("%-16s %6zu served  %zu rejected_full  depth<=%zu\n",
+    std::printf("%-22s %6zu served  %zu rejected_full  depth<=%zu\n",
                 "overload", s.served, s.rejected_full, s.max_queue_depth);
     rows.push_back(std::move(row));
   }

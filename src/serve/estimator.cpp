@@ -1,0 +1,158 @@
+#include "serve/estimator.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/contract.h"
+
+namespace satd::serve {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}  // namespace
+
+ArrivalEstimator::ArrivalEstimator(double alpha) : alpha_(alpha) {
+  SATD_EXPECT(alpha > 0.0 && alpha <= 1.0, "EWMA alpha must be in (0, 1]");
+}
+
+void ArrivalEstimator::observe_arrival(double now) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (has_last_) {
+    const double gap = std::max(0.0, now - last_);
+    gap_ = has_gap_ ? (1.0 - alpha_) * gap_ + alpha_ * gap : gap;
+    has_gap_ = true;
+  }
+  last_ = now;
+  has_last_ = true;
+}
+
+double ArrivalEstimator::expected_gap() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return has_gap_ ? gap_ : kInf;
+}
+
+double ArrivalEstimator::expected_wait(double now) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!has_gap_) return kInf;
+  return std::max(gap_, now - last_);
+}
+
+void ArrivalEstimator::reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  has_gap_ = false;
+  has_last_ = false;
+  gap_ = 0.0;
+  last_ = 0.0;
+}
+
+ServiceTimeEstimator::ServiceTimeEstimator(std::size_t max_batch, double alpha)
+    : alpha_(alpha), ewma_(max_batch + 1, 0.0), seen_(max_batch + 1, false) {
+  SATD_EXPECT(max_batch > 0, "max_batch must be positive");
+  SATD_EXPECT(alpha > 0.0 && alpha <= 1.0, "EWMA alpha must be in (0, 1]");
+}
+
+void ServiceTimeEstimator::observe(std::uint64_t version, std::size_t batch,
+                                   double seconds) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (version != version_) {
+    std::fill(ewma_.begin(), ewma_.end(), 0.0);
+    std::fill(seen_.begin(), seen_.end(), false);
+    version_ = version;
+  }
+  const std::size_t b = std::clamp<std::size_t>(batch, 1, max_batch());
+  const double s = std::max(0.0, seconds);
+  ewma_[b] = seen_[b] ? (1.0 - alpha_) * ewma_[b] + alpha_ * s : s;
+  seen_[b] = true;
+}
+
+double ServiceTimeEstimator::predict(std::size_t batch) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return predict_locked(batch);
+}
+
+double ServiceTimeEstimator::predict_locked(std::size_t batch) const {
+  const std::size_t b = std::clamp<std::size_t>(batch, 1, max_batch());
+  if (seen_[b]) return ewma_[b];
+
+  // Nearest observed neighbours on each side of b.
+  std::size_t lo = 0, hi = 0;
+  for (std::size_t i = b; i-- > 1;) {
+    if (seen_[i]) { lo = i; break; }
+  }
+  for (std::size_t i = b + 1; i <= max_batch(); ++i) {
+    if (seen_[i]) { hi = i; break; }
+  }
+  if (lo && hi) {  // interpolate
+    const double t = static_cast<double>(b - lo) / static_cast<double>(hi - lo);
+    return ewma_[lo] + t * (ewma_[hi] - ewma_[lo]);
+  }
+  if (lo) {  // extrapolate above the largest observation
+    // Per-request slope from the top two observed sizes; with a single
+    // observation, assume proportional cost (the conservative, linear
+    // guess — sublinearity must be measured before it is believed).
+    std::size_t lo2 = 0;
+    for (std::size_t i = lo; i-- > 1;) {
+      if (seen_[i]) { lo2 = i; break; }
+    }
+    const double slope =
+        lo2 ? std::max(0.0, (ewma_[lo] - ewma_[lo2]) /
+                                static_cast<double>(lo - lo2))
+            : ewma_[lo] / static_cast<double>(lo);
+    return ewma_[lo] + slope * static_cast<double>(b - lo);
+  }
+  if (hi) {  // scale down below the smallest observation
+    return ewma_[hi] * static_cast<double>(b) / static_cast<double>(hi);
+  }
+  return 0.0;
+}
+
+std::size_t ServiceTimeEstimator::planned_batch(double gap,
+                                                double max_wait) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return planned_locked(gap, max_wait);
+}
+
+std::size_t ServiceTimeEstimator::planned_locked(double gap,
+                                                 double max_wait) const {
+  if (!(gap < kInf)) return 1;
+  std::size_t best = 1;
+  double best_score = -1.0;
+  for (std::size_t b = 1; b <= max_batch(); ++b) {
+    const double window = static_cast<double>(b - 1) * gap;
+    if (window > max_wait) break;  // the hard cap bounds every plan
+    const double s = predict_locked(b);
+    if (s <= 0.0) {
+      // No cost data: only b == 1 (serve immediately) is plannable.
+      if (b == 1) return 1;
+      break;
+    }
+    const double score = static_cast<double>(b) / (window + s);
+    if (score > best_score) {  // strict: ties keep the smaller batch
+      best_score = score;
+      best = b;
+    }
+  }
+  return best;
+}
+
+double ServiceTimeEstimator::expected_delay(double gap, double max_wait) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const std::size_t b = planned_locked(gap, max_wait);
+  const double window =
+      gap < kInf ? std::min(max_wait, static_cast<double>(b - 1) * gap) : 0.0;
+  return window + predict_locked(b);
+}
+
+std::uint64_t ServiceTimeEstimator::version() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return version_;
+}
+
+void ServiceTimeEstimator::reset(std::uint64_t version) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::fill(ewma_.begin(), ewma_.end(), 0.0);
+  std::fill(seen_.begin(), seen_.end(), false);
+  version_ = version;
+}
+
+}  // namespace satd::serve

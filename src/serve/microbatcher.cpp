@@ -1,6 +1,7 @@
 #include "serve/microbatcher.h"
 
 #include <algorithm>
+#include <limits>
 #include <utility>
 
 #include "common/contract.h"
@@ -12,42 +13,86 @@ namespace satd::serve {
 Microbatcher::Microbatcher(ModelRegistry& registry, std::string model_name,
                            RequestQueue& queue, ServerStats& stats,
                            Clock& clock, BatchPolicy policy,
-                           RobustnessMonitor* monitor)
+                           RobustnessMonitor* monitor,
+                           ArrivalEstimator* arrivals,
+                           ServiceTimeEstimator* service)
     : registry_(registry),
       model_name_(std::move(model_name)),
       queue_(queue),
       stats_(stats),
       clock_(clock),
       policy_(policy),
-      monitor_(monitor) {
+      monitor_(monitor),
+      arrivals_(arrivals),
+      service_(service) {
   SATD_EXPECT(policy.max_batch > 0, "max_batch must be positive");
   SATD_EXPECT(policy.max_wait >= 0.0, "max_wait must be non-negative");
   SATD_EXPECT(policy.poll_interval > 0.0, "poll_interval must be positive");
+  SATD_EXPECT(!policy.adaptive || (arrivals && service),
+              "adaptive batching requires arrival and service estimators");
 }
 
 bool Microbatcher::step() {
   staged_.clear();
   Request first;
   if (!queue_.pop(first)) return false;
+  bool urgent = first.urgent;
   staged_.push_back(std::move(first));
 
-  // Batching window: keep popping until full or max_wait has elapsed.
-  // The deadline is measured on the injected clock, so a FakeClock test
-  // steps through the window in exact poll_interval quanta.
+  // Batching window. Static policy: keep popping until full or max_wait
+  // has elapsed. Adaptive policy: max_wait is only a hard cap — the
+  // window closes as soon as waiting is no longer predicted to raise
+  // goodput (keep_waiting), and an urgent request ends window forming
+  // outright. Available requests are always taken (a non-blocking pop
+  // costs no wall time). The deadline is measured on the injected clock,
+  // so a FakeClock test steps through the window in exact poll_interval
+  // quanta.
   const double window_close = clock_.now() + policy_.max_wait;
-  while (staged_.size() < policy_.max_batch) {
+  while (staged_.size() < policy_.max_batch && !urgent) {
     Request next;
     if (queue_.pop(next)) {
+      urgent = next.urgent;
       staged_.push_back(std::move(next));
       continue;
     }
-    if (clock_.now() >= window_close) break;
+    const double now = clock_.now();
+    if (now >= window_close) break;
+    if (policy_.adaptive && !keep_waiting(now, window_close)) break;
     clock_.sleep_for(policy_.poll_interval);
   }
 
   serve_batch(staged_);
   staged_.clear();
   return true;
+}
+
+bool Microbatcher::keep_waiting(double now, double window_close) const {
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  const std::size_t b = staged_.size();
+  const double sb = service_->predict(b);
+
+  // Deadline pressure: if one more poll quantum plus the predicted
+  // service time would bust a staged deadline, serve now — a late batch
+  // helps nobody.
+  double nearest = kInf;
+  for (const Request& req : staged_) {
+    if (req.deadline != 0.0) nearest = std::min(nearest, req.deadline);
+  }
+  if (nearest < kInf && now + policy_.poll_interval + sb >= nearest) {
+    return false;
+  }
+
+  // Expected wait for the next arrival; aged by the silence since the
+  // last one, so a stalled stream (e.g. closed-loop clients all blocked
+  // on this very batch) talks itself out of waiting.
+  const double w = arrivals_->expected_wait(now);
+  if (!(w < kInf)) return false;              // no arrival data
+  if (now + w > window_close) return false;   // predicted past the cap
+  const double sb1 = service_->predict(b + 1);
+  if (sb <= 0.0 || sb1 <= 0.0) return false;  // no service model yet
+  // Goodput rule: wait only if (b+1)/(w + s(b+1)) beats b/s(b).
+  return static_cast<double>(b + 1) * sb >
+         static_cast<double>(b) * (w + sb1);
 }
 
 void Microbatcher::run() {
@@ -146,6 +191,10 @@ void Microbatcher::serve_batch(std::vector<Request>& batch) {
 
   const std::size_t classes = probs_.shape()[1];
   const double done = clock_.now();
+  // Feed the service-time model: this batch of b cost (done - now)
+  // seconds on replica_version_. A hot swap shows up as a version change
+  // and resets the curve (a new checkpoint has a new cost curve).
+  if (service_) service_->observe(replica_version_, b, done - now);
   for (std::size_t i = 0; i < b; ++i) {
     Request* req = live[i];
     Response r;

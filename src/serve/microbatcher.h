@@ -1,23 +1,44 @@
 // Dynamic micro-batching: coalesces single-image requests into one
 // forward pass.
 //
-// Policy is the classic (max_batch, max_wait) pair: on popping the first
-// request a worker opens a batching window of at most max_wait seconds and
-// keeps popping until the batch is full or the window closes, then runs
-// ONE workspace-based forward_into + softmax_into over the coalesced
-// [B, C, H, W] tensor and scatters per-request probabilities/argmax back
-// through each request's promise.
+// The static policy is the classic (max_batch, max_wait) pair: on popping
+// the first request a worker opens a batching window of at most max_wait
+// seconds and keeps popping until the batch is full or the window closes,
+// then runs ONE workspace-based forward_into + softmax_into over the
+// coalesced [B, C, H, W] tensor and scatters per-request
+// probabilities/argmax back through each request's promise.
+//
+// The adaptive policy (BatchPolicy::adaptive) keeps max_wait only as a
+// hard cap and decides *whether waiting is predicted to raise goodput*
+// from two live estimates (serve/estimator.h): the EWMA inter-arrival
+// gap and a per-batch-size service-time model learned online per model
+// version. With b requests staged and the queue empty, the window stays
+// open only while
+//
+//     (b+1) * s(b)  >  b * (w + s(b+1))
+//
+// — i.e. serving b now at rate b/s(b) is predicted to be beaten by
+// waiting the expected w seconds for one more and serving b+1 at rate
+// (b+1)/(w + s(b+1)). The window also closes when the predicted next
+// arrival lands past the max_wait cap, when no service-time data exists
+// (never speculate about an unmeasured model), when a staged deadline is
+// one poll quantum + predicted service away from busting (deadline
+// pressure), and the moment an URGENT request (queue priority lane) is
+// staged — tight-deadline work preempts window forming outright.
 //
 // Numerics contract: the library's kernels compute each output row from
 // its input row alone (independent-output decomposition), so a request's
 // probabilities are bit-identical whether it was served in a batch of 1
 // or coalesced with 31 strangers — pinned by tests/serve. That is what
 // makes micro-batching safe to enable: it changes throughput, never
-// answers.
+// answers. The adaptive policy only changes batch *composition*, so the
+// contract is unaffected (re-pinned under adaptive in tests/serve).
 //
 // Time flows through the injected Clock; the window is a poll loop over
 // clock.sleep_for rather than a condition variable, so a FakeClock drives
-// the window/deadline state machine deterministically in tests.
+// the window/deadline state machine — including every adaptive close
+// decision, which reads only the clock and the deterministic estimators —
+// exactly in tests.
 #pragma once
 
 #include <cstdint>
@@ -27,6 +48,7 @@
 
 #include "common/clock.h"
 #include "nn/sequential.h"
+#include "serve/estimator.h"
 #include "serve/queue.h"
 #include "serve/registry.h"
 #include "serve/robustness_monitor.h"
@@ -46,6 +68,10 @@ struct BatchPolicy {
   /// too; predictions may differ from the float path within the pinned
   /// quantization tolerance (tests/nn/quantized_test.cpp).
   bool quantized = false;
+  /// SLO-aware window control (see file comment). Requires the arrival
+  /// and service-time estimators to be wired in; max_wait becomes a hard
+  /// cap instead of the default hold time.
+  bool adaptive = false;
 };
 
 /// One serving worker's batching loop. Each worker owns a Microbatcher —
@@ -53,10 +79,15 @@ struct BatchPolicy {
 /// mutable model state.
 class Microbatcher {
  public:
-  /// `monitor` may be null (monitoring disabled).
+  /// `monitor` may be null (monitoring disabled). `arrivals`/`service`
+  /// may be null only when the policy is not adaptive; when present,
+  /// every served batch feeds the service-time model (tagged with the
+  /// replica version, so a hot swap resets the curve).
   Microbatcher(ModelRegistry& registry, std::string model_name,
                RequestQueue& queue, ServerStats& stats, Clock& clock,
-               BatchPolicy policy, RobustnessMonitor* monitor = nullptr);
+               BatchPolicy policy, RobustnessMonitor* monitor = nullptr,
+               ArrivalEstimator* arrivals = nullptr,
+               ServiceTimeEstimator* service = nullptr);
 
   /// One batching cycle: pop the first request, hold the window, serve
   /// the coalesced batch. Returns false if the queue was empty (nothing
@@ -70,6 +101,11 @@ class Microbatcher {
   std::uint64_t replica_version() const { return replica_version_; }
 
  private:
+  /// Adaptive close decision with the queue momentarily empty and
+  /// staged_ holding the current batch; true = spend one more poll
+  /// quantum waiting (see file comment for the rule).
+  bool keep_waiting(double now, double window_close) const;
+
   void refresh_replica();
   void serve_batch(std::vector<Request>& batch);
 
@@ -80,6 +116,8 @@ class Microbatcher {
   Clock& clock_;
   BatchPolicy policy_;
   RobustnessMonitor* monitor_;
+  ArrivalEstimator* arrivals_;
+  ServiceTimeEstimator* service_;
 
   std::optional<nn::Sequential> replica_;
   // Quantized mode: the snapshot's immutable QuantizedModel is shared

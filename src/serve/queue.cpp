@@ -8,9 +8,11 @@ namespace satd::serve {
 
 RequestQueue::RequestQueue(QueueConfig config, ServerStats& stats,
                            Clock& clock)
-    : config_(config), stats_(stats), clock_(clock) {
-  SATD_EXPECT(config.capacity > 0, "queue capacity must be positive");
-  SATD_EXPECT(config.min_slack >= 0.0, "min_slack must be non-negative");
+    : config_(std::move(config)), stats_(stats), clock_(clock) {
+  SATD_EXPECT(config_.capacity > 0, "queue capacity must be positive");
+  SATD_EXPECT(config_.min_slack >= 0.0, "min_slack must be non-negative");
+  SATD_EXPECT(config_.urgent_slack >= 0.0,
+              "urgent_slack must be non-negative");
 }
 
 Ticket RequestQueue::submit(const Tensor& image, double deadline) {
@@ -19,20 +21,29 @@ Ticket RequestQueue::submit(const Tensor& image, double deadline) {
   ServeError reject = ServeError::kNone;
   {
     std::lock_guard<std::mutex> lock(mutex_);
+    const std::size_t depth = urgent_.size() + queue_.size();
+    // The feasibility horizon: static slack plus whatever the serving
+    // policy currently expects window + service to cost. A request whose
+    // deadline sits inside the horizon would be admitted only to expire.
+    const double horizon =
+        config_.min_slack +
+        (config_.expected_delay ? config_.expected_delay() : 0.0);
     if (draining_) {
       reject = ServeError::kStopping;
-    } else if (queue_.size() >= config_.capacity) {
+    } else if (depth >= config_.capacity) {
       reject = ServeError::kQueueFull;
-    } else if (deadline != 0.0 && deadline < now + config_.min_slack) {
+    } else if (deadline != 0.0 && deadline < now + horizon) {
       reject = ServeError::kDeadlineInfeasible;
     } else {
       Request req;
       req.image = image;
       req.submit_time = now;
       req.deadline = deadline;
+      req.urgent = deadline != 0.0 && config_.urgent_slack > 0.0 &&
+                   deadline - now < config_.urgent_slack;
       Ticket ticket(req.promise.get_future());
-      queue_.push_back(std::move(req));
-      stats_.observe_queue_depth(queue_.size());
+      (req.urgent ? urgent_ : queue_).push_back(std::move(req));
+      stats_.observe_queue_depth(depth + 1);
       return ticket;
     }
   }
@@ -42,15 +53,16 @@ Ticket RequestQueue::submit(const Tensor& image, double deadline) {
 
 bool RequestQueue::pop(Request& out) {
   std::lock_guard<std::mutex> lock(mutex_);
-  if (queue_.empty()) return false;
-  out = std::move(queue_.front());
-  queue_.pop_front();
+  std::deque<Request>& lane = urgent_.empty() ? queue_ : urgent_;
+  if (lane.empty()) return false;
+  out = std::move(lane.front());
+  lane.pop_front();
   return true;
 }
 
 std::size_t RequestQueue::depth() const {
   std::lock_guard<std::mutex> lock(mutex_);
-  return queue_.size();
+  return urgent_.size() + queue_.size();
 }
 
 void RequestQueue::begin_drain() {
@@ -65,7 +77,7 @@ bool RequestQueue::draining() const {
 
 bool RequestQueue::drained() const {
   std::lock_guard<std::mutex> lock(mutex_);
-  return draining_ && queue_.empty();
+  return draining_ && urgent_.empty() && queue_.empty();
 }
 
 }  // namespace satd::serve

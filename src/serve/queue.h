@@ -1,4 +1,5 @@
-// Bounded MPMC request queue with deadline-aware admission control.
+// Bounded MPMC request queue with deadline-aware admission control and a
+// priority lane.
 //
 // Admission is where backpressure becomes *typed*: a submit against a full
 // queue resolves immediately with kQueueFull, an absolute deadline that is
@@ -6,6 +7,18 @@
 // has begun draining resolves with kStopping. Clients therefore never
 // block on an overloaded server and always learn *why* they were turned
 // away.
+//
+// Feasibility is policy-aware: beyond the static min_slack, the config can
+// carry an expected_delay callback (installed by the Server from its live
+// service-time/arrival estimators) so the horizon tracks what the batching
+// window + forward pass will actually cost. A request that could only be
+// served dead is rejected at admission — it never occupies a queue slot
+// and never counts as a deadline miss.
+//
+// The priority lane: a request whose deadline slack at admission is below
+// urgent_slack is marked urgent and queued ahead of the normal lane, so
+// tight-deadline work is popped first and (in the adaptive batcher)
+// preempts window forming instead of waiting behind it.
 //
 // Shutdown is drain-then-stop: begin_drain() closes admission but every
 // already-admitted request stays poppable, so workers finish the backlog
@@ -16,6 +29,7 @@
 
 #include <cstddef>
 #include <deque>
+#include <functional>
 #include <mutex>
 
 #include "common/clock.h"
@@ -27,10 +41,19 @@ namespace satd::serve {
 /// Admission-control knobs.
 struct QueueConfig {
   std::size_t capacity = 256;  ///< max admitted-but-unserved requests
-  /// A deadline closer than now + min_slack (seconds) is rejected as
-  /// infeasible — the request could not clear the queue in time anyway.
-  /// 0 rejects only deadlines that have already passed.
+  /// A deadline closer than now + min_slack + expected_delay() (seconds)
+  /// is rejected as infeasible — the request could not clear the window
+  /// and forward pass in time anyway. 0 with no expected_delay rejects
+  /// only deadlines that have already passed.
   double min_slack = 0.0;
+  /// Optional policy-provided feasibility horizon (seconds): the serving
+  /// stack's current expected batching-window + service delay. Called
+  /// under the queue mutex; must not call back into the queue.
+  std::function<double()> expected_delay;
+  /// Deadline slack below which an admitted request enters the priority
+  /// lane (popped before the normal lane; preempts adaptive window
+  /// forming). 0 disables the lane.
+  double urgent_slack = 0.0;
 };
 
 /// Bounded multi-producer / multi-consumer queue (see file comment).
@@ -43,7 +66,8 @@ class RequestQueue {
   /// matching typed error and the image is not copied into the queue.
   Ticket submit(const Tensor& image, double deadline = 0.0);
 
-  /// Pops the oldest request. Non-blocking: returns false when empty.
+  /// Pops the oldest urgent request, else the oldest normal one.
+  /// Non-blocking: returns false when empty.
   bool pop(Request& out);
 
   std::size_t depth() const;
@@ -61,6 +85,7 @@ class RequestQueue {
   ServerStats& stats_;
   Clock& clock_;
   mutable std::mutex mutex_;
+  std::deque<Request> urgent_;  ///< priority lane (popped first)
   std::deque<Request> queue_;
   bool draining_ = false;
 };

@@ -8,7 +8,14 @@ Server::Server(ModelRegistry& registry, ServerConfig config, Clock& clock)
     : registry_(registry),
       config_(std::move(config)),
       clock_(clock),
-      queue_(config_.queue, stats_, clock_) {
+      service_(config_.batch.max_batch),
+      queue_(
+          [this] {
+            QueueConfig qc = config_.queue;
+            qc.expected_delay = [this] { return feasibility_horizon(); };
+            return qc;
+          }(),
+          stats_, clock_) {
   SATD_EXPECT(config_.workers > 0, "server needs at least one worker");
   if (config_.enable_monitor) {
     monitor_ = std::make_unique<RobustnessMonitor>(
@@ -17,6 +24,19 @@ Server::Server(ModelRegistry& registry, ServerConfig config, Clock& clock)
 }
 
 Server::~Server() { drain(); }
+
+double Server::feasibility_horizon() {
+  if (config_.batch.adaptive) {
+    // The adaptive window: expected coalescing wait at the current
+    // arrival rate plus the predicted service time of the planned batch.
+    return service_.expected_delay(arrivals_.expected_gap(),
+                                   config_.batch.max_wait);
+  }
+  // The static window waits out max_wait whenever the batch does not
+  // fill, which is exactly the light-load case where feasibility
+  // matters; add the measured cost of the largest batch on top.
+  return config_.batch.max_wait + service_.predict(config_.batch.max_batch);
+}
 
 void Server::start() {
   if (started_) return;
@@ -27,7 +47,7 @@ void Server::start() {
   for (std::size_t i = 0; i < config_.workers; ++i) {
     batchers_.push_back(std::make_unique<Microbatcher>(
         registry_, config_.model_name, queue_, stats_, clock_,
-        config_.batch, monitor_.get()));
+        config_.batch, monitor_.get(), &arrivals_, &service_));
     Microbatcher* b = batchers_.back().get();
     threads_.emplace_back([b] { b->run(); });
   }
@@ -35,7 +55,11 @@ void Server::start() {
 
 Ticket Server::submit(const Tensor& image, double timeout) {
   SATD_EXPECT(timeout >= 0.0, "timeout must be non-negative");
-  const double deadline = timeout > 0.0 ? clock_.now() + timeout : 0.0;
+  const double now = clock_.now();
+  // Every submit is offered load, admitted or not — the arrival-rate
+  // estimate must see overload to predict it.
+  arrivals_.observe_arrival(now);
+  const double deadline = timeout > 0.0 ? now + timeout : 0.0;
   return queue_.submit(image, deadline);
 }
 

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "common/clock.h"
+#include "serve/estimator.h"
 #include "serve/microbatcher.h"
 #include "serve/queue.h"
 #include "serve/registry.h"
@@ -62,14 +63,25 @@ class Server {
 
   ServerStats& stats() { return stats_; }
   RequestQueue& queue() { return queue_; }
+  /// Live load/cost models feeding the adaptive policy and the queue's
+  /// feasibility horizon (always maintained, even under the static
+  /// policy — admission uses them either way).
+  ArrivalEstimator& arrivals() { return arrivals_; }
+  ServiceTimeEstimator& service_model() { return service_; }
   /// Null unless enable_monitor was set.
   RobustnessMonitor* monitor() { return monitor_.get(); }
 
  private:
+  /// Expected window + service delay under the configured policy; the
+  /// queue adds it to min_slack when judging deadline feasibility.
+  double feasibility_horizon();
+
   ModelRegistry& registry_;
   ServerConfig config_;
   Clock& clock_;
   ServerStats stats_;
+  ArrivalEstimator arrivals_;
+  ServiceTimeEstimator service_;
   RequestQueue queue_;
   std::unique_ptr<RobustnessMonitor> monitor_;
   std::vector<std::unique_ptr<Microbatcher>> batchers_;

@@ -19,11 +19,19 @@ const char* to_string(ServeError e) {
   return "unknown";
 }
 
+double StreamingMoments::stddev() const {
+  if (n_ == 0) return 0.0;
+  const double m = mean();
+  const double var =
+      std::max(0.0, sum_sq_ / static_cast<double>(n_) - m * m);
+  return std::sqrt(var);
+}
+
 LatencyHistogram::LatencyHistogram() {
   double edge = 1e-6;  // 1 microsecond
   for (std::size_t i = 0; i < kBuckets; ++i) {
     upper_[i] = edge;
-    edge *= 1.25;
+    edge *= 1.12;
   }
 }
 
@@ -34,6 +42,7 @@ void LatencyHistogram::record(double seconds) {
                          : static_cast<std::size_t>(it - upper_.begin());
   ++counts_[idx];
   ++count_;
+  if (exact_.size() < kExactCap) exact_.push_back(seconds);
 }
 
 double LatencyHistogram::percentile(double p) const {
@@ -41,6 +50,14 @@ double LatencyHistogram::percentile(double p) const {
   p = std::clamp(p, 0.0, 1.0);
   const auto target = static_cast<std::size_t>(
       std::max(1.0, std::ceil(p * static_cast<double>(count_))));
+  if (count_ <= kExactCap) {
+    // Exact nearest-rank order statistic: sort a copy of the complete
+    // sample record. Deterministic for any arrival interleaving — a
+    // percentile depends only on the multiset.
+    std::vector<double> sorted(exact_);
+    std::sort(sorted.begin(), sorted.end());
+    return sorted[target - 1];
+  }
   std::size_t cum = 0;
   for (std::size_t i = 0; i < kBuckets; ++i) {
     cum += counts_[i];
@@ -52,11 +69,17 @@ double LatencyHistogram::percentile(double p) const {
 void LatencyHistogram::merge(const LatencyHistogram& other) {
   for (std::size_t i = 0; i < kBuckets; ++i) counts_[i] += other.counts_[i];
   count_ += other.count_;
+  if (count_ <= kExactCap) {
+    exact_.insert(exact_.end(), other.exact_.begin(), other.exact_.end());
+  } else {
+    exact_.clear();  // no longer a complete record; histogram takes over
+  }
 }
 
 void ServerStats::record_served(double latency) {
   std::lock_guard<std::mutex> lock(mutex_);
   latency_.record(latency);
+  moments_.add(latency);
   ++served_;
 }
 
@@ -101,6 +124,8 @@ StatsSnapshot ServerStats::snapshot() const {
   s.p50 = latency_.percentile(0.50);
   s.p95 = latency_.percentile(0.95);
   s.p99 = latency_.percentile(0.99);
+  s.mean = moments_.mean();
+  s.stddev = moments_.stddev();
   return s;
 }
 

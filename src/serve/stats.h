@@ -1,11 +1,21 @@
-// Serving telemetry: latency percentiles, batch shape, queue pressure.
+// Serving telemetry: latency percentiles, jitter, batch shape, queue
+// pressure.
 //
-// The histogram uses fixed log-spaced buckets so recording is O(log B)
-// with no allocation and percentile readout is deterministic (a percentile
-// is the upper edge of the bucket containing that rank — the same stream
-// of samples always yields the same p50/p95/p99, regardless of arrival
-// interleaving). Counters are guarded by one mutex; the serving hot path
-// touches it once per request, which is negligible next to a forward pass.
+// Percentiles are deterministic functions of the sample multiset. Below
+// kExactCap samples the histogram keeps every raw sample and reads
+// percentiles as exact order statistics (nearest-rank), so small-N runs —
+// every committed bench point is 256 requests — report real p95/p99
+// instead of one shared bucket edge. Past the cap it falls back to fixed
+// log-spaced buckets: recording stays O(log B) with no allocation and a
+// percentile is the upper edge of the bucket containing that rank. Either
+// way the same stream of samples always yields the same p50/p95/p99,
+// regardless of arrival interleaving.
+//
+// Jitter is a first-class stat: StreamingMoments aggregates count / sum /
+// sum-of-squares (the classic fixed-size streaming idiom), so mean and
+// stddev ride alongside the histogram at O(1) space. Counters are guarded
+// by one mutex; the serving hot path touches it once per request, which is
+// negligible next to a forward pass.
 #pragma once
 
 #include <array>
@@ -17,21 +27,55 @@
 
 namespace satd::serve {
 
-/// Fixed-bucket log-spaced latency histogram (seconds).
+/// Streaming count/sum/sum-of-squares aggregation: O(1) space mean and
+/// standard deviation of a sample stream.
+class StreamingMoments {
+ public:
+  void add(double x) {
+    ++n_;
+    sum_ += x;
+    sum_sq_ += x * x;
+  }
+
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ == 0 ? 0.0 : sum_ / static_cast<double>(n_); }
+
+  /// Population standard deviation; 0 when empty. The variance is
+  /// clamped at 0 against floating-point cancellation in sum_sq - mean².
+  double stddev() const;
+
+  void merge(const StreamingMoments& other) {
+    n_ += other.n_;
+    sum_ += other.sum_;
+    sum_sq_ += other.sum_sq_;
+  }
+
+ private:
+  std::size_t n_ = 0;
+  double sum_ = 0.0;
+  double sum_sq_ = 0.0;
+};
+
+/// Deterministic latency distribution (seconds): exact order statistics
+/// up to kExactCap samples, fixed-bucket log-spaced histogram beyond.
 ///
-/// Buckets span 1 microsecond to ~20 minutes with a geometric ratio of
-/// 1.25 (~96 buckets, ~25% worst-case percentile quantization). Samples
-/// below/above the span clamp to the first/last bucket.
+/// Buckets span 1 microsecond to ~45 minutes with a geometric ratio of
+/// 1.12 (~192 buckets, ~12% worst-case percentile quantization once the
+/// exact path is exceeded). Samples below/above the span clamp to the
+/// first/last bucket.
 class LatencyHistogram {
  public:
-  static constexpr std::size_t kBuckets = 96;
+  static constexpr std::size_t kBuckets = 192;
+  /// Up to this many samples percentiles are exact order statistics.
+  static constexpr std::size_t kExactCap = 1024;
 
   LatencyHistogram();
 
   void record(double seconds);
 
-  /// Upper edge of the bucket holding the p-th percentile sample
-  /// (p in [0, 1]). Returns 0 when empty.
+  /// p-th percentile (p in [0, 1]) by nearest rank: the exact sample
+  /// while count() <= kExactCap, else the upper edge of the bucket
+  /// holding that rank. Returns 0 when empty.
   double percentile(double p) const;
 
   std::size_t count() const { return count_; }
@@ -42,6 +86,9 @@ class LatencyHistogram {
   std::array<double, kBuckets> upper_;   ///< bucket upper edges
   std::array<std::size_t, kBuckets> counts_{};
   std::size_t count_ = 0;
+  /// Complete raw-sample record iff count_ <= kExactCap (record() stops
+  /// appending at the cap; merge() clears it when the union overflows).
+  std::vector<double> exact_;
 };
 
 /// Point-in-time copy of every serving counter.
@@ -56,6 +103,8 @@ struct StatsSnapshot {
   std::size_t no_model = 0;
   std::size_t max_queue_depth = 0;   ///< high-water mark observed at submit
   double p50 = 0.0, p95 = 0.0, p99 = 0.0;  ///< latency, seconds
+  double mean = 0.0;    ///< mean served latency, seconds
+  double stddev = 0.0;  ///< latency jitter (stddev of served latency), seconds
 };
 
 /// Thread-safe counter hub shared by queue, workers and the server.
@@ -79,6 +128,7 @@ class ServerStats {
  private:
   mutable std::mutex mutex_;
   LatencyHistogram latency_;
+  StreamingMoments moments_;
   std::size_t served_ = 0;
   std::size_t batches_ = 0;
   std::size_t batched_requests_ = 0;

@@ -44,6 +44,7 @@ struct Request {
   Tensor image;           ///< single example, e.g. [1, 28, 28]
   double submit_time = 0; ///< clock time at admission
   double deadline = 0;    ///< absolute clock time; 0 = no deadline
+  bool urgent = false;    ///< priority lane (slack < queue urgent_slack)
   std::promise<Response> promise;
 };
 

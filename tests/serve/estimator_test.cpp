@@ -1,0 +1,146 @@
+// The adaptive policy's two online models: EWMA arrival gaps (with the
+// staleness guard) and the per-batch-size service-time curve (with
+// interpolation, goodput planning and reset-on-hot-swap). Everything here
+// is exact arithmetic — the estimators are deterministic functions of
+// their observation sequence.
+#include "serve/estimator.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+namespace satd::serve {
+namespace {
+
+TEST(ArrivalEstimator, NoDataPredictsInfinity) {
+  ArrivalEstimator a;
+  EXPECT_TRUE(std::isinf(a.expected_gap()));
+  EXPECT_TRUE(std::isinf(a.expected_wait(123.0)));
+  a.observe_arrival(1.0);  // one arrival: still no gap
+  EXPECT_TRUE(std::isinf(a.expected_gap()));
+}
+
+TEST(ArrivalEstimator, GapIsExactEwma) {
+  // Power-of-two times so the gap subtraction and EWMA are exact.
+  ArrivalEstimator a(/*alpha=*/0.5);
+  a.observe_arrival(10.0);
+  a.observe_arrival(10.5);  // first gap seeds the EWMA: 0.5
+  EXPECT_DOUBLE_EQ(a.expected_gap(), 0.5);
+  a.observe_arrival(10.75);  // 0.5*0.5 + 0.5*0.25
+  EXPECT_DOUBLE_EQ(a.expected_gap(), 0.375);
+}
+
+TEST(ArrivalEstimator, ExpectedWaitAgesWithSilence) {
+  ArrivalEstimator a;
+  a.observe_arrival(10.0);
+  a.observe_arrival(10.25);  // gap 0.25, last arrival 10.25
+  // Within one gap of the last arrival the EWMA speaks.
+  EXPECT_DOUBLE_EQ(a.expected_wait(10.375), 0.25);
+  // After a longer silence the silence itself is the better predictor.
+  EXPECT_DOUBLE_EQ(a.expected_wait(10.75), 0.5);
+}
+
+TEST(ArrivalEstimator, ResetForgetsEverything) {
+  ArrivalEstimator a;
+  a.observe_arrival(1.0);
+  a.observe_arrival(2.0);
+  a.reset();
+  EXPECT_TRUE(std::isinf(a.expected_gap()));
+}
+
+TEST(ServiceTimeEstimator, ObservedSizesAreExactEwma) {
+  ServiceTimeEstimator s(/*max_batch=*/8, /*alpha=*/0.5);
+  s.observe(1, 2, 0.004);
+  EXPECT_DOUBLE_EQ(s.predict(2), 0.004);
+  s.observe(1, 2, 0.008);  // 0.5*0.004 + 0.5*0.008
+  EXPECT_DOUBLE_EQ(s.predict(2), 0.006);
+  EXPECT_EQ(s.version(), 1u);
+}
+
+TEST(ServiceTimeEstimator, UnobservedPredictsZeroUntilData) {
+  ServiceTimeEstimator s(8);
+  for (std::size_t b = 1; b <= 8; ++b) EXPECT_DOUBLE_EQ(s.predict(b), 0.0);
+}
+
+TEST(ServiceTimeEstimator, InterpolatesBetweenObservedNeighbours) {
+  ServiceTimeEstimator s(8);
+  s.observe(1, 2, 0.002);
+  s.observe(1, 6, 0.006);
+  EXPECT_DOUBLE_EQ(s.predict(4), 0.004);  // midpoint
+  EXPECT_DOUBLE_EQ(s.predict(3), 0.003);
+}
+
+TEST(ServiceTimeEstimator, ExtrapolatesAboveWithTopTwoSlope) {
+  ServiceTimeEstimator s(8);
+  s.observe(1, 2, 0.004);
+  s.observe(1, 4, 0.005);  // slope 0.0005/request — measured sublinearity
+  EXPECT_DOUBLE_EQ(s.predict(6), 0.006);
+  // A single observation extrapolates proportionally (linear guess).
+  ServiceTimeEstimator one(8);
+  one.observe(1, 2, 0.004);
+  EXPECT_DOUBLE_EQ(one.predict(4), 0.008);
+}
+
+TEST(ServiceTimeEstimator, ScalesDownBelowSmallestObservation) {
+  ServiceTimeEstimator s(8);
+  s.observe(1, 4, 0.008);
+  EXPECT_DOUBLE_EQ(s.predict(2), 0.004);
+}
+
+TEST(ServiceTimeEstimator, VersionChangeResetsTheCurve) {
+  ServiceTimeEstimator s(8);
+  s.observe(1, 2, 0.004);
+  EXPECT_DOUBLE_EQ(s.predict(2), 0.004);
+  s.observe(2, 3, 0.001);  // hot swap: v2 data wipes the v1 curve
+  EXPECT_EQ(s.version(), 2u);
+  EXPECT_DOUBLE_EQ(s.predict(3), 0.001);
+  EXPECT_DOUBLE_EQ(s.predict(2), 0.001 * 2.0 / 3.0);  // only v2 data left
+}
+
+TEST(ServiceTimeEstimator, PlannedBatchMaximizesGoodput) {
+  ServiceTimeEstimator s(8);
+  // Strongly sublinear cost: batching wins when arrivals are fast.
+  s.observe(1, 1, 0.004);
+  s.observe(1, 8, 0.008);  // interpolation fills 2..7
+  // Fast arrivals (0.1 ms gap): goodput at b=8 is 8/(7*0.0001+0.008)
+  // ≈ 920/s vs 250/s at b=1 — plan the full batch.
+  EXPECT_EQ(s.planned_batch(0.0001, /*max_wait=*/0.01), 8u);
+  // Slow arrivals (20 ms gap): every extra slot costs 20 ms of window —
+  // nothing beats serving immediately.
+  EXPECT_EQ(s.planned_batch(0.02, 0.01), 1u);
+  // No arrival data: plan 1.
+  EXPECT_EQ(s.planned_batch(std::numeric_limits<double>::infinity(), 0.01),
+            1u);
+}
+
+TEST(ServiceTimeEstimator, PlannedBatchIsOneWithoutServiceData) {
+  ServiceTimeEstimator s(8);
+  EXPECT_EQ(s.planned_batch(0.0001, 0.01), 1u);
+  EXPECT_DOUBLE_EQ(s.expected_delay(0.0001, 0.01), 0.0);
+}
+
+TEST(ServiceTimeEstimator, ExpectedDelayIsWindowPlusService) {
+  ServiceTimeEstimator s(8);
+  s.observe(1, 1, 0.004);
+  s.observe(1, 8, 0.008);
+  const double gap = 0.0001;
+  // Plan is b=8 (see PlannedBatchMaximizesGoodput): 7 gaps of window
+  // plus the predicted batch-of-8 service time.
+  EXPECT_DOUBLE_EQ(s.expected_delay(gap, 0.01), 7.0 * gap + 0.008);
+  // With no arrival data the plan is b=1: no window, just service.
+  EXPECT_DOUBLE_EQ(
+      s.expected_delay(std::numeric_limits<double>::infinity(), 0.01),
+      0.004);
+}
+
+TEST(ServiceTimeEstimator, ResetRetagsAndClears) {
+  ServiceTimeEstimator s(4);
+  s.observe(3, 2, 0.004);
+  s.reset(7);
+  EXPECT_EQ(s.version(), 7u);
+  EXPECT_DOUBLE_EQ(s.predict(2), 0.0);
+}
+
+}  // namespace
+}  // namespace satd::serve

@@ -99,6 +99,53 @@ TEST(Queue, DrainClosesAdmissionButKeepsBacklogPoppable) {
   EXPECT_TRUE(h.queue.drained());
 }
 
+TEST(Queue, ExpectedDelayExtendsTheFeasibilityHorizon) {
+  // The policy horizon (expected window + service, supplied by the
+  // server) adds to min_slack: a deadline that clears min_slack alone
+  // but not min_slack + horizon is hopeless and must bounce at
+  // admission, not age in the queue.
+  QueueConfig cfg;
+  cfg.min_slack = 0.1;
+  cfg.expected_delay = [] { return 0.4; };
+  QueueHarness h(cfg);  // clock at 100
+  EXPECT_EQ(h.queue.submit(image(), 100.3).wait().error,
+            ServeError::kDeadlineInfeasible);
+  EXPECT_EQ(h.stats.snapshot().rejected_infeasible, 1u);
+  Ticket ok = h.queue.submit(image(), 100.6);
+  EXPECT_EQ(h.queue.depth(), 1u);
+}
+
+TEST(Queue, UrgentLanePopsBeforeOlderRelaxedRequests) {
+  // A tight-deadline request submitted LAST must come out FIRST: the
+  // priority lane bypasses the FIFO so the batcher stages urgent work
+  // before window forming can starve it.
+  QueueConfig cfg;
+  cfg.urgent_slack = 1.0;
+  QueueHarness h(cfg);  // clock at 100
+  Ticket relaxed1 = h.queue.submit(image());              // no deadline
+  Ticket relaxed2 = h.queue.submit(image(), 200.0);       // loose deadline
+  Ticket urgent = h.queue.submit(image(), 100.5);         // slack 0.5 < 1.0
+
+  Request req;
+  ASSERT_TRUE(h.queue.pop(req));
+  EXPECT_TRUE(req.urgent);
+  EXPECT_DOUBLE_EQ(req.deadline, 100.5);
+  ASSERT_TRUE(h.queue.pop(req));  // then FIFO order resumes
+  EXPECT_FALSE(req.urgent);
+  EXPECT_DOUBLE_EQ(req.deadline, 0.0);
+  ASSERT_TRUE(h.queue.pop(req));
+  EXPECT_DOUBLE_EQ(req.deadline, 200.0);
+  EXPECT_EQ(h.queue.depth(), 0u);
+}
+
+TEST(Queue, UrgentLaneDisabledByDefault) {
+  QueueHarness h;  // urgent_slack = 0: nothing is ever urgent
+  h.queue.submit(image(), 100.001);
+  Request req;
+  ASSERT_TRUE(h.queue.pop(req));
+  EXPECT_FALSE(req.urgent);
+}
+
 TEST(Queue, DepthHighWaterMarkIsTracked) {
   QueueHarness h;
   h.queue.submit(image());

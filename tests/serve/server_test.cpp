@@ -222,24 +222,50 @@ TEST(Server, HotSwapUnderLoadNeverTearsAResponse) {
   EXPECT_EQ(checked.load(), 120u);
 }
 
-TEST(Server, DeadlineTimeoutIsHonored) {
+TEST(Server, HopelessDeadlineIsRejectedAtAdmission) {
+  // A window far longer than the timeout and a batch that can't fill:
+  // the request could only be served dead. The feasibility horizon
+  // (expected window + service) now catches this AT ADMISSION — the
+  // request is rejected kDeadlineInfeasible instead of being admitted,
+  // aged in the queue, and counted as a deadline miss.
   const Tensor pool = image_pool(2);
   ModelRegistry registry;
   publish_seeded(registry, "m", 5);
   ServerConfig cfg;
   cfg.model_name = "m";
   cfg.workers = 1;
-  // A window far longer than the timeout and a batch that can't fill:
-  // every admitted request expires in the queue.
   cfg.batch.max_batch = 16;
   cfg.batch.max_wait = 0.05;
   Server server(registry, cfg);
   server.start();
 
   Response r = server.submit(pool.slice_row(0), /*timeout=*/0.005).wait();
-  EXPECT_EQ(r.error, ServeError::kDeadlineMiss);
+  EXPECT_EQ(r.error, ServeError::kDeadlineInfeasible);
   server.drain();
-  EXPECT_EQ(server.stats().snapshot().deadline_misses, 1u);
+  const StatsSnapshot s = server.stats().snapshot();
+  EXPECT_EQ(s.rejected_infeasible, 1u);
+  EXPECT_EQ(s.deadline_misses, 0u);
+  EXPECT_EQ(s.served, 0u);
+}
+
+TEST(Server, FeasibleDeadlineIsAdmittedAndServed) {
+  // A timeout comfortably beyond the expected window + service must
+  // clear the feasibility horizon and be served normally.
+  const Tensor pool = image_pool(2);
+  ModelRegistry registry;
+  publish_seeded(registry, "m", 6);
+  ServerConfig cfg;
+  cfg.model_name = "m";
+  cfg.workers = 1;
+  cfg.batch.max_batch = 4;
+  cfg.batch.max_wait = 0.001;
+  Server server(registry, cfg);
+  server.start();
+
+  Response r = server.submit(pool.slice_row(0), /*timeout=*/1.0).wait();
+  EXPECT_EQ(r.error, ServeError::kNone);
+  server.drain();
+  EXPECT_EQ(server.stats().snapshot().served, 1u);
 }
 
 }  // namespace

@@ -1,0 +1,98 @@
+// Percentile fidelity and jitter aggregation: exact order statistics at
+// small N (every committed bench point is 256 samples), deterministic
+// histogram fallback past the cap, and the streaming
+// count/sum/sum-of-squares mean/stddev.
+#include "serve/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace satd::serve {
+namespace {
+
+TEST(StreamingMoments, MeanAndStddevAreExact) {
+  StreamingMoments m;
+  EXPECT_DOUBLE_EQ(m.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(m.stddev(), 0.0);
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) m.add(x);
+  EXPECT_EQ(m.count(), 8u);
+  EXPECT_DOUBLE_EQ(m.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(m.stddev(), 2.0);  // the textbook population example
+}
+
+TEST(StreamingMoments, MergeMatchesPooledStream) {
+  StreamingMoments a, b, pooled;
+  for (double x : {1.0, 2.0, 3.0}) { a.add(x); pooled.add(x); }
+  for (double x : {10.0, 20.0}) { b.add(x); pooled.add(x); }
+  a.merge(b);
+  EXPECT_EQ(a.count(), pooled.count());
+  EXPECT_DOUBLE_EQ(a.mean(), pooled.mean());
+  EXPECT_DOUBLE_EQ(a.stddev(), pooled.stddev());
+}
+
+TEST(LatencyHistogram, SmallSamplePercentilesAreExactOrderStatistics) {
+  // 256 distinct latencies 1..256 ms: nearest-rank percentiles are exact
+  // samples, so p95 and p99 MUST differ (the log-bucket baseline put
+  // both in one bucket at this N).
+  LatencyHistogram h;
+  for (std::size_t i = 1; i <= 256; ++i) {
+    h.record(static_cast<double>(i) * 1e-3);
+  }
+  EXPECT_DOUBLE_EQ(h.percentile(0.50), 0.128);  // ceil(0.5*256) = 128th
+  EXPECT_DOUBLE_EQ(h.percentile(0.95), 0.244);  // ceil(0.95*256) = 244th
+  EXPECT_DOUBLE_EQ(h.percentile(0.99), 0.254);  // ceil(0.99*256) = 254th
+  EXPECT_NE(h.percentile(0.95), h.percentile(0.99));
+  EXPECT_DOUBLE_EQ(h.percentile(1.0), 0.256);
+  EXPECT_DOUBLE_EQ(h.percentile(0.0), 0.001);
+}
+
+TEST(LatencyHistogram, PercentilesAreOrderInvariant) {
+  std::vector<double> samples;
+  for (std::size_t i = 1; i <= 100; ++i) {
+    samples.push_back(static_cast<double>((i * 37) % 100 + 1) * 1e-4);
+  }
+  LatencyHistogram forward, shuffled;
+  for (double s : samples) forward.record(s);
+  std::reverse(samples.begin(), samples.end());
+  for (double s : samples) shuffled.record(s);
+  for (double p : {0.5, 0.9, 0.95, 0.99}) {
+    EXPECT_DOUBLE_EQ(forward.percentile(p), shuffled.percentile(p));
+  }
+}
+
+TEST(LatencyHistogram, FallsBackToBucketsPastTheExactCap) {
+  LatencyHistogram h;
+  const std::size_t n = LatencyHistogram::kExactCap + 500;
+  for (std::size_t i = 0; i < n; ++i) h.record(1e-3);
+  EXPECT_EQ(h.count(), n);
+  // Bucketed readout: the upper edge of the bucket holding 1 ms — at
+  // most one ratio step (12%) above the true value, and never below it.
+  const double p99 = h.percentile(0.99);
+  EXPECT_GE(p99, 1e-3);
+  EXPECT_LE(p99, 1e-3 * 1.12);
+}
+
+TEST(LatencyHistogram, MergeKeepsExactPathWhileUnderCap) {
+  LatencyHistogram a, b;
+  for (std::size_t i = 1; i <= 50; ++i) a.record(static_cast<double>(i));
+  for (std::size_t i = 51; i <= 100; ++i) b.record(static_cast<double>(i));
+  a.merge(b);
+  EXPECT_EQ(a.count(), 100u);
+  EXPECT_DOUBLE_EQ(a.percentile(0.99), 99.0);  // still exact
+}
+
+TEST(ServerStats, SnapshotCarriesJitter) {
+  ServerStats stats;
+  for (double l : {0.001, 0.002, 0.003}) stats.record_served(l);
+  const StatsSnapshot s = stats.snapshot();
+  EXPECT_EQ(s.served, 3u);
+  EXPECT_DOUBLE_EQ(s.mean, 0.002);
+  EXPECT_NEAR(s.stddev, std::sqrt(2.0 / 3.0) * 1e-3, 1e-12);
+  EXPECT_DOUBLE_EQ(s.p50, 0.002);  // exact order statistic
+}
+
+}  // namespace
+}  // namespace satd::serve
