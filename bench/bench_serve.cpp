@@ -34,9 +34,22 @@
 // therefore the numbers, not the workload) is the only nondeterminism.
 // --emit-json writes BENCH_serve.json in the same satd-bench-1 schema as
 // bench_micro (baseline committed under bench/baseline/).
+//
+// --socket adds the multi-process points: the parent runs a 2-shard
+// ShardRouter behind the SATDWIRE1 socket front end on a unix socket
+// and forks P copies of THIS binary (via the runtime::ForkExecRunner
+// process layer) as client processes. Each child drives the socket with
+// net::Client — closed loop (submit-and-wait) or an open-loop seeded
+// schedule with coordinated-omission-free latency (measured from the
+// scheduled arrival, not the send) — and writes its per-request
+// latencies to a file the parent merges into cross-process percentiles.
+#include <unistd.h>
+
+#include <algorithm>
 #include <atomic>
 #include <cmath>
 #include <cstdio>
+#include <fstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -46,8 +59,12 @@
 #include "common/clock.h"
 #include "common/rng.h"
 #include "data/synthetic.h"
+#include "net/client.h"
+#include "net/frontend.h"
 #include "nn/zoo.h"
+#include "runtime/process.h"
 #include "serve/server.h"
+#include "serve/shard_router.h"
 
 using namespace satd;
 
@@ -188,6 +205,201 @@ void add_row(std::vector<bench::JsonResult>& rows, const std::string& name,
               s.mean_batch);
 }
 
+// ---------------------------------------------------------------------
+// Multi-process socket mode
+// ---------------------------------------------------------------------
+
+/// Child half of --socket: drive one unix-socket front end with
+/// net::Client and write per-request latency seconds (one per line) to
+/// --child-out. Closed loop when --child-rps is 0; otherwise a seeded
+/// exponential open-loop schedule, with latency measured from the
+/// SCHEDULED arrival so a stalled server honestly accumulates queueing
+/// delay (no coordinated omission).
+int socket_child_main(const CliParser& cli) {
+  const env::ListenAddress addr = env::parse_listen_address(
+      cli.get_string("connect").c_str(), "--connect");
+  if (!addr.valid()) {
+    std::fprintf(stderr, "socket child: bad --connect\n");
+    return 2;
+  }
+  net::ClientConfig cfg;
+  cfg.endpoints = {addr};
+  net::Client client(cfg);
+
+  const auto n = static_cast<std::size_t>(cli.get_int("child-requests"));
+  const double rps = cli.get_double("child-rps");
+  Rng rng(static_cast<std::uint64_t>(cli.get_int("child-seed")));
+  const Tensor pool = make_pool(32);
+  const std::size_t pool_size = pool.shape()[0];
+
+  std::vector<double> offset(n, 0.0);
+  if (rps > 0.0) {
+    double t = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      t += -std::log(1.0 - rng.uniform()) / rps;
+      offset[i] = t;
+    }
+  }
+
+  SystemClock& clock = SystemClock::instance();
+  std::vector<double> latencies;
+  latencies.reserve(n);
+  std::size_t failed = 0;
+  const double t0 = clock.now();
+  for (std::size_t i = 0; i < n; ++i) {
+    double mark = clock.now();
+    if (rps > 0.0) {
+      const double target = t0 + offset[i];
+      if (target > mark) clock.sleep_for(target - mark);
+      mark = target;  // open loop: latency from the scheduled arrival
+    }
+    const Tensor image = pool.slice_row(rng.uniform_index(pool_size));
+    const net::ClientResult r = client.request(image);
+    if (!r.ok()) {
+      ++failed;
+      continue;
+    }
+    latencies.push_back(clock.now() - mark);
+  }
+
+  std::ofstream os(cli.get_string("child-out"));
+  for (const double v : latencies) os << v << "\n";
+  return failed == 0 && os.good() ? 0 : 1;
+}
+
+struct SocketPoint {
+  std::string name;
+  std::size_t shards = 2;
+  std::size_t procs = 2;
+  double rps = 0.0;  ///< per-child open-loop rate; 0 = closed loop
+};
+
+/// Parent half: router + front end on a unix socket, P forked client
+/// processes, cross-process percentile merge.
+void run_socket_point(std::vector<bench::JsonResult>& rows,
+                      const std::string& spec, const SocketPoint& sp,
+                      std::size_t per_child) {
+  char exe[4096];
+  const ssize_t exe_len = ::readlink("/proc/self/exe", exe, sizeof(exe) - 1);
+  if (exe_len <= 0) {
+    std::fprintf(stderr, "socket mode: cannot resolve /proc/self/exe\n");
+    return;
+  }
+  exe[exe_len] = '\0';
+  const std::string sock = "/tmp/satd_bench_" +
+                           std::to_string(::getpid()) + "_" + sp.name +
+                           ".sock";
+
+  serve::RouterConfig rcfg;
+  rcfg.shards = sp.shards;
+  rcfg.server.model_name = "bench";
+  rcfg.server.workers = 1;
+  serve::ShardRouter router(rcfg);
+  {
+    Rng rng(42);
+    nn::Sequential model = nn::zoo::build(spec, rng);
+    router.publish(model, spec);
+  }
+  router.start();
+
+  net::FrontEndConfig fcfg;
+  fcfg.listen.kind = env::ListenAddress::Kind::kUnix;
+  fcfg.listen.path = sock;
+  net::FrontEndSink sink;
+  sink.submit = [&router](const Tensor& image, double timeout,
+                          std::uint64_t key, std::uint32_t* shard_out,
+                          std::uint64_t* id_out) {
+    return router.submit(image, timeout, key, shard_out, id_out);
+  };
+  sink.cancel = [&router](std::uint32_t shard, std::uint64_t id) {
+    return router.cancel(shard, id);
+  };
+  sink.tick = [&router] { router.tick(); };
+  net::FrontEnd frontend(fcfg, sink);
+  frontend.start();
+
+  runtime::ForkExecRunner& runner = runtime::ForkExecRunner::instance();
+  std::vector<runtime::ProcessId> kids;
+  std::vector<std::string> outs;
+  SystemClock& clock = SystemClock::instance();
+  const double t0 = clock.now();
+  for (std::size_t p = 0; p < sp.procs; ++p) {
+    runtime::SpawnSpec child;
+    outs.push_back(sock + ".lat" + std::to_string(p));
+    child.argv = {exe,
+                  "--socket-child",
+                  "--connect=unix:" + sock,
+                  "--child-requests=" + std::to_string(per_child),
+                  "--child-out=" + outs.back(),
+                  "--child-seed=" + std::to_string(9000 + p),
+                  "--child-rps=" + std::to_string(sp.rps)};
+    kids.push_back(runner.spawn(child));
+  }
+
+  std::size_t child_failures = 0;
+  for (std::size_t p = 0; p < kids.size(); ++p) {
+    for (;;) {
+      const runtime::ChildStatus st = runner.poll(kids[p]);
+      if (!st.running) {
+        if (st.signaled || st.exit_code != 0) ++child_failures;
+        break;
+      }
+      clock.sleep_for(0.005);
+    }
+  }
+  const double elapsed = clock.now() - t0;
+  frontend.stop();
+  router.drain();
+
+  std::vector<double> lat;
+  for (const std::string& path : outs) {
+    std::ifstream is(path);
+    double v = 0.0;
+    while (is >> v) lat.push_back(v);
+    ::unlink(path.c_str());
+  }
+  ::unlink(sock.c_str());
+  std::sort(lat.begin(), lat.end());
+  const auto pct = [&lat](double q) {
+    if (lat.empty()) return 0.0;
+    const auto i = static_cast<std::size_t>(q * static_cast<double>(
+                                                    lat.size() - 1));
+    return lat[i];
+  };
+  double mean = 0.0;
+  for (const double v : lat) mean += v;
+  if (!lat.empty()) mean /= static_cast<double>(lat.size());
+
+  const net::FrontEndStats fs = frontend.stats();
+  bench::JsonResult row;
+  row.name = sp.name;
+  row.numbers = {
+      {"shards", static_cast<double>(sp.shards)},
+      {"client_procs", static_cast<double>(sp.procs)},
+      {"requests", static_cast<double>(per_child * sp.procs)},
+      {"completed", static_cast<double>(lat.size())},
+      {"child_failures", static_cast<double>(child_failures)},
+      {"throughput_rps",
+       elapsed > 0 ? static_cast<double>(lat.size()) / elapsed : 0.0},
+      {"p50_ms", pct(0.50) * 1e3},
+      {"p95_ms", pct(0.95) * 1e3},
+      {"p99_ms", pct(0.99) * 1e3},
+      {"mean_ms", mean * 1e3},
+      {"wire_requests", static_cast<double>(fs.requests)},
+      {"wire_responses", static_cast<double>(fs.responses)},
+  };
+  if (sp.rps > 0.0) {
+    row.numbers.push_back(
+        {"offered_rps", sp.rps * static_cast<double>(sp.procs)});
+  }
+  std::printf("%-22s %6zu done   %8.0f req/s  p50 %.3f ms  p99 %.3f ms  "
+              "(%zu procs x %zu over the socket)\n",
+              sp.name.c_str(), lat.size(),
+              elapsed > 0 ? static_cast<double>(lat.size()) / elapsed : 0.0,
+              pct(0.50) * 1e3, pct(0.99) * 1e3, sp.procs, per_child);
+  rows.push_back(std::move(row));
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -206,9 +418,20 @@ int main(int argc, char** argv) {
   cli.add_string("emit-json", "",
                  "write BENCH_serve.json (satd-bench-1 schema) into this "
                  "directory");
+  cli.add_flag("socket",
+               "add the multi-process socket points (forked net::Client "
+               "processes against a 2-shard router front end)");
+  cli.add_flag("socket-child", "internal: run as a forked socket client");
+  cli.add_string("connect", "", "internal: child's endpoint");
+  cli.add_int("child-requests", 256, "internal: child's request count");
+  cli.add_string("child-out", "", "internal: child's latency output file");
+  cli.add_int("child-seed", 1, "internal: child's image/schedule seed");
+  cli.add_double("child-rps", 0.0,
+                 "internal: child's open-loop rate (0 = closed loop)");
   if (!cli.parse(argc, argv)) return 0;
   apply_threads_option(cli);
   apply_kernel_option(cli);
+  if (cli.get_flag("socket-child")) return socket_child_main(cli);
 
   const auto requests = static_cast<std::size_t>(cli.get_int("requests"));
   const std::string spec = cli.get_string("model");
@@ -341,6 +564,17 @@ int main(int argc, char** argv) {
     std::printf("%-22s %6zu served  %zu rejected_full  depth<=%zu\n",
                 "overload", s.served, s.rejected_full, s.max_queue_depth);
     rows.push_back(std::move(row));
+  }
+
+  // Multi-process socket points: real processes, real sockets, the
+  // whole wire in the measured path.
+  if (cli.get_flag("socket")) {
+    for (const SocketPoint& sp :
+         {SocketPoint{"socket_closed_s2_p2", 2, 2, 0.0},
+          SocketPoint{"socket_closed_s2_p4", 2, 4, 0.0},
+          SocketPoint{"socket_open_s2_p2", 2, 2, 200.0}}) {
+      run_socket_point(rows, spec, sp, requests);
+    }
   }
 
   if (const std::string dir = cli.get_string("emit-json"); !dir.empty()) {

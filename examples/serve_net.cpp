@@ -1,0 +1,129 @@
+// serve_net: the SATDWIRE1 socket front end over a multi-shard router.
+//
+//   build/examples/serve_net --listen unix:/tmp/satd.sock --shards 2
+//
+// Trains a small classifier, fans it out to every shard of a
+// ShardRouter, and serves it over a unix-domain or TCP socket until
+// SIGINT/SIGTERM (or --duration seconds). The address comes from
+// --listen, falling back to the SATD_LISTEN environment variable —
+// both parsed by the hardened env::parse_listen_address (malformed
+// input warns and falls back, never crashes the server).
+//
+// This binary is one half of the CI socket chaos drill: two instances
+// are started on different sockets, traffic is driven through
+// net_client against both, and one instance is kill -9'd mid-stream.
+// The client must fail over to the survivor — so this process stays
+// deliberately boring: serve until told to stop, then drain cleanly.
+#include <atomic>
+#include <csignal>
+#include <cstdio>
+#include <thread>
+
+#include "common/cli.h"
+#include "common/env.h"
+#include "core/fgsm_adv_trainer.h"
+#include "data/synthetic.h"
+#include "net/frontend.h"
+#include "nn/zoo.h"
+#include "serve/shard_router.h"
+
+using namespace satd;
+
+namespace {
+std::atomic<bool> g_stop{false};
+void on_signal(int) { g_stop.store(true); }
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliParser cli("serve_net", "SATDWIRE1 socket front end over N shards");
+  cli.add_string("listen", "", "address (unix:/path or host:port); "
+                               "falls back to $SATD_LISTEN");
+  cli.add_int("shards", 2, "number of server shards behind the router");
+  cli.add_int("epochs", 2, "training epochs for the demo model");
+  cli.add_double("duration", 0.0, "seconds to serve (0 = until signal)");
+  cli.add_string("journal", "", "rollout audit JSONL path (optional)");
+  if (!cli.parse(argc, argv)) return 2;
+
+  env::ListenAddress listen;
+  if (!cli.get_string("listen").empty()) {
+    listen = env::parse_listen_address(cli.get_string("listen").c_str(),
+                                       "--listen");
+  }
+  if (!listen.valid()) {
+    listen = env::parse_listen_address(std::getenv("SATD_LISTEN"),
+                                       "SATD_LISTEN");
+  }
+  if (!listen.valid()) {
+    std::fprintf(stderr,
+                 "serve_net: no usable address (--listen or SATD_LISTEN)\n");
+    return 2;
+  }
+
+  // A quickly-trained model; the drill cares about the wire, not the
+  // accuracy.
+  data::SyntheticConfig data_cfg;
+  data_cfg.train_size = 256;
+  data_cfg.test_size = 64;
+  data_cfg.seed = 1;
+  const data::DatasetPair data = data::make_synthetic_digits(data_cfg);
+  core::TrainConfig train_cfg;
+  train_cfg.epochs = static_cast<std::size_t>(cli.get_int("epochs"));
+  train_cfg.eps = 0.2f;
+  Rng rng(42);
+  nn::Sequential model = nn::zoo::build("mlp_small", rng);
+  core::FgsmAdvTrainer(model, train_cfg).fit(data.train);
+
+  serve::RouterConfig rcfg;
+  rcfg.shards = static_cast<std::size_t>(cli.get_int("shards"));
+  rcfg.server.model_name = "digits";
+  rcfg.server.workers = 1;
+  rcfg.journal_path = cli.get_string("journal");
+  serve::ShardRouter router(rcfg);
+  router.publish(model, "mlp_small");
+  router.start();
+
+  net::FrontEndConfig fcfg;
+  fcfg.listen = listen;
+  net::FrontEndSink sink;
+  sink.submit = [&router](const Tensor& image, double timeout,
+                          std::uint64_t key, std::uint32_t* shard_out,
+                          std::uint64_t* id_out) {
+    return router.submit(image, timeout, key, shard_out, id_out);
+  };
+  sink.cancel = [&router](std::uint32_t shard, std::uint64_t id) {
+    return router.cancel(shard, id);
+  };
+  sink.tick = [&router] { router.tick(); };
+  net::FrontEnd frontend(fcfg, sink);
+  frontend.start();
+  if (listen.kind == env::ListenAddress::Kind::kTcp) {
+    listen.port = frontend.port();  // resolved (port 0 binds ephemeral)
+  }
+  std::printf("serve_net: %zu shard(s) on %s\n", router.size(),
+              net::to_string(listen).c_str());
+  std::fflush(stdout);
+
+  std::signal(SIGINT, on_signal);
+  std::signal(SIGTERM, on_signal);
+  const double duration = cli.get_double("duration");
+  const auto t0 = std::chrono::steady_clock::now();
+  while (!g_stop.load()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    if (duration > 0.0 &&
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+                .count() >= duration) {
+      break;
+    }
+  }
+
+  frontend.stop();
+  router.drain();
+  const net::FrontEndStats s = frontend.stats();
+  std::printf("serve_net: accepted=%llu requests=%llu responses=%llu "
+              "rejects=%llu wire_errors=%llu cancelled=%llu\n",
+              (unsigned long long)s.accepted, (unsigned long long)s.requests,
+              (unsigned long long)s.responses, (unsigned long long)s.rejects,
+              (unsigned long long)s.wire_errors,
+              (unsigned long long)s.cancelled);
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Standalone CRC-32 (IEEE 802.3, the zlib polynomial).
+//
+// Extracted from common/durable_io so the checksum is usable by layers
+// that frame bytes without touching the filesystem — the network wire
+// protocol (src/net/wire.h) trails every frame with the same CRC the
+// durable file frame uses. durable::crc32 forwards here, so file framing
+// is byte-identical to the pre-extraction format (pinned by the fault
+// suite's truncation/bit-rot sweeps).
+//
+// `crc` chains incremental updates; pass the previous return value to
+// continue a running sum over split buffers.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace satd {
+
+namespace detail {
+inline const std::array<std::uint32_t, 256>& crc32_table() {
+  static const std::array<std::uint32_t, 256> table = [] {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : (c >> 1);
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  return table;
+}
+}  // namespace detail
+
+inline std::uint32_t crc32(const void* data, std::size_t n,
+                           std::uint32_t crc = 0) {
+  const auto& table = detail::crc32_table();
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  std::uint32_t c = crc ^ 0xFFFFFFFFu;
+  for (std::size_t i = 0; i < n; ++i) {
+    c = table[(c ^ p[i]) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+inline std::uint32_t crc32(const std::string& bytes) {
+  return crc32(bytes.data(), bytes.size());
+}
+
+}  // namespace satd

@@ -3,27 +3,16 @@
 #include <fcntl.h>
 #include <unistd.h>
 
-#include <array>
 #include <cerrno>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 
+#include "common/crc32.h"
+
 namespace satd::durable {
 
 namespace {
-
-std::array<std::uint32_t, 256> make_crc_table() {
-  std::array<std::uint32_t, 256> table{};
-  for (std::uint32_t i = 0; i < 256; ++i) {
-    std::uint32_t c = i;
-    for (int k = 0; k < 8; ++k) {
-      c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : (c >> 1);
-    }
-    table[i] = c;
-  }
-  return table;
-}
 
 std::string errno_context(const std::string& what, const std::string& path) {
   return what + ": " + path + ": " + std::strerror(errno);
@@ -96,17 +85,14 @@ void fsync_parent_dir(const std::string& path) {
 const char kFrameMagic[8] = {'S', 'A', 'T', 'D', 'C', 'R', 'C', '1'};
 
 std::uint32_t crc32(const void* data, std::size_t n, std::uint32_t crc) {
-  static const std::array<std::uint32_t, 256> table = make_crc_table();
-  const unsigned char* p = static_cast<const unsigned char*>(data);
-  std::uint32_t c = crc ^ 0xFFFFFFFFu;
-  for (std::size_t i = 0; i < n; ++i) {
-    c = table[(c ^ p[i]) & 0xFFu] ^ (c >> 8);
-  }
-  return c ^ 0xFFFFFFFFu;
+  // Forwards to the extracted standalone implementation (common/crc32.h)
+  // shared with the network wire framing; the polynomial, table and
+  // chaining semantics are unchanged, so file frames stay byte-identical.
+  return satd::crc32(data, n, crc);
 }
 
 std::uint32_t crc32(const std::string& bytes) {
-  return crc32(bytes.data(), bytes.size());
+  return satd::crc32(bytes);
 }
 
 std::string wrap_checksummed(const std::string& payload) {

@@ -92,4 +92,59 @@ std::vector<int> parse_cpu_list(const char* text, const char* what) {
   return cpus;
 }
 
+ListenAddress parse_listen_address(const char* text, const char* what) {
+  ListenAddress none;
+  if (text == nullptr || *text == '\0') {
+    log::warn() << what << " is empty; not listening";
+    return none;
+  }
+  const std::string s(text);
+  const auto reject = [&](const char* why) -> ListenAddress {
+    log::warn() << what << "=\"" << s << "\" " << why << "; not listening";
+    return none;
+  };
+
+  std::string rest = s;
+  bool force_unix = false;
+  bool force_tcp = false;
+  if (rest.rfind("unix:", 0) == 0) {
+    force_unix = true;
+    rest = rest.substr(5);
+  } else if (rest.rfind("tcp:", 0) == 0) {
+    force_tcp = true;
+    rest = rest.substr(4);
+  }
+
+  if (force_unix || (!force_tcp && !rest.empty() && rest[0] == '/')) {
+    if (rest.empty()) return reject("has an empty unix socket path");
+    if (rest.size() > kMaxUnixPath) {
+      return reject("has a unix socket path longer than sun_path allows");
+    }
+    ListenAddress a;
+    a.kind = ListenAddress::Kind::kUnix;
+    a.path = rest;
+    return a;
+  }
+
+  // TCP: host:port, split on the LAST colon so a future bracketed-v6
+  // host with colons still finds its port.
+  const std::size_t colon = rest.find_last_of(':');
+  if (colon == std::string::npos) return reject("is missing a :port");
+  const std::string host = rest.substr(0, colon);
+  const std::string port_text = rest.substr(colon + 1);
+  if (host.empty()) return reject("has an empty host");
+  if (port_text.empty()) return reject("has an empty port");
+  const char* end = nullptr;
+  const long port = parse_long_token(port_text.c_str(), &end);
+  if (end == port_text.c_str() || *end != '\0') {
+    return reject("has a non-numeric port");
+  }
+  if (port < 0 || port > 65535) return reject("has a port out of range");
+  ListenAddress a;
+  a.kind = ListenAddress::Kind::kTcp;
+  a.host = host;
+  a.port = static_cast<std::uint16_t>(port);
+  return a;
+}
+
 }  // namespace satd::env

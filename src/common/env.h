@@ -9,6 +9,8 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
+#include <string>
 #include <vector>
 
 namespace satd::env {
@@ -31,5 +33,32 @@ std::vector<int> parse_cpu_list(const char* text, const char* what);
 /// Upper bound on an accepted CPU id (sanity guard, matches the kernel's
 /// CONFIG_NR_CPUS ceiling on common distros).
 inline constexpr int kMaxCpuId = 4096;
+
+/// A parsed SATD_LISTEN / --listen serving address.
+struct ListenAddress {
+  enum class Kind { kNone, kUnix, kTcp };
+  Kind kind = Kind::kNone;
+  std::string path;         ///< unix-domain socket path (kUnix)
+  std::string host;         ///< interface/hostname (kTcp)
+  std::uint16_t port = 0;   ///< kTcp; 0 = ephemeral (kernel picks)
+  bool valid() const { return kind != Kind::kNone; }
+};
+
+/// Longest unix socket path accepted (sockaddr_un::sun_path on Linux is
+/// 108 bytes including the NUL).
+inline constexpr std::size_t kMaxUnixPath = 107;
+
+/// Parses a serving address in one of the accepted forms:
+///   "unix:/path/to.sock"  explicit unix-domain socket
+///   "/path/to.sock"       bare absolute path -> unix
+///   "tcp:host:port"       explicit TCP
+///   "host:port"           bare host:port -> TCP
+/// Port 0 is accepted for TCP (ephemeral, the resolved port is reported
+/// by the listener). Anything malformed — empty host or path, an
+/// over-long unix path, a non-numeric / out-of-range port, trailing
+/// garbage — earns ONE warning naming `what` and returns kNone, so a
+/// typo'd SATD_LISTEN degrades to "no socket front end" instead of
+/// crashing the server. Never throws.
+ListenAddress parse_listen_address(const char* text, const char* what);
 
 }  // namespace satd::env

@@ -1,0 +1,258 @@
+#include "net/client.h"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/contract.h"
+
+namespace satd::net {
+
+const char* to_string(ClientError e) {
+  switch (e) {
+    case ClientError::kNone: return "ok";
+    case ClientError::kConnectFailed: return "connect_failed";
+    case ClientError::kConnectionLost: return "connection_lost";
+    case ClientError::kTimeout: return "timeout";
+    case ClientError::kProtocol: return "protocol";
+    case ClientError::kRejected: return "rejected";
+    case ClientError::kServe: return "serve";
+  }
+  return "unknown";
+}
+
+Client::Client(ClientConfig config, Clock& clock)
+    : config_(std::move(config)),
+      clock_(clock),
+      backoff_(config_.backoff, config_.backoff_seed),
+      decoder_(config_.max_payload) {
+  SATD_EXPECT(!config_.endpoints.empty(), "client needs at least one endpoint");
+  SATD_EXPECT(config_.max_attempts >= 1, "max_attempts must be >= 1");
+  for (const auto& ep : config_.endpoints) {
+    SATD_EXPECT(ep.valid(), "client endpoints must be valid addresses");
+  }
+}
+
+Client::~Client() { close(); }
+
+void Client::close() {
+  conn_.reset();
+  decoder_ = FrameDecoder(config_.max_payload);
+}
+
+void Client::rotate() {
+  close();
+  cursor_ = (cursor_ + 1) % config_.endpoints.size();
+}
+
+bool Client::ensure_connected(std::string& detail) {
+  if (conn_.valid()) return true;
+  conn_ = connect_socket(config_.endpoints[cursor_], config_.connect_timeout,
+                         detail);
+  decoder_ = FrameDecoder(config_.max_payload);
+  return conn_.valid();
+}
+
+bool Client::send_all(const std::string& bytes, std::string& detail) {
+  std::size_t off = 0;
+  const double deadline = clock_.now() + config_.request_timeout;
+  while (off < bytes.size()) {
+    const ssize_t n = ::send(conn_.get(), bytes.data() + off,
+                             bytes.size() - off, MSG_NOSIGNAL);
+    if (n > 0) {
+      off += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      const double remaining = deadline - clock_.now();
+      if (remaining <= 0) {
+        detail = "send timed out";
+        return false;
+      }
+      pollfd pfd{conn_.get(), POLLOUT, 0};
+      ::poll(&pfd, 1, static_cast<int>(remaining * 1000.0) + 1);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    detail = std::string("send failed: ") + std::strerror(errno);
+    return false;
+  }
+  return true;
+}
+
+bool Client::read_frame(double deadline, FrameType& type,
+                        std::string& payload, std::string& why,
+                        std::string& detail) {
+  for (;;) {
+    if (decoder_.next(type, payload)) return true;
+    if (decoder_.error() != WireError::kNone) {
+      why = "protocol";
+      detail = std::string("wire error: ") + to_string(decoder_.error());
+      return false;
+    }
+    const double remaining = deadline - clock_.now();
+    if (remaining <= 0) {
+      why = "timeout";
+      detail = "response deadline exceeded";
+      return false;
+    }
+    pollfd pfd{conn_.get(), POLLIN, 0};
+    const int n = ::poll(&pfd, 1, static_cast<int>(remaining * 1000.0) + 1);
+    if (n < 0 && errno != EINTR) {
+      why = "lost";
+      detail = std::string("poll failed: ") + std::strerror(errno);
+      return false;
+    }
+    if (n <= 0) continue;  // re-check the deadline
+    char buf[64 * 1024];
+    const ssize_t r = ::read(conn_.get(), buf, sizeof(buf));
+    if (r > 0) {
+      decoder_.feed(buf, static_cast<std::size_t>(r));
+      continue;
+    }
+    if (r < 0 && (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR)) {
+      continue;
+    }
+    why = "lost";
+    detail = r == 0 ? "connection closed by server"
+                    : std::string("read failed: ") + std::strerror(errno);
+    return false;
+  }
+}
+
+ClientResult Client::request(const Tensor& image, double timeout,
+                             std::uint64_t route_key) {
+  ClientResult result;
+  // What request() returns when every attempt fails: the classification
+  // of the LAST failure (the freshest evidence about the fleet's state).
+  ClientError last_error = ClientError::kConnectFailed;
+  serve::ServeError last_serve = serve::ServeError::kNone;
+  std::string detail;
+
+  for (std::size_t attempt = 0; attempt < config_.max_attempts; ++attempt) {
+    result.attempts = attempt + 1;
+    if (attempt > 0) clock_.sleep_for(backoff_.delay(attempt - 1));
+
+    if (!ensure_connected(detail)) {
+      last_error = ClientError::kConnectFailed;
+      last_serve = serve::ServeError::kNone;
+      result.detail = detail;
+      rotate();
+      continue;
+    }
+
+    RequestFrame req;
+    req.request_id = next_id_++;
+    req.timeout = timeout;
+    req.route_key = route_key;
+    req.image = image;
+    if (!send_all(encode_request(req), detail)) {
+      last_error = ClientError::kConnectionLost;
+      last_serve = serve::ServeError::kNone;
+      result.detail = detail;
+      rotate();
+      continue;
+    }
+
+    const double deadline = clock_.now() + config_.request_timeout;
+    bool retry = false;
+    for (;;) {
+      FrameType type;
+      std::string payload, why;
+      if (!read_frame(deadline, type, payload, why, detail)) {
+        last_error = why == "timeout"    ? ClientError::kTimeout
+                     : why == "protocol" ? ClientError::kProtocol
+                                         : ClientError::kConnectionLost;
+        last_serve = serve::ServeError::kNone;
+        result.detail = detail;
+        // The connection may still deliver the stale response later;
+        // a retry must start from a clean stream.
+        rotate();
+        retry = true;
+        break;
+      }
+
+      if (type == FrameType::kReject) {
+        RejectFrame rej;
+        std::string err;
+        if (!decode_reject(payload, rej, err)) {
+          last_error = ClientError::kProtocol;
+          result.detail = "undecodable reject frame: " + err;
+          rotate();
+          retry = true;
+          break;
+        }
+        if (rej.code == WireReject::kOverloaded ||
+            rej.code == WireReject::kShuttingDown) {
+          // Transient by construction: another endpoint (or a moment of
+          // patience) may succeed.
+          last_error = ClientError::kRejected;
+          result.detail = std::string(to_string(rej.code)) + ": " +
+                          rej.message;
+          rotate();
+          retry = true;
+          break;
+        }
+        // Malformed/too large: resending the same bytes cannot help.
+        result.error = ClientError::kRejected;
+        result.detail = std::string(to_string(rej.code)) + ": " + rej.message;
+        // The server closes poisoned streams; drop ours too.
+        close();
+        return result;
+      }
+
+      if (type != FrameType::kResponse) {
+        last_error = ClientError::kProtocol;
+        result.detail = "unexpected frame type from server";
+        rotate();
+        retry = true;
+        break;
+      }
+
+      ResponseFrame resp;
+      std::string err;
+      if (!decode_response(payload, resp, err)) {
+        last_error = ClientError::kProtocol;
+        result.detail = "undecodable response: " + err;
+        rotate();
+        retry = true;
+        break;
+      }
+      if (resp.request_id != req.request_id) continue;  // stale; keep reading
+
+      const auto serve_error =
+          static_cast<serve::ServeError>(resp.serve_error);
+      if (serve_error == serve::ServeError::kQueueFull ||
+          serve_error == serve::ServeError::kStopping) {
+        // Transient serve-side pressure: retry (the router may pick a
+        // different shard for the resubmission).
+        last_error = ClientError::kServe;
+        last_serve = serve_error;
+        result.detail = std::string("serve: ") + serve::to_string(serve_error);
+        retry = true;
+        break;
+      }
+      result.error = serve_error == serve::ServeError::kNone
+                         ? ClientError::kNone
+                         : ClientError::kServe;
+      result.serve_error = serve_error;
+      result.predicted = resp.predicted;
+      result.probabilities = std::move(resp.probabilities);
+      result.model_version = resp.model_version;
+      result.shard = resp.shard;
+      result.batch_size = resp.batch_size;
+      result.latency = resp.latency;
+      return result;
+    }
+    SATD_ENSURE(retry, "inner loop exits by return or retry");
+  }
+
+  result.error = last_error;
+  result.serve_error = last_serve;
+  return result;
+}
+
+}  // namespace satd::net

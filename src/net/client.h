@@ -1,0 +1,126 @@
+// SATDWIRE1 client: one connection at a time, typed errors, idempotent
+// retry with seeded-jitter backoff and endpoint failover.
+//
+// Inference is idempotent — resubmitting an image cannot double-apply
+// anything — so the client retries aggressively on every TRANSPORT
+// failure: refused/failed connects, connections lost mid-conversation,
+// CRC-damaged responses, response timeouts. Retries rotate through the
+// configured endpoints (failover: if shard A's front end died, the next
+// attempt lands on B) and sleep a common/backoff schedule between
+// attempts; the jitter is drawn from a seeded Rng, so a test can assert
+// the exact schedule a client executed (via FakeClock::sleeps()).
+//
+// Not everything retries. A server that READ the request and said no is
+// not a transport failure:
+//   - reject(kMalformed|kTooLarge): resending the same bytes cannot
+//     help -> terminal kRejected.
+//   - reject(kOverloaded|kShuttingDown): transient by construction ->
+//     retry on the next endpoint.
+//   - response with a serve error: kQueueFull/kStopping are transient
+//     (another shard may have room) -> retry; kDeadlineInfeasible,
+//     kDeadlineMiss, kNoModel, kCancelled are verdicts about THIS
+//     request -> terminal kServe.
+//
+// Every outcome is a ClientResult carrying a typed ClientError, the
+// attempt count, and the last failure detail — callers never parse
+// message strings to branch.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/backoff.h"
+#include "common/clock.h"
+#include "common/env.h"
+#include "net/socket.h"
+#include "net/wire.h"
+#include "serve/types.h"
+
+namespace satd::net {
+
+/// Client knobs. Defaults suit tests/localhost; production raises the
+/// timeouts.
+struct ClientConfig {
+  std::vector<env::ListenAddress> endpoints;  ///< failover rotation order
+  double connect_timeout = 1.0;    ///< seconds per connect attempt
+  double request_timeout = 10.0;   ///< seconds awaiting each response
+  std::size_t max_attempts = 4;    ///< total tries across endpoints
+  BackoffPolicy backoff{0.01, 2.0, 0.5, 0.1};  ///< inter-attempt sleeps
+  std::uint64_t backoff_seed = 0x5eedULL;      ///< reproducible jitter
+  std::size_t max_payload = kDefaultMaxPayload;
+};
+
+/// Typed terminal outcome of a request() call.
+enum class ClientError {
+  kNone = 0,        ///< served; serve_error/result fields are valid
+  kConnectFailed,   ///< attempts exhausted without ever connecting
+  kConnectionLost,  ///< attempts exhausted on mid-conversation EOF/reset
+  kTimeout,         ///< attempts exhausted on response deadlines
+  kProtocol,        ///< attempts exhausted on wire damage (CRC, framing)
+  kRejected,        ///< server rejected the request as malformed/too large
+  kServe,           ///< served a terminal serve error (see serve_error)
+};
+
+const char* to_string(ClientError e);
+
+/// Everything a request() call produces.
+struct ClientResult {
+  ClientError error = ClientError::kNone;
+  serve::ServeError serve_error = serve::ServeError::kNone;
+  std::size_t predicted = 0;
+  std::vector<float> probabilities;
+  std::uint64_t model_version = 0;
+  std::uint32_t shard = 0;       ///< which shard served it
+  std::size_t batch_size = 0;
+  double latency = 0.0;          ///< server-side seconds
+  std::size_t attempts = 0;      ///< tries consumed (1 = first try worked)
+  std::string detail;            ///< last failure description (diagnostics)
+
+  bool ok() const { return error == ClientError::kNone; }
+};
+
+/// Retrying SATDWIRE1 client (see file comment). Not thread-safe; one
+/// Client per thread.
+class Client {
+ public:
+  explicit Client(ClientConfig config, Clock& clock = SystemClock::instance());
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Sends one image and awaits its response, retrying per the file
+  /// comment. `timeout` is the SERVER-side deadline forwarded in the
+  /// frame (0 = none); the transport deadline is config.request_timeout.
+  ClientResult request(const Tensor& image, double timeout = 0.0,
+                       std::uint64_t route_key = 0);
+
+  /// Drops the cached connection (next request reconnects).
+  void close();
+
+  /// Endpoint index the cached connection points at (diagnostics).
+  std::size_t endpoint_cursor() const { return cursor_; }
+
+ private:
+  /// Ensures conn_ is connected to endpoints_[cursor_]; false + detail
+  /// on failure.
+  bool ensure_connected(std::string& detail);
+  /// Advances to the next endpoint and drops the connection.
+  void rotate();
+  bool send_all(const std::string& bytes, std::string& detail);
+  /// Reads until a frame arrives or `deadline` (clock time) passes.
+  /// Returns false with `why` one of "timeout" | "lost" | "protocol".
+  bool read_frame(double deadline, FrameType& type, std::string& payload,
+                  std::string& why, std::string& detail);
+
+  ClientConfig config_;
+  Clock& clock_;
+  Backoff backoff_;
+  Fd conn_;
+  FrameDecoder decoder_;
+  std::size_t cursor_ = 0;
+  std::uint64_t next_id_ = 1;
+};
+
+}  // namespace satd::net

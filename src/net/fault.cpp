@@ -1,0 +1,58 @@
+#include "net/fault.h"
+
+#include <atomic>
+
+namespace satd::net::fault {
+
+namespace {
+std::atomic<int> g_response_fault{0};
+std::atomic<std::size_t> g_torn_bytes{0};
+std::atomic<std::size_t> g_connect_refused{0};
+}  // namespace
+
+void arm_torn_response(std::size_t bytes) {
+  g_torn_bytes.store(bytes);
+  g_response_fault.store(static_cast<int>(ResponseFault::kTorn));
+}
+
+void arm_corrupt_response() {
+  g_response_fault.store(static_cast<int>(ResponseFault::kCorrupt));
+}
+
+void arm_drop_response() {
+  g_response_fault.store(static_cast<int>(ResponseFault::kDrop));
+}
+
+void arm_disconnect_response() {
+  g_response_fault.store(static_cast<int>(ResponseFault::kDisconnect));
+}
+
+void arm_connect_refused(std::size_t count) {
+  g_connect_refused.store(count);
+}
+
+void disarm() {
+  g_response_fault.store(0);
+  g_torn_bytes.store(0);
+  g_connect_refused.store(0);
+}
+
+ResponseFault take_response_fault(std::size_t& torn_bytes_out) {
+  const int f = g_response_fault.exchange(0);
+  torn_bytes_out = g_torn_bytes.load();
+  return static_cast<ResponseFault>(f);
+}
+
+bool take_connect_refused() {
+  std::size_t n = g_connect_refused.load();
+  while (n > 0) {
+    if (g_connect_refused.compare_exchange_weak(n, n - 1)) return true;
+  }
+  return false;
+}
+
+bool armed() {
+  return g_response_fault.load() != 0 || g_connect_refused.load() > 0;
+}
+
+}  // namespace satd::net::fault

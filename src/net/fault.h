@@ -1,0 +1,70 @@
+// Wire-level fault injection for the socket serving stack (tests only).
+//
+// Mirrors the PR-2 durable-io and PR-7 spooler fault discipline at the
+// network boundary: tests ARM a fault, drive real traffic over real
+// sockets, and assert the typed outcome — a client error or a clean
+// retry, never a crash or a hang. Faults are one-shot or counted and
+// disarm themselves as they fire, so a chaos test's blast radius is
+// exactly the requests it targets.
+//
+// Server-side faults (consulted by net::FrontEnd when a response frame
+// is about to be sent):
+//   torn response      — write only the first K bytes of the encoded
+//                        frame, then hard-close the connection (models a
+//                        server crash mid-write; the client sees EOF
+//                        inside a frame -> retryable connection loss).
+//   corrupt response   — flip one payload byte before sending, so the
+//                        frame arrives complete but its CRC trailer
+//                        fails (models bit-rot/middlebox damage ->
+//                        typed protocol error at the client).
+//   drop response      — swallow the response entirely, connection kept
+//                        open (models a stalled server -> the client's
+//                        request read deadline fires).
+//   disconnect         — close the connection instead of responding
+//                        (mid-conversation disconnect -> retryable).
+//
+// Client-side fault (consulted by net::Client before a real connect):
+//   refused connect    — the next N connect attempts fail immediately as
+//                        if ECONNREFUSED, without touching the network
+//                        (deterministic backoff/failover tests on a
+//                        FakeClock, no real ports needed).
+//
+// All flags are atomics: the front end's event loop and the test thread
+// race benignly (arm happens-before the traffic that should trip it).
+#pragma once
+
+#include <cstddef>
+
+namespace satd::net::fault {
+
+/// What the front end should do to the NEXT response frame it sends.
+enum class ResponseFault {
+  kNone = 0,
+  kTorn,        ///< write `torn_bytes` bytes of the frame, then close
+  kCorrupt,     ///< flip a payload byte (CRC mismatch at the client)
+  kDrop,        ///< never send it; keep the connection open
+  kDisconnect,  ///< close the connection instead of sending
+};
+
+void arm_torn_response(std::size_t bytes);
+void arm_corrupt_response();
+void arm_drop_response();
+void arm_disconnect_response();
+
+/// The next `count` client connect() attempts fail as ECONNREFUSED.
+void arm_connect_refused(std::size_t count);
+
+/// Clears every armed fault.
+void disarm();
+
+/// Consumed by FrontEnd: returns the armed response fault (disarming it)
+/// or kNone. `torn_bytes_out` receives the torn-write budget.
+ResponseFault take_response_fault(std::size_t& torn_bytes_out);
+
+/// Consumed by Client: true if this connect attempt should fail.
+bool take_connect_refused();
+
+/// Introspection for tests.
+bool armed();
+
+}  // namespace satd::net::fault

@@ -1,0 +1,189 @@
+#include "net/socket.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/contract.h"
+#include "net/fault.h"
+
+namespace satd::net {
+
+namespace {
+
+std::string errno_context(const std::string& what, const std::string& where) {
+  return what + ": " + where + ": " + std::strerror(errno);
+}
+
+/// Fills a sockaddr_in from the (pre-validated) host/port. Numeric IPv4
+/// only, plus the two spellings everyone actually uses.
+void fill_inet(const env::ListenAddress& addr, sockaddr_in& sa) {
+  std::memset(&sa, 0, sizeof(sa));
+  sa.sin_family = AF_INET;
+  sa.sin_port = htons(addr.port);
+  std::string host = addr.host;
+  if (host == "localhost") host = "127.0.0.1";
+  if (host == "*" || host == "0.0.0.0") {
+    sa.sin_addr.s_addr = htonl(INADDR_ANY);
+    return;
+  }
+  if (inet_pton(AF_INET, host.c_str(), &sa.sin_addr) != 1) {
+    throw SocketError("not a numeric IPv4 host (use a.b.c.d, localhost or "
+                      "*): " + addr.host);
+  }
+}
+
+void fill_unix(const env::ListenAddress& addr, sockaddr_un& sa) {
+  std::memset(&sa, 0, sizeof(sa));
+  sa.sun_family = AF_UNIX;
+  SATD_EXPECT(addr.path.size() < sizeof(sa.sun_path),
+              "unix socket path too long (parse_listen_address bounds it)");
+  std::memcpy(sa.sun_path, addr.path.c_str(), addr.path.size() + 1);
+}
+
+}  // namespace
+
+void Fd::reset() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    throw SocketError(errno_context("cannot set O_NONBLOCK",
+                                    "fd " + std::to_string(fd)));
+  }
+}
+
+Fd listen_socket(const env::ListenAddress& addr, int backlog) {
+  SATD_EXPECT(addr.valid(), "cannot listen on an unset address");
+  const int family =
+      addr.kind == env::ListenAddress::Kind::kUnix ? AF_UNIX : AF_INET;
+  Fd fd(::socket(family, SOCK_STREAM, 0));
+  if (!fd.valid()) {
+    throw SocketError(errno_context("socket() failed", to_string(addr)));
+  }
+  if (addr.kind == env::ListenAddress::Kind::kUnix) {
+    // A stale socket file from a crashed server must not block restart;
+    // ENOENT is the normal case.
+    ::unlink(addr.path.c_str());
+    sockaddr_un sa;
+    fill_unix(addr, sa);
+    if (::bind(fd.get(), reinterpret_cast<sockaddr*>(&sa), sizeof(sa)) != 0) {
+      throw SocketError(errno_context("bind failed", to_string(addr)));
+    }
+  } else {
+    const int one = 1;
+    ::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    sockaddr_in sa;
+    fill_inet(addr, sa);
+    if (::bind(fd.get(), reinterpret_cast<sockaddr*>(&sa), sizeof(sa)) != 0) {
+      throw SocketError(errno_context("bind failed", to_string(addr)));
+    }
+  }
+  if (::listen(fd.get(), backlog) != 0) {
+    throw SocketError(errno_context("listen failed", to_string(addr)));
+  }
+  set_nonblocking(fd.get());
+  return fd;
+}
+
+std::uint16_t local_port(const Fd& listener) {
+  sockaddr_in sa;
+  socklen_t len = sizeof(sa);
+  if (::getsockname(listener.get(), reinterpret_cast<sockaddr*>(&sa), &len) !=
+          0 ||
+      sa.sin_family != AF_INET) {
+    throw SocketError(errno_context("getsockname failed",
+                                    "fd " + std::to_string(listener.get())));
+  }
+  return ntohs(sa.sin_port);
+}
+
+Fd connect_socket(const env::ListenAddress& addr, double timeout,
+                  std::string& err_out) {
+  err_out.clear();
+  if (fault::take_connect_refused()) {
+    err_out = "connection refused (injected): " + to_string(addr);
+    return Fd();
+  }
+  const int family =
+      addr.kind == env::ListenAddress::Kind::kUnix ? AF_UNIX : AF_INET;
+  Fd fd(::socket(family, SOCK_STREAM, 0));
+  if (!fd.valid()) {
+    throw SocketError(errno_context("socket() failed", to_string(addr)));
+  }
+  set_nonblocking(fd.get());
+
+  int rc;
+  if (addr.kind == env::ListenAddress::Kind::kUnix) {
+    sockaddr_un sa;
+    fill_unix(addr, sa);
+    rc = ::connect(fd.get(), reinterpret_cast<sockaddr*>(&sa), sizeof(sa));
+  } else {
+    sockaddr_in sa;
+    try {
+      fill_inet(addr, sa);
+    } catch (const SocketError& e) {
+      err_out = e.what();
+      return Fd();
+    }
+    rc = ::connect(fd.get(), reinterpret_cast<sockaddr*>(&sa), sizeof(sa));
+  }
+  if (rc == 0) return fd;
+  if (errno != EINPROGRESS && errno != EAGAIN) {
+    err_out = errno_context("connect failed", to_string(addr));
+    return Fd();
+  }
+
+  // Await writability, then read the final verdict from SO_ERROR.
+  pollfd pfd{fd.get(), POLLOUT, 0};
+  const int timeout_ms =
+      timeout <= 0 ? 0 : static_cast<int>(timeout * 1000.0 + 0.5);
+  const int n = ::poll(&pfd, 1, timeout_ms);
+  if (n == 0) {
+    err_out = "connect timed out: " + to_string(addr);
+    return Fd();
+  }
+  if (n < 0) {
+    err_out = errno_context("poll during connect failed", to_string(addr));
+    return Fd();
+  }
+  int so_error = 0;
+  socklen_t len = sizeof(so_error);
+  if (::getsockopt(fd.get(), SOL_SOCKET, SO_ERROR, &so_error, &len) != 0) {
+    err_out = errno_context("getsockopt failed", to_string(addr));
+    return Fd();
+  }
+  if (so_error != 0) {
+    err_out = "connect failed: " + to_string(addr) + ": " +
+              std::strerror(so_error);
+    return Fd();
+  }
+  return fd;
+}
+
+std::string to_string(const env::ListenAddress& addr) {
+  switch (addr.kind) {
+    case env::ListenAddress::Kind::kNone:
+      return "(none)";
+    case env::ListenAddress::Kind::kUnix:
+      return "unix:" + addr.path;
+    case env::ListenAddress::Kind::kTcp:
+      return "tcp:" + addr.host + ":" + std::to_string(addr.port);
+  }
+  return "(invalid)";
+}
+
+}  // namespace satd::net

@@ -1,0 +1,84 @@
+// Thin POSIX socket layer: RAII fds, unix-domain + TCP listen/connect.
+//
+// Everything above this file (front end, client) works in terms of
+// non-blocking fds and poll(); this file owns the address-family
+// plumbing. Addresses arrive pre-parsed as env::ListenAddress (the
+// hardened SATD_LISTEN/--listen parser), so by the time a socket is
+// created the address is structurally valid — failures here are OS
+// failures (port in use, path not writable, peer gone) and surface as a
+// typed SocketError carrying the address and strerror(errno).
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+#include "common/env.h"
+
+namespace satd::net {
+
+/// Thrown on OS-level socket failures (socket/bind/listen/connect/
+/// getsockname). The message carries the address and errno context.
+class SocketError : public std::runtime_error {
+ public:
+  explicit SocketError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Move-only RAII file descriptor.
+class Fd {
+ public:
+  Fd() = default;
+  explicit Fd(int fd) : fd_(fd) {}
+  ~Fd() { reset(); }
+
+  Fd(const Fd&) = delete;
+  Fd& operator=(const Fd&) = delete;
+  Fd(Fd&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Fd& operator=(Fd&& other) noexcept {
+    if (this != &other) {
+      reset();
+      fd_ = other.fd_;
+      other.fd_ = -1;
+    }
+    return *this;
+  }
+
+  int get() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+  /// Releases ownership without closing.
+  int release() {
+    const int fd = fd_;
+    fd_ = -1;
+    return fd;
+  }
+  void reset();
+
+ private:
+  int fd_ = -1;
+};
+
+/// Marks an fd non-blocking (O_NONBLOCK). Throws SocketError.
+void set_nonblocking(int fd);
+
+/// Creates a non-blocking listening socket on the given address.
+/// Unix: an existing socket file at the path is unlinked first (stale
+/// sockets from a crashed server must not block restart). TCP: binds
+/// with SO_REUSEADDR; the host must be a numeric IPv4 address,
+/// "localhost" (-> 127.0.0.1) or "*" / "0.0.0.0" (any interface).
+/// Port 0 binds an ephemeral port — read it back with local_port().
+Fd listen_socket(const env::ListenAddress& addr, int backlog = 128);
+
+/// Resolved TCP port of a bound socket (getsockname).
+std::uint16_t local_port(const Fd& listener);
+
+/// Non-blocking connect with a poll()-based timeout (seconds). Returns
+/// a CONNECTED non-blocking fd, or an invalid Fd on refusal/timeout/
+/// unreachable (err_out carries the reason). Only OS-level absurdities
+/// (socket() itself failing) throw.
+Fd connect_socket(const env::ListenAddress& addr, double timeout,
+                  std::string& err_out);
+
+/// Renders an address back to its canonical textual form (diagnostics).
+std::string to_string(const env::ListenAddress& addr);
+
+}  // namespace satd::net

@@ -1,0 +1,318 @@
+#include "net/wire.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/crc32.h"
+
+namespace satd::net {
+
+namespace {
+
+void put_u32(std::string& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out.push_back(static_cast<char>(v >> (8 * i)));
+}
+
+void put_u64(std::string& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) out.push_back(static_cast<char>(v >> (8 * i)));
+}
+
+void put_f64(std::string& out, double v) {
+  std::uint64_t bits;
+  std::memcpy(&bits, &v, 8);
+  put_u64(out, bits);
+}
+
+void put_f32(std::string& out, float v) {
+  std::uint32_t bits;
+  std::memcpy(&bits, &v, 4);
+  put_u32(out, bits);
+}
+
+/// Bounds-checked little-endian reader over a payload string. Every
+/// take_* returns false instead of reading past the end — the decode
+/// functions translate that into one typed "truncated payload" failure.
+struct Reader {
+  const unsigned char* p;
+  std::size_t n;
+  std::size_t off = 0;
+
+  explicit Reader(const std::string& s)
+      : p(reinterpret_cast<const unsigned char*>(s.data())), n(s.size()) {}
+
+  bool take_u8(std::uint8_t& v) {
+    if (off + 1 > n) return false;
+    v = p[off++];
+    return true;
+  }
+  bool take_u32(std::uint32_t& v) {
+    if (off + 4 > n) return false;
+    v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v |= static_cast<std::uint32_t>(p[off + i]) << (8 * i);
+    }
+    off += 4;
+    return true;
+  }
+  bool take_u64(std::uint64_t& v) {
+    if (off + 8 > n) return false;
+    v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v |= static_cast<std::uint64_t>(p[off + i]) << (8 * i);
+    }
+    off += 8;
+    return true;
+  }
+  bool take_f64(double& v) {
+    std::uint64_t bits;
+    if (!take_u64(bits)) return false;
+    std::memcpy(&v, &bits, 8);
+    return true;
+  }
+  bool take_f32(float& v) {
+    std::uint32_t bits;
+    if (!take_u32(bits)) return false;
+    std::memcpy(&v, &bits, 4);
+    return true;
+  }
+  bool done() const { return off == n; }
+};
+
+std::uint32_t read_u32_at(const std::string& s, std::size_t off) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<std::uint32_t>(
+             static_cast<unsigned char>(s[off + i]))
+         << (8 * i);
+  }
+  return v;
+}
+
+}  // namespace
+
+const char* to_string(WireError e) {
+  switch (e) {
+    case WireError::kNone: return "ok";
+    case WireError::kBadMagic: return "bad_magic";
+    case WireError::kBadVersion: return "bad_version";
+    case WireError::kBadType: return "bad_type";
+    case WireError::kOversized: return "oversized";
+    case WireError::kBadCrc: return "bad_crc";
+    case WireError::kBadPayload: return "bad_payload";
+  }
+  return "unknown";
+}
+
+const char* to_string(WireReject r) {
+  switch (r) {
+    case WireReject::kMalformed: return "malformed";
+    case WireReject::kTooLarge: return "too_large";
+    case WireReject::kOverloaded: return "overloaded";
+    case WireReject::kShuttingDown: return "shutting_down";
+  }
+  return "unknown";
+}
+
+std::string wrap_frame(FrameType type, const std::string& payload) {
+  std::string out;
+  out.reserve(kHeaderBytes + payload.size() + kTrailerBytes);
+  out.append(kWireMagic, 9);  // magic + version byte
+  out.push_back(static_cast<char>(type));
+  put_u32(out, static_cast<std::uint32_t>(payload.size()));
+  out += payload;
+  // CRC covers version..payload: header damage past the magic is caught
+  // by the same trailer that catches payload corruption.
+  const std::uint32_t crc =
+      satd::crc32(out.data() + 8, out.size() - 8);
+  put_u32(out, crc);
+  return out;
+}
+
+std::string encode_request(const RequestFrame& f) {
+  std::string p;
+  const auto& dims = f.image.shape().dims();
+  p.reserve(28 + dims.size() * 8 + f.image.numel() * 4);
+  put_u64(p, f.request_id);
+  put_f64(p, f.timeout);
+  put_u64(p, f.route_key);
+  put_u32(p, static_cast<std::uint32_t>(dims.size()));
+  for (std::size_t d : dims) put_u64(p, d);
+  for (float v : f.image.data()) put_f32(p, v);
+  return wrap_frame(FrameType::kRequest, p);
+}
+
+std::string encode_response(const ResponseFrame& f) {
+  std::string p;
+  p.reserve(41 + f.probabilities.size() * 4);
+  put_u64(p, f.request_id);
+  p.push_back(static_cast<char>(f.serve_error));
+  put_u64(p, f.model_version);
+  put_u32(p, f.predicted);
+  put_u32(p, f.batch_size);
+  put_u32(p, f.shard);
+  put_f64(p, f.latency);
+  put_u32(p, static_cast<std::uint32_t>(f.probabilities.size()));
+  for (float v : f.probabilities) put_f32(p, v);
+  return wrap_frame(FrameType::kResponse, p);
+}
+
+std::string encode_reject(const RejectFrame& f) {
+  std::string p;
+  p.reserve(13 + f.message.size());
+  put_u64(p, f.request_id);
+  p.push_back(static_cast<char>(f.code));
+  put_u32(p, static_cast<std::uint32_t>(f.message.size()));
+  p += f.message;
+  return wrap_frame(FrameType::kReject, p);
+}
+
+bool decode_request(const std::string& payload, RequestFrame& out,
+                    std::string& err) {
+  Reader r(payload);
+  std::uint32_t rank = 0;
+  if (!r.take_u64(out.request_id) || !r.take_f64(out.timeout) ||
+      !r.take_u64(out.route_key) || !r.take_u32(rank)) {
+    err = "truncated request header";
+    return false;
+  }
+  if (rank == 0 || rank > kMaxWireRank) {
+    err = "request tensor rank out of range: " + std::to_string(rank);
+    return false;
+  }
+  if (!(out.timeout >= 0.0)) {  // also rejects NaN
+    err = "request timeout must be a non-negative number";
+    return false;
+  }
+  std::vector<std::size_t> dims(rank);
+  std::size_t numel = 1;
+  for (std::uint32_t i = 0; i < rank; ++i) {
+    std::uint64_t d = 0;
+    if (!r.take_u64(d)) {
+      err = "truncated request dims";
+      return false;
+    }
+    // Each dim is bounded by what the (already length-capped) payload
+    // could possibly carry, so the product cannot overflow size_t.
+    if (d == 0 || d > payload.size()) {
+      err = "request dim out of range";
+      return false;
+    }
+    dims[i] = static_cast<std::size_t>(d);
+    numel *= dims[i];
+    if (numel > payload.size()) {  // 4*numel floats can never fit
+      err = "request tensor larger than its payload";
+      return false;
+    }
+  }
+  if (r.n - r.off != numel * 4) {
+    err = "request pixel data length mismatch";
+    return false;
+  }
+  std::vector<float> data(numel);
+  for (std::size_t i = 0; i < numel; ++i) {
+    if (!r.take_f32(data[i])) {
+      err = "truncated request pixels";
+      return false;
+    }
+  }
+  out.image = Tensor(Shape(std::move(dims)), std::move(data));
+  return true;
+}
+
+bool decode_response(const std::string& payload, ResponseFrame& out,
+                     std::string& err) {
+  Reader r(payload);
+  std::uint32_t nprobs = 0;
+  if (!r.take_u64(out.request_id) || !r.take_u8(out.serve_error) ||
+      !r.take_u64(out.model_version) || !r.take_u32(out.predicted) ||
+      !r.take_u32(out.batch_size) || !r.take_u32(out.shard) ||
+      !r.take_f64(out.latency) || !r.take_u32(nprobs)) {
+    err = "truncated response header";
+    return false;
+  }
+  if ((r.n - r.off) != static_cast<std::size_t>(nprobs) * 4) {
+    err = "response probability data length mismatch";
+    return false;
+  }
+  out.probabilities.resize(nprobs);
+  for (std::uint32_t i = 0; i < nprobs; ++i) {
+    if (!r.take_f32(out.probabilities[i])) {
+      err = "truncated response probabilities";
+      return false;
+    }
+  }
+  return true;
+}
+
+bool decode_reject(const std::string& payload, RejectFrame& out,
+                   std::string& err) {
+  Reader r(payload);
+  std::uint8_t code = 0;
+  std::uint32_t len = 0;
+  if (!r.take_u64(out.request_id) || !r.take_u8(code) || !r.take_u32(len)) {
+    err = "truncated reject header";
+    return false;
+  }
+  if (r.n - r.off != len) {
+    err = "reject message length mismatch";
+    return false;
+  }
+  out.code = static_cast<WireReject>(code);
+  out.message.assign(payload, r.off, len);
+  return true;
+}
+
+bool FrameDecoder::feed(const char* data, std::size_t n) {
+  if (error_ != WireError::kNone) return false;
+  buf_.append(data, n);
+  return true;
+}
+
+bool FrameDecoder::next(FrameType& type, std::string& payload) {
+  if (error_ != WireError::kNone) return false;
+  if (buf_.size() < kHeaderBytes) {
+    // Check as much of the magic as has arrived: a stream that is wrong
+    // from byte 0 is poisoned immediately, not after 14 bytes trickle in.
+    if (std::memcmp(buf_.data(), kWireMagic,
+                    std::min(buf_.size(), std::size_t{8})) != 0) {
+      error_ = WireError::kBadMagic;
+    } else if (buf_.size() > 8 &&
+               static_cast<std::uint8_t>(buf_[8]) != kWireVersion) {
+      error_ = WireError::kBadVersion;
+    }
+    return false;
+  }
+  if (std::memcmp(buf_.data(), kWireMagic, 8) != 0) {
+    error_ = WireError::kBadMagic;
+    return false;
+  }
+  if (static_cast<std::uint8_t>(buf_[8]) != kWireVersion) {
+    error_ = WireError::kBadVersion;
+    return false;
+  }
+  const auto raw_type = static_cast<std::uint8_t>(buf_[9]);
+  if (raw_type < 1 || raw_type > 3) {
+    error_ = WireError::kBadType;
+    return false;
+  }
+  const std::uint32_t len = read_u32_at(buf_, 10);
+  if (len > max_payload_) {
+    error_ = WireError::kOversized;
+    return false;
+  }
+  const std::size_t total = kHeaderBytes + len + kTrailerBytes;
+  if (buf_.size() < total) return false;  // frame still incomplete
+  const std::uint32_t stored = read_u32_at(buf_, kHeaderBytes + len);
+  const std::uint32_t actual =
+      satd::crc32(buf_.data() + 8, kHeaderBytes - 8 + len);
+  if (stored != actual) {
+    error_ = WireError::kBadCrc;
+    return false;
+  }
+  type = static_cast<FrameType>(raw_type);
+  payload.assign(buf_, kHeaderBytes, len);
+  buf_.erase(0, total);
+  return true;
+}
+
+}  // namespace satd::net

@@ -1,0 +1,165 @@
+// SATDWIRE1: the length-prefixed binary wire protocol of the socket
+// serving front end.
+//
+// Frame layout (all integers little-endian):
+//
+//   offset  size  field
+//   ------  ----  -----------------------------------------------
+//        0     8  magic "SATDWIRE"
+//        8     1  version byte '1' (the stream leads with "SATDWIRE1")
+//        9     1  frame type (1=request, 2=response, 3=reject)
+//       10     4  payload length N (u32, capped by the decoder)
+//       14     N  payload
+//     14+N     4  CRC-32 trailer over bytes [8, 14+N) — version, type,
+//                 length and payload, the same IEEE/zlib polynomial the
+//                 durable file frame uses (common/crc32.h)
+//
+// Request payload:   u64 request_id, f64 timeout_seconds, u64 route_key,
+//                    u32 rank, u64 dims[rank], f32 pixels[numel]
+// Response payload:  u64 request_id, u8 serve_error, u64 model_version,
+//                    u32 predicted, u32 batch_size, u32 shard,
+//                    f64 latency_seconds, u32 nprobs, f32 probs[nprobs]
+// Reject payload:    u64 request_id (0 = unparseable request), u8 code,
+//                    u32 message_length, bytes message
+//
+// A reject frame is the PROTOCOL-level "no": malformed input, oversized
+// frames, overload at the accept loop, shutdown. Serve-level rejections
+// (queue full, infeasible deadline, ...) travel as ordinary response
+// frames carrying their typed ServeError — the client distinguishes
+// "the server could not read me" from "the server read me and said no".
+//
+// The FrameDecoder is incremental: feed() accepts arbitrary byte chunks
+// (a TCP stream has no message boundaries) and next() yields complete
+// frames. Any framing damage — wrong magic, unknown version or type, a
+// length past the cap, a CRC mismatch — poisons the decoder with a typed
+// WireError: after desynchronization resynchronizing a byte stream is
+// guesswork, so the connection must be closed. Malformed input NEVER
+// crashes: every decode path is bounds-checked (drilled by the fuzz
+// sweeps in tests/net/wire_test.cpp).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace satd::net {
+
+/// Wire protocol magic: these 9 bytes lead every frame.
+inline constexpr char kWireMagic[9] = {'S', 'A', 'T', 'D', 'W', 'I',
+                                       'R', 'E', '1'};
+inline constexpr std::uint8_t kWireVersion = '1';
+inline constexpr std::size_t kHeaderBytes = 14;   ///< magic..length
+inline constexpr std::size_t kTrailerBytes = 4;   ///< CRC-32
+
+/// Frame kinds on the wire.
+enum class FrameType : std::uint8_t {
+  kRequest = 1,
+  kResponse = 2,
+  kReject = 3,
+};
+
+/// Protocol-level rejection codes carried by reject frames.
+enum class WireReject : std::uint8_t {
+  kMalformed = 1,     ///< the frame/payload could not be parsed
+  kTooLarge = 2,      ///< payload exceeded the server's cap
+  kOverloaded = 3,    ///< connection/backpressure limits hit
+  kShuttingDown = 4,  ///< server is draining
+};
+
+/// Typed decoder failure. Any value but kNone poisons the stream.
+enum class WireError {
+  kNone = 0,
+  kBadMagic,     ///< stream does not start with SATDWIRE1
+  kBadVersion,   ///< version byte is not '1'
+  kBadType,      ///< unknown frame type
+  kOversized,    ///< declared payload length exceeds the cap
+  kBadCrc,       ///< CRC-32 trailer mismatch (torn or corrupted frame)
+  kBadPayload,   ///< frame intact but payload malformed for its type
+};
+
+const char* to_string(WireError e);
+const char* to_string(WireReject r);
+
+/// One inference request on the wire.
+struct RequestFrame {
+  std::uint64_t request_id = 0;  ///< client-chosen; echoed in the response
+  double timeout = 0.0;          ///< relative seconds; 0 = no deadline
+  std::uint64_t route_key = 0;   ///< shard-routing key; 0 = server picks
+  Tensor image;
+};
+
+/// One inference response on the wire (serve::Response + routing info).
+struct ResponseFrame {
+  std::uint64_t request_id = 0;
+  std::uint8_t serve_error = 0;      ///< serve::ServeError value
+  std::uint64_t model_version = 0;
+  std::uint32_t predicted = 0;
+  std::uint32_t batch_size = 0;
+  std::uint32_t shard = 0;           ///< which shard served it
+  double latency = 0.0;
+  std::vector<float> probabilities;
+};
+
+/// Protocol-level rejection.
+struct RejectFrame {
+  std::uint64_t request_id = 0;  ///< 0 when the request was unparseable
+  WireReject code = WireReject::kMalformed;
+  std::string message;
+};
+
+/// Frames a payload: header + payload + CRC trailer.
+std::string wrap_frame(FrameType type, const std::string& payload);
+
+std::string encode_request(const RequestFrame& f);
+std::string encode_response(const ResponseFrame& f);
+std::string encode_reject(const RejectFrame& f);
+
+/// Payload decoders. Return false (and fill `err` with a human-readable
+/// reason) on any malformation; never throw, never read out of bounds.
+bool decode_request(const std::string& payload, RequestFrame& out,
+                    std::string& err);
+bool decode_response(const std::string& payload, ResponseFrame& out,
+                     std::string& err);
+bool decode_reject(const std::string& payload, RejectFrame& out,
+                   std::string& err);
+
+/// Default payload cap: a [1, 28, 28] image is ~3 KB; 4 MB leaves two
+/// orders of magnitude of headroom while bounding a hostile length field.
+inline constexpr std::size_t kDefaultMaxPayload = 4u << 20;
+
+/// Upper bound on the tensor rank a request may carry.
+inline constexpr std::uint32_t kMaxWireRank = 8;
+
+/// Incremental frame parser over a byte stream (see file comment).
+class FrameDecoder {
+ public:
+  explicit FrameDecoder(std::size_t max_payload = kDefaultMaxPayload)
+      : max_payload_(max_payload) {}
+
+  /// Appends raw bytes. Returns false once the stream is poisoned
+  /// (error() != kNone); further input is ignored.
+  bool feed(const char* data, std::size_t n);
+
+  /// Extracts the next complete frame. Returns false when no complete
+  /// frame is buffered (or the stream is poisoned). Header/CRC damage is
+  /// detected here and poisons the stream.
+  bool next(FrameType& type, std::string& payload);
+
+  WireError error() const { return error_; }
+
+  /// True while a frame is buffered only partially — the slow-loris
+  /// signal the front end's read deadline acts on.
+  bool mid_frame() const { return error_ == WireError::kNone && !buf_.empty(); }
+
+  std::size_t buffered() const { return buf_.size(); }
+
+ private:
+  std::size_t max_payload_;
+  std::string buf_;
+  WireError error_ = WireError::kNone;
+};
+
+}  // namespace satd::net

@@ -15,8 +15,10 @@ RequestQueue::RequestQueue(QueueConfig config, ServerStats& stats,
               "urgent_slack must be non-negative");
 }
 
-Ticket RequestQueue::submit(const Tensor& image, double deadline) {
+Ticket RequestQueue::submit(const Tensor& image, double deadline,
+                            std::uint64_t* id_out) {
   SATD_EXPECT(!image.empty(), "cannot serve an empty image");
+  if (id_out) *id_out = 0;
   const double now = clock_.now();
   ServeError reject = ServeError::kNone;
   {
@@ -37,10 +39,12 @@ Ticket RequestQueue::submit(const Tensor& image, double deadline) {
     } else {
       Request req;
       req.image = image;
+      req.id = next_id_++;
       req.submit_time = now;
       req.deadline = deadline;
       req.urgent = deadline != 0.0 && config_.urgent_slack > 0.0 &&
                    deadline - now < config_.urgent_slack;
+      if (id_out) *id_out = req.id;
       Ticket ticket(req.promise.get_future());
       (req.urgent ? urgent_ : queue_).push_back(std::move(req));
       stats_.observe_queue_depth(depth + 1);
@@ -49,6 +53,35 @@ Ticket RequestQueue::submit(const Tensor& image, double deadline) {
   }
   stats_.record_error(reject);
   return rejected_ticket(reject);
+}
+
+bool RequestQueue::cancel(std::uint64_t id) {
+  if (id == 0) return false;
+  Request victim;
+  bool found = false;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (std::deque<Request>* lane : {&urgent_, &queue_}) {
+      for (auto it = lane->begin(); it != lane->end(); ++it) {
+        if (it->id == id) {
+          victim = std::move(*it);
+          lane->erase(it);
+          found = true;
+          break;
+        }
+      }
+      if (found) break;
+    }
+  }
+  if (!found) return false;
+  // Resolve outside the lock: a waiter woken by set_value must never
+  // contend with the queue mutex we still hold.
+  stats_.record_error(ServeError::kCancelled);
+  Response r;
+  r.error = ServeError::kCancelled;
+  r.latency = clock_.now() - victim.submit_time;
+  victim.promise.set_value(std::move(r));
+  return true;
 }
 
 bool RequestQueue::pop(Request& out) {

@@ -20,6 +20,15 @@
 // tight-deadline work is popped first and (in the adaptive batcher)
 // preempts window forming instead of waiting behind it.
 //
+// Cancellation: every admitted request carries a queue-assigned id
+// (returned through submit's optional out-param). cancel(id) removes a
+// still-queued request outright — the slot is freed immediately, the
+// ticket resolves with a typed kCancelled, and the batcher never stages
+// it — so a client that disconnects mid-wait (the socket front end's
+// bread and butter) cannot leak capacity or stall a window on work
+// nobody will read. Cancelling a request that was already popped is a
+// benign no-op: the batcher serves it into an abandoned future.
+//
 // Shutdown is drain-then-stop: begin_drain() closes admission but every
 // already-admitted request stays poppable, so workers finish the backlog
 // before exiting (drained() flips true only when draining AND empty).
@@ -64,7 +73,16 @@ class RequestQueue {
   /// Admits one image. `deadline` is an ABSOLUTE clock time (0 = none).
   /// On rejection the returned ticket is already resolved with the
   /// matching typed error and the image is not copied into the queue.
-  Ticket submit(const Tensor& image, double deadline = 0.0);
+  /// When `id_out` is non-null and the request was ADMITTED it receives
+  /// the admission id usable with cancel(); rejections write 0.
+  Ticket submit(const Tensor& image, double deadline = 0.0,
+                std::uint64_t* id_out = nullptr);
+
+  /// Cancels a still-queued request: frees its slot, resolves its ticket
+  /// with kCancelled and records the outcome. Returns false when the id
+  /// is no longer queued (already popped, served, or never admitted) —
+  /// that race is benign and the caller just drops its ticket.
+  bool cancel(std::uint64_t id);
 
   /// Pops the oldest urgent request, else the oldest normal one.
   /// Non-blocking: returns false when empty.
@@ -87,6 +105,7 @@ class RequestQueue {
   mutable std::mutex mutex_;
   std::deque<Request> urgent_;  ///< priority lane (popped first)
   std::deque<Request> queue_;
+  std::uint64_t next_id_ = 1;   ///< admission ids (0 = invalid)
   bool draining_ = false;
 };
 

@@ -33,6 +33,26 @@ std::uint64_t ModelRegistry::publish(const std::string& name,
   return models_[name]->version;
 }
 
+std::uint64_t ModelRegistry::publish_snapshot(const std::string& name,
+                                              const ModelSnapshot& from) {
+  SATD_EXPECT(!name.empty(), "model name must be non-empty");
+  SATD_EXPECT(!from.payload.empty(), "cannot republish an empty snapshot");
+  // Reuses the serialized payload and the baked quantized model verbatim
+  // — the republished weights are bit-identical to the source snapshot —
+  // under a fresh version number so workers notice the swap.
+  auto snapshot = std::make_shared<ModelSnapshot>();
+  snapshot->name = name;
+  snapshot->spec = from.spec;
+  snapshot->payload = from.payload;
+  snapshot->quantized = from.quantized;
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = models_.find(name);
+  snapshot->version = (it == models_.end()) ? 1 : it->second->version + 1;
+  models_[name] = std::move(snapshot);
+  return models_[name]->version;
+}
+
 std::uint64_t ModelRegistry::publish_file(const std::string& name,
                                           const std::string& path) {
   const std::string spec = nn::peek_spec_file(path);

@@ -61,6 +61,13 @@ class ModelRegistry {
   std::uint64_t publish_file(const std::string& name,
                              const std::string& path);
 
+  /// Republishes the weights of an existing snapshot under a NEW version
+  /// (payload and quantized model reused verbatim, so the weights are
+  /// bit-identical). The shard router's rollback: re-promote the
+  /// last-good snapshot without holding the live Sequential around.
+  std::uint64_t publish_snapshot(const std::string& name,
+                                 const ModelSnapshot& from);
+
   /// Current snapshot for `name`, or nullptr when nothing is published.
   SnapshotPtr current(const std::string& name) const;
 

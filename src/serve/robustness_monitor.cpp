@@ -72,26 +72,37 @@ void RobustnessMonitor::probe(const Sample& sample) {
   ops::argmax_rows_into(logits_, preds_);
   const bool survived = preds_[0] == sample.predicted;
 
-  std::lock_guard<std::mutex> lock(mutex_);
-  ++probed_;
-  outcomes_.push_back(survived);
-  while (outcomes_.size() > config_.window) outcomes_.pop_front();
-  std::size_t ok = 0;
-  for (bool b : outcomes_) ok += b ? 1 : 0;
-  const float fraction =
-      static_cast<float>(ok) / static_cast<float>(outcomes_.size());
-  if (fraction > best_) best_ = fraction;
-  // Arm only once the window is representative and the baseline has been
-  // reached; then a collapse below the fraction of best trips an alarm.
-  if (outcomes_.size() >= config_.window && best_ >= config_.min_baseline &&
-      fraction < config_.collapse_fraction * best_) {
-    ++alarms_;
-    log::warn() << "serve monitor: robust fraction " << fraction
-                << " collapsed below "
-                << config_.collapse_fraction * best_ << " (best " << best_
-                << ") for model '" << model_name_ << "' v"
-                << replica_version_;
+  bool alarm_fired = false;
+  MonitorReport at_alarm;
+  std::function<void(const MonitorReport&)> cb;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++probed_;
+    outcomes_.push_back(survived);
+    while (outcomes_.size() > config_.window) outcomes_.pop_front();
+    std::size_t ok = 0;
+    for (bool b : outcomes_) ok += b ? 1 : 0;
+    const float fraction =
+        static_cast<float>(ok) / static_cast<float>(outcomes_.size());
+    if (fraction > best_) best_ = fraction;
+    // Arm only once the window is representative and the baseline has been
+    // reached; then a collapse below the fraction of best trips an alarm.
+    if (outcomes_.size() >= config_.window && best_ >= config_.min_baseline &&
+        fraction < config_.collapse_fraction * best_) {
+      ++alarms_;
+      alarm_fired = true;
+      at_alarm = report_locked();
+      cb = alarm_cb_;
+      log::warn() << "serve monitor: robust fraction " << fraction
+                  << " collapsed below "
+                  << config_.collapse_fraction * best_ << " (best " << best_
+                  << ") for model '" << model_name_ << "' v"
+                  << replica_version_;
+    }
   }
+  // The callback runs outside the monitor lock so it may freely query
+  // report()/alarmed() (the shard router's rollback trigger does).
+  if (alarm_fired && cb) cb(at_alarm);
 }
 
 void RobustnessMonitor::start() {
@@ -114,8 +125,7 @@ void RobustnessMonitor::run() {
   }
 }
 
-MonitorReport RobustnessMonitor::report() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+MonitorReport RobustnessMonitor::report_locked() const {
   MonitorReport r;
   r.observed = observed_.load(std::memory_order_relaxed);
   r.sampled = sampled_;
@@ -130,6 +140,30 @@ MonitorReport RobustnessMonitor::report() const {
   r.best_fraction = best_;
   r.alarms = alarms_;
   return r;
+}
+
+MonitorReport RobustnessMonitor::report() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return report_locked();
+}
+
+bool RobustnessMonitor::alarmed() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return alarms_ > 0;
+}
+
+void RobustnessMonitor::set_alarm_callback(
+    std::function<void(const MonitorReport&)> cb) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  alarm_cb_ = std::move(cb);
+}
+
+void RobustnessMonitor::reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  pending_.clear();
+  outcomes_.clear();
+  best_ = -1.0f;
+  alarms_ = 0;
 }
 
 }  // namespace satd::serve

@@ -30,6 +30,7 @@
 #include <atomic>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <mutex>
 #include <optional>
 #include <string>
@@ -96,6 +97,25 @@ class RobustnessMonitor {
 
   MonitorReport report() const;
 
+  /// Latched alarm state: true once any collapse alarm has fired (and
+  /// until reset()). The programmatic twin of the warn-log/counter — the
+  /// shard router's rollback decision reads this, it does not grep logs.
+  bool alarmed() const;
+
+  /// Hook invoked (from the probe thread, outside the monitor lock) each
+  /// time a collapse alarm fires, with the report at that instant.
+  /// Replaces any previous hook; pass nullptr to clear. The callback
+  /// must not call back into stop() (it runs on the worker being
+  /// stopped); report()/alarmed()/reset() are safe.
+  void set_alarm_callback(std::function<void(const MonitorReport&)> cb);
+
+  /// Clears the rolling window, best-seen baseline, latched alarms and
+  /// pending samples — a fresh observation window. The router calls this
+  /// at every canary publish/rollback so verdicts about one version
+  /// never leak into the next. Cumulative observed/sampled/probed
+  /// counters are kept (they are telemetry, not state).
+  void reset();
+
  private:
   struct Sample {
     Tensor image;
@@ -104,6 +124,7 @@ class RobustnessMonitor {
 
   void run();
   void probe(const Sample& sample);
+  MonitorReport report_locked() const;  // caller holds mutex_
 
   ModelRegistry& registry_;
   std::string model_name_;
@@ -123,6 +144,7 @@ class RobustnessMonitor {
   std::deque<bool> outcomes_;             // rolling window
   float best_ = -1.0f;
   std::size_t alarms_ = 0;
+  std::function<void(const MonitorReport&)> alarm_cb_;
 
   // Probe-thread-only state (never touched by observe()).
   std::optional<nn::Sequential> replica_;

@@ -53,14 +53,15 @@ void Server::start() {
   }
 }
 
-Ticket Server::submit(const Tensor& image, double timeout) {
+Ticket Server::submit(const Tensor& image, double timeout,
+                      std::uint64_t* id_out) {
   SATD_EXPECT(timeout >= 0.0, "timeout must be non-negative");
   const double now = clock_.now();
   // Every submit is offered load, admitted or not — the arrival-rate
   // estimate must see overload to predict it.
   arrivals_.observe_arrival(now);
   const double deadline = timeout > 0.0 ? now + timeout : 0.0;
-  return queue_.submit(image, deadline);
+  return queue_.submit(image, deadline, id_out);
 }
 
 void Server::drain() {

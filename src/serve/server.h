@@ -54,8 +54,15 @@ class Server {
   /// Submits one image. `timeout` is RELATIVE seconds (0 = no deadline);
   /// it becomes an absolute queue deadline against the server's clock.
   /// Never blocks: overload resolves the ticket immediately with a typed
-  /// rejection.
-  Ticket submit(const Tensor& image, double timeout = 0.0);
+  /// rejection. `id_out` (optional) receives the admission id usable
+  /// with cancel(); 0 when the request was rejected.
+  Ticket submit(const Tensor& image, double timeout = 0.0,
+                std::uint64_t* id_out = nullptr);
+
+  /// Cancels a still-queued request by admission id (see
+  /// RequestQueue::cancel). Safe to race with serving: a request already
+  /// popped is simply served into the abandoned ticket.
+  bool cancel(std::uint64_t id) { return queue_.cancel(id); }
 
   /// Drain-then-stop: closes admission, serves the backlog, joins all
   /// workers. Idempotent; also runs from the destructor.

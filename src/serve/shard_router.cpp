@@ -1,0 +1,322 @@
+#include "serve/shard_router.h"
+
+#include <cmath>
+#include <fstream>
+
+#include "common/contract.h"
+#include "common/log.h"
+
+namespace satd::serve {
+
+namespace {
+
+/// splitmix64 finalizer: cheap, well-mixed, and the same on every build,
+/// so routing decisions are reproducible across processes and platforms.
+std::uint64_t mix(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out.push_back('\\');
+      out.push_back(c);
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      out += ' ';
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+const char* to_string(ShardState s) {
+  switch (s) {
+    case ShardState::kServing: return "serving";
+    case ShardState::kCanary: return "canary";
+    case ShardState::kEjected: return "ejected";
+    case ShardState::kDraining: return "draining";
+  }
+  return "unknown";
+}
+
+ShardRouter::ShardRouter(RouterConfig config, Clock& clock)
+    : config_(std::move(config)), clock_(clock) {
+  SATD_EXPECT(config_.shards >= 1, "router needs at least one shard");
+  SATD_EXPECT(config_.canary_fraction >= 0.0 &&
+                  config_.canary_fraction <= 1.0,
+              "canary_fraction must be in [0, 1]");
+  SATD_EXPECT(config_.weights.empty() ||
+                  config_.weights.size() == config_.shards,
+              "weights must be empty or one per shard");
+  for (double w : config_.weights) {
+    SATD_EXPECT(w >= 0.0 && std::isfinite(w), "weights must be finite, >= 0");
+  }
+  // The rollout state machine decides from monitor verdicts; a shard
+  // without a monitor could never be promoted or rolled back.
+  config_.server.enable_monitor = true;
+  shards_.reserve(config_.shards);
+  for (std::size_t i = 0; i < config_.shards; ++i) {
+    auto shard = std::make_unique<Shard>();
+    shard->registry = std::make_unique<ModelRegistry>();
+    shard->server = std::make_unique<Server>(*shard->registry,
+                                             config_.server, clock_);
+    shards_.push_back(std::move(shard));
+  }
+}
+
+ShardRouter::~ShardRouter() { drain(); }
+
+void ShardRouter::start() {
+  if (started_) return;
+  started_ = true;
+  for (auto& s : shards_) s->server->start();
+}
+
+void ShardRouter::drain() {
+  for (auto& s : shards_) s->server->drain();
+}
+
+void ShardRouter::record_locked(const std::string& action, std::size_t shard,
+                                std::uint64_t version,
+                                const std::string& detail) {
+  RolloutEvent ev;
+  ev.time = clock_.now();
+  ev.action = action;
+  ev.shard = shard;
+  ev.version = version;
+  ev.detail = detail;
+  history_.push_back(ev);
+  log::info() << "router: " << action << " shard=" << shard
+              << " version=" << version
+              << (detail.empty() ? "" : " (" + detail + ")");
+  if (config_.journal_path.empty()) return;
+  std::ofstream out(config_.journal_path, std::ios::app);
+  if (!out) {
+    log::warn() << "router: cannot append journal " << config_.journal_path;
+    return;
+  }
+  out << "{\"t\":" << ev.time << ",\"action\":\"" << json_escape(action)
+      << "\",\"shard\":" << shard << ",\"version\":" << version
+      << ",\"detail\":\"" << json_escape(detail) << "\"}\n";
+}
+
+std::uint64_t ShardRouter::publish(nn::Sequential& model,
+                                   const std::string& spec) {
+  std::uint64_t version = 0;
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    const std::uint64_t v = shards_[i]->registry->publish(
+        config_.server.model_name, model, spec);
+    if (i == 0) version = v;
+  }
+  std::lock_guard<std::mutex> lk(mutex_);
+  record_locked("publish", 0, version, "fanned out to all shards");
+  return version;
+}
+
+std::uint64_t ShardRouter::publish_canary(nn::Sequential& model,
+                                          const std::string& spec,
+                                          std::size_t shard) {
+  SATD_EXPECT(shard < shards_.size(), "canary shard out of range");
+  {
+    std::lock_guard<std::mutex> lk(mutex_);
+    for (std::size_t i = 0; i < shards_.size(); ++i) {
+      SATD_EXPECT(shards_[i]->state != ShardState::kCanary,
+                  "one canary at a time: promote or roll back first");
+    }
+    SATD_EXPECT(shards_[shard]->state == ShardState::kServing,
+                "canary target must be a serving shard");
+  }
+  Shard& s = *shards_[shard];
+  // Snapshot-before-stage is the rollback contract: whatever was live on
+  // this shard is what an alarm restores, bit for bit.
+  SnapshotPtr previous = s.registry->current(config_.server.model_name);
+  const std::uint64_t version =
+      s.registry->publish(config_.server.model_name, model, spec);
+  RobustnessMonitor* monitor = s.server->monitor();
+  SATD_ENSURE(monitor != nullptr, "shard servers always carry a monitor");
+  monitor->reset();  // judge the canary on its own probes only
+
+  std::lock_guard<std::mutex> lk(mutex_);
+  s.state = ShardState::kCanary;
+  s.rollback = std::move(previous);
+  s.probed_at_stage = monitor->report().probed;
+  s.staged_at = clock_.now();
+  record_locked("canary", shard, version,
+                "staged at fraction " +
+                    std::to_string(config_.canary_fraction));
+  return version;
+}
+
+std::size_t ShardRouter::route_locked(std::uint64_t key) {
+  if (key == 0) key = ++rr_;
+  const std::uint64_t h = mix(key);
+
+  // Canary diversion first: a fixed slice of the keyspace goes to the
+  // staged shard so the same key consistently sees the same version.
+  std::size_t canary = shards_.size();
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    if (shards_[i]->state == ShardState::kCanary) {
+      canary = i;
+      break;
+    }
+  }
+  if (canary < shards_.size()) {
+    const auto cut =
+        static_cast<std::uint64_t>(config_.canary_fraction * 10000.0);
+    if (h % 10000 < cut) return canary;
+  }
+
+  // Weighted pick over routable shards (serving; the canary also takes
+  // its ordinary share of non-diverted traffic at weight 0 — diverted
+  // traffic IS its share).
+  double total = 0.0;
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    if (shards_[i]->state != ShardState::kServing) continue;
+    total += config_.weights.empty() ? 1.0 : config_.weights[i];
+  }
+  if (total <= 0.0) {
+    // Nothing routable: degrade to hashing over all shards instead of
+    // turning a bad rollout into a full outage.
+    return mix(h) % shards_.size();
+  }
+  const double r =
+      (static_cast<double>(mix(h) % 1000000) / 1000000.0) * total;
+  double acc = 0.0;
+  std::size_t last = 0;
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    if (shards_[i]->state != ShardState::kServing) continue;
+    acc += config_.weights.empty() ? 1.0 : config_.weights[i];
+    last = i;
+    if (r < acc) return i;
+  }
+  return last;
+}
+
+std::size_t ShardRouter::route(std::uint64_t key) {
+  std::lock_guard<std::mutex> lk(mutex_);
+  return route_locked(key);
+}
+
+Ticket ShardRouter::submit(const Tensor& image, double timeout,
+                           std::uint64_t key, std::uint32_t* shard_out,
+                           std::uint64_t* id_out) {
+  std::size_t idx;
+  {
+    std::lock_guard<std::mutex> lk(mutex_);
+    idx = route_locked(key);
+  }
+  if (shard_out) *shard_out = static_cast<std::uint32_t>(idx);
+  return shards_[idx]->server->submit(image, timeout, id_out);
+}
+
+bool ShardRouter::cancel(std::uint32_t shard, std::uint64_t id) {
+  if (shard >= shards_.size()) return false;
+  return shards_[shard]->server->cancel(id);
+}
+
+void ShardRouter::tick() {
+  std::lock_guard<std::mutex> lk(mutex_);
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    Shard& s = *shards_[i];
+    RobustnessMonitor* monitor = s.server->monitor();
+    if (monitor == nullptr) continue;
+
+    if (s.state == ShardState::kCanary) {
+      const MonitorReport r = monitor->report();
+      if (monitor->alarmed()) {
+        // Rollback: restore the saved snapshot under a fresh version —
+        // bit-identical weights, so the shard is exactly what it was
+        // before the stage.
+        record_locked("alarm", i, 0,
+                      "canary robust fraction " +
+                          std::to_string(r.robust_fraction));
+        std::uint64_t restored = 0;
+        const bool had_last_good = s.rollback != nullptr;
+        if (had_last_good) {
+          restored = s.registry->publish_snapshot(config_.server.model_name,
+                                                  *s.rollback);
+        } else {
+          s.registry->withdraw(config_.server.model_name);
+        }
+        monitor->reset();
+        s.state = ShardState::kServing;
+        s.rollback = nullptr;
+        record_locked("rollback", i, restored,
+                      had_last_good ? "restored last-good snapshot"
+                                    : "no prior snapshot; withdrawn");
+        continue;
+      }
+      const std::size_t clean = r.probed - s.probed_at_stage;
+      const double soaked = clock_.now() - s.staged_at;
+      if (clean >= config_.promote_after_probes &&
+          soaked >= config_.min_soak) {
+        // Promote: the canary's snapshot becomes everyone's snapshot.
+        SnapshotPtr staged = s.registry->current(config_.server.model_name);
+        SATD_ENSURE(staged != nullptr, "a canary shard has a snapshot");
+        for (std::size_t j = 0; j < shards_.size(); ++j) {
+          if (j == i) continue;
+          shards_[j]->registry->publish_snapshot(config_.server.model_name,
+                                                 *staged);
+        }
+        s.state = ShardState::kServing;
+        s.rollback = nullptr;
+        record_locked("promote", i, staged->version,
+                      std::to_string(clean) + " clean probes over " +
+                          std::to_string(soaked) + "s");
+      }
+    } else if (s.state == ShardState::kServing && monitor->alarmed()) {
+      // A stable shard drifting on its own is ejected, not rolled back:
+      // there is no staged version to blame, so a human (reinstate())
+      // decides when it rejoins.
+      const MonitorReport r = monitor->report();
+      s.state = ShardState::kEjected;
+      record_locked("eject", i, 0,
+                    "robust fraction " + std::to_string(r.robust_fraction));
+    }
+  }
+}
+
+bool ShardRouter::reinstate(std::size_t shard) {
+  if (shard >= shards_.size()) return false;
+  std::lock_guard<std::mutex> lk(mutex_);
+  Shard& s = *shards_[shard];
+  if (s.state != ShardState::kEjected && s.state != ShardState::kDraining) {
+    return false;
+  }
+  if (RobustnessMonitor* monitor = s.server->monitor()) monitor->reset();
+  s.state = ShardState::kServing;
+  record_locked("reinstate", shard, 0, "");
+  return true;
+}
+
+bool ShardRouter::set_draining(std::size_t shard) {
+  if (shard >= shards_.size()) return false;
+  std::lock_guard<std::mutex> lk(mutex_);
+  Shard& s = *shards_[shard];
+  if (s.state == ShardState::kDraining) return true;
+  if (s.state != ShardState::kServing) return false;
+  s.state = ShardState::kDraining;
+  record_locked("drain", shard, 0, "");
+  return true;
+}
+
+ShardState ShardRouter::state(std::size_t shard) const {
+  SATD_EXPECT(shard < shards_.size(), "shard index out of range");
+  std::lock_guard<std::mutex> lk(mutex_);
+  return shards_[shard]->state;
+}
+
+std::vector<RolloutEvent> ShardRouter::history() const {
+  std::lock_guard<std::mutex> lk(mutex_);
+  return history_;
+}
+
+}  // namespace satd::serve

@@ -15,6 +15,7 @@ const char* to_string(ServeError e) {
     case ServeError::kStopping: return "stopping";
     case ServeError::kDeadlineMiss: return "deadline_miss";
     case ServeError::kNoModel: return "no_model";
+    case ServeError::kCancelled: return "cancelled";
   }
   return "unknown";
 }
@@ -97,6 +98,7 @@ void ServerStats::record_error(ServeError e) {
     case ServeError::kStopping: ++rejected_stopping_; break;
     case ServeError::kDeadlineMiss: ++deadline_misses_; break;
     case ServeError::kNoModel: ++no_model_; break;
+    case ServeError::kCancelled: ++cancelled_; break;
     case ServeError::kNone:
       SATD_EXPECT(false, "record_error called with kNone");
   }
@@ -120,6 +122,7 @@ StatsSnapshot ServerStats::snapshot() const {
   s.rejected_infeasible = rejected_infeasible_;
   s.rejected_stopping = rejected_stopping_;
   s.no_model = no_model_;
+  s.cancelled = cancelled_;
   s.max_queue_depth = max_queue_depth_;
   s.p50 = latency_.percentile(0.50);
   s.p95 = latency_.percentile(0.95);

@@ -101,6 +101,7 @@ struct StatsSnapshot {
   std::size_t rejected_infeasible = 0;
   std::size_t rejected_stopping = 0;
   std::size_t no_model = 0;
+  std::size_t cancelled = 0;         ///< admitted, then cancelled in queue
   std::size_t max_queue_depth = 0;   ///< high-water mark observed at submit
   double p50 = 0.0, p95 = 0.0, p99 = 0.0;  ///< latency, seconds
   double mean = 0.0;    ///< mean served latency, seconds
@@ -137,6 +138,7 @@ class ServerStats {
   std::size_t rejected_infeasible_ = 0;
   std::size_t rejected_stopping_ = 0;
   std::size_t no_model_ = 0;
+  std::size_t cancelled_ = 0;
   std::size_t max_queue_depth_ = 0;
 };
 

@@ -7,6 +7,7 @@
 // resolve when a serving worker completes (or expires) them.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <future>
 #include <vector>
@@ -23,6 +24,7 @@ enum class ServeError {
   kStopping,             ///< rejected at admission: server draining/stopped
   kDeadlineMiss,         ///< admitted, but expired before a worker served it
   kNoModel,              ///< no model published under the served name
+  kCancelled,            ///< admitted, then cancelled (client abandoned it)
 };
 
 /// Stable textual tag for logs and JSON (e.g. "queue_full").
@@ -42,6 +44,7 @@ struct Response {
 /// client's promise).
 struct Request {
   Tensor image;           ///< single example, e.g. [1, 28, 28]
+  std::uint64_t id = 0;   ///< queue-assigned admission id (cancellation key)
   double submit_time = 0; ///< clock time at admission
   double deadline = 0;    ///< absolute clock time; 0 = no deadline
   bool urgent = false;    ///< priority lane (slack < queue urgent_slack)
@@ -57,6 +60,15 @@ class Ticket {
       : future_(std::move(future)) {}
 
   bool valid() const { return future_.valid(); }
+
+  /// True once the response is available — wait() would not block. The
+  /// network front end's event loop harvests resolved tickets with this
+  /// instead of parking a thread per request.
+  bool ready() const {
+    return future_.valid() &&
+           future_.wait_for(std::chrono::seconds(0)) ==
+               std::future_status::ready;
+  }
 
   /// Blocks for the response. One-shot: the ticket is invalid afterwards.
   Response wait() { return future_.get(); }

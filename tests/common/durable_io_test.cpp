@@ -5,6 +5,8 @@
 #include <filesystem>
 #include <fstream>
 
+#include "common/crc32.h"
+
 namespace satd::durable {
 namespace {
 
@@ -46,6 +48,25 @@ TEST_F(DurableIoTest, Crc32ChainsIncrementally) {
   std::uint32_t chained = crc32(s.data(), 7);
   chained = crc32(s.data() + 7, s.size() - 7, chained);
   EXPECT_EQ(chained, whole);
+}
+
+TEST_F(DurableIoTest, ExtractedCrc32KeepsFileFramingByteIdentical) {
+  // durable::crc32 now forwards to the standalone common/crc32.h; the
+  // stored trailer must still be exactly the pre-extraction sum, so old
+  // files verify and new files are bit-identical to old writers.
+  const std::string payload = "payload under both implementations";
+  EXPECT_EQ(satd::crc32(payload), crc32(payload));
+  EXPECT_EQ(satd::crc32("123456789"), 0xCBF43926u);
+
+  const std::string framed = wrap_checksummed(payload);
+  const std::uint32_t expect = satd::crc32(payload);
+  std::uint32_t stored = 0;
+  for (int i = 0; i < 4; ++i) {
+    stored |= static_cast<std::uint32_t>(
+                  static_cast<unsigned char>(framed[framed.size() - 4 + i]))
+              << (8 * i);
+  }
+  EXPECT_EQ(stored, expect);
 }
 
 TEST_F(DurableIoTest, FrameRoundTrip) {

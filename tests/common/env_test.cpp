@@ -75,5 +75,69 @@ TEST(ParseCpuListTest, RejectsOutOfRangeIds) {
             (std::vector<int>{kMaxCpuId - 1}));
 }
 
+TEST(ParseListenAddressTest, AcceptsExplicitAndBareUnixForms) {
+  ListenAddress a = parse_listen_address("unix:/tmp/satd.sock", "SATD_LISTEN");
+  EXPECT_EQ(a.kind, ListenAddress::Kind::kUnix);
+  EXPECT_EQ(a.path, "/tmp/satd.sock");
+
+  a = parse_listen_address("/var/run/satd.sock", "SATD_LISTEN");
+  EXPECT_EQ(a.kind, ListenAddress::Kind::kUnix);
+  EXPECT_EQ(a.path, "/var/run/satd.sock");
+}
+
+TEST(ParseListenAddressTest, AcceptsExplicitAndBareTcpForms) {
+  ListenAddress a = parse_listen_address("tcp:127.0.0.1:9000", "SATD_LISTEN");
+  EXPECT_EQ(a.kind, ListenAddress::Kind::kTcp);
+  EXPECT_EQ(a.host, "127.0.0.1");
+  EXPECT_EQ(a.port, 9000);
+
+  a = parse_listen_address("localhost:8080", "--listen");
+  EXPECT_EQ(a.kind, ListenAddress::Kind::kTcp);
+  EXPECT_EQ(a.host, "localhost");
+  EXPECT_EQ(a.port, 8080);
+}
+
+TEST(ParseListenAddressTest, PortZeroMeansEphemeral) {
+  const ListenAddress a = parse_listen_address("127.0.0.1:0", "SATD_LISTEN");
+  EXPECT_EQ(a.kind, ListenAddress::Kind::kTcp);
+  EXPECT_EQ(a.port, 0);
+  EXPECT_TRUE(a.valid());
+}
+
+TEST(ParseListenAddressTest, NullEmptyAndGarbageFallBackToNone) {
+  EXPECT_FALSE(parse_listen_address(nullptr, "SATD_LISTEN").valid());
+  EXPECT_FALSE(parse_listen_address("", "SATD_LISTEN").valid());
+  EXPECT_FALSE(parse_listen_address("   ", "SATD_LISTEN").valid());
+  EXPECT_FALSE(parse_listen_address("just-a-host", "SATD_LISTEN").valid());
+}
+
+TEST(ParseListenAddressTest, MalformedTcpPortsFallBack) {
+  EXPECT_FALSE(parse_listen_address("tcp:host:", "SATD_LISTEN").valid());
+  EXPECT_FALSE(parse_listen_address("tcp::9000", "SATD_LISTEN").valid());
+  EXPECT_FALSE(parse_listen_address("host:http", "SATD_LISTEN").valid());
+  EXPECT_FALSE(parse_listen_address("host:-1", "SATD_LISTEN").valid());
+  EXPECT_FALSE(parse_listen_address("host:65536", "SATD_LISTEN").valid());
+  EXPECT_FALSE(parse_listen_address("host:90 00", "SATD_LISTEN").valid());
+}
+
+TEST(ParseListenAddressTest, MalformedUnixPathsFallBack) {
+  EXPECT_FALSE(parse_listen_address("unix:", "SATD_LISTEN").valid());
+  // sun_path caps unix socket paths; an over-long path must be rejected
+  // at parse time, not truncated at bind time.
+  const std::string long_path =
+      "unix:/" + std::string(kMaxUnixPath + 1, 'x');
+  EXPECT_FALSE(parse_listen_address(long_path.c_str(), "SATD_LISTEN").valid());
+  const std::string max_path = "unix:/" + std::string(kMaxUnixPath - 1, 'x');
+  EXPECT_TRUE(parse_listen_address(max_path.c_str(), "SATD_LISTEN").valid());
+}
+
+TEST(ParseListenAddressTest, HostPortSplitsOnLastColon) {
+  // A colon in the host part must not confuse the port split.
+  const ListenAddress a = parse_listen_address("tcp:a:b:9000", "SATD_LISTEN");
+  EXPECT_EQ(a.kind, ListenAddress::Kind::kTcp);
+  EXPECT_EQ(a.host, "a:b");
+  EXPECT_EQ(a.port, 9000);
+}
+
 }  // namespace
 }  // namespace satd::env

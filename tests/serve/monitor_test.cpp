@@ -196,6 +196,105 @@ TEST(Monitor, EnablingTheMonitorChangesNoServedResponse) {
   }
 }
 
+TEST(Monitor, AlarmStateIsQueryableAndLatched) {
+  // The programmatic twin of the alarm counter: alarmed() flips true at
+  // the first collapse and stays true (latched) until reset().
+  ModelRegistry registry;
+  nn::Sequential robust = zero_model();
+  registry.publish("m", robust, "mlp_small");
+  RobustnessMonitor monitor(registry, "m", probe_every_request());
+  EXPECT_FALSE(monitor.alarmed());
+
+  const Tensor img = uniform_image();
+  for (std::size_t i = 0; i < 4; ++i) {
+    monitor.observe(img, 0);
+    ASSERT_TRUE(monitor.step());
+  }
+  EXPECT_FALSE(monitor.alarmed());
+
+  nn::Sequential fragile = margin_model();
+  registry.publish("m", fragile, "mlp_small");
+  for (std::size_t i = 0; i < 4; ++i) {
+    monitor.observe(img, 0);
+    ASSERT_TRUE(monitor.step());
+  }
+  EXPECT_TRUE(monitor.alarmed());
+
+  // Robust probes after the collapse do NOT clear the latch...
+  nn::Sequential good = zero_model();
+  registry.publish("m", good, "mlp_small");
+  monitor.observe(img, 0);
+  ASSERT_TRUE(monitor.step());
+  EXPECT_TRUE(monitor.alarmed());
+  // ...only reset() does.
+  monitor.reset();
+  EXPECT_FALSE(monitor.alarmed());
+}
+
+TEST(Monitor, AlarmCallbackFiresWithTheReportAtAlarm) {
+  ModelRegistry registry;
+  nn::Sequential robust = zero_model();
+  registry.publish("m", robust, "mlp_small");
+  RobustnessMonitor monitor(registry, "m", probe_every_request());
+
+  std::vector<MonitorReport> alarms;
+  monitor.set_alarm_callback(
+      [&alarms](const MonitorReport& r) { alarms.push_back(r); });
+
+  const Tensor img = uniform_image();
+  for (std::size_t i = 0; i < 4; ++i) {
+    monitor.observe(img, 0);
+    ASSERT_TRUE(monitor.step());
+  }
+  EXPECT_TRUE(alarms.empty());
+
+  nn::Sequential fragile = margin_model();
+  registry.publish("m", fragile, "mlp_small");
+  for (std::size_t i = 0; i < 4; ++i) {
+    monitor.observe(img, 0);
+    ASSERT_TRUE(monitor.step());
+  }
+  // The window decays 1.0 -> 0.75 -> 0.5 -> 0.25 -> 0; alarms fire at
+  // 0.25 and 0 (below 0.5 * best), each invoking the callback with the
+  // report at that instant.
+  ASSERT_EQ(alarms.size(), 2u);
+  EXPECT_FLOAT_EQ(alarms[0].robust_fraction, 0.25f);
+  EXPECT_FLOAT_EQ(alarms[1].robust_fraction, 0.0f);
+  EXPECT_EQ(alarms[1].alarms, 2u);
+
+  // Clearing the hook stops deliveries; the counter keeps counting.
+  monitor.set_alarm_callback(nullptr);
+  monitor.observe(img, 0);
+  ASSERT_TRUE(monitor.step());
+  EXPECT_EQ(alarms.size(), 2u);
+  EXPECT_GE(monitor.report().alarms, 3u);
+}
+
+TEST(Monitor, ResetStartsAFreshObservationWindow) {
+  // reset() clears the window, baseline and latch but keeps cumulative
+  // telemetry — the router's per-rollout bookkeeping depends on both.
+  ModelRegistry registry;
+  nn::Sequential robust = zero_model();
+  registry.publish("m", robust, "mlp_small");
+  RobustnessMonitor monitor(registry, "m", probe_every_request());
+
+  const Tensor img = uniform_image();
+  for (std::size_t i = 0; i < 4; ++i) {
+    monitor.observe(img, 0);
+    ASSERT_TRUE(monitor.step());
+  }
+  const MonitorReport before = monitor.report();
+  EXPECT_FLOAT_EQ(before.best_fraction, 1.0f);
+
+  monitor.reset();
+  const MonitorReport after = monitor.report();
+  EXPECT_FLOAT_EQ(after.robust_fraction, -1.0f);  // fresh window
+  EXPECT_FLOAT_EQ(after.best_fraction, -1.0f);    // fresh baseline
+  EXPECT_EQ(after.alarms, 0u);
+  EXPECT_EQ(after.probed, before.probed);      // telemetry survives
+  EXPECT_EQ(after.observed, before.observed);
+}
+
 TEST(Monitor, StartAndStopAreIdempotent) {
   ModelRegistry registry;
   nn::Sequential m = zero_model();

@@ -146,6 +146,74 @@ TEST(Queue, UrgentLaneDisabledByDefault) {
   EXPECT_FALSE(req.urgent);
 }
 
+TEST(Queue, CancelFreesTheSlotAndResolvesTyped) {
+  QueueConfig cfg;
+  cfg.capacity = 1;
+  QueueHarness h(cfg);
+  std::uint64_t id = 0;
+  Ticket t = h.queue.submit(image(), 0.0, &id);
+  ASSERT_NE(id, 0u);
+  EXPECT_EQ(h.queue.depth(), 1u);
+
+  EXPECT_TRUE(h.queue.cancel(id));
+  EXPECT_EQ(h.queue.depth(), 0u);
+  const Response r = t.wait();  // resolved, not hung
+  EXPECT_EQ(r.error, ServeError::kCancelled);
+  EXPECT_EQ(h.stats.snapshot().cancelled, 1u);
+
+  // The freed slot is immediately reusable (the point of cancelling).
+  Ticket again = h.queue.submit(image());
+  EXPECT_EQ(h.queue.depth(), 1u);
+  Request req;
+  ASSERT_TRUE(h.queue.pop(req));
+  req.promise.set_value(Response{});
+  EXPECT_EQ(again.wait().error, ServeError::kNone);
+}
+
+TEST(Queue, CancelAfterPopIsABenignNoOp) {
+  QueueHarness h;
+  std::uint64_t id = 0;
+  Ticket t = h.queue.submit(image(), 0.0, &id);
+  Request req;
+  ASSERT_TRUE(h.queue.pop(req));
+  EXPECT_FALSE(h.queue.cancel(id));  // already in flight
+  Response r;
+  r.predicted = 3;
+  req.promise.set_value(r);  // served into the (still live) ticket
+  EXPECT_EQ(t.wait().predicted, 3u);
+}
+
+TEST(Queue, CancelUnknownIdReturnsFalse) {
+  QueueHarness h;
+  EXPECT_FALSE(h.queue.cancel(42));
+  EXPECT_FALSE(h.queue.cancel(0));
+}
+
+TEST(Queue, CancelReachesTheUrgentLane) {
+  QueueConfig cfg;
+  cfg.urgent_slack = 10.0;
+  QueueHarness h(cfg);  // clock at 100
+  std::uint64_t id = 0;
+  Ticket t = h.queue.submit(image(), /*deadline=*/105.0, &id);  // urgent
+  ASSERT_NE(id, 0u);
+  EXPECT_TRUE(h.queue.cancel(id));
+  EXPECT_EQ(t.wait().error, ServeError::kCancelled);
+  Request req;
+  EXPECT_FALSE(h.queue.pop(req));
+}
+
+TEST(Queue, RejectedSubmitWritesZeroId) {
+  QueueConfig cfg;
+  cfg.capacity = 1;
+  QueueHarness h(cfg);
+  std::uint64_t first = 0, second = 77;
+  h.queue.submit(image(), 0.0, &first);
+  Ticket rejected = h.queue.submit(image(), 0.0, &second);
+  EXPECT_NE(first, 0u);
+  EXPECT_EQ(second, 0u);  // rejected: nothing to cancel
+  EXPECT_EQ(rejected.wait().error, ServeError::kQueueFull);
+}
+
 TEST(Queue, DepthHighWaterMarkIsTracked) {
   QueueHarness h;
   h.queue.submit(image());
