@@ -27,6 +27,15 @@
 // Single-step training jobs (FGSM-Adv and Proposed) run under the
 // robustness-collapse sentinel (core/sentinel.h) unless --no-sentinel
 // is given.
+//
+// --gauntlet swaps the paper matrix for the adaptive-attack gauntlet
+// (src/gauntlet/): every method in core::known_methods() is trained on
+// digits and crossed against FGSM, BIM, MI-FGSM, best-of-R restart PGD,
+// a held-out-surrogate transfer attack and the eps-sweep collapse knee.
+// Per-defense rows are independent resumable jobs merged byte-verbatim
+// into gauntlet_matrix.csv + BENCH_gauntlet.json, under a separate
+// manifest (gauntlet_manifest.bin) so the two matrices never adopt each
+// other's journaled progress.
 #include <unistd.h>
 
 #include <cstddef>
@@ -83,28 +92,19 @@ std::vector<std::string> train_outputs(const metrics::ExperimentEnv& env,
   return {stem + ".model", stem + ".report"};
 }
 
-/// One matrix entry: the job metadata plus the experiment body it runs.
-/// The body is kept separate from Job::run so the same definition serves
-/// all three execution modes (in-process supervisor, spooler parent —
-/// which never runs bodies — and `--run-job` child re-entry).
-struct MatrixJob {
-  runtime::Job job;
-  std::function<void(const bench::ExperimentContext&)> body;
-};
-
 /// Builds the full experiment matrix. The job graph (names, deps,
 /// outputs) is identical in every mode, which is what makes the child
 /// re-entry protocol safe: parent and child agree on what each job name
 /// means and which files it promises.
-std::vector<MatrixJob> build_matrix(const metrics::ExperimentEnv& env,
-                                    double deadline,
-                                    std::size_t max_attempts) {
-  std::vector<MatrixJob> matrix;
+std::vector<bench::ExperimentJob> build_matrix(
+    const metrics::ExperimentEnv& env, double deadline,
+    std::size_t max_attempts) {
+  std::vector<bench::ExperimentJob> matrix;
   auto add_job = [&](std::string name,
                      std::function<void(const bench::ExperimentContext&)> body,
                      std::vector<std::string> deps,
                      std::vector<std::string> outputs) {
-    MatrixJob entry;
+    bench::ExperimentJob entry;
     entry.job.name = std::move(name);
     entry.job.deps = std::move(deps);
     entry.job.outputs = std::move(outputs);
@@ -200,12 +200,12 @@ runtime::JobResult run_attempt(
 /// spooler parent owns the manifest; the child only writes the job's
 /// own artifacts (which are atomic, so a SIGKILL mid-write never leaves
 /// a torn file for the retry to trip over).
-int run_single_job(const std::vector<MatrixJob>& matrix,
+int run_single_job(const std::vector<bench::ExperimentJob>& matrix,
                    const std::string& name,
                    const metrics::ExperimentEnv& env, bool sentinel,
                    double deadline) {
-  const MatrixJob* found = nullptr;
-  for (const MatrixJob& entry : matrix) {
+  const bench::ExperimentJob* found = nullptr;
+  for (const bench::ExperimentJob& entry : matrix) {
     if (entry.job.name == name) {
       found = &entry;
       break;
@@ -271,6 +271,11 @@ int main(int argc, char** argv) {
   cli.add_flag("no-sentinel",
                "disable the robustness-collapse sentinel on single-step "
                "training jobs");
+  cli.add_flag("gauntlet",
+               "run the adaptive-attack gauntlet instead of the paper "
+               "matrix: every known training method vs FGSM/BIM/MI-FGSM/"
+               "restart-PGD/transfer/eps-sweep, merged into "
+               "gauntlet_matrix.csv + BENCH_gauntlet.json");
   add_threads_option(cli);
   add_kernel_option(cli);
   cli.add_flag("spool",
@@ -315,11 +320,17 @@ int main(int argc, char** argv) {
   }
 
   const bool sentinel = !cli.get_flag("no-sentinel");
+  const bool gauntlet = cli.get_flag("gauntlet");
   const double deadline = cli.get_double("deadline");
   const auto max_attempts =
       static_cast<std::size_t>(cli.get_int("max-attempts"));
-  const std::vector<MatrixJob> matrix =
-      build_matrix(env, deadline, max_attempts);
+  // The gauntlet is digits-only: its point is the attack axis, not the
+  // dataset axis, and one dataset keeps the defense x attack cross at 10
+  // methods affordable in CI.
+  const std::vector<bench::ExperimentJob> matrix =
+      gauntlet
+          ? bench::build_gauntlet_jobs(env, "digits", deadline, max_attempts)
+          : build_matrix(env, deadline, max_attempts);
 
   // Child re-entry: run one job and exit through the process protocol.
   if (const std::string& job_name = cli.get_string("run-job");
@@ -327,18 +338,27 @@ int main(int argc, char** argv) {
     return run_single_job(matrix, job_name, env, sentinel, deadline);
   }
 
+  // The gauntlet keeps its own manifest and fingerprint: its job graph
+  // shares training-job names with the paper matrix but promises
+  // different downstream artifacts, so the two runs must never adopt
+  // each other's journaled progress.
   std::string manifest_path = cli.get_string("manifest");
   if (manifest_path.empty()) {
-    manifest_path = env.cache_dir + "/supervisor_manifest.bin";
+    manifest_path = env.cache_dir + (gauntlet ? "/gauntlet_manifest.bin"
+                                              : "/supervisor_manifest.bin");
   }
 
-  bench::print_header("bench_all — supervised experiment matrix", env);
+  bench::print_header(gauntlet
+                          ? "bench_all --gauntlet — adaptive-attack gauntlet"
+                          : "bench_all — supervised experiment matrix",
+                      env);
   std::printf("manifest: %s (delete it to forget past progress)\n\n",
               manifest_path.c_str());
 
   // A manifest journaled at a different scale/seed describes different
   // artifacts; the fingerprint makes the orchestrator start fresh then.
-  const std::string fingerprint = "bench_all:" + env.describe();
+  const std::string fingerprint =
+      (gauntlet ? "bench_all-gauntlet:" : "bench_all:") + env.describe();
 
   runtime::MatrixReport report;
   if (cli.get_flag("spool")) {
@@ -368,6 +388,7 @@ int main(int argc, char** argv) {
             spec.argv.push_back(scale);
           }
           if (!sentinel) spec.argv.push_back("--no-sentinel");
+          if (gauntlet) spec.argv.push_back("--gauntlet");
           if (const std::string& k = cli.get_string("kernel"); !k.empty()) {
             spec.argv.push_back("--kernel");
             spec.argv.push_back(k);
@@ -379,14 +400,14 @@ int main(int argc, char** argv) {
           }
           return spec;
         });
-    for (const MatrixJob& entry : matrix) spooler.add(entry.job);
+    for (const bench::ExperimentJob& entry : matrix) spooler.add(entry.job);
     report = spooler.run();
   } else {
     runtime::Supervisor::Options options;
     options.manifest_path = manifest_path;
     options.fingerprint = fingerprint;
     runtime::Supervisor supervisor(options);
-    for (const MatrixJob& entry : matrix) {
+    for (const bench::ExperimentJob& entry : matrix) {
       runtime::Job job = entry.job;
       job.run = [&env, sentinel, body = entry.body](runtime::JobContext& jc) {
         return run_attempt(env, sentinel, jc, body);

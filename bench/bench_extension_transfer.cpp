@@ -7,31 +7,22 @@
 // accurate under attacks transferred from other models — otherwise their
 // white-box robustness was gradient masking (Athalye et al. 2018); and
 // (2) attacks transfer better between similarly-trained models.
+//
+// Thin wrapper: participant training and the crafting/evaluation loop
+// live in bench::train_participants and gauntlet::cross_matrix — the
+// same single transfer path the adaptive-attack gauntlet
+// (bench_all --gauntlet) uses for its surrogate column, so this bench
+// and the gauntlet can never disagree about how a transfer number is
+// measured. The participant pool here is therefore the full
+// core::known_methods() set, not just the paper's five.
 #include <cstdio>
 #include <vector>
 
 #include "attack/bim.h"
-#include "bench_util.h"
-#include "metrics/transfer.h"
+#include "experiments.h"
+#include "gauntlet/transfer.h"
 
 using namespace satd;
-
-namespace {
-
-struct MethodRow {
-  std::string method;
-  bench::MethodOverrides ov;
-};
-
-const std::vector<MethodRow> kMethods{
-    {"vanilla", {}},
-    {"fgsm_adv", {}},
-    {"atda", {}},
-    {"proposed", {}},
-    {"bim_adv", {.bim_iterations = 10}},
-};
-
-}  // namespace
 
 int main() {
   const auto env = metrics::ExperimentEnv::from_env();
@@ -42,26 +33,26 @@ int main() {
   const float eps = metrics::ExperimentEnv::eps_for(dataset);
   const data::DatasetPair data = bench::load_dataset(env, dataset);
 
-  std::vector<metrics::CachedModel> trained;
-  trained.reserve(kMethods.size());
+  const bench::ExperimentContext ctx{env, {}, false};
+  std::vector<metrics::CachedModel> trained =
+      bench::train_participants(ctx, data, dataset);
+  const auto& specs = bench::gauntlet_participants();
   std::vector<metrics::TransferModel> participants;
-  for (const MethodRow& row : kMethods) {
-    trained.push_back(
-        bench::train_cached(env, data, dataset, row.method, row.ov));
-    participants.push_back(
-        {trained.back().report.method, &trained.back().model});
+  participants.reserve(trained.size());
+  for (std::size_t i = 0; i < trained.size(); ++i) {
+    participants.push_back({specs[i].label, &trained[i].model});
   }
 
   attack::Bim bim(eps, 10);
   const metrics::TransferMatrix matrix =
-      metrics::transfer_matrix(participants, data.test, bim);
+      gauntlet::cross_matrix(participants, data.test, bim);
   std::printf("accuracy of TARGET (column) on BIM(10) examples crafted "
               "against SOURCE (row), eps=%.2f:\n\n%s\n",
               eps, matrix.to_string().c_str());
 
   metrics::Table csv([&] {
     std::vector<std::string> header{"source"};
-    for (const auto& name : matrix.names) header.push_back(name);
+    for (const auto& name : matrix.col_names) header.push_back(name);
     return header;
   }());
   for (std::size_t i = 0; i < matrix.names.size(); ++i) {

@@ -2,12 +2,17 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <fstream>
 #include <memory>
+#include <sstream>
+#include <stdexcept>
 #include <utility>
 #include <vector>
 
 #include "attack/bim.h"
 #include "attack/fgsm.h"
+#include "common/contract.h"
+#include "common/durable_io.h"
 #include "core/sentinel.h"
 #include "metrics/chart.h"
 #include "metrics/evaluator.h"
@@ -328,6 +333,194 @@ void run_ablation_step(const ExperimentContext& ctx) {
   std::fputs(table.to_string().c_str(), stdout);
   table.write_csv("ablation_step.csv");
   std::printf("(rows written to ablation_step.csv)\n");
+}
+
+// ---- adaptive-attack gauntlet ----
+
+namespace {
+
+std::string gauntlet_row_csv(const std::string& label) {
+  return "gauntlet_row_" + label + ".csv";
+}
+
+std::string gauntlet_train_job(const std::string& dataset,
+                               const std::string& label) {
+  return "train:" + dataset + ":" + label;
+}
+
+}  // namespace
+
+const std::vector<ParticipantSpec>& gauntlet_participants() {
+  static const std::vector<ParticipantSpec> specs = [] {
+    std::vector<ParticipantSpec> out;
+    // Row per factory method, labeled by its factory name — the matrix
+    // is complete by construction: adding a trainer to known_methods()
+    // grows the gauntlet without touching this file.
+    for (const std::string& method : core::known_methods()) {
+      out.push_back({method, method, {}});
+    }
+    return out;
+  }();
+  return specs;
+}
+
+gauntlet::GauntletConfig gauntlet_config(const std::string& dataset) {
+  gauntlet::GauntletConfig cfg;
+  cfg.eps = metrics::ExperimentEnv::eps_for(dataset);
+  // Sweep relative to the training budget so the knee reads as "fraction
+  // of the defended eps the model survives": 1/4, 1/2, 3/4, 1x, 1.5x.
+  cfg.eps_sweep = {0.25f * cfg.eps, 0.5f * cfg.eps, 0.75f * cfg.eps,
+                   cfg.eps, 1.5f * cfg.eps};
+  return cfg;
+}
+
+std::vector<metrics::CachedModel> train_participants(
+    const ExperimentContext& ctx, const data::DatasetPair& data,
+    const std::string& dataset) {
+  const auto& specs = gauntlet_participants();
+  std::vector<metrics::CachedModel> trained;
+  trained.reserve(specs.size());
+  for (const ParticipantSpec& spec : specs) {
+    trained.push_back(
+        train_cached_ctx(ctx, data, dataset, spec.method, spec.ov));
+  }
+  return trained;
+}
+
+void run_gauntlet_row(const ExperimentContext& ctx,
+                      const std::string& dataset, const std::string& label) {
+  const data::DatasetPair data = load_dataset(ctx.env, dataset);
+  // Every participant is needed — the defenses other than `label` are
+  // this row's transfer surrogates. After the upstream training jobs ran
+  // these are all cache hits, so a row job is evaluation-only.
+  std::vector<metrics::CachedModel> trained =
+      train_participants(ctx, data, dataset);
+  const auto& specs = gauntlet_participants();
+  // Pointers only after `trained` is fully built (no reallocation).
+  std::vector<metrics::TransferModel> pool;
+  pool.reserve(trained.size());
+  const metrics::TransferModel* defense = nullptr;
+  for (std::size_t i = 0; i < trained.size(); ++i) {
+    pool.push_back({specs[i].label, &trained[i].model});
+    if (specs[i].label == label) defense = &pool.back();
+  }
+  if (defense == nullptr) {
+    throw std::invalid_argument("unknown gauntlet participant: " + label);
+  }
+
+  const gauntlet::GauntletRunner runner(gauntlet_config(dataset));
+  const gauntlet::GauntletRow row = runner.run_row(*defense, pool, data.test);
+
+  const std::string path = gauntlet_row_csv(label);
+  durable::atomic_write_file(
+      path, runner.csv_header() + "\n" + runner.csv_row(row) + "\n");
+  std::printf("gauntlet row %-14s -> %s\n", label.c_str(), path.c_str());
+}
+
+void run_gauntlet_merge(const ExperimentContext& ctx,
+                        const std::string& dataset) {
+  const gauntlet::GauntletRunner runner(gauntlet_config(dataset));
+  const std::string header = runner.csv_header();
+
+  std::string matrix = header + "\n";
+  std::vector<JsonResult> json_rows;
+  for (const ParticipantSpec& spec : gauntlet_participants()) {
+    const std::string path = gauntlet_row_csv(spec.label);
+    std::ifstream is(path);
+    if (!is) {
+      throw std::runtime_error("gauntlet merge: missing row file " + path);
+    }
+    std::string row_header, row_line;
+    std::getline(is, row_header);
+    std::getline(is, row_line);
+    SATD_EXPECT(row_header == header,
+                "gauntlet row " + path + " has a stale column layout");
+    SATD_EXPECT(!row_line.empty(), "gauntlet row " + path + " is empty");
+    // Verbatim byte concatenation: the merged matrix is bit-identical
+    // whenever the row files are, which is what the kill-9 drill checks.
+    matrix += row_line + "\n";
+
+    JsonResult jr;
+    std::stringstream cells(row_line);
+    std::string cell;
+    std::getline(cells, cell, ',');
+    jr.name = cell;
+    for (std::size_t c = 0; std::getline(cells, cell, ','); ++c) {
+      SATD_EXPECT(c < runner.columns().size(),
+                  "gauntlet row " + path + " has extra cells");
+      jr.numbers.emplace_back(runner.columns()[c], std::stod(cell));
+    }
+    SATD_EXPECT(jr.numbers.size() == runner.columns().size(),
+                "gauntlet row " + path + " is missing cells");
+    json_rows.push_back(std::move(jr));
+  }
+
+  durable::atomic_write_file("gauntlet_matrix.csv", matrix);
+  std::printf("gauntlet matrix: %zu defenses x %zu attacks -> "
+              "gauntlet_matrix.csv\n",
+              json_rows.size(), runner.columns().size());
+  (void)ctx;
+  write_bench_json("BENCH_gauntlet.json", "gauntlet", 0, json_rows);
+}
+
+std::vector<ExperimentJob> build_gauntlet_jobs(
+    const metrics::ExperimentEnv& env, const std::string& dataset,
+    double deadline, std::size_t max_attempts) {
+  std::vector<ExperimentJob> jobs;
+  auto add_job = [&](std::string name,
+                     std::function<void(const ExperimentContext&)> body,
+                     std::vector<std::string> deps,
+                     std::vector<std::string> outputs) {
+    ExperimentJob entry;
+    entry.job.name = std::move(name);
+    entry.job.deps = std::move(deps);
+    entry.job.outputs = std::move(outputs);
+    entry.job.deadline_seconds = deadline;
+    entry.job.max_attempts = max_attempts;
+    entry.body = std::move(body);
+    jobs.push_back(std::move(entry));
+  };
+
+  const auto& specs = gauntlet_participants();
+
+  // Training jobs: one per participant, output = its model-cache entry.
+  std::vector<std::string> train_jobs;
+  for (const ParticipantSpec& spec : specs) {
+    const core::TrainConfig cfg = resolve_config(env, dataset, spec.ov);
+    const std::string stem =
+        env.cache_dir + "/" +
+        make_model_key(env, cfg, dataset, spec.method).stem();
+    train_jobs.push_back(gauntlet_train_job(dataset, spec.label));
+    add_job(
+        train_jobs.back(),
+        [dataset, spec](const ExperimentContext& ctx) {
+          const data::DatasetPair data = load_dataset(ctx.env, dataset);
+          train_cached_ctx(ctx, data, dataset, spec.method, spec.ov);
+        },
+        {}, {stem + ".model", stem + ".report"});
+  }
+
+  // Row jobs: every row needs the FULL pool (its transfer surrogates are
+  // the other defenses), so each depends on all training jobs.
+  std::vector<std::string> row_jobs;
+  for (const ParticipantSpec& spec : specs) {
+    row_jobs.push_back("gauntlet:row:" + spec.label);
+    add_job(
+        row_jobs.back(),
+        [dataset, label = spec.label](const ExperimentContext& ctx) {
+          run_gauntlet_row(ctx, dataset, label);
+        },
+        train_jobs, {gauntlet_row_csv(spec.label)});
+  }
+
+  add_job(
+      "gauntlet:matrix",
+      [dataset](const ExperimentContext& ctx) {
+        run_gauntlet_merge(ctx, dataset);
+      },
+      std::move(row_jobs), {"gauntlet_matrix.csv", "BENCH_gauntlet.json"});
+
+  return jobs;
 }
 
 }  // namespace satd::bench

@@ -8,10 +8,14 @@
 // deadline and a robustness-collapse sentinel.
 #pragma once
 
+#include <functional>
 #include <stdexcept>
 #include <string>
+#include <vector>
 
 #include "bench_util.h"
+#include "gauntlet/gauntlet.h"
+#include "runtime/supervisor.h"
 
 namespace satd::bench {
 
@@ -67,5 +71,63 @@ void run_ablation_reset(const ExperimentContext& ctx);
 /// Ablation of the Proposed method's per-epoch step size. Writes
 /// ablation_step.csv.
 void run_ablation_step(const ExperimentContext& ctx);
+
+// ---- supervised job graphs ----
+
+/// One supervised matrix entry: the job metadata (name, deps, promised
+/// outputs, deadline) plus the experiment body it runs. The body is kept
+/// separate from Job::run so the same definition serves all three
+/// execution modes (in-process supervisor, spooler parent — which never
+/// runs bodies — and `--run-job` child re-entry).
+struct ExperimentJob {
+  runtime::Job job;
+  std::function<void(const ExperimentContext&)> body;
+};
+
+// ---- adaptive-attack gauntlet (src/gauntlet/) ----
+
+/// One defense participating in the gauntlet: a trainer-factory method
+/// name plus the config overrides its cache key uses.
+struct ParticipantSpec {
+  std::string label;   ///< row name / job suffix (comma-free)
+  std::string method;  ///< core::make_trainer identifier
+  MethodOverrides ov;
+};
+
+/// Every method core::known_methods() exposes, once each, in factory
+/// order — the gauntlet's row set.
+const std::vector<ParticipantSpec>& gauntlet_participants();
+
+/// Gauntlet knobs for one dataset at this env's scale (eps from
+/// ExperimentEnv::eps_for; fixed sweep/iteration structure so cached
+/// results stay comparable across runs).
+gauntlet::GauntletConfig gauntlet_config(const std::string& dataset);
+
+/// Trains (or cache-loads) every participant. The returned vector owns
+/// the models; take pointers only after it is fully built.
+std::vector<metrics::CachedModel> train_participants(
+    const ExperimentContext& ctx, const data::DatasetPair& data,
+    const std::string& dataset);
+
+/// One gauntlet matrix row: loads every participant (cache hits once the
+/// training jobs ran), evaluates `label`'s defense against the full
+/// attack plan and writes gauntlet_row_<label>.csv (header + one row,
+/// fixed %.6f cells — byte-identical across reruns).
+void run_gauntlet_row(const ExperimentContext& ctx,
+                      const std::string& dataset, const std::string& label);
+
+/// Merges the per-defense row CSVs verbatim into gauntlet_matrix.csv and
+/// writes BENCH_gauntlet.json (satd-bench-1) with one result per row.
+/// Byte-level merge, so the matrix is bit-identical whenever the row
+/// files are.
+void run_gauntlet_merge(const ExperimentContext& ctx,
+                        const std::string& dataset);
+
+/// The gauntlet job graph: one cached training job per participant, one
+/// row job per defense (depending on ALL training jobs — every row needs
+/// the full pool as transfer surrogates), and a final merge job.
+std::vector<ExperimentJob> build_gauntlet_jobs(
+    const metrics::ExperimentEnv& env, const std::string& dataset,
+    double deadline, std::size_t max_attempts);
 
 }  // namespace satd::bench

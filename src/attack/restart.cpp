@@ -1,0 +1,94 @@
+#include "attack/restart.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "attack/pgd.h"
+#include "common/contract.h"
+#include "common/rng.h"
+
+namespace satd::attack {
+
+RestartPgd::RestartPgd(float eps, std::size_t iterations, float eps_step,
+                       std::size_t restarts, std::uint64_t seed)
+    : eps_(eps),
+      iterations_(iterations),
+      eps_step_(eps_step > 0.0f
+                    ? eps_step
+                    : eps / static_cast<float>(iterations)),
+      restarts_(restarts),
+      seed_(seed) {
+  SATD_EXPECT(eps >= 0.0f, "eps must be non-negative");
+  SATD_EXPECT(iterations > 0, "restart PGD needs at least one iteration");
+  SATD_EXPECT(restarts > 0, "restart PGD needs at least one restart");
+}
+
+void per_row_cross_entropy(const Tensor& logits,
+                           std::span<const std::size_t> labels,
+                           std::vector<float>& out) {
+  const auto& dims = logits.shape().dims();
+  SATD_EXPECT(dims.size() == 2, "logits must be [N, K]");
+  const std::size_t n = dims[0], k = dims[1];
+  SATD_EXPECT(labels.size() == n, "label count must match logit rows");
+  out.resize(n);
+  const float* p = logits.raw();
+  for (std::size_t i = 0; i < n; ++i) {
+    SATD_EXPECT(labels[i] < k, "label out of range");
+    const float* row = p + i * k;
+    float mx = row[0];
+    for (std::size_t j = 1; j < k; ++j) mx = std::max(mx, row[j]);
+    double acc = 0.0;
+    for (std::size_t j = 0; j < k; ++j) {
+      acc += std::exp(static_cast<double>(row[j] - mx));
+    }
+    out[i] = static_cast<float>(mx + std::log(acc)) - row[labels[i]];
+  }
+}
+
+void RestartPgd::perturb_restart_into(nn::Sequential& model, const Tensor& x,
+                                      std::span<const std::size_t> labels,
+                                      std::size_t restart, Tensor& adv) {
+  SATD_EXPECT(restart < restarts_, "restart index out of range");
+  // The start-point stream depends only on (seed, restart): a fresh Pgd
+  // per call keeps this attack stateless across calls, which is what
+  // makes a resumed gauntlet cell bit-identical to an uninterrupted one.
+  Rng base(seed_ ^ (0x9E3779B97F4A7C15ULL * (restart + 1)));
+  Pgd pgd(eps_, iterations_, eps_step_, base);
+  pgd.perturb_into(model, x, labels, adv);
+}
+
+void RestartPgd::perturb_into(nn::Sequential& model, const Tensor& x,
+                              std::span<const std::size_t> labels,
+                              Tensor& adv) {
+  const std::size_t n = labels.size();
+  std::vector<float> loss;
+  best_loss_.assign(n, -std::numeric_limits<float>::infinity());
+  for (std::size_t r = 0; r < restarts_; ++r) {
+    perturb_restart_into(model, x, labels, r, candidate_);
+    model.forward_into(candidate_, logits_, /*training=*/false);
+    per_row_cross_entropy(logits_, labels, loss);
+    if (r == 0) {
+      // First restart seeds the running best (and sizes `adv`).
+      adv = candidate_;
+      best_loss_ = loss;
+      continue;
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      // Strict > keeps the earliest restart on ties, a fixed rule that
+      // makes the selection deterministic.
+      if (loss[i] > best_loss_[i]) {
+        best_loss_[i] = loss[i];
+        adv.set_row(i, candidate_.slice_row(i));
+      }
+    }
+  }
+}
+
+std::string RestartPgd::name() const {
+  return "PGD-R" + std::to_string(restarts_) + "(" +
+         std::to_string(iterations_) + ", eps=" + std::to_string(eps_) +
+         ", step=" + std::to_string(eps_step_) + ")";
+}
+
+}  // namespace satd::attack

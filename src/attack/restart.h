@@ -1,0 +1,65 @@
+// Random-restart PGD: best-of-R seeded restarts.
+//
+// A single PGD run can get stuck in a flat region of the loss surface —
+// precisely the artifact gradient-masking defenses exploit (Athalye et
+// al. 2018). The standard adaptive probe is to restart PGD R times from
+// independent random points in the eps-ball and keep, per example, the
+// restart that achieves the highest loss. The gauntlet (src/gauntlet/)
+// uses this as its strengthened white-box column.
+//
+// Determinism contract: restart r of every perturb_into call draws its
+// start point from a stream derived only from (seed, r), never from
+// mutable instance state, so the same (seed, inputs) always produce the
+// bit-identical best restart — the property the resumable gauntlet matrix
+// relies on.
+#pragma once
+
+#include <cstdint>
+
+#include "attack/attack.h"
+
+namespace satd::attack {
+
+/// PGD with R independent seeded restarts, keeping the per-example
+/// restart of maximal cross-entropy loss.
+class RestartPgd : public Attack {
+ public:
+  /// `eps_step` <= 0 applies the paper's eps/iterations convention.
+  RestartPgd(float eps, std::size_t iterations, float eps_step,
+             std::size_t restarts, std::uint64_t seed = 0x5EEDULL);
+
+  void perturb_into(nn::Sequential& model, const Tensor& x,
+                    std::span<const std::size_t> labels,
+                    Tensor& adv) override;
+
+  /// Runs restart `restart` alone (the exact run perturb_into scores).
+  /// Public so tests can verify the best-of selection restart by restart.
+  void perturb_restart_into(nn::Sequential& model, const Tensor& x,
+                            std::span<const std::size_t> labels,
+                            std::size_t restart, Tensor& adv);
+
+  float epsilon() const override { return eps_; }
+  std::size_t iterations() const { return iterations_; }
+  std::size_t restarts() const { return restarts_; }
+  std::string name() const override;
+
+ private:
+  float eps_;
+  std::size_t iterations_;
+  float eps_step_;
+  std::size_t restarts_;
+  std::uint64_t seed_;
+  // Reused across calls: candidate restart, its logits, per-row losses.
+  Tensor candidate_;
+  Tensor logits_;
+  std::vector<float> best_loss_;
+};
+
+/// Per-row softmax cross-entropy of logits [N, K] against labels
+/// (logsumexp(row) - logit[label]); the restart-selection criterion,
+/// exposed for tests.
+void per_row_cross_entropy(const Tensor& logits,
+                           std::span<const std::size_t> labels,
+                           std::vector<float>& out);
+
+}  // namespace satd::attack

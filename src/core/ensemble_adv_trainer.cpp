@@ -1,0 +1,77 @@
+#include "core/ensemble_adv_trainer.h"
+
+#include <istream>
+#include <ostream>
+
+#include "common/contract.h"
+#include "core/vanilla_trainer.h"
+#include "nn/zoo.h"
+#include "tensor/serialize.h"
+
+namespace satd::core {
+
+EnsembleAdvTrainer::EnsembleAdvTrainer(nn::Sequential& model,
+                                       TrainConfig config)
+    : Trainer(model, config), attack_(config.eps) {
+  SATD_EXPECT(config.ensemble_surrogate_count > 0,
+              "ensemble training needs at least one static surrogate");
+  SATD_EXPECT(config.ensemble_surrogate_epochs > 0,
+              "surrogate pre-training needs at least one epoch");
+  SATD_EXPECT(nn::zoo::is_known_spec(config.ensemble_surrogate_spec),
+              "unknown surrogate spec: " + config.ensemble_surrogate_spec);
+}
+
+void EnsembleAdvTrainer::build_surrogates(const data::Dataset& train) {
+  surrogates_.clear();
+  surrogates_.reserve(config_.ensemble_surrogate_count);
+  for (std::size_t i = 0; i < config_.ensemble_surrogate_count; ++i) {
+    // Streams derived from (config.seed, i) only — independent of the
+    // trainer's own rng_/shuffle_rng_ position, so pre-training the
+    // ensemble leaves the main run's randomness untouched and a resumed
+    // fit rebuilds bit-identical surrogates.
+    const std::uint64_t salt =
+        config_.seed ^ (0xE5B1E5EEDULL + 0x9E3779B9ULL * (i + 1));
+    Rng init_rng(salt);
+    nn::Sequential surrogate =
+        nn::zoo::build(config_.ensemble_surrogate_spec, init_rng);
+    TrainConfig scfg = config_;
+    scfg.epochs = config_.ensemble_surrogate_epochs;
+    scfg.seed = salt;
+    VanillaTrainer pre(surrogate, scfg);
+    // No stop check on purpose: surrogate pre-training is a bounded,
+    // deterministic prologue; interrupting it would leave the ensemble
+    // depending on when the watchdog fired.
+    pre.fit(train);
+    surrogates_.push_back(std::move(surrogate));
+  }
+}
+
+void EnsembleAdvTrainer::on_fit_begin(const data::Dataset& train) {
+  batch_counter_ = 0;
+  build_surrogates(train);
+}
+
+void EnsembleAdvTrainer::on_resume(const data::Dataset& train) {
+  // batch_counter_ was restored from the checkpoint; the surrogates are
+  // re-derived (deterministic), not serialized.
+  build_surrogates(train);
+}
+
+void EnsembleAdvTrainer::make_adversarial_batch(const data::Batch& batch,
+                                                Tensor& adv) {
+  const std::size_t sources = surrogates_.size() + 1;
+  const std::size_t pick = static_cast<std::size_t>(batch_counter_ % sources);
+  ++batch_counter_;
+  nn::Sequential& source = pick == 0 ? model_ : surrogates_[pick - 1];
+  attack_.perturb_into(source, batch.images, batch.labels, adv);
+}
+
+void EnsembleAdvTrainer::save_method_state(std::ostream& os) const {
+  write_u64(os, batch_counter_);
+}
+
+void EnsembleAdvTrainer::load_method_state(std::istream& is) {
+  batch_counter_ = read_u64(is);
+}
+
+}  // namespace satd::core

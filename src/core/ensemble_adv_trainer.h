@@ -1,0 +1,59 @@
+// Ensemble Adversarial Training (Tramèr et al. 2018).
+//
+// Single-step adversarial training overfits to its own perturbations:
+// the model learns to mask its gradients against FGSM crafted on itself
+// while staying wide open to the same attack crafted on any other model.
+// Tramèr et al.'s fix is to decouple crafting from the model under
+// training — each batch's adversarial companion is crafted with FGSM on
+// a source drawn from an ensemble of the live model plus a set of
+// held-out STATIC models whose weights never move during training.
+//
+// The static surrogates here are small vanilla classifiers pre-trained
+// at fit start from streams derived only from config.seed (count /
+// architecture / epochs are TrainConfig knobs), so the whole run is
+// deterministic and checkpoint-resumable: on_resume rebuilds the same
+// surrogates bit-identically and the round-robin position is part of the
+// method checkpoint state.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "attack/fgsm.h"
+#include "core/trainer.h"
+
+namespace satd::core {
+
+/// Clean + FGSM mixture where the crafting source round-robins over
+/// {live model, static surrogate 0, ..., static surrogate k-1}.
+class EnsembleAdvTrainer : public Trainer {
+ public:
+  EnsembleAdvTrainer(nn::Sequential& model, TrainConfig config);
+
+  std::string name() const override { return "Ensemble-Adv"; }
+
+  /// The pre-trained static surrogates (empty before fit()); exposed so
+  /// tests can pin their determinism.
+  const std::vector<nn::Sequential>& surrogates() const {
+    return surrogates_;
+  }
+
+ protected:
+  void on_fit_begin(const data::Dataset& train) override;
+  void on_resume(const data::Dataset& train) override;
+  void make_adversarial_batch(const data::Batch& batch,
+                              Tensor& adv) override;
+  void save_method_state(std::ostream& os) const override;
+  void load_method_state(std::istream& is) override;
+
+ private:
+  /// (Re)derives and pre-trains the static ensemble; deterministic from
+  /// config.seed alone (consumes none of the trainer's own RNG streams).
+  void build_surrogates(const data::Dataset& train);
+
+  attack::Fgsm attack_;  // persistent so its scratch survives batches
+  std::vector<nn::Sequential> surrogates_;
+  std::uint64_t batch_counter_ = 0;  // round-robin position (checkpointed)
+};
+
+}  // namespace satd::core

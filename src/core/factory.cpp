@@ -1,10 +1,13 @@
 #include "core/factory.h"
 
-#include "common/contract.h"
+#include <stdexcept>
+
 #include "core/alp_trainer.h"
 #include "core/atda_trainer.h"
 #include "core/bim_adv_trainer.h"
+#include "core/ensemble_adv_trainer.h"
 #include "core/fgsm_adv_trainer.h"
+#include "core/fgsm_reg_trainer.h"
 #include "core/free_adv_trainer.h"
 #include "core/pgd_adv_trainer.h"
 #include "core/proposed_trainer.h"
@@ -39,8 +42,23 @@ std::unique_ptr<Trainer> make_trainer(const std::string& method,
   if (method == "alp") {
     return std::make_unique<AlpTrainer>(model, config);
   }
-  SATD_EXPECT(false, "unknown training method: " + method);
-  return nullptr;  // unreachable
+  if (method == "ensemble_adv") {
+    return std::make_unique<EnsembleAdvTrainer>(model, config);
+  }
+  if (method == "fgsm_reg") {
+    return std::make_unique<FgsmRegTrainer>(model, config);
+  }
+  // A typo'd method name is a user input error, not a broken internal
+  // invariant, so it gets std::invalid_argument with the full menu
+  // rather than a contract abort.
+  std::string msg = "unknown training method: \"" + method + "\"; known: ";
+  bool first = true;
+  for (const auto& m : known_methods()) {
+    if (!first) msg += ", ";
+    msg += m;
+    first = false;
+  }
+  throw std::invalid_argument(msg);
 }
 
 bool is_known_method(const std::string& method) {
@@ -51,8 +69,8 @@ bool is_known_method(const std::string& method) {
 }
 
 std::vector<std::string> known_methods() {
-  return {"vanilla", "fgsm_adv", "bim_adv", "atda",
-          "proposed", "pgd_adv", "free_adv", "alp"};
+  return {"vanilla",  "fgsm_adv", "bim_adv", "atda",         "proposed",
+          "pgd_adv",  "free_adv", "alp",     "ensemble_adv", "fgsm_reg"};
 }
 
 }  // namespace satd::core

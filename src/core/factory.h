@@ -12,8 +12,14 @@ namespace satd::core {
 /// Method identifiers accepted by make_trainer:
 ///   "vanilla", "fgsm_adv", "bim_adv" (uses config.bim_iterations),
 ///   "atda", "proposed" — the paper's five methods — plus the
-///   extensions "pgd_adv" (random-start Iter-Adv) and "free_adv"
-///   (batch-replay free adversarial training).
+///   extensions "pgd_adv" (random-start Iter-Adv), "free_adv"
+///   (batch-replay free adversarial training), "alp" (adversarial
+///   logit pairing), "ensemble_adv" (static-surrogate ensemble
+///   crafting, Tramèr et al.) and "fgsm_reg" (FGSM-vs-iterative
+///   logit-divergence regularizer, Vivek & Babu).
+///
+/// Throws std::invalid_argument (with the full known_methods() list in
+/// the message) for any other name.
 std::unique_ptr<Trainer> make_trainer(const std::string& method,
                                       nn::Sequential& model,
                                       const TrainConfig& config);

@@ -1,0 +1,50 @@
+// Regularized single-step adversarial training (Vivek & Babu 2020).
+//
+// The failure mode of FGSM-only training is gradient masking: the model
+// bends its loss surface so the single linearized step lands somewhere
+// harmless, while a multi-step attack still walks straight through. The
+// observable symptom is that FGSM examples and iterative examples stop
+// looking alike to the model. Vivek & Babu's regularizer penalizes
+// exactly that divergence: alongside the usual clean + FGSM mixture, it
+// crafts a short multi-step probe (BIM with a handful of iterations) and
+// adds a squared logit-distance term between the FGSM batch and the
+// probe batch,
+//
+//   L = (1-mix) * CE(clean) + mix * CE(fgsm)
+//       + lambda * (1/(N*D)) * ||logits_fgsm - logits_probe||^2
+//
+// so masking the single-step gradient stops being free. The pairing term
+// reuses the analytic logit_pairing() gradient from the ALP trainer.
+#pragma once
+
+#include "attack/bim.h"
+#include "attack/fgsm.h"
+#include "core/trainer.h"
+
+namespace satd::core {
+
+/// Clean + FGSM mixture with an FGSM-vs-iterative logit-divergence
+/// penalty (weight config.fgsm_reg_weight, probe depth
+/// config.fgsm_reg_iterations).
+class FgsmRegTrainer : public Trainer {
+ public:
+  FgsmRegTrainer(nn::Sequential& model, TrainConfig config);
+
+  std::string name() const override { return "FGSM-Reg"; }
+
+ protected:
+  void make_adversarial_batch(const data::Batch& batch,
+                              Tensor& adv) override;
+  float train_batch(const data::Batch& batch) override;
+
+ private:
+  attack::Fgsm attack_;  // persistent so its scratch survives batches
+  attack::Bim probe_;    // the multi-step reference the penalty compares to
+  // Reused per-batch buffers: the pairing term needs the FGSM and probe
+  // logit batches live at once, so the base class's single logits
+  // scratch is not enough.
+  Tensor probe_scratch_, logits_fgsm_, logits_probe_, grad_side_;
+  nn::LossResult ce_fgsm_;
+};
+
+}  // namespace satd::core

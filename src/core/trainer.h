@@ -54,6 +54,21 @@ struct TrainConfig {
   // squared logit-difference term.
   float alp_weight = 0.5f;
 
+  // Ensemble adversarial training (EnsembleAdvTrainer, extension):
+  // number of static surrogate models, the architecture they use, and
+  // how many vanilla epochs each one is pre-trained for. The surrogates
+  // are derived deterministically from `seed`, so two runs with the same
+  // config train against bit-identical ensembles.
+  std::size_t ensemble_surrogate_count = 2;
+  std::string ensemble_surrogate_spec = "mlp_small";
+  std::size_t ensemble_surrogate_epochs = 3;
+
+  // Regularized single-step training (FgsmRegTrainer, extension): weight
+  // of the FGSM-vs-iterative logit-divergence penalty and the iteration
+  // count of the multi-step probe it compares against.
+  float fgsm_reg_weight = 0.5f;
+  std::size_t fgsm_reg_iterations = 2;
+
   // Label smoothing applied to every cross-entropy term (0 = off). A
   // regularization defense in the family the paper's related work cites.
   float label_smoothing = 0.0f;

@@ -1,0 +1,58 @@
+#include "gauntlet/attack_plan.h"
+
+#include <stdexcept>
+
+#include "attack/bim.h"
+#include "attack/fgsm.h"
+#include "attack/mifgsm.h"
+#include "attack/restart.h"
+#include "common/contract.h"
+
+namespace satd::gauntlet {
+
+std::vector<AttackSpec> white_box_plan(const PlanConfig& config) {
+  SATD_EXPECT(config.bim_iterations > 0, "bim_iterations must be positive");
+  SATD_EXPECT(config.mifgsm_iterations > 0,
+              "mifgsm_iterations must be positive");
+  SATD_EXPECT(config.pgd_iterations > 0, "pgd_iterations must be positive");
+  SATD_EXPECT(config.pgd_restarts > 0, "pgd_restarts must be positive");
+
+  std::vector<AttackSpec> plan;
+  plan.push_back({"fgsm", [](float eps) {
+                    return std::make_unique<attack::Fgsm>(eps);
+                  }});
+  plan.push_back({"bim" + std::to_string(config.bim_iterations),
+                  [n = config.bim_iterations](float eps) {
+                    return std::make_unique<attack::Bim>(eps, n);
+                  }});
+  plan.push_back({"mifgsm" + std::to_string(config.mifgsm_iterations),
+                  [n = config.mifgsm_iterations,
+                   mu = config.mifgsm_momentum](float eps) {
+                    return std::make_unique<attack::MiFgsm>(
+                        eps, n, eps / static_cast<float>(n), mu);
+                  }});
+  plan.push_back({"restart_pgd",
+                  [n = config.pgd_iterations, r = config.pgd_restarts,
+                   seed = config.pgd_seed](float eps) {
+                    return std::make_unique<attack::RestartPgd>(
+                        eps, n, /*eps_step=*/0.0f, r, seed);
+                  }});
+  return plan;
+}
+
+const AttackSpec& find_spec(const std::vector<AttackSpec>& plan,
+                            const std::string& name) {
+  for (const auto& spec : plan) {
+    if (spec.name == name) return spec;
+  }
+  std::string msg = "unknown attack spec: \"" + name + "\"; known: ";
+  bool first = true;
+  for (const auto& spec : plan) {
+    if (!first) msg += ", ";
+    msg += spec.name;
+    first = false;
+  }
+  throw std::invalid_argument(msg);
+}
+
+}  // namespace satd::gauntlet

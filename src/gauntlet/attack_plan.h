@@ -1,0 +1,54 @@
+// Attack-plan registry: the named attack menu the gauntlet crosses
+// against every defense.
+//
+// Robustness numbers are only as strong as the weakest attack they were
+// NOT measured against (Athalye et al. 2018), so the gauntlet fixes a
+// standard plan — single-step FGSM, iterative BIM, momentum MI-FGSM and
+// best-of-R random-restart PGD — and builds each attack fresh per cell
+// from a named spec. Specs are factories rather than instances because a
+// cell owns its attack's scratch state: two matrix cells never share
+// mutable attack state, which keeps cells order-independent and lets a
+// resumed run recompute any cell bit-identically.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "attack/attack.h"
+
+namespace satd::gauntlet {
+
+/// A named recipe producing a concrete white-box attack at a given total
+/// l-inf budget.
+struct AttackSpec {
+  /// Stable column identifier ("fgsm", "bim10", "mifgsm10",
+  /// "restart_pgd") — used as the matrix CSV column header.
+  std::string name;
+  /// Builds a fresh attack instance with total budget `eps`.
+  std::function<std::unique_ptr<attack::Attack>(float eps)> make;
+};
+
+/// Knobs for the standard plan. Iterative attacks use the paper's
+/// eps_step = eps / iterations convention.
+struct PlanConfig {
+  std::size_t bim_iterations = 10;
+  std::size_t mifgsm_iterations = 10;
+  float mifgsm_momentum = 1.0f;
+  std::size_t pgd_iterations = 10;
+  std::size_t pgd_restarts = 3;
+  std::uint64_t pgd_seed = 0x5EEDULL;  ///< restart-PGD start-point stream
+};
+
+/// The standard white-box plan, in fixed column order:
+/// fgsm, bim<N>, mifgsm<N>, restart_pgd.
+std::vector<AttackSpec> white_box_plan(const PlanConfig& config = {});
+
+/// Looks up a spec by name; throws std::invalid_argument listing the
+/// plan's known names when absent.
+const AttackSpec& find_spec(const std::vector<AttackSpec>& plan,
+                            const std::string& name);
+
+}  // namespace satd::gauntlet

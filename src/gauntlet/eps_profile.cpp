@@ -1,0 +1,47 @@
+#include "gauntlet/eps_profile.h"
+
+#include <algorithm>
+
+#include "common/contract.h"
+
+namespace satd::gauntlet {
+
+EpsProfile finish_profile(float clean_accuracy,
+                          const std::vector<metrics::EpsPoint>& points) {
+  SATD_EXPECT(clean_accuracy >= 0.0f && clean_accuracy <= 1.0f,
+              "clean accuracy out of [0,1]");
+  SATD_EXPECT(!points.empty(), "eps sweep needs at least one point");
+  for (std::size_t i = 0; i + 1 < points.size(); ++i) {
+    SATD_EXPECT(points[i].eps < points[i + 1].eps,
+                "eps sweep must be strictly increasing");
+  }
+
+  EpsProfile profile;
+  profile.clean_accuracy = clean_accuracy;
+  profile.points = points;
+  profile.envelope.reserve(points.size());
+  const float threshold = 0.5f * clean_accuracy;
+  float running = points.front().accuracy;
+  for (const auto& p : points) {
+    running = std::min(running, p.accuracy);
+    profile.envelope.push_back(running);
+    if (!profile.collapsed && running < threshold) {
+      profile.collapsed = true;
+      profile.knee_eps = p.eps;
+    }
+  }
+  return profile;
+}
+
+EpsProfile profile_collapse(nn::Sequential& model, const data::Dataset& test,
+                            const std::vector<float>& eps_values,
+                            std::size_t iterations, std::size_t batch_size) {
+  SATD_EXPECT(iterations > 0, "profile needs at least one attack iteration");
+  const float clean = metrics::evaluate_clean(model, test, batch_size);
+  const std::vector<metrics::EpsPoint> points =
+      metrics::accuracy_vs_eps(model, test, eps_values, iterations,
+                               batch_size);
+  return finish_profile(clean, points);
+}
+
+}  // namespace satd::gauntlet

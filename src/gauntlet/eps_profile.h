@@ -1,0 +1,55 @@
+// Eps-sweep collapse profiler: where does a defense's robustness fall
+// off a cliff?
+//
+// A single-budget robust accuracy hides the shape of the defense: two
+// methods with the same accuracy at eps=0.3 can differ wildly in how
+// gracefully they degrade on the way there. The profiler sweeps the
+// attack budget, takes the running-minimum envelope of the measured
+// accuracies (robustness at budget e must bound robustness at any larger
+// budget — an adversary with budget e' > e can always play the smaller
+// perturbation, so a non-monotone raw curve is attack noise, not signal)
+// and records the KNEE: the first budget where the envelope drops below
+// half the clean accuracy. The knee is the gauntlet's scalar summary of
+// collapse onset.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "data/dataset.h"
+#include "metrics/evaluator.h"
+#include "nn/sequential.h"
+
+namespace satd::gauntlet {
+
+/// Result of an eps sweep over one model.
+struct EpsProfile {
+  float clean_accuracy = 0.0f;
+  /// Raw measured accuracy at each swept budget (strictly increasing eps).
+  std::vector<metrics::EpsPoint> points;
+  /// Running-minimum envelope of points[i].accuracy — the monotone
+  /// non-increasing robustness bound.
+  std::vector<float> envelope;
+  /// True when the envelope dropped below 0.5 * clean_accuracy within
+  /// the sweep.
+  bool collapsed = false;
+  /// First swept eps where the envelope is below 0.5 * clean_accuracy;
+  /// -1 when the sweep never collapses (collapsed == false).
+  float knee_eps = -1.0f;
+};
+
+/// Pure post-processing step: envelope + knee from raw sweep points.
+/// Requires strictly increasing eps values. Exposed separately so the
+/// knee rule is unit-testable without training anything.
+EpsProfile finish_profile(float clean_accuracy,
+                          const std::vector<metrics::EpsPoint>& points);
+
+/// Runs the sweep: clean accuracy, then BIM(iterations) robust accuracy
+/// at each budget in `eps_values` (paper convention eps_step = eps / N),
+/// then finish_profile.
+EpsProfile profile_collapse(nn::Sequential& model, const data::Dataset& test,
+                            const std::vector<float>& eps_values,
+                            std::size_t iterations,
+                            std::size_t batch_size = 64);
+
+}  // namespace satd::gauntlet

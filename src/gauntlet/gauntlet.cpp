@@ -1,0 +1,92 @@
+#include "gauntlet/gauntlet.h"
+
+#include <cstdio>
+
+#include "attack/bim.h"
+#include "common/contract.h"
+#include "gauntlet/eps_profile.h"
+#include "gauntlet/transfer.h"
+#include "metrics/evaluator.h"
+
+namespace satd::gauntlet {
+
+namespace {
+
+std::string format_cell(float value) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6f", static_cast<double>(value));
+  return buf;
+}
+
+}  // namespace
+
+GauntletRunner::GauntletRunner(GauntletConfig config)
+    : config_(std::move(config)), plan_(white_box_plan(config_.plan)) {
+  SATD_EXPECT(config_.eps > 0.0f, "gauntlet eps must be positive");
+  SATD_EXPECT(config_.transfer_iterations > 0,
+              "transfer_iterations must be positive");
+  SATD_EXPECT(config_.sweep_iterations > 0,
+              "sweep_iterations must be positive");
+  SATD_EXPECT(!config_.eps_sweep.empty(), "eps_sweep must be non-empty");
+  SATD_EXPECT(config_.batch_size > 0, "batch size must be positive");
+
+  columns_.push_back("clean");
+  for (const auto& spec : plan_) columns_.push_back(spec.name);
+  columns_.push_back("transfer_bim" +
+                     std::to_string(config_.transfer_iterations));
+  columns_.push_back("eps_knee");
+}
+
+GauntletRow GauntletRunner::run_row(
+    const metrics::TransferModel& defense,
+    const std::vector<metrics::TransferModel>& pool,
+    const data::Dataset& test) const {
+  SATD_EXPECT(defense.model != nullptr, "null defense model");
+
+  GauntletRow row;
+  row.method = defense.name;
+  row.values.reserve(columns_.size());
+
+  row.values.push_back(
+      metrics::evaluate_clean(*defense.model, test, config_.batch_size));
+
+  for (const auto& spec : plan_) {
+    // A fresh attack per cell: no scratch state crosses cells, so any
+    // cell recomputed in isolation (e.g. on crash-resume) is
+    // bit-identical to the same cell inside an uninterrupted run.
+    auto attack = spec.make(config_.eps);
+    row.values.push_back(metrics::evaluate_attack(
+        *defense.model, test, *attack, config_.batch_size));
+  }
+
+  attack::Bim transfer_attack(config_.eps, config_.transfer_iterations);
+  row.values.push_back(
+      transfer_cell(defense, pool, test, transfer_attack, config_.batch_size)
+          .worst_case);
+
+  row.values.push_back(profile_collapse(*defense.model, test,
+                                        config_.eps_sweep,
+                                        config_.sweep_iterations,
+                                        config_.batch_size)
+                           .knee_eps);
+
+  SATD_ENSURE(row.values.size() == columns_.size(),
+              "gauntlet row/column mismatch");
+  return row;
+}
+
+std::string GauntletRunner::csv_header() const {
+  std::string line = "method";
+  for (const auto& c : columns_) line += "," + c;
+  return line;
+}
+
+std::string GauntletRunner::csv_row(const GauntletRow& row) const {
+  SATD_EXPECT(row.values.size() == columns_.size(),
+              "gauntlet row/column mismatch");
+  std::string line = row.method;
+  for (float v : row.values) line += "," + format_cell(v);
+  return line;
+}
+
+}  // namespace satd::gauntlet

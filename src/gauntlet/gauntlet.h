@@ -1,0 +1,79 @@
+// GauntletRunner: every defense crossed against every adaptive attack.
+//
+// The paper's evaluation (Table I) scores each defense against the
+// attack family it was trained on. The gauntlet is the adversarial
+// complement: a fixed defense-vs-attack matrix whose columns are chosen
+// to expose gradient masking rather than confirm training — single-step
+// FGSM, iterative BIM and MI-FGSM, best-of-R restart PGD
+// (attack_plan.h), a black-box transfer column crafted on held-out
+// surrogates (transfer.h) and the eps-sweep collapse knee
+// (eps_profile.h). One row is one defense; rows are independent and
+// deterministic, which is what lets the bench runner compute them as
+// separately resumable jobs and still merge a bit-identical matrix.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+#include "gauntlet/attack_plan.h"
+#include "metrics/transfer.h"
+
+namespace satd::gauntlet {
+
+/// Knobs for a full gauntlet run.
+struct GauntletConfig {
+  /// Total l-inf budget for every fixed-budget column.
+  float eps = 0.3f;
+  /// White-box attack plan (attack_plan.h).
+  PlanConfig plan{};
+  /// BIM depth of the black-box transfer column.
+  std::size_t transfer_iterations = 10;
+  /// Budgets of the collapse sweep (strictly increasing).
+  std::vector<float> eps_sweep = {0.05f, 0.1f, 0.2f, 0.3f, 0.4f};
+  /// BIM depth used at each sweep point.
+  std::size_t sweep_iterations = 10;
+  std::size_t batch_size = 64;
+};
+
+/// One matrix row: a defense's value per column, aligned with
+/// GauntletRunner::columns().
+struct GauntletRow {
+  std::string method;
+  std::vector<float> values;
+};
+
+/// Builds rows of the defense-vs-attack matrix.
+class GauntletRunner {
+ public:
+  explicit GauntletRunner(GauntletConfig config);
+
+  /// Fixed column order: "clean", the white-box plan columns,
+  /// "transfer_bim<N>" (worst-case held-out surrogate), "eps_knee"
+  /// (collapse-onset budget; -1 = no collapse within the sweep).
+  const std::vector<std::string>& columns() const { return columns_; }
+
+  const GauntletConfig& config() const { return config_; }
+
+  /// Evaluates `defense` against every column. `pool` is the full set of
+  /// trained participants (the defense itself included — it is excluded
+  /// from its own transfer surrogates by transfer_cell).
+  GauntletRow run_row(const metrics::TransferModel& defense,
+                      const std::vector<metrics::TransferModel>& pool,
+                      const data::Dataset& test) const;
+
+  /// "method,<col>,<col>,..." — the matrix CSV header line (no newline).
+  std::string csv_header() const;
+
+  /// "name,%.6f,..." — one CSV line (no newline); fixed-precision so two
+  /// runs of the same row are byte-identical.
+  std::string csv_row(const GauntletRow& row) const;
+
+ private:
+  GauntletConfig config_;
+  std::vector<AttackSpec> plan_;
+  std::vector<std::string> columns_;
+};
+
+}  // namespace satd::gauntlet

@@ -1,0 +1,64 @@
+#include "gauntlet/transfer.h"
+
+#include <algorithm>
+
+#include "common/contract.h"
+
+namespace satd::gauntlet {
+
+std::vector<metrics::TransferModel> select_surrogates(
+    const metrics::TransferModel& defense,
+    const std::vector<metrics::TransferModel>& pool) {
+  SATD_EXPECT(defense.model != nullptr, "null defense model");
+  std::vector<metrics::TransferModel> surrogates;
+  for (const auto& candidate : pool) {
+    SATD_EXPECT(candidate.model != nullptr, "null model in surrogate pool");
+    if (candidate.name == defense.name ||
+        candidate.model == defense.model) {
+      continue;
+    }
+    surrogates.push_back(candidate);
+  }
+  SATD_EXPECT(!surrogates.empty(),
+              "transfer attack on \"" + defense.name +
+                  "\" has no held-out surrogates");
+  return surrogates;
+}
+
+TransferCell transfer_cell(const metrics::TransferModel& defense,
+                           const std::vector<metrics::TransferModel>& pool,
+                           const data::Dataset& test, attack::Attack& attack,
+                           std::size_t batch_size) {
+  const std::vector<metrics::TransferModel> surrogates =
+      select_surrogates(defense, pool);
+  // Exclusion invariant, re-checked on the final source list: the
+  // defense must not craft the perturbations it is scored on.
+  for (const auto& s : surrogates) {
+    SATD_ENSURE(s.model != defense.model && s.name != defense.name,
+                "defense leaked into its own surrogate set");
+  }
+
+  const metrics::TransferMatrix m =
+      metrics::transfer_matrix(surrogates, {defense}, test, attack,
+                               batch_size);
+
+  TransferCell cell;
+  cell.surrogate_names = m.names;
+  cell.per_surrogate_accuracy.reserve(m.accuracy.size());
+  for (const auto& row : m.accuracy) {
+    SATD_ENSURE(row.size() == 1, "transfer cell expects a single target");
+    cell.per_surrogate_accuracy.push_back(row[0]);
+  }
+  cell.worst_case = *std::min_element(cell.per_surrogate_accuracy.begin(),
+                                      cell.per_surrogate_accuracy.end());
+  return cell;
+}
+
+metrics::TransferMatrix cross_matrix(
+    const std::vector<metrics::TransferModel>& pool,
+    const data::Dataset& test, attack::Attack& attack,
+    std::size_t batch_size) {
+  return metrics::transfer_matrix(pool, test, attack, batch_size);
+}
+
+}  // namespace satd::gauntlet

@@ -1,0 +1,57 @@
+// Gauntlet transfer machinery: black-box attacks from held-out
+// surrogates against one defended model.
+//
+// A gradient-masking defense looks robust white-box and folds black-box
+// (Athalye et al. 2018). The gauntlet's transfer column therefore crafts
+// the attack on SURROGATE models the defense never saw — every other
+// trained defense in the study's model pool — and scores the defense on
+// the worst (minimum-accuracy) surrogate. The exclusion invariant is
+// enforced, not assumed: the defense under test must never appear among
+// its own crafting sources, by name or by pointer.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "attack/attack.h"
+#include "data/dataset.h"
+#include "metrics/transfer.h"
+
+namespace satd::gauntlet {
+
+/// One defense's transfer-attack result.
+struct TransferCell {
+  /// Crafting sources actually used (the pool minus the defense).
+  std::vector<std::string> surrogate_names;
+  /// accuracy[i] = defense accuracy on examples crafted on surrogate i.
+  std::vector<float> per_surrogate_accuracy;
+  /// min over surrogates — the black-box worst case, the matrix cell.
+  float worst_case = 0.0f;
+};
+
+/// Selects the surrogates for `defense` out of `pool`: every pool entry
+/// that is not the defense itself (matched by name AND by model
+/// pointer). Throws ContractViolation if nothing is left.
+std::vector<metrics::TransferModel> select_surrogates(
+    const metrics::TransferModel& defense,
+    const std::vector<metrics::TransferModel>& pool);
+
+/// Crafts `attack` on each surrogate of `defense` in `pool` and scores
+/// the defense on every crafted batch; the cell is the per-surrogate
+/// minimum.
+TransferCell transfer_cell(const metrics::TransferModel& defense,
+                           const std::vector<metrics::TransferModel>& pool,
+                           const data::Dataset& test, attack::Attack& attack,
+                           std::size_t batch_size = 64);
+
+/// Full symmetric cross matrix over a participant pool (every model both
+/// crafts and defends) — the classic transfer-study view the extension
+/// bench renders. Thin wrapper over metrics::transfer_matrix so the
+/// bench and the gauntlet share one crafting/evaluation path.
+metrics::TransferMatrix cross_matrix(
+    const std::vector<metrics::TransferModel>& pool,
+    const data::Dataset& test, attack::Attack& attack,
+    std::size_t batch_size = 64);
+
+}  // namespace satd::gauntlet

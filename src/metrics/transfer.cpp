@@ -13,14 +13,15 @@ std::string TransferMatrix::to_string() const {
   SATD_EXPECT(names.size() == accuracy.size(), "malformed transfer matrix");
   std::size_t width = 12;
   for (const auto& n : names) width = std::max(width, n.size() + 2);
+  for (const auto& n : col_names) width = std::max(width, n.size() + 2);
   std::ostringstream ss;
   ss << std::left << std::setw(static_cast<int>(width)) << "src\\target";
-  for (const auto& n : names) {
+  for (const auto& n : col_names) {
     ss << std::setw(static_cast<int>(width)) << n;
   }
   ss << "\n";
   for (std::size_t i = 0; i < names.size(); ++i) {
-    SATD_EXPECT(accuracy[i].size() == names.size(),
+    SATD_EXPECT(accuracy[i].size() == col_names.size(),
                 "malformed transfer matrix row");
     ss << std::setw(static_cast<int>(width)) << names[i];
     for (float a : accuracy[i]) {
@@ -33,25 +34,31 @@ std::string TransferMatrix::to_string() const {
   return ss.str();
 }
 
-TransferMatrix transfer_matrix(const std::vector<TransferModel>& models,
+TransferMatrix transfer_matrix(const std::vector<TransferModel>& sources,
+                               const std::vector<TransferModel>& targets,
                                const data::Dataset& test,
                                attack::Attack& attack,
                                std::size_t batch_size) {
-  SATD_EXPECT(!models.empty(), "transfer study needs at least one model");
+  SATD_EXPECT(!sources.empty(), "transfer study needs at least one source");
+  SATD_EXPECT(!targets.empty(), "transfer study needs at least one target");
   SATD_EXPECT(test.size() > 0, "empty test set");
   SATD_EXPECT(batch_size > 0, "batch size must be positive");
-  for (const auto& m : models) {
-    SATD_EXPECT(m.model != nullptr, "null model in transfer study");
+  for (const auto& m : sources) {
+    SATD_EXPECT(m.model != nullptr, "null source model in transfer study");
+  }
+  for (const auto& m : targets) {
+    SATD_EXPECT(m.model != nullptr, "null target model in transfer study");
   }
 
   TransferMatrix out;
-  for (const auto& m : models) out.names.push_back(m.name);
-  out.accuracy.assign(models.size(),
-                      std::vector<float>(models.size(), 0.0f));
+  for (const auto& m : sources) out.names.push_back(m.name);
+  for (const auto& m : targets) out.col_names.push_back(m.name);
+  out.accuracy.assign(sources.size(),
+                      std::vector<float>(targets.size(), 0.0f));
 
   const auto& dims = test.images.shape().dims();
   std::vector<std::vector<std::size_t>> correct(
-      models.size(), std::vector<std::size_t>(models.size(), 0));
+      sources.size(), std::vector<std::size_t>(targets.size(), 0));
   Tensor logits;
   std::vector<std::size_t> preds;
 
@@ -64,24 +71,31 @@ TransferMatrix transfer_matrix(const std::vector<TransferModel>& models,
     for (std::size_t i = begin; i < end; ++i) {
       images.set_row(i - begin, test.images.slice_row(i));
     }
-    for (std::size_t src = 0; src < models.size(); ++src) {
+    for (std::size_t src = 0; src < sources.size(); ++src) {
       const Tensor adv =
-          attack.perturb(*models[src].model, images, labels);
-      for (std::size_t dst = 0; dst < models.size(); ++dst) {
-        predict_into(*models[dst].model, adv, batch_size, logits, preds);
+          attack.perturb(*sources[src].model, images, labels);
+      for (std::size_t dst = 0; dst < targets.size(); ++dst) {
+        predict_into(*targets[dst].model, adv, batch_size, logits, preds);
         for (std::size_t k = 0; k < labels.size(); ++k) {
           if (preds[k] == labels[k]) ++correct[src][dst];
         }
       }
     }
   }
-  for (std::size_t src = 0; src < models.size(); ++src) {
-    for (std::size_t dst = 0; dst < models.size(); ++dst) {
+  for (std::size_t src = 0; src < sources.size(); ++src) {
+    for (std::size_t dst = 0; dst < targets.size(); ++dst) {
       out.accuracy[src][dst] = static_cast<float>(correct[src][dst]) /
                                static_cast<float>(test.size());
     }
   }
   return out;
+}
+
+TransferMatrix transfer_matrix(const std::vector<TransferModel>& models,
+                               const data::Dataset& test,
+                               attack::Attack& attack,
+                               std::size_t batch_size) {
+  return transfer_matrix(models, models, test, attack, batch_size);
 }
 
 }  // namespace satd::metrics

@@ -24,18 +24,29 @@ struct TransferModel {
   nn::Sequential* model = nullptr;  ///< borrowed, non-null
 };
 
-/// accuracy[i][j] = accuracy of model j on adversarial examples crafted
-/// against model i (diagonal = the usual white-box accuracy).
+/// accuracy[i][j] = accuracy of target j on adversarial examples crafted
+/// against source i. In the symmetric (single model set) form, sources
+/// and targets coincide and the diagonal is the usual white-box accuracy.
 struct TransferMatrix {
-  std::vector<std::string> names;
+  std::vector<std::string> names;      ///< source names (rows)
+  std::vector<std::string> col_names;  ///< target names (columns)
   std::vector<std::vector<float>> accuracy;
 
   /// Renders an aligned source-rows x target-columns table.
   std::string to_string() const;
 };
 
-/// Crafts `attack` against every source model and evaluates every target
-/// on the result.
+/// General form: crafts `attack` against every source and evaluates every
+/// target on the result. Sources and targets may overlap, nest or be
+/// disjoint — the gauntlet's surrogate transfer uses held-out sources
+/// against a single defended target.
+TransferMatrix transfer_matrix(const std::vector<TransferModel>& sources,
+                               const std::vector<TransferModel>& targets,
+                               const data::Dataset& test,
+                               attack::Attack& attack,
+                               std::size_t batch_size = 64);
+
+/// Symmetric form: every model is both a source and a target.
 TransferMatrix transfer_matrix(const std::vector<TransferModel>& models,
                                const data::Dataset& test,
                                attack::Attack& attack,

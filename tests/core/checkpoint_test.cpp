@@ -101,7 +101,8 @@ TEST_P(CheckpointMethodTest, ResumeIsBitIdenticalToStraightRun) {
 INSTANTIATE_TEST_SUITE_P(AllMethods, CheckpointMethodTest,
                          ::testing::Values("vanilla", "fgsm_adv", "bim_adv",
                                            "atda", "proposed", "pgd_adv",
-                                           "free_adv", "alp"));
+                                           "free_adv", "alp", "ensemble_adv",
+                                           "fgsm_reg"));
 
 // Graceful shutdown meets checkpointing: a stop check firing in the
 // MIDDLE of an epoch must roll the trainer back to the last completed

@@ -2,7 +2,9 @@
 
 #include <gtest/gtest.h>
 
-#include "common/contract.h"
+#include <algorithm>
+#include <stdexcept>
+
 #include "nn/zoo.h"
 
 namespace satd::core {
@@ -34,12 +36,37 @@ TEST(Factory, MethodNamesMatchPaperRows) {
   EXPECT_EQ(make_trainer("proposed", m, cfg)->name(), "Proposed");
 }
 
-TEST(Factory, UnknownMethodThrows) {
+TEST(Factory, UnknownMethodThrowsInvalidArgumentListingKnownMethods) {
   Rng rng(1);
   nn::Sequential m = nn::zoo::build("mlp_small", rng);
   TrainConfig cfg;
   EXPECT_FALSE(is_known_method("trades"));
-  EXPECT_THROW(make_trainer("trades", m, cfg), ContractViolation);
+  try {
+    make_trainer("trades", m, cfg);
+    FAIL() << "make_trainer accepted an unknown method";
+  } catch (const std::invalid_argument& e) {
+    // The message must name the offender and list every valid choice, so
+    // a typo'd bench flag is self-diagnosing.
+    const std::string what = e.what();
+    EXPECT_NE(what.find("trades"), std::string::npos) << what;
+    for (const auto& method : known_methods()) {
+      EXPECT_NE(what.find(method), std::string::npos)
+          << "missing \"" << method << "\" in: " << what;
+    }
+  }
+}
+
+TEST(Factory, ExtensionMethodNamesAndKnownList) {
+  Rng rng(1);
+  nn::Sequential m = nn::zoo::build("mlp_small", rng);
+  TrainConfig cfg;
+  EXPECT_EQ(make_trainer("ensemble_adv", m, cfg)->name(), "Ensemble-Adv");
+  EXPECT_EQ(make_trainer("fgsm_reg", m, cfg)->name(), "FGSM-Reg");
+  const auto methods = known_methods();
+  EXPECT_NE(std::find(methods.begin(), methods.end(), "ensemble_adv"),
+            methods.end());
+  EXPECT_NE(std::find(methods.begin(), methods.end(), "fgsm_reg"),
+            methods.end());
 }
 
 TEST(Factory, ConfigIsForwarded) {

@@ -1,0 +1,251 @@
+// Gauntlet subsystem: attack-plan registry, eps-sweep knee rule,
+// surrogate-exclusion invariant and the runner's matrix-row shape +
+// CSV determinism.
+#include "gauntlet/gauntlet.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "attack/bim.h"
+#include "common/contract.h"
+#include "core/factory.h"
+#include "data/synthetic.h"
+#include "gauntlet/eps_profile.h"
+#include "gauntlet/transfer.h"
+#include "nn/zoo.h"
+
+namespace satd::gauntlet {
+namespace {
+
+const data::DatasetPair& digits() {
+  static const data::DatasetPair pair = [] {
+    data::SyntheticConfig cfg;
+    cfg.train_size = 150;
+    cfg.test_size = 40;
+    cfg.seed = 55;
+    return data::make_synthetic_digits(cfg);
+  }();
+  return pair;
+}
+
+nn::Sequential train_one(const std::string& method, std::uint64_t seed) {
+  Rng rng(seed);
+  nn::Sequential model = nn::zoo::build("mlp_small", rng);
+  core::TrainConfig cfg;
+  cfg.epochs = 3;
+  cfg.seed = seed;
+  cfg.eps = 0.2f;
+  cfg.bim_iterations = 2;
+  auto trainer = core::make_trainer(method, model, cfg);
+  trainer->fit(digits().train);
+  return model;
+}
+
+// ---------------------------------------------------------------- plan
+
+TEST(AttackPlan, StandardPlanNamesAndOrder) {
+  const auto plan = white_box_plan();
+  ASSERT_EQ(plan.size(), 4u);
+  EXPECT_EQ(plan[0].name, "fgsm");
+  EXPECT_EQ(plan[1].name, "bim10");
+  EXPECT_EQ(plan[2].name, "mifgsm10");
+  EXPECT_EQ(plan[3].name, "restart_pgd");
+
+  PlanConfig cfg;
+  cfg.bim_iterations = 7;
+  cfg.mifgsm_iterations = 5;
+  const auto custom = white_box_plan(cfg);
+  EXPECT_EQ(custom[1].name, "bim7");
+  EXPECT_EQ(custom[2].name, "mifgsm5");
+}
+
+TEST(AttackPlan, SpecsBuildFreshIndependentAttacks) {
+  const auto plan = white_box_plan();
+  for (const auto& spec : plan) {
+    auto a = spec.make(0.25f);
+    auto b = spec.make(0.25f);
+    ASSERT_NE(a, nullptr) << spec.name;
+    ASSERT_NE(b, nullptr) << spec.name;
+    EXPECT_NE(a.get(), b.get());
+    EXPECT_FLOAT_EQ(a->epsilon(), 0.25f) << spec.name;
+  }
+}
+
+TEST(AttackPlan, FindSpecThrowsListingKnownNames) {
+  const auto plan = white_box_plan();
+  EXPECT_EQ(find_spec(plan, "restart_pgd").name, "restart_pgd");
+  try {
+    find_spec(plan, "cw_l2");
+    FAIL() << "find_spec accepted an unknown attack name";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("cw_l2"), std::string::npos) << what;
+    for (const auto& spec : plan) {
+      EXPECT_NE(what.find(spec.name), std::string::npos) << what;
+    }
+  }
+}
+
+// ------------------------------------------------------------- profile
+
+std::vector<metrics::EpsPoint> points(std::initializer_list<float> eps,
+                                      std::initializer_list<float> acc) {
+  std::vector<metrics::EpsPoint> out;
+  auto e = eps.begin();
+  auto a = acc.begin();
+  for (; e != eps.end(); ++e, ++a) out.push_back({*e, *a});
+  return out;
+}
+
+TEST(EpsProfile, EnvelopeIsRunningMinimumAndKneeIsFirstCollapse) {
+  // Raw curve is non-monotone (attack noise); the envelope must clamp it
+  // and the knee must fire at the FIRST budget below 0.5 * clean.
+  const auto profile = finish_profile(
+      1.0f, points({0.1f, 0.2f, 0.3f, 0.4f}, {0.9f, 0.5f, 0.7f, 0.2f}));
+  ASSERT_EQ(profile.envelope.size(), 4u);
+  EXPECT_FLOAT_EQ(profile.envelope[0], 0.9f);
+  EXPECT_FLOAT_EQ(profile.envelope[1], 0.5f);
+  EXPECT_FLOAT_EQ(profile.envelope[2], 0.5f);  // clamped, raw was 0.7
+  EXPECT_FLOAT_EQ(profile.envelope[3], 0.2f);
+  EXPECT_TRUE(profile.collapsed);
+  // 0.5 is NOT below 0.5*clean (strict <); collapse starts at eps=0.4.
+  EXPECT_FLOAT_EQ(profile.knee_eps, 0.4f);
+}
+
+TEST(EpsProfile, NoCollapseYieldsSentinelKnee) {
+  const auto profile =
+      finish_profile(0.8f, points({0.1f, 0.2f}, {0.7f, 0.6f}));
+  EXPECT_FALSE(profile.collapsed);
+  EXPECT_FLOAT_EQ(profile.knee_eps, -1.0f);
+}
+
+TEST(EpsProfile, RequiresStrictlyIncreasingEps) {
+  EXPECT_THROW(finish_profile(1.0f, points({0.2f, 0.2f}, {0.5f, 0.4f})),
+               ContractViolation);
+  EXPECT_THROW(finish_profile(1.0f, points({0.3f, 0.2f}, {0.5f, 0.4f})),
+               ContractViolation);
+}
+
+TEST(EpsProfile, SweepOverRealModelIsDeterministic) {
+  nn::Sequential model = train_one("vanilla", 11);
+  const std::vector<float> sweep{0.05f, 0.15f, 0.3f};
+  const EpsProfile a = profile_collapse(model, digits().test, sweep, 2, 16);
+  const EpsProfile b = profile_collapse(model, digits().test, sweep, 2, 16);
+  ASSERT_EQ(a.points.size(), sweep.size());
+  for (std::size_t i = 0; i < sweep.size(); ++i) {
+    EXPECT_FLOAT_EQ(a.points[i].eps, sweep[i]);
+    EXPECT_FLOAT_EQ(a.points[i].accuracy, b.points[i].accuracy);
+    EXPECT_LE(a.envelope[i], a.clean_accuracy + 1e-6f);
+    if (i > 0) {
+      EXPECT_LE(a.envelope[i], a.envelope[i - 1]);
+    }
+  }
+  EXPECT_FLOAT_EQ(a.knee_eps, b.knee_eps);
+}
+
+// ------------------------------------------------------------ transfer
+
+TEST(Transfer, SurrogateSelectionExcludesDefenseByNameAndPointer) {
+  nn::Sequential m0 = train_one("vanilla", 1);
+  nn::Sequential m1 = train_one("fgsm_adv", 2);
+  nn::Sequential m2 = train_one("proposed", 3);
+  const std::vector<metrics::TransferModel> pool{
+      {"vanilla", &m0}, {"fgsm_adv", &m1}, {"proposed", &m2}};
+
+  const auto surrogates = select_surrogates(pool[1], pool);
+  ASSERT_EQ(surrogates.size(), 2u);
+  for (const auto& s : surrogates) {
+    EXPECT_NE(s.name, "fgsm_adv");
+    EXPECT_NE(s.model, &m1);
+  }
+
+  // Same model smuggled in under a different name: the pointer match
+  // must still exclude it.
+  const std::vector<metrics::TransferModel> aliased{
+      {"vanilla", &m0}, {"fgsm_adv", &m1}, {"fgsm_adv_copy", &m1}};
+  const auto held_out = select_surrogates(aliased[1], aliased);
+  ASSERT_EQ(held_out.size(), 1u);
+  EXPECT_EQ(held_out[0].model, &m0);
+
+  // A defense with no held-out surrogate is a contract violation, not a
+  // silently-empty transfer column.
+  const std::vector<metrics::TransferModel> lonely{{"vanilla", &m0}};
+  EXPECT_THROW(select_surrogates(lonely[0], lonely), ContractViolation);
+}
+
+TEST(Transfer, CellWorstCaseIsMinimumOverSurrogates) {
+  nn::Sequential m0 = train_one("vanilla", 1);
+  nn::Sequential m1 = train_one("fgsm_adv", 2);
+  nn::Sequential m2 = train_one("proposed", 3);
+  const std::vector<metrics::TransferModel> pool{
+      {"vanilla", &m0}, {"fgsm_adv", &m1}, {"proposed", &m2}};
+
+  attack::Bim bim(0.2f, 2);
+  const TransferCell cell =
+      transfer_cell(pool[2], pool, digits().test, bim, 16);
+  ASSERT_EQ(cell.surrogate_names.size(), 2u);
+  ASSERT_EQ(cell.per_surrogate_accuracy.size(), 2u);
+  EXPECT_EQ(std::count(cell.surrogate_names.begin(),
+                       cell.surrogate_names.end(), "proposed"),
+            0);
+  const float expected_min = *std::min_element(
+      cell.per_surrogate_accuracy.begin(), cell.per_surrogate_accuracy.end());
+  EXPECT_FLOAT_EQ(cell.worst_case, expected_min);
+}
+
+// -------------------------------------------------------------- runner
+
+GauntletConfig tiny_gauntlet() {
+  GauntletConfig cfg;
+  cfg.eps = 0.2f;
+  cfg.plan.bim_iterations = 2;
+  cfg.plan.mifgsm_iterations = 2;
+  cfg.plan.pgd_iterations = 2;
+  cfg.plan.pgd_restarts = 2;
+  cfg.transfer_iterations = 2;
+  cfg.eps_sweep = {0.1f, 0.3f};
+  cfg.sweep_iterations = 2;
+  cfg.batch_size = 16;
+  return cfg;
+}
+
+TEST(GauntletRunner, ColumnsFollowTheFixedSchema) {
+  const GauntletRunner runner(tiny_gauntlet());
+  const std::vector<std::string> want{"clean",       "fgsm",
+                                      "bim2",        "mifgsm2",
+                                      "restart_pgd", "transfer_bim2",
+                                      "eps_knee"};
+  EXPECT_EQ(runner.columns(), want);
+  EXPECT_EQ(runner.csv_header(),
+            "method,clean,fgsm,bim2,mifgsm2,restart_pgd,transfer_bim2,"
+            "eps_knee");
+}
+
+TEST(GauntletRunner, RowIsCompleteBoundedAndByteDeterministic) {
+  nn::Sequential m0 = train_one("vanilla", 1);
+  nn::Sequential m1 = train_one("proposed", 3);
+  const std::vector<metrics::TransferModel> pool{{"vanilla", &m0},
+                                                 {"proposed", &m1}};
+  const GauntletRunner runner(tiny_gauntlet());
+
+  const GauntletRow row = runner.run_row(pool[1], pool, digits().test);
+  EXPECT_EQ(row.method, "proposed");
+  ASSERT_EQ(row.values.size(), runner.columns().size());
+  // All accuracy columns (everything but the trailing knee) live in
+  // [0, 1]; the knee is a swept eps or the -1 sentinel.
+  for (std::size_t i = 0; i + 1 < row.values.size(); ++i) {
+    EXPECT_GE(row.values[i], 0.0f) << runner.columns()[i];
+    EXPECT_LE(row.values[i], 1.0f) << runner.columns()[i];
+  }
+  const float knee = row.values.back();
+  EXPECT_TRUE(knee == -1.0f || knee == 0.1f || knee == 0.3f) << knee;
+
+  const GauntletRow again = runner.run_row(pool[1], pool, digits().test);
+  EXPECT_EQ(runner.csv_row(row), runner.csv_row(again));
+  EXPECT_NE(runner.csv_row(row).find("proposed,"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace satd::gauntlet

@@ -1,0 +1,151 @@
+// Random-restart PGD: seeded determinism, restart independence, and the
+// per-example best-of selection contract the gauntlet's resumable matrix
+// cells rely on.
+#include "attack/restart.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "attack/attack.h"
+#include "common/contract.h"
+#include "core/vanilla_trainer.h"
+#include "data/synthetic.h"
+#include "nn/zoo.h"
+
+namespace satd::attack {
+namespace {
+
+const data::DatasetPair& digits() {
+  static const data::DatasetPair pair = [] {
+    data::SyntheticConfig cfg;
+    cfg.train_size = 120;
+    cfg.test_size = 24;
+    cfg.seed = 91;
+    return data::make_synthetic_digits(cfg);
+  }();
+  return pair;
+}
+
+nn::Sequential& model() {
+  static nn::Sequential m = [] {
+    Rng rng(4);
+    nn::Sequential net = nn::zoo::build("mlp_small", rng);
+    core::TrainConfig cfg;
+    cfg.epochs = 4;
+    cfg.seed = 4;
+    core::VanillaTrainer trainer(net, cfg);
+    trainer.fit(digits().train);
+    return net;
+  }();
+  return m;
+}
+
+TEST(RestartPgd, ValidatesParameters) {
+  EXPECT_THROW(RestartPgd(-0.1f, 3, 0.0f, 2), ContractViolation);
+  EXPECT_THROW(RestartPgd(0.2f, 0, 0.0f, 2), ContractViolation);
+  EXPECT_THROW(RestartPgd(0.2f, 3, 0.0f, 0), ContractViolation);
+}
+
+TEST(RestartPgd, NameAndAccessors) {
+  RestartPgd attack(0.2f, 5, 0.0f, 3);
+  EXPECT_FLOAT_EQ(attack.epsilon(), 0.2f);
+  EXPECT_EQ(attack.iterations(), 5u);
+  EXPECT_EQ(attack.restarts(), 3u);
+  EXPECT_NE(attack.name().find("PGD-R3"), std::string::npos);
+}
+
+TEST(RestartPgd, DeterministicAcrossCallsAndInstances) {
+  const auto& test = digits().test;
+  RestartPgd a(0.2f, 3, 0.0f, 3, 77);
+  RestartPgd b(0.2f, 3, 0.0f, 3, 77);
+  Tensor adv_a, adv_b, adv_a2;
+  a.perturb_into(model(), test.images, test.labels, adv_a);
+  b.perturb_into(model(), test.images, test.labels, adv_b);
+  // Stateless across calls: a second perturbation of the same instance
+  // must not drift (fresh per-restart streams, no mutable RNG state).
+  a.perturb_into(model(), test.images, test.labels, adv_a2);
+  EXPECT_TRUE(adv_a.equals(adv_b));
+  EXPECT_TRUE(adv_a.equals(adv_a2));
+}
+
+TEST(RestartPgd, DifferentSeedsAndRestartsDiffer) {
+  const auto& test = digits().test;
+  RestartPgd a(0.2f, 3, 0.0f, 2, 77);
+  RestartPgd b(0.2f, 3, 0.0f, 2, 78);
+  Tensor adv_a, adv_b;
+  a.perturb_into(model(), test.images, test.labels, adv_a);
+  b.perturb_into(model(), test.images, test.labels, adv_b);
+  EXPECT_FALSE(adv_a.equals(adv_b));
+
+  Tensor r0, r1;
+  a.perturb_restart_into(model(), test.images, test.labels, 0, r0);
+  a.perturb_restart_into(model(), test.images, test.labels, 1, r1);
+  EXPECT_FALSE(r0.equals(r1));
+  EXPECT_THROW(a.perturb_restart_into(model(), test.images, test.labels, 2,
+                                      r0),
+               ContractViolation);
+}
+
+TEST(RestartPgd, SelectsPerExampleMaxLossRestart) {
+  const auto& test = digits().test;
+  RestartPgd attack(0.25f, 3, 0.0f, 4, 13);
+  Tensor best;
+  attack.perturb_into(model(), test.images, test.labels, best);
+
+  Tensor logits;
+  std::vector<float> best_loss;
+  model().forward_into(best, logits, false);
+  per_row_cross_entropy(logits, test.labels, best_loss);
+
+  // The selected batch must dominate every single restart per example.
+  for (std::size_t r = 0; r < attack.restarts(); ++r) {
+    Tensor candidate;
+    attack.perturb_restart_into(model(), test.images, test.labels, r,
+                                candidate);
+    std::vector<float> loss;
+    model().forward_into(candidate, logits, false);
+    per_row_cross_entropy(logits, test.labels, loss);
+    for (std::size_t i = 0; i < loss.size(); ++i) {
+      EXPECT_GE(best_loss[i], loss[i] - 1e-5f)
+          << "restart " << r << " beat the selected example " << i;
+    }
+  }
+}
+
+TEST(RestartPgd, StaysInEpsBallAndPixelRange) {
+  const auto& test = digits().test;
+  const float eps = 0.2f;
+  RestartPgd attack(eps, 3, 0.0f, 3);
+  Tensor adv;
+  attack.perturb_into(model(), test.images, test.labels, adv);
+  ASSERT_EQ(adv.numel(), test.images.numel());
+  const float* x = test.images.raw();
+  const float* a = adv.raw();
+  for (std::size_t i = 0; i < adv.numel(); ++i) {
+    EXPECT_LE(std::abs(a[i] - x[i]), eps + 1e-5f);
+    EXPECT_GE(a[i], kPixelMin - 1e-6f);
+    EXPECT_LE(a[i], kPixelMax + 1e-6f);
+  }
+}
+
+TEST(PerRowCrossEntropy, MatchesHandComputation) {
+  Tensor logits(Shape{2, 2});
+  float* p = logits.raw();
+  p[0] = 0.0f;
+  p[1] = 0.0f;  // uniform: loss = log 2
+  p[2] = 10.0f;
+  p[3] = 0.0f;  // confident row, label 0: loss ~ 0
+  std::vector<std::size_t> labels{0, 0};
+  std::vector<float> loss;
+  per_row_cross_entropy(logits, labels, loss);
+  ASSERT_EQ(loss.size(), 2u);
+  EXPECT_NEAR(loss[0], std::log(2.0f), 1e-5f);
+  EXPECT_NEAR(loss[1], std::log(1.0f + std::exp(-10.0f)), 1e-5f);
+
+  std::vector<std::size_t> bad{0, 2};
+  EXPECT_THROW(per_row_cross_entropy(logits, bad, loss), ContractViolation);
+}
+
+}  // namespace
+}  // namespace satd::attack

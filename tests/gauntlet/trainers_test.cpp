@@ -1,0 +1,206 @@
+// The two new factory trainers the gauntlet benchmarks — Ensemble-Adv
+// (Tramèr et al. 2018) and FGSM-Reg (Vivek & Babu 2020) — plus the
+// cached-model reuse path the gauntlet's row jobs lean on.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+
+#include "common/contract.h"
+#include "core/ensemble_adv_trainer.h"
+#include "core/factory.h"
+#include "core/fgsm_reg_trainer.h"
+#include "data/synthetic.h"
+#include "metrics/evaluator.h"
+#include "metrics/model_cache.h"
+#include "nn/zoo.h"
+
+namespace satd::core {
+namespace {
+
+namespace fs = std::filesystem;
+
+data::DatasetPair tiny_digits() {
+  data::SyntheticConfig cfg;
+  cfg.train_size = 150;
+  cfg.test_size = 50;
+  cfg.seed = 77;
+  return data::make_synthetic_digits(cfg);
+}
+
+TrainConfig tiny_config(std::size_t epochs = 6) {
+  TrainConfig cfg;
+  cfg.epochs = epochs;
+  cfg.batch_size = 32;
+  cfg.seed = 8;
+  cfg.eps = 0.15f;
+  cfg.ensemble_surrogate_count = 2;
+  cfg.ensemble_surrogate_epochs = 2;
+  cfg.fgsm_reg_weight = 0.3f;
+  cfg.fgsm_reg_iterations = 2;
+  return cfg;
+}
+
+TEST(EnsembleAdvTrainer, NameAndValidation) {
+  Rng rng(1);
+  nn::Sequential m = nn::zoo::build("mlp_small", rng);
+  EXPECT_EQ(EnsembleAdvTrainer(m, tiny_config()).name(), "Ensemble-Adv");
+
+  TrainConfig bad = tiny_config();
+  bad.ensemble_surrogate_count = 0;
+  EXPECT_THROW(EnsembleAdvTrainer(m, bad), ContractViolation);
+  bad = tiny_config();
+  bad.ensemble_surrogate_epochs = 0;
+  EXPECT_THROW(EnsembleAdvTrainer(m, bad), ContractViolation);
+  bad = tiny_config();
+  bad.ensemble_surrogate_spec = "resnet152";
+  EXPECT_THROW(EnsembleAdvTrainer(m, bad), ContractViolation);
+}
+
+TEST(EnsembleAdvTrainer, TrainsSurrogatesAndLearnsCleanData) {
+  const auto data = tiny_digits();
+  Rng rng(1);
+  nn::Sequential m = nn::zoo::build("mlp_small", rng);
+  EnsembleAdvTrainer trainer(m, tiny_config(10));
+  EXPECT_TRUE(trainer.surrogates().empty()) << "surrogates built lazily";
+  trainer.fit(data.train);
+  EXPECT_EQ(trainer.surrogates().size(), 2u);
+  EXPECT_GT(metrics::evaluate_clean(m, data.test), 0.5f);
+  // The static surrogates must themselves be trained classifiers, not
+  // random inits — otherwise the ensemble is just noisy FGSM.
+  for (const auto& surrogate : trainer.surrogates()) {
+    nn::Sequential& s = const_cast<nn::Sequential&>(surrogate);
+    EXPECT_GT(metrics::evaluate_clean(s, data.test), 0.3f);
+  }
+}
+
+TEST(EnsembleAdvTrainer, DeterministicGivenSeeds) {
+  const auto data = tiny_digits();
+  auto run = [&] {
+    Rng rng(3);
+    nn::Sequential m = nn::zoo::build("mlp_small", rng);
+    EnsembleAdvTrainer trainer(m, tiny_config(3));
+    trainer.fit(data.train);
+    Tensor probe = Tensor::full(Shape{1, 1, 28, 28}, 0.5f);
+    return m.forward(probe, false);
+  };
+  EXPECT_TRUE(run().equals(run()));
+}
+
+TEST(EnsembleAdvTrainer, SurrogatesAreIndependentOfEachOther) {
+  const auto data = tiny_digits();
+  Rng rng(1);
+  nn::Sequential m = nn::zoo::build("mlp_small", rng);
+  EnsembleAdvTrainer trainer(m, tiny_config(2));
+  trainer.fit(data.train);
+  ASSERT_EQ(trainer.surrogates().size(), 2u);
+  Tensor probe = Tensor::full(Shape{1, 1, 28, 28}, 0.5f);
+  nn::Sequential& s0 = const_cast<nn::Sequential&>(trainer.surrogates()[0]);
+  nn::Sequential& s1 = const_cast<nn::Sequential&>(trainer.surrogates()[1]);
+  EXPECT_FALSE(s0.forward(probe, false).equals(s1.forward(probe, false)))
+      << "surrogate streams must be salted per index";
+}
+
+TEST(FgsmRegTrainer, NameAndValidation) {
+  Rng rng(1);
+  nn::Sequential m = nn::zoo::build("mlp_small", rng);
+  EXPECT_EQ(FgsmRegTrainer(m, tiny_config()).name(), "FGSM-Reg");
+
+  TrainConfig bad = tiny_config();
+  bad.fgsm_reg_weight = -0.1f;
+  EXPECT_THROW(FgsmRegTrainer(m, bad), ContractViolation);
+  bad = tiny_config();
+  bad.fgsm_reg_iterations = 0;
+  EXPECT_THROW(FgsmRegTrainer(m, bad), ContractViolation);
+}
+
+TEST(FgsmRegTrainer, LearnsCleanData) {
+  const auto data = tiny_digits();
+  Rng rng(1);
+  nn::Sequential m = nn::zoo::build("mlp_small", rng);
+  FgsmRegTrainer trainer(m, tiny_config(10));
+  trainer.fit(data.train);
+  EXPECT_GT(metrics::evaluate_clean(m, data.test), 0.5f);
+}
+
+TEST(FgsmRegTrainer, DeterministicGivenSeeds) {
+  const auto data = tiny_digits();
+  auto run = [&] {
+    Rng rng(3);
+    nn::Sequential m = nn::zoo::build("mlp_small", rng);
+    FgsmRegTrainer trainer(m, tiny_config(3));
+    trainer.fit(data.train);
+    Tensor probe = Tensor::full(Shape{1, 1, 28, 28}, 0.5f);
+    return m.forward(probe, false);
+  };
+  EXPECT_TRUE(run().equals(run()));
+}
+
+TEST(FgsmRegTrainer, PenaltyWeightChangesTheTrainedModel) {
+  const auto data = tiny_digits();
+  auto run = [&](float lambda) {
+    Rng rng(3);
+    nn::Sequential m = nn::zoo::build("mlp_small", rng);
+    TrainConfig cfg = tiny_config(3);
+    cfg.fgsm_reg_weight = lambda;
+    FgsmRegTrainer trainer(m, cfg);
+    trainer.fit(data.train);
+    Tensor probe = Tensor::full(Shape{1, 1, 28, 28}, 0.5f);
+    return m.forward(probe, false);
+  };
+  EXPECT_FALSE(run(0.0f).equals(run(1.0f)))
+      << "lambda must actually reach the update";
+}
+
+// The gauntlet's row jobs load every participant through the model
+// cache; each new method must round-trip it (miss -> train -> hit ->
+// identical model).
+class CachedReuseTest : public ::testing::TestWithParam<std::string> {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("satd_gauntlet_cache_" + GetParam());
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+  fs::path dir_;
+};
+
+TEST_P(CachedReuseTest, SecondLoadIsACacheHitWithIdenticalModel) {
+  const std::string method = GetParam();
+  const auto data = tiny_digits();
+
+  metrics::ModelKey key;
+  key.method = method;
+  key.dataset = "digits";
+  key.model_spec = "mlp_small";
+  key.train_size = data.train.size();
+  key.epochs = 2;
+  key.batch_size = 32;
+  key.seed = 8;
+  key.eps = 0.15f;
+
+  auto train = [&](nn::Sequential& model) {
+    TrainConfig cfg = tiny_config(key.epochs);
+    auto trainer = make_trainer(method, model, cfg);
+    return trainer->fit(data.train);
+  };
+
+  metrics::CachedModel first = metrics::train_or_load(dir_, key, train);
+  EXPECT_FALSE(first.from_cache);
+  metrics::CachedModel second = metrics::train_or_load(dir_, key, train);
+  EXPECT_TRUE(second.from_cache);
+
+  Tensor probe = Tensor::full(Shape{1, 1, 28, 28}, 0.5f);
+  EXPECT_TRUE(first.model.forward(probe, false)
+                  .equals(second.model.forward(probe, false)))
+      << method << " cache round-trip changed the model";
+}
+
+INSTANTIATE_TEST_SUITE_P(NewMethods, CachedReuseTest,
+                         ::testing::Values("ensemble_adv", "fgsm_reg"));
+
+}  // namespace
+}  // namespace satd::core
